@@ -1,0 +1,155 @@
+//! Full k-core decomposition: every vertex's *coreness* (the largest k for
+//! which it survives the k-core), computed two ways — the classic
+//! sequential bucket-peeling algorithm, and a distributed sweep that runs
+//! the engine's [`crate::KCore`] program for increasing k (what a LazyGraph
+//! deployment would actually do).
+
+use lazygraph_engine::{run, EngineConfig};
+use lazygraph_graph::{Graph, VertexId};
+
+use crate::kcore::KCore;
+
+/// Sequential coreness by bucket peeling (Batagelj–Zaveršnik, O(E)).
+/// `graph` must be symmetric; degrees are out-degrees (== undirected
+/// degrees on symmetric graphs).
+pub fn coreness(graph: &Graph) -> Vec<u32> {
+    let n = graph.num_vertices();
+    let mut degree: Vec<u32> = graph
+        .vertices()
+        .map(|v| graph.out_degree(v) as u32)
+        .collect();
+    let max_degree = degree.iter().copied().max().unwrap_or(0) as usize;
+    // Bucket sort vertices by degree.
+    let mut bucket_start = vec![0usize; max_degree + 2];
+    for &d in &degree {
+        bucket_start[d as usize + 1] += 1;
+    }
+    for i in 1..bucket_start.len() {
+        bucket_start[i] += bucket_start[i - 1];
+    }
+    let mut pos = vec![0usize; n]; // vertex -> position in `order`
+    let mut order = vec![0u32; n]; // ascending by current degree
+    {
+        let mut cursor = bucket_start.clone();
+        for v in 0..n as u32 {
+            let d = degree[v as usize] as usize;
+            order[cursor[d]] = v;
+            pos[v as usize] = cursor[d];
+            cursor[d] += 1;
+        }
+    }
+    // bucket_start[d] = index of the first vertex with degree >= d.
+    let mut core = vec![0u32; n];
+    for i in 0..n {
+        let v = order[i];
+        core[v as usize] = degree[v as usize];
+        for (u, _) in graph.out_edges(VertexId(v)) {
+            let du = degree[u.index()];
+            if du > degree[v as usize] {
+                // Move u one bucket down: swap it with the first vertex of
+                // its current bucket, then shrink the bucket boundary.
+                let pu = pos[u.index()];
+                let first = bucket_start[du as usize];
+                let w = order[first];
+                if u.0 != w {
+                    order.swap(pu, first);
+                    pos[u.index()] = first;
+                    pos[w as usize] = pu;
+                }
+                bucket_start[du as usize] += 1;
+                degree[u.index()] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// Distributed coreness: runs the engine's k-core program for k = 1, 2, …
+/// until the core empties, recording the largest k each vertex survived.
+/// Exercises the full lazy stack; O(k_max) engine runs.
+pub fn coreness_distributed(graph: &Graph, machines: usize, cfg: &EngineConfig) -> Vec<u32> {
+    let n = graph.num_vertices();
+    let mut core = vec![0u32; n];
+    let mut k = 1u32;
+    loop {
+        let result = run(graph, machines, cfg, &KCore::new(k));
+        let mut any = false;
+        for (v, &c) in result.values.iter().enumerate() {
+            if c > 0 {
+                core[v] = k;
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+        k += 1;
+        assert!(k < 1_000_000, "runaway coreness sweep");
+    }
+    core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::kcore_peeling;
+    use lazygraph_graph::generators::{rmat, RmatConfig};
+    use lazygraph_graph::GraphBuilder;
+
+    fn symmetric(seed: u64) -> Graph {
+        let base = rmat(RmatConfig::graph500(8, 5, seed));
+        let mut b = GraphBuilder::new(base.num_vertices());
+        b.extend(base.edges());
+        b.symmetrize();
+        b.build()
+    }
+
+    #[test]
+    fn coreness_consistent_with_per_k_peeling() {
+        let g = symmetric(61);
+        let core = coreness(&g);
+        let k_max = core.iter().copied().max().unwrap();
+        for k in 1..=k_max.min(8) {
+            let peel = kcore_peeling(&g, k);
+            for v in 0..g.num_vertices() {
+                assert_eq!(
+                    core[v] >= k,
+                    peel[v] > 0,
+                    "vertex {v}, k={k}: coreness {} vs peel {}",
+                    core[v],
+                    peel[v]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_with_pendant() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0u32, 1u32)
+            .add_edge(1u32, 2u32)
+            .add_edge(2u32, 0u32)
+            .add_edge(2u32, 3u32);
+        b.symmetrize();
+        let g = b.build();
+        assert_eq!(coreness(&g), vec![2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn distributed_matches_sequential() {
+        let g = symmetric(62);
+        let seq = coreness(&g);
+        let cfg = EngineConfig::lazygraph().with_bidirectional(true);
+        let dist = coreness_distributed(&g, 4, &cfg);
+        assert_eq!(seq, dist);
+    }
+
+    #[test]
+    fn isolated_vertices_have_zero_coreness() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0u32, 1u32);
+        b.symmetrize();
+        let g = b.build();
+        assert_eq!(coreness(&g)[2], 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # lazygraph-algorithms
+//!
+//! The paper's four evaluation workloads as push-style delta vertex
+//! programs — [`PageRankDelta`] (Fig. 3), [`Sssp`], [`ConnectedComponents`],
+//! [`KCore`] (Fig. 1(a)) — plus [`Bfs`] as an extra unidirectional
+//! workload, and [`reference`] implementations (sequential executor,
+//! Dijkstra, union-find, peeling, power iteration) used as ground truth by
+//! the test suite.
+
+pub mod bfs;
+pub mod cc;
+pub mod coreness;
+pub mod kcore;
+pub mod multi_bfs;
+pub mod pagerank;
+pub mod ppr;
+pub mod reference;
+pub mod sssp;
+pub mod widest_path;
+
+pub use bfs::Bfs;
+pub use cc::ConnectedComponents;
+pub use coreness::{coreness, coreness_distributed};
+pub use kcore::KCore;
+pub use multi_bfs::MultiSourceBfs;
+pub use pagerank::{PageRankData, PageRankDelta};
+pub use ppr::PersonalizedPageRank;
+pub use sssp::Sssp;
+pub use widest_path::WidestPath;

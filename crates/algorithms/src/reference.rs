@@ -1,0 +1,292 @@
+//! Ground truth for the test suite: a sequential executor of any
+//! [`VertexProgram`] (one machine, no replication — the semantics the
+//! distributed engines must reproduce) plus independent classical
+//! implementations (Dijkstra, union-find, peeling, power iteration) that
+//! validate the vertex programs themselves.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use lazygraph_engine::{EdgeCtx, VertexCtx, VertexProgram};
+use lazygraph_graph::{Graph, VertexId};
+
+/// Runs `program` on `graph` sequentially until no messages remain.
+/// This is the user-view semantics every distributed engine must match.
+pub fn run_sequential<P: VertexProgram>(graph: &Graph, program: &P) -> Vec<P::VData> {
+    let n = graph.num_vertices();
+    let ctx_of = |v: VertexId| VertexCtx {
+        out_degree: graph.out_degree(v) as u32,
+        in_degree: graph.in_degree(v) as u32,
+        degree: graph.degree(v) as u32,
+        num_vertices: n,
+    };
+    let mut vdata: Vec<P::VData> = graph
+        .vertices()
+        .map(|v| program.init_data(v, &ctx_of(v)))
+        .collect();
+    let mut message: Vec<Option<P::Delta>> = graph
+        .vertices()
+        .map(|v| program.init_message(v, &ctx_of(v)))
+        .collect();
+    let mut active: Vec<bool> = message.iter().map(|m| m.is_some()).collect();
+    let mut queue: Vec<u32> = (0..n as u32).filter(|&v| active[v as usize]).collect();
+    while let Some(l) = queue.pop() {
+        active[l as usize] = false;
+        let Some(accum) = message[l as usize].take() else {
+            continue;
+        };
+        let v = VertexId(l);
+        let ctx = ctx_of(v);
+        let Some(d) = program.apply(v, &mut vdata[l as usize], accum, &ctx) else {
+            continue;
+        };
+        let data = vdata[l as usize].clone();
+        for (u, w) in graph.out_edges(v) {
+            let edge = EdgeCtx {
+                dst: u,
+                weight: w,
+            };
+            if let Some(msg) = program.scatter(v, &data, d, &ctx, &edge) {
+                let slot = &mut message[u.index()];
+                *slot = Some(match slot.take() {
+                    Some(prev) => program.sum(prev, msg),
+                    None => msg,
+                });
+                if !active[u.index()] {
+                    active[u.index()] = true;
+                    queue.push(u.0);
+                }
+            }
+        }
+    }
+    vdata
+}
+
+/// Dijkstra shortest paths from `source`; `f32::INFINITY` if unreachable.
+pub fn dijkstra(graph: &Graph, source: VertexId) -> Vec<f32> {
+    let n = graph.num_vertices();
+    let mut dist = vec![f32::INFINITY; n];
+    let mut heap: BinaryHeap<Reverse<(ordered::F32, u32)>> = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(Reverse((ordered::F32(0.0), source.0)));
+    while let Some(Reverse((ordered::F32(d), v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for (u, w) in graph.out_edges(VertexId(v)) {
+            let nd = d + w;
+            if nd < dist[u.index()] {
+                dist[u.index()] = nd;
+                heap.push(Reverse((ordered::F32(nd), u.0)));
+            }
+        }
+    }
+    dist
+}
+
+/// BFS hop counts from `source`; `u32::MAX` if unreachable.
+pub fn bfs_levels(graph: &Graph, source: VertexId) -> Vec<u32> {
+    let n = graph.num_vertices();
+    let mut level = vec![u32::MAX; n];
+    let mut frontier = vec![source];
+    level[source.index()] = 0;
+    let mut depth = 0u32;
+    while !frontier.is_empty() {
+        depth += 1;
+        let mut next = Vec::new();
+        for v in frontier {
+            for (u, _) in graph.out_edges(v) {
+                if level[u.index()] == u32::MAX {
+                    level[u.index()] = depth;
+                    next.push(u);
+                }
+            }
+        }
+        frontier = next;
+    }
+    level
+}
+
+/// Connected components via union-find over the *undirected* closure of
+/// the edges. Labels are canonicalised to the minimum vertex id of each
+/// component (matching the min-label program's fixpoint).
+pub fn connected_components(graph: &Graph) -> Vec<u32> {
+    let n = graph.num_vertices();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    for e in graph.edges() {
+        let (a, b) = (find(&mut parent, e.src.0), find(&mut parent, e.dst.0));
+        if a != b {
+            parent[a.max(b) as usize] = a.min(b); // root at the smaller id
+        }
+    }
+    (0..n as u32).map(|v| find(&mut parent, v)).collect()
+}
+
+/// k-core by peeling: returns each vertex's final core value in the
+/// engine's convention — 0 if deleted, otherwise its degree within the
+/// surviving subgraph. `graph` must be symmetric.
+pub fn kcore_peeling(graph: &Graph, k: u32) -> Vec<u32> {
+    let n = graph.num_vertices();
+    let mut deg: Vec<u32> = graph.vertices().map(|v| graph.out_degree(v) as u32).collect();
+    let mut deleted = vec![false; n];
+    let mut stack: Vec<u32> = (0..n as u32).filter(|&v| deg[v as usize] < k).collect();
+    for &v in &stack {
+        deleted[v as usize] = true;
+    }
+    while let Some(v) = stack.pop() {
+        for (u, _) in graph.out_edges(VertexId(v)) {
+            if !deleted[u.index()] {
+                deg[u.index()] -= 1;
+                if deg[u.index()] < k {
+                    deleted[u.index()] = true;
+                    stack.push(u.0);
+                }
+            }
+        }
+    }
+    (0..n)
+        .map(|v| if deleted[v] { 0 } else { deg[v] })
+        .collect()
+}
+
+/// PageRank by dense power iteration of the paper's Eq. 3
+/// (`PR(i) = 0.15 + 0.85 Σ_{j→i} PR(j)/outDeg(j)`), run to `sweeps`
+/// iterations. The delta-formulated engines converge to this fixpoint
+/// within their tolerance.
+pub fn pagerank_power(graph: &Graph, sweeps: usize) -> Vec<f64> {
+    let n = graph.num_vertices();
+    let mut rank = vec![0.15f64; n];
+    let out_deg: Vec<f64> = graph.vertices().map(|v| graph.out_degree(v) as f64).collect();
+    for _ in 0..sweeps {
+        let mut next = vec![0.15f64; n];
+        for v in graph.vertices() {
+            if out_deg[v.index()] == 0.0 {
+                continue;
+            }
+            let share = 0.85 * rank[v.index()] / out_deg[v.index()];
+            for (u, _) in graph.out_edges(v) {
+                next[u.index()] += share;
+            }
+        }
+        rank = next;
+    }
+    rank
+}
+
+mod ordered {
+    /// Total-order wrapper for non-NaN f32 keys in the Dijkstra heap.
+    #[derive(Clone, Copy, PartialEq)]
+    pub struct F32(pub f32);
+    impl Eq for F32 {}
+    impl PartialOrd for F32 {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for F32 {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::Bfs;
+    use crate::cc::ConnectedComponents;
+    use crate::kcore::KCore;
+    use crate::pagerank::PageRankDelta;
+    use crate::sssp::Sssp;
+    use lazygraph_graph::generators::{erdos_renyi, grid2d, Grid2dConfig};
+    use lazygraph_graph::GraphBuilder;
+
+    fn weighted_symmetric(n_side: usize, seed: u64) -> Graph {
+        let g = grid2d(Grid2dConfig::road(n_side, n_side, seed));
+        let mut b = GraphBuilder::new(g.num_vertices());
+        b.extend(g.edges());
+        b.symmetrize();
+        b.randomize_weights(1.0, 10.0, seed);
+        b.build()
+    }
+
+    #[test]
+    fn sequential_sssp_matches_dijkstra() {
+        let g = weighted_symmetric(12, 5);
+        let seq = run_sequential(&g, &Sssp::new(0u32));
+        let dij = dijkstra(&g, VertexId(0));
+        assert_eq!(seq, dij);
+    }
+
+    #[test]
+    fn sequential_bfs_matches_reference() {
+        let g = erdos_renyi(300, 1200, 3);
+        let seq = run_sequential(&g, &Bfs::new(0u32));
+        let reference = bfs_levels(&g, VertexId(0));
+        assert_eq!(seq, reference);
+    }
+
+    #[test]
+    fn sequential_cc_matches_union_find() {
+        let g = weighted_symmetric(10, 7);
+        let seq = run_sequential(&g, &ConnectedComponents);
+        let uf = connected_components(&g);
+        assert_eq!(seq, uf);
+    }
+
+    #[test]
+    fn sequential_kcore_matches_peeling() {
+        let g = weighted_symmetric(14, 9);
+        for k in [2, 3, 4] {
+            let seq = run_sequential(&g, &KCore::new(k));
+            let peel = kcore_peeling(&g, k);
+            assert_eq!(seq, peel, "k={k}");
+        }
+    }
+
+    #[test]
+    fn sequential_pagerank_near_power_iteration() {
+        let g = erdos_renyi(200, 1600, 11);
+        let seq = run_sequential(&g, &PageRankDelta { tolerance: 1e-6 });
+        let power = pagerank_power(&g, 120);
+        for (v, (s, p)) in seq.iter().zip(&power).enumerate() {
+            assert!(
+                (s.rank - p).abs() < 1e-2 * p.max(1.0),
+                "vertex {v}: delta {} vs power {}",
+                s.rank,
+                p
+            );
+        }
+    }
+
+    #[test]
+    fn cc_labels_are_component_minima() {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(4u32, 5u32).add_edge(1u32, 2u32).add_edge(2u32, 3u32);
+        b.symmetrize();
+        let g = b.build();
+        let cc = connected_components(&g);
+        assert_eq!(cc, vec![0, 1, 1, 1, 4, 4]);
+    }
+
+    #[test]
+    fn kcore_peeling_on_known_graph() {
+        // A triangle plus a pendant vertex: 2-core keeps the triangle.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0u32, 1u32)
+            .add_edge(1u32, 2u32)
+            .add_edge(2u32, 0u32)
+            .add_edge(2u32, 3u32);
+        b.symmetrize();
+        let g = b.build();
+        let core = kcore_peeling(&g, 2);
+        assert_eq!(core, vec![2, 2, 2, 0]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Criterion microbenches: full engine runs (wall time of the simulated
+//! cluster) on a small fixed workload — tracks regressions in the engine
+//! hot paths (apply/scatter loops, exchanges, barriers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lazygraph_algorithms::{PageRankDelta, Sssp};
+use lazygraph_engine::{run, EngineConfig, EngineKind};
+use lazygraph_graph::generators::{grid2d, rmat, Grid2dConfig, RmatConfig};
+use lazygraph_graph::{Graph, GraphBuilder};
+
+fn small_road() -> Graph {
+    let g = grid2d(Grid2dConfig::road(24, 24, 1));
+    let mut b = GraphBuilder::new(g.num_vertices());
+    b.extend(g.edges());
+    b.symmetrize();
+    b.randomize_weights(1.0, 8.0, 1);
+    b.build()
+}
+
+fn small_social() -> Graph {
+    rmat(RmatConfig::graph500(9, 8, 2))
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let road = small_road();
+    let social = small_social();
+    let mut group = c.benchmark_group("engine-runs");
+    group.sample_size(10);
+    for engine in [
+        EngineKind::PowerGraphSync,
+        EngineKind::LazyBlockAsync,
+        EngineKind::PowerGraphAsync,
+        EngineKind::LazyVertexAsync,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("sssp-road-p4", engine.name()),
+            &engine,
+            |b, &e| {
+                let cfg = EngineConfig::lazygraph().with_engine(e);
+                b.iter(|| run(&road, 4, &cfg, &Sssp::new(0u32)).metrics.sim_time)
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pagerank-social-p4", engine.name()),
+            &engine,
+            |b, &e| {
+                let cfg = EngineConfig::lazygraph().with_engine(e);
+                b.iter(|| {
+                    run(&social, 4, &cfg, &PageRankDelta::default())
+                        .metrics
+                        .sim_time
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion microbenches: the channel-mesh exchange kernel and the
+//! collective allreduce — the per-synchronisation overheads every BSP round
+//! pays.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lazygraph_cluster::{build_mesh, run_machines, Collective, NetStats, Phase};
+
+fn bench_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh-exchange");
+    group.sample_size(10);
+    for &(p, batch) in &[(4usize, 1024usize), (8, 1024), (8, 16384)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("p{p}-batch{batch}")),
+            &(p, batch),
+            |b, &(p, batch)| {
+                b.iter(|| {
+                    let eps = build_mesh::<u64>(p);
+                    let stats = Arc::new(NetStats::new());
+                    run_machines(eps, |mut ep| {
+                        for _round in 0..4 {
+                            let outboxes: Vec<Vec<u64>> = (0..p)
+                                .map(|d| {
+                                    if d == ep.me() {
+                                        vec![]
+                                    } else {
+                                        vec![7u64; batch / p]
+                                    }
+                                })
+                                .collect();
+                            let got = ep.exchange(outboxes, 0.0, Phase::Coherency, 8, &stats);
+                            assert_eq!(got.len(), p - 1);
+                        }
+                    });
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("collective");
+    group.sample_size(10);
+    for &p in &[4usize, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("allreduce-p{p}")),
+            &p,
+            |b, &p| {
+                b.iter(|| {
+                    let coll = Arc::new(Collective::new(p));
+                    let stats = Arc::new(NetStats::new());
+                    let workers: Vec<usize> = (0..p).collect();
+                    run_machines(workers, |me| {
+                        let mut acc = 0u64;
+                        for _ in 0..8 {
+                            acc = coll.sum_u64(me, me as u64, &stats);
+                        }
+                        acc
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exchange);
+criterion_main!(benches);

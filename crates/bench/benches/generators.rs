@@ -1,0 +1,27 @@
+//! Criterion microbenches: synthetic graph generator and CSR construction
+//! throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lazygraph_graph::generators::{
+    erdos_renyi, grid2d, preferential_attachment, rmat, Grid2dConfig, RmatConfig,
+};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(1 << 15));
+    group.bench_function("rmat-s12-e8", |b| {
+        b.iter(|| rmat(RmatConfig::graph500(12, 8, 7)))
+    });
+    group.bench_function("erdos-renyi-32k", |b| b.iter(|| erdos_renyi(4096, 32768, 7)));
+    group.bench_function("grid2d-64x64", |b| {
+        b.iter(|| grid2d(Grid2dConfig::road(64, 64, 7)))
+    });
+    group.bench_function("preferential-8k-m4", |b| {
+        b.iter(|| preferential_attachment(8192, 4, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion microbenches: vertex-cut partitioner throughput and the edge
+//! splitter, plus distributed-graph construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lazygraph_graph::generators::{rmat, RmatConfig};
+use lazygraph_partition::{
+    build_distributed, plan_split, PartitionStrategy, SplitPlan, SplitterConfig,
+};
+
+fn bench_partitioners(c: &mut Criterion) {
+    let g = rmat(RmatConfig::graph500(12, 8, 3));
+    let mut group = c.benchmark_group("partitioners");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(g.num_edges() as u64));
+    for strategy in PartitionStrategy::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &strategy,
+            |b, &s| b.iter(|| s.assign(&g, 16)),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("splitter-and-shards");
+    group.sample_size(10);
+    group.bench_function("plan_split", |b| {
+        b.iter(|| plan_split(&g, 16, &SplitterConfig::default()))
+    });
+    let assignment = PartitionStrategy::Coordinated.assign(&g, 16);
+    let plan = SplitPlan::none(g.num_edges());
+    group.bench_function("build_distributed", |b| {
+        b.iter(|| build_distributed(&g, &assignment, 16, &plan, false))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

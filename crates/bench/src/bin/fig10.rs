@@ -1,0 +1,42 @@
+//! **Figure 10**: number of global synchronisations, LazyGraph normalised
+//! to PowerGraph Sync, for the four workloads on every dataset. The
+//! paper's explanation of the speedup (§5.3): lazy coherency slashes the
+//! global synchronisation count (Sync pays 3 per superstep; LazyGraph one
+//! per data coherency point).
+//!
+//! Regenerate: `cargo run -p lazygraph-bench --release --bin fig10`
+
+use lazygraph_bench::{headline_matrix, Args, Table};
+
+fn main() {
+    let args = Args::parse();
+    println!(
+        "Figure 10: global synchronisations, normalised to PowerGraph Sync ({} machines)",
+        args.machines
+    );
+    let rows = headline_matrix(&args);
+    let mut table = Table::new(&[
+        "graph",
+        "algorithm",
+        "sync #syncs",
+        "lazy #syncs",
+        "normalised",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.dataset.name().to_string(),
+            r.workload.name().to_string(),
+            r.sync.global_syncs().to_string(),
+            r.lazy.global_syncs().to_string(),
+            format!(
+                "{:.3}",
+                r.lazy.global_syncs() as f64 / r.sync.global_syncs().max(1) as f64
+            ),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nShape check: every normalised value must be well below 1.0, and the\n\
+         reductions must correlate with Fig. 9's speedups (paper §5.3)."
+    );
+}

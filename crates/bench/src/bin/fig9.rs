@@ -1,0 +1,62 @@
+//! **Figure 9**: speedup of LazyGraph over PowerGraph Sync for k-core,
+//! PageRank, SSSP, and CC on every dataset (48 machines). The paper reports
+//! speedups of 1.25x–10.69x, averaging 3.95x (k-core), 3.1x (PageRank),
+//! 4.57x (SSSP), 3.91x (CC), with the largest wins on road graphs and the
+//! smallest on twitter.
+//!
+//! Regenerate: `cargo run -p lazygraph-bench --release --bin fig9`
+
+use lazygraph_bench::{headline_matrix, speedup, Args, Table, Workload};
+
+fn main() {
+    let args = Args::parse();
+    println!(
+        "Figure 9: LazyGraph vs PowerGraph Sync speedups ({} machines, scale {})",
+        args.machines, args.scale
+    );
+    let rows = headline_matrix(&args);
+    let mut table = Table::new(&[
+        "graph",
+        "algorithm",
+        "sync sim(s)",
+        "lazy sim(s)",
+        "speedup",
+        "lambda",
+    ]);
+    let mut per_workload: Vec<(Workload, Vec<f64>)> =
+        Workload::all().iter().map(|&w| (w, Vec::new())).collect();
+    for r in &rows {
+        let s = r.sync.sim_time / r.lazy.sim_time.max(1e-12);
+        table.row(vec![
+            r.dataset.name().to_string(),
+            r.workload.name().to_string(),
+            format!("{:.3}", r.sync.sim_time),
+            format!("{:.3}", r.lazy.sim_time),
+            speedup(r.sync.sim_time, r.lazy.sim_time),
+            format!("{:.2}", r.lazy.lambda),
+        ]);
+        per_workload
+            .iter_mut()
+            .find(|(w, _)| *w == r.workload)
+            .unwrap()
+            .1
+            .push(s);
+    }
+    table.print();
+    println!("\nPer-algorithm average speedup (paper: k-core 3.95x, pagerank 3.1x, sssp 4.57x, cc 3.91x):");
+    for (w, speeds) in &per_workload {
+        if speeds.is_empty() {
+            continue;
+        }
+        let avg = speeds.iter().sum::<f64>() / speeds.len() as f64;
+        let min = speeds.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = speeds.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "  {:<9} avg {:.2}x  (range {:.2}x – {:.2}x)",
+            w.name(),
+            avg,
+            min,
+            max
+        );
+    }
+}

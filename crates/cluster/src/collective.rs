@@ -1,0 +1,172 @@
+//! Global barriers and allreduce over the machine threads.
+//!
+//! A [`Collective`] gives every BSP synchronisation point one structure:
+//! `allreduce` writes each machine's contribution into a slot, meets at a
+//! barrier, folds, meets again (so slots can be reused), and returns the
+//! reduction to everyone. Each allreduce/barrier is counted as exactly one
+//! *global synchronisation* — the quantity Fig. 10 plots.
+
+use std::any::Any;
+use std::sync::Barrier;
+
+use parking_lot::Mutex;
+
+use crate::stats::NetStats;
+
+/// Barrier + reduction slots shared by all machine threads of a run.
+pub struct Collective {
+    n: usize,
+    barrier: Barrier,
+    slots: Vec<Mutex<Option<Box<dyn Any + Send>>>>,
+}
+
+impl Collective {
+    /// A collective over `n` machines.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        Collective {
+            n,
+            barrier: Barrier::new(n),
+            slots: (0..n).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Number of participating machines.
+    pub fn num_machines(&self) -> usize {
+        self.n
+    }
+
+    /// Plain barrier; records one global sync (from machine 0 only so the
+    /// count is per-collective, not per-participant).
+    pub fn barrier(&self, me: usize, stats: &NetStats) {
+        if me == 0 {
+            stats.record_sync();
+        }
+        self.barrier.wait();
+    }
+
+    /// All-reduce: every machine contributes `val`; everyone receives the
+    /// fold of all contributions under `combine` (which must be commutative
+    /// and associative). Counts as one global synchronisation.
+    pub fn allreduce<T, F>(&self, me: usize, val: T, stats: &NetStats, combine: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        if me == 0 {
+            stats.record_sync();
+        }
+        *self.slots[me].lock() = Some(Box::new(val));
+        self.barrier.wait();
+        let mut acc: Option<T> = None;
+        for slot in &self.slots {
+            let guard = slot.lock();
+            let v = guard
+                .as_ref()
+                .expect("allreduce slot empty")
+                .downcast_ref::<T>()
+                .expect("allreduce type mismatch")
+                .clone();
+            acc = Some(match acc {
+                None => v,
+                Some(a) => combine(a, v),
+            });
+        }
+        // Second barrier: nobody may overwrite a slot before all have read.
+        self.barrier.wait();
+        acc.expect("empty collective")
+    }
+
+    /// Allreduce-sum over u64.
+    pub fn sum_u64(&self, me: usize, val: u64, stats: &NetStats) -> u64 {
+        self.allreduce(me, val, stats, |a, b| a + b)
+    }
+
+    /// Allreduce-max over f64 (simulated-clock synchronisation).
+    pub fn max_f64(&self, me: usize, val: f64, stats: &NetStats) -> f64 {
+        self.allreduce(me, val, stats, f64::max)
+    }
+
+    /// Allreduce-or over bool.
+    pub fn any(&self, me: usize, val: bool, stats: &NetStats) -> bool {
+        self.allreduce(me, val, stats, |a, b| a || b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sum_across_threads() {
+        let n = 4;
+        let coll = Arc::new(Collective::new(n));
+        let stats = Arc::new(NetStats::new());
+        let results: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|me| {
+                    let coll = coll.clone();
+                    let stats = stats.clone();
+                    s.spawn(move || coll.sum_u64(me, (me + 1) as u64, &stats))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(results.iter().all(|&r| r == 10));
+        assert_eq!(stats.snapshot().global_syncs, 1);
+    }
+
+    #[test]
+    fn repeated_allreduce_rounds() {
+        let n = 3;
+        let coll = Arc::new(Collective::new(n));
+        let stats = Arc::new(NetStats::new());
+        let results: Vec<f64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|me| {
+                    let coll = coll.clone();
+                    let stats = stats.clone();
+                    s.spawn(move || {
+                        let mut acc = 0.0;
+                        for round in 0..50 {
+                            acc = coll.max_f64(me, (me * round) as f64, &stats);
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Final round: max(0, 49, 98) = 98.
+        assert!(results.iter().all(|&r| r == 98.0));
+        assert_eq!(stats.snapshot().global_syncs, 50);
+    }
+
+    #[test]
+    fn any_detects_single_true() {
+        let n = 5;
+        let coll = Arc::new(Collective::new(n));
+        let stats = Arc::new(NetStats::new());
+        let results: Vec<bool> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|me| {
+                    let coll = coll.clone();
+                    let stats = stats.clone();
+                    s.spawn(move || coll.any(me, me == 3, &stats))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(results.iter().all(|&r| r));
+    }
+
+    #[test]
+    fn single_machine_collective() {
+        let coll = Collective::new(1);
+        let stats = NetStats::new();
+        assert_eq!(coll.sum_u64(0, 42, &stats), 42);
+        coll.barrier(0, &stats);
+        assert_eq!(stats.snapshot().global_syncs, 2);
+    }
+}

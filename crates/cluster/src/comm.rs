@@ -1,0 +1,288 @@
+//! The typed point-to-point message fabric: a P×P channel mesh.
+//!
+//! Machines never share graph or vertex state — everything crosses this
+//! mesh, exactly like the RPC layer of a real distributed engine. Batches
+//! carry the sender's simulated-clock timestamp so receivers can maintain
+//! causal virtual time, and every send is accounted in [`NetStats`].
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+
+use crate::stats::{NetStats, Phase};
+
+/// Round tag for out-of-band (non-BSP) sends.
+pub const ASYNC_ROUND: u64 = u64::MAX;
+
+/// One batch of typed items from one machine to another.
+#[derive(Clone, Debug)]
+pub struct Batch<T> {
+    /// Sending machine.
+    pub from: usize,
+    /// Sender's simulated clock at send time.
+    pub sent_at: f64,
+    /// BSP round this batch belongs to ([`ASYNC_ROUND`] for out-of-band).
+    pub round: u64,
+    /// Payload.
+    pub items: Vec<T>,
+}
+
+/// One machine's endpoint into the mesh: senders to every peer plus its own
+/// receiver.
+pub struct Endpoint<T> {
+    me: usize,
+    n: usize,
+    txs: Vec<Sender<Batch<T>>>,
+    rx: Receiver<Batch<T>>,
+    /// Next BSP exchange round issued by this endpoint.
+    next_round: u64,
+    /// Batches received ahead of the round currently being collected
+    /// (two-hop exchanges can race ahead on fast peers).
+    pending: Vec<Batch<T>>,
+}
+
+impl<T: Send> Endpoint<T> {
+    /// This machine's id.
+    #[inline]
+    pub fn me(&self) -> usize {
+        self.me
+    }
+
+    /// Cluster size.
+    #[inline]
+    pub fn num_machines(&self) -> usize {
+        self.n
+    }
+
+    /// Sends an out-of-band batch to `dst`, charging `bytes_per_item · len`
+    /// payload bytes to `phase`. Used by the asynchronous engines.
+    pub fn send(
+        &self,
+        dst: usize,
+        items: Vec<T>,
+        sim_now: f64,
+        phase: Phase,
+        bytes_per_item: usize,
+        stats: &NetStats,
+    ) {
+        self.send_tagged(dst, items, sim_now, ASYNC_ROUND, phase, bytes_per_item, stats);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn send_tagged(
+        &self,
+        dst: usize,
+        items: Vec<T>,
+        sim_now: f64,
+        round: u64,
+        phase: Phase,
+        bytes_per_item: usize,
+        stats: &NetStats,
+    ) {
+        debug_assert_ne!(dst, self.me, "self-sends must be handled locally");
+        if !items.is_empty() {
+            stats.record_batch(phase, items.len() as u64, (items.len() * bytes_per_item) as u64);
+        }
+        let batch = Batch {
+            from: self.me,
+            sent_at: sim_now,
+            round,
+            items,
+        };
+        self.txs[dst]
+            .send(batch)
+            .expect("mesh receiver dropped while peers still sending");
+    }
+
+    /// Blocking receive of the next batch of any round.
+    pub fn recv(&mut self) -> Batch<T> {
+        if !self.pending.is_empty() {
+            return self.pending.remove(0);
+        }
+        self.rx.recv().expect("mesh senders all dropped")
+    }
+
+    /// Non-blocking receive of an out-of-band batch (asynchronous engines).
+    pub fn try_recv(&mut self) -> Option<Batch<T>> {
+        if let Some(pos) = self.pending.iter().position(|b| b.round == ASYNC_ROUND) {
+            return Some(self.pending.remove(pos));
+        }
+        match self.rx.try_recv() {
+            Ok(b) => Some(b),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// BSP exchange round: sends `outboxes[dst]` to every other machine
+    /// (empty vecs included, so the round is self-delimiting) and receives
+    /// exactly one batch from every peer. Returns the received batches.
+    ///
+    /// Rounds are tagged: every machine must issue the same sequence of
+    /// `exchange` calls (BSP lockstep), and batches from a later round that
+    /// arrive early are buffered, which makes back-to-back exchanges (the
+    /// two hops of mirrors-to-master coherency) safe.
+    pub fn exchange(
+        &mut self,
+        mut outboxes: Vec<Vec<T>>,
+        sim_now: f64,
+        phase: Phase,
+        bytes_per_item: usize,
+        stats: &NetStats,
+    ) -> Vec<Batch<T>> {
+        assert_eq!(outboxes.len(), self.n, "need one outbox per machine");
+        let round = self.next_round;
+        self.next_round += 1;
+        for (dst, outbox) in outboxes.iter_mut().enumerate() {
+            if dst == self.me {
+                continue;
+            }
+            let items = std::mem::take(outbox);
+            self.send_tagged(dst, items, sim_now, round, phase, bytes_per_item, stats);
+        }
+        let mut received = Vec::with_capacity(self.n - 1);
+        // First collect any buffered batches for this round.
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].round == round {
+                received.push(self.pending.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        while received.len() < self.n - 1 {
+            let b = self.rx.recv().expect("mesh senders all dropped");
+            if b.round == round {
+                received.push(b);
+            } else {
+                self.pending.push(b);
+            }
+        }
+        received
+    }
+}
+
+/// Builds the full mesh and hands out per-machine endpoints.
+pub fn build_mesh<T: Send>(n: usize) -> Vec<Endpoint<T>> {
+    assert!(n > 0);
+    let mut txs_all: Vec<Vec<Sender<Batch<T>>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
+    let mut rxs: Vec<Receiver<Batch<T>>> = Vec::with_capacity(n);
+    let mut channel_txs: Vec<Sender<Batch<T>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        channel_txs.push(tx);
+        rxs.push(rx);
+    }
+    for txs in txs_all.iter_mut() {
+        for tx in &channel_txs {
+            txs.push(tx.clone());
+        }
+    }
+    txs_all
+        .into_iter()
+        .zip(rxs)
+        .enumerate()
+        .map(|(me, (txs, rx))| Endpoint {
+            me,
+            n,
+            txs,
+            rx,
+            next_round: 0,
+            pending: Vec::new(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn point_to_point() {
+        let mut eps = build_mesh::<u32>(2);
+        let mut b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let stats = NetStats::new();
+        a.send(1, vec![7, 8, 9], 1.5, Phase::Async, 4, &stats);
+        let got = b.recv();
+        assert_eq!(got.from, 0);
+        assert_eq!(got.sent_at, 1.5);
+        assert_eq!(got.items, vec![7, 8, 9]);
+        let snap = stats.snapshot();
+        assert_eq!(snap.phase(Phase::Async).bytes, 12);
+        assert_eq!(snap.phase(Phase::Async).items, 3);
+    }
+
+    #[test]
+    fn empty_batches_cost_nothing() {
+        let mut eps = build_mesh::<u32>(2);
+        let mut b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let stats = NetStats::new();
+        a.send(1, vec![], 0.0, Phase::Coherency, 4, &stats);
+        let got = b.recv();
+        assert!(got.items.is_empty());
+        assert_eq!(stats.snapshot().total_bytes(), 0);
+        assert_eq!(stats.snapshot().total_batches(), 0);
+    }
+
+    #[test]
+    fn bsp_exchange_all_pairs() {
+        let n = 4;
+        let eps = build_mesh::<u64>(n);
+        let stats = Arc::new(NetStats::new());
+        let sums: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = eps
+                .into_iter()
+                .map(|mut ep| {
+                    let stats = stats.clone();
+                    s.spawn(move || {
+                        // Machine m sends its id*10+dst to each dst.
+                        let outboxes: Vec<Vec<u64>> = (0..n)
+                            .map(|dst| {
+                                if dst == ep.me() {
+                                    vec![]
+                                } else {
+                                    vec![(ep.me() * 10 + dst) as u64]
+                                }
+                            })
+                            .collect();
+                        let received = ep.exchange(outboxes, 0.0, Phase::Coherency, 8, &stats);
+                        assert_eq!(received.len(), n - 1);
+                        received
+                            .iter()
+                            .flat_map(|b| b.items.iter())
+                            .sum::<u64>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Machine d receives {s*10 + d : s != d}.
+        for (d, sum) in sums.iter().enumerate() {
+            let expected: u64 = (0..n).filter(|&s| s != d).map(|s| (s * 10 + d) as u64).sum();
+            assert_eq!(*sum, expected, "machine {d}");
+        }
+        // 4 machines × 3 non-empty batches each.
+        assert_eq!(stats.snapshot().total_batches(), 12);
+    }
+
+    #[test]
+    fn multiple_rounds_fifo() {
+        let eps = build_mesh::<u32>(2);
+        let stats = Arc::new(NetStats::new());
+        std::thread::scope(|s| {
+            for mut ep in eps {
+                let stats = stats.clone();
+                s.spawn(move || {
+                    for round in 0..100u32 {
+                        let outboxes = (0..2)
+                            .map(|d| if d == ep.me() { vec![] } else { vec![round] })
+                            .collect();
+                        let got = ep.exchange(outboxes, 0.0, Phase::Async, 4, &stats);
+                        assert_eq!(got[0].items, vec![round], "round mixing detected");
+                    }
+                });
+            }
+        });
+    }
+}

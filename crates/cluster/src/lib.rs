@@ -1,0 +1,25 @@
+//! # lazygraph-cluster
+//!
+//! The simulated distributed substrate standing in for the paper's 48-node
+//! EC2-like cluster. Each machine is an OS thread owning its shard; all
+//! inter-machine traffic crosses a typed channel [`comm`] mesh with exact
+//! byte/message accounting; [`Collective`] provides barriers and allreduce
+//! (each counted as one global synchronisation — the Fig. 10 quantity);
+//! [`CostModel`] + [`SimClock`] convert the counted work into deterministic
+//! simulated seconds using the paper's own fitted communication-time
+//! equations (§4.2.2). DESIGN.md §2 documents why this substitution
+//! preserves the paper's measured behaviour.
+
+pub mod collective;
+pub mod comm;
+pub mod costmodel;
+pub mod runtime;
+pub mod stats;
+pub mod termination;
+
+pub use collective::Collective;
+pub use comm::{build_mesh, Batch, Endpoint};
+pub use costmodel::{CostModel, SimClock};
+pub use runtime::run_machines;
+pub use stats::{NetStats, Phase, PhaseStats, StatsSnapshot};
+pub use termination::Termination;

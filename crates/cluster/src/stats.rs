@@ -1,0 +1,210 @@
+//! Network and synchronisation accounting.
+//!
+//! The paper explains LazyGraph's speedups entirely through two counted
+//! quantities — the number of global synchronisations (Fig. 10) and the
+//! communication traffic (Fig. 11). [`NetStats`] counts both exactly,
+//! broken down by protocol phase, using relaxed atomics so that the 48
+//! machine threads never contend.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which protocol phase a communication belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Sync engine: mirrors → master accumulator exchange.
+    Gather,
+    /// Sync engine: master → mirrors data broadcast.
+    Apply,
+    /// Lazy engines: deltaMsg exchange at a data coherency point.
+    Coherency,
+    /// Async engine: fine-grained eager messages.
+    Async,
+    /// Anything else (setup, control).
+    Control,
+}
+
+pub const NUM_PHASES: usize = 5;
+
+impl Phase {
+    #[inline]
+    fn index(self) -> usize {
+        match self {
+            Phase::Gather => 0,
+            Phase::Apply => 1,
+            Phase::Coherency => 2,
+            Phase::Async => 3,
+            Phase::Control => 4,
+        }
+    }
+
+    /// Phase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Gather => "gather",
+            Phase::Apply => "apply",
+            Phase::Coherency => "coherency",
+            Phase::Async => "async",
+            Phase::Control => "control",
+        }
+    }
+}
+
+/// Shared counters, one instance per engine run.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    bytes: [AtomicU64; NUM_PHASES],
+    batches: [AtomicU64; NUM_PHASES],
+    items: [AtomicU64; NUM_PHASES],
+    global_syncs: AtomicU64,
+    edges_processed: AtomicU64,
+    applies: AtomicU64,
+}
+
+impl NetStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        NetStats::default()
+    }
+
+    /// Records one sent batch of `items` entries totalling `bytes` payload.
+    #[inline]
+    pub fn record_batch(&self, phase: Phase, items: u64, bytes: u64) {
+        let i = phase.index();
+        self.bytes[i].fetch_add(bytes, Ordering::Relaxed);
+        self.batches[i].fetch_add(1, Ordering::Relaxed);
+        self.items[i].fetch_add(items, Ordering::Relaxed);
+    }
+
+    /// Records one global synchronisation (call once per collective, not
+    /// once per participant).
+    #[inline]
+    pub fn record_sync(&self) {
+        self.global_syncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records local compute work (scatter edge traversals).
+    #[inline]
+    pub fn record_edges(&self, n: u64) {
+        self.edges_processed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records apply-operator executions.
+    #[inline]
+    pub fn record_applies(&self, n: u64) {
+        self.applies.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A consistent snapshot (exact once all machine threads have joined).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut per_phase = [PhaseStats::default(); NUM_PHASES];
+        for (i, p) in per_phase.iter_mut().enumerate() {
+            p.bytes = self.bytes[i].load(Ordering::Relaxed);
+            p.batches = self.batches[i].load(Ordering::Relaxed);
+            p.items = self.items[i].load(Ordering::Relaxed);
+        }
+        StatsSnapshot {
+            per_phase,
+            global_syncs: self.global_syncs.load(Ordering::Relaxed),
+            edges_processed: self.edges_processed.load(Ordering::Relaxed),
+            applies: self.applies.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Per-phase communication totals.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseStats {
+    pub bytes: u64,
+    pub batches: u64,
+    pub items: u64,
+}
+
+/// Immutable snapshot of [`NetStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StatsSnapshot {
+    pub per_phase: [PhaseStats; NUM_PHASES],
+    pub global_syncs: u64,
+    pub edges_processed: u64,
+    pub applies: u64,
+}
+
+impl StatsSnapshot {
+    /// Total payload bytes across phases — the Fig. 11 quantity.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_phase.iter().map(|p| p.bytes).sum()
+    }
+
+    /// Total message items across phases.
+    pub fn total_items(&self) -> u64 {
+        self.per_phase.iter().map(|p| p.items).sum()
+    }
+
+    /// Total batches across phases.
+    pub fn total_batches(&self) -> u64 {
+        self.per_phase.iter().map(|p| p.batches).sum()
+    }
+
+    /// Stats for one phase.
+    pub fn phase(&self, p: Phase) -> PhaseStats {
+        self.per_phase[p.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let s = NetStats::new();
+        s.record_batch(Phase::Coherency, 10, 120);
+        s.record_batch(Phase::Coherency, 5, 60);
+        s.record_batch(Phase::Gather, 1, 8);
+        s.record_sync();
+        s.record_sync();
+        s.record_edges(100);
+        s.record_applies(7);
+        let snap = s.snapshot();
+        assert_eq!(snap.phase(Phase::Coherency).bytes, 180);
+        assert_eq!(snap.phase(Phase::Coherency).batches, 2);
+        assert_eq!(snap.phase(Phase::Coherency).items, 15);
+        assert_eq!(snap.phase(Phase::Gather).bytes, 8);
+        assert_eq!(snap.total_bytes(), 188);
+        assert_eq!(snap.total_items(), 16);
+        assert_eq!(snap.global_syncs, 2);
+        assert_eq!(snap.edges_processed, 100);
+        assert_eq!(snap.applies, 7);
+    }
+
+    #[test]
+    fn concurrent_updates() {
+        let s = std::sync::Arc::new(NetStats::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        s.record_batch(Phase::Async, 1, 16);
+                    }
+                });
+            }
+        });
+        let snap = s.snapshot();
+        assert_eq!(snap.phase(Phase::Async).batches, 4000);
+        assert_eq!(snap.phase(Phase::Async).bytes, 64_000);
+    }
+
+    #[test]
+    fn phase_names_unique() {
+        let names = [
+            Phase::Gather,
+            Phase::Apply,
+            Phase::Coherency,
+            Phase::Async,
+            Phase::Control,
+        ]
+        .map(Phase::name);
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

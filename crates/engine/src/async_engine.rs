@@ -1,0 +1,220 @@
+//! The PowerGraph **Async** baseline: eager replica coherency without
+//! global barriers (§2.2, Issue III).
+//!
+//! Changes to vertex data are "copied to all replicas of v as soon as
+//! possible": a mirror that receives messages forwards them to the master
+//! immediately; a master that applies broadcasts the new vertex data to all
+//! mirrors immediately. There is no batching across supersteps — every pump
+//! of the machine loop flushes — so the engine pays a fixed per-message
+//! overhead on every hop. On high-diameter graphs the dependency chains of
+//! fine-grained messages dominate, which is exactly the degradation
+//! Fig. 12(e) shows for Async beyond ~16 machines.
+//!
+//! Termination uses the counting detector in `lazygraph-cluster`.
+
+use std::sync::Arc;
+
+use lazygraph_cluster::{
+    build_mesh, CostModel, Endpoint, NetStats, Phase, SimClock, Termination,
+};
+use lazygraph_partition::{DistributedGraph, LocalShard};
+
+use crate::program::{EdgeCtx, VertexProgram};
+use crate::state::{vertex_ctx, InitMessages, MachineState};
+use crate::sync_engine::SyncMsg;
+
+struct MachineOut<P: VertexProgram> {
+    masters: Vec<(u32, P::VData)>,
+    sim_time: f64,
+}
+
+/// Runs the Async engine to quiescence. Returns final master values and the
+/// simulated makespan.
+pub fn run_async_engine<P: VertexProgram>(
+    dg: &DistributedGraph,
+    program: &P,
+    cost: CostModel,
+    stats: Arc<NetStats>,
+) -> (Vec<P::VData>, f64) {
+    let p = dg.num_machines;
+    let endpoints = build_mesh::<(u32, SyncMsg<P>)>(p);
+    let term = Arc::new(Termination::new(p));
+    let workers: Vec<(&LocalShard, Endpoint<(u32, SyncMsg<P>)>)> =
+        dg.shards.iter().zip(endpoints).collect();
+    let num_vertices = dg.num_global_vertices;
+    let outs = lazygraph_cluster::run_machines(workers, |(shard, ep)| {
+        machine_loop(
+            shard,
+            ep,
+            program,
+            num_vertices,
+            cost,
+            term.clone(),
+            stats.clone(),
+        )
+    });
+    let sim_time = outs.iter().map(|o| o.sim_time).fold(0.0, f64::max);
+    let mut values: Vec<Option<P::VData>> = vec![None; num_vertices];
+    for out in outs {
+        for (gid, v) in out.masters {
+            values[gid as usize] = Some(v);
+        }
+    }
+    let values = values
+        .into_iter()
+        .enumerate()
+        .map(|(gid, v)| v.unwrap_or_else(|| panic!("vertex {gid} has no master value")))
+        .collect();
+    (values, sim_time)
+}
+
+fn machine_loop<P: VertexProgram>(
+    shard: &LocalShard,
+    mut ep: Endpoint<(u32, SyncMsg<P>)>,
+    program: &P,
+    num_vertices: usize,
+    cost: CostModel,
+    term: Arc<Termination>,
+    stats: Arc<NetStats>,
+) -> MachineOut<P> {
+    let n = ep.num_machines();
+    let mut clock = SimClock::new();
+    let mut state: MachineState<P> =
+        MachineState::init(shard, program, InitMessages::MastersOnly, num_vertices);
+    let _delta_bytes = program.delta_bytes();
+    let update_bytes = program.vdata_bytes() + std::mem::size_of::<P::Delta>();
+    let mut scatter_tasks: Vec<(u32, P::Delta)> = Vec::new();
+    let mut idle = false;
+
+    loop {
+        let mut progressed = false;
+
+        // ---- Drain the network. -----------------------------------------
+        while let Some(batch) = ep.try_recv() {
+            if idle {
+                term.leave_idle();
+                idle = false;
+            }
+            let bytes = batch.items.len() * update_bytes;
+            clock.merge(batch.sent_at + cost.async_batch_time(bytes as u64));
+            for (gid, msg) in batch.items {
+                let l = shard
+                    .local_of(gid.into())
+                    .expect("async message routed to non-replica");
+                match msg {
+                    SyncMsg::Accum(d) => {
+                        debug_assert!(shard.is_master[l as usize]);
+                        state.deliver(program, l, program.gather(gid.into(), d));
+                    }
+                    SyncMsg::Update { data, scatter } => {
+                        state.vdata[l as usize] = data;
+                        if let Some(d) = scatter {
+                            scatter_tasks.push((l, d));
+                        }
+                    }
+                }
+            }
+            term.note_delivered(1);
+            progressed = true;
+        }
+
+        // ---- Process local work. -----------------------------------------
+        if !state.queue.is_empty() || !scatter_tasks.is_empty() {
+            if idle {
+                term.leave_idle();
+                idle = false;
+            }
+            progressed = true;
+            let mut outboxes: Vec<Vec<(u32, SyncMsg<P>)>> = (0..n).map(|_| Vec::new()).collect();
+            let mut edges = 0u64;
+            let mut applies = 0u64;
+
+            // Scatter deltas received from masters along local out-edges.
+            for (l, d) in scatter_tasks.drain(..) {
+                let v = shard.global_of(l);
+                let ctx = vertex_ctx(shard, l, num_vertices);
+                let data = state.vdata[l as usize].clone();
+                let mut deliveries: Vec<(u32, P::Delta)> = Vec::new();
+                for (tl, weight, _mode) in shard.out_edges(l) {
+                    edges += 1;
+                    let edge = EdgeCtx {
+                        dst: shard.global_of(tl),
+                        weight,
+                    };
+                    if let Some(msg) = program.scatter(v, &data, d, &ctx, &edge) {
+                        deliveries.push((tl, msg));
+                    }
+                }
+                for (tl, msg) in deliveries {
+                    state.deliver(program, tl, msg);
+                }
+            }
+
+            // Pump the worklist once: masters apply + broadcast eagerly,
+            // mirrors forward their accumulators eagerly.
+            for l in state.take_queue() {
+                let Some(accum) = state.message[l as usize].take() else {
+                    state.active[l as usize] = false;
+                    continue;
+                };
+                state.active[l as usize] = false;
+                let gid = shard.global_of(l).0;
+                if shard.is_master[l as usize] {
+                    let ctx = vertex_ctx(shard, l, num_vertices);
+                    clock.advance(cost.async_apply_time());
+                    let d = program.apply(gid.into(), &mut state.vdata[l as usize], accum, &ctx);
+                    applies += 1;
+                    for &m in shard.mirrors[l as usize].iter() {
+                        outboxes[m.index()].push((
+                            gid,
+                            SyncMsg::Update {
+                                data: state.vdata[l as usize].clone(),
+                                scatter: d,
+                            },
+                        ));
+                    }
+                    if let Some(d) = d {
+                        scatter_tasks.push((l, d));
+                    }
+                } else {
+                    outboxes[shard.master_of[l as usize].index()].push((gid, SyncMsg::Accum(accum)));
+                }
+            }
+            stats.record_edges(edges);
+            stats.record_applies(applies);
+            clock.advance(cost.compute_time(edges) + cost.apply_time(applies));
+            // Flush: one batch per destination per pump, each paying the
+            // per-message overhead.
+            for (dst, items) in outboxes.into_iter().enumerate() {
+                if dst == shard.machine.index() || items.is_empty() {
+                    continue;
+                }
+                term.note_sent(1);
+                clock.advance(cost.async_send_cpu);
+                ep.send(dst, items, clock.now(), Phase::Async, update_bytes, &stats);
+            }
+        }
+
+        // Self-pumping: scatter_tasks produced this pump are handled on the
+        // next loop turn; only park when truly drained.
+        if !progressed {
+            if !idle {
+                term.enter_idle();
+                idle = true;
+            }
+            if term.check() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    let masters = (0..shard.num_local() as u32)
+        .filter(|&l| shard.is_master[l as usize])
+        .map(|l| (shard.global_of(l).0, state.vdata[l as usize].clone()))
+        .collect();
+    MachineOut {
+        masters,
+        sim_time: clock.now(),
+    }
+}

@@ -1,0 +1,255 @@
+//! Engine configuration: which engine, which partitioning, which
+//! graph-aware optimisations (§4.2).
+
+use lazygraph_cluster::CostModel;
+use lazygraph_partition::{PartitionStrategy, SplitterConfig};
+
+/// The four execution engines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// PowerGraph's synchronous BSP engine with eager replica coherency
+    /// (baseline; 2 communications + 3 global syncs per superstep, §2.2).
+    PowerGraphSync,
+    /// PowerGraph's asynchronous engine with eager replica coherency
+    /// (baseline; fine-grained messages, no barriers).
+    PowerGraphAsync,
+    /// LazyGraph's LazyBlockAsync engine (paper Algorithm 1).
+    LazyBlockAsync,
+    /// LazyGraph's LazyVertexAsync engine (paper Algorithm 2 — the paper
+    /// left its implementation to future work; ours is the extension
+    /// deliverable).
+    LazyVertexAsync,
+    /// PowerSwitch-style hybrid (extension, §6 related work): eager BSP
+    /// while the frontier is dense, eager async once it goes sparse.
+    PowerSwitchHybrid,
+}
+
+impl EngineKind {
+    /// Report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::PowerGraphSync => "powergraph-sync",
+            EngineKind::PowerGraphAsync => "powergraph-async",
+            EngineKind::LazyBlockAsync => "lazy-block-async",
+            EngineKind::LazyVertexAsync => "lazy-vertex-async",
+            EngineKind::PowerSwitchHybrid => "powerswitch-hybrid",
+        }
+    }
+}
+
+/// Communication mode at data coherency points (§3.2, Fig. 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommModePolicy {
+    /// Dynamically switch between all-to-all and mirrors-to-master using
+    /// the fitted time equations (§4.2.2). Costs one extra mode-vote
+    /// allreduce per coherency point.
+    Auto,
+    /// Always all-to-all (Fig. 5(a)).
+    AllToAll,
+    /// Always mirrors-to-master (Fig. 5(b)).
+    MirrorsToMaster,
+}
+
+/// Interval strategy between adjacent data coherency points (§4.2.1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum IntervalPolicy {
+    /// The paper's input-behaviour-interval model: lazy mode turns on when
+    /// `E/V ≤ ev_threshold || trend ≥ trend_threshold`; each local stage is
+    /// bounded by `local_bound_factor · T` where `T` is the stage's first
+    /// sub-round time.
+    Adaptive {
+        ev_threshold: f64,
+        trend_threshold: f64,
+        local_bound_factor: f64,
+    },
+    /// The "simple strategy" of Fig. 8(a): lazy always on, every local
+    /// stage runs to local convergence.
+    AlwaysLazy,
+    /// Never enter the local computation stage (pure coherency-per-
+    /// iteration; ablation).
+    NeverLazy,
+}
+
+impl IntervalPolicy {
+    /// The trained thresholds from §4.2.1: `E/V ≤ 10 || trend ≥ 0.07`,
+    /// stage bound `3T`.
+    pub fn paper_adaptive() -> Self {
+        IntervalPolicy::Adaptive {
+            ev_threshold: 10.0,
+            trend_threshold: 0.07,
+            local_bound_factor: 3.0,
+        }
+    }
+}
+
+/// Full engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    pub engine: EngineKind,
+    pub partition: PartitionStrategy,
+    pub splitter: SplitterConfig,
+    /// Bidirectional dispatch rule for parallel-edges (CC, k-core).
+    pub bidirectional: bool,
+    pub comm_mode: CommModePolicy,
+    pub interval: IntervalPolicy,
+    pub cost: CostModel,
+    /// Safety cap on supersteps / coherency iterations.
+    pub max_iterations: u64,
+    /// Consult the program's [`crate::program::VertexProgram::exchange_policy`]
+    /// before shipping deltas at coherency points (drop provably-useless,
+    /// defer sub-tolerance). Semantics-preserving; off reproduces the
+    /// paper's literal ship-everything protocol.
+    pub delta_suppression: bool,
+    /// Record a per-round [`crate::metrics::IterationRecord`] trace
+    /// (convergence analysis; small extra cost per round).
+    pub record_history: bool,
+    /// Active-vertex fraction below which the PowerSwitch hybrid engine
+    /// flips from BSP to asynchronous execution.
+    pub hybrid_switch_threshold: f64,
+}
+
+impl EngineConfig {
+    /// The paper's LazyGraph configuration: LazyBlockAsync + coordinated
+    /// cut + edge splitter + adaptive interval + dynamic comm modes.
+    pub fn lazygraph() -> Self {
+        EngineConfig {
+            engine: EngineKind::LazyBlockAsync,
+            partition: PartitionStrategy::Coordinated,
+            splitter: SplitterConfig::default(),
+            bidirectional: false,
+            comm_mode: CommModePolicy::Auto,
+            interval: IntervalPolicy::paper_adaptive(),
+            cost: CostModel::paper_cluster(),
+            max_iterations: 1_000_000,
+            delta_suppression: true,
+            record_history: false,
+            hybrid_switch_threshold: 0.05,
+        }
+    }
+
+    /// PowerGraph Sync baseline: coordinated cut, no splitter, eager.
+    pub fn powergraph_sync() -> Self {
+        EngineConfig {
+            engine: EngineKind::PowerGraphSync,
+            splitter: SplitterConfig::disabled(),
+            ..EngineConfig::lazygraph()
+        }
+    }
+
+    /// PowerGraph Async baseline.
+    pub fn powergraph_async() -> Self {
+        EngineConfig {
+            engine: EngineKind::PowerGraphAsync,
+            splitter: SplitterConfig::disabled(),
+            ..EngineConfig::lazygraph()
+        }
+    }
+
+    /// LazyVertexAsync (extension engine).
+    pub fn lazy_vertex_async() -> Self {
+        EngineConfig {
+            engine: EngineKind::LazyVertexAsync,
+            ..EngineConfig::lazygraph()
+        }
+    }
+
+    /// PowerSwitch-style hybrid (extension engine; eager coherency).
+    pub fn powerswitch_hybrid() -> Self {
+        EngineConfig {
+            engine: EngineKind::PowerSwitchHybrid,
+            splitter: SplitterConfig::disabled(),
+            ..EngineConfig::lazygraph()
+        }
+    }
+
+    /// Builder-style override of the engine kind.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        if matches!(
+            engine,
+            EngineKind::PowerGraphSync
+                | EngineKind::PowerGraphAsync
+                | EngineKind::PowerSwitchHybrid
+        ) {
+            self.splitter = SplitterConfig::disabled();
+        }
+        self
+    }
+
+    /// Builder-style override of the interval policy.
+    pub fn with_interval(mut self, interval: IntervalPolicy) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    /// Builder-style override of the coherency communication policy.
+    pub fn with_comm_mode(mut self, comm_mode: CommModePolicy) -> Self {
+        self.comm_mode = comm_mode;
+        self
+    }
+
+    /// Builder-style override of the partition strategy.
+    pub fn with_partition(mut self, partition: PartitionStrategy) -> Self {
+        self.partition = partition;
+        self
+    }
+
+    /// Builder-style override of bidirectional dispatch.
+    pub fn with_bidirectional(mut self, b: bool) -> Self {
+        self.bidirectional = b;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        let lazy = EngineConfig::lazygraph();
+        assert_eq!(lazy.engine, EngineKind::LazyBlockAsync);
+        assert!(lazy.splitter.t_extra > 0.0);
+        let sync = EngineConfig::powergraph_sync();
+        assert_eq!(sync.engine, EngineKind::PowerGraphSync);
+        assert_eq!(sync.splitter.t_extra, 0.0, "baselines must not split edges");
+    }
+
+    #[test]
+    fn with_engine_disables_splitter_for_baselines() {
+        let cfg = EngineConfig::lazygraph().with_engine(EngineKind::PowerGraphSync);
+        assert_eq!(cfg.splitter.t_extra, 0.0);
+        let cfg2 = EngineConfig::lazygraph().with_engine(EngineKind::LazyVertexAsync);
+        assert!(cfg2.splitter.t_extra > 0.0);
+    }
+
+    #[test]
+    fn paper_thresholds() {
+        if let IntervalPolicy::Adaptive {
+            ev_threshold,
+            trend_threshold,
+            local_bound_factor,
+        } = IntervalPolicy::paper_adaptive()
+        {
+            assert_eq!(ev_threshold, 10.0);
+            assert_eq!(trend_threshold, 0.07);
+            assert_eq!(local_bound_factor, 3.0);
+        } else {
+            panic!("expected adaptive");
+        }
+    }
+
+    #[test]
+    fn engine_names_unique() {
+        let names = [
+            EngineKind::PowerGraphSync,
+            EngineKind::PowerGraphAsync,
+            EngineKind::LazyBlockAsync,
+            EngineKind::LazyVertexAsync,
+            EngineKind::PowerSwitchHybrid,
+        ]
+        .map(EngineKind::name);
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

@@ -1,0 +1,152 @@
+//! The run driver: partitions the user-view graph, spins up the simulated
+//! cluster, dispatches to the configured engine, and assembles metrics.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use lazygraph_cluster::NetStats;
+use lazygraph_graph::Graph;
+use lazygraph_partition::{partition_graph, DistributedGraph};
+use parking_lot::Mutex;
+
+use crate::async_engine::run_async_engine;
+use crate::hybrid_engine::{run_hybrid_engine, HybridParams};
+use crate::config::{EngineConfig, EngineKind};
+use crate::lazy_block::{run_lazy_block_engine, LazyParams};
+use crate::lazy_vertex::run_lazy_vertex_engine;
+use crate::metrics::{IterationRecord, RunMetrics, SimBreakdown};
+use crate::program::VertexProgram;
+use crate::sync_engine::run_sync_engine;
+
+/// The outcome of [`run`]: final per-vertex values plus metrics.
+pub struct RunResult<P: VertexProgram> {
+    /// Final vertex values, indexed by global vertex id.
+    pub values: Vec<P::VData>,
+    /// Run metrics (simulated time, syncs, traffic, …).
+    pub metrics: RunMetrics,
+}
+
+/// Partitions `graph` over `num_machines` per `cfg` and runs `program` on
+/// the configured engine.
+pub fn run<P: VertexProgram>(
+    graph: &Graph,
+    num_machines: usize,
+    cfg: &EngineConfig,
+    program: &P,
+) -> RunResult<P> {
+    let dg = partition_graph(
+        graph,
+        num_machines,
+        cfg.partition,
+        &cfg.splitter,
+        cfg.bidirectional,
+    );
+    run_on(&dg, cfg, program)
+}
+
+/// Runs on an already-partitioned graph (reuse a placement across engine
+/// comparisons, as the paper does: identical coordinated cut for all
+/// engines).
+pub fn run_on<P: VertexProgram>(
+    dg: &DistributedGraph,
+    cfg: &EngineConfig,
+    program: &P,
+) -> RunResult<P> {
+    let stats = Arc::new(NetStats::new());
+    let breakdown = Arc::new(Mutex::new(SimBreakdown::default()));
+    let history: Arc<Mutex<Vec<IterationRecord>>> = Arc::new(Mutex::new(Vec::new()));
+    let started = Instant::now();
+    let (values, iterations, coherency, subrounds, a2a, m2m, sim_time, converged) =
+        match cfg.engine {
+            EngineKind::PowerGraphSync => {
+                let (values, iters, converged, sim) = run_sync_engine(
+                    dg,
+                    program,
+                    cfg.cost,
+                    cfg.max_iterations,
+                    stats.clone(),
+                    breakdown.clone(),
+                    cfg.record_history.then(|| history.clone()),
+                );
+                (values, iters, 0, 0, 0, 0, sim, converged)
+            }
+            EngineKind::PowerGraphAsync => {
+                let (values, sim) = run_async_engine(dg, program, cfg.cost, stats.clone());
+                (values, 0, 0, 0, 0, 0, sim, true)
+            }
+            EngineKind::LazyBlockAsync => {
+                let params = LazyParams {
+                    cost: cfg.cost,
+                    max_iterations: cfg.max_iterations,
+                    comm_mode: cfg.comm_mode,
+                    interval: cfg.interval,
+                    delta_suppression: cfg.delta_suppression,
+                    record_history: cfg.record_history,
+                };
+                let (values, iters, converged, sim, c) = run_lazy_block_engine(
+                    dg,
+                    program,
+                    params,
+                    stats.clone(),
+                    breakdown.clone(),
+                    history.clone(),
+                );
+                (
+                    values,
+                    iters,
+                    c.coherency_points,
+                    c.local_subrounds,
+                    c.a2a_exchanges,
+                    c.m2m_exchanges,
+                    sim,
+                    converged,
+                )
+            }
+            EngineKind::PowerSwitchHybrid => {
+                let params = HybridParams {
+                    cost: cfg.cost,
+                    max_iterations: cfg.max_iterations,
+                    switch_threshold: cfg.hybrid_switch_threshold,
+                };
+                let (values, supersteps, _switched, sim) = run_hybrid_engine(
+                    dg,
+                    program,
+                    params,
+                    stats.clone(),
+                    breakdown.clone(),
+                );
+                (values, supersteps, 0, 0, 0, 0, sim, true)
+            }
+            EngineKind::LazyVertexAsync => {
+                let (values, sim, c) = run_lazy_vertex_engine(dg, program, cfg.cost, stats.clone());
+                (
+                    values,
+                    0,
+                    c.coherency_points,
+                    c.local_subrounds,
+                    c.a2a_exchanges,
+                    0,
+                    sim,
+                    true,
+                )
+            }
+        };
+    let wall_time = started.elapsed();
+    let metrics = RunMetrics {
+        engine: cfg.engine.name(),
+        algorithm: program.name(),
+        iterations,
+        coherency_points: coherency,
+        local_subrounds: subrounds,
+        a2a_exchanges: a2a,
+        m2m_exchanges: m2m,
+        sim_time,
+        breakdown: *breakdown.lock(),
+        wall_time,
+        stats: stats.snapshot(),
+        converged,
+        lambda: dg.lambda(),
+        history: std::mem::take(&mut history.lock()),
+    };
+    RunResult { values, metrics }
+}

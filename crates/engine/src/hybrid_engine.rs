@@ -1,0 +1,377 @@
+//! A PowerSwitch-style **hybrid** engine (extension; §6 of the paper cites
+//! PowerSwitch's dynamic switching between Sync and Async as the
+//! alternative eager-coherency optimisation).
+//!
+//! The engine runs eager BSP supersteps while the active-vertex fraction is
+//! high (dense phases amortise the barrier cost over much useful work) and
+//! switches to the eager asynchronous mode once the active fraction falls
+//! below a threshold (sparse phases — e.g. an SSSP wavefront or PageRank's
+//! convergence tail — waste almost the whole barrier + collective cost on
+//! a handful of updates). The switch decision comes from the same global
+//! reduction every machine sees, so all machines flip together; once
+//! switched, the run finishes asynchronously (PowerSwitch switches both
+//! ways; sparse phases ending our workloads make the one-way switch the
+//! profitable part).
+//!
+//! Coherency is *eager* in both phases — this engine is a baseline-family
+//! extension, not a lazy engine: it isolates how much of LazyGraph's win
+//! survives when only the Sync/Async choice is optimised.
+
+use std::sync::Arc;
+
+use lazygraph_cluster::{
+    build_mesh, Collective, CostModel, Endpoint, NetStats, Phase, SimClock, Termination,
+};
+use lazygraph_partition::{DistributedGraph, LocalShard};
+use parking_lot::Mutex;
+
+use crate::bsp::{BspReduction, BspSync, CommCharge};
+use crate::metrics::SimBreakdown;
+use crate::program::{EdgeCtx, VertexProgram};
+use crate::state::{vertex_ctx, InitMessages, MachineState};
+use crate::sync_engine::SyncMsg;
+
+/// Tuning of the hybrid switch.
+#[derive(Clone, Copy, Debug)]
+pub struct HybridParams {
+    pub cost: CostModel,
+    pub max_iterations: u64,
+    /// Switch to async once `active vertices / |V| <` this fraction.
+    pub switch_threshold: f64,
+}
+
+struct MachineOut<P: VertexProgram> {
+    masters: Vec<(u32, P::VData)>,
+    sync_supersteps: u64,
+    switched: bool,
+    sim_time: f64,
+}
+
+/// Runs the hybrid engine. Returns `(values, sync supersteps, switched?,
+/// sim time)`.
+pub fn run_hybrid_engine<P: VertexProgram>(
+    dg: &DistributedGraph,
+    program: &P,
+    params: HybridParams,
+    stats: Arc<NetStats>,
+    breakdown: Arc<Mutex<SimBreakdown>>,
+) -> (Vec<P::VData>, u64, bool, f64) {
+    let p = dg.num_machines;
+    let coll = Arc::new(Collective::new(p));
+    let term = Arc::new(Termination::new(p));
+    let endpoints = build_mesh::<(u32, SyncMsg<P>)>(p);
+    let workers: Vec<(&LocalShard, Endpoint<(u32, SyncMsg<P>)>)> =
+        dg.shards.iter().zip(endpoints).collect();
+    let num_vertices = dg.num_global_vertices;
+    let outs = lazygraph_cluster::run_machines(workers, |(shard, ep)| {
+        machine_loop(
+            shard,
+            ep,
+            program,
+            num_vertices,
+            params,
+            coll.clone(),
+            term.clone(),
+            stats.clone(),
+            breakdown.clone(),
+        )
+    });
+    let sim_time = outs.iter().map(|o| o.sim_time).fold(0.0, f64::max);
+    let supersteps = outs[0].sync_supersteps;
+    let switched = outs[0].switched;
+    let mut values: Vec<Option<P::VData>> = vec![None; num_vertices];
+    for out in outs {
+        for (gid, v) in out.masters {
+            values[gid as usize] = Some(v);
+        }
+    }
+    let values = values
+        .into_iter()
+        .enumerate()
+        .map(|(gid, v)| v.unwrap_or_else(|| panic!("vertex {gid} has no master value")))
+        .collect();
+    (values, supersteps, switched, sim_time)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn machine_loop<P: VertexProgram>(
+    shard: &LocalShard,
+    mut ep: Endpoint<(u32, SyncMsg<P>)>,
+    program: &P,
+    num_vertices: usize,
+    params: HybridParams,
+    coll: Arc<Collective>,
+    term: Arc<Termination>,
+    stats: Arc<NetStats>,
+    breakdown: Arc<Mutex<SimBreakdown>>,
+) -> MachineOut<P> {
+    let me = shard.machine.index();
+    let n = coll.num_machines();
+    let mut bsp = BspSync::new(me, coll, stats.clone(), params.cost, breakdown);
+    let mut clock = SimClock::new();
+    let mut state: MachineState<P> =
+        MachineState::init(shard, program, InitMessages::MastersOnly, num_vertices);
+    let delta_bytes = program.delta_bytes();
+    let update_bytes = program.vdata_bytes() + std::mem::size_of::<P::Delta>();
+    let mut scatter_tasks: Vec<(u32, P::Delta)> = Vec::new();
+    let mut master_worklist: Vec<u32> = Vec::new();
+    let mut supersteps = 0u64;
+    let mut switched = false;
+
+    // ---- Phase A: eager BSP supersteps while the frontier is dense. ----
+    'bsp: while supersteps < params.max_iterations {
+        supersteps += 1;
+        // Gather: mirrors forward to masters.
+        let mut outboxes: Vec<Vec<(u32, SyncMsg<P>)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut sent = 0u64;
+        master_worklist.clear();
+        for l in state.take_queue() {
+            if shard.is_master[l as usize] {
+                master_worklist.push(l);
+            } else if let Some(d) = state.message[l as usize].take() {
+                state.active[l as usize] = false;
+                outboxes[shard.master_of[l as usize].index()]
+                    .push((shard.global_of(l).0, SyncMsg::Accum(d)));
+                sent += delta_bytes as u64;
+            } else {
+                state.active[l as usize] = false;
+            }
+        }
+        for batch in ep.exchange(outboxes, clock.now(), Phase::Gather, delta_bytes, &stats) {
+            clock.merge(batch.sent_at);
+            for (gid, msg) in batch.items {
+                if let SyncMsg::Accum(d) = msg {
+                    let l = shard.local_of(gid.into()).expect("accum to non-replica");
+                    state.deliver(program, l, program.gather(gid.into(), d));
+                }
+            }
+        }
+        master_worklist.extend(state.take_queue());
+        bsp.sync(
+            &mut clock,
+            BspReduction {
+                bytes: sent,
+                ..Default::default()
+            },
+            CommCharge::A2A,
+        );
+
+        // Apply at masters + eager broadcast.
+        let mut outboxes: Vec<Vec<(u32, SyncMsg<P>)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut sent = 0u64;
+        let mut applies = 0u64;
+        for &l in &master_worklist {
+            let Some(accum) = state.message[l as usize].take() else {
+                state.active[l as usize] = false;
+                continue;
+            };
+            state.active[l as usize] = false;
+            let v = shard.global_of(l);
+            let ctx = vertex_ctx(shard, l, num_vertices);
+            let d = program.apply(v, &mut state.vdata[l as usize], accum, &ctx);
+            applies += 1;
+            for &m in shard.mirrors[l as usize].iter() {
+                outboxes[m.index()].push((
+                    v.0,
+                    SyncMsg::Update {
+                        data: state.vdata[l as usize].clone(),
+                        scatter: d,
+                    },
+                ));
+                sent += update_bytes as u64;
+            }
+            if let Some(d) = d {
+                scatter_tasks.push((l, d));
+            }
+        }
+        stats.record_applies(applies);
+        clock.advance(params.cost.apply_time(applies));
+        for batch in ep.exchange(outboxes, clock.now(), Phase::Apply, update_bytes, &stats) {
+            clock.merge(batch.sent_at);
+            for (gid, msg) in batch.items {
+                if let SyncMsg::Update { data, scatter } = msg {
+                    let l = shard.local_of(gid.into()).expect("update to non-replica");
+                    state.vdata[l as usize] = data;
+                    if let Some(d) = scatter {
+                        scatter_tasks.push((l, d));
+                    }
+                }
+            }
+        }
+        bsp.sync(
+            &mut clock,
+            BspReduction {
+                bytes: sent,
+                ..Default::default()
+            },
+            CommCharge::A2A,
+        );
+
+        // Scatter locally.
+        let mut edges = 0u64;
+        for (l, d) in scatter_tasks.drain(..) {
+            let v = shard.global_of(l);
+            let ctx = vertex_ctx(shard, l, num_vertices);
+            let data = state.vdata[l as usize].clone();
+            let mut deliveries: Vec<(u32, P::Delta)> = Vec::new();
+            for (tl, weight, _mode) in shard.out_edges(l) {
+                edges += 1;
+                let edge = EdgeCtx {
+                    dst: shard.global_of(tl),
+                    weight,
+                };
+                if let Some(msg) = program.scatter(v, &data, d, &ctx, &edge) {
+                    deliveries.push((tl, msg));
+                }
+            }
+            for (tl, msg) in deliveries {
+                state.deliver(program, tl, msg);
+            }
+        }
+        stats.record_edges(edges);
+        clock.advance(params.cost.compute_time(edges));
+        let red = bsp.sync(
+            &mut clock,
+            BspReduction {
+                pending: state.pending_messages(),
+                ..Default::default()
+            },
+            CommCharge::None,
+        );
+        if red.pending == 0 {
+            break 'bsp; // converged while still synchronous
+        }
+        // The switch: everyone sees the same reduction, so everyone flips
+        // together when the frontier goes sparse.
+        if supersteps >= 2
+            && (red.pending as f64) < params.switch_threshold * num_vertices as f64
+        {
+            switched = true;
+            break 'bsp;
+        }
+    }
+
+    // ---- Phase B: finish asynchronously (eager, no barriers). ----------
+    if switched {
+        let mut idle = false;
+        loop {
+            let mut progressed = false;
+            while let Some(batch) = ep.try_recv() {
+                if idle {
+                    term.leave_idle();
+                    idle = false;
+                }
+                let bytes = batch.items.len() * update_bytes;
+                clock.merge(batch.sent_at + params.cost.async_batch_time(bytes as u64));
+                for (gid, msg) in batch.items {
+                    let l = shard.local_of(gid.into()).expect("async to non-replica");
+                    match msg {
+                        SyncMsg::Accum(d) => {
+                            state.deliver(program, l, program.gather(gid.into(), d));
+                        }
+                        SyncMsg::Update { data, scatter } => {
+                            state.vdata[l as usize] = data;
+                            if let Some(d) = scatter {
+                                scatter_tasks.push((l, d));
+                            }
+                        }
+                    }
+                }
+                term.note_delivered(1);
+                progressed = true;
+            }
+            if !state.queue.is_empty() || !scatter_tasks.is_empty() {
+                if idle {
+                    term.leave_idle();
+                    idle = false;
+                }
+                progressed = true;
+                let mut outboxes: Vec<Vec<(u32, SyncMsg<P>)>> =
+                    (0..n).map(|_| Vec::new()).collect();
+                let mut edges = 0u64;
+                let mut applies = 0u64;
+                for (l, d) in scatter_tasks.drain(..) {
+                    let v = shard.global_of(l);
+                    let ctx = vertex_ctx(shard, l, num_vertices);
+                    let data = state.vdata[l as usize].clone();
+                    let mut deliveries: Vec<(u32, P::Delta)> = Vec::new();
+                    for (tl, weight, _mode) in shard.out_edges(l) {
+                        edges += 1;
+                        let edge = EdgeCtx {
+                            dst: shard.global_of(tl),
+                            weight,
+                        };
+                        if let Some(msg) = program.scatter(v, &data, d, &ctx, &edge) {
+                            deliveries.push((tl, msg));
+                        }
+                    }
+                    for (tl, msg) in deliveries {
+                        state.deliver(program, tl, msg);
+                    }
+                }
+                for l in state.take_queue() {
+                    let Some(accum) = state.message[l as usize].take() else {
+                        state.active[l as usize] = false;
+                        continue;
+                    };
+                    state.active[l as usize] = false;
+                    let gid = shard.global_of(l).0;
+                    if shard.is_master[l as usize] {
+                        let ctx = vertex_ctx(shard, l, num_vertices);
+                        clock.advance(params.cost.async_apply_time());
+                        let d =
+                            program.apply(gid.into(), &mut state.vdata[l as usize], accum, &ctx);
+                        applies += 1;
+                        for &m in shard.mirrors[l as usize].iter() {
+                            outboxes[m.index()].push((
+                                gid,
+                                SyncMsg::Update {
+                                    data: state.vdata[l as usize].clone(),
+                                    scatter: d,
+                                },
+                            ));
+                        }
+                        if let Some(d) = d {
+                            scatter_tasks.push((l, d));
+                        }
+                    } else {
+                        outboxes[shard.master_of[l as usize].index()]
+                            .push((gid, SyncMsg::Accum(accum)));
+                    }
+                }
+                stats.record_edges(edges);
+                stats.record_applies(applies);
+                clock.advance(params.cost.compute_time(edges) + params.cost.apply_time(applies));
+                for (dst, items) in outboxes.into_iter().enumerate() {
+                    if dst == me || items.is_empty() {
+                        continue;
+                    }
+                    term.note_sent(1);
+                    clock.advance(params.cost.async_send_cpu);
+                    ep.send(dst, items, clock.now(), Phase::Async, update_bytes, &stats);
+                }
+            }
+            if !progressed {
+                if !idle {
+                    term.enter_idle();
+                    idle = true;
+                }
+                if term.check() {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    let masters = (0..shard.num_local() as u32)
+        .filter(|&l| shard.is_master[l as usize])
+        .map(|l| (shard.global_of(l).0, state.vdata[l as usize].clone()))
+        .collect();
+    MachineOut {
+        masters,
+        sync_supersteps: supersteps,
+        switched,
+        sim_time: clock.now(),
+    }
+}

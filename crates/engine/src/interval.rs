@@ -1,0 +1,187 @@
+//! The adaptive interval model (§4.2.1): when to turn lazy mode on, and how
+//! long each local computation stage may run.
+//!
+//! The paper trains a decision tree over two features — graph locality
+//! (`E/V`, replication factor) and the algorithm's active-vertex trend —
+//! and reports the learned rule:
+//!
+//! * turn lazy mode on when `E/V ≤ 10 || trend ≥ 0.07`, where
+//!   `trend = (cnt_{t−1} − cnt_t) / cnt_{t−1}` over active-vertex counts at
+//!   successive coherency points (negative trend = ascent phase);
+//! * the first iteration always runs without a local computation stage;
+//! * `T` is collected online as the duration of the run's first local
+//!   computation stage (which runs to local quiescence); every later local
+//!   stage runs no longer than `3·T` (`doLC()`).
+
+use crate::config::IntervalPolicy;
+
+/// Tracks the active-vertex trend and answers `turnOnLazy()` / `doLC()`.
+#[derive(Clone, Debug)]
+pub struct IntervalModel {
+    policy: IntervalPolicy,
+    ev_ratio: f64,
+    prev_active: Option<u64>,
+    last_trend: f64,
+    iterations_seen: u64,
+}
+
+impl IntervalModel {
+    /// A model for one run over a graph with the given `E/V`.
+    pub fn new(policy: IntervalPolicy, ev_ratio: f64) -> Self {
+        IntervalModel {
+            policy,
+            ev_ratio,
+            prev_active: None,
+            last_trend: 0.0,
+            iterations_seen: 0,
+        }
+    }
+
+    /// Records the global active-vertex count observed at a data coherency
+    /// stage and updates the trend.
+    pub fn observe_active(&mut self, count: u64) {
+        if let Some(prev) = self.prev_active {
+            if prev > 0 {
+                self.last_trend = (prev as f64 - count as f64) / prev as f64;
+            }
+        }
+        self.prev_active = Some(count);
+        self.iterations_seen += 1;
+    }
+
+    /// The current trend value (positive = descent part of the algorithm).
+    pub fn trend(&self) -> f64 {
+        self.last_trend
+    }
+
+    /// `turnOnLazy()` — may the engine enter the local computation stage?
+    pub fn turn_on_lazy(&self) -> bool {
+        // The first iteration always runs eagerly (establishes x^(1), Δ^(1)).
+        if self.iterations_seen < 1 {
+            return false;
+        }
+        match self.policy {
+            IntervalPolicy::AlwaysLazy => true,
+            IntervalPolicy::NeverLazy => false,
+            IntervalPolicy::Adaptive {
+                ev_threshold,
+                trend_threshold,
+                ..
+            } => self.ev_ratio <= ev_threshold || self.last_trend >= trend_threshold,
+        }
+    }
+
+    /// `doLC()` — may the current local stage continue? `first_stage` is
+    /// the measured duration `T` of this run's *first* local computation
+    /// stage (`None` while it is still being measured: the first stage
+    /// runs to local quiescence and establishes `T` online, per §4.2.1);
+    /// later stages are bounded by `local_bound_factor · T`.
+    pub fn continue_local_stage(&self, first_stage: Option<f64>, elapsed: f64) -> bool {
+        match self.policy {
+            IntervalPolicy::AlwaysLazy => true,
+            IntervalPolicy::NeverLazy => false,
+            IntervalPolicy::Adaptive {
+                local_bound_factor, ..
+            } => match first_stage {
+                None => true, // first stage: run to local quiescence, measure T
+                Some(t) => elapsed < local_bound_factor * t.max(f64::MIN_POSITIVE),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adaptive() -> IntervalPolicy {
+        IntervalPolicy::paper_adaptive()
+    }
+
+    #[test]
+    fn first_iteration_is_always_eager() {
+        let m = IntervalModel::new(adaptive(), 2.0);
+        assert!(!m.turn_on_lazy(), "paper: first iteration without local stage");
+        let m2 = IntervalModel::new(IntervalPolicy::AlwaysLazy, 2.0);
+        assert!(!m2.turn_on_lazy());
+    }
+
+    #[test]
+    fn good_locality_turns_on_after_first() {
+        // Road graph: E/V ≈ 2.4 ≤ 10 → lazy on regardless of trend.
+        let mut m = IntervalModel::new(adaptive(), 2.4);
+        m.observe_active(1000);
+        assert!(m.turn_on_lazy());
+        // Even in the ascent phase (growing active set → negative trend).
+        m.observe_active(5000);
+        assert!(m.trend() < 0.0);
+        assert!(m.turn_on_lazy());
+    }
+
+    #[test]
+    fn poor_locality_needs_descent() {
+        // Twitter-like: E/V ≈ 24 > 10 → lazy only when trend ≥ 0.07.
+        let mut m = IntervalModel::new(adaptive(), 24.0);
+        m.observe_active(1000);
+        assert!(!m.turn_on_lazy(), "no trend yet");
+        m.observe_active(2000); // ascent
+        assert!(m.trend() < 0.0);
+        assert!(!m.turn_on_lazy());
+        m.observe_active(1000); // sharp descent: trend = 0.5
+        assert!((m.trend() - 0.5).abs() < 1e-12);
+        assert!(m.turn_on_lazy());
+    }
+
+    #[test]
+    fn shallow_descent_below_threshold_stays_eager() {
+        let mut m = IntervalModel::new(adaptive(), 24.0);
+        m.observe_active(1000);
+        m.observe_active(950); // trend = 0.05 < 0.07
+        assert!(!m.turn_on_lazy());
+        m.observe_active(870); // trend ≈ 0.084 ≥ 0.07
+        assert!(m.turn_on_lazy());
+    }
+
+    #[test]
+    fn local_stage_bound_is_3t() {
+        let m = IntervalModel::new(adaptive(), 2.0);
+        let t = Some(0.010);
+        assert!(m.continue_local_stage(t, 0.0));
+        assert!(m.continue_local_stage(t, 0.029));
+        assert!(!m.continue_local_stage(t, 0.030));
+        assert!(!m.continue_local_stage(t, 1.0));
+    }
+
+    #[test]
+    fn first_stage_is_unbounded() {
+        let m = IntervalModel::new(adaptive(), 2.0);
+        assert!(m.continue_local_stage(None, 1.0e9));
+    }
+
+    #[test]
+    fn always_lazy_never_bounds() {
+        let m = IntervalModel::new(IntervalPolicy::AlwaysLazy, 50.0);
+        assert!(m.continue_local_stage(Some(0.001), 1.0e9));
+        let mut m2 = m.clone();
+        m2.observe_active(10);
+        assert!(m2.turn_on_lazy());
+    }
+
+    #[test]
+    fn never_lazy_never_enters() {
+        let mut m = IntervalModel::new(IntervalPolicy::NeverLazy, 2.0);
+        m.observe_active(10);
+        m.observe_active(1);
+        assert!(!m.turn_on_lazy());
+        assert!(!m.continue_local_stage(Some(1.0), 0.0));
+    }
+
+    #[test]
+    fn trend_handles_zero_prev() {
+        let mut m = IntervalModel::new(adaptive(), 24.0);
+        m.observe_active(0);
+        m.observe_active(100);
+        // prev == 0: trend untouched, no division by zero.
+        assert_eq!(m.trend(), 0.0);
+    }
+}

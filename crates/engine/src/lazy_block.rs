@@ -1,0 +1,548 @@
+//! The **LazyBlockAsync** engine — the paper's Algorithm 1 and LazyGraph's
+//! production engine.
+//!
+//! Execution alternates two stages:
+//!
+//! * **Local computation stage** (while `doLC()` allows): replicas apply
+//!   pending messages and scatter along *local* edges only. Messages
+//!   received over one-edge-mode edges are additionally folded into
+//!   `deltaMsg` for the next coherency point; parallel-edges deliveries are
+//!   not (every sibling receives them locally). No communication, no
+//!   synchronisation.
+//! * **Data coherency stage**: replicas exchange `deltaMsg` (all-to-all or
+//!   mirrors-to-master, chosen dynamically per §4.2.2), then everyone
+//!   applies the merged remote deltas — computation, not broadcast,
+//!   restores the shared global view (§3.2). One barrier carries the
+//!   termination vote and clock synchronisation.
+//!
+//! `turnOnLazy()` and the `3T` local-stage bound implement the adaptive
+//! interval model (§4.2.1); the first iteration always runs without a
+//! local stage.
+
+use std::sync::Arc;
+
+use lazygraph_cluster::{build_mesh, Collective, CostModel, Endpoint, NetStats, Phase, SimClock};
+use lazygraph_graph::hash::FxHashMap;
+use lazygraph_partition::{DistributedGraph, EdgeMode, LocalShard};
+use parking_lot::Mutex;
+
+use crate::bsp::{BspReduction, BspSync, CommCharge};
+use crate::comm_mode::{choose_mode, CommMode, VolumeEstimate};
+use crate::config::{CommModePolicy, IntervalPolicy};
+use crate::interval::IntervalModel;
+use crate::metrics::{IterationRecord, SimBreakdown};
+use crate::program::{DeltaExchange, EdgeCtx, VertexProgram};
+use crate::state::{vertex_ctx, InitMessages, MachineState};
+
+/// Aggregated lazy-engine counters (identical on every machine except
+/// `local_subrounds`, which is summed by the driver).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LazyCounters {
+    pub coherency_points: u64,
+    pub local_subrounds: u64,
+    pub a2a_exchanges: u64,
+    pub m2m_exchanges: u64,
+}
+
+struct MachineOut<P: VertexProgram> {
+    masters: Vec<(u32, P::VData)>,
+    iterations: u64,
+    converged: bool,
+    sim_time: f64,
+    counters: LazyCounters,
+}
+
+/// Configuration slice the lazy engine needs.
+#[derive(Clone, Copy, Debug)]
+pub struct LazyParams {
+    pub cost: CostModel,
+    pub max_iterations: u64,
+    pub comm_mode: CommModePolicy,
+    pub interval: IntervalPolicy,
+    /// Consult [`VertexProgram::exchange_policy`] before shipping deltas
+    /// (on by default; disable to measure the paper's literal
+    /// ship-everything protocol in ablations).
+    pub delta_suppression: bool,
+    /// Record a per-iteration trace on machine 0.
+    pub record_history: bool,
+}
+
+/// Runs LazyBlockAsync to convergence.
+pub fn run_lazy_block_engine<P: VertexProgram>(
+    dg: &DistributedGraph,
+    program: &P,
+    params: LazyParams,
+    stats: Arc<NetStats>,
+    breakdown: Arc<Mutex<SimBreakdown>>,
+    history: Arc<Mutex<Vec<IterationRecord>>>,
+) -> (Vec<P::VData>, u64, bool, f64, LazyCounters) {
+    let p = dg.num_machines;
+    let coll = Arc::new(Collective::new(p));
+    let endpoints = build_mesh::<(u32, P::Delta)>(p);
+    let workers: Vec<(usize, &LocalShard, Endpoint<(u32, P::Delta)>)> = dg
+        .shards
+        .iter()
+        .enumerate()
+        .zip(endpoints)
+        .map(|((i, shard), ep)| (i, shard, ep))
+        .collect();
+    let num_vertices = dg.num_global_vertices;
+    let ev_ratio = dg.ev_ratio;
+    let outs = lazygraph_cluster::run_machines(workers, |(me, shard, ep)| {
+        machine_loop(
+            me,
+            shard,
+            ep,
+            program,
+            num_vertices,
+            ev_ratio,
+            params,
+            coll.clone(),
+            stats.clone(),
+            breakdown.clone(),
+            history.clone(),
+        )
+    });
+    let iterations = outs[0].iterations;
+    let converged = outs[0].converged;
+    let sim_time = outs.iter().map(|o| o.sim_time).fold(0.0, f64::max);
+    let mut counters = outs[0].counters;
+    counters.local_subrounds = outs.iter().map(|o| o.counters.local_subrounds).sum();
+    let mut values: Vec<Option<P::VData>> = vec![None; num_vertices];
+    for out in outs {
+        for (gid, v) in out.masters {
+            values[gid as usize] = Some(v);
+        }
+    }
+    let values = values
+        .into_iter()
+        .enumerate()
+        .map(|(gid, v)| v.unwrap_or_else(|| panic!("vertex {gid} has no master value")))
+        .collect();
+    (values, iterations, converged, sim_time, counters)
+}
+
+/// Applies `message[l]`, returning the scatter delta if the program
+/// activated neighbours. Returns `(applied?, Option<delta>)`.
+#[inline]
+pub(crate) fn apply_only<P: VertexProgram>(
+    shard: &LocalShard,
+    state: &mut MachineState<P>,
+    program: &P,
+    num_vertices: usize,
+    l: u32,
+) -> (bool, Option<P::Delta>) {
+    let Some(accum) = state.message[l as usize].take() else {
+        state.active[l as usize] = false;
+        return (false, None);
+    };
+    state.active[l as usize] = false;
+    let v = shard.global_of(l);
+    let ctx = vertex_ctx(shard, l, num_vertices);
+    let d = program.apply(v, &mut state.vdata[l as usize], accum, &ctx);
+    (true, d)
+}
+
+/// Scatters delta `d` of local vertex `l` along its local out-edges;
+/// one-edge-mode deliveries are folded into the target's `deltaMsg` when
+/// the target has remote siblings. Returns edges traversed.
+#[inline]
+pub(crate) fn scatter_only<P: VertexProgram>(
+    shard: &LocalShard,
+    state: &mut MachineState<P>,
+    program: &P,
+    num_vertices: usize,
+    l: u32,
+    d: P::Delta,
+) -> u64 {
+    let v = shard.global_of(l);
+    let ctx = vertex_ctx(shard, l, num_vertices);
+    let mut edges = 0u64;
+    // Collect first: scatter reads vdata[l] while deliveries mutate state.
+    let data = state.vdata[l as usize].clone();
+    let mut deliveries: Vec<(u32, P::Delta, EdgeMode)> = Vec::new();
+    for (tl, weight, mode) in shard.out_edges(l) {
+        edges += 1;
+        let edge = EdgeCtx {
+            dst: shard.global_of(tl),
+            weight,
+        };
+        if let Some(msg) = program.scatter(v, &data, d, &ctx, &edge) {
+            deliveries.push((tl, msg, mode));
+        }
+    }
+    for (tl, msg, mode) in deliveries {
+        state.deliver(program, tl, msg);
+        if mode == EdgeMode::OneEdge && shard.has_mirrors(tl) {
+            state.accumulate_delta(program, tl, msg);
+        }
+    }
+    edges
+}
+
+/// Applies `message[l]` and scatters along local out-edges (the local
+/// computation stage's chained form). Returns `(edges traversed, applied?)`.
+#[inline]
+pub(crate) fn apply_and_scatter<P: VertexProgram>(
+    shard: &LocalShard,
+    state: &mut MachineState<P>,
+    program: &P,
+    num_vertices: usize,
+    l: u32,
+) -> (u64, bool) {
+    let (applied, d) = apply_only(shard, state, program, num_vertices, l);
+    let edges = match d {
+        Some(d) => scatter_only(shard, state, program, num_vertices, l, d),
+        None => 0,
+    };
+    (edges, applied)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn machine_loop<P: VertexProgram>(
+    me: usize,
+    shard: &LocalShard,
+    mut ep: Endpoint<(u32, P::Delta)>,
+    program: &P,
+    num_vertices: usize,
+    ev_ratio: f64,
+    params: LazyParams,
+    coll: Arc<Collective>,
+    stats: Arc<NetStats>,
+    breakdown: Arc<Mutex<SimBreakdown>>,
+    history: Arc<Mutex<Vec<IterationRecord>>>,
+) -> MachineOut<P> {
+    let n = coll.num_machines();
+    let mut bsp = BspSync::new(me, coll, stats.clone(), params.cost, breakdown);
+    let mut clock = SimClock::new();
+    let mut state: MachineState<P> =
+        MachineState::init(shard, program, InitMessages::AllReplicas, num_vertices);
+    let mut interval = IntervalModel::new(params.interval, ev_ratio);
+    let delta_bytes = program.delta_bytes();
+    let mut counters = LazyCounters::default();
+    let mut do_local = false;
+    let mut iterations = 0u64;
+    let mut converged = false;
+    // Duration T of the first local computation stage (§4.2.1's doLC bound).
+    let mut first_stage_time: Option<f64> = None;
+    // Comm mode decided from the previous coherency point's volume
+    // estimates (one-round lag keeps the coherency stage at exactly one
+    // global synchronisation, as in the paper's Fig. 1(c)).
+    let mut next_mode = CommMode::AllToAll;
+
+    while iterations < params.max_iterations {
+        iterations += 1;
+        let subrounds_at_round_start = counters.local_subrounds;
+
+        // ---- Stage 1: local computation. --------------------------------
+        if do_local {
+            let stage_start = clock.now();
+            loop {
+                let mut queue = state.take_queue();
+                if queue.is_empty() {
+                    break;
+                }
+                // Canonical processing order: exchange batches arrive in
+                // nondeterministic interleavings, and the apply order
+                // decides which sub-round a scattered message lands in.
+                // Sorting makes the whole BSP engine bit-deterministic.
+                queue.sort_unstable();
+                let mut edges = 0u64;
+                let mut applies = 0u64;
+                for l in queue {
+                    let (e, applied) = apply_and_scatter(shard, &mut state, program, num_vertices, l);
+                    edges += e;
+                    applies += applied as u64;
+                }
+                stats.record_edges(edges);
+                stats.record_applies(applies);
+                clock.advance(params.cost.compute_time(edges) + params.cost.apply_time(applies));
+                counters.local_subrounds += 1;
+                if !interval.continue_local_stage(first_stage_time, clock.now() - stage_start) {
+                    break;
+                }
+            }
+            // Record T online: the duration of this run's first local stage.
+            if first_stage_time.is_none() {
+                first_stage_time = Some(clock.now() - stage_start);
+            }
+        }
+
+        // ---- Stage 2: data coherency. ------------------------------------
+        // Local volume-estimate partials (§4.2.2 formulas), computed from
+        // the deltas about to be exchanged; the summed estimates decide the
+        // *next* coherency point's mode (one-round lag, one sync per point).
+        let mut est = VolumeEstimate::default();
+        for l in 0..shard.num_local() {
+            if shard.mirrors[l].is_empty() {
+                continue;
+            }
+            if let Some(d) = &state.delta_msg[l] {
+                if params.delta_suppression
+                    && program.exchange_policy(&state.coherent[l], d) != DeltaExchange::Send
+                {
+                    continue;
+                }
+                est.add_holder(shard.mirrors[l].len(), shard.is_master[l], delta_bytes);
+            }
+        }
+        let mode = match params.comm_mode {
+            CommModePolicy::AllToAll => CommMode::AllToAll,
+            CommModePolicy::MirrorsToMaster => CommMode::MirrorsToMaster,
+            CommModePolicy::Auto => next_mode,
+        };
+        let sent_bytes = match mode {
+            CommMode::AllToAll => {
+                counters.a2a_exchanges += 1;
+                exchange_a2a(
+                    shard,
+                    &mut state,
+                    program,
+                    &mut ep,
+                    &clock,
+                    &stats,
+                    n,
+                    params.delta_suppression,
+                )
+            }
+            CommMode::MirrorsToMaster => {
+                counters.m2m_exchanges += 1;
+                exchange_m2m(
+                    shard,
+                    &mut state,
+                    program,
+                    &mut ep,
+                    &clock,
+                    &stats,
+                    n,
+                    params.delta_suppression,
+                )
+            }
+        };
+        counters.coherency_points += 1;
+        let charge = match mode {
+            CommMode::AllToAll => CommCharge::A2A,
+            CommMode::MirrorsToMaster => CommCharge::M2M,
+        };
+        let red = bsp.sync(
+            &mut clock,
+            BspReduction {
+                bytes: sent_bytes,
+                pending: state.pending_messages(),
+                est,
+                ..Default::default()
+            },
+            charge,
+        );
+        next_mode = choose_mode(&params.cost, red.est);
+        if me == 0 && params.record_history {
+            history.lock().push(IterationRecord {
+                iteration: iterations,
+                pending: red.pending,
+                bytes: red.bytes,
+                lazy_on: do_local,
+                local_subrounds: counters.local_subrounds - subrounds_at_round_start,
+                used_m2m: mode == CommMode::MirrorsToMaster,
+                sim_time: clock.now(),
+            });
+        }
+        if red.pending == 0 {
+            converged = true;
+            break;
+        }
+        interval.observe_active(red.pending);
+        if !do_local && interval.turn_on_lazy() {
+            do_local = true;
+        }
+
+        // ---- Data coherency point: apply merged views, then scatter. -----
+        // Two phases: every apply must see only exchange-time messages, so
+        // the `coherent` snapshot records a view every replica provably
+        // shares. Interleaving scatters would let same-drain local
+        // deliveries (which siblings have not yet received) leak into the
+        // snapshot and later suppress their own exchange.
+        let mut queue = state.take_queue();
+        queue.sort_unstable();
+        let mut edges = 0u64;
+        let mut applies = 0u64;
+        let mut emissions: Vec<(u32, P::Delta)> = Vec::new();
+        for l in queue {
+            let (applied, d) = apply_only(shard, &mut state, program, num_vertices, l);
+            applies += applied as u64;
+            if applied {
+                // The new common view (exact for Send/Drop policies;
+                // within the program's tolerance for Defer).
+                state.coherent[l as usize] = state.vdata[l as usize].clone();
+            }
+            if let Some(d) = d {
+                emissions.push((l, d));
+            }
+        }
+        for (l, d) in emissions {
+            edges += scatter_only(shard, &mut state, program, num_vertices, l, d);
+        }
+        stats.record_edges(edges);
+        stats.record_applies(applies);
+        clock.advance(params.cost.compute_time(edges) + params.cost.apply_time(applies));
+    }
+
+    let masters = (0..shard.num_local() as u32)
+        .filter(|&l| shard.is_master[l as usize])
+        .map(|l| (shard.global_of(l).0, state.vdata[l as usize].clone()))
+        .collect();
+    MachineOut {
+        masters,
+        iterations,
+        converged,
+        sim_time: clock.now(),
+        counters,
+    }
+}
+
+/// All-to-all deltaMsg exchange (Fig. 5(a)): every delta-holding replica
+/// sends its delta straight to every sibling. Returns bytes sent locally.
+#[allow(clippy::too_many_arguments)]
+fn exchange_a2a<P: VertexProgram>(
+    shard: &LocalShard,
+    state: &mut MachineState<P>,
+    program: &P,
+    ep: &mut Endpoint<(u32, P::Delta)>,
+    clock: &SimClock,
+    stats: &NetStats,
+    n: usize,
+    suppression: bool,
+) -> u64 {
+    let delta_bytes = program.delta_bytes();
+    let mut outboxes: Vec<Vec<(u32, P::Delta)>> = (0..n).map(|_| Vec::new()).collect();
+    let mut sent = 0u64;
+    for l in 0..shard.num_local() {
+        if shard.mirrors[l].is_empty() {
+            continue;
+        }
+        let Some(d) = &state.delta_msg[l] else { continue };
+        if suppression {
+            match program.exchange_policy(&state.coherent[l], d) {
+                DeltaExchange::Send => {}
+                DeltaExchange::Drop => {
+                    state.delta_msg[l] = None;
+                    continue;
+                }
+                DeltaExchange::Defer => continue,
+            }
+        }
+        if let Some(d) = state.delta_msg[l].take() {
+            let gid = shard.global_of(l as u32).0;
+            for &m in shard.mirrors[l].iter() {
+                outboxes[m.index()].push((gid, d));
+                sent += delta_bytes as u64;
+            }
+        }
+    }
+    let received = ep.exchange(outboxes, clock.now(), Phase::Coherency, delta_bytes, stats);
+    for batch in received {
+        for (gid, d) in batch.items {
+            let l = shard
+                .local_of(gid.into())
+                .expect("delta routed to non-replica");
+            state.deliver(program, l, program.gather(gid.into(), d));
+        }
+    }
+    sent
+}
+
+/// Mirrors-to-master deltaMsg exchange (Fig. 5(b)): mirrors send up, the
+/// master combines with `Sum`, broadcasts the combined delta, and every
+/// replica removes its own contribution with `Inverse`. Returns bytes sent
+/// locally (both hops).
+#[allow(clippy::too_many_arguments)]
+fn exchange_m2m<P: VertexProgram>(
+    shard: &LocalShard,
+    state: &mut MachineState<P>,
+    program: &P,
+    ep: &mut Endpoint<(u32, P::Delta)>,
+    clock: &SimClock,
+    stats: &NetStats,
+    n: usize,
+    suppression: bool,
+) -> u64 {
+    let delta_bytes = program.delta_bytes();
+    let mut sent = 0u64;
+    // Own contributions, saved for the Inverse step.
+    let mut own: FxHashMap<u32, P::Delta> = FxHashMap::default();
+    // Hop 1: mirrors → master.
+    let mut outboxes: Vec<Vec<(u32, P::Delta)>> = (0..n).map(|_| Vec::new()).collect();
+    let mut totals: FxHashMap<u32, P::Delta> = FxHashMap::default();
+    for l in 0..shard.num_local() {
+        if shard.mirrors[l].is_empty() {
+            continue;
+        }
+        if suppression {
+            if let Some(d) = &state.delta_msg[l] {
+                match program.exchange_policy(&state.coherent[l], d) {
+                    DeltaExchange::Send => {}
+                    DeltaExchange::Drop => {
+                        state.delta_msg[l] = None;
+                        continue;
+                    }
+                    DeltaExchange::Defer => continue,
+                }
+            }
+        }
+        if let Some(d) = state.delta_msg[l].take() {
+            let gid = shard.global_of(l as u32).0;
+            own.insert(gid, d);
+            if shard.is_master[l] {
+                totals.insert(gid, d);
+            } else {
+                outboxes[shard.master_of[l].index()].push((gid, d));
+                sent += delta_bytes as u64;
+            }
+        }
+    }
+    let received = ep.exchange(outboxes, clock.now(), Phase::Coherency, delta_bytes, stats);
+    for batch in received {
+        for (gid, d) in batch.items {
+            totals
+                .entry(gid)
+                .and_modify(|t| *t = program.sum(*t, d))
+                .or_insert(d);
+        }
+    }
+    // Hop 2: master → mirrors (combined delta), plus local master handling.
+    let mut outboxes: Vec<Vec<(u32, P::Delta)>> = (0..n).map(|_| Vec::new()).collect();
+    let mut local_apply: Vec<(u32, P::Delta)> = Vec::new();
+    for (&gid, &total) in &totals {
+        let l = shard
+            .local_of(gid.into())
+            .expect("totals key must be local");
+        debug_assert!(shard.is_master[l as usize], "hop-1 routed to non-master");
+        for &m in shard.mirrors[l as usize].iter() {
+            outboxes[m.index()].push((gid, total));
+            sent += delta_bytes as u64;
+        }
+        local_apply.push((gid, total));
+    }
+    let received = ep.exchange(outboxes, clock.now(), Phase::Coherency, delta_bytes, stats);
+    for batch in received {
+        local_apply.extend(batch.items);
+    }
+    for (gid, total) in local_apply {
+        let l = shard
+            .local_of(gid.into())
+            .expect("combined delta routed to non-replica");
+        let others = match own.get(&gid) {
+            Some(&mine) => {
+                if mine == total {
+                    // This replica contributed everything; nothing remote
+                    // to merge (exact for additive ⊕, harmless no-op skip
+                    // for idempotent ⊕).
+                    continue;
+                }
+                program.inverse(total, mine)
+            }
+            None => total,
+        };
+        state.deliver(program, l, program.gather(gid.into(), others));
+    }
+    sent
+}

@@ -1,0 +1,208 @@
+//! The **LazyVertexAsync** engine — the paper's Algorithm 2.
+//!
+//! The paper describes this engine but left its implementation to future
+//! work ("LazyGraph ... will implement LazyVertexAsync engine based on the
+//! Async engine in the future", §4); this module is the corresponding
+//! extension deliverable. There is no global barrier: each machine runs
+//! local computation continuously and initiates a data coherency exchange
+//! when its local worklist drains (`needDataCoherency` evaluated at machine
+//! granularity — the natural point at which every locally reachable update
+//! has been absorbed). Updated global views become visible to neighbours as
+//! soon as the deltas arrive, emphasising convergence speed over batching.
+//!
+//! Coherency exchanges use the all-to-all shape (delta straight to every
+//! sibling replica) since without barriers there is no collective at which
+//! a master could combine contributions.
+
+use std::sync::Arc;
+
+use lazygraph_cluster::{
+    build_mesh, CostModel, Endpoint, NetStats, Phase, SimClock, Termination,
+};
+use lazygraph_partition::{DistributedGraph, LocalShard};
+
+use crate::lazy_block::LazyCounters;
+use crate::program::{DeltaExchange, VertexProgram};
+use crate::state::{InitMessages, MachineState};
+
+struct MachineOut<P: VertexProgram> {
+    masters: Vec<(u32, P::VData)>,
+    sim_time: f64,
+    counters: LazyCounters,
+}
+
+/// Runs LazyVertexAsync to quiescence.
+pub fn run_lazy_vertex_engine<P: VertexProgram>(
+    dg: &DistributedGraph,
+    program: &P,
+    cost: CostModel,
+    stats: Arc<NetStats>,
+) -> (Vec<P::VData>, f64, LazyCounters) {
+    let p = dg.num_machines;
+    let endpoints = build_mesh::<(u32, P::Delta)>(p);
+    let term = Arc::new(Termination::new(p));
+    let workers: Vec<(&LocalShard, Endpoint<(u32, P::Delta)>)> =
+        dg.shards.iter().zip(endpoints).collect();
+    let num_vertices = dg.num_global_vertices;
+    let outs = lazygraph_cluster::run_machines(workers, |(shard, ep)| {
+        machine_loop(
+            shard,
+            ep,
+            program,
+            num_vertices,
+            cost,
+            term.clone(),
+            stats.clone(),
+        )
+    });
+    let sim_time = outs.iter().map(|o| o.sim_time).fold(0.0, f64::max);
+    let mut counters = LazyCounters::default();
+    for o in &outs {
+        counters.coherency_points += o.counters.coherency_points;
+        counters.local_subrounds += o.counters.local_subrounds;
+        counters.a2a_exchanges += o.counters.a2a_exchanges;
+    }
+    let mut values: Vec<Option<P::VData>> = vec![None; num_vertices];
+    for out in outs {
+        for (gid, v) in out.masters {
+            values[gid as usize] = Some(v);
+        }
+    }
+    let values = values
+        .into_iter()
+        .enumerate()
+        .map(|(gid, v)| v.unwrap_or_else(|| panic!("vertex {gid} has no master value")))
+        .collect();
+    (values, sim_time, counters)
+}
+
+fn machine_loop<P: VertexProgram>(
+    shard: &LocalShard,
+    mut ep: Endpoint<(u32, P::Delta)>,
+    program: &P,
+    num_vertices: usize,
+    cost: CostModel,
+    term: Arc<Termination>,
+    stats: Arc<NetStats>,
+) -> MachineOut<P> {
+    let n = ep.num_machines();
+    let mut clock = SimClock::new();
+    let mut state: MachineState<P> =
+        MachineState::init(shard, program, InitMessages::AllReplicas, num_vertices);
+    let delta_bytes = program.delta_bytes();
+    let mut counters = LazyCounters::default();
+    let mut idle = false;
+
+    loop {
+        let mut progressed = false;
+
+        // ---- Absorb remote deltas. ---------------------------------------
+        while let Some(batch) = ep.try_recv() {
+            if idle {
+                term.leave_idle();
+                idle = false;
+            }
+            let bytes = batch.items.len() * delta_bytes;
+            clock.merge(batch.sent_at + cost.async_batch_time(bytes as u64));
+            for (gid, d) in batch.items {
+                let l = shard
+                    .local_of(gid.into())
+                    .expect("delta routed to non-replica");
+                state.deliver(program, l, program.gather(gid.into(), d));
+            }
+            term.note_delivered(1);
+            progressed = true;
+        }
+
+        // ---- Stage 1: local computation while the worklist has entries. --
+        if !state.queue.is_empty() {
+            if idle {
+                term.leave_idle();
+                idle = false;
+            }
+            progressed = true;
+            let queue = state.take_queue();
+            let mut edges = 0u64;
+            let mut applies = 0u64;
+            for l in queue {
+                let (e, applied) = crate::lazy_block::apply_and_scatter(
+                    shard,
+                    &mut state,
+                    program,
+                    num_vertices,
+                    l,
+                );
+                edges += e;
+                applies += applied as u64;
+            }
+            stats.record_edges(edges);
+            stats.record_applies(applies);
+            clock.advance(cost.compute_time(edges) + cost.apply_time(applies));
+            counters.local_subrounds += 1;
+        } else {
+            // ---- Stage 2: needDataCoherency — flush accumulated deltas. --
+            let mut outboxes: Vec<Vec<(u32, P::Delta)>> = (0..n).map(|_| Vec::new()).collect();
+            let mut any = false;
+            for l in 0..shard.num_local() {
+                if shard.mirrors[l].is_empty() {
+                    continue;
+                }
+                if let Some(d) = &state.delta_msg[l] {
+                    match program.exchange_policy(&state.coherent[l], d) {
+                        DeltaExchange::Send => {}
+                        DeltaExchange::Drop => {
+                            state.delta_msg[l] = None;
+                            continue;
+                        }
+                        DeltaExchange::Defer => continue,
+                    }
+                }
+                if let Some(d) = state.delta_msg[l].take() {
+                    any = true;
+                    let gid = shard.global_of(l as u32).0;
+                    for &m in shard.mirrors[l].iter() {
+                        outboxes[m.index()].push((gid, d));
+                    }
+                }
+            }
+            if any {
+                if idle {
+                    term.leave_idle();
+                    idle = false;
+                }
+                progressed = true;
+                counters.coherency_points += 1;
+                counters.a2a_exchanges += 1;
+                for (dst, items) in outboxes.into_iter().enumerate() {
+                    if dst == shard.machine.index() || items.is_empty() {
+                        continue;
+                    }
+                    term.note_sent(1);
+                    clock.advance(cost.async_send_cpu);
+                    ep.send(dst, items, clock.now(), Phase::Coherency, delta_bytes, &stats);
+                }
+            }
+        }
+
+        if !progressed {
+            if !idle {
+                term.enter_idle();
+                idle = true;
+            }
+            if term.check() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    let masters = (0..shard.num_local() as u32)
+        .filter(|&l| shard.is_master[l as usize])
+        .map(|l| (shard.global_of(l).0, state.vdata[l as usize].clone()))
+        .collect();
+    MachineOut {
+        masters,
+        sim_time: clock.now(),
+        counters,
+    }
+}

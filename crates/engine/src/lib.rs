@@ -1,0 +1,33 @@
+//! # lazygraph-engine
+//!
+//! The execution engines of the LazyGraph reproduction: the push-style
+//! delta [`VertexProgram`] abstraction (§3.1), the PowerGraph **Sync** and
+//! **Async** baselines with eager replica coherency (§2.2), and the two
+//! LazyAsync engines — [`lazy_block`] (Algorithm 1, LazyGraph's production
+//! engine) and [`lazy_vertex`] (Algorithm 2, the paper's future-work engine,
+//! built here as an extension) — together with the graph-aware
+//! optimisations: the adaptive interval model (§4.2.1) and dynamic
+//! all-to-all / mirrors-to-master switching (§4.2.2).
+//!
+//! Entry point: [`run`] (or [`run_on`] to reuse a placement).
+
+pub mod async_engine;
+pub mod bsp;
+pub mod comm_mode;
+pub mod config;
+pub mod driver;
+pub mod hybrid_engine;
+pub mod interval;
+pub mod lazy_block;
+pub mod lazy_vertex;
+pub mod metrics;
+pub mod program;
+pub mod state;
+pub mod sync_engine;
+
+pub use comm_mode::{choose_mode, CommMode, VolumeEstimate};
+pub use config::{CommModePolicy, EngineConfig, EngineKind, IntervalPolicy};
+pub use driver::{run, run_on, RunResult};
+pub use interval::IntervalModel;
+pub use metrics::{RunMetrics, SimBreakdown};
+pub use program::{EdgeCtx, VertexCtx, VertexProgram};

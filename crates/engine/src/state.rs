@@ -1,0 +1,253 @@
+//! Per-machine replica state: the runtime variables §3.2 lists for every
+//! replica — `vdata[v]`, `message[v]`, `deltaMsg[v]`, `isActive[v]` (the
+//! replica/master topology lives in the shard itself).
+
+use lazygraph_partition::LocalShard;
+
+use crate::program::{VertexCtx, VertexProgram};
+
+/// Which replicas receive the program's initial messages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InitMessages {
+    /// Lazy engines: every replica applies the initial message locally
+    /// (each replica scatters along its own local edges, covering every
+    /// edge exactly once).
+    AllReplicas,
+    /// Eager engines: apply happens at masters only, so only masters are
+    /// pre-loaded.
+    MastersOnly,
+}
+
+/// The mutable vertex arrays of one machine.
+pub struct MachineState<P: VertexProgram> {
+    /// Local view of the vertex value, per local replica.
+    pub vdata: Vec<P::VData>,
+    /// Replica value as of the last data coherency point — the common view
+    /// all replicas shared there; used by delta-suppression policies.
+    pub coherent: Vec<P::VData>,
+    /// Pending gathered messages (`message[v]`).
+    pub message: Vec<Option<P::Delta>>,
+    /// Delta accumulated from local one-edge-mode receipts since the last
+    /// coherency point (`deltaMsg[v]`).
+    pub delta_msg: Vec<Option<P::Delta>>,
+    /// Activation flag (`isActive[v]`), guarding `queue` membership.
+    pub active: Vec<bool>,
+    /// Worklist of active local vertices.
+    pub queue: Vec<u32>,
+}
+
+impl<P: VertexProgram> MachineState<P> {
+    /// Initialises all local replicas: `vdata` from `initData` and the
+    /// worklist from `initMsg` per the engine's [`InitMessages`] policy.
+    pub fn init(
+        shard: &LocalShard,
+        program: &P,
+        init: InitMessages,
+        num_vertices: usize,
+    ) -> Self {
+        let n = shard.num_local();
+        let mut vdata = Vec::with_capacity(n);
+        let mut message = Vec::with_capacity(n);
+        let mut active = vec![false; n];
+        let mut queue = Vec::new();
+        for l in 0..n as u32 {
+            let v = shard.global_of(l);
+            let ctx = vertex_ctx(shard, l, num_vertices);
+            vdata.push(program.init_data(v, &ctx));
+            let eligible = match init {
+                InitMessages::AllReplicas => true,
+                InitMessages::MastersOnly => shard.is_master[l as usize],
+            };
+            let msg = if eligible {
+                program.init_message(v, &ctx)
+            } else {
+                None
+            };
+            if msg.is_some() {
+                active[l as usize] = true;
+                queue.push(l);
+            }
+            message.push(msg);
+        }
+        let coherent = vdata.clone();
+        MachineState {
+            vdata,
+            coherent,
+            message,
+            delta_msg: vec![None; n],
+            active,
+            queue,
+        }
+    }
+
+    /// Accumulates `d` into `message[l]` and activates `l` if quiet.
+    #[inline]
+    pub fn deliver(&mut self, program: &P, l: u32, d: P::Delta) {
+        let slot = &mut self.message[l as usize];
+        *slot = Some(match slot.take() {
+            Some(prev) => program.sum(prev, d),
+            None => d,
+        });
+        if !self.active[l as usize] {
+            self.active[l as usize] = true;
+            self.queue.push(l);
+        }
+    }
+
+    /// Accumulates `d` into `deltaMsg[l]` (one-edge-mode receipt awaiting
+    /// the next coherency point).
+    #[inline]
+    pub fn accumulate_delta(&mut self, program: &P, l: u32, d: P::Delta) {
+        let slot = &mut self.delta_msg[l as usize];
+        *slot = Some(match slot.take() {
+            Some(prev) => program.sum(prev, d),
+            None => d,
+        });
+    }
+
+    /// Number of local replicas with a pending message.
+    pub fn pending_messages(&self) -> u64 {
+        self.message.iter().filter(|m| m.is_some()).count() as u64
+    }
+
+    /// Takes the current worklist, leaving an empty one (one sub-round).
+    pub fn take_queue(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.queue)
+    }
+}
+
+/// Builds the [`VertexCtx`] of local vertex `l` from shard metadata.
+#[inline]
+pub fn vertex_ctx(shard: &LocalShard, l: u32, num_vertices: usize) -> VertexCtx {
+    VertexCtx {
+        out_degree: shard.global_out_degree[l as usize],
+        in_degree: shard.global_in_degree[l as usize],
+        degree: shard.global_degree[l as usize],
+        num_vertices,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::EdgeCtx;
+    use lazygraph_graph::generators::{rmat, RmatConfig};
+    use lazygraph_graph::VertexId;
+    use lazygraph_partition::{partition_graph, PartitionStrategy, SplitterConfig};
+
+    struct P0;
+    impl VertexProgram for P0 {
+        type VData = u32;
+        type Delta = u32;
+        fn name(&self) -> &'static str {
+            "p0"
+        }
+        fn init_data(&self, v: VertexId, _c: &VertexCtx) -> u32 {
+            v.0
+        }
+        fn init_message(&self, v: VertexId, _c: &VertexCtx) -> Option<u32> {
+            (v.0 % 2 == 0).then_some(1)
+        }
+        fn sum(&self, a: u32, b: u32) -> u32 {
+            a + b
+        }
+        fn inverse(&self, accum: u32, a: u32) -> u32 {
+            accum - a
+        }
+        fn apply(&self, _v: VertexId, d: &mut u32, a: u32, _c: &VertexCtx) -> Option<u32> {
+            *d += a;
+            None
+        }
+        fn scatter(
+            &self,
+            _v: VertexId,
+            _d: &u32,
+            x: u32,
+            _c: &VertexCtx,
+            _e: &EdgeCtx,
+        ) -> Option<u32> {
+            Some(x)
+        }
+    }
+
+    fn dist() -> lazygraph_partition::DistributedGraph {
+        let g = rmat(RmatConfig::graph500(8, 6, 1));
+        partition_graph(
+            &g,
+            4,
+            PartitionStrategy::Coordinated,
+            &SplitterConfig::disabled(),
+            false,
+        )
+    }
+
+    #[test]
+    fn init_all_replicas_activates_even_vertices() {
+        let dg = dist();
+        for shard in &dg.shards {
+            let st = MachineState::init(shard, &P0, InitMessages::AllReplicas, dg.num_global_vertices);
+            for l in 0..shard.num_local() as u32 {
+                let v = shard.global_of(l);
+                assert_eq!(st.vdata[l as usize], v.0);
+                assert_eq!(st.message[l as usize].is_some(), v.0 % 2 == 0);
+                assert_eq!(st.active[l as usize], v.0 % 2 == 0);
+            }
+        }
+    }
+
+    #[test]
+    fn init_masters_only_restricts_activation() {
+        let dg = dist();
+        for shard in &dg.shards {
+            let st = MachineState::init(shard, &P0, InitMessages::MastersOnly, dg.num_global_vertices);
+            for l in 0..shard.num_local() as u32 {
+                let v = shard.global_of(l);
+                let expect = v.0 % 2 == 0 && shard.is_master[l as usize];
+                assert_eq!(st.message[l as usize].is_some(), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn deliver_accumulates_and_activates_once() {
+        let dg = dist();
+        let shard = &dg.shards[0];
+        let mut st = MachineState::init(shard, &P0, InitMessages::MastersOnly, dg.num_global_vertices);
+        // Find an odd (inactive) vertex.
+        let l = (0..shard.num_local() as u32)
+            .find(|&l| st.message[l as usize].is_none())
+            .unwrap();
+        let before = st.queue.len();
+        st.deliver(&P0, l, 5);
+        st.deliver(&P0, l, 7);
+        assert_eq!(st.message[l as usize], Some(12));
+        assert_eq!(st.queue.len(), before + 1, "activated exactly once");
+    }
+
+    #[test]
+    fn delta_accumulation() {
+        let dg = dist();
+        let shard = &dg.shards[0];
+        let mut st = MachineState::init(shard, &P0, InitMessages::MastersOnly, dg.num_global_vertices);
+        st.accumulate_delta(&P0, 0, 3);
+        st.accumulate_delta(&P0, 0, 4);
+        assert_eq!(st.delta_msg[0], Some(7));
+        // deltaMsg does not activate.
+        assert!(!st.active[0] || st.message[0].is_some());
+    }
+
+    #[test]
+    fn pending_counts() {
+        let dg = dist();
+        let shard = &dg.shards[0];
+        let mut st = MachineState::init(shard, &P0, InitMessages::AllReplicas, dg.num_global_vertices);
+        let pending = st.pending_messages();
+        let evens = (0..shard.num_local() as u32)
+            .filter(|&l| shard.global_of(l).0 % 2 == 0)
+            .count() as u64;
+        assert_eq!(pending, evens);
+        let q = st.take_queue();
+        assert_eq!(q.len() as u64, pending);
+        assert!(st.queue.is_empty());
+    }
+}

@@ -1,0 +1,232 @@
+//! Mutable graph construction with the clean-up passes a loader needs:
+//! self-loop removal, parallel-edge deduplication, symmetrisation, and
+//! deterministic random weight assignment for SSSP workloads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::Csr;
+use crate::graph::Graph;
+use crate::types::{Edge, VertexId};
+
+/// Incremental builder for [`Graph`].
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<Edge>,
+    symmetric: bool,
+}
+
+impl GraphBuilder {
+    /// A builder over a fixed vertex set `0..num_vertices`.
+    pub fn new(num_vertices: usize) -> Self {
+        GraphBuilder {
+            num_vertices,
+            edges: Vec::new(),
+            symmetric: false,
+        }
+    }
+
+    /// Pre-reserves capacity for `n` additional edges.
+    pub fn reserve(&mut self, n: usize) -> &mut Self {
+        self.edges.reserve(n);
+        self
+    }
+
+    /// Adds one directed edge with unit weight.
+    pub fn add_edge(&mut self, src: impl Into<VertexId>, dst: impl Into<VertexId>) -> &mut Self {
+        self.edges.push(Edge::new(src, dst));
+        self
+    }
+
+    /// Adds one directed edge with an explicit weight.
+    pub fn add_weighted_edge(
+        &mut self,
+        src: impl Into<VertexId>,
+        dst: impl Into<VertexId>,
+        weight: f32,
+    ) -> &mut Self {
+        self.edges.push(Edge::weighted(src, dst, weight));
+        self
+    }
+
+    /// Bulk-adds edges.
+    pub fn extend(&mut self, edges: impl IntoIterator<Item = Edge>) -> &mut Self {
+        self.edges.extend(edges);
+        self
+    }
+
+    /// Current number of staged edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Drops `v -> v` edges.
+    pub fn remove_self_loops(&mut self) -> &mut Self {
+        self.edges.retain(|e| e.src != e.dst);
+        self
+    }
+
+    /// Collapses parallel edges, keeping the *minimum* weight per `(src,
+    /// dst)` pair (the natural choice for distance-like weights).
+    pub fn dedup(&mut self) -> &mut Self {
+        self.edges
+            .sort_by(|a, b| (a.src, a.dst).cmp(&(b.src, b.dst)).then(a.weight.total_cmp(&b.weight)));
+        self.edges.dedup_by_key(|e| (e.src, e.dst));
+        self
+    }
+
+    /// Adds the reverse of every edge (same weight) and dedups; marks the
+    /// graph symmetric. Bidirectional algorithms (CC, k-core) require this.
+    pub fn symmetrize(&mut self) -> &mut Self {
+        let reversed: Vec<Edge> = self
+            .edges
+            .iter()
+            .map(|e| Edge::weighted(e.dst, e.src, e.weight))
+            .collect();
+        self.edges.extend(reversed);
+        self.dedup();
+        self.symmetric = true;
+        self
+    }
+
+    /// Replaces all weights with uniform draws from `lo..hi`, seeded —
+    /// deterministic across runs, used by the SSSP workloads.
+    pub fn randomize_weights(&mut self, lo: f32, hi: f32, seed: u64) -> &mut Self {
+        assert!(lo < hi, "empty weight range");
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Parallel edges created later by symmetrize() should agree on the
+        // weight of (u,v) and (v,u); we hash the endpoint pair into the seed
+        // stream instead of drawing sequentially when symmetric.
+        if self.symmetric {
+            for e in &mut self.edges {
+                let (a, b) = if e.src <= e.dst {
+                    (e.src, e.dst)
+                } else {
+                    (e.dst, e.src)
+                };
+                let mut pair_rng =
+                    StdRng::seed_from_u64(seed ^ ((a.0 as u64) << 32 | b.0 as u64));
+                e.weight = pair_rng.random_range(lo..hi);
+            }
+        } else {
+            for e in &mut self.edges {
+                e.weight = rng.random_range(lo..hi);
+            }
+        }
+        self
+    }
+
+    /// Finalises into an immutable [`Graph`].
+    pub fn build(&self) -> Graph {
+        let triples: Vec<(VertexId, VertexId, f32)> = self
+            .edges
+            .iter()
+            .map(|e| {
+                assert!(
+                    e.src.index() < self.num_vertices && e.dst.index() < self.num_vertices,
+                    "edge {:?}->{:?} out of range {}",
+                    e.src,
+                    e.dst,
+                    self.num_vertices
+                );
+                (e.src, e.dst, e.weight)
+            })
+            .collect();
+        let out = Csr::from_edges(self.num_vertices, &triples);
+        Graph::from_csr(out, self.symmetric)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_build() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0u32, 1u32).add_edge(1u32, 2u32);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_vertices(), 3);
+    }
+
+    #[test]
+    fn self_loop_removal() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0u32, 0u32).add_edge(0u32, 1u32).add_edge(1u32, 1u32);
+        b.remove_self_loops();
+        assert_eq!(b.num_edges(), 1);
+    }
+
+    #[test]
+    fn dedup_keeps_min_weight() {
+        let mut b = GraphBuilder::new(2);
+        b.add_weighted_edge(0u32, 1u32, 5.0)
+            .add_weighted_edge(0u32, 1u32, 2.0)
+            .add_weighted_edge(0u32, 1u32, 9.0);
+        b.dedup();
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.out_edges(VertexId(0)).next().unwrap().1, 2.0);
+    }
+
+    #[test]
+    fn symmetrize_adds_reverses() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0u32, 1u32).add_edge(1u32, 2u32);
+        b.symmetrize();
+        let g = b.build();
+        assert!(g.is_symmetric());
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(VertexId(1)), 2);
+    }
+
+    #[test]
+    fn symmetrize_idempotent_on_symmetric_input() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0u32, 1u32).add_edge(1u32, 0u32);
+        b.symmetrize();
+        assert_eq!(b.num_edges(), 2);
+    }
+
+    #[test]
+    fn symmetric_weights_agree() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0u32, 1u32)
+            .add_edge(2u32, 3u32)
+            .symmetrize()
+            .randomize_weights(1.0, 10.0, 7);
+        let g = b.build();
+        let w01 = g.out_edges(VertexId(0)).next().unwrap().1;
+        let w10 = g.out_edges(VertexId(1)).next().unwrap().1;
+        assert_eq!(w01, w10);
+        assert!((1.0..10.0).contains(&w01));
+    }
+
+    #[test]
+    fn weights_deterministic_by_seed() {
+        let make = |seed| {
+            let mut b = GraphBuilder::new(3);
+            b.add_edge(0u32, 1u32).add_edge(1u32, 2u32);
+            b.randomize_weights(0.0, 1.0, seed);
+            b.build()
+        };
+        let g1 = make(42);
+        let g2 = make(42);
+        let g3 = make(43);
+        let w = |g: &Graph| {
+            g.edges().map(|e| e.weight).collect::<Vec<_>>()
+        };
+        assert_eq!(w(&g1), w(&g2));
+        assert_ne!(w(&g1), w(&g3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0u32, 5u32);
+        let _ = b.build();
+    }
+}

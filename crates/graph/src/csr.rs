@@ -1,0 +1,239 @@
+//! Compressed sparse row (CSR) adjacency storage.
+//!
+//! A [`Csr`] stores, for every vertex, a contiguous slice of (target, weight)
+//! pairs. It is the storage backbone of both the global [`crate::Graph`] and
+//! the per-machine local shards built by the partitioner: one allocation per
+//! array, cache-friendly sequential scans, and O(1) per-vertex slicing.
+
+use crate::types::VertexId;
+
+/// Immutable CSR adjacency: `offsets[v]..offsets[v+1]` indexes into
+/// `targets`/`weights`.
+#[derive(Clone, Debug, Default)]
+pub struct Csr {
+    offsets: Vec<u64>,
+    targets: Vec<VertexId>,
+    weights: Vec<f32>,
+}
+
+impl Csr {
+    /// Builds a CSR from `(src, dst, weight)` triples via counting sort.
+    ///
+    /// The relative order of edges sharing a source is preserved (the
+    /// counting sort is stable), which keeps builds deterministic.
+    pub fn from_edges(num_vertices: usize, edges: &[(VertexId, VertexId, f32)]) -> Self {
+        let mut counts = vec![0u64; num_vertices + 1];
+        for &(src, _, _) in edges {
+            debug_assert!(
+                src.index() < num_vertices,
+                "edge source {src:?} out of range {num_vertices}"
+            );
+            counts[src.index() + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![VertexId::default(); edges.len()];
+        let mut weights = vec![0.0f32; edges.len()];
+        for &(src, dst, w) in edges {
+            let slot = cursor[src.index()] as usize;
+            targets[slot] = dst;
+            weights[slot] = w;
+            cursor[src.index()] += 1;
+        }
+        Csr {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// An empty CSR over `num_vertices` vertices.
+    pub fn empty(num_vertices: usize) -> Self {
+        Csr {
+            offsets: vec![0; num_vertices + 1],
+            targets: Vec::new(),
+            weights: Vec::new(),
+        }
+    }
+
+    /// Number of vertices (rows).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of stored edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `v` in this CSR.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+    }
+
+    /// The edge-index range covering `v`'s adjacency.
+    #[inline]
+    pub fn range(&self, v: VertexId) -> std::ops::Range<usize> {
+        self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize
+    }
+
+    /// Neighbour slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.targets[self.range(v)]
+    }
+
+    /// Weight slice of `v`, parallel to [`Csr::neighbors`].
+    #[inline]
+    pub fn weights(&self, v: VertexId) -> &[f32] {
+        &self.weights[self.range(v)]
+    }
+
+    /// Iterates `(target, weight)` pairs of `v`.
+    #[inline]
+    pub fn edges_of(&self, v: VertexId) -> impl Iterator<Item = (VertexId, f32)> + '_ {
+        let r = self.range(v);
+        self.targets[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.weights[r].iter().copied())
+    }
+
+    /// Iterates every `(src, dst, weight)` triple in row order.
+    pub fn iter_all(&self) -> impl Iterator<Item = (VertexId, VertexId, f32)> + '_ {
+        (0..self.num_vertices()).flat_map(move |v| {
+            let v = VertexId::from(v);
+            self.edges_of(v).map(move |(dst, w)| (v, dst, w))
+        })
+    }
+
+    /// Builds the transpose (reverse) of this CSR.
+    pub fn transpose(&self) -> Csr {
+        let flipped: Vec<(VertexId, VertexId, f32)> = self
+            .iter_all()
+            .map(|(src, dst, w)| (dst, src, w))
+            .collect();
+        Csr::from_edges(self.num_vertices(), &flipped)
+    }
+
+    /// Checks structural invariants; used by tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.offsets.is_empty() {
+            return Err("offsets must contain at least one entry".into());
+        }
+        if self.offsets[0] != 0 {
+            return Err("offsets must start at 0".into());
+        }
+        if *self.offsets.last().unwrap() as usize != self.targets.len() {
+            return Err("last offset must equal edge count".into());
+        }
+        if self.targets.len() != self.weights.len() {
+            return Err("targets and weights must be parallel".into());
+        }
+        for w in self.offsets.windows(2) {
+            if w[0] > w[1] {
+                return Err("offsets must be non-decreasing".into());
+            }
+        }
+        let n = self.num_vertices();
+        for &t in &self.targets {
+            if t.index() >= n {
+                return Err(format!("target {t:?} out of range {n}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triples(list: &[(u32, u32)]) -> Vec<(VertexId, VertexId, f32)> {
+        list.iter()
+            .map(|&(s, d)| (VertexId(s), VertexId(d), 1.0))
+            .collect()
+    }
+
+    #[test]
+    fn builds_and_indexes() {
+        let csr = Csr::from_edges(4, &triples(&[(0, 1), (0, 2), (2, 3), (3, 0)]));
+        csr.validate().unwrap();
+        assert_eq!(csr.num_vertices(), 4);
+        assert_eq!(csr.num_edges(), 4);
+        assert_eq!(csr.degree(VertexId(0)), 2);
+        assert_eq!(csr.degree(VertexId(1)), 0);
+        assert_eq!(csr.neighbors(VertexId(0)), &[VertexId(1), VertexId(2)]);
+        assert_eq!(csr.neighbors(VertexId(3)), &[VertexId(0)]);
+    }
+
+    #[test]
+    fn preserves_weights() {
+        let csr = Csr::from_edges(
+            2,
+            &[
+                (VertexId(0), VertexId(1), 2.5),
+                (VertexId(1), VertexId(0), 0.5),
+            ],
+        );
+        assert_eq!(csr.weights(VertexId(0)), &[2.5]);
+        assert_eq!(csr.weights(VertexId(1)), &[0.5]);
+    }
+
+    #[test]
+    fn stable_within_row() {
+        // Three parallel edges 0->{3,1,2} must keep insertion order.
+        let csr = Csr::from_edges(4, &triples(&[(0, 3), (0, 1), (0, 2)]));
+        assert_eq!(
+            csr.neighbors(VertexId(0)),
+            &[VertexId(3), VertexId(1), VertexId(2)]
+        );
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let csr = Csr::from_edges(5, &triples(&[(0, 1), (1, 2), (2, 0), (4, 1)]));
+        let t = csr.transpose();
+        t.validate().unwrap();
+        assert_eq!(t.degree(VertexId(1)), 2); // from 0 and 4
+        assert_eq!(t.degree(VertexId(0)), 1); // from 2
+        let tt = t.transpose();
+        assert_eq!(tt.num_edges(), csr.num_edges());
+        for v in 0..5 {
+            let v = VertexId(v);
+            let mut a: Vec<_> = csr.neighbors(v).to_vec();
+            let mut b: Vec<_> = tt.neighbors(v).to_vec();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = Csr::empty(3);
+        csr.validate().unwrap();
+        assert_eq!(csr.num_edges(), 0);
+        assert_eq!(csr.degree(VertexId(2)), 0);
+        assert!(csr.edges_of(VertexId(0)).next().is_none());
+    }
+
+    #[test]
+    fn iter_all_covers_everything() {
+        let edges = triples(&[(0, 1), (1, 0), (1, 2), (2, 2)]);
+        let csr = Csr::from_edges(3, &edges);
+        let collected: Vec<_> = csr.iter_all().collect();
+        assert_eq!(collected.len(), 4);
+        let mut expected = edges.clone();
+        let mut got = collected.clone();
+        expected.sort_by_key(|e| (e.0, e.1));
+        got.sort_by_key(|e| (e.0, e.1));
+        assert_eq!(expected, got);
+    }
+}

@@ -1,0 +1,57 @@
+//! Erdős–Rényi G(n, m) generator — uniform random edges, used by the test
+//! suite and property tests where unstructured inputs are wanted.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+
+/// Generates a uniform random directed graph with `n` vertices and (up to,
+/// after dedup) `m` edges. Self loops are excluded.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(n >= 2, "need at least two vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n);
+    builder.reserve(m);
+    for _ in 0..m {
+        let src = rng.random_range(0..n);
+        let mut dst = rng.random_range(0..n - 1);
+        if dst >= src {
+            dst += 1; // skip the diagonal without rejection sampling
+        }
+        builder.add_edge(src, dst);
+    }
+    builder.dedup();
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_and_no_loops() {
+        let g = erdos_renyi(100, 500, 9);
+        assert_eq!(g.num_vertices(), 100);
+        assert!(g.num_edges() <= 500);
+        assert!(g.num_edges() > 400, "dedup removed suspiciously many edges");
+        for e in g.edges() {
+            assert_ne!(e.src, e.dst);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<_> = erdos_renyi(50, 200, 4).edges().map(|e| (e.src, e.dst)).collect();
+        let b: Vec<_> = erdos_renyi(50, 200, 4).edges().map(|e| (e.src, e.dst)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiny_graph() {
+        let g = erdos_renyi(2, 10, 0);
+        // Only two possible edges exist after dedup.
+        assert!(g.num_edges() <= 2);
+    }
+}

@@ -1,0 +1,133 @@
+//! 2-D lattice generator with optional shortcuts — the road-network
+//! analogue.
+//!
+//! Road graphs (road-USA, roadNet-CA in Table 1) have near-constant small
+//! degree (E/V ≈ 2.4–2.8), enormous diameter, and the *lowest* replication
+//! factor λ under vertex-cut — which is exactly where the paper reports its
+//! largest speedups. A rows×cols lattice with 4-neighbour connectivity plus
+//! a sprinkle of shortcut edges reproduces all three properties.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+
+/// Lattice generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Grid2dConfig {
+    pub rows: usize,
+    pub cols: usize,
+    /// Extra random shortcut edges as a fraction of lattice edges
+    /// (road networks have highways; 0.01–0.05 is realistic).
+    pub shortcut_fraction: f64,
+    /// Maximum Chebyshev distance a shortcut may span, in cells. Real road
+    /// shortcuts are *local* (bypasses, ring roads); long-range uniform
+    /// shortcuts would collapse the network diameter to O(log n) and
+    /// destroy the road-graph character the paper's evaluation depends on.
+    pub shortcut_radius: usize,
+    pub seed: u64,
+    /// Emit both directions of every edge (road networks are undirected).
+    pub symmetric: bool,
+}
+
+impl Grid2dConfig {
+    /// A symmetric road-like lattice with 2% shortcuts.
+    pub fn road(rows: usize, cols: usize, seed: u64) -> Self {
+        Grid2dConfig {
+            rows,
+            cols,
+            shortcut_fraction: 0.02,
+            shortcut_radius: 8,
+            seed,
+            symmetric: true,
+        }
+    }
+}
+
+/// Generates the lattice.
+pub fn grid2d(cfg: Grid2dConfig) -> Graph {
+    let n = cfg.rows * cfg.cols;
+    assert!(n >= 2, "lattice too small");
+    let mut builder = GraphBuilder::new(n);
+    let at = |r: usize, c: usize| r * cfg.cols + c;
+    for r in 0..cfg.rows {
+        for c in 0..cfg.cols {
+            if c + 1 < cfg.cols {
+                builder.add_edge(at(r, c), at(r, c + 1));
+            }
+            if r + 1 < cfg.rows {
+                builder.add_edge(at(r, c), at(r + 1, c));
+            }
+        }
+    }
+    let lattice_edges = builder.num_edges();
+    let shortcuts = (lattice_edges as f64 * cfg.shortcut_fraction) as usize;
+    let radius = cfg.shortcut_radius.max(1) as i64;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    for _ in 0..shortcuts {
+        let r = rng.random_range(0..cfg.rows) as i64;
+        let c = rng.random_range(0..cfg.cols) as i64;
+        let r2 = (r + rng.random_range(-radius..=radius)).clamp(0, cfg.rows as i64 - 1);
+        let c2 = (c + rng.random_range(-radius..=radius)).clamp(0, cfg.cols as i64 - 1);
+        let a = at(r as usize, c as usize);
+        let b = at(r2 as usize, c2 as usize);
+        if a != b {
+            builder.add_edge(a, b);
+        }
+    }
+    if cfg.symmetric {
+        builder.symmetrize();
+    } else {
+        builder.dedup();
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::VertexId;
+
+    #[test]
+    fn lattice_shape() {
+        let g = grid2d(Grid2dConfig {
+            rows: 10,
+            cols: 10,
+            shortcut_fraction: 0.0,
+            shortcut_radius: 8,
+            seed: 0,
+            symmetric: false,
+        });
+        assert_eq!(g.num_vertices(), 100);
+        // 10*9 horizontal + 9*10 vertical
+        assert_eq!(g.num_edges(), 180);
+        // Interior vertex has out-degree 2 (right + down).
+        assert_eq!(g.out_degree(VertexId(11)), 2);
+        // Bottom-right corner has out-degree 0.
+        assert_eq!(g.out_degree(VertexId(99)), 0);
+    }
+
+    #[test]
+    fn symmetric_road() {
+        let g = grid2d(Grid2dConfig::road(20, 20, 1));
+        assert!(g.is_symmetric());
+        // E/V should be in the road-graph band (§Table 1: 2.4–2.8).
+        let ev = g.ev_ratio();
+        assert!((1.5..4.5).contains(&ev), "E/V {ev} not road-like");
+    }
+
+    #[test]
+    fn low_max_degree() {
+        let g = grid2d(Grid2dConfig::road(30, 30, 2));
+        let max_deg = g.vertices().map(|v| g.degree(v)).max().unwrap();
+        assert!(max_deg <= 16, "road graphs must not have hubs, got {max_deg}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<_> = grid2d(Grid2dConfig::road(8, 8, 3)).edges().map(|e| (e.src, e.dst)).collect();
+        let b: Vec<_> = grid2d(Grid2dConfig::road(8, 8, 3)).edges().map(|e| (e.src, e.dst)).collect();
+        assert_eq!(a, b);
+    }
+}

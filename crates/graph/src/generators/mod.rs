@@ -1,0 +1,21 @@
+//! Deterministic synthetic graph generators.
+//!
+//! The paper evaluates on real web / road / social graphs (Table 1). Those
+//! datasets are not redistributable here, so the benchmark suite generates
+//! *class-matched analogues*: R-MAT and preferential-attachment graphs for
+//! the skewed web/social classes, 2-D lattices with shortcuts for the road
+//! class. Every generator is seeded and reproducible.
+
+mod erdos_renyi;
+mod grid2d;
+mod preferential;
+mod rmat;
+mod small_world;
+mod web_crawl;
+
+pub use erdos_renyi::erdos_renyi;
+pub use grid2d::{grid2d, Grid2dConfig};
+pub use preferential::preferential_attachment;
+pub use rmat::{rmat, RmatConfig};
+pub use small_world::small_world;
+pub use web_crawl::{web_crawl, WebCrawlConfig};

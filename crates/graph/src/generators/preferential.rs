@@ -1,0 +1,83 @@
+//! Barabási–Albert preferential attachment — a web-crawl-like generator
+//! with a softer power law than R-MAT, used for the `web-Google`/`youtube`
+//! analogues.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+
+/// Generates a preferential-attachment graph: each new vertex attaches
+/// `edges_per_vertex` out-edges to existing vertices chosen proportionally to
+/// their current degree (via the standard repeated-endpoint-list trick).
+pub fn preferential_attachment(n: usize, edges_per_vertex: usize, seed: u64) -> Graph {
+    assert!(n > edges_per_vertex, "need more vertices than attachment count");
+    assert!(edges_per_vertex >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n);
+    builder.reserve(n * edges_per_vertex);
+    // endpoints[i] lists every edge endpoint so far; sampling uniformly from
+    // it is sampling proportionally to degree.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * edges_per_vertex);
+    // Seed clique among the first m+1 vertices.
+    let m = edges_per_vertex;
+    for v in 1..=m {
+        builder.add_edge(v, v - 1);
+        endpoints.push(v as u32);
+        endpoints.push((v - 1) as u32);
+    }
+    for v in (m + 1)..n {
+        let mut chosen = Vec::with_capacity(m);
+        while chosen.len() < m {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if t as usize != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            builder.add_edge(v, t as usize);
+            endpoints.push(v as u32);
+            endpoints.push(t);
+        }
+    }
+    builder.dedup();
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size() {
+        let g = preferential_attachment(1000, 4, 1);
+        assert_eq!(g.num_vertices(), 1000);
+        // (1000 - 5) * 4 + 4 seed edges, minus dedup noise
+        assert!(g.num_edges() > 3900);
+    }
+
+    #[test]
+    fn power_law_hubs() {
+        let g = preferential_attachment(2000, 3, 2);
+        let max_in = g.vertices().map(|v| g.in_degree(v)).max().unwrap();
+        let avg_in = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(
+            max_in as f64 > 8.0 * avg_in,
+            "expected hubs: max in-degree {max_in}, avg {avg_in}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<_> = preferential_attachment(300, 2, 5).edges().map(|e| (e.src, e.dst)).collect();
+        let b: Vec<_> = preferential_attachment(300, 2, 5).edges().map(|e| (e.src, e.dst)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = preferential_attachment(500, 3, 8);
+        assert!(g.edges().all(|e| e.src != e.dst));
+    }
+}

@@ -1,0 +1,65 @@
+//! Watts–Strogatz small-world generator: a ring lattice with rewired edges.
+//! Used in tests as a medium-diameter, low-skew workload distinct from both
+//! the lattice and the power-law generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+
+/// Generates a Watts–Strogatz graph: `n` vertices in a ring, each connected
+/// to its `k` clockwise neighbours, each edge rewired to a random target
+/// with probability `p`. The result is symmetrised.
+pub fn small_world(n: usize, k: usize, p: f64, seed: u64) -> Graph {
+    assert!(k >= 1 && k < n / 2, "k must be in 1..n/2");
+    assert!((0.0..=1.0).contains(&p));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n);
+    builder.reserve(n * k);
+    for v in 0..n {
+        for j in 1..=k {
+            let mut t = (v + j) % n;
+            if rng.random::<f64>() < p {
+                // Rewire: uniform non-self target.
+                t = rng.random_range(0..n - 1);
+                if t >= v {
+                    t += 1;
+                }
+            }
+            builder.add_edge(v, t);
+        }
+    }
+    builder.remove_self_loops();
+    builder.symmetrize();
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_without_rewiring() {
+        let g = small_world(20, 2, 0.0, 0);
+        // Each vertex connects to +1, +2 and (after symmetrisation) -1, -2.
+        assert!(g.is_symmetric());
+        for v in g.vertices() {
+            assert_eq!(g.out_degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn rewiring_changes_structure() {
+        let a: Vec<_> = small_world(50, 2, 0.0, 1).edges().map(|e| (e.src, e.dst)).collect();
+        let b: Vec<_> = small_world(50, 2, 0.5, 1).edges().map(|e| (e.src, e.dst)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<_> = small_world(40, 3, 0.3, 9).edges().map(|e| (e.src, e.dst)).collect();
+        let b: Vec<_> = small_world(40, 3, 0.3, 9).edges().map(|e| (e.src, e.dst)).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,198 @@
+//! Crawl-order web-graph generator: power-law degrees *with id locality*.
+//!
+//! Real web corpora (UK-2005, web-Google) are numbered in crawl order, so
+//! most links point to recently discovered, same-host pages — the property
+//! that gives web graphs their surprisingly low replication factor under a
+//! coordinated vertex-cut (Table 1: UK-2005 λ=3.51 despite E/V≈24).
+//! Pure R-MAT has the skew but not the locality, so this generator emits,
+//! per page, a heavy-tailed number of links that are mostly *local*
+//! (geometrically distributed distance to earlier ids, "same host") with a
+//! minority of *global* preferential-attachment links ("cross-site hubs").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+
+/// Crawl-model parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct WebCrawlConfig {
+    /// Number of pages.
+    pub n: usize,
+    /// Mean out-degree (E/V of the result, before dedup).
+    pub mean_out_degree: f64,
+    /// Fraction of links that are local (same-host-like).
+    pub locality: f64,
+    /// Mean id distance of a local link.
+    pub local_window: usize,
+    /// Pareto-ish tail exponent knob for out-degrees (larger = tamer).
+    pub degree_tail: f64,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl WebCrawlConfig {
+    /// UK-2005-flavoured: dense (E/V ≈ 24), strongly local. The window is
+    /// scale-relative: what matters for the replication factor is the ratio
+    /// of link distance to the per-machine id range, which the original
+    /// graph keeps tiny.
+    pub fn uk_flavour(n: usize, seed: u64) -> Self {
+        WebCrawlConfig {
+            n,
+            mean_out_degree: 24.0,
+            locality: 0.93,
+            local_window: (n / 600).max(4),
+            degree_tail: 2.2,
+            seed,
+        }
+    }
+
+    /// web-Google-flavoured: sparser (E/V ≈ 6), strongly local.
+    pub fn google_flavour(n: usize, seed: u64) -> Self {
+        WebCrawlConfig {
+            n,
+            mean_out_degree: 6.0,
+            locality: 0.88,
+            local_window: (n / 400).max(4),
+            degree_tail: 2.2,
+            seed,
+        }
+    }
+
+    /// Wiki-flavoured: dense and almost purely global links with extreme
+    /// hubs — the highest-λ class (enwiki: λ=7.22 in Table 1).
+    pub fn wiki_flavour(n: usize, seed: u64) -> Self {
+        WebCrawlConfig {
+            n,
+            mean_out_degree: 24.0,
+            locality: 0.1,
+            local_window: 20,
+            degree_tail: 1.6,
+            seed,
+        }
+    }
+
+    /// Youtube-flavoured: sparse social graph with moderate locality
+    /// (com-youtube: λ=2.70 despite being a social network).
+    pub fn youtube_flavour(n: usize, seed: u64) -> Self {
+        WebCrawlConfig {
+            n,
+            mean_out_degree: 5.2,
+            locality: 0.82,
+            local_window: (n / 800).max(4),
+            degree_tail: 2.0,
+            seed,
+        }
+    }
+}
+
+/// Generates the crawl-model graph.
+pub fn web_crawl(cfg: WebCrawlConfig) -> Graph {
+    assert!(cfg.n >= 16, "need at least 16 pages");
+    assert!((0.0..=1.0).contains(&cfg.locality));
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut builder = GraphBuilder::new(cfg.n);
+    builder.reserve((cfg.n as f64 * cfg.mean_out_degree) as usize);
+    // Repeated-endpoint list for global preferential attachment.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(cfg.n * 2);
+    endpoints.push(0);
+    // Bounded Pareto out-degree with the requested mean: draw
+    // d = d_min · u^(−1/α), capped.
+    let alpha = cfg.degree_tail;
+    let d_min = cfg.mean_out_degree * (alpha - 1.0) / alpha;
+    let cap = (cfg.n / 8).max(8) as f64;
+    for v in 1..cfg.n {
+        let u: f64 = rng.random::<f64>().max(1e-12);
+        let degree = (d_min * u.powf(-1.0 / alpha)).min(cap).round() as usize;
+        let degree = degree.max(1);
+        for _ in 0..degree {
+            let target = if rng.random::<f64>() < cfg.locality {
+                // Local link: geometric distance to an earlier page.
+                let mut dist = 1usize;
+                let p = 1.0 / cfg.local_window as f64;
+                while rng.random::<f64>() > p && dist < 4 * cfg.local_window {
+                    dist += 1;
+                }
+                v.saturating_sub(dist)
+            } else {
+                // Global link: preferential attachment.
+                endpoints[rng.random_range(0..endpoints.len())] as usize
+            };
+            if target != v {
+                builder.add_edge(v, target);
+                endpoints.push(target as u32);
+            }
+        }
+        endpoints.push(v as u32);
+    }
+    builder.dedup();
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_matches_request() {
+        let g = web_crawl(WebCrawlConfig::uk_flavour(4000, 1));
+        let ev = g.ev_ratio();
+        // Dedup inside the tight locality window collapses repeats, so the
+        // realised density sits below the nominal 24 but stays in the
+        // dense-web band (E/V > 10, the interval model's locality split).
+        assert!(
+            (10.0..30.0).contains(&ev),
+            "E/V {ev} outside the dense-web band"
+        );
+    }
+
+    #[test]
+    fn locality_dominates_in_uk_flavour() {
+        let g = web_crawl(WebCrawlConfig::uk_flavour(4000, 2));
+        let local = g
+            .edges()
+            .filter(|e| (e.src.0 as i64 - e.dst.0 as i64).abs() <= 200)
+            .count();
+        assert!(
+            local as f64 > 0.6 * g.num_edges() as f64,
+            "expected mostly-local links: {local}/{}",
+            g.num_edges()
+        );
+    }
+
+    #[test]
+    fn wiki_flavour_is_hub_heavy_and_global() {
+        let g = web_crawl(WebCrawlConfig::wiki_flavour(4000, 3));
+        let max_in = g.vertices().map(|v| g.in_degree(v)).max().unwrap();
+        let avg = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(max_in as f64 > 20.0 * avg, "no hubs: {max_in} vs avg {avg}");
+        let local = g
+            .edges()
+            .filter(|e| (e.src.0 as i64 - e.dst.0 as i64).abs() <= 200)
+            .count();
+        assert!(
+            (local as f64) < 0.5 * g.num_edges() as f64,
+            "wiki links should be mostly global"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<_> = web_crawl(WebCrawlConfig::google_flavour(500, 4))
+            .edges()
+            .map(|e| (e.src, e.dst))
+            .collect();
+        let b: Vec<_> = web_crawl(WebCrawlConfig::google_flavour(500, 4))
+            .edges()
+            .map(|e| (e.src, e.dst))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = web_crawl(WebCrawlConfig::youtube_flavour(1000, 5));
+        assert!(g.edges().all(|e| e.src != e.dst));
+    }
+}

@@ -1,0 +1,204 @@
+//! Graph serialisation: a human-readable edge-list text format (compatible
+//! with SNAP-style files, `#`-prefixed comments) and a compact little-endian
+//! binary format for fast reloads of generated benchmark inputs.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::types::VertexId;
+
+const BINARY_MAGIC: &[u8; 8] = b"LZGRAPH1";
+
+/// Writes `graph` as a text edge list: one `src dst weight` triple per line.
+pub fn save_edge_list<P: AsRef<Path>>(graph: &Graph, path: P) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    writeln!(
+        out,
+        "# LazyGraph edge list: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
+    for e in graph.edges() {
+        writeln!(out, "{} {} {}", e.src, e.dst, e.weight)?;
+    }
+    out.flush()
+}
+
+/// Loads a text edge list. Lines starting with `#` or `%` are comments; each
+/// data line is `src dst [weight]`. The vertex count is
+/// `max(id) + 1` unless `num_vertices` is given.
+pub fn load_edge_list<P: AsRef<Path>>(path: P, num_vertices: Option<usize>) -> io::Result<Graph> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut edges = Vec::new();
+    let mut max_id: u32 = 0;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        fn parse<'a>(tok: Option<&'a str>, what: &str, lineno: usize) -> io::Result<&'a str> {
+            tok.ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: missing {what}", lineno + 1),
+                )
+            })
+        }
+        let src: u32 = parse(it.next(), "source", lineno)?
+            .parse()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1)))?;
+        let dst: u32 = parse(it.next(), "target", lineno)?
+            .parse()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1)))?;
+        let weight: f32 = match it.next() {
+            Some(tok) => tok.parse().map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1))
+            })?,
+            None => 1.0,
+        };
+        max_id = max_id.max(src).max(dst);
+        edges.push((src, dst, weight));
+    }
+    let n = num_vertices.unwrap_or(if edges.is_empty() { 0 } else { max_id as usize + 1 });
+    let mut builder = GraphBuilder::new(n.max(1));
+    builder.reserve(edges.len());
+    for (s, d, w) in edges {
+        builder.add_weighted_edge(s, d, w);
+    }
+    Ok(builder.build())
+}
+
+/// Writes `graph` in the compact binary format.
+pub fn save_binary<P: AsRef<Path>>(graph: &Graph, path: P) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    out.write_all(BINARY_MAGIC)?;
+    out.write_all(&(graph.num_vertices() as u64).to_le_bytes())?;
+    out.write_all(&(graph.num_edges() as u64).to_le_bytes())?;
+    out.write_all(&[graph.is_symmetric() as u8])?;
+    for e in graph.edges() {
+        out.write_all(&e.src.0.to_le_bytes())?;
+        out.write_all(&e.dst.0.to_le_bytes())?;
+        out.write_all(&e.weight.to_le_bytes())?;
+    }
+    out.flush()
+}
+
+/// Loads a graph written by [`save_binary`].
+pub fn load_binary<P: AsRef<Path>>(path: P) -> io::Result<Graph> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let mut u64buf = [0u8; 8];
+    reader.read_exact(&mut u64buf)?;
+    let n = u64::from_le_bytes(u64buf) as usize;
+    reader.read_exact(&mut u64buf)?;
+    let m = u64::from_le_bytes(u64buf) as usize;
+    let mut flag = [0u8; 1];
+    reader.read_exact(&mut flag)?;
+    let mut builder = GraphBuilder::new(n);
+    builder.reserve(m);
+    let mut rec = [0u8; 12];
+    for _ in 0..m {
+        reader.read_exact(&mut rec)?;
+        let src = u32::from_le_bytes(rec[0..4].try_into().unwrap());
+        let dst = u32::from_le_bytes(rec[4..8].try_into().unwrap());
+        let w = f32::from_le_bytes(rec[8..12].try_into().unwrap());
+        if src as usize >= n || dst as usize >= n {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("edge {src}->{dst} out of range {n}"),
+            ));
+        }
+        builder.add_weighted_edge(src, dst, w);
+    }
+    let mut graph = builder.build();
+    if flag[0] == 1 {
+        // Re-tag symmetry (structure already contains both directions).
+        let mut b2 = GraphBuilder::new(n);
+        b2.extend(graph.edges());
+        b2.symmetrize();
+        graph = b2.build();
+    }
+    Ok(graph)
+}
+
+/// Returns sorted `(src, dst, weight-bits)` triples — a canonical form for
+/// equality checks in tests.
+pub fn canonical_edges(graph: &Graph) -> Vec<(VertexId, VertexId, u32)> {
+    let mut v: Vec<_> = graph
+        .edges()
+        .map(|e| (e.src, e.dst, e.weight.to_bits()))
+        .collect();
+    v.sort();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{rmat, RmatConfig};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("lazygraph-io-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = rmat(RmatConfig::graph500(7, 4, 11));
+        let path = tmp("text.el");
+        save_edge_list(&g, &path).unwrap();
+        let g2 = load_edge_list(&path, Some(g.num_vertices())).unwrap();
+        assert_eq!(canonical_edges(&g), canonical_edges(&g2));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = rmat(RmatConfig::weblike(7, 4, 12));
+        let path = tmp("bin.lzg");
+        save_binary(&g, &path).unwrap();
+        let g2 = load_binary(&path).unwrap();
+        assert_eq!(g.num_vertices(), g2.num_vertices());
+        assert_eq!(canonical_edges(&g), canonical_edges(&g2));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn comments_and_default_weight() {
+        let path = tmp("comments.el");
+        std::fs::write(&path, "# header\n% more\n0 1\n1 2 3.5\n\n").unwrap();
+        let g = load_edge_list(&path, None).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        let weights: Vec<f32> = g.edges().map(|e| e.weight).collect();
+        assert!(weights.contains(&1.0));
+        assert!(weights.contains(&3.5));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let path = tmp("garbage.el");
+        std::fs::write(&path, "0 not_a_number\n").unwrap();
+        assert!(load_edge_list(&path, None).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let path = tmp("badmagic.lzg");
+        std::fs::write(&path, b"NOTMAGIC________").unwrap();
+        assert!(load_binary(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,96 @@
+//! Graph statistics used by the experiment tables and by the adaptive
+//! interval model's "locality of an input graph" feature (§4.2.1).
+
+use crate::graph::Graph;
+
+/// Summary statistics of a graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    pub num_vertices: usize,
+    pub num_edges: usize,
+    /// `E/V`, the paper's locality feature.
+    pub ev_ratio: f64,
+    pub max_out_degree: usize,
+    pub max_in_degree: usize,
+    pub avg_degree: f64,
+    /// Gini-style skew indicator: fraction of (out-)edges owned by the top
+    /// 1% of vertices by out-degree. Road graphs ≈ their fair share (~0.01–
+    /// 0.05); power-law graphs concentrate a large fraction on hubs.
+    pub top1pct_edge_share: f64,
+    /// log2-binned out-degree histogram: `histogram[i]` counts vertices with
+    /// out-degree in `[2^i, 2^(i+1))`; bin 0 holds degree 0 and 1.
+    pub degree_histogram: Vec<usize>,
+}
+
+/// Computes [`GraphStats`] in one pass over the degree arrays.
+pub fn graph_stats(graph: &Graph) -> GraphStats {
+    let n = graph.num_vertices();
+    let m = graph.num_edges();
+    let mut out_degrees: Vec<usize> = Vec::with_capacity(n);
+    let mut max_in = 0usize;
+    for v in graph.vertices() {
+        out_degrees.push(graph.out_degree(v));
+        max_in = max_in.max(graph.in_degree(v));
+    }
+    let max_out = out_degrees.iter().copied().max().unwrap_or(0);
+    let mut histogram = vec![0usize; 34];
+    let last_bin = histogram.len() - 1;
+    for &d in &out_degrees {
+        let bin = if d <= 1 { 0 } else { (usize::BITS - d.leading_zeros()) as usize - 1 };
+        histogram[bin.min(last_bin)] += 1;
+    }
+    while histogram.len() > 1 && *histogram.last().unwrap() == 0 {
+        histogram.pop();
+    }
+    let mut sorted = out_degrees.clone();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let top = (n / 100).max(1);
+    let top_edges: usize = sorted.iter().take(top).sum();
+    GraphStats {
+        num_vertices: n,
+        num_edges: m,
+        ev_ratio: graph.ev_ratio(),
+        max_out_degree: max_out,
+        max_in_degree: max_in,
+        avg_degree: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+        top1pct_edge_share: if m == 0 { 0.0 } else { top_edges as f64 / m as f64 },
+        degree_histogram: histogram,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid2d, rmat, Grid2dConfig, RmatConfig};
+
+    #[test]
+    fn road_graph_is_not_skewed() {
+        let g = grid2d(Grid2dConfig::road(40, 40, 1));
+        let s = graph_stats(&g);
+        assert!(s.top1pct_edge_share < 0.10, "share {}", s.top1pct_edge_share);
+        assert!(s.ev_ratio < 5.0);
+    }
+
+    #[test]
+    fn rmat_graph_is_skewed() {
+        let g = rmat(RmatConfig::graph500(12, 8, 2));
+        let s = graph_stats(&g);
+        assert!(s.top1pct_edge_share > 0.15, "share {}", s.top1pct_edge_share);
+    }
+
+    #[test]
+    fn histogram_sums_to_vertex_count() {
+        let g = rmat(RmatConfig::weblike(10, 6, 3));
+        let s = graph_stats(&g);
+        assert_eq!(s.degree_histogram.iter().sum::<usize>(), g.num_vertices());
+    }
+
+    #[test]
+    fn counts_match_graph() {
+        let g = grid2d(Grid2dConfig::road(10, 10, 0));
+        let s = graph_stats(&g);
+        assert_eq!(s.num_vertices, g.num_vertices());
+        assert_eq!(s.num_edges, g.num_edges());
+        assert_eq!(s.ev_ratio, g.ev_ratio());
+    }
+}

@@ -1,0 +1,148 @@
+//! Fundamental identifier types shared across the LazyGraph stack.
+//!
+//! Vertex identifiers are 32-bit: the paper's largest graph (twitter,
+//! 61.58M vertices) fits comfortably, and halving the index width keeps CSR
+//! arrays and message batches compact — the dominant memory consumers in a
+//! distributed graph engine.
+
+use std::fmt;
+
+/// A global vertex identifier, dense in `0..graph.num_vertices()`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// The index as a `usize`, for array addressing.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+impl From<usize> for VertexId {
+    fn from(v: usize) -> Self {
+        debug_assert!(v <= u32::MAX as usize, "vertex id overflows u32");
+        VertexId(v as u32)
+    }
+}
+
+/// A machine (simulated cluster node) identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MachineId(pub u16);
+
+impl MachineId {
+    /// The index as a `usize`, for array addressing.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<usize> for MachineId {
+    fn from(v: usize) -> Self {
+        debug_assert!(v <= u16::MAX as usize, "machine id overflows u16");
+        MachineId(v as u16)
+    }
+}
+
+/// A directed edge `src -> dst` with a weight.
+///
+/// Weights are `f32`; algorithms that ignore weights (PageRank, CC, k-core,
+/// BFS) simply never read them. SSSP interprets them as non-negative
+/// distances.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Edge {
+    pub src: VertexId,
+    pub dst: VertexId,
+    pub weight: f32,
+}
+
+impl Edge {
+    /// An edge with the default unit weight.
+    #[inline]
+    pub fn new(src: impl Into<VertexId>, dst: impl Into<VertexId>) -> Self {
+        Edge {
+            src: src.into(),
+            dst: dst.into(),
+            weight: 1.0,
+        }
+    }
+
+    /// An edge with an explicit weight.
+    #[inline]
+    pub fn weighted(src: impl Into<VertexId>, dst: impl Into<VertexId>, weight: f32) -> Self {
+        Edge {
+            src: src.into(),
+            dst: dst.into(),
+            weight,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        let v = VertexId::from(42usize);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v, VertexId(42));
+        assert_eq!(format!("{v}"), "42");
+        assert_eq!(format!("{v:?}"), "v42");
+    }
+
+    #[test]
+    fn machine_id_roundtrip() {
+        let m = MachineId::from(7usize);
+        assert_eq!(m.index(), 7);
+        assert_eq!(format!("{m:?}"), "m7");
+    }
+
+    #[test]
+    fn edge_constructors() {
+        let e = Edge::new(1u32, 2u32);
+        assert_eq!(e.src, VertexId(1));
+        assert_eq!(e.dst, VertexId(2));
+        assert_eq!(e.weight, 1.0);
+        let w = Edge::weighted(3u32, 4u32, 2.5);
+        assert_eq!(w.weight, 2.5);
+    }
+
+    #[test]
+    fn ids_are_small() {
+        assert_eq!(std::mem::size_of::<VertexId>(), 4);
+        assert_eq!(std::mem::size_of::<MachineId>(), 2);
+        assert_eq!(std::mem::size_of::<Edge>(), 12);
+    }
+}

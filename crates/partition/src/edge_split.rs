@@ -1,0 +1,241 @@
+//! The edge splitter (§4.1): selects which edges become *parallel-edges*
+//! and how many, per the paper's three key elements.
+//!
+//! 1. **Selection criterion** — an edge connecting two high-degree vertices
+//!    (helps rapid convergence of local computation) or an edge with a
+//!    low-out-degree source and low-degree target (saves transmission cost).
+//! 2. **Budget** — the number of parallel edges comes from
+//!    `[PE_high·(P−1) + PE_low·(P/3)] / P = TEPS · t_extra` with
+//!    `PE_low = 550 · PE_high`, where `t_extra` is the extra execution time a
+//!    user is willing to pay and TEPS the per-machine traversal rate.
+//! 3. **Dispatch rule** — a parallel edge `v→u` must appear on every machine
+//!    holding a replica of `u` (unidirectional algorithms) or of `v` *or*
+//!    `u` (bidirectional); dispatch may create replicas and therefore runs
+//!    to a fixpoint (handled in [`crate::distributed`]).
+
+use lazygraph_graph::Graph;
+
+/// Splitter tuning parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SplitterConfig {
+    /// Per-machine 'traversed edges per second' rate (machine performance).
+    pub teps: f64,
+    /// Extra execution time budget (seconds) the user grants parallel
+    /// edges; determines the proportion of parallel edges.
+    pub t_extra: f64,
+    /// Degree at or above which a vertex counts as high-degree. `None`
+    /// derives it as the 99th-percentile degree.
+    pub high_degree_threshold: Option<usize>,
+    /// Degree at or below which a vertex counts as low-degree. `None`
+    /// derives it as the average total degree (road-class graphs, whose
+    /// every edge is the transmission-saving case, then qualify).
+    pub low_degree_threshold: Option<usize>,
+    /// Hard cap on the fraction of edges split (guards pathological
+    /// configurations).
+    pub max_fraction: f64,
+}
+
+impl Default for SplitterConfig {
+    fn default() -> Self {
+        SplitterConfig {
+            teps: 20.0e6,
+            t_extra: 0.0005,
+            high_degree_threshold: None,
+            low_degree_threshold: None,
+            max_fraction: 0.05,
+        }
+    }
+}
+
+impl SplitterConfig {
+    /// A splitter that selects nothing — used for the PowerGraph baselines
+    /// and for the one-edge-only ablation.
+    pub fn disabled() -> Self {
+        SplitterConfig {
+            t_extra: 0.0,
+            ..SplitterConfig::default()
+        }
+    }
+
+    /// Solves the paper's budget equations for `(PE_high, PE_low)` given
+    /// `P` machines:
+    /// `PE_high = TEPS · t_extra · P / ((P−1) + 550·P/3)`.
+    pub fn budget(&self, num_machines: usize) -> (usize, usize) {
+        if self.t_extra <= 0.0 || num_machines < 2 {
+            return (0, 0);
+        }
+        let p = num_machines as f64;
+        let pe_high = self.teps * self.t_extra * p / ((p - 1.0) + 550.0 * p / 3.0);
+        let pe_high = pe_high.floor().max(0.0) as usize;
+        (pe_high, pe_high * 550)
+    }
+}
+
+/// The splitter's decision: which edge indices (in [`Graph::edges`] order)
+/// are parallel-edges.
+#[derive(Clone, Debug, Default)]
+pub struct SplitPlan {
+    /// Parallel flag per edge index.
+    pub is_parallel: Vec<bool>,
+    /// How many edges were selected by the high-high criterion.
+    pub num_high: usize,
+    /// How many edges were selected by the low-low criterion.
+    pub num_low: usize,
+}
+
+impl SplitPlan {
+    /// A plan with no parallel edges (baseline configuration).
+    pub fn none(num_edges: usize) -> Self {
+        SplitPlan {
+            is_parallel: vec![false; num_edges],
+            num_high: 0,
+            num_low: 0,
+        }
+    }
+
+    /// Total selected edges.
+    pub fn num_parallel(&self) -> usize {
+        self.num_high + self.num_low
+    }
+}
+
+/// Runs the selection criterion and budget to produce a [`SplitPlan`].
+pub fn plan_split(graph: &Graph, num_machines: usize, cfg: &SplitterConfig) -> SplitPlan {
+    let m = graph.num_edges();
+    let (mut pe_high, mut pe_low) = cfg.budget(num_machines);
+    let cap = (m as f64 * cfg.max_fraction) as usize;
+    if pe_high + pe_low > cap {
+        // Scale both budgets down proportionally to respect the cap.
+        let scale = cap as f64 / (pe_high + pe_low).max(1) as f64;
+        pe_high = (pe_high as f64 * scale) as usize;
+        pe_low = (pe_low as f64 * scale) as usize;
+    }
+    if pe_high + pe_low == 0 {
+        return SplitPlan::none(m);
+    }
+    let low_thresh = cfg.low_degree_threshold.unwrap_or_else(|| {
+        ((2 * graph.num_edges()).div_ceil(graph.num_vertices().max(1))).max(3)
+    });
+    let high_thresh = cfg.high_degree_threshold.unwrap_or_else(|| {
+        // 99th-percentile total degree.
+        let mut degs: Vec<usize> = graph.vertices().map(|v| graph.degree(v)).collect();
+        degs.sort_unstable();
+        let idx = (degs.len() * 99) / 100;
+        degs[idx.min(degs.len() - 1)].max(2)
+    });
+
+    // Rank candidates: high-high by combined degree (descending, biggest
+    // hubs first → fastest local convergence payoff); low-low by combined
+    // degree (ascending, cheapest replication first).
+    let mut high_candidates: Vec<(usize, usize)> = Vec::new(); // (edge idx, score)
+    let mut low_candidates: Vec<(usize, usize)> = Vec::new();
+    for (idx, e) in graph.edges().enumerate() {
+        let ds = graph.degree(e.src);
+        let dd = graph.degree(e.dst);
+        if ds >= high_thresh && dd >= high_thresh {
+            high_candidates.push((idx, ds + dd));
+        } else if graph.out_degree(e.src) <= low_thresh && dd <= low_thresh {
+            low_candidates.push((idx, ds + dd));
+        }
+    }
+    high_candidates.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    low_candidates.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+
+    let mut plan = SplitPlan::none(m);
+    for &(idx, _) in high_candidates.iter().take(pe_high) {
+        plan.is_parallel[idx] = true;
+        plan.num_high += 1;
+    }
+    for &(idx, _) in low_candidates.iter().take(pe_low) {
+        if !plan.is_parallel[idx] {
+            plan.is_parallel[idx] = true;
+            plan.num_low += 1;
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazygraph_graph::generators::{grid2d, rmat, Grid2dConfig, RmatConfig};
+
+    #[test]
+    fn budget_equation_matches_paper_form() {
+        let cfg = SplitterConfig {
+            teps: 20.0e6,
+            t_extra: 0.001,
+            ..Default::default()
+        };
+        let p = 48usize;
+        let (high, low) = cfg.budget(p);
+        assert_eq!(low, high * 550);
+        // Re-check the defining equation within rounding:
+        let lhs = (high as f64 * (p as f64 - 1.0) + low as f64 * (p as f64 / 3.0)) / p as f64;
+        let rhs = cfg.teps * cfg.t_extra;
+        assert!(
+            (lhs - rhs).abs() / rhs < 0.05,
+            "budget equation violated: lhs {lhs}, rhs {rhs}"
+        );
+    }
+
+    #[test]
+    fn zero_budget_when_disabled() {
+        let cfg = SplitterConfig::disabled();
+        assert_eq!(cfg.budget(48), (0, 0));
+        let g = rmat(RmatConfig::graph500(9, 8, 1));
+        let plan = plan_split(&g, 48, &cfg);
+        assert_eq!(plan.num_parallel(), 0);
+        assert!(plan.is_parallel.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn single_machine_never_splits() {
+        let cfg = SplitterConfig::default();
+        assert_eq!(cfg.budget(1), (0, 0));
+    }
+
+    #[test]
+    fn selection_prefers_hubs_and_leaves() {
+        let g = rmat(RmatConfig::graph500(11, 8, 2));
+        let cfg = SplitterConfig {
+            t_extra: 0.0005,
+            ..Default::default()
+        };
+        let plan = plan_split(&g, 16, &cfg);
+        assert!(plan.num_parallel() > 0, "expected some parallel edges");
+        // Verify the criterion: every selected edge is high-high or low-low.
+        let mut degs: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+        degs.sort_unstable();
+        let high_thresh = degs[(degs.len() * 99) / 100].max(2);
+        let low_thresh = ((2 * g.num_edges()).div_ceil(g.num_vertices())).max(3);
+        for (idx, e) in g.edges().enumerate() {
+            if plan.is_parallel[idx] {
+                let hh = g.degree(e.src) >= high_thresh && g.degree(e.dst) >= high_thresh;
+                let ll = g.out_degree(e.src) <= low_thresh && g.degree(e.dst) <= low_thresh;
+                assert!(hh || ll, "edge {idx} violates the selection criterion");
+            }
+        }
+    }
+
+    #[test]
+    fn cap_respected() {
+        let g = grid2d(Grid2dConfig::road(30, 30, 3));
+        let cfg = SplitterConfig {
+            t_extra: 10.0, // absurd budget
+            max_fraction: 0.01,
+            ..Default::default()
+        };
+        let plan = plan_split(&g, 8, &cfg);
+        assert!(plan.num_parallel() <= g.num_edges() / 100 + 1);
+    }
+
+    #[test]
+    fn plan_deterministic() {
+        let g = rmat(RmatConfig::weblike(10, 8, 5));
+        let cfg = SplitterConfig::default();
+        let p1 = plan_split(&g, 16, &cfg);
+        let p2 = plan_split(&g, 16, &cfg);
+        assert_eq!(p1.is_parallel, p2.is_parallel);
+    }
+}

@@ -1,0 +1,57 @@
+//! # lazygraph-partition
+//!
+//! Vertex-cut partitioning for LazyGraph (§4.1 of the paper): the four cut
+//! strategies (random, grid, coordinated, hybrid), replica/master
+//! accounting with the replication factor λ, the edge splitter that selects
+//! and budgets parallel-edges, and the construction of per-machine
+//! [`LocalShard`]s with per-edge transmission modes.
+
+pub mod distributed;
+pub mod edge_split;
+pub mod replication;
+pub mod vertex_cut;
+
+pub use distributed::{
+    build_distributed, validate_distributed, DistributedGraph, EdgeMode, LocalShard,
+};
+pub use edge_split::{plan_split, SplitPlan, SplitterConfig};
+pub use replication::Replication;
+pub use vertex_cut::{
+    load_imbalance, CoordinatedCut, GridCut, HybridCut, PartitionStrategy, Partitioner, RandomCut,
+};
+
+use lazygraph_graph::Graph;
+
+/// One-call convenience: partition `graph` over `num_machines` with
+/// `strategy`, apply `splitter`, and build the distributed graph.
+pub fn partition_graph(
+    graph: &Graph,
+    num_machines: usize,
+    strategy: PartitionStrategy,
+    splitter: &SplitterConfig,
+    bidirectional: bool,
+) -> DistributedGraph {
+    let assignment = strategy.assign(graph, num_machines);
+    let plan = plan_split(graph, num_machines, splitter);
+    build_distributed(graph, &assignment, num_machines, &plan, bidirectional)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazygraph_graph::generators::{rmat, RmatConfig};
+
+    #[test]
+    fn one_call_partition() {
+        let g = rmat(RmatConfig::graph500(9, 8, 9));
+        let dg = partition_graph(
+            &g,
+            8,
+            PartitionStrategy::Coordinated,
+            &SplitterConfig::disabled(),
+            false,
+        );
+        assert_eq!(dg.num_machines, 8);
+        assert_eq!(dg.num_global_edges, g.num_edges());
+    }
+}

@@ -1,0 +1,199 @@
+//! Replica accounting: which machines hold a copy of each vertex, which
+//! copy is the master, and the replication factor λ (Table 1's last column,
+//! the quantity §5.3 identifies as the speedup's main driver).
+
+use lazygraph_graph::hash::mix64;
+use lazygraph_graph::{Graph, MachineId};
+
+/// Replica sets and master election for every vertex.
+#[derive(Clone, Debug)]
+pub struct Replication {
+    /// Sorted machine list per vertex; never empty.
+    pub replicas: Vec<Vec<MachineId>>,
+    /// The master machine per vertex; always a member of `replicas[v]`.
+    pub masters: Vec<MachineId>,
+}
+
+impl Replication {
+    /// Builds replication from raw per-vertex machine lists: sorts and
+    /// dedups each set, hash-places a single replica for vertices with an
+    /// empty set, and elects masters.
+    pub fn new(mut replicas: Vec<Vec<MachineId>>, num_machines: usize) -> Self {
+        for (v, set) in replicas.iter_mut().enumerate() {
+            set.sort();
+            set.dedup();
+            if set.is_empty() {
+                set.push(MachineId::from(
+                    (mix64(v as u64) % num_machines as u64) as usize,
+                ));
+            }
+        }
+        let masters = elect_masters(&replicas);
+        Replication { replicas, masters }
+    }
+
+    /// Derives replication from a one-edge assignment: a vertex is
+    /// replicated on every machine owning one of its adjacent edges.
+    /// Isolated vertices get a single hash-placed replica so that every
+    /// vertex exists somewhere (CC and k-core iterate all vertices).
+    pub fn from_assignment(
+        graph: &Graph,
+        assignment: &[MachineId],
+        num_machines: usize,
+    ) -> Self {
+        assert_eq!(assignment.len(), graph.num_edges());
+        let n = graph.num_vertices();
+        let mut replicas: Vec<Vec<MachineId>> = vec![Vec::new(); n];
+        for (e, &m) in graph.edges().zip(assignment) {
+            for v in [e.src, e.dst] {
+                if !replicas[v.index()].contains(&m) {
+                    replicas[v.index()].push(m);
+                }
+            }
+        }
+        for (v, set) in replicas.iter_mut().enumerate() {
+            if set.is_empty() {
+                set.push(MachineId::from(
+                    (mix64(v as u64) % num_machines as u64) as usize,
+                ));
+            }
+            set.sort();
+        }
+        let masters = elect_masters(&replicas);
+        Replication { replicas, masters }
+    }
+
+    /// Ensures `v` has a replica on machine `m` (used by the edge splitter's
+    /// dispatch, which may create replicas — paper Fig. 7(b)). Returns true
+    /// if a replica was added. Masters are *not* re-elected here; call
+    /// [`Replication::reelect_masters`] after dispatch completes.
+    pub fn ensure_replica(&mut self, v: usize, m: MachineId) -> bool {
+        match self.replicas[v].binary_search(&m) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.replicas[v].insert(pos, m);
+                true
+            }
+        }
+    }
+
+    /// Re-elects masters after replica sets changed.
+    pub fn reelect_masters(&mut self) {
+        self.masters = elect_masters(&self.replicas);
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The replication factor λ: average number of replicas per vertex.
+    pub fn lambda(&self) -> f64 {
+        if self.replicas.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.replicas.iter().map(|s| s.len()).sum();
+        total as f64 / self.replicas.len() as f64
+    }
+
+    /// Total replica count.
+    pub fn total_replicas(&self) -> usize {
+        self.replicas.iter().map(|s| s.len()).sum()
+    }
+
+    /// Validates the master invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        for (v, (set, master)) in self.replicas.iter().zip(&self.masters).enumerate() {
+            if set.is_empty() {
+                return Err(format!("vertex {v} has no replicas"));
+            }
+            if !set.contains(master) {
+                return Err(format!("vertex {v}: master {master:?} not in replica set"));
+            }
+            if set.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("vertex {v}: replica set not sorted/unique"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn elect_masters(replicas: &[Vec<MachineId>]) -> Vec<MachineId> {
+    replicas
+        .iter()
+        .enumerate()
+        .map(|(v, set)| set[(mix64(v as u64 ^ 0xDEAD_BEEF) % set.len() as u64) as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vertex_cut::{CoordinatedCut, Partitioner, RandomCut};
+    use lazygraph_graph::generators::{rmat, RmatConfig};
+    use lazygraph_graph::GraphBuilder;
+
+    #[test]
+    fn lambda_of_single_machine_is_one() {
+        let g = rmat(RmatConfig::graph500(9, 8, 1));
+        let a = RandomCut.assign(&g, 1);
+        let r = Replication::from_assignment(&g, &a, 1);
+        r.validate().unwrap();
+        assert_eq!(r.lambda(), 1.0);
+    }
+
+    #[test]
+    fn isolated_vertices_get_one_replica() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0u32, 1u32); // vertices 2..4 are isolated
+        let g = b.build();
+        let a = RandomCut.assign(&g, 4);
+        let r = Replication::from_assignment(&g, &a, 4);
+        r.validate().unwrap();
+        for v in 2..5 {
+            assert_eq!(r.replicas[v].len(), 1);
+        }
+    }
+
+    #[test]
+    fn lambda_grows_with_machines() {
+        let g = rmat(RmatConfig::graph500(10, 8, 2));
+        let l4 = {
+            let a = CoordinatedCut.assign(&g, 4);
+            Replication::from_assignment(&g, &a, 4).lambda()
+        };
+        let l16 = {
+            let a = CoordinatedCut.assign(&g, 16);
+            Replication::from_assignment(&g, &a, 16).lambda()
+        };
+        assert!(l16 > l4, "λ should grow with machine count: {l4} vs {l16}");
+        assert!(l4 >= 1.0);
+    }
+
+    #[test]
+    fn ensure_replica_and_reelect() {
+        let g = rmat(RmatConfig::graph500(8, 4, 3));
+        let a = RandomCut.assign(&g, 4);
+        let mut r = Replication::from_assignment(&g, &a, 4);
+        let before = r.replicas[0].len();
+        let mut added = 0;
+        for m in 0..4 {
+            if r.ensure_replica(0, MachineId::from(m)) {
+                added += 1;
+            }
+        }
+        assert_eq!(r.replicas[0].len(), before + added);
+        assert_eq!(r.replicas[0].len(), 4);
+        r.reelect_masters();
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn masters_deterministic() {
+        let g = rmat(RmatConfig::graph500(9, 6, 4));
+        let a = CoordinatedCut.assign(&g, 8);
+        let r1 = Replication::from_assignment(&g, &a, 8);
+        let r2 = Replication::from_assignment(&g, &a, 8);
+        assert_eq!(r1.masters, r2.masters);
+    }
+}

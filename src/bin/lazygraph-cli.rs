@@ -1,0 +1,336 @@
+//! `lazygraph-cli` — run LazyGraph algorithms on graph files or built-in
+//! dataset analogues from the command line.
+//!
+//! ```text
+//! lazygraph-cli run  --input <file.el|file.mtx|dataset:NAME> --algorithm sssp
+//!                    [--engine lazy|sync|async|lazy-vertex] [--machines 8]
+//!                    [--partition coordinated|random|grid|hybrid]
+//!                    [--source 0] [--k 3] [--tolerance 1e-3] [--scale 0.1]
+//!                    [--symmetrize] [--weights LO:HI] [--output values.txt]
+//! lazygraph-cli info --input <...> [--machines 48] [--scale 0.1]
+//! lazygraph-cli generate --kind rmat|road|web|social --vertices N --out FILE
+//! ```
+
+use std::process::exit;
+
+use lazygraph::prelude::*;
+use lazygraph_algorithms::{
+    reference, Bfs, ConnectedComponents, KCore, PageRankDelta, Sssp, WidestPath,
+};
+use lazygraph_graph::generators::{grid2d, rmat, web_crawl, Grid2dConfig, RmatConfig, WebCrawlConfig};
+use lazygraph_graph::{graph_stats, io as gio, mtx, Dataset};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  lazygraph-cli run --input <file|dataset:NAME> --algorithm \
+         <sssp|pagerank|cc|kcore|bfs|widest> [options]\n  lazygraph-cli info --input <file|dataset:NAME>\n  \
+         lazygraph-cli generate --kind <rmat|road|web|social> --vertices N --out FILE\n\
+         datasets: uk2005 web-google road-usa roadnet-ca twitter livejournal enwiki youtube"
+    );
+    exit(2);
+}
+
+struct Opts {
+    values: std::collections::HashMap<String, String>,
+    flags: std::collections::HashSet<String>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Opts {
+        let mut values = std::collections::HashMap::new();
+        let mut flags = std::collections::HashSet::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                eprintln!("unexpected argument {a}");
+                usage();
+            };
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    values.insert(key.to_string(), it.next().unwrap().clone());
+                }
+                _ => {
+                    flags.insert(key.to_string());
+                }
+            }
+        }
+        Opts { values, flags }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(|s| s.as_str())
+    }
+
+    fn get_or(&self, key: &str, default: &str) -> String {
+        self.get(key).unwrap_or(default).to_string()
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.get(key) {
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("--{key}: cannot parse {v}");
+                exit(2);
+            }),
+            None => default,
+        }
+    }
+}
+
+fn dataset_by_name(name: &str) -> Option<Dataset> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "uk2005" | "uk-2005" => Dataset::Uk2005Like,
+        "web-google" | "google" => Dataset::WebGoogleLike,
+        "road-usa" | "roadusa" => Dataset::RoadUsaLike,
+        "roadnet-ca" | "roadnet" => Dataset::RoadNetCaLike,
+        "twitter" => Dataset::TwitterLike,
+        "livejournal" | "lj" => Dataset::LiveJournalLike,
+        "enwiki" | "wiki" => Dataset::EnwikiLike,
+        "youtube" | "com-youtube" => Dataset::ComYoutubeLike,
+        _ => return None,
+    })
+}
+
+fn load_input(opts: &Opts) -> Graph {
+    let input = opts.get("input").unwrap_or_else(|| usage());
+    let scale: f64 = opts.parse_num("scale", 0.1);
+    let mut graph = if let Some(name) = input.strip_prefix("dataset:") {
+        let ds = dataset_by_name(name).unwrap_or_else(|| {
+            eprintln!("unknown dataset {name}");
+            usage();
+        });
+        if opts.flags.contains("symmetrize") {
+            ds.build_symmetric(scale)
+        } else {
+            ds.build(scale)
+        }
+    } else if input.ends_with(".mtx") {
+        mtx::load_matrix_market(input).unwrap_or_else(|e| {
+            eprintln!("failed to load {input}: {e}");
+            exit(1);
+        })
+    } else {
+        gio::load_edge_list(input, None).unwrap_or_else(|e| {
+            eprintln!("failed to load {input}: {e}");
+            exit(1);
+        })
+    };
+    let needs_symmetrize =
+        opts.flags.contains("symmetrize") && !graph.is_symmetric();
+    let weights = opts.get("weights").map(|w| {
+        let (lo, hi) = w.split_once(':').unwrap_or_else(|| {
+            eprintln!("--weights needs LO:HI");
+            exit(2);
+        });
+        (
+            lo.parse::<f32>().expect("weights lo"),
+            hi.parse::<f32>().expect("weights hi"),
+        )
+    });
+    if needs_symmetrize || weights.is_some() {
+        let mut b = GraphBuilder::new(graph.num_vertices());
+        b.extend(graph.edges());
+        if needs_symmetrize {
+            b.symmetrize();
+        }
+        if let Some((lo, hi)) = weights {
+            b.randomize_weights(lo, hi, 0xC11);
+        }
+        graph = b.build();
+    }
+    graph
+}
+
+fn engine_config(opts: &Opts) -> EngineConfig {
+    let engine = match opts.get_or("engine", "lazy").as_str() {
+        "lazy" | "lazy-block" => EngineKind::LazyBlockAsync,
+        "sync" | "powergraph-sync" => EngineKind::PowerGraphSync,
+        "async" | "powergraph-async" => EngineKind::PowerGraphAsync,
+        "lazy-vertex" => EngineKind::LazyVertexAsync,
+        other => {
+            eprintln!("unknown engine {other}");
+            usage();
+        }
+    };
+    let partition = match opts.get_or("partition", "coordinated").as_str() {
+        "coordinated" => PartitionStrategy::Coordinated,
+        "random" => PartitionStrategy::Random,
+        "grid" => PartitionStrategy::Grid,
+        "hybrid" => PartitionStrategy::Hybrid,
+        other => {
+            eprintln!("unknown partition strategy {other}");
+            usage();
+        }
+    };
+    let mut cfg = EngineConfig::lazygraph()
+        .with_engine(engine)
+        .with_partition(partition);
+    if opts.flags.contains("bidirectional") {
+        cfg = cfg.with_bidirectional(true);
+    }
+    if opts.flags.contains("history") {
+        cfg.record_history = true;
+    }
+    cfg
+}
+
+fn write_values<T: std::fmt::Display>(opts: &Opts, values: &[T]) {
+    if let Some(path) = opts.get("output") {
+        let body: String = values
+            .iter()
+            .enumerate()
+            .map(|(v, x)| format!("{v}\t{x}\n"))
+            .collect();
+        std::fs::write(path, body).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        });
+        println!("wrote {} values to {path}", values.len());
+    }
+}
+
+fn cmd_run(opts: &Opts) {
+    let graph = load_input(opts);
+    let machines: usize = opts.parse_num("machines", 8);
+    let cfg = engine_config(opts);
+    let algorithm = opts.get("algorithm").unwrap_or_else(|| usage());
+    println!(
+        "running {algorithm} on {} vertices / {} edges, {} machines, engine {}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        machines,
+        cfg.engine.name()
+    );
+    match algorithm {
+        "sssp" => {
+            let source = VertexId(opts.parse_num("source", 0u32));
+            let r = run(&graph, machines, &cfg, &Sssp::new(source));
+            println!("{}", r.metrics.summary());
+            write_values(opts, &r.values);
+        }
+        "bfs" => {
+            let source = VertexId(opts.parse_num("source", 0u32));
+            let r = run(&graph, machines, &cfg, &Bfs::new(source));
+            println!("{}", r.metrics.summary());
+            write_values(opts, &r.values);
+        }
+        "widest" => {
+            let source = VertexId(opts.parse_num("source", 0u32));
+            let r = run(&graph, machines, &cfg, &WidestPath::new(source));
+            println!("{}", r.metrics.summary());
+            write_values(opts, &r.values);
+        }
+        "pagerank" => {
+            let tolerance: f64 = opts.parse_num("tolerance", 1e-3);
+            let r = run(&graph, machines, &cfg, &PageRankDelta { tolerance });
+            println!("{}", r.metrics.summary());
+            let ranks: Vec<String> = r.values.iter().map(|d| format!("{:.6}", d.rank)).collect();
+            write_values(opts, &ranks);
+        }
+        "cc" => {
+            let cfg = cfg.with_bidirectional(true);
+            let r = run(&graph, machines, &cfg, &ConnectedComponents);
+            println!("{}", r.metrics.summary());
+            let components: std::collections::HashSet<_> = r.values.iter().collect();
+            println!("{} connected components", components.len());
+            write_values(opts, &r.values);
+        }
+        "kcore" => {
+            let k: u32 = opts.parse_num("k", 3);
+            let cfg = cfg.with_bidirectional(true);
+            let r = run(&graph, machines, &cfg, &KCore::new(k));
+            println!("{}", r.metrics.summary());
+            let survivors = r.values.iter().filter(|&&c| c > 0).count();
+            println!("{survivors} vertices in the {k}-core");
+            write_values(opts, &r.values);
+        }
+        other => {
+            eprintln!("unknown algorithm {other}");
+            usage();
+        }
+    }
+}
+
+fn cmd_info(opts: &Opts) {
+    let graph = load_input(opts);
+    let machines: usize = opts.parse_num("machines", 48);
+    let s = graph_stats(&graph);
+    println!("vertices:        {}", s.num_vertices);
+    println!("edges:           {}", s.num_edges);
+    println!("E/V:             {:.2}", s.ev_ratio);
+    println!("max out-degree:  {}", s.max_out_degree);
+    println!("max in-degree:   {}", s.max_in_degree);
+    println!("top-1% share:    {:.3}", s.top1pct_edge_share);
+    println!("symmetric:       {}", graph.is_symmetric());
+    let cfg = engine_config(opts);
+    let dg = lazygraph_partition::partition_graph(
+        &graph,
+        machines,
+        cfg.partition,
+        &cfg.splitter,
+        cfg.bidirectional,
+    );
+    println!(
+        "lambda:          {:.2}  ({} partitions, {} cut)",
+        dg.lambda(),
+        machines,
+        cfg.partition.name()
+    );
+    println!("parallel edges:  {}", dg.num_parallel_edges);
+    println!("storage overhead:{:.3}", dg.storage_overhead());
+    let levels = reference::bfs_levels(&graph, VertexId(0));
+    let reachable = levels.iter().filter(|&&l| l != u32::MAX).count();
+    println!(
+        "reach from v0:   {} vertices, eccentricity {}",
+        reachable,
+        levels.iter().filter(|&&l| l != u32::MAX).max().unwrap_or(&0)
+    );
+}
+
+fn cmd_generate(opts: &Opts) {
+    let out = opts.get("out").unwrap_or_else(|| usage());
+    let n: usize = opts.parse_num("vertices", 10_000);
+    let seed: u64 = opts.parse_num("seed", 42);
+    let graph = match opts.get_or("kind", "rmat").as_str() {
+        "rmat" | "social" => {
+            let scale = (n.max(64) as f64).log2().round() as u32;
+            rmat(RmatConfig::graph500(scale, 16, seed))
+        }
+        "road" => {
+            let side = (n as f64).sqrt().round().max(8.0) as usize;
+            grid2d(Grid2dConfig::road(side, side, seed))
+        }
+        "web" => web_crawl(WebCrawlConfig::uk_flavour(n, seed)),
+        other => {
+            eprintln!("unknown kind {other}");
+            usage();
+        }
+    };
+    let result = if out.ends_with(".mtx") {
+        mtx::save_matrix_market(&graph, out)
+    } else {
+        gio::save_edge_list(&graph, out)
+    };
+    result.unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        exit(1);
+    });
+    println!(
+        "wrote {} vertices / {} edges to {out}",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage();
+    };
+    let opts = Opts::parse(rest);
+    match cmd.as_str() {
+        "run" => cmd_run(&opts),
+        "info" => cmd_info(&opts),
+        "generate" => cmd_generate(&opts),
+        _ => usage(),
+    }
+}

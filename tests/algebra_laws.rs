@@ -1,0 +1,103 @@
+//! Property tests of each vertex program's algebra — the §3.5 correctness
+//! proof rests on `Sum ⊕` being commutative and associative and `Inverse`
+//! undoing one contribution; these laws are what the engines assume.
+
+use proptest::prelude::*;
+
+use lazygraph::prelude::*;
+use lazygraph_algorithms::{MultiSourceBfs, WidestPath};
+use lazygraph_engine::VertexProgram;
+use lazygraph_graph::VertexId;
+
+fn check_comm_assoc<P: VertexProgram>(p: &P, a: P::Delta, b: P::Delta, c: P::Delta) {
+    assert_eq!(p.sum(a, b), p.sum(b, a), "⊕ must be commutative");
+    assert_eq!(
+        p.sum(p.sum(a, b), c),
+        p.sum(a, p.sum(b, c)),
+        "⊕ must be associative"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn kcore_algebra(a in 0u32..1000, b in 0u32..1000, c in 0u32..1000) {
+        let p = KCore::new(3);
+        check_comm_assoc(&p, a, b, c);
+        // Inverse law: inverse(sum(a, b), a) == b.
+        prop_assert_eq!(p.inverse(p.sum(a, b), a), b);
+    }
+
+    #[test]
+    fn sssp_algebra(a in 0.0f32..1e6, b in 0.0f32..1e6, c in 0.0f32..1e6) {
+        let p = Sssp::new(0u32);
+        check_comm_assoc(&p, a, b, c);
+        // Idempotence: a ⊕ a == a, and the identity Inverse is harmless:
+        // sum(x, inverse(sum(x, y), x)) == sum(x, y).
+        prop_assert_eq!(p.sum(a, a), a);
+        let total = p.sum(a, b);
+        prop_assert_eq!(p.sum(a, p.inverse(total, a)), total);
+    }
+
+    #[test]
+    fn cc_algebra(a in any::<u32>(), b in any::<u32>(), c in any::<u32>()) {
+        let p = ConnectedComponents;
+        check_comm_assoc(&p, a, b, c);
+        prop_assert_eq!(p.sum(a, a), a);
+    }
+
+    #[test]
+    fn bfs_algebra(a in any::<u32>(), b in any::<u32>(), c in any::<u32>()) {
+        let p = Bfs::new(0u32);
+        check_comm_assoc(&p, a, b, c);
+        prop_assert_eq!(p.sum(a, a), a);
+    }
+
+    #[test]
+    fn widest_path_algebra(a in 0.0f32..1e6, b in 0.0f32..1e6, c in 0.0f32..1e6) {
+        let p = WidestPath::new(0u32);
+        check_comm_assoc(&p, a, b, c);
+        prop_assert_eq!(p.sum(a, a), a);
+    }
+
+    #[test]
+    fn multi_bfs_algebra(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let p = MultiSourceBfs::new(vec![VertexId(0)]);
+        check_comm_assoc(&p, a, b, c);
+        prop_assert_eq!(p.sum(a, a), a);
+    }
+
+    /// PageRank's algebra over sane magnitudes (floats are only
+    /// approximately associative; the engine's proof needs exactness only
+    /// up to the program's own tolerance, so we check within 1e-9).
+    #[test]
+    fn pagerank_algebra(a in -1e3f64..1e3, b in -1e3f64..1e3, c in -1e3f64..1e3) {
+        let p = PageRankDelta::default();
+        prop_assert_eq!(p.sum(a, b), p.sum(b, a));
+        let l = p.sum(p.sum(a, b), c);
+        let r = p.sum(a, p.sum(b, c));
+        prop_assert!((l - r).abs() < 1e-9);
+        let undone = p.inverse(p.sum(a, b), a);
+        prop_assert!((undone - b).abs() < 1e-9);
+    }
+
+    /// The scatter transform of SSSP composes with ⊕ the way path
+    /// relaxation requires: min distributes over +w.
+    #[test]
+    fn sssp_scatter_distributes(a in 0.0f32..1e5, b in 0.0f32..1e5, w in 0.0f32..1e3) {
+        let p = Sssp::new(0u32);
+        let ctx = lazygraph_engine::VertexCtx {
+            out_degree: 1,
+            in_degree: 1,
+            degree: 2,
+            num_vertices: 2,
+        };
+        let e = lazygraph_engine::EdgeCtx {
+            dst: VertexId(1),
+            weight: w,
+        };
+        let s = |d: f32| p.scatter(VertexId(0), &d, d, &ctx, &e).unwrap();
+        prop_assert_eq!(s(p.sum(a, b)), p.sum(s(a), s(b)));
+    }
+}

@@ -1,0 +1,112 @@
+//! Dataset-suite integration tests: the Table-1 analogues must reproduce
+//! the structural properties every downstream figure depends on.
+
+use lazygraph::prelude::*;
+use lazygraph_graph::{graph_stats, Dataset, GraphClass};
+use lazygraph_partition::{partition_graph, SplitterConfig};
+
+const SCALE: f64 = 0.08;
+const P: usize = 48;
+
+fn lambda(ds: Dataset) -> f64 {
+    let g = ds.build(SCALE);
+    partition_graph(
+        &g,
+        P,
+        PartitionStrategy::Coordinated,
+        &SplitterConfig::disabled(),
+        false,
+    )
+    .lambda()
+}
+
+#[test]
+fn lambda_ordering_matches_paper_classes() {
+    // §5.3: road-class graphs have the lowest λ, enwiki the highest.
+    let road = lambda(Dataset::RoadUsaLike).max(lambda(Dataset::RoadNetCaLike));
+    let enwiki = lambda(Dataset::EnwikiLike);
+    let twitter = lambda(Dataset::TwitterLike);
+    let google = lambda(Dataset::WebGoogleLike);
+    assert!(road < twitter, "road λ {road} must be below twitter λ {twitter}");
+    assert!(google < twitter, "web-Google λ {google} must be below twitter λ {twitter}");
+    assert!(
+        enwiki > twitter * 0.9,
+        "enwiki λ {enwiki} must be at the top (twitter {twitter})"
+    );
+}
+
+#[test]
+fn ev_ratio_splits_locality_classes() {
+    // The adaptive interval model's E/V ≤ 10 split must separate road from
+    // the dense web/social graphs on the *evaluation* (symmetrised) form.
+    for ds in [Dataset::RoadUsaLike, Dataset::RoadNetCaLike] {
+        let g = ds.build_symmetric(SCALE);
+        assert!(g.ev_ratio() < 10.0, "{}: E/V {}", ds.name(), g.ev_ratio());
+    }
+    for ds in [Dataset::TwitterLike, Dataset::LiveJournalLike, Dataset::EnwikiLike] {
+        let g = ds.build_symmetric(SCALE);
+        assert!(g.ev_ratio() > 10.0, "{}: E/V {}", ds.name(), g.ev_ratio());
+    }
+}
+
+#[test]
+fn degree_skew_matches_classes() {
+    for ds in Dataset::all() {
+        let stats = graph_stats(&ds.build(SCALE));
+        match ds.class() {
+            GraphClass::Road => assert!(
+                stats.max_out_degree <= 16,
+                "{}: road graphs must not have hubs ({})",
+                ds.name(),
+                stats.max_out_degree
+            ),
+            GraphClass::Social | GraphClass::Web => assert!(
+                stats.max_out_degree as f64 > 4.0 * stats.avg_degree,
+                "{}: expected skew (max {}, avg {:.1})",
+                ds.name(),
+                stats.max_out_degree,
+                stats.avg_degree
+            ),
+        }
+    }
+}
+
+#[test]
+fn datasets_are_reproducible() {
+    for ds in Dataset::all() {
+        let a = ds.build(SCALE);
+        let b = ds.build(SCALE);
+        assert_eq!(a.num_vertices(), b.num_vertices(), "{}", ds.name());
+        assert_eq!(a.num_edges(), b.num_edges(), "{}", ds.name());
+        let ea: Vec<_> = a.edges().map(|e| (e.src, e.dst)).collect();
+        let eb: Vec<_> = b.edges().map(|e| (e.src, e.dst)).collect();
+        assert_eq!(ea, eb, "{}", ds.name());
+    }
+}
+
+#[test]
+fn symmetric_form_is_weighted_and_symmetric() {
+    for ds in Dataset::all() {
+        let g = ds.build_symmetric(0.04);
+        assert!(g.is_symmetric(), "{}", ds.name());
+        assert!(
+            g.edges().all(|e| (1.0..64.0).contains(&e.weight)),
+            "{}: weights out of band",
+            ds.name()
+        );
+    }
+}
+
+#[test]
+fn road_diameter_is_large() {
+    // The road class's huge diameter is what makes Sync pay hundreds of
+    // supersteps — check the BFS eccentricity from a corner is lattice-like.
+    let g = Dataset::RoadNetCaLike.build_symmetric(SCALE);
+    let levels = lazygraph_algorithms::reference::bfs_levels(&g, VertexId(0));
+    let ecc = levels.iter().filter(|&&l| l != u32::MAX).max().copied().unwrap();
+    let side = (g.num_vertices() as f64).sqrt();
+    assert!(
+        (ecc as f64) > 0.5 * side,
+        "road eccentricity {ecc} too small for side {side}"
+    );
+}

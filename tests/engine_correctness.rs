@@ -1,0 +1,173 @@
+//! Integration correctness: every engine × every algorithm × several
+//! graphs, partitioners, and machine counts must reproduce the sequential
+//! reference semantics (§3.5's claim, under test end-to-end).
+
+use lazygraph::prelude::*;
+use lazygraph_algorithms::reference;
+use lazygraph_engine::IntervalPolicy;
+use lazygraph_graph::generators::{erdos_renyi, grid2d, rmat, Grid2dConfig, RmatConfig};
+use lazygraph_graph::GraphBuilder;
+
+fn symmetric_weighted(g: &Graph, seed: u64) -> Graph {
+    let mut b = GraphBuilder::new(g.num_vertices());
+    b.extend(g.edges());
+    b.symmetrize();
+    b.randomize_weights(1.0, 16.0, seed);
+    b.build()
+}
+
+fn engines() -> [EngineKind; 4] {
+    [
+        EngineKind::PowerGraphSync,
+        EngineKind::PowerGraphAsync,
+        EngineKind::LazyBlockAsync,
+        EngineKind::LazyVertexAsync,
+    ]
+}
+
+fn cfg_for(engine: EngineKind, bidirectional: bool) -> EngineConfig {
+    EngineConfig::lazygraph()
+        .with_engine(engine)
+        .with_bidirectional(bidirectional)
+}
+
+#[test]
+fn sssp_all_engines_match_dijkstra() {
+    let g = symmetric_weighted(&grid2d(Grid2dConfig::road(12, 12, 1)), 1);
+    let expected = reference::dijkstra(&g, VertexId(0));
+    for engine in engines() {
+        let result = run(&g, 4, &cfg_for(engine, false), &Sssp::new(0u32));
+        assert_eq!(
+            result.values, expected,
+            "engine {engine:?} diverged on SSSP"
+        );
+        assert!(result.metrics.converged, "{engine:?} did not converge");
+    }
+}
+
+#[test]
+fn cc_all_engines_match_union_find() {
+    let g = symmetric_weighted(&erdos_renyi(400, 900, 2), 2);
+    let expected = reference::connected_components(&g);
+    for engine in engines() {
+        let result = run(&g, 4, &cfg_for(engine, true), &ConnectedComponents);
+        assert_eq!(result.values, expected, "engine {engine:?} diverged on CC");
+    }
+}
+
+#[test]
+fn kcore_all_engines_match_peeling() {
+    let g = symmetric_weighted(&rmat(RmatConfig::graph500(9, 6, 3)), 3);
+    let expected = reference::kcore_peeling(&g, 4);
+    for engine in engines() {
+        let result = run(&g, 4, &cfg_for(engine, true), &KCore::new(4));
+        assert_eq!(
+            result.values, expected,
+            "engine {engine:?} diverged on k-core"
+        );
+    }
+}
+
+#[test]
+fn bfs_all_engines_match_reference() {
+    let g = rmat(RmatConfig::weblike(9, 6, 4));
+    let expected = reference::bfs_levels(&g, VertexId(0));
+    for engine in engines() {
+        let result = run(&g, 4, &cfg_for(engine, false), &Bfs::new(0u32));
+        assert_eq!(result.values, expected, "engine {engine:?} diverged on BFS");
+    }
+}
+
+#[test]
+fn pagerank_all_engines_near_power_iteration() {
+    let g = erdos_renyi(300, 2400, 5);
+    let power = reference::pagerank_power(&g, 150);
+    for engine in engines() {
+        let program = PageRankDelta { tolerance: 1e-5 };
+        let result = run(&g, 4, &cfg_for(engine, false), &program);
+        for (v, (got, want)) in result.values.iter().zip(&power).enumerate() {
+            assert!(
+                (got.rank - want).abs() < 0.01 * want.max(1.0),
+                "engine {engine:?}, vertex {v}: rank {} vs power {}",
+                got.rank,
+                want
+            );
+        }
+    }
+}
+
+#[test]
+fn lazy_matches_reference_across_partitioners() {
+    let g = symmetric_weighted(&rmat(RmatConfig::graph500(9, 8, 6)), 6);
+    let expected = reference::dijkstra(&g, VertexId(0));
+    for strategy in PartitionStrategy::all() {
+        let cfg = EngineConfig::lazygraph().with_partition(strategy);
+        let result = run(&g, 6, &cfg, &Sssp::new(0u32));
+        assert_eq!(result.values, expected, "partitioner {strategy:?} diverged");
+    }
+}
+
+#[test]
+fn lazy_matches_reference_across_machine_counts() {
+    let g = symmetric_weighted(&grid2d(Grid2dConfig::road(10, 10, 7)), 7);
+    let expected = reference::kcore_peeling(&g, 3);
+    for p in [1, 2, 3, 8, 13] {
+        let cfg = EngineConfig::lazygraph().with_bidirectional(true);
+        let result = run(&g, p, &cfg, &KCore::new(3));
+        assert_eq!(result.values, expected, "P={p} diverged");
+    }
+}
+
+#[test]
+fn lazy_interval_policies_all_correct() {
+    let g = symmetric_weighted(&erdos_renyi(250, 700, 8), 8);
+    let expected = reference::connected_components(&g);
+    for interval in [
+        IntervalPolicy::paper_adaptive(),
+        IntervalPolicy::AlwaysLazy,
+        IntervalPolicy::NeverLazy,
+    ] {
+        let cfg = EngineConfig::lazygraph()
+            .with_interval(interval)
+            .with_bidirectional(true);
+        let result = run(&g, 4, &cfg, &ConnectedComponents);
+        assert_eq!(result.values, expected, "interval {interval:?} diverged");
+    }
+}
+
+#[test]
+fn lazy_comm_modes_all_correct() {
+    let g = symmetric_weighted(&rmat(RmatConfig::graph500(8, 8, 9)), 9);
+    let expected = reference::dijkstra(&g, VertexId(3));
+    for mode in [
+        CommModePolicy::Auto,
+        CommModePolicy::AllToAll,
+        CommModePolicy::MirrorsToMaster,
+    ] {
+        let cfg = EngineConfig::lazygraph().with_comm_mode(mode);
+        let result = run(&g, 5, &cfg, &Sssp::new(3u32));
+        assert_eq!(result.values, expected, "comm mode {mode:?} diverged");
+    }
+
+    // Mirrors-to-master must also hold for a non-idempotent (additive)
+    // algebra, where the Inverse step is load-bearing.
+    let expected = reference::kcore_peeling(&g, 5);
+    let cfg = EngineConfig::lazygraph()
+        .with_comm_mode(CommModePolicy::MirrorsToMaster)
+        .with_bidirectional(true);
+    let result = run(&g, 5, &cfg, &KCore::new(5));
+    assert_eq!(result.values, expected, "m2m + additive algebra diverged");
+}
+
+#[test]
+fn splitter_heavy_configuration_stays_correct() {
+    // Crank the parallel-edge budget far beyond the default and make sure
+    // semantics are unchanged (only placement/transmission differ).
+    let g = symmetric_weighted(&rmat(RmatConfig::graph500(8, 8, 10)), 10);
+    let expected = reference::connected_components(&g);
+    let mut cfg = EngineConfig::lazygraph().with_bidirectional(true);
+    cfg.splitter.t_extra = 0.01;
+    cfg.splitter.max_fraction = 0.2;
+    let result = run(&g, 6, &cfg, &ConnectedComponents);
+    assert_eq!(result.values, expected);
+}

@@ -1,0 +1,119 @@
+//! Integration coverage for the extension algorithms (widest path,
+//! personalised PageRank, multi-source BFS) across the distributed engines
+//! — each exercises a different algebra corner: max–min, seeded additive,
+//! and bitwise-OR.
+
+use lazygraph::prelude::*;
+use lazygraph_algorithms::multi_bfs::MultiSourceBfs;
+use lazygraph_algorithms::ppr::{ppr_power, PersonalizedPageRank};
+use lazygraph_algorithms::reference;
+use lazygraph_algorithms::widest_path::{widest_path_reference, WidestPath};
+use lazygraph_graph::generators::{erdos_renyi, rmat, small_world, RmatConfig};
+use lazygraph_graph::VertexId;
+
+fn engines() -> [EngineKind; 4] {
+    [
+        EngineKind::PowerGraphSync,
+        EngineKind::PowerGraphAsync,
+        EngineKind::LazyBlockAsync,
+        EngineKind::LazyVertexAsync,
+    ]
+}
+
+#[test]
+fn widest_path_all_engines_match_reference() {
+    let base = rmat(RmatConfig::weblike(9, 6, 41));
+    let mut b = GraphBuilder::new(base.num_vertices());
+    b.extend(base.edges());
+    b.randomize_weights(1.0, 50.0, 41);
+    let g = b.build();
+    let expected = widest_path_reference(&g, VertexId(0));
+    for engine in engines() {
+        let cfg = EngineConfig::lazygraph().with_engine(engine);
+        let result = run(&g, 5, &cfg, &WidestPath::new(0u32));
+        assert_eq!(result.values, expected, "{engine:?} diverged");
+    }
+}
+
+#[test]
+fn multi_bfs_all_engines_match_reference() {
+    let g = small_world(800, 3, 0.05, 42);
+    let seeds = MultiSourceBfs::spread_seeds(g.num_vertices(), 12, 7);
+    let program = MultiSourceBfs::new(seeds.clone());
+    let expected = reference::run_sequential(&g, &program);
+    for engine in engines() {
+        let cfg = EngineConfig::lazygraph().with_engine(engine);
+        let result = run(&g, 6, &cfg, &program);
+        assert_eq!(result.values, expected, "{engine:?} diverged");
+    }
+}
+
+#[test]
+fn ppr_engines_near_power_iteration() {
+    let g = erdos_renyi(250, 1800, 43);
+    let seed = VertexId(11);
+    let program = PersonalizedPageRank {
+        seed,
+        tolerance: 1e-7,
+    };
+    let power = ppr_power(&g, seed, 150);
+    for engine in [EngineKind::PowerGraphSync, EngineKind::LazyBlockAsync] {
+        let cfg = EngineConfig::lazygraph().with_engine(engine);
+        let result = run(&g, 4, &cfg, &program);
+        for (v, (got, want)) in result.values.iter().zip(&power).enumerate() {
+            assert!(
+                (got.rank - want).abs() < 1e-2 * want.max(0.1),
+                "{engine:?} vertex {v}: {} vs {}",
+                got.rank,
+                want
+            );
+        }
+    }
+}
+
+#[test]
+fn suppression_off_matches_suppression_on() {
+    // The delta-suppression optimisation must not change results for
+    // exact (idempotent) algebras.
+    let base = rmat(RmatConfig::graph500(9, 7, 44));
+    let mut b = GraphBuilder::new(base.num_vertices());
+    b.extend(base.edges());
+    b.symmetrize();
+    b.randomize_weights(1.0, 20.0, 44);
+    let g = b.build();
+    let mut on = EngineConfig::lazygraph();
+    on.delta_suppression = true;
+    let mut off = EngineConfig::lazygraph();
+    off.delta_suppression = false;
+    let r_on = run(&g, 6, &on, &Sssp::new(0u32));
+    let r_off = run(&g, 6, &off, &Sssp::new(0u32));
+    assert_eq!(r_on.values, r_off.values);
+    assert!(
+        r_on.metrics.traffic_bytes() <= r_off.metrics.traffic_bytes(),
+        "suppression must not increase traffic: {} vs {}",
+        r_on.metrics.traffic_bytes(),
+        r_off.metrics.traffic_bytes()
+    );
+}
+
+#[test]
+fn history_recording_round_trip() {
+    let g = small_world(600, 3, 0.1, 45);
+    let mut cfg = EngineConfig::lazygraph();
+    cfg.record_history = true;
+    let r = run(&g, 4, &cfg, &ConnectedComponents);
+    let h = &r.metrics.history;
+    assert_eq!(h.len() as u64, r.metrics.coherency_points);
+    assert!(!h[0].lazy_on, "first iteration is always eager");
+    assert_eq!(h.last().unwrap().pending, 0, "last round must be quiescent");
+    // Simulated time is monotone across rounds.
+    for w in h.windows(2) {
+        assert!(w[0].sim_time <= w[1].sim_time);
+        assert_eq!(w[0].iteration + 1, w[1].iteration);
+    }
+    // Sync engine histories too.
+    let mut cfg = EngineConfig::powergraph_sync();
+    cfg.record_history = true;
+    let r = run(&g, 4, &cfg, &ConnectedComponents);
+    assert_eq!(r.metrics.history.len() as u64, r.metrics.iterations);
+}

@@ -1,0 +1,173 @@
+//! Invariants of the measurement plumbing itself — the quantities the
+//! figures plot must obey the protocol's structure exactly.
+
+use lazygraph::prelude::*;
+use lazygraph_cluster::Phase;
+use lazygraph_graph::Dataset;
+
+fn road() -> Graph {
+    Dataset::RoadNetCaLike.build_symmetric(0.1)
+}
+
+fn social() -> Graph {
+    Dataset::TwitterLike.build_symmetric(0.1)
+}
+
+#[test]
+fn sync_engine_pays_three_syncs_per_superstep() {
+    let g = road();
+    let r = run(&g, 6, &EngineConfig::powergraph_sync(), &Sssp::new(0u32));
+    assert_eq!(
+        r.metrics.global_syncs(),
+        3 * r.metrics.iterations,
+        "PowerGraph Sync must pay exactly 3 global syncs per superstep (§2.2)"
+    );
+    // And exactly two communication phases: gather and apply.
+    let snap = &r.metrics.stats;
+    assert!(snap.phase(Phase::Gather).bytes > 0);
+    assert!(snap.phase(Phase::Apply).bytes > 0);
+    assert_eq!(snap.phase(Phase::Coherency).bytes, 0);
+    assert_eq!(snap.phase(Phase::Async).bytes, 0);
+}
+
+#[test]
+fn lazy_engine_pays_one_sync_per_coherency_point() {
+    let g = road();
+    let r = run(&g, 6, &EngineConfig::lazygraph(), &Sssp::new(0u32));
+    assert_eq!(
+        r.metrics.global_syncs(),
+        r.metrics.coherency_points,
+        "LazyBlockAsync: one global sync per data coherency point (Fig. 1(c))"
+    );
+    assert_eq!(
+        r.metrics.a2a_exchanges + r.metrics.m2m_exchanges,
+        r.metrics.coherency_points
+    );
+    let snap = &r.metrics.stats;
+    assert_eq!(snap.phase(Phase::Gather).bytes, 0);
+    assert_eq!(snap.phase(Phase::Apply).bytes, 0);
+    assert!(snap.phase(Phase::Coherency).bytes > 0);
+}
+
+#[test]
+fn async_engine_has_no_barriers() {
+    let g = road();
+    let r = run(&g, 4, &EngineConfig::powergraph_async(), &Sssp::new(0u32));
+    assert_eq!(r.metrics.global_syncs(), 0);
+    assert!(r.metrics.stats.phase(Phase::Async).bytes > 0);
+    assert!(r.metrics.sim_time > 0.0);
+}
+
+#[test]
+fn lazy_reduces_syncs_and_traffic_on_road(// the §5.3 headline mechanism
+) {
+    let g = road();
+    let sync = run(&g, 8, &EngineConfig::powergraph_sync(), &Sssp::new(0u32)).metrics;
+    let lazy = run(&g, 8, &EngineConfig::lazygraph(), &Sssp::new(0u32)).metrics;
+    assert!(
+        lazy.global_syncs() * 3 < sync.global_syncs(),
+        "lazy must cut global syncs by >3x on road SSSP: {} vs {}",
+        lazy.global_syncs(),
+        sync.global_syncs()
+    );
+    assert!(
+        lazy.traffic_bytes() < sync.traffic_bytes(),
+        "lazy must cut traffic on road SSSP: {} vs {}",
+        lazy.traffic_bytes(),
+        sync.traffic_bytes()
+    );
+    assert!(
+        lazy.sim_time < sync.sim_time,
+        "lazy must be faster on road SSSP"
+    );
+}
+
+#[test]
+fn speedup_ordering_tracks_lambda() {
+    // §5.3: "The lower λ of the input graph, the greater the speedup."
+    let road = road();
+    let social = social();
+    let s = |g: &Graph| {
+        let sync = run(g, 8, &EngineConfig::powergraph_sync(), &Sssp::new(0u32)).metrics;
+        let lazy = run(g, 8, &EngineConfig::lazygraph(), &Sssp::new(0u32)).metrics;
+        (lazy.lambda, sync.sim_time / lazy.sim_time)
+    };
+    let (road_lambda, road_speedup) = s(&road);
+    let (social_lambda, social_speedup) = s(&social);
+    assert!(road_lambda < social_lambda, "λ ordering broken");
+    assert!(
+        road_speedup > social_speedup,
+        "speedup ordering must track 1/λ: road {road_speedup:.2} vs social {social_speedup:.2}"
+    );
+}
+
+#[test]
+fn sim_breakdown_sums_to_sim_time_for_bsp_engines() {
+    let g = road();
+    for cfg in [EngineConfig::powergraph_sync(), EngineConfig::lazygraph()] {
+        let r = run(&g, 5, &cfg, &Sssp::new(0u32));
+        let total = r.metrics.breakdown.total();
+        assert!(
+            (total - r.metrics.sim_time).abs() < 0.05 * r.metrics.sim_time,
+            "{}: breakdown {total} vs sim {}",
+            r.metrics.engine,
+            r.metrics.sim_time
+        );
+    }
+}
+
+#[test]
+fn deterministic_metrics_for_bsp_engines() {
+    // The BSP engines are fully deterministic: same graph, same config →
+    // identical counted quantities AND identical simulated time.
+    let g = social();
+    let run_once = || {
+        let r = run(&g, 6, &EngineConfig::lazygraph(), &Sssp::new(0u32));
+        (
+            r.metrics.global_syncs(),
+            r.metrics.traffic_bytes(),
+            r.metrics.iterations,
+            r.metrics.sim_time.to_bits(),
+            r.values,
+        )
+    };
+    assert_eq!(run_once(), run_once());
+}
+
+#[test]
+fn sync_engine_determinism() {
+    let g = road();
+    let run_once = || {
+        let r = run(&g, 7, &EngineConfig::powergraph_sync(), &Sssp::new(0u32));
+        (r.metrics.global_syncs(), r.metrics.traffic_bytes(), r.metrics.sim_time.to_bits())
+    };
+    assert_eq!(run_once(), run_once());
+}
+
+#[test]
+fn single_machine_runs_have_no_traffic() {
+    let g = road();
+    for cfg in [
+        EngineConfig::powergraph_sync(),
+        EngineConfig::lazygraph(),
+        EngineConfig::powergraph_async(),
+    ] {
+        let r = run(&g, 1, &cfg, &Sssp::new(0u32));
+        assert_eq!(
+            r.metrics.traffic_bytes(),
+            0,
+            "{}: single machine must not communicate",
+            r.metrics.engine
+        );
+    }
+}
+
+#[test]
+fn iteration_cap_reports_non_convergence() {
+    let g = road();
+    let mut cfg = EngineConfig::powergraph_sync();
+    cfg.max_iterations = 3; // far too few for a road lattice
+    let r = run(&g, 4, &cfg, &Sssp::new(0u32));
+    assert!(!r.metrics.converged);
+    assert_eq!(r.metrics.iterations, 3);
+}
