@@ -1,0 +1,65 @@
+//! Intra-machine scaling: wall-clock of the engines' machine-local stages
+//! at different per-machine thread counts, on an RMAT graph big enough
+//! (≥ 100k edges) for the blocked loops to dominate. The bar for the
+//! two-level threading model is that PageRank improves with threads > 1
+//! here while the results stay bitwise-identical (the determinism suite
+//! checks the latter). On a single-core host the same numbers instead
+//! measure the pool's scheduling overhead — expect flat-to-slightly-worse
+//! curves there, not speedups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lazygraph_algorithms::{PageRankDelta, Sssp};
+use lazygraph_engine::{run_on, EngineConfig, EngineKind};
+use lazygraph_graph::generators::{rmat, RmatConfig};
+use lazygraph_partition::partition_graph;
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    // 2^14 vertices × 8 edge factor ≈ 131k edges before dedup.
+    let graph = rmat(RmatConfig::graph500(14, 8, 7));
+    let machines = 2;
+    let base = EngineConfig::lazygraph();
+    // One placement for every measurement, as the paper's comparisons do.
+    let dg = partition_graph(
+        &graph,
+        machines,
+        base.partition,
+        &base.splitter,
+        base.bidirectional,
+    );
+
+    let mut group = c.benchmark_group("parallel-scaling");
+    group.sample_size(10);
+    for engine in [EngineKind::PowerGraphSync, EngineKind::LazyBlockAsync] {
+        for threads in [1usize, 2, 4] {
+            let cfg = base
+                .clone()
+                .with_engine(engine)
+                .with_threads(threads)
+                .with_block_size(512);
+            group.bench_with_input(
+                BenchmarkId::new(
+                    format!("pagerank-rmat14-{}", engine.name()),
+                    format!("t{threads}"),
+                ),
+                &cfg,
+                |b, cfg| b.iter(|| run_on(&dg, cfg, &PageRankDelta::default()).metrics.sim_time),
+            );
+        }
+    }
+    for threads in [1usize, 4] {
+        let cfg = base
+            .clone()
+            .with_engine(EngineKind::LazyBlockAsync)
+            .with_threads(threads)
+            .with_block_size(512);
+        group.bench_with_input(
+            BenchmarkId::new("sssp-rmat14-lazy", format!("t{threads}")),
+            &cfg,
+            |b, cfg| b.iter(|| run_on(&dg, cfg, &Sssp::new(0u32)).metrics.sim_time),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

@@ -156,6 +156,10 @@ impl<T: Send> Endpoint<T> {
                 self.pending.push(b);
             }
         }
+        // Arrival order depends on peer scheduling; sender order does not.
+        // Engines fold received deltas in batch order, so this sort is what
+        // makes cross-machine float accumulation run-to-run deterministic.
+        received.sort_unstable_by_key(|b| b.from);
         received
     }
 }
@@ -264,6 +268,78 @@ mod tests {
         }
         // 4 machines × 3 non-empty batches each.
         assert_eq!(stats.snapshot().total_batches(), 12);
+    }
+
+    #[test]
+    fn exchange_sorts_batches_by_sender() {
+        let mut eps = build_mesh::<u32>(3);
+        let ep2 = eps.pop().unwrap();
+        let ep1 = eps.pop().unwrap();
+        let mut ep0 = eps.pop().unwrap();
+        let stats = NetStats::new();
+        // Higher-id machine lands in the queue first; the exchange result
+        // must come back in sender order anyway.
+        ep2.send_tagged(0, vec![22], 0.0, 0, Phase::Coherency, 4, &stats);
+        ep1.send_tagged(0, vec![11], 0.0, 0, Phase::Coherency, 4, &stats);
+        let got = ep0.exchange(vec![vec![], vec![], vec![]], 0.0, Phase::Coherency, 4, &stats);
+        assert_eq!(got.len(), 2);
+        assert_eq!((got[0].from, got[0].items[0]), (1, 11));
+        assert_eq!((got[1].from, got[1].items[0]), (2, 22));
+    }
+
+    #[test]
+    fn early_rounds_are_buffered_until_their_exchange() {
+        let mut eps = build_mesh::<u32>(2);
+        let ep1 = eps.pop().unwrap();
+        let mut ep0 = eps.pop().unwrap();
+        let stats = NetStats::new();
+        // Peer races ahead: its round-1 batch arrives before round 0.
+        ep1.send_tagged(0, vec![201], 0.0, 1, Phase::Coherency, 4, &stats);
+        ep1.send_tagged(0, vec![100], 0.0, 0, Phase::Coherency, 4, &stats);
+        let r0 = ep0.exchange(vec![vec![], vec![]], 0.0, Phase::Coherency, 4, &stats);
+        assert_eq!(r0[0].items, vec![100]);
+        // The early batch sat in `pending` and satisfies round 1 without
+        // touching the channel again.
+        let r1 = ep0.exchange(vec![vec![], vec![]], 0.0, Phase::Coherency, 4, &stats);
+        assert_eq!(r1[0].items, vec![201]);
+    }
+
+    #[test]
+    fn async_batches_interleave_with_bsp_rounds() {
+        let mut eps = build_mesh::<u32>(2);
+        let ep1 = eps.pop().unwrap();
+        let mut ep0 = eps.pop().unwrap();
+        let stats = NetStats::new();
+        ep1.send(0, vec![7], 0.0, Phase::Async, 4, &stats);
+        ep1.send_tagged(0, vec![40], 0.0, 0, Phase::Coherency, 4, &stats);
+        ep1.send(0, vec![8], 0.0, Phase::Async, 4, &stats);
+        // The BSP exchange must skip over both out-of-band batches…
+        let got = ep0.exchange(vec![vec![], vec![]], 0.0, Phase::Coherency, 4, &stats);
+        assert_eq!(got[0].items, vec![40]);
+        // …and try_recv must then surface them, oldest first.
+        assert_eq!(ep0.try_recv().unwrap().items, vec![7]);
+        assert_eq!(ep0.try_recv().unwrap().items, vec![8]);
+        assert!(ep0.try_recv().is_none());
+    }
+
+    #[test]
+    fn recv_drains_pending_before_the_channel() {
+        let mut eps = build_mesh::<u32>(2);
+        let ep1 = eps.pop().unwrap();
+        let mut ep0 = eps.pop().unwrap();
+        let stats = NetStats::new();
+        // Two stragglers get parked in `pending` by a later exchange…
+        ep1.send(0, vec![1], 0.0, Phase::Async, 4, &stats);
+        ep1.send(0, vec![2], 0.0, Phase::Async, 4, &stats);
+        ep1.send_tagged(0, vec![50], 0.0, 0, Phase::Coherency, 4, &stats);
+        let _ = ep0.exchange(vec![vec![], vec![]], 0.0, Phase::Coherency, 4, &stats);
+        // …then a fresh channel batch arrives behind them.
+        ep1.send(0, vec![3], 0.0, Phase::Async, 4, &stats);
+        // Termination-time drain sees every batch exactly once, FIFO.
+        assert_eq!(ep0.recv().items, vec![1]);
+        assert_eq!(ep0.recv().items, vec![2]);
+        assert_eq!(ep0.recv().items, vec![3]);
+        assert!(ep0.try_recv().is_none());
     }
 
     #[test]

@@ -19,6 +19,7 @@ use lazygraph_cluster::{
 };
 use lazygraph_partition::{DistributedGraph, LocalShard};
 
+use crate::parallel::{ParallelConfig, ParallelCtx};
 use crate::program::{EdgeCtx, VertexProgram};
 use crate::state::{vertex_ctx, InitMessages, MachineState};
 use crate::sync_engine::SyncMsg;
@@ -34,11 +35,13 @@ pub fn run_async_engine<P: VertexProgram>(
     dg: &DistributedGraph,
     program: &P,
     cost: CostModel,
+    par: ParallelConfig,
     stats: Arc<NetStats>,
 ) -> (Vec<P::VData>, f64) {
     let p = dg.num_machines;
     let endpoints = build_mesh::<(u32, SyncMsg<P>)>(p);
     let term = Arc::new(Termination::new(p));
+    #[allow(clippy::type_complexity)]
     let workers: Vec<(&LocalShard, Endpoint<(u32, SyncMsg<P>)>)> =
         dg.shards.iter().zip(endpoints).collect();
     let num_vertices = dg.num_global_vertices;
@@ -49,6 +52,7 @@ pub fn run_async_engine<P: VertexProgram>(
             program,
             num_vertices,
             cost,
+            par,
             term.clone(),
             stats.clone(),
         )
@@ -68,16 +72,19 @@ pub fn run_async_engine<P: VertexProgram>(
     (values, sim_time)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn machine_loop<P: VertexProgram>(
     shard: &LocalShard,
     mut ep: Endpoint<(u32, SyncMsg<P>)>,
     program: &P,
     num_vertices: usize,
     cost: CostModel,
+    par: ParallelConfig,
     term: Arc<Termination>,
     stats: Arc<NetStats>,
 ) -> MachineOut<P> {
     let n = ep.num_machines();
+    let pctx = ParallelCtx::new(par);
     let mut clock = SimClock::new();
     let mut state: MachineState<P> =
         MachineState::init(shard, program, InitMessages::MastersOnly, num_vertices);
@@ -97,6 +104,7 @@ fn machine_loop<P: VertexProgram>(
             }
             let bytes = batch.items.len() * update_bytes;
             clock.merge(batch.sent_at + cost.async_batch_time(bytes as u64));
+            let mut accums: Vec<(u32, P::Delta)> = Vec::new();
             for (gid, msg) in batch.items {
                 let l = shard
                     .local_of(gid.into())
@@ -104,7 +112,7 @@ fn machine_loop<P: VertexProgram>(
                 match msg {
                     SyncMsg::Accum(d) => {
                         debug_assert!(shard.is_master[l as usize]);
-                        state.deliver(program, l, program.gather(gid.into(), d));
+                        accums.push((l, program.gather(gid.into(), d)));
                     }
                     SyncMsg::Update { data, scatter } => {
                         state.vdata[l as usize] = data;
@@ -114,6 +122,7 @@ fn machine_loop<P: VertexProgram>(
                     }
                 }
             }
+            state.deliver_all(program, &pctx, accums);
             term.note_delivered(1);
             progressed = true;
         }
@@ -129,55 +138,109 @@ fn machine_loop<P: VertexProgram>(
             let mut edges = 0u64;
             let mut applies = 0u64;
 
-            // Scatter deltas received from masters along local out-edges.
-            for (l, d) in scatter_tasks.drain(..) {
-                let v = shard.global_of(l);
-                let ctx = vertex_ctx(shard, l, num_vertices);
-                let data = state.vdata[l as usize].clone();
-                let mut deliveries: Vec<(u32, P::Delta)> = Vec::new();
-                for (tl, weight, _mode) in shard.out_edges(l) {
-                    edges += 1;
-                    let edge = EdgeCtx {
-                        dst: shard.global_of(tl),
-                        weight,
-                    };
-                    if let Some(msg) = program.scatter(v, &data, d, &ctx, &edge) {
-                        deliveries.push((tl, msg));
+            // Scatter deltas received from masters along local out-edges:
+            // blocks emit delivery lists in parallel from the read-only
+            // vertex data; the block-ordered concatenation goes through
+            // `deliver_all` (see DESIGN.md, two-level threading).
+            let vdata_view = &state.vdata;
+            #[allow(clippy::type_complexity)]
+            let scatter_blocks: Vec<(Vec<(u32, P::Delta)>, u64)> =
+                pctx.map_chunks(&scatter_tasks, |chunk| {
+                    let mut deliveries: Vec<(u32, P::Delta)> = Vec::new();
+                    let mut edges = 0u64;
+                    for &(l, d) in chunk {
+                        let v = shard.global_of(l);
+                        let ctx = vertex_ctx(shard, l, num_vertices);
+                        let data = &vdata_view[l as usize];
+                        for (tl, weight, _mode) in shard.out_edges(l) {
+                            edges += 1;
+                            let edge = EdgeCtx {
+                                dst: shard.global_of(tl),
+                                weight,
+                            };
+                            if let Some(msg) = program.scatter(v, data, d, &ctx, &edge) {
+                                deliveries.push((tl, msg));
+                            }
+                        }
                     }
-                }
-                for (tl, msg) in deliveries {
-                    state.deliver(program, tl, msg);
-                }
+                    (deliveries, edges)
+                });
+            scatter_tasks.clear();
+            let mut deliveries: Vec<(u32, P::Delta)> = Vec::new();
+            for (block, e) in scatter_blocks {
+                deliveries.extend(block);
+                edges += e;
             }
+            state.deliver_all(program, &pctx, deliveries);
 
             // Pump the worklist once: masters apply + broadcast eagerly,
-            // mirrors forward their accumulators eagerly.
-            for l in state.take_queue() {
-                let Some(accum) = state.message[l as usize].take() else {
-                    state.active[l as usize] = false;
-                    continue;
-                };
-                state.active[l as usize] = false;
-                let gid = shard.global_of(l).0;
-                if shard.is_master[l as usize] {
-                    let ctx = vertex_ctx(shard, l, num_vertices);
-                    clock.advance(cost.async_apply_time());
-                    let d = program.apply(gid.into(), &mut state.vdata[l as usize], accum, &ctx);
-                    applies += 1;
-                    for &m in shard.mirrors[l as usize].iter() {
-                        outboxes[m.index()].push((
-                            gid,
-                            SyncMsg::Update {
-                                data: state.vdata[l as usize].clone(),
-                                scatter: d,
-                            },
-                        ));
+            // mirrors forward their accumulators eagerly. Blocked
+            // two-phase: applies run on clones of the vertex value against
+            // a read-only snapshot, then everything commits in block order
+            // (the sorted worklist makes the blocking reproducible).
+            enum Pump<P: VertexProgram> {
+                Applied {
+                    l: u32,
+                    data: P::VData,
+                    d: Option<P::Delta>,
+                },
+                Forward { l: u32, accum: P::Delta },
+                Quiet { l: u32 },
+            }
+            let mut worklist = state.take_queue();
+            worklist.sort_unstable();
+            let (message_view, vdata_view) = (&state.message, &state.vdata);
+            let pump_blocks: Vec<Vec<Pump<P>>> = pctx.map_chunks(&worklist, |chunk| {
+                chunk
+                    .iter()
+                    .map(|&l| {
+                        let Some(accum) = message_view[l as usize] else {
+                            return Pump::Quiet { l };
+                        };
+                        if shard.is_master[l as usize] {
+                            let ctx = vertex_ctx(shard, l, num_vertices);
+                            let mut data = vdata_view[l as usize].clone();
+                            let d =
+                                program.apply(shard.global_of(l), &mut data, accum, &ctx);
+                            Pump::Applied { l, data, d }
+                        } else {
+                            Pump::Forward { l, accum }
+                        }
+                    })
+                    .collect()
+            });
+            for entry in pump_blocks.into_iter().flatten() {
+                match entry {
+                    Pump::Applied { l, data, d } => {
+                        state.message[l as usize] = None;
+                        state.active[l as usize] = false;
+                        clock.advance(cost.async_apply_time());
+                        applies += 1;
+                        let gid = shard.global_of(l).0;
+                        for &m in shard.mirrors[l as usize].iter() {
+                            outboxes[m.index()].push((
+                                gid,
+                                SyncMsg::Update {
+                                    data: data.clone(),
+                                    scatter: d,
+                                },
+                            ));
+                        }
+                        state.vdata[l as usize] = data;
+                        if let Some(d) = d {
+                            scatter_tasks.push((l, d));
+                        }
                     }
-                    if let Some(d) = d {
-                        scatter_tasks.push((l, d));
+                    Pump::Forward { l, accum } => {
+                        state.message[l as usize] = None;
+                        state.active[l as usize] = false;
+                        let gid = shard.global_of(l).0;
+                        outboxes[shard.master_of[l as usize].index()]
+                            .push((gid, SyncMsg::Accum(accum)));
                     }
-                } else {
-                    outboxes[shard.master_of[l as usize].index()].push((gid, SyncMsg::Accum(accum)));
+                    Pump::Quiet { l } => {
+                        state.active[l as usize] = false;
+                    }
                 }
             }
             stats.record_edges(edges);

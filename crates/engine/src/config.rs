@@ -106,6 +106,14 @@ pub struct EngineConfig {
     /// Active-vertex fraction below which the PowerSwitch hybrid engine
     /// flips from BSP to asynchronous execution.
     pub hybrid_switch_threshold: f64,
+    /// Worker threads per simulated machine for local computation stages.
+    /// `0` = auto: `LAZYGRAPH_THREADS`, then `RAYON_NUM_THREADS`, then
+    /// `available_parallelism / num_machines` (min 1). Results are
+    /// bitwise-identical at every setting (block-ordered merges).
+    pub threads_per_machine: usize,
+    /// Vertices per work block handed to the machine-local pool. Also
+    /// never changes results; tune for load balance vs dispatch overhead.
+    pub block_size: usize,
 }
 
 impl EngineConfig {
@@ -124,6 +132,8 @@ impl EngineConfig {
             delta_suppression: true,
             record_history: false,
             hybrid_switch_threshold: 0.05,
+            threads_per_machine: 0,
+            block_size: DEFAULT_BLOCK_SIZE,
         }
     }
 
@@ -199,7 +209,41 @@ impl EngineConfig {
         self.bidirectional = b;
         self
     }
+
+    /// Builder-style override of intra-machine threads (0 = auto).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads_per_machine = threads;
+        self
+    }
+
+    /// Builder-style override of the local-work block size.
+    pub fn with_block_size(mut self, block_size: usize) -> Self {
+        self.block_size = block_size.max(1);
+        self
+    }
+
+    /// Resolves `threads_per_machine` for a run on `num_machines` simulated
+    /// machines: explicit setting wins, then the `LAZYGRAPH_THREADS` /
+    /// `RAYON_NUM_THREADS` environment knobs, then an even split of the
+    /// host's parallelism across machines.
+    pub fn resolve_threads(&self, num_machines: usize) -> usize {
+        if self.threads_per_machine > 0 {
+            return self.threads_per_machine;
+        }
+        for var in ["LAZYGRAPH_THREADS", "RAYON_NUM_THREADS"] {
+            if let Some(t) = std::env::var(var).ok().and_then(|v| v.parse::<usize>().ok()) {
+                if t > 0 {
+                    return t;
+                }
+            }
+        }
+        let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+        (host / num_machines.max(1)).max(1)
+    }
 }
+
+/// Default vertices-per-block for the machine-local pools.
+pub const DEFAULT_BLOCK_SIZE: usize = 1024;
 
 #[cfg(test)]
 mod tests {
@@ -237,6 +281,24 @@ mod tests {
         } else {
             panic!("expected adaptive");
         }
+    }
+
+    #[test]
+    fn explicit_threads_beat_auto_resolution() {
+        let cfg = EngineConfig::lazygraph().with_threads(3);
+        assert_eq!(cfg.resolve_threads(16), 3);
+        let auto = EngineConfig::lazygraph();
+        assert_eq!(auto.threads_per_machine, 0);
+        assert!(auto.resolve_threads(1) >= 1);
+        // More machines never resolve to more threads each.
+        assert!(auto.resolve_threads(1024) >= 1);
+        assert!(auto.resolve_threads(1) >= auto.resolve_threads(1024));
+    }
+
+    #[test]
+    fn block_size_floor_is_one() {
+        assert_eq!(EngineConfig::lazygraph().block_size, DEFAULT_BLOCK_SIZE);
+        assert_eq!(EngineConfig::lazygraph().with_block_size(0).block_size, 1);
     }
 
     #[test]

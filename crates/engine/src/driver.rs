@@ -15,6 +15,7 @@ use crate::config::{EngineConfig, EngineKind};
 use crate::lazy_block::{run_lazy_block_engine, LazyParams};
 use crate::lazy_vertex::run_lazy_vertex_engine;
 use crate::metrics::{IterationRecord, RunMetrics, SimBreakdown};
+use crate::parallel::ParallelConfig;
 use crate::program::VertexProgram;
 use crate::sync_engine::run_sync_engine;
 
@@ -55,6 +56,10 @@ pub fn run_on<P: VertexProgram>(
     let stats = Arc::new(NetStats::new());
     let breakdown = Arc::new(Mutex::new(SimBreakdown::default()));
     let history: Arc<Mutex<Vec<IterationRecord>>> = Arc::new(Mutex::new(Vec::new()));
+    let par = ParallelConfig {
+        threads: cfg.resolve_threads(dg.num_machines),
+        block_size: cfg.block_size.max(1),
+    };
     let started = Instant::now();
     let (values, iterations, coherency, subrounds, a2a, m2m, sim_time, converged) =
         match cfg.engine {
@@ -64,6 +69,7 @@ pub fn run_on<P: VertexProgram>(
                     program,
                     cfg.cost,
                     cfg.max_iterations,
+                    par,
                     stats.clone(),
                     breakdown.clone(),
                     cfg.record_history.then(|| history.clone()),
@@ -71,7 +77,7 @@ pub fn run_on<P: VertexProgram>(
                 (values, iters, 0, 0, 0, 0, sim, converged)
             }
             EngineKind::PowerGraphAsync => {
-                let (values, sim) = run_async_engine(dg, program, cfg.cost, stats.clone());
+                let (values, sim) = run_async_engine(dg, program, cfg.cost, par, stats.clone());
                 (values, 0, 0, 0, 0, 0, sim, true)
             }
             EngineKind::LazyBlockAsync => {
@@ -87,6 +93,7 @@ pub fn run_on<P: VertexProgram>(
                     dg,
                     program,
                     params,
+                    par,
                     stats.clone(),
                     breakdown.clone(),
                     history.clone(),
@@ -118,7 +125,8 @@ pub fn run_on<P: VertexProgram>(
                 (values, supersteps, 0, 0, 0, 0, sim, true)
             }
             EngineKind::LazyVertexAsync => {
-                let (values, sim, c) = run_lazy_vertex_engine(dg, program, cfg.cost, stats.clone());
+                let (values, sim, c) =
+                    run_lazy_vertex_engine(dg, program, cfg.cost, par, stats.clone());
                 (
                     values,
                     0,

@@ -60,6 +60,7 @@ pub fn run_hybrid_engine<P: VertexProgram>(
     let coll = Arc::new(Collective::new(p));
     let term = Arc::new(Termination::new(p));
     let endpoints = build_mesh::<(u32, SyncMsg<P>)>(p);
+    #[allow(clippy::type_complexity)]
     let workers: Vec<(&LocalShard, Endpoint<(u32, SyncMsg<P>)>)> =
         dg.shards.iter().zip(endpoints).collect();
     let num_vertices = dg.num_global_vertices;

@@ -31,6 +31,7 @@ use crate::comm_mode::{choose_mode, CommMode, VolumeEstimate};
 use crate::config::{CommModePolicy, IntervalPolicy};
 use crate::interval::IntervalModel;
 use crate::metrics::{IterationRecord, SimBreakdown};
+use crate::parallel::{ParallelConfig, ParallelCtx};
 use crate::program::{DeltaExchange, EdgeCtx, VertexProgram};
 use crate::state::{vertex_ctx, InitMessages, MachineState};
 
@@ -72,6 +73,7 @@ pub fn run_lazy_block_engine<P: VertexProgram>(
     dg: &DistributedGraph,
     program: &P,
     params: LazyParams,
+    par: ParallelConfig,
     stats: Arc<NetStats>,
     breakdown: Arc<Mutex<SimBreakdown>>,
     history: Arc<Mutex<Vec<IterationRecord>>>,
@@ -79,6 +81,7 @@ pub fn run_lazy_block_engine<P: VertexProgram>(
     let p = dg.num_machines;
     let coll = Arc::new(Collective::new(p));
     let endpoints = build_mesh::<(u32, P::Delta)>(p);
+    #[allow(clippy::type_complexity)]
     let workers: Vec<(usize, &LocalShard, Endpoint<(u32, P::Delta)>)> = dg
         .shards
         .iter()
@@ -97,6 +100,7 @@ pub fn run_lazy_block_engine<P: VertexProgram>(
             num_vertices,
             ev_ratio,
             params,
+            par,
             coll.clone(),
             stats.clone(),
             breakdown.clone(),
@@ -122,80 +126,84 @@ pub fn run_lazy_block_engine<P: VertexProgram>(
     (values, iterations, converged, sim_time, counters)
 }
 
-/// Applies `message[l]`, returning the scatter delta if the program
-/// activated neighbours. Returns `(applied?, Option<delta>)`.
-#[inline]
-pub(crate) fn apply_only<P: VertexProgram>(
+/// One blocked apply+scatter sweep over a sorted worklist: the engine-side
+/// half of the two-level threading model. Phase A (parallel, read-only
+/// snapshot): each block applies its entries on *clones* of the vertex
+/// value and scatters from the clone, emitting delivery lists. Phase B
+/// (sequential, block-index order): vertex data commits, then every
+/// delivery folds through [`MachineState::deliver_all_lazy`]. All applies
+/// see only worklist-time messages — same-sweep deliveries land in fresh
+/// inboxes for the next sweep — so the outcome is bitwise-identical at
+/// every thread count. Returns `(edges, applies)`.
+pub(crate) fn blocked_apply_scatter<P: VertexProgram>(
     shard: &LocalShard,
     state: &mut MachineState<P>,
     program: &P,
     num_vertices: usize,
-    l: u32,
-) -> (bool, Option<P::Delta>) {
-    let Some(accum) = state.message[l as usize].take() else {
-        state.active[l as usize] = false;
-        return (false, None);
-    };
-    state.active[l as usize] = false;
-    let v = shard.global_of(l);
-    let ctx = vertex_ctx(shard, l, num_vertices);
-    let d = program.apply(v, &mut state.vdata[l as usize], accum, &ctx);
-    (true, d)
-}
-
-/// Scatters delta `d` of local vertex `l` along its local out-edges;
-/// one-edge-mode deliveries are folded into the target's `deltaMsg` when
-/// the target has remote siblings. Returns edges traversed.
-#[inline]
-pub(crate) fn scatter_only<P: VertexProgram>(
-    shard: &LocalShard,
-    state: &mut MachineState<P>,
-    program: &P,
-    num_vertices: usize,
-    l: u32,
-    d: P::Delta,
-) -> u64 {
-    let v = shard.global_of(l);
-    let ctx = vertex_ctx(shard, l, num_vertices);
-    let mut edges = 0u64;
-    // Collect first: scatter reads vdata[l] while deliveries mutate state.
-    let data = state.vdata[l as usize].clone();
-    let mut deliveries: Vec<(u32, P::Delta, EdgeMode)> = Vec::new();
-    for (tl, weight, mode) in shard.out_edges(l) {
-        edges += 1;
-        let edge = EdgeCtx {
-            dst: shard.global_of(tl),
-            weight,
+    pctx: &ParallelCtx,
+    worklist: &[u32],
+    update_coherent: bool,
+) -> (u64, u64) {
+    struct Block<P: VertexProgram> {
+        commits: Vec<(u32, Option<P::VData>)>,
+        deliveries: Vec<(u32, P::Delta, bool)>,
+        edges: u64,
+    }
+    let (message_view, vdata_view) = (&state.message, &state.vdata);
+    let blocks: Vec<Block<P>> = pctx.map_chunks(worklist, |chunk| {
+        let mut b = Block::<P> {
+            commits: Vec::new(),
+            deliveries: Vec::new(),
+            edges: 0,
         };
-        if let Some(msg) = program.scatter(v, &data, d, &ctx, &edge) {
-            deliveries.push((tl, msg, mode));
+        for &l in chunk {
+            let Some(accum) = message_view[l as usize] else {
+                b.commits.push((l, None));
+                continue;
+            };
+            let v = shard.global_of(l);
+            let ctx = vertex_ctx(shard, l, num_vertices);
+            let mut data = vdata_view[l as usize].clone();
+            if let Some(d) = program.apply(v, &mut data, accum, &ctx) {
+                for (tl, weight, mode) in shard.out_edges(l) {
+                    b.edges += 1;
+                    let edge = EdgeCtx {
+                        dst: shard.global_of(tl),
+                        weight,
+                    };
+                    if let Some(msg) = program.scatter(v, &data, d, &ctx, &edge) {
+                        let fold_delta =
+                            mode == EdgeMode::OneEdge && shard.has_mirrors(tl);
+                        b.deliveries.push((tl, msg, fold_delta));
+                    }
+                }
+            }
+            b.commits.push((l, Some(data)));
         }
-    }
-    for (tl, msg, mode) in deliveries {
-        state.deliver(program, tl, msg);
-        if mode == EdgeMode::OneEdge && shard.has_mirrors(tl) {
-            state.accumulate_delta(program, tl, msg);
+        b
+    });
+    let mut edges = 0u64;
+    let mut applies = 0u64;
+    let mut deliveries: Vec<(u32, P::Delta, bool)> = Vec::new();
+    for b in blocks {
+        edges += b.edges;
+        for (l, data) in b.commits {
+            state.message[l as usize] = None;
+            state.active[l as usize] = false;
+            if let Some(data) = data {
+                applies += 1;
+                if update_coherent {
+                    // The new common view (exact for Send/Drop policies;
+                    // within the program's tolerance for Defer).
+                    state.coherent[l as usize] = data.clone();
+                }
+                state.vdata[l as usize] = data;
+            }
         }
+        deliveries.extend(b.deliveries);
     }
-    edges
-}
-
-/// Applies `message[l]` and scatters along local out-edges (the local
-/// computation stage's chained form). Returns `(edges traversed, applied?)`.
-#[inline]
-pub(crate) fn apply_and_scatter<P: VertexProgram>(
-    shard: &LocalShard,
-    state: &mut MachineState<P>,
-    program: &P,
-    num_vertices: usize,
-    l: u32,
-) -> (u64, bool) {
-    let (applied, d) = apply_only(shard, state, program, num_vertices, l);
-    let edges = match d {
-        Some(d) => scatter_only(shard, state, program, num_vertices, l, d),
-        None => 0,
-    };
-    (edges, applied)
+    state.deliver_all_lazy(program, pctx, deliveries);
+    (edges, applies)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -207,12 +215,14 @@ fn machine_loop<P: VertexProgram>(
     num_vertices: usize,
     ev_ratio: f64,
     params: LazyParams,
+    par: ParallelConfig,
     coll: Arc<Collective>,
     stats: Arc<NetStats>,
     breakdown: Arc<Mutex<SimBreakdown>>,
     history: Arc<Mutex<Vec<IterationRecord>>>,
 ) -> MachineOut<P> {
     let n = coll.num_machines();
+    let pctx = ParallelCtx::new(par);
     let mut bsp = BspSync::new(me, coll, stats.clone(), params.cost, breakdown);
     let mut clock = SimClock::new();
     let mut state: MachineState<P> =
@@ -247,13 +257,15 @@ fn machine_loop<P: VertexProgram>(
                 // decides which sub-round a scattered message lands in.
                 // Sorting makes the whole BSP engine bit-deterministic.
                 queue.sort_unstable();
-                let mut edges = 0u64;
-                let mut applies = 0u64;
-                for l in queue {
-                    let (e, applied) = apply_and_scatter(shard, &mut state, program, num_vertices, l);
-                    edges += e;
-                    applies += applied as u64;
-                }
+                let (edges, applies) = blocked_apply_scatter(
+                    shard,
+                    &mut state,
+                    program,
+                    num_vertices,
+                    &pctx,
+                    &queue,
+                    false,
+                );
                 stats.record_edges(edges);
                 stats.record_applies(applies);
                 clock.advance(params.cost.compute_time(edges) + params.cost.apply_time(applies));
@@ -273,17 +285,29 @@ fn machine_loop<P: VertexProgram>(
         // the deltas about to be exchanged; the summed estimates decide the
         // *next* coherency point's mode (one-round lag, one sync per point).
         let mut est = VolumeEstimate::default();
-        for l in 0..shard.num_local() {
-            if shard.mirrors[l].is_empty() {
-                continue;
-            }
-            if let Some(d) = &state.delta_msg[l] {
-                if params.delta_suppression
-                    && program.exchange_policy(&state.coherent[l], d) != DeltaExchange::Send
-                {
-                    continue;
+        {
+            // Only replicated vertices can ever hold a shippable delta, so
+            // the scan walks `shard.replicated` in parallel blocks; the
+            // partial estimates merge in block order (sums, so any order
+            // would do — but the rule is uniform).
+            let (delta_view, coherent_view) = (&state.delta_msg, &state.coherent);
+            for part in pctx.map_chunks(&shard.replicated, |chunk| {
+                let mut e = VolumeEstimate::default();
+                for &l in chunk {
+                    let l = l as usize;
+                    if let Some(d) = &delta_view[l] {
+                        if params.delta_suppression
+                            && program.exchange_policy(&coherent_view[l], d)
+                                != DeltaExchange::Send
+                        {
+                            continue;
+                        }
+                        e.add_holder(shard.mirrors[l].len(), shard.is_master[l], delta_bytes);
+                    }
                 }
-                est.add_holder(shard.mirrors[l].len(), shard.is_master[l], delta_bytes);
+                e
+            }) {
+                est = est.merge(part);
             }
         }
         let mode = match params.comm_mode {
@@ -298,6 +322,7 @@ fn machine_loop<P: VertexProgram>(
                     shard,
                     &mut state,
                     program,
+                    &pctx,
                     &mut ep,
                     &clock,
                     &stats,
@@ -311,6 +336,7 @@ fn machine_loop<P: VertexProgram>(
                     shard,
                     &mut state,
                     program,
+                    &pctx,
                     &mut ep,
                     &clock,
                     &stats,
@@ -363,24 +389,15 @@ fn machine_loop<P: VertexProgram>(
         // snapshot and later suppress their own exchange.
         let mut queue = state.take_queue();
         queue.sort_unstable();
-        let mut edges = 0u64;
-        let mut applies = 0u64;
-        let mut emissions: Vec<(u32, P::Delta)> = Vec::new();
-        for l in queue {
-            let (applied, d) = apply_only(shard, &mut state, program, num_vertices, l);
-            applies += applied as u64;
-            if applied {
-                // The new common view (exact for Send/Drop policies;
-                // within the program's tolerance for Defer).
-                state.coherent[l as usize] = state.vdata[l as usize].clone();
-            }
-            if let Some(d) = d {
-                emissions.push((l, d));
-            }
-        }
-        for (l, d) in emissions {
-            edges += scatter_only(shard, &mut state, program, num_vertices, l, d);
-        }
+        let (edges, applies) = blocked_apply_scatter(
+            shard,
+            &mut state,
+            program,
+            num_vertices,
+            &pctx,
+            &queue,
+            true,
+        );
         stats.record_edges(edges);
         stats.record_applies(applies);
         clock.advance(params.cost.compute_time(edges) + params.cost.apply_time(applies));
@@ -406,6 +423,7 @@ fn exchange_a2a<P: VertexProgram>(
     shard: &LocalShard,
     state: &mut MachineState<P>,
     program: &P,
+    pctx: &ParallelCtx,
     ep: &mut Endpoint<(u32, P::Delta)>,
     clock: &SimClock,
     stats: &NetStats,
@@ -415,38 +433,51 @@ fn exchange_a2a<P: VertexProgram>(
     let delta_bytes = program.delta_bytes();
     let mut outboxes: Vec<Vec<(u32, P::Delta)>> = (0..n).map(|_| Vec::new()).collect();
     let mut sent = 0u64;
-    for l in 0..shard.num_local() {
-        if shard.mirrors[l].is_empty() {
-            continue;
-        }
-        let Some(d) = &state.delta_msg[l] else { continue };
-        if suppression {
-            match program.exchange_policy(&state.coherent[l], d) {
-                DeltaExchange::Send => {}
-                DeltaExchange::Drop => {
-                    state.delta_msg[l] = None;
-                    continue;
+    // Phase A (parallel): decide each replicated vertex's fate from a
+    // read-only view. Phase B (block order): clear slots and fill
+    // outboxes, so the wire byte stream is schedule-independent.
+    let decisions = {
+        let (delta_view, coherent_view) = (&state.delta_msg, &state.coherent);
+        pctx.map_chunks(&shard.replicated, |chunk| {
+            let mut out: Vec<(u32, Option<P::Delta>)> = Vec::new();
+            for &l in chunk {
+                let Some(d) = &delta_view[l as usize] else { continue };
+                if suppression {
+                    match program.exchange_policy(&coherent_view[l as usize], d) {
+                        DeltaExchange::Send => {}
+                        DeltaExchange::Drop => {
+                            out.push((l, None));
+                            continue;
+                        }
+                        DeltaExchange::Defer => continue,
+                    }
                 }
-                DeltaExchange::Defer => continue,
+                out.push((l, Some(*d)));
             }
-        }
-        if let Some(d) = state.delta_msg[l].take() {
-            let gid = shard.global_of(l as u32).0;
-            for &m in shard.mirrors[l].iter() {
+            out
+        })
+    };
+    for (l, d) in decisions.into_iter().flatten() {
+        state.delta_msg[l as usize] = None;
+        if let Some(d) = d {
+            let gid = shard.global_of(l).0;
+            for &m in shard.mirrors[l as usize].iter() {
                 outboxes[m.index()].push((gid, d));
                 sent += delta_bytes as u64;
             }
         }
     }
     let received = ep.exchange(outboxes, clock.now(), Phase::Coherency, delta_bytes, stats);
+    let mut inbound: Vec<(u32, P::Delta)> = Vec::new();
     for batch in received {
         for (gid, d) in batch.items {
             let l = shard
                 .local_of(gid.into())
                 .expect("delta routed to non-replica");
-            state.deliver(program, l, program.gather(gid.into(), d));
+            inbound.push((l, program.gather(gid.into(), d)));
         }
     }
+    state.deliver_all(program, pctx, inbound);
     sent
 }
 
@@ -459,6 +490,7 @@ fn exchange_m2m<P: VertexProgram>(
     shard: &LocalShard,
     state: &mut MachineState<P>,
     program: &P,
+    pctx: &ParallelCtx,
     ep: &mut Endpoint<(u32, P::Delta)>,
     clock: &SimClock,
     stats: &NetStats,
@@ -469,26 +501,34 @@ fn exchange_m2m<P: VertexProgram>(
     let mut sent = 0u64;
     // Own contributions, saved for the Inverse step.
     let mut own: FxHashMap<u32, P::Delta> = FxHashMap::default();
-    // Hop 1: mirrors → master.
+    // Hop 1: mirrors → master. Same two-phase shape as exchange_a2a.
     let mut outboxes: Vec<Vec<(u32, P::Delta)>> = (0..n).map(|_| Vec::new()).collect();
     let mut totals: FxHashMap<u32, P::Delta> = FxHashMap::default();
-    for l in 0..shard.num_local() {
-        if shard.mirrors[l].is_empty() {
-            continue;
-        }
-        if suppression {
-            if let Some(d) = &state.delta_msg[l] {
-                match program.exchange_policy(&state.coherent[l], d) {
-                    DeltaExchange::Send => {}
-                    DeltaExchange::Drop => {
-                        state.delta_msg[l] = None;
-                        continue;
+    let decisions = {
+        let (delta_view, coherent_view) = (&state.delta_msg, &state.coherent);
+        pctx.map_chunks(&shard.replicated, |chunk| {
+            let mut out: Vec<(u32, Option<P::Delta>)> = Vec::new();
+            for &l in chunk {
+                let Some(d) = &delta_view[l as usize] else { continue };
+                if suppression {
+                    match program.exchange_policy(&coherent_view[l as usize], d) {
+                        DeltaExchange::Send => {}
+                        DeltaExchange::Drop => {
+                            out.push((l, None));
+                            continue;
+                        }
+                        DeltaExchange::Defer => continue,
                     }
-                    DeltaExchange::Defer => continue,
                 }
+                out.push((l, Some(*d)));
             }
-        }
-        if let Some(d) = state.delta_msg[l].take() {
+            out
+        })
+    };
+    for (l, d) in decisions.into_iter().flatten() {
+        let l = l as usize;
+        state.delta_msg[l] = None;
+        if let Some(d) = d {
             let gid = shard.global_of(l as u32).0;
             own.insert(gid, d);
             if shard.is_master[l] {
@@ -509,9 +549,14 @@ fn exchange_m2m<P: VertexProgram>(
         }
     }
     // Hop 2: master → mirrors (combined delta), plus local master handling.
+    // FxHashMap iteration order is seed-dependent; sorting by global id
+    // makes the broadcast byte stream (and hence every downstream worklist)
+    // reproducible.
+    let mut totals: Vec<(u32, P::Delta)> = totals.into_iter().collect();
+    totals.sort_unstable_by_key(|&(gid, _)| gid);
     let mut outboxes: Vec<Vec<(u32, P::Delta)>> = (0..n).map(|_| Vec::new()).collect();
     let mut local_apply: Vec<(u32, P::Delta)> = Vec::new();
-    for (&gid, &total) in &totals {
+    for &(gid, total) in &totals {
         let l = shard
             .local_of(gid.into())
             .expect("totals key must be local");
@@ -526,6 +571,7 @@ fn exchange_m2m<P: VertexProgram>(
     for batch in received {
         local_apply.extend(batch.items);
     }
+    let mut inbound: Vec<(u32, P::Delta)> = Vec::new();
     for (gid, total) in local_apply {
         let l = shard
             .local_of(gid.into())
@@ -542,7 +588,8 @@ fn exchange_m2m<P: VertexProgram>(
             }
             None => total,
         };
-        state.deliver(program, l, program.gather(gid.into(), others));
+        inbound.push((l, program.gather(gid.into(), others)));
     }
+    state.deliver_all(program, pctx, inbound);
     sent
 }

@@ -21,7 +21,8 @@ use lazygraph_cluster::{
 };
 use lazygraph_partition::{DistributedGraph, LocalShard};
 
-use crate::lazy_block::LazyCounters;
+use crate::lazy_block::{blocked_apply_scatter, LazyCounters};
+use crate::parallel::{ParallelConfig, ParallelCtx};
 use crate::program::{DeltaExchange, VertexProgram};
 use crate::state::{InitMessages, MachineState};
 
@@ -36,11 +37,13 @@ pub fn run_lazy_vertex_engine<P: VertexProgram>(
     dg: &DistributedGraph,
     program: &P,
     cost: CostModel,
+    par: ParallelConfig,
     stats: Arc<NetStats>,
 ) -> (Vec<P::VData>, f64, LazyCounters) {
     let p = dg.num_machines;
     let endpoints = build_mesh::<(u32, P::Delta)>(p);
     let term = Arc::new(Termination::new(p));
+    #[allow(clippy::type_complexity)]
     let workers: Vec<(&LocalShard, Endpoint<(u32, P::Delta)>)> =
         dg.shards.iter().zip(endpoints).collect();
     let num_vertices = dg.num_global_vertices;
@@ -51,6 +54,7 @@ pub fn run_lazy_vertex_engine<P: VertexProgram>(
             program,
             num_vertices,
             cost,
+            par,
             term.clone(),
             stats.clone(),
         )
@@ -76,16 +80,19 @@ pub fn run_lazy_vertex_engine<P: VertexProgram>(
     (values, sim_time, counters)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn machine_loop<P: VertexProgram>(
     shard: &LocalShard,
     mut ep: Endpoint<(u32, P::Delta)>,
     program: &P,
     num_vertices: usize,
     cost: CostModel,
+    par: ParallelConfig,
     term: Arc<Termination>,
     stats: Arc<NetStats>,
 ) -> MachineOut<P> {
     let n = ep.num_machines();
+    let pctx = ParallelCtx::new(par);
     let mut clock = SimClock::new();
     let mut state: MachineState<P> =
         MachineState::init(shard, program, InitMessages::AllReplicas, num_vertices);
@@ -104,12 +111,17 @@ fn machine_loop<P: VertexProgram>(
             }
             let bytes = batch.items.len() * delta_bytes;
             clock.merge(batch.sent_at + cost.async_batch_time(bytes as u64));
-            for (gid, d) in batch.items {
-                let l = shard
-                    .local_of(gid.into())
-                    .expect("delta routed to non-replica");
-                state.deliver(program, l, program.gather(gid.into(), d));
-            }
+            let inbound: Vec<(u32, P::Delta)> = batch
+                .items
+                .into_iter()
+                .map(|(gid, d)| {
+                    let l = shard
+                        .local_of(gid.into())
+                        .expect("delta routed to non-replica");
+                    (l, program.gather(gid.into(), d))
+                })
+                .collect();
+            state.deliver_all(program, &pctx, inbound);
             term.note_delivered(1);
             progressed = true;
         }
@@ -121,20 +133,17 @@ fn machine_loop<P: VertexProgram>(
                 idle = false;
             }
             progressed = true;
-            let queue = state.take_queue();
-            let mut edges = 0u64;
-            let mut applies = 0u64;
-            for l in queue {
-                let (e, applied) = crate::lazy_block::apply_and_scatter(
-                    shard,
-                    &mut state,
-                    program,
-                    num_vertices,
-                    l,
-                );
-                edges += e;
-                applies += applied as u64;
-            }
+            let mut queue = state.take_queue();
+            queue.sort_unstable();
+            let (edges, applies) = blocked_apply_scatter(
+                shard,
+                &mut state,
+                program,
+                num_vertices,
+                &pctx,
+                &queue,
+                false,
+            );
             stats.record_edges(edges);
             stats.record_applies(applies);
             clock.advance(cost.compute_time(edges) + cost.apply_time(applies));
@@ -143,24 +152,29 @@ fn machine_loop<P: VertexProgram>(
             // ---- Stage 2: needDataCoherency — flush accumulated deltas. --
             let mut outboxes: Vec<Vec<(u32, P::Delta)>> = (0..n).map(|_| Vec::new()).collect();
             let mut any = false;
-            for l in 0..shard.num_local() {
-                if shard.mirrors[l].is_empty() {
-                    continue;
-                }
-                if let Some(d) = &state.delta_msg[l] {
-                    match program.exchange_policy(&state.coherent[l], d) {
-                        DeltaExchange::Send => {}
-                        DeltaExchange::Drop => {
-                            state.delta_msg[l] = None;
-                            continue;
+            // Same two-phase shape as the block engine's exchanges: decide
+            // in parallel over the replicated list, commit in block order.
+            let decisions = {
+                let (delta_view, coherent_view) = (&state.delta_msg, &state.coherent);
+                pctx.map_chunks(&shard.replicated, |chunk| {
+                    let mut out: Vec<(u32, Option<P::Delta>)> = Vec::new();
+                    for &l in chunk {
+                        let Some(d) = &delta_view[l as usize] else { continue };
+                        match program.exchange_policy(&coherent_view[l as usize], d) {
+                            DeltaExchange::Send => out.push((l, Some(*d))),
+                            DeltaExchange::Drop => out.push((l, None)),
+                            DeltaExchange::Defer => {}
                         }
-                        DeltaExchange::Defer => continue,
                     }
-                }
-                if let Some(d) = state.delta_msg[l].take() {
+                    out
+                })
+            };
+            for (l, d) in decisions.into_iter().flatten() {
+                state.delta_msg[l as usize] = None;
+                if let Some(d) = d {
                     any = true;
-                    let gid = shard.global_of(l as u32).0;
-                    for &m in shard.mirrors[l].iter() {
+                    let gid = shard.global_of(l).0;
+                    for &m in shard.mirrors[l as usize].iter() {
                         outboxes[m.index()].push((gid, d));
                     }
                 }

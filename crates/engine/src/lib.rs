@@ -21,12 +21,14 @@ pub mod interval;
 pub mod lazy_block;
 pub mod lazy_vertex;
 pub mod metrics;
+pub mod parallel;
 pub mod program;
 pub mod state;
 pub mod sync_engine;
 
 pub use comm_mode::{choose_mode, CommMode, VolumeEstimate};
-pub use config::{CommModePolicy, EngineConfig, EngineKind, IntervalPolicy};
+pub use config::{CommModePolicy, EngineConfig, EngineKind, IntervalPolicy, DEFAULT_BLOCK_SIZE};
+pub use parallel::{ParallelConfig, ParallelCtx};
 pub use driver::{run, run_on, RunResult};
 pub use interval::IntervalModel;
 pub use metrics::{RunMetrics, SimBreakdown};

@@ -69,9 +69,9 @@ pub enum DeltaExchange {
 ///   current value and the accumulator.
 pub trait VertexProgram: Send + Sync {
     /// Vertex value type.
-    type VData: Clone + Send + PartialEq + Debug + 'static;
+    type VData: Clone + Send + Sync + PartialEq + Debug + 'static;
     /// Message / delta type.
-    type Delta: Copy + Send + PartialEq + Debug + 'static;
+    type Delta: Copy + Send + Sync + PartialEq + Debug + 'static;
 
     /// Short name for reports.
     fn name(&self) -> &'static str;

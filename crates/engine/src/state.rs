@@ -4,6 +4,7 @@
 
 use lazygraph_partition::LocalShard;
 
+use crate::parallel::ParallelCtx;
 use crate::program::{VertexCtx, VertexProgram};
 
 /// Which replicas receive the program's initial messages.
@@ -105,6 +106,173 @@ impl<P: VertexProgram> MachineState<P> {
         });
     }
 
+    /// Delivers a whole item stream, fanning the accumulation out over the
+    /// machine-local pool while staying bitwise-identical to the
+    /// sequential left-fold `for (l, d) in items { deliver(l, d) }`.
+    ///
+    /// The trick is ownership by *target block*: items are bucketed by
+    /// `l / block_size` (a stable pass, so each bucket keeps the global
+    /// item order), and each block exclusively owns its slice of
+    /// `message`/`active`. Every vertex's fold therefore runs as the exact
+    /// sequential reduction regardless of schedule — float results cannot
+    /// drift with the thread count. Per-block activation lists are
+    /// concatenated in block-index order; the path taken depends only on
+    /// the item count and block size, never on `ctx.threads()`, so the
+    /// worklist order is reproducible too.
+    pub fn deliver_all(&mut self, program: &P, ctx: &ParallelCtx, items: Vec<(u32, P::Delta)>) {
+        let bs = ctx.block_size();
+        let num_blocks = self.message.len().div_ceil(bs.max(1));
+        if num_blocks <= 1 || items.len() <= 1 {
+            for (l, d) in items {
+                self.deliver(program, l, d);
+            }
+            return;
+        }
+        let mut buckets: Vec<Vec<(u32, P::Delta)>> = vec![Vec::new(); num_blocks];
+        for (l, d) in items {
+            buckets[l as usize / bs].push((l, d));
+        }
+        struct BlockWork<'a, P: VertexProgram> {
+            base: usize,
+            message: &'a mut [Option<P::Delta>],
+            active: &'a mut [bool],
+            items: Vec<(u32, P::Delta)>,
+        }
+        let mut work: Vec<BlockWork<'_, P>> = Vec::new();
+        let mut msg_rest = self.message.as_mut_slice();
+        let mut act_rest = self.active.as_mut_slice();
+        for (b, items) in buckets.into_iter().enumerate() {
+            let take = bs.min(msg_rest.len());
+            let (msg_chunk, m_rest) = msg_rest.split_at_mut(take);
+            let (act_chunk, a_rest) = act_rest.split_at_mut(take);
+            msg_rest = m_rest;
+            act_rest = a_rest;
+            if !items.is_empty() {
+                work.push(BlockWork {
+                    base: b * bs,
+                    message: msg_chunk,
+                    active: act_chunk,
+                    items,
+                });
+            }
+        }
+        let activated: Vec<Vec<u32>> = ctx.pool().map(work, |w| {
+            let BlockWork {
+                base,
+                message,
+                active,
+                items,
+            } = w;
+            let mut newly = Vec::new();
+            for (l, d) in items {
+                let i = l as usize - base;
+                let slot = &mut message[i];
+                *slot = Some(match slot.take() {
+                    Some(prev) => program.sum(prev, d),
+                    None => d,
+                });
+                if !active[i] {
+                    active[i] = true;
+                    newly.push(l);
+                }
+            }
+            newly
+        });
+        for block in activated {
+            self.queue.extend(block);
+        }
+    }
+
+    /// [`Self::deliver_all`] for the lazy engines: each item optionally
+    /// also folds into `deltaMsg[l]` (one-edge-mode receipt on a
+    /// replicated target). Same target-block ownership, same bitwise
+    /// guarantee — `message`, `delta_msg` and `active` are chunked
+    /// together so a block owns every array it touches.
+    pub fn deliver_all_lazy(
+        &mut self,
+        program: &P,
+        ctx: &ParallelCtx,
+        items: Vec<(u32, P::Delta, bool)>,
+    ) {
+        let bs = ctx.block_size();
+        let num_blocks = self.message.len().div_ceil(bs.max(1));
+        if num_blocks <= 1 || items.len() <= 1 {
+            for (l, d, fold_delta) in items {
+                self.deliver(program, l, d);
+                if fold_delta {
+                    self.accumulate_delta(program, l, d);
+                }
+            }
+            return;
+        }
+        let mut buckets: Vec<Vec<(u32, P::Delta, bool)>> = vec![Vec::new(); num_blocks];
+        for (l, d, f) in items {
+            buckets[l as usize / bs].push((l, d, f));
+        }
+        struct BlockWork<'a, P: VertexProgram> {
+            base: usize,
+            message: &'a mut [Option<P::Delta>],
+            delta_msg: &'a mut [Option<P::Delta>],
+            active: &'a mut [bool],
+            items: Vec<(u32, P::Delta, bool)>,
+        }
+        let mut work: Vec<BlockWork<'_, P>> = Vec::new();
+        let mut msg_rest = self.message.as_mut_slice();
+        let mut dm_rest = self.delta_msg.as_mut_slice();
+        let mut act_rest = self.active.as_mut_slice();
+        for (b, items) in buckets.into_iter().enumerate() {
+            let take = bs.min(msg_rest.len());
+            let (msg_chunk, m_rest) = msg_rest.split_at_mut(take);
+            let (dm_chunk, d_rest) = dm_rest.split_at_mut(take);
+            let (act_chunk, a_rest) = act_rest.split_at_mut(take);
+            msg_rest = m_rest;
+            dm_rest = d_rest;
+            act_rest = a_rest;
+            if !items.is_empty() {
+                work.push(BlockWork {
+                    base: b * bs,
+                    message: msg_chunk,
+                    delta_msg: dm_chunk,
+                    active: act_chunk,
+                    items,
+                });
+            }
+        }
+        let activated: Vec<Vec<u32>> = ctx.pool().map(work, |w| {
+            let BlockWork {
+                base,
+                message,
+                delta_msg,
+                active,
+                items,
+            } = w;
+            let mut newly = Vec::new();
+            for (l, d, fold_delta) in items {
+                let i = l as usize - base;
+                let slot = &mut message[i];
+                *slot = Some(match slot.take() {
+                    Some(prev) => program.sum(prev, d),
+                    None => d,
+                });
+                if !active[i] {
+                    active[i] = true;
+                    newly.push(l);
+                }
+                if fold_delta {
+                    let slot = &mut delta_msg[i];
+                    *slot = Some(match slot.take() {
+                        Some(prev) => program.sum(prev, d),
+                        None => d,
+                    });
+                }
+            }
+            newly
+        });
+        for block in activated {
+            self.queue.extend(block);
+        }
+    }
+
     /// Number of local replicas with a pending message.
     pub fn pending_messages(&self) -> u64 {
         self.message.iter().filter(|m| m.is_some()).count() as u64
@@ -146,7 +314,7 @@ mod tests {
             v.0
         }
         fn init_message(&self, v: VertexId, _c: &VertexCtx) -> Option<u32> {
-            (v.0 % 2 == 0).then_some(1)
+            v.0.is_multiple_of(2).then_some(1)
         }
         fn sum(&self, a: u32, b: u32) -> u32 {
             a + b
@@ -237,13 +405,99 @@ mod tests {
     }
 
     #[test]
+    fn deliver_all_matches_sequential_left_fold() {
+        use crate::parallel::{ParallelConfig, ParallelCtx};
+
+        struct FSum;
+        impl VertexProgram for FSum {
+            type VData = f64;
+            type Delta = f64;
+            fn name(&self) -> &'static str {
+                "fsum"
+            }
+            fn init_data(&self, _v: VertexId, _c: &VertexCtx) -> f64 {
+                0.0
+            }
+            fn init_message(&self, _v: VertexId, _c: &VertexCtx) -> Option<f64> {
+                None
+            }
+            fn sum(&self, a: f64, b: f64) -> f64 {
+                a + b
+            }
+            fn inverse(&self, accum: f64, a: f64) -> f64 {
+                accum - a
+            }
+            fn apply(&self, _v: VertexId, d: &mut f64, a: f64, _c: &VertexCtx) -> Option<f64> {
+                *d += a;
+                None
+            }
+            fn scatter(
+                &self,
+                _v: VertexId,
+                _d: &f64,
+                x: f64,
+                _c: &VertexCtx,
+                _e: &EdgeCtx,
+            ) -> Option<f64> {
+                Some(x)
+            }
+        }
+
+        let dg = dist();
+        let shard = &dg.shards[0];
+        let n = shard.num_local() as u32;
+        // Awkward magnitudes on purpose: float addition is order-sensitive,
+        // so any fold-order deviation shows up bitwise.
+        let items: Vec<(u32, f64)> = (0..4096u64)
+            .map(|i| {
+                let l = (i.wrapping_mul(2654435761) % n as u64) as u32;
+                (l, ((i * 37) % 1000) as f64 * 1e-3 + (i % 7) as f64 * 1e12)
+            })
+            .collect();
+        let mut reference =
+            MachineState::init(shard, &FSum, InitMessages::MastersOnly, dg.num_global_vertices);
+        for &(l, d) in &items {
+            reference.deliver(&FSum, l, d);
+        }
+        for threads in [1, 2, 8] {
+            for block_size in [1, 16, 1024] {
+                let ctx = ParallelCtx::new(ParallelConfig {
+                    threads,
+                    block_size,
+                });
+                let mut st = MachineState::init(
+                    shard,
+                    &FSum,
+                    InitMessages::MastersOnly,
+                    dg.num_global_vertices,
+                );
+                st.deliver_all(&FSum, &ctx, items.clone());
+                let bits = |m: &Vec<Option<f64>>| -> Vec<Option<u64>> {
+                    m.iter().map(|o| o.map(f64::to_bits)).collect()
+                };
+                assert_eq!(
+                    bits(&st.message),
+                    bits(&reference.message),
+                    "threads={threads} block_size={block_size}"
+                );
+                assert_eq!(st.active, reference.active);
+                let mut q = st.queue.clone();
+                q.sort_unstable();
+                let mut rq = reference.queue.clone();
+                rq.sort_unstable();
+                assert_eq!(q, rq);
+            }
+        }
+    }
+
+    #[test]
     fn pending_counts() {
         let dg = dist();
         let shard = &dg.shards[0];
         let mut st = MachineState::init(shard, &P0, InitMessages::AllReplicas, dg.num_global_vertices);
         let pending = st.pending_messages();
         let evens = (0..shard.num_local() as u32)
-            .filter(|&l| shard.global_of(l).0 % 2 == 0)
+            .filter(|&l| shard.global_of(l).0.is_multiple_of(2))
             .count() as u64;
         assert_eq!(pending, evens);
         let q = st.take_queue();

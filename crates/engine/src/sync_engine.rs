@@ -23,6 +23,7 @@ use parking_lot::Mutex;
 
 use crate::bsp::{BspReduction, BspSync, CommCharge};
 use crate::metrics::{IterationRecord, SimBreakdown};
+use crate::parallel::{ParallelConfig, ParallelCtx};
 use crate::program::{EdgeCtx, VertexProgram};
 use crate::state::{vertex_ctx, InitMessages, MachineState};
 
@@ -53,11 +54,13 @@ struct MachineOut<P: VertexProgram> {
 
 /// Runs the Sync engine to convergence. Returns per-vertex final values
 /// (master copies) plus `(iterations, converged)`.
+#[allow(clippy::too_many_arguments)]
 pub fn run_sync_engine<P: VertexProgram>(
     dg: &DistributedGraph,
     program: &P,
     cost: CostModel,
     max_iterations: u64,
+    par: ParallelConfig,
     stats: Arc<NetStats>,
     breakdown: Arc<Mutex<SimBreakdown>>,
     history: Option<Arc<Mutex<Vec<IterationRecord>>>>,
@@ -79,6 +82,7 @@ pub fn run_sync_engine<P: VertexProgram>(
             num_vertices,
             cost,
             max_iterations,
+            par,
             coll.clone(),
             stats.clone(),
             breakdown.clone(),
@@ -95,6 +99,7 @@ fn machine_loop<P: VertexProgram>(
     num_vertices: usize,
     cost: CostModel,
     max_iterations: u64,
+    par: ParallelConfig,
     coll: Arc<Collective>,
     stats: Arc<NetStats>,
     breakdown: Arc<Mutex<SimBreakdown>>,
@@ -103,6 +108,7 @@ fn machine_loop<P: VertexProgram>(
     let shard = w.shard;
     let me = shard.machine.index();
     let n = coll.num_machines();
+    let pctx = ParallelCtx::new(par);
     let mut bsp = BspSync::new(me, coll, stats.clone(), cost, breakdown);
     let mut clock = SimClock::new();
     let mut state: MachineState<P> =
@@ -119,26 +125,57 @@ fn machine_loop<P: VertexProgram>(
         iterations += 1;
 
         // ---- Phase 1: gather (mirrors forward partials to masters). ----
+        // Blocked two-phase: the sorted worklist is chunked, each block
+        // classifies its entries against a read-only view of `message`,
+        // and the per-block routings commit in block-index order — same
+        // worklist, same outboxes, at every thread count.
         let mut outboxes: Vec<Vec<(u32, SyncMsg<P>)>> = (0..n).map(|_| Vec::new()).collect();
         let mut sent_bytes = 0u64;
         master_worklist.clear();
-        for l in state.take_queue() {
-            if shard.is_master[l as usize] {
-                // Masters keep their accumulator; active flag stays set so
-                // late deliveries do not double-queue them.
-                master_worklist.push(l);
-            } else if let Some(d) = state.message[l as usize].take() {
-                state.active[l as usize] = false;
-                let dst = shard.master_of[l as usize].index();
+        let mut worklist = state.take_queue();
+        worklist.sort_unstable();
+        struct GatherBlock<P: VertexProgram> {
+            masters: Vec<u32>,
+            forwards: Vec<(usize, u32, P::Delta)>,
+            deactivate: Vec<u32>,
+        }
+        let message_view = &state.message;
+        let gather_blocks: Vec<GatherBlock<P>> = pctx.map_chunks(&worklist, |chunk| {
+            let mut b = GatherBlock::<P> {
+                masters: Vec::new(),
+                forwards: Vec::new(),
+                deactivate: Vec::new(),
+            };
+            for &l in chunk {
+                if shard.is_master[l as usize] {
+                    // Masters keep their accumulator; active flag stays set
+                    // so late deliveries do not double-queue them.
+                    b.masters.push(l);
+                } else {
+                    if let Some(d) = message_view[l as usize] {
+                        let dst = shard.master_of[l as usize].index();
+                        b.forwards.push((dst, l, d));
+                    }
+                    b.deactivate.push(l);
+                }
+            }
+            b
+        });
+        for b in gather_blocks {
+            master_worklist.extend(b.masters);
+            for (dst, l, d) in b.forwards {
+                state.message[l as usize] = None;
                 outboxes[dst].push((shard.global_of(l).0, SyncMsg::Accum(d)));
                 sent_bytes += delta_bytes as u64;
-            } else {
+            }
+            for l in b.deactivate {
                 state.active[l as usize] = false;
             }
         }
         let received = w
             .ep
             .exchange(outboxes, clock.now(), Phase::Gather, delta_bytes, &stats);
+        let mut inbound: Vec<(u32, P::Delta)> = Vec::new();
         for batch in received {
             clock.merge(batch.sent_at);
             for (gid, msg) in batch.items {
@@ -147,12 +184,14 @@ fn machine_loop<P: VertexProgram>(
                         .local_of(gid.into())
                         .expect("accum routed to non-replica");
                     debug_assert!(shard.is_master[l as usize]);
-                    state.deliver(program, l, program.gather(gid.into(), d));
+                    inbound.push((l, program.gather(gid.into(), d)));
                 }
             }
         }
+        state.deliver_all(program, &pctx, inbound);
         // Newly activated masters ended up on the queue.
         master_worklist.extend(state.take_queue());
+        master_worklist.sort_unstable();
         bsp.sync(
             &mut clock,
             BspReduction {
@@ -163,32 +202,54 @@ fn machine_loop<P: VertexProgram>(
         );
 
         // ---- Phase 2: apply at masters, broadcast updates. --------------
+        // Blocked two-phase again: each block applies into a *clone* of
+        // the vertex value (apply is a pure function of value + accum),
+        // then the clones, broadcasts and scatter tasks commit in block
+        // order.
         let mut outboxes: Vec<Vec<(u32, SyncMsg<P>)>> = (0..n).map(|_| Vec::new()).collect();
         let mut sent_bytes = 0u64;
         let mut applies = 0u64;
+        let (message_view, vdata_view) = (&state.message, &state.vdata);
+        #[allow(clippy::type_complexity)]
+        let apply_blocks: Vec<Vec<(u32, P::VData, Option<P::Delta>)>> =
+            pctx.map_chunks(&master_worklist, |chunk| {
+                let mut out = Vec::new();
+                for &l in chunk {
+                    let Some(accum) = message_view[l as usize] else {
+                        continue;
+                    };
+                    let v = shard.global_of(l);
+                    let ctx = vertex_ctx(shard, l, num_vertices);
+                    let mut data = vdata_view[l as usize].clone();
+                    let d = program.apply(v, &mut data, accum, &ctx);
+                    out.push((l, data, d));
+                }
+                out
+            });
         for &l in &master_worklist {
-            let Some(accum) = state.message[l as usize].take() else {
-                state.active[l as usize] = false;
-                continue;
-            };
+            state.message[l as usize] = None;
             state.active[l as usize] = false;
-            let v = shard.global_of(l);
-            let ctx = vertex_ctx(shard, l, num_vertices);
-            let d = program.apply(v, &mut state.vdata[l as usize], accum, &ctx);
-            applies += 1;
-            // Eager coherency: the changed data goes to every mirror now.
-            for &m in shard.mirrors[l as usize].iter() {
-                outboxes[m.index()].push((
-                    v.0,
-                    SyncMsg::Update {
-                        data: state.vdata[l as usize].clone(),
-                        scatter: d,
-                    },
-                ));
-                sent_bytes += update_bytes as u64;
-            }
-            if let Some(d) = d {
-                scatter_tasks.push((l, d));
+        }
+        for block in apply_blocks {
+            for (l, data, d) in block {
+                let v = shard.global_of(l);
+                applies += 1;
+                // Eager coherency: the changed data goes to every mirror
+                // now.
+                for &m in shard.mirrors[l as usize].iter() {
+                    outboxes[m.index()].push((
+                        v.0,
+                        SyncMsg::Update {
+                            data: data.clone(),
+                            scatter: d,
+                        },
+                    ));
+                    sent_bytes += update_bytes as u64;
+                }
+                state.vdata[l as usize] = data;
+                if let Some(d) = d {
+                    scatter_tasks.push((l, d));
+                }
             }
         }
         stats.record_applies(applies);
@@ -220,26 +281,40 @@ fn machine_loop<P: VertexProgram>(
         );
 
         // ---- Phase 3: scatter on every replica along local out-edges. ---
+        // Scatter reads vertex data but only `deliver` mutates anything,
+        // so blocks emit their delivery lists in parallel and the
+        // block-ordered concatenation funnels into `deliver_all`.
         let mut edges = 0u64;
-        for (l, d) in scatter_tasks.drain(..) {
-            let v = shard.global_of(l);
-            let ctx = vertex_ctx(shard, l, num_vertices);
-            let data = state.vdata[l as usize].clone();
-            let mut deliveries: Vec<(u32, P::Delta)> = Vec::new();
-            for (tl, weight, _mode) in shard.out_edges(l) {
-                edges += 1;
-                let edge = EdgeCtx {
-                    dst: shard.global_of(tl),
-                    weight,
-                };
-                if let Some(msg) = program.scatter(v, &data, d, &ctx, &edge) {
-                    deliveries.push((tl, msg));
+        let vdata_view = &state.vdata;
+        #[allow(clippy::type_complexity)]
+        let scatter_blocks: Vec<(Vec<(u32, P::Delta)>, u64)> =
+            pctx.map_chunks(&scatter_tasks, |chunk| {
+                let mut deliveries: Vec<(u32, P::Delta)> = Vec::new();
+                let mut edges = 0u64;
+                for &(l, d) in chunk {
+                    let v = shard.global_of(l);
+                    let ctx = vertex_ctx(shard, l, num_vertices);
+                    let data = &vdata_view[l as usize];
+                    for (tl, weight, _mode) in shard.out_edges(l) {
+                        edges += 1;
+                        let edge = EdgeCtx {
+                            dst: shard.global_of(tl),
+                            weight,
+                        };
+                        if let Some(msg) = program.scatter(v, data, d, &ctx, &edge) {
+                            deliveries.push((tl, msg));
+                        }
+                    }
                 }
-            }
-            for (tl, msg) in deliveries {
-                state.deliver(program, tl, msg);
-            }
+                (deliveries, edges)
+            });
+        scatter_tasks.clear();
+        let mut deliveries: Vec<(u32, P::Delta)> = Vec::new();
+        for (block, e) in scatter_blocks {
+            deliveries.extend(block);
+            edges += e;
         }
+        state.deliver_all(program, &pctx, deliveries);
         stats.record_edges(edges);
         clock.advance(cost.compute_time(edges));
         let red = bsp.sync(

@@ -106,12 +106,17 @@ pub fn web_crawl(cfg: WebCrawlConfig) -> Graph {
         let u: f64 = rng.random::<f64>().max(1e-12);
         let degree = (d_min * u.powf(-1.0 / alpha)).min(cap).round() as usize;
         let degree = degree.max(1);
+        // Hub pages (site maps, portals) link across a wider id span than
+        // ordinary pages; without degree-scaled reach, dedup would collapse
+        // a Pareto-tail out-degree into ≤ 4·window distinct targets and
+        // erase the skew the web class is defined by.
+        let window = cfg.local_window.max(degree / 4);
         for _ in 0..degree {
             let target = if rng.random::<f64>() < cfg.locality {
                 // Local link: geometric distance to an earlier page.
                 let mut dist = 1usize;
-                let p = 1.0 / cfg.local_window as f64;
-                while rng.random::<f64>() > p && dist < 4 * cfg.local_window {
+                let p = 1.0 / window as f64;
+                while rng.random::<f64>() > p && dist < 4 * window {
                     dist += 1;
                 }
                 v.saturating_sub(dist)

@@ -38,6 +38,10 @@ pub struct LocalShard {
     pub master_of: Vec<MachineId>,
     /// Per local vertex: the *other* machines holding replicas.
     pub mirrors: Vec<Box<[MachineId]>>,
+    /// Sorted local ids of the vertices that have remote replicas — the
+    /// only candidates a coherency exchange can ever ship. Block-chunked
+    /// coherency scans iterate this instead of `0..num_local`.
+    pub replicated: Vec<u32>,
     /// Per local vertex: user-view out-degree (PageRank scaling).
     pub global_out_degree: Vec<u32>,
     /// Per local vertex: user-view in-degree.
@@ -277,7 +281,8 @@ pub fn build_distributed(
         let mut god = Vec::with_capacity(nl);
         let mut gid_ = Vec::with_capacity(nl);
         let mut gdeg = Vec::with_capacity(nl);
-        for &v in &verts {
+        let mut replicated = Vec::new();
+        for (l, &v) in verts.iter().enumerate() {
             let master = replication.masters[v.index()];
             is_master.push(master == machine);
             master_of.push(master);
@@ -286,6 +291,9 @@ pub fn build_distributed(
                 .copied()
                 .filter(|&x| x != machine)
                 .collect();
+            if !mirr.is_empty() {
+                replicated.push(l as u32);
+            }
             mirrors.push(mirr.into_boxed_slice());
             god.push(graph.out_degree(v) as u32);
             gid_.push(graph.in_degree(v) as u32);
@@ -298,6 +306,7 @@ pub fn build_distributed(
             is_master,
             master_of,
             mirrors,
+            replicated,
             global_out_degree: god,
             global_in_degree: gid_,
             global_degree: gdeg,
@@ -366,6 +375,15 @@ pub fn validate_distributed(
             if shard.global_out_degree[l] as usize != graph.out_degree(v) {
                 return Err(format!("{v:?}: global out-degree wrong"));
             }
+        }
+        let expected_replicated: Vec<u32> = (0..shard.num_local() as u32)
+            .filter(|&l| shard.has_mirrors(l))
+            .collect();
+        if shard.replicated != expected_replicated {
+            return Err(format!(
+                "{:?}: replicated list disagrees with mirror sets",
+                shard.machine
+            ));
         }
     }
     for v in 0..n {

@@ -6,6 +6,7 @@
 //!                    [--engine lazy|sync|async|lazy-vertex] [--machines 8]
 //!                    [--partition coordinated|random|grid|hybrid]
 //!                    [--source 0] [--k 3] [--tolerance 1e-3] [--scale 0.1]
+//!                    [--threads N] [--block-size 1024]
 //!                    [--symmetrize] [--weights LO:HI] [--output values.txt]
 //! lazygraph-cli info --input <...> [--machines 48] [--scale 0.1]
 //! lazygraph-cli generate --kind rmat|road|web|social --vertices N --out FILE
@@ -163,7 +164,9 @@ fn engine_config(opts: &Opts) -> EngineConfig {
     };
     let mut cfg = EngineConfig::lazygraph()
         .with_engine(engine)
-        .with_partition(partition);
+        .with_partition(partition)
+        .with_threads(opts.parse_num("threads", 0usize))
+        .with_block_size(opts.parse_num("block-size", lazygraph_engine::DEFAULT_BLOCK_SIZE));
     if opts.flags.contains("bidirectional") {
         cfg = cfg.with_bidirectional(true);
     }

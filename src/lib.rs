@@ -39,7 +39,7 @@ pub mod prelude {
     pub use lazygraph_algorithms::{Bfs, ConnectedComponents, KCore, PageRankDelta, Sssp};
     pub use lazygraph_engine::{
         run, run_on, CommModePolicy, EngineConfig, EngineKind, IntervalPolicy, RunMetrics,
-        RunResult, VertexProgram,
+        RunResult, VertexProgram, DEFAULT_BLOCK_SIZE,
     };
     pub use lazygraph_graph::{Dataset, Edge, Graph, GraphBuilder, MachineId, VertexId};
     pub use lazygraph_partition::{PartitionStrategy, SplitterConfig};

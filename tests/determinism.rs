@@ -1,0 +1,183 @@
+//! Determinism harness for the two-level threading model: every engine,
+//! at any per-machine thread count and block size, must produce
+//! byte-identical vertex values — and, wherever the engine itself is
+//! schedule-free, identical counters — as the sequential run.
+//!
+//! The BSP-shaped engines (PowerGraphSync and LazyBlockAsync, whose
+//! coherency points are barriered) are deterministic end-to-end: values,
+//! NetStats, and sim-time must all match bitwise at every thread count
+//! and machine count. The barrier-free engines (PowerGraphAsync,
+//! LazyVertexAsync) are only racy *across* machines — batch arrival order
+//! is scheduling — so they get the full bitwise bar at one machine, the
+//! bitwise value bar for idempotent algebras (SSSP, CC) at four machines,
+//! and a tolerance bar for PageRank at four machines.
+
+use lazygraph::prelude::*;
+use lazygraph_graph::generators::{rmat, RmatConfig};
+use lazygraph_graph::GraphBuilder;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+const MACHINES: [usize; 2] = [1, 4];
+
+fn test_graph() -> Graph {
+    let g = rmat(RmatConfig::graph500(9, 6, 5));
+    let mut b = GraphBuilder::new(g.num_vertices());
+    b.extend(g.edges());
+    b.symmetrize();
+    b.randomize_weights(1.0, 9.0, 5);
+    b.build()
+}
+
+fn cfg(engine: EngineKind, threads: usize, bidirectional: bool) -> EngineConfig {
+    EngineConfig::lazygraph()
+        .with_engine(engine)
+        .with_bidirectional(bidirectional)
+        .with_threads(threads)
+        .with_block_size(64) // small enough that every stage really chunks
+}
+
+/// Byte-faithful rendering of the final values: `{:?}` on finite floats
+/// round-trips, so string equality here is bitwise equality.
+fn run_fingerprint<P: VertexProgram>(
+    g: &Graph,
+    machines: usize,
+    cfg: &EngineConfig,
+    program: &P,
+) -> (String, String) {
+    let r = run(g, machines, cfg, program);
+    let values = format!("{:?}", r.values);
+    let counters = format!(
+        "iters={} coh={} sub={} a2a={} m2m={} syncs={} stats={:?} sim={:?} conv={}",
+        r.metrics.iterations,
+        r.metrics.coherency_points,
+        r.metrics.local_subrounds,
+        r.metrics.a2a_exchanges,
+        r.metrics.m2m_exchanges,
+        r.metrics.global_syncs(),
+        r.metrics.stats,
+        r.metrics.sim_time,
+        r.metrics.converged,
+    );
+    (values, counters)
+}
+
+/// Runs `program` across the thread-count grid and asserts every
+/// fingerprint component selected by `check_counters` matches threads=1.
+fn assert_thread_invariant<P: VertexProgram>(
+    g: &Graph,
+    engine: EngineKind,
+    machines: usize,
+    bidirectional: bool,
+    program: &P,
+    check_counters: bool,
+) {
+    let baseline = run_fingerprint(g, machines, &cfg(engine, 1, bidirectional), program);
+    for threads in THREADS {
+        let got = run_fingerprint(g, machines, &cfg(engine, threads, bidirectional), program);
+        assert_eq!(
+            got.0, baseline.0,
+            "{engine:?}/{} values diverged at threads={threads}, machines={machines}",
+            program.name()
+        );
+        if check_counters {
+            assert_eq!(
+                got.1, baseline.1,
+                "{engine:?}/{} counters diverged at threads={threads}, machines={machines}",
+                program.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn bsp_engines_bitwise_identical_across_threads_and_machines() {
+    let g = test_graph();
+    for engine in [EngineKind::PowerGraphSync, EngineKind::LazyBlockAsync] {
+        for machines in MACHINES {
+            assert_thread_invariant(&g, engine, machines, false, &Sssp::new(0u32), true);
+            assert_thread_invariant(&g, engine, machines, false, &PageRankDelta::default(), true);
+            assert_thread_invariant(&g, engine, machines, true, &ConnectedComponents, true);
+        }
+    }
+}
+
+#[test]
+fn async_engines_bitwise_identical_at_one_machine() {
+    let g = test_graph();
+    for engine in [EngineKind::PowerGraphAsync, EngineKind::LazyVertexAsync] {
+        assert_thread_invariant(&g, engine, 1, false, &Sssp::new(0u32), true);
+        assert_thread_invariant(&g, engine, 1, false, &PageRankDelta::default(), true);
+        assert_thread_invariant(&g, engine, 1, true, &ConnectedComponents, true);
+    }
+}
+
+#[test]
+fn async_engines_exact_values_for_idempotent_algebras_across_machines() {
+    // Min-based algebras reach the same fixpoint no matter the arrival
+    // order, so even the barrier-free engines owe bitwise values here
+    // (counters legitimately vary with cross-machine timing).
+    let g = test_graph();
+    for engine in [EngineKind::PowerGraphAsync, EngineKind::LazyVertexAsync] {
+        assert_thread_invariant(&g, engine, 4, false, &Sssp::new(0u32), false);
+        assert_thread_invariant(&g, engine, 4, true, &ConnectedComponents, false);
+    }
+}
+
+#[test]
+fn async_pagerank_across_machines_stays_within_tolerance() {
+    // PageRank's ⊕ is a float sum and the engine stops once residual
+    // deltas drop under the program tolerance, so two arrival orders can
+    // legitimately land anywhere within that residual of each other: the
+    // bar at machines=4 is a tolerance-derived band, not bitwise.
+    let g = test_graph();
+    for engine in [EngineKind::PowerGraphAsync, EngineKind::LazyVertexAsync] {
+        let program = PageRankDelta::default();
+        let band = 10.0 * program.tolerance;
+        let base = run(&g, 4, &cfg(engine, 1, false), &program).values;
+        for threads in [2, 8] {
+            let got = run(&g, 4, &cfg(engine, threads, false), &program).values;
+            for (v, (a, b)) in base.iter().zip(&got).enumerate() {
+                assert!(
+                    (a.rank - b.rank).abs() <= band * a.rank.abs().max(1.0),
+                    "{engine:?} pagerank vertex {v}: {} vs {} at threads={threads}",
+                    a.rank,
+                    b.rank
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn block_size_never_changes_results() {
+    let g = test_graph();
+    let program = PageRankDelta::default();
+    let baseline = run_fingerprint(
+        &g,
+        4,
+        &cfg(EngineKind::LazyBlockAsync, 4, false),
+        &program,
+    );
+    for block_size in [1usize, 7, 509, 1 << 20] {
+        let c = cfg(EngineKind::LazyBlockAsync, 4, false).with_block_size(block_size);
+        let got = run_fingerprint(&g, 4, &c, &program);
+        assert_eq!(
+            (got.0, got.1),
+            (baseline.0.clone(), baseline.1.clone()),
+            "block_size={block_size} changed the run"
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_are_reproducible() {
+    // Same config twice — catches hidden global state (hash seeds, pool
+    // scheduling) leaking into results even when thread counts agree.
+    let g = test_graph();
+    for engine in [EngineKind::PowerGraphSync, EngineKind::LazyBlockAsync] {
+        let c = cfg(engine, 8, false);
+        let a = run_fingerprint(&g, 4, &c, &PageRankDelta::default());
+        let b = run_fingerprint(&g, 4, &c, &PageRankDelta::default());
+        assert_eq!(a, b, "{engine:?} not reproducible run-to-run");
+    }
+}

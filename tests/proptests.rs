@@ -9,8 +9,10 @@ use lazygraph::prelude::*;
 use lazygraph_algorithms::reference;
 use lazygraph_engine::IntervalPolicy;
 use lazygraph_graph::VertexId;
+use lazygraph_engine::parallel::{ParallelConfig, ParallelCtx};
+use lazygraph_engine::state::{InitMessages, MachineState};
 use lazygraph_partition::{
-    build_distributed, plan_split, validate_distributed, SplitterConfig,
+    build_distributed, partition_graph, plan_split, validate_distributed, SplitterConfig,
 };
 
 /// Strategy: a random directed graph as (num_vertices, edge list).
@@ -154,5 +156,78 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// The block-ordered merge rule as a property: pushing a shuffled
+    /// delta sequence through the parallel block merge
+    /// (`MachineState::deliver_all`) must equal the sequential left-fold
+    /// the single-threaded engine performs — bitwise, since PageRank's ⊕
+    /// is an order-sensitive float sum — at every thread count and block
+    /// size. Queues may differ only in order (engines sort worklists).
+    #[test]
+    fn parallel_block_merge_equals_sequential_left_fold(
+        (n, edges) in arb_graph(),
+        raw in proptest::collection::vec(
+            (0usize..1usize << 16, -1.0e6f64..1.0e6, any::<bool>()),
+            1..250,
+        ),
+        threads in 1usize..9,
+        block_size in 1usize..40,
+    ) {
+        let g = build(n, &edges, false, 23);
+        let cfg = EngineConfig::lazygraph();
+        let dg = partition_graph(&g, 1, cfg.partition, &cfg.splitter, cfg.bidirectional);
+        let shard = &dg.shards[0];
+        let program = PageRankDelta { tolerance: 1e-7 };
+        let blank = || {
+            let mut st: MachineState<PageRankDelta> =
+                MachineState::init(shard, &program, InitMessages::MastersOnly, n);
+            st.queue.clear();
+            st.message.iter_mut().for_each(|m| *m = None);
+            st.active.iter_mut().for_each(|a| *a = false);
+            st
+        };
+        let items: Vec<(u32, f64, bool)> = raw
+            .iter()
+            .map(|&(t, d, fold)| ((t % shard.num_local()) as u32, d, fold))
+            .collect();
+
+        // Sequential reference: the left-fold in item order, deltas
+        // accumulated exactly as one-edge-mode receipts are.
+        let mut seq = blank();
+        for &(l, d, fold) in &items {
+            seq.deliver(&program, l, d);
+            if fold {
+                seq.accumulate_delta(&program, l, d);
+            }
+        }
+
+        let pctx = ParallelCtx::new(ParallelConfig { threads, block_size });
+        let mut par = blank();
+        par.deliver_all_lazy(&program, &pctx, items.clone());
+
+        let bits = |v: &[Option<f64>]| -> Vec<Option<u64>> {
+            v.iter().map(|m| m.map(f64::to_bits)).collect()
+        };
+        prop_assert_eq!(bits(&par.message), bits(&seq.message));
+        prop_assert_eq!(bits(&par.delta_msg), bits(&seq.delta_msg));
+        prop_assert_eq!(&par.active, &seq.active);
+        let mut pq = par.queue.clone();
+        let mut sq = seq.queue.clone();
+        pq.sort_unstable();
+        sq.sort_unstable();
+        prop_assert_eq!(pq, sq);
+
+        // And the non-lazy entry point agrees with the lazy one when no
+        // item asks for delta accumulation.
+        let plain: Vec<(u32, f64)> = items.iter().map(|&(l, d, _)| (l, d)).collect();
+        let mut seq2 = blank();
+        for &(l, d) in &plain {
+            seq2.deliver(&program, l, d);
+        }
+        let mut par2 = blank();
+        par2.deliver_all(&program, &pctx, plain);
+        prop_assert_eq!(bits(&par2.message), bits(&seq2.message));
+        prop_assert_eq!(&par2.active, &seq2.active);
     }
 }
