@@ -4,7 +4,7 @@
 //! the engine's [`crate::KCore`] program for increasing k (what a LazyGraph
 //! deployment would actually do).
 
-use lazygraph_engine::{run, EngineConfig};
+use lazygraph_engine::{run, CommError, EngineConfig};
 use lazygraph_graph::{Graph, VertexId};
 
 use crate::kcore::KCore;
@@ -66,13 +66,18 @@ pub fn coreness(graph: &Graph) -> Vec<u32> {
 
 /// Distributed coreness: runs the engine's k-core program for k = 1, 2, …
 /// until the core empties, recording the largest k each vertex survived.
-/// Exercises the full lazy stack; O(k_max) engine runs.
-pub fn coreness_distributed(graph: &Graph, machines: usize, cfg: &EngineConfig) -> Vec<u32> {
+/// Exercises the full lazy stack; O(k_max) engine runs. Fails only if a
+/// simulated machine thread dies mid-run.
+pub fn coreness_distributed(
+    graph: &Graph,
+    machines: usize,
+    cfg: &EngineConfig,
+) -> Result<Vec<u32>, CommError> {
     let n = graph.num_vertices();
     let mut core = vec![0u32; n];
     let mut k = 1u32;
     loop {
-        let result = run(graph, machines, cfg, &KCore::new(k));
+        let result = run(graph, machines, cfg, &KCore::new(k))?;
         let mut any = false;
         for (v, &c) in result.values.iter().enumerate() {
             if c > 0 {
@@ -86,7 +91,7 @@ pub fn coreness_distributed(graph: &Graph, machines: usize, cfg: &EngineConfig) 
         k += 1;
         assert!(k < 1_000_000, "runaway coreness sweep");
     }
-    core
+    Ok(core)
 }
 
 #[cfg(test)]
@@ -140,7 +145,7 @@ mod tests {
         let g = symmetric(62);
         let seq = coreness(&g);
         let cfg = EngineConfig::lazygraph().with_bidirectional(true);
-        let dist = coreness_distributed(&g, 4, &cfg);
+        let dist = coreness_distributed(&g, 4, &cfg).expect("cluster run");
         assert_eq!(seq, dist);
     }
 

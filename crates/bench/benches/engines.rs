@@ -37,7 +37,7 @@ fn bench_engines(c: &mut Criterion) {
             &engine,
             |b, &e| {
                 let cfg = EngineConfig::lazygraph().with_engine(e);
-                b.iter(|| run(&road, 4, &cfg, &Sssp::new(0u32)).metrics.sim_time)
+                b.iter(|| run(&road, 4, &cfg, &Sssp::new(0u32)).expect("cluster run").metrics.sim_time)
             },
         );
         group.bench_with_input(
@@ -46,7 +46,7 @@ fn bench_engines(c: &mut Criterion) {
             |b, &e| {
                 let cfg = EngineConfig::lazygraph().with_engine(e);
                 b.iter(|| {
-                    run(&social, 4, &cfg, &PageRankDelta::default())
+                    run(&social, 4, &cfg, &PageRankDelta::default()).expect("cluster run")
                         .metrics
                         .sim_time
                 })

@@ -29,7 +29,9 @@ fn bench_exchange(c: &mut Criterion) {
                                     }
                                 })
                                 .collect();
-                            let got = ep.exchange(outboxes, 0.0, Phase::Coherency, 8, &stats);
+                            let got = ep
+                                .exchange(outboxes, 0.0, Phase::Coherency, 8, &stats)
+                                .expect("mesh exchange");
                             assert_eq!(got.len(), p - 1);
                         }
                     });
@@ -53,7 +55,7 @@ fn bench_exchange(c: &mut Criterion) {
                     run_machines(workers, |me| {
                         let mut acc = 0u64;
                         for _ in 0..8 {
-                            acc = coll.sum_u64(me, me as u64, &stats);
+                            acc = coll.sum_u64(me, me as u64, &stats).expect("allreduce");
                         }
                         acc
                     })

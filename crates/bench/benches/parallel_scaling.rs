@@ -42,7 +42,7 @@ fn bench_parallel_scaling(c: &mut Criterion) {
                     format!("t{threads}"),
                 ),
                 &cfg,
-                |b, cfg| b.iter(|| run_on(&dg, cfg, &PageRankDelta::default()).metrics.sim_time),
+                |b, cfg| b.iter(|| run_on(&dg, cfg, &PageRankDelta::default()).expect("cluster run").metrics.sim_time),
             );
         }
     }
@@ -55,7 +55,7 @@ fn bench_parallel_scaling(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("sssp-rmat14-lazy", format!("t{threads}")),
             &cfg,
-            |b, cfg| b.iter(|| run_on(&dg, cfg, &Sssp::new(0u32)).metrics.sim_time),
+            |b, cfg| b.iter(|| run_on(&dg, cfg, &Sssp::new(0u32)).expect("cluster run").metrics.sim_time),
         );
     }
     group.finish();

@@ -125,11 +125,25 @@ pub fn run_workload(
     dataset: Dataset,
     cfg: &EngineConfig,
 ) -> RunMetrics {
+    // lazylint: allow-file(no-panic) -- measurement harness: a dead machine
+    // thread invalidates the whole figure, so abort rather than plot it.
     match workload {
-        Workload::KCore => run_on(dg, cfg, &KCore::new(Workload::kcore_k(dataset))).metrics,
-        Workload::PageRank => run_on(dg, cfg, &PageRankDelta::default()).metrics,
-        Workload::Sssp => run_on(dg, cfg, &Sssp::new(0u32)).metrics,
-        Workload::Cc => run_on(dg, cfg, &ConnectedComponents).metrics,
+        Workload::KCore => {
+            run_on(dg, cfg, &KCore::new(Workload::kcore_k(dataset)))
+                .expect("cluster run")
+                .metrics
+        }
+        Workload::PageRank => {
+            run_on(dg, cfg, &PageRankDelta::default())
+                .expect("cluster run")
+                .metrics
+        }
+        Workload::Sssp => run_on(dg, cfg, &Sssp::new(0u32)).expect("cluster run").metrics,
+        Workload::Cc => {
+            run_on(dg, cfg, &ConnectedComponents)
+                .expect("cluster run")
+                .metrics
+        }
     }
 }
 

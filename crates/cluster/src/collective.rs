@@ -11,6 +11,7 @@ use std::sync::Barrier;
 
 use parking_lot::Mutex;
 
+use crate::error::CommError;
 use crate::stats::NetStats;
 
 /// Barrier + reduction slots shared by all machine threads of a run.
@@ -48,7 +49,18 @@ impl Collective {
     /// All-reduce: every machine contributes `val`; everyone receives the
     /// fold of all contributions under `combine` (which must be commutative
     /// and associative). Counts as one global synchronisation.
-    pub fn allreduce<T, F>(&self, me: usize, val: T, stats: &NetStats, combine: F) -> T
+    ///
+    /// Fails with a [`CommError`] collective variant only if a slot is
+    /// empty or type-mismatched at fold time, i.e. when two collectives of
+    /// different element types were interleaved — a protocol violation by
+    /// the calling engine.
+    pub fn allreduce<T, F>(
+        &self,
+        me: usize,
+        val: T,
+        stats: &NetStats,
+        combine: F,
+    ) -> Result<T, CommError>
     where
         T: Clone + Send + 'static,
         F: Fn(T, T) -> T,
@@ -59,13 +71,13 @@ impl Collective {
         *self.slots[me].lock() = Some(Box::new(val));
         self.barrier.wait();
         let mut acc: Option<T> = None;
-        for slot in &self.slots {
+        for (machine, slot) in self.slots.iter().enumerate() {
             let guard = slot.lock();
             let v = guard
                 .as_ref()
-                .expect("allreduce slot empty")
+                .ok_or(CommError::CollectiveSlotEmpty { machine })?
                 .downcast_ref::<T>()
-                .expect("allreduce type mismatch")
+                .ok_or(CommError::CollectiveTypeMismatch { machine })?
                 .clone();
             acc = Some(match acc {
                 None => v,
@@ -74,21 +86,22 @@ impl Collective {
         }
         // Second barrier: nobody may overwrite a slot before all have read.
         self.barrier.wait();
-        acc.expect("empty collective")
+        // `slots` is non-empty (`new` asserts n > 0), so the fold ran.
+        acc.ok_or(CommError::CollectiveSlotEmpty { machine: me })
     }
 
     /// Allreduce-sum over u64.
-    pub fn sum_u64(&self, me: usize, val: u64, stats: &NetStats) -> u64 {
+    pub fn sum_u64(&self, me: usize, val: u64, stats: &NetStats) -> Result<u64, CommError> {
         self.allreduce(me, val, stats, |a, b| a + b)
     }
 
     /// Allreduce-max over f64 (simulated-clock synchronisation).
-    pub fn max_f64(&self, me: usize, val: f64, stats: &NetStats) -> f64 {
+    pub fn max_f64(&self, me: usize, val: f64, stats: &NetStats) -> Result<f64, CommError> {
         self.allreduce(me, val, stats, f64::max)
     }
 
     /// Allreduce-or over bool.
-    pub fn any(&self, me: usize, val: bool, stats: &NetStats) -> bool {
+    pub fn any(&self, me: usize, val: bool, stats: &NetStats) -> Result<bool, CommError> {
         self.allreduce(me, val, stats, |a, b| a || b)
     }
 }
@@ -108,7 +121,7 @@ mod tests {
                 .map(|me| {
                     let coll = coll.clone();
                     let stats = stats.clone();
-                    s.spawn(move || coll.sum_u64(me, (me + 1) as u64, &stats))
+                    s.spawn(move || coll.sum_u64(me, (me + 1) as u64, &stats).unwrap())
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -130,7 +143,7 @@ mod tests {
                     s.spawn(move || {
                         let mut acc = 0.0;
                         for round in 0..50 {
-                            acc = coll.max_f64(me, (me * round) as f64, &stats);
+                            acc = coll.max_f64(me, (me * round) as f64, &stats).unwrap();
                         }
                         acc
                     })
@@ -153,7 +166,7 @@ mod tests {
                 .map(|me| {
                     let coll = coll.clone();
                     let stats = stats.clone();
-                    s.spawn(move || coll.any(me, me == 3, &stats))
+                    s.spawn(move || coll.any(me, me == 3, &stats).unwrap())
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -165,7 +178,7 @@ mod tests {
     fn single_machine_collective() {
         let coll = Collective::new(1);
         let stats = NetStats::new();
-        assert_eq!(coll.sum_u64(0, 42, &stats), 42);
+        assert_eq!(coll.sum_u64(0, 42, &stats).unwrap(), 42);
         coll.barrier(0, &stats);
         assert_eq!(stats.snapshot().global_syncs, 2);
     }

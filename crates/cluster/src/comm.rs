@@ -7,6 +7,7 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 
+use crate::error::CommError;
 use crate::stats::{NetStats, Phase};
 
 /// Round tag for out-of-band (non-BSP) sends.
@@ -54,6 +55,9 @@ impl<T: Send> Endpoint<T> {
 
     /// Sends an out-of-band batch to `dst`, charging `bytes_per_item · len`
     /// payload bytes to `phase`. Used by the asynchronous engines.
+    ///
+    /// Fails with [`CommError::PeerDisconnected`] only if `dst`'s machine
+    /// thread has already died and dropped its endpoint.
     pub fn send(
         &self,
         dst: usize,
@@ -62,8 +66,8 @@ impl<T: Send> Endpoint<T> {
         phase: Phase,
         bytes_per_item: usize,
         stats: &NetStats,
-    ) {
-        self.send_tagged(dst, items, sim_now, ASYNC_ROUND, phase, bytes_per_item, stats);
+    ) -> Result<(), CommError> {
+        self.send_tagged(dst, items, sim_now, ASYNC_ROUND, phase, bytes_per_item, stats)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -76,7 +80,7 @@ impl<T: Send> Endpoint<T> {
         phase: Phase,
         bytes_per_item: usize,
         stats: &NetStats,
-    ) {
+    ) -> Result<(), CommError> {
         debug_assert_ne!(dst, self.me, "self-sends must be handled locally");
         if !items.is_empty() {
             stats.record_batch(phase, items.len() as u64, (items.len() * bytes_per_item) as u64);
@@ -87,20 +91,27 @@ impl<T: Send> Endpoint<T> {
             round,
             items,
         };
-        self.txs[dst]
-            .send(batch)
-            .expect("mesh receiver dropped while peers still sending");
+        self.txs[dst].send(batch).map_err(|_| CommError::PeerDisconnected {
+            from: self.me,
+            to: dst,
+        })
     }
 
-    /// Blocking receive of the next batch of any round.
-    pub fn recv(&mut self) -> Batch<T> {
+    /// Blocking receive of the next batch of any round. Fails with
+    /// [`CommError::MeshClosed`] if every peer endpoint has been dropped.
+    pub fn recv(&mut self) -> Result<Batch<T>, CommError> {
         if !self.pending.is_empty() {
-            return self.pending.remove(0);
+            return Ok(self.pending.remove(0));
         }
-        self.rx.recv().expect("mesh senders all dropped")
+        self.rx.recv().map_err(|_| CommError::MeshClosed { me: self.me })
     }
 
     /// Non-blocking receive of an out-of-band batch (asynchronous engines).
+    ///
+    /// Returns `None` both when the channel is momentarily empty and when
+    /// every sender has been dropped: in either case no batch is available,
+    /// and the termination detector — not channel state — decides whether
+    /// more work can still arrive.
     pub fn try_recv(&mut self) -> Option<Batch<T>> {
         if let Some(pos) = self.pending.iter().position(|b| b.round == ASYNC_ROUND) {
             return Some(self.pending.remove(pos));
@@ -127,7 +138,7 @@ impl<T: Send> Endpoint<T> {
         phase: Phase,
         bytes_per_item: usize,
         stats: &NetStats,
-    ) -> Vec<Batch<T>> {
+    ) -> Result<Vec<Batch<T>>, CommError> {
         assert_eq!(outboxes.len(), self.n, "need one outbox per machine");
         let round = self.next_round;
         self.next_round += 1;
@@ -136,7 +147,7 @@ impl<T: Send> Endpoint<T> {
                 continue;
             }
             let items = std::mem::take(outbox);
-            self.send_tagged(dst, items, sim_now, round, phase, bytes_per_item, stats);
+            self.send_tagged(dst, items, sim_now, round, phase, bytes_per_item, stats)?;
         }
         let mut received = Vec::with_capacity(self.n - 1);
         // First collect any buffered batches for this round.
@@ -149,7 +160,10 @@ impl<T: Send> Endpoint<T> {
             }
         }
         while received.len() < self.n - 1 {
-            let b = self.rx.recv().expect("mesh senders all dropped");
+            let b = self
+                .rx
+                .recv()
+                .map_err(|_| CommError::MeshClosed { me: self.me })?;
             if b.round == round {
                 received.push(b);
             } else {
@@ -160,7 +174,7 @@ impl<T: Send> Endpoint<T> {
         // Engines fold received deltas in batch order, so this sort is what
         // makes cross-machine float accumulation run-to-run deterministic.
         received.sort_unstable_by_key(|b| b.from);
-        received
+        Ok(received)
     }
 }
 
@@ -206,8 +220,8 @@ mod tests {
         let mut b = eps.pop().unwrap();
         let a = eps.pop().unwrap();
         let stats = NetStats::new();
-        a.send(1, vec![7, 8, 9], 1.5, Phase::Async, 4, &stats);
-        let got = b.recv();
+        a.send(1, vec![7, 8, 9], 1.5, Phase::Async, 4, &stats).unwrap();
+        let got = b.recv().unwrap();
         assert_eq!(got.from, 0);
         assert_eq!(got.sent_at, 1.5);
         assert_eq!(got.items, vec![7, 8, 9]);
@@ -222,8 +236,8 @@ mod tests {
         let mut b = eps.pop().unwrap();
         let a = eps.pop().unwrap();
         let stats = NetStats::new();
-        a.send(1, vec![], 0.0, Phase::Coherency, 4, &stats);
-        let got = b.recv();
+        a.send(1, vec![], 0.0, Phase::Coherency, 4, &stats).unwrap();
+        let got = b.recv().unwrap();
         assert!(got.items.is_empty());
         assert_eq!(stats.snapshot().total_bytes(), 0);
         assert_eq!(stats.snapshot().total_batches(), 0);
@@ -250,7 +264,7 @@ mod tests {
                                 }
                             })
                             .collect();
-                        let received = ep.exchange(outboxes, 0.0, Phase::Coherency, 8, &stats);
+                        let received = ep.exchange(outboxes, 0.0, Phase::Coherency, 8, &stats).unwrap();
                         assert_eq!(received.len(), n - 1);
                         received
                             .iter()
@@ -279,9 +293,9 @@ mod tests {
         let stats = NetStats::new();
         // Higher-id machine lands in the queue first; the exchange result
         // must come back in sender order anyway.
-        ep2.send_tagged(0, vec![22], 0.0, 0, Phase::Coherency, 4, &stats);
-        ep1.send_tagged(0, vec![11], 0.0, 0, Phase::Coherency, 4, &stats);
-        let got = ep0.exchange(vec![vec![], vec![], vec![]], 0.0, Phase::Coherency, 4, &stats);
+        ep2.send_tagged(0, vec![22], 0.0, 0, Phase::Coherency, 4, &stats).unwrap();
+        ep1.send_tagged(0, vec![11], 0.0, 0, Phase::Coherency, 4, &stats).unwrap();
+        let got = ep0.exchange(vec![vec![], vec![], vec![]], 0.0, Phase::Coherency, 4, &stats).unwrap();
         assert_eq!(got.len(), 2);
         assert_eq!((got[0].from, got[0].items[0]), (1, 11));
         assert_eq!((got[1].from, got[1].items[0]), (2, 22));
@@ -294,13 +308,13 @@ mod tests {
         let mut ep0 = eps.pop().unwrap();
         let stats = NetStats::new();
         // Peer races ahead: its round-1 batch arrives before round 0.
-        ep1.send_tagged(0, vec![201], 0.0, 1, Phase::Coherency, 4, &stats);
-        ep1.send_tagged(0, vec![100], 0.0, 0, Phase::Coherency, 4, &stats);
-        let r0 = ep0.exchange(vec![vec![], vec![]], 0.0, Phase::Coherency, 4, &stats);
+        ep1.send_tagged(0, vec![201], 0.0, 1, Phase::Coherency, 4, &stats).unwrap();
+        ep1.send_tagged(0, vec![100], 0.0, 0, Phase::Coherency, 4, &stats).unwrap();
+        let r0 = ep0.exchange(vec![vec![], vec![]], 0.0, Phase::Coherency, 4, &stats).unwrap();
         assert_eq!(r0[0].items, vec![100]);
         // The early batch sat in `pending` and satisfies round 1 without
         // touching the channel again.
-        let r1 = ep0.exchange(vec![vec![], vec![]], 0.0, Phase::Coherency, 4, &stats);
+        let r1 = ep0.exchange(vec![vec![], vec![]], 0.0, Phase::Coherency, 4, &stats).unwrap();
         assert_eq!(r1[0].items, vec![201]);
     }
 
@@ -310,11 +324,11 @@ mod tests {
         let ep1 = eps.pop().unwrap();
         let mut ep0 = eps.pop().unwrap();
         let stats = NetStats::new();
-        ep1.send(0, vec![7], 0.0, Phase::Async, 4, &stats);
-        ep1.send_tagged(0, vec![40], 0.0, 0, Phase::Coherency, 4, &stats);
-        ep1.send(0, vec![8], 0.0, Phase::Async, 4, &stats);
+        ep1.send(0, vec![7], 0.0, Phase::Async, 4, &stats).unwrap();
+        ep1.send_tagged(0, vec![40], 0.0, 0, Phase::Coherency, 4, &stats).unwrap();
+        ep1.send(0, vec![8], 0.0, Phase::Async, 4, &stats).unwrap();
         // The BSP exchange must skip over both out-of-band batches…
-        let got = ep0.exchange(vec![vec![], vec![]], 0.0, Phase::Coherency, 4, &stats);
+        let got = ep0.exchange(vec![vec![], vec![]], 0.0, Phase::Coherency, 4, &stats).unwrap();
         assert_eq!(got[0].items, vec![40]);
         // …and try_recv must then surface them, oldest first.
         assert_eq!(ep0.try_recv().unwrap().items, vec![7]);
@@ -329,16 +343,16 @@ mod tests {
         let mut ep0 = eps.pop().unwrap();
         let stats = NetStats::new();
         // Two stragglers get parked in `pending` by a later exchange…
-        ep1.send(0, vec![1], 0.0, Phase::Async, 4, &stats);
-        ep1.send(0, vec![2], 0.0, Phase::Async, 4, &stats);
-        ep1.send_tagged(0, vec![50], 0.0, 0, Phase::Coherency, 4, &stats);
-        let _ = ep0.exchange(vec![vec![], vec![]], 0.0, Phase::Coherency, 4, &stats);
+        ep1.send(0, vec![1], 0.0, Phase::Async, 4, &stats).unwrap();
+        ep1.send(0, vec![2], 0.0, Phase::Async, 4, &stats).unwrap();
+        ep1.send_tagged(0, vec![50], 0.0, 0, Phase::Coherency, 4, &stats).unwrap();
+        let _ = ep0.exchange(vec![vec![], vec![]], 0.0, Phase::Coherency, 4, &stats).unwrap();
         // …then a fresh channel batch arrives behind them.
-        ep1.send(0, vec![3], 0.0, Phase::Async, 4, &stats);
+        ep1.send(0, vec![3], 0.0, Phase::Async, 4, &stats).unwrap();
         // Termination-time drain sees every batch exactly once, FIFO.
-        assert_eq!(ep0.recv().items, vec![1]);
-        assert_eq!(ep0.recv().items, vec![2]);
-        assert_eq!(ep0.recv().items, vec![3]);
+        assert_eq!(ep0.recv().unwrap().items, vec![1]);
+        assert_eq!(ep0.recv().unwrap().items, vec![2]);
+        assert_eq!(ep0.recv().unwrap().items, vec![3]);
         assert!(ep0.try_recv().is_none());
     }
 
@@ -354,7 +368,7 @@ mod tests {
                         let outboxes = (0..2)
                             .map(|d| if d == ep.me() { vec![] } else { vec![round] })
                             .collect();
-                        let got = ep.exchange(outboxes, 0.0, Phase::Async, 4, &stats);
+                        let got = ep.exchange(outboxes, 0.0, Phase::Async, 4, &stats).unwrap();
                         assert_eq!(got[0].items, vec![round], "round mixing detected");
                     }
                 });

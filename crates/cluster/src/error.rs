@@ -1,0 +1,83 @@
+//! Typed errors for the communication fabric.
+//!
+//! The mesh and the collectives are infallible in a healthy run: every
+//! endpoint lives for the whole scope of `run_machines`, and every
+//! allreduce slot is filled before the barrier releases. The failure
+//! modes below can therefore only be reached when a peer machine thread
+//! has died (panic or early error return). Engines propagate them to the
+//! driver instead of panicking, so one failing machine tears the run
+//! down with a diagnosable error rather than a poisoned process.
+
+use std::fmt;
+
+/// A communication-layer failure, always attributable to a dead peer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// A send found the destination's mesh receiver already dropped.
+    PeerDisconnected {
+        /// Sending machine.
+        from: usize,
+        /// Destination whose endpoint is gone.
+        to: usize,
+    },
+    /// A blocking receive found every sender to this machine dropped.
+    MeshClosed {
+        /// The machine whose receive failed.
+        me: usize,
+    },
+    /// An allreduce fold found a peer's contribution slot empty.
+    CollectiveSlotEmpty {
+        /// Machine whose slot was empty.
+        machine: usize,
+    },
+    /// An allreduce contribution downcast to an unexpected concrete type
+    /// (two collectives of different element types interleaved).
+    CollectiveTypeMismatch {
+        /// Machine whose slot held the wrong type.
+        machine: usize,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::PeerDisconnected { from, to } => {
+                write!(f, "machine {from}: send failed, peer {to} disconnected")
+            }
+            CommError::MeshClosed { me } => {
+                write!(f, "machine {me}: receive failed, all mesh senders dropped")
+            }
+            CommError::CollectiveSlotEmpty { machine } => {
+                write!(f, "allreduce slot for machine {machine} empty at fold time")
+            }
+            CommError::CollectiveTypeMismatch { machine } => {
+                write!(
+                    f,
+                    "allreduce contribution from machine {machine} has mismatched type"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_machines() {
+        let e = CommError::PeerDisconnected { from: 2, to: 5 };
+        assert!(e.to_string().contains("machine 2"));
+        assert!(e.to_string().contains("peer 5"));
+        let e = CommError::MeshClosed { me: 1 };
+        assert!(e.to_string().contains("machine 1"));
+    }
+
+    #[test]
+    fn error_trait_object_safe() {
+        let e: Box<dyn std::error::Error> = Box::new(CommError::CollectiveSlotEmpty { machine: 0 });
+        assert!(e.to_string().contains("machine 0"));
+    }
+}

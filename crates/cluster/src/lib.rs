@@ -13,6 +13,7 @@
 pub mod collective;
 pub mod comm;
 pub mod costmodel;
+pub mod error;
 pub mod pool;
 pub mod runtime;
 pub mod stats;
@@ -21,7 +22,8 @@ pub mod termination;
 pub use collective::Collective;
 pub use comm::{build_mesh, Batch, Endpoint};
 pub use costmodel::{CostModel, SimClock};
+pub use error::CommError;
 pub use pool::ThreadPool;
-pub use runtime::run_machines;
+pub use runtime::{run_machines, try_run_machines};
 pub use stats::{NetStats, Phase, PhaseStats, StatsSnapshot};
 pub use termination::Termination;

@@ -80,7 +80,7 @@ impl<T, R, F: Fn(T) -> R> JobCtx<T, R, F> {
                 return;
             }
             // Sole owner of cell `i` by the fetch_add above.
-            let item = unsafe { (*self.items[i].get()).take() }.expect("item claimed twice");
+            let item = unsafe { (*self.items[i].get()).take() }.expect("item claimed twice"); // lazylint: allow(no-panic) -- the fetch_add above gives this thread sole ownership of cell i
             if self.poisoned.load(Ordering::Relaxed) {
                 continue; // a sibling panicked; drain without running
             }
@@ -123,7 +123,7 @@ impl ThreadPool {
                 std::thread::Builder::new()
                     .name(format!("lazygraph-pool-{i}"))
                     .spawn(move || worker_loop(shared))
-                    .expect("spawn pool worker")
+                    .expect("spawn pool worker") // lazylint: allow(no-panic) -- thread spawn at pool construction; nothing can proceed without workers
             })
             .collect();
         ThreadPool { shared, workers }
@@ -186,6 +186,7 @@ impl ThreadPool {
         }
         ctx.slots
             .into_iter()
+            // lazylint: allow(no-panic) -- the epoch protocol fills every slot before join returns
             .map(|c| c.into_inner().expect("unfilled result slot"))
             .collect()
     }
@@ -202,6 +203,7 @@ fn worker_loop(shared: Arc<Shared>) {
                 }
                 if st.epoch > seen_epoch {
                     seen_epoch = st.epoch;
+                    // lazylint: allow(no-panic) -- the submitter stores the job before bumping the epoch
                     break st.job.expect("epoch bumped without a job");
                 }
                 st = shared

@@ -24,9 +24,29 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("machine thread panicked"))
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                // Re-raise the machine's own panic payload on the caller.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     })
+}
+
+/// Fallible variant of [`run_machines`]: every machine returns a `Result`,
+/// and the first error (in machine order) is propagated to the caller.
+///
+/// A machine that errors drops its mesh endpoint on the way out, which
+/// surfaces as [`crate::CommError`] on every peer still exchanging with it,
+/// so an error tears the whole run down instead of wedging it.
+pub fn try_run_machines<W, R, E, F>(workers: Vec<W>, f: F) -> Result<Vec<R>, E>
+where
+    W: Send,
+    R: Send,
+    E: Send,
+    F: Fn(W) -> Result<R, E> + Sync,
+{
+    run_machines(workers, f).into_iter().collect()
 }
 
 #[cfg(test)]
@@ -48,7 +68,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "machine thread panicked")]
+    fn errors_propagate_in_machine_order() {
+        let workers: Vec<usize> = (0..4).collect();
+        let r: Result<Vec<usize>, String> = try_run_machines(workers, |w| {
+            if w % 2 == 1 {
+                Err(format!("machine {w} failed"))
+            } else {
+                Ok(w)
+            }
+        });
+        assert_eq!(r, Err("machine 1 failed".to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
     fn panics_propagate() {
         run_machines(vec![0, 1], |w| {
             if w == 1 {

@@ -204,7 +204,7 @@ mod tests {
             Phase::Control,
         ]
         .map(Phase::name);
-        let set: std::collections::HashSet<_> = names.iter().collect();
+        let set: std::collections::BTreeSet<_> = names.iter().collect();
         assert_eq!(set.len(), names.len());
     }
 }

@@ -15,7 +15,7 @@
 use std::sync::Arc;
 
 use lazygraph_cluster::{
-    build_mesh, CostModel, Endpoint, NetStats, Phase, SimClock, Termination,
+    build_mesh, CommError, CostModel, Endpoint, NetStats, Phase, SimClock, Termination,
 };
 use lazygraph_partition::{DistributedGraph, LocalShard};
 
@@ -37,7 +37,7 @@ pub fn run_async_engine<P: VertexProgram>(
     cost: CostModel,
     par: ParallelConfig,
     stats: Arc<NetStats>,
-) -> (Vec<P::VData>, f64) {
+) -> Result<(Vec<P::VData>, f64), CommError> {
     let p = dg.num_machines;
     let endpoints = build_mesh::<(u32, SyncMsg<P>)>(p);
     let term = Arc::new(Termination::new(p));
@@ -45,7 +45,7 @@ pub fn run_async_engine<P: VertexProgram>(
     let workers: Vec<(&LocalShard, Endpoint<(u32, SyncMsg<P>)>)> =
         dg.shards.iter().zip(endpoints).collect();
     let num_vertices = dg.num_global_vertices;
-    let outs = lazygraph_cluster::run_machines(workers, |(shard, ep)| {
+    let outs = lazygraph_cluster::try_run_machines(workers, |(shard, ep)| {
         machine_loop(
             shard,
             ep,
@@ -56,7 +56,7 @@ pub fn run_async_engine<P: VertexProgram>(
             term.clone(),
             stats.clone(),
         )
-    });
+    })?;
     let sim_time = outs.iter().map(|o| o.sim_time).fold(0.0, f64::max);
     let mut values: Vec<Option<P::VData>> = vec![None; num_vertices];
     for out in outs {
@@ -67,9 +67,11 @@ pub fn run_async_engine<P: VertexProgram>(
     let values = values
         .into_iter()
         .enumerate()
+// lazylint: allow(no-panic) -- every vertex has exactly one master by
+        // partition construction; a gap here is an assembler bug
         .map(|(gid, v)| v.unwrap_or_else(|| panic!("vertex {gid} has no master value")))
         .collect();
-    (values, sim_time)
+    Ok((values, sim_time))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -82,7 +84,7 @@ fn machine_loop<P: VertexProgram>(
     par: ParallelConfig,
     term: Arc<Termination>,
     stats: Arc<NetStats>,
-) -> MachineOut<P> {
+) -> Result<MachineOut<P>, CommError> {
     let n = ep.num_machines();
     let pctx = ParallelCtx::new(par);
     let mut clock = SimClock::new();
@@ -108,7 +110,7 @@ fn machine_loop<P: VertexProgram>(
             for (gid, msg) in batch.items {
                 let l = shard
                     .local_of(gid.into())
-                    .expect("async message routed to non-replica");
+                    .expect("async message routed to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
                 match msg {
                     SyncMsg::Accum(d) => {
                         debug_assert!(shard.is_master[l as usize]);
@@ -254,7 +256,7 @@ fn machine_loop<P: VertexProgram>(
                 }
                 term.note_sent(1);
                 clock.advance(cost.async_send_cpu);
-                ep.send(dst, items, clock.now(), Phase::Async, update_bytes, &stats);
+                ep.send(dst, items, clock.now(), Phase::Async, update_bytes, &stats)?;
             }
         }
 
@@ -276,8 +278,8 @@ fn machine_loop<P: VertexProgram>(
         .filter(|&l| shard.is_master[l as usize])
         .map(|l| (shard.global_of(l).0, state.vdata[l as usize].clone()))
         .collect();
-    MachineOut {
+    Ok(MachineOut {
         masters,
         sim_time: clock.now(),
-    }
+    })
 }

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use lazygraph_cluster::{Collective, CostModel, NetStats, SimClock};
+use lazygraph_cluster::{Collective, CommError, CostModel, NetStats, SimClock};
 use parking_lot::Mutex;
 
 use crate::comm_mode::VolumeEstimate;
@@ -89,10 +89,10 @@ impl BspSync {
         clock: &mut SimClock,
         local: BspReduction,
         charge: CommCharge,
-    ) -> BspReduction {
+    ) -> Result<BspReduction, CommError> {
         let mut local = local;
         local.clock = clock.now();
-        let red = self.coll.allreduce(self.me, local, &self.stats, combine);
+        let red = self.coll.allreduce(self.me, local, &self.stats, combine)?;
         let comm_time = match charge {
             CommCharge::A2A if red.bytes > 0 => self.cost.t_a2a(red.bytes),
             CommCharge::M2M if red.bytes > 0 => self.cost.t_m2m(red.bytes),
@@ -101,13 +101,13 @@ impl BspSync {
         let new_global = red.clock + self.cost.barrier_latency + comm_time;
         if self.me == 0 {
             let mut b = self.breakdown.lock();
-            b.compute += (red.clock - self.last_global).max(0.0);
+            b.compute += (red.clock - self.last_global).max(0.0); // lazylint: allow(float-commit) -- machine-0-only accounting of an allreduced clock; order is fixed by the superstep sequence
             b.barrier += self.cost.barrier_latency;
             b.comm += comm_time;
         }
         self.last_global = new_global;
         clock.set(new_global);
-        red
+        Ok(red)
     }
 }
 
@@ -141,6 +141,7 @@ mod tests {
                             },
                             CommCharge::A2A,
                         );
+                        let red = red.unwrap();
                         assert_eq!(red.pending, 3);
                         assert_eq!(red.bytes, 3_000_000);
                         clock.now()
@@ -168,7 +169,7 @@ mod tests {
         let cost = CostModel::paper_cluster();
         let mut bsp = BspSync::new(0, coll, stats, cost, breakdown.clone());
         let mut clock = SimClock::new();
-        bsp.sync(&mut clock, BspReduction::default(), CommCharge::None);
+        bsp.sync(&mut clock, BspReduction::default(), CommCharge::None).unwrap();
         assert!((clock.now() - cost.barrier_latency).abs() < 1e-12);
         assert_eq!(breakdown.lock().comm, 0.0);
     }

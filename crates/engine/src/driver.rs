@@ -4,7 +4,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use lazygraph_cluster::NetStats;
+use lazygraph_cluster::{CommError, NetStats};
 use lazygraph_graph::Graph;
 use lazygraph_partition::{partition_graph, DistributedGraph};
 use parking_lot::Mutex;
@@ -29,12 +29,15 @@ pub struct RunResult<P: VertexProgram> {
 
 /// Partitions `graph` over `num_machines` per `cfg` and runs `program` on
 /// the configured engine.
+///
+/// Fails only if a machine thread dies mid-run (see
+/// [`CommError`]); a healthy run always returns `Ok`.
 pub fn run<P: VertexProgram>(
     graph: &Graph,
     num_machines: usize,
     cfg: &EngineConfig,
     program: &P,
-) -> RunResult<P> {
+) -> Result<RunResult<P>, CommError> {
     let dg = partition_graph(
         graph,
         num_machines,
@@ -52,7 +55,7 @@ pub fn run_on<P: VertexProgram>(
     dg: &DistributedGraph,
     cfg: &EngineConfig,
     program: &P,
-) -> RunResult<P> {
+) -> Result<RunResult<P>, CommError> {
     let stats = Arc::new(NetStats::new());
     let breakdown = Arc::new(Mutex::new(SimBreakdown::default()));
     let history: Arc<Mutex<Vec<IterationRecord>>> = Arc::new(Mutex::new(Vec::new()));
@@ -60,6 +63,8 @@ pub fn run_on<P: VertexProgram>(
         threads: cfg.resolve_threads(dg.num_machines),
         block_size: cfg.block_size.max(1),
     };
+    // lazylint: allow(nondet-source) -- host wall-clock feeds only the reported
+    // runtime metric; no simulated result ever reads it
     let started = Instant::now();
     let (values, iterations, coherency, subrounds, a2a, m2m, sim_time, converged) =
         match cfg.engine {
@@ -73,11 +78,12 @@ pub fn run_on<P: VertexProgram>(
                     stats.clone(),
                     breakdown.clone(),
                     cfg.record_history.then(|| history.clone()),
-                );
+                )?;
                 (values, iters, 0, 0, 0, 0, sim, converged)
             }
             EngineKind::PowerGraphAsync => {
-                let (values, sim) = run_async_engine(dg, program, cfg.cost, par, stats.clone());
+                let (values, sim) =
+                    run_async_engine(dg, program, cfg.cost, par, stats.clone())?;
                 (values, 0, 0, 0, 0, 0, sim, true)
             }
             EngineKind::LazyBlockAsync => {
@@ -97,7 +103,7 @@ pub fn run_on<P: VertexProgram>(
                     stats.clone(),
                     breakdown.clone(),
                     history.clone(),
-                );
+                )?;
                 (
                     values,
                     iters,
@@ -121,12 +127,12 @@ pub fn run_on<P: VertexProgram>(
                     params,
                     stats.clone(),
                     breakdown.clone(),
-                );
+                )?;
                 (values, supersteps, 0, 0, 0, 0, sim, true)
             }
             EngineKind::LazyVertexAsync => {
                 let (values, sim, c) =
-                    run_lazy_vertex_engine(dg, program, cfg.cost, par, stats.clone());
+                    run_lazy_vertex_engine(dg, program, cfg.cost, par, stats.clone())?;
                 (
                     values,
                     0,
@@ -156,5 +162,5 @@ pub fn run_on<P: VertexProgram>(
         lambda: dg.lambda(),
         history: std::mem::take(&mut history.lock()),
     };
-    RunResult { values, metrics }
+    Ok(RunResult { values, metrics })
 }

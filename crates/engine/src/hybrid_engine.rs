@@ -20,7 +20,8 @@
 use std::sync::Arc;
 
 use lazygraph_cluster::{
-    build_mesh, Collective, CostModel, Endpoint, NetStats, Phase, SimClock, Termination,
+    build_mesh, Collective, CommError, CostModel, Endpoint, NetStats, Phase, SimClock,
+    Termination,
 };
 use lazygraph_partition::{DistributedGraph, LocalShard};
 use parking_lot::Mutex;
@@ -29,7 +30,7 @@ use crate::bsp::{BspReduction, BspSync, CommCharge};
 use crate::metrics::SimBreakdown;
 use crate::program::{EdgeCtx, VertexProgram};
 use crate::state::{vertex_ctx, InitMessages, MachineState};
-use crate::sync_engine::SyncMsg;
+use crate::sync_engine::{EngineOutput, SyncMsg};
 
 /// Tuning of the hybrid switch.
 #[derive(Clone, Copy, Debug)]
@@ -55,7 +56,7 @@ pub fn run_hybrid_engine<P: VertexProgram>(
     params: HybridParams,
     stats: Arc<NetStats>,
     breakdown: Arc<Mutex<SimBreakdown>>,
-) -> (Vec<P::VData>, u64, bool, f64) {
+) -> EngineOutput<P::VData> {
     let p = dg.num_machines;
     let coll = Arc::new(Collective::new(p));
     let term = Arc::new(Termination::new(p));
@@ -64,7 +65,7 @@ pub fn run_hybrid_engine<P: VertexProgram>(
     let workers: Vec<(&LocalShard, Endpoint<(u32, SyncMsg<P>)>)> =
         dg.shards.iter().zip(endpoints).collect();
     let num_vertices = dg.num_global_vertices;
-    let outs = lazygraph_cluster::run_machines(workers, |(shard, ep)| {
+    let outs = lazygraph_cluster::try_run_machines(workers, |(shard, ep)| {
         machine_loop(
             shard,
             ep,
@@ -76,7 +77,7 @@ pub fn run_hybrid_engine<P: VertexProgram>(
             stats.clone(),
             breakdown.clone(),
         )
-    });
+    })?;
     let sim_time = outs.iter().map(|o| o.sim_time).fold(0.0, f64::max);
     let supersteps = outs[0].sync_supersteps;
     let switched = outs[0].switched;
@@ -89,9 +90,11 @@ pub fn run_hybrid_engine<P: VertexProgram>(
     let values = values
         .into_iter()
         .enumerate()
+// lazylint: allow(no-panic) -- every vertex has exactly one master by
+        // partition construction; a gap here is an assembler bug
         .map(|(gid, v)| v.unwrap_or_else(|| panic!("vertex {gid} has no master value")))
         .collect();
-    (values, supersteps, switched, sim_time)
+    Ok((values, supersteps, switched, sim_time))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -105,7 +108,7 @@ fn machine_loop<P: VertexProgram>(
     term: Arc<Termination>,
     stats: Arc<NetStats>,
     breakdown: Arc<Mutex<SimBreakdown>>,
-) -> MachineOut<P> {
+) -> Result<MachineOut<P>, CommError> {
     let me = shard.machine.index();
     let n = coll.num_machines();
     let mut bsp = BspSync::new(me, coll, stats.clone(), params.cost, breakdown);
@@ -138,11 +141,11 @@ fn machine_loop<P: VertexProgram>(
                 state.active[l as usize] = false;
             }
         }
-        for batch in ep.exchange(outboxes, clock.now(), Phase::Gather, delta_bytes, &stats) {
+        for batch in ep.exchange(outboxes, clock.now(), Phase::Gather, delta_bytes, &stats)? {
             clock.merge(batch.sent_at);
             for (gid, msg) in batch.items {
                 if let SyncMsg::Accum(d) = msg {
-                    let l = shard.local_of(gid.into()).expect("accum to non-replica");
+                    let l = shard.local_of(gid.into()).expect("accum to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
                     state.deliver(program, l, program.gather(gid.into(), d));
                 }
             }
@@ -155,7 +158,7 @@ fn machine_loop<P: VertexProgram>(
                 ..Default::default()
             },
             CommCharge::A2A,
-        );
+        )?;
 
         // Apply at masters + eager broadcast.
         let mut outboxes: Vec<Vec<(u32, SyncMsg<P>)>> = (0..n).map(|_| Vec::new()).collect();
@@ -187,11 +190,11 @@ fn machine_loop<P: VertexProgram>(
         }
         stats.record_applies(applies);
         clock.advance(params.cost.apply_time(applies));
-        for batch in ep.exchange(outboxes, clock.now(), Phase::Apply, update_bytes, &stats) {
+        for batch in ep.exchange(outboxes, clock.now(), Phase::Apply, update_bytes, &stats)? {
             clock.merge(batch.sent_at);
             for (gid, msg) in batch.items {
                 if let SyncMsg::Update { data, scatter } = msg {
-                    let l = shard.local_of(gid.into()).expect("update to non-replica");
+                    let l = shard.local_of(gid.into()).expect("update to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
                     state.vdata[l as usize] = data;
                     if let Some(d) = scatter {
                         scatter_tasks.push((l, d));
@@ -206,7 +209,7 @@ fn machine_loop<P: VertexProgram>(
                 ..Default::default()
             },
             CommCharge::A2A,
-        );
+        )?;
 
         // Scatter locally.
         let mut edges = 0u64;
@@ -238,7 +241,7 @@ fn machine_loop<P: VertexProgram>(
                 ..Default::default()
             },
             CommCharge::None,
-        );
+        )?;
         if red.pending == 0 {
             break 'bsp; // converged while still synchronous
         }
@@ -265,7 +268,7 @@ fn machine_loop<P: VertexProgram>(
                 let bytes = batch.items.len() * update_bytes;
                 clock.merge(batch.sent_at + params.cost.async_batch_time(bytes as u64));
                 for (gid, msg) in batch.items {
-                    let l = shard.local_of(gid.into()).expect("async to non-replica");
+                    let l = shard.local_of(gid.into()).expect("async to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
                     match msg {
                         SyncMsg::Accum(d) => {
                             state.deliver(program, l, program.gather(gid.into(), d));
@@ -349,7 +352,7 @@ fn machine_loop<P: VertexProgram>(
                     }
                     term.note_sent(1);
                     clock.advance(params.cost.async_send_cpu);
-                    ep.send(dst, items, clock.now(), Phase::Async, update_bytes, &stats);
+                    ep.send(dst, items, clock.now(), Phase::Async, update_bytes, &stats)?;
                 }
             }
             if !progressed {
@@ -369,10 +372,10 @@ fn machine_loop<P: VertexProgram>(
         .filter(|&l| shard.is_master[l as usize])
         .map(|l| (shard.global_of(l).0, state.vdata[l as usize].clone()))
         .collect();
-    MachineOut {
+    Ok(MachineOut {
         masters,
         sync_supersteps: supersteps,
         switched,
         sim_time: clock.now(),
-    }
+    })
 }

@@ -21,7 +21,9 @@
 
 use std::sync::Arc;
 
-use lazygraph_cluster::{build_mesh, Collective, CostModel, Endpoint, NetStats, Phase, SimClock};
+use lazygraph_cluster::{
+    build_mesh, Collective, CommError, CostModel, Endpoint, NetStats, Phase, SimClock,
+};
 use lazygraph_graph::hash::FxHashMap;
 use lazygraph_partition::{DistributedGraph, EdgeMode, LocalShard};
 use parking_lot::Mutex;
@@ -68,6 +70,10 @@ pub struct LazyParams {
     pub record_history: bool,
 }
 
+/// `(values, supersteps, converged, sim_time, counters)` or the first
+/// machine's communication error.
+pub type LazyBlockOutput<V> = Result<(Vec<V>, u64, bool, f64, LazyCounters), CommError>;
+
 /// Runs LazyBlockAsync to convergence.
 pub fn run_lazy_block_engine<P: VertexProgram>(
     dg: &DistributedGraph,
@@ -77,7 +83,7 @@ pub fn run_lazy_block_engine<P: VertexProgram>(
     stats: Arc<NetStats>,
     breakdown: Arc<Mutex<SimBreakdown>>,
     history: Arc<Mutex<Vec<IterationRecord>>>,
-) -> (Vec<P::VData>, u64, bool, f64, LazyCounters) {
+) -> LazyBlockOutput<P::VData> {
     let p = dg.num_machines;
     let coll = Arc::new(Collective::new(p));
     let endpoints = build_mesh::<(u32, P::Delta)>(p);
@@ -91,7 +97,7 @@ pub fn run_lazy_block_engine<P: VertexProgram>(
         .collect();
     let num_vertices = dg.num_global_vertices;
     let ev_ratio = dg.ev_ratio;
-    let outs = lazygraph_cluster::run_machines(workers, |(me, shard, ep)| {
+    let outs = lazygraph_cluster::try_run_machines(workers, |(me, shard, ep)| {
         machine_loop(
             me,
             shard,
@@ -106,7 +112,7 @@ pub fn run_lazy_block_engine<P: VertexProgram>(
             breakdown.clone(),
             history.clone(),
         )
-    });
+    })?;
     let iterations = outs[0].iterations;
     let converged = outs[0].converged;
     let sim_time = outs.iter().map(|o| o.sim_time).fold(0.0, f64::max);
@@ -121,9 +127,11 @@ pub fn run_lazy_block_engine<P: VertexProgram>(
     let values = values
         .into_iter()
         .enumerate()
+// lazylint: allow(no-panic) -- every vertex has exactly one master by
+        // partition construction; a gap here is an assembler bug
         .map(|(gid, v)| v.unwrap_or_else(|| panic!("vertex {gid} has no master value")))
         .collect();
-    (values, iterations, converged, sim_time, counters)
+    Ok((values, iterations, converged, sim_time, counters))
 }
 
 /// One blocked apply+scatter sweep over a sorted worklist: the engine-side
@@ -220,7 +228,7 @@ fn machine_loop<P: VertexProgram>(
     stats: Arc<NetStats>,
     breakdown: Arc<Mutex<SimBreakdown>>,
     history: Arc<Mutex<Vec<IterationRecord>>>,
-) -> MachineOut<P> {
+) -> Result<MachineOut<P>, CommError> {
     let n = coll.num_machines();
     let pctx = ParallelCtx::new(par);
     let mut bsp = BspSync::new(me, coll, stats.clone(), params.cost, breakdown);
@@ -328,7 +336,7 @@ fn machine_loop<P: VertexProgram>(
                     &stats,
                     n,
                     params.delta_suppression,
-                )
+                )?
             }
             CommMode::MirrorsToMaster => {
                 counters.m2m_exchanges += 1;
@@ -342,7 +350,7 @@ fn machine_loop<P: VertexProgram>(
                     &stats,
                     n,
                     params.delta_suppression,
-                )
+                )?
             }
         };
         counters.coherency_points += 1;
@@ -359,7 +367,7 @@ fn machine_loop<P: VertexProgram>(
                 ..Default::default()
             },
             charge,
-        );
+        )?;
         next_mode = choose_mode(&params.cost, red.est);
         if me == 0 && params.record_history {
             history.lock().push(IterationRecord {
@@ -407,13 +415,13 @@ fn machine_loop<P: VertexProgram>(
         .filter(|&l| shard.is_master[l as usize])
         .map(|l| (shard.global_of(l).0, state.vdata[l as usize].clone()))
         .collect();
-    MachineOut {
+    Ok(MachineOut {
         masters,
         iterations,
         converged,
         sim_time: clock.now(),
         counters,
-    }
+    })
 }
 
 /// All-to-all deltaMsg exchange (Fig. 5(a)): every delta-holding replica
@@ -429,7 +437,7 @@ fn exchange_a2a<P: VertexProgram>(
     stats: &NetStats,
     n: usize,
     suppression: bool,
-) -> u64 {
+) -> Result<u64, CommError> {
     let delta_bytes = program.delta_bytes();
     let mut outboxes: Vec<Vec<(u32, P::Delta)>> = (0..n).map(|_| Vec::new()).collect();
     let mut sent = 0u64;
@@ -467,18 +475,18 @@ fn exchange_a2a<P: VertexProgram>(
             }
         }
     }
-    let received = ep.exchange(outboxes, clock.now(), Phase::Coherency, delta_bytes, stats);
+    let received = ep.exchange(outboxes, clock.now(), Phase::Coherency, delta_bytes, stats)?;
     let mut inbound: Vec<(u32, P::Delta)> = Vec::new();
     for batch in received {
         for (gid, d) in batch.items {
             let l = shard
                 .local_of(gid.into())
-                .expect("delta routed to non-replica");
+                .expect("delta routed to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
             inbound.push((l, program.gather(gid.into(), d)));
         }
     }
     state.deliver_all(program, pctx, inbound);
-    sent
+    Ok(sent)
 }
 
 /// Mirrors-to-master deltaMsg exchange (Fig. 5(b)): mirrors send up, the
@@ -496,7 +504,7 @@ fn exchange_m2m<P: VertexProgram>(
     stats: &NetStats,
     n: usize,
     suppression: bool,
-) -> u64 {
+) -> Result<u64, CommError> {
     let delta_bytes = program.delta_bytes();
     let mut sent = 0u64;
     // Own contributions, saved for the Inverse step.
@@ -539,7 +547,7 @@ fn exchange_m2m<P: VertexProgram>(
             }
         }
     }
-    let received = ep.exchange(outboxes, clock.now(), Phase::Coherency, delta_bytes, stats);
+    let received = ep.exchange(outboxes, clock.now(), Phase::Coherency, delta_bytes, stats)?;
     for batch in received {
         for (gid, d) in batch.items {
             totals
@@ -559,7 +567,7 @@ fn exchange_m2m<P: VertexProgram>(
     for &(gid, total) in &totals {
         let l = shard
             .local_of(gid.into())
-            .expect("totals key must be local");
+            .expect("totals key must be local"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
         debug_assert!(shard.is_master[l as usize], "hop-1 routed to non-master");
         for &m in shard.mirrors[l as usize].iter() {
             outboxes[m.index()].push((gid, total));
@@ -567,7 +575,7 @@ fn exchange_m2m<P: VertexProgram>(
         }
         local_apply.push((gid, total));
     }
-    let received = ep.exchange(outboxes, clock.now(), Phase::Coherency, delta_bytes, stats);
+    let received = ep.exchange(outboxes, clock.now(), Phase::Coherency, delta_bytes, stats)?;
     for batch in received {
         local_apply.extend(batch.items);
     }
@@ -575,7 +583,7 @@ fn exchange_m2m<P: VertexProgram>(
     for (gid, total) in local_apply {
         let l = shard
             .local_of(gid.into())
-            .expect("combined delta routed to non-replica");
+            .expect("combined delta routed to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
         let others = match own.get(&gid) {
             Some(&mine) => {
                 if mine == total {
@@ -591,5 +599,5 @@ fn exchange_m2m<P: VertexProgram>(
         inbound.push((l, program.gather(gid.into(), others)));
     }
     state.deliver_all(program, pctx, inbound);
-    sent
+    Ok(sent)
 }

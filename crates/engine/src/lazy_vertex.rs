@@ -17,7 +17,7 @@
 use std::sync::Arc;
 
 use lazygraph_cluster::{
-    build_mesh, CostModel, Endpoint, NetStats, Phase, SimClock, Termination,
+    build_mesh, CommError, CostModel, Endpoint, NetStats, Phase, SimClock, Termination,
 };
 use lazygraph_partition::{DistributedGraph, LocalShard};
 
@@ -39,7 +39,7 @@ pub fn run_lazy_vertex_engine<P: VertexProgram>(
     cost: CostModel,
     par: ParallelConfig,
     stats: Arc<NetStats>,
-) -> (Vec<P::VData>, f64, LazyCounters) {
+) -> Result<(Vec<P::VData>, f64, LazyCounters), CommError> {
     let p = dg.num_machines;
     let endpoints = build_mesh::<(u32, P::Delta)>(p);
     let term = Arc::new(Termination::new(p));
@@ -47,7 +47,7 @@ pub fn run_lazy_vertex_engine<P: VertexProgram>(
     let workers: Vec<(&LocalShard, Endpoint<(u32, P::Delta)>)> =
         dg.shards.iter().zip(endpoints).collect();
     let num_vertices = dg.num_global_vertices;
-    let outs = lazygraph_cluster::run_machines(workers, |(shard, ep)| {
+    let outs = lazygraph_cluster::try_run_machines(workers, |(shard, ep)| {
         machine_loop(
             shard,
             ep,
@@ -58,7 +58,7 @@ pub fn run_lazy_vertex_engine<P: VertexProgram>(
             term.clone(),
             stats.clone(),
         )
-    });
+    })?;
     let sim_time = outs.iter().map(|o| o.sim_time).fold(0.0, f64::max);
     let mut counters = LazyCounters::default();
     for o in &outs {
@@ -75,9 +75,11 @@ pub fn run_lazy_vertex_engine<P: VertexProgram>(
     let values = values
         .into_iter()
         .enumerate()
+// lazylint: allow(no-panic) -- every vertex has exactly one master by
+        // partition construction; a gap here is an assembler bug
         .map(|(gid, v)| v.unwrap_or_else(|| panic!("vertex {gid} has no master value")))
         .collect();
-    (values, sim_time, counters)
+    Ok((values, sim_time, counters))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -90,7 +92,7 @@ fn machine_loop<P: VertexProgram>(
     par: ParallelConfig,
     term: Arc<Termination>,
     stats: Arc<NetStats>,
-) -> MachineOut<P> {
+) -> Result<MachineOut<P>, CommError> {
     let n = ep.num_machines();
     let pctx = ParallelCtx::new(par);
     let mut clock = SimClock::new();
@@ -117,7 +119,7 @@ fn machine_loop<P: VertexProgram>(
                 .map(|(gid, d)| {
                     let l = shard
                         .local_of(gid.into())
-                        .expect("delta routed to non-replica");
+                        .expect("delta routed to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
                     (l, program.gather(gid.into(), d))
                 })
                 .collect();
@@ -193,7 +195,7 @@ fn machine_loop<P: VertexProgram>(
                     }
                     term.note_sent(1);
                     clock.advance(cost.async_send_cpu);
-                    ep.send(dst, items, clock.now(), Phase::Coherency, delta_bytes, &stats);
+                    ep.send(dst, items, clock.now(), Phase::Coherency, delta_bytes, &stats)?;
                 }
             }
         }
@@ -214,9 +216,9 @@ fn machine_loop<P: VertexProgram>(
         .filter(|&l| shard.is_master[l as usize])
         .map(|l| (shard.global_of(l).0, state.vdata[l as usize].clone()))
         .collect();
-    MachineOut {
+    Ok(MachineOut {
         masters,
         sim_time: clock.now(),
         counters,
-    }
+    })
 }

@@ -17,7 +17,9 @@
 
 use std::sync::Arc;
 
-use lazygraph_cluster::{build_mesh, Collective, CostModel, Endpoint, NetStats, Phase, SimClock};
+use lazygraph_cluster::{
+    build_mesh, Collective, CommError, CostModel, Endpoint, NetStats, Phase, SimClock,
+};
 use lazygraph_partition::{DistributedGraph, LocalShard};
 use parking_lot::Mutex;
 
@@ -52,6 +54,10 @@ struct MachineOut<P: VertexProgram> {
     sim_time: f64,
 }
 
+/// `(values, supersteps, converged, sim_time)` or the first machine's
+/// communication error.
+pub type EngineOutput<V> = Result<(Vec<V>, u64, bool, f64), CommError>;
+
 /// Runs the Sync engine to convergence. Returns per-vertex final values
 /// (master copies) plus `(iterations, converged)`.
 #[allow(clippy::too_many_arguments)]
@@ -64,7 +70,7 @@ pub fn run_sync_engine<P: VertexProgram>(
     stats: Arc<NetStats>,
     breakdown: Arc<Mutex<SimBreakdown>>,
     history: Option<Arc<Mutex<Vec<IterationRecord>>>>,
-) -> (Vec<P::VData>, u64, bool, f64) {
+) -> EngineOutput<P::VData> {
     let p = dg.num_machines;
     let coll = Arc::new(Collective::new(p));
     let endpoints = build_mesh::<(u32, SyncMsg<P>)>(p);
@@ -75,7 +81,7 @@ pub fn run_sync_engine<P: VertexProgram>(
         .map(|(shard, ep)| Worker { shard, ep })
         .collect();
     let num_vertices = dg.num_global_vertices;
-    let outs = lazygraph_cluster::run_machines(workers, |w| {
+    let outs = lazygraph_cluster::try_run_machines(workers, |w| {
         machine_loop(
             w,
             program,
@@ -88,8 +94,8 @@ pub fn run_sync_engine<P: VertexProgram>(
             breakdown.clone(),
             history.clone(),
         )
-    });
-    assemble(outs, num_vertices)
+    })?;
+    Ok(assemble(outs, num_vertices))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -104,7 +110,7 @@ fn machine_loop<P: VertexProgram>(
     stats: Arc<NetStats>,
     breakdown: Arc<Mutex<SimBreakdown>>,
     history: Option<Arc<Mutex<Vec<IterationRecord>>>>,
-) -> MachineOut<P> {
+) -> Result<MachineOut<P>, CommError> {
     let shard = w.shard;
     let me = shard.machine.index();
     let n = coll.num_machines();
@@ -174,7 +180,7 @@ fn machine_loop<P: VertexProgram>(
         }
         let received = w
             .ep
-            .exchange(outboxes, clock.now(), Phase::Gather, delta_bytes, &stats);
+            .exchange(outboxes, clock.now(), Phase::Gather, delta_bytes, &stats)?;
         let mut inbound: Vec<(u32, P::Delta)> = Vec::new();
         for batch in received {
             clock.merge(batch.sent_at);
@@ -182,7 +188,7 @@ fn machine_loop<P: VertexProgram>(
                 if let SyncMsg::Accum(d) = msg {
                     let l = shard
                         .local_of(gid.into())
-                        .expect("accum routed to non-replica");
+                        .expect("accum routed to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
                     debug_assert!(shard.is_master[l as usize]);
                     inbound.push((l, program.gather(gid.into(), d)));
                 }
@@ -199,7 +205,7 @@ fn machine_loop<P: VertexProgram>(
                 ..Default::default()
             },
             CommCharge::A2A,
-        );
+        )?;
 
         // ---- Phase 2: apply at masters, broadcast updates. --------------
         // Blocked two-phase again: each block applies into a *clone* of
@@ -256,14 +262,14 @@ fn machine_loop<P: VertexProgram>(
         clock.advance(cost.apply_time(applies));
         let received = w
             .ep
-            .exchange(outboxes, clock.now(), Phase::Apply, update_bytes, &stats);
+            .exchange(outboxes, clock.now(), Phase::Apply, update_bytes, &stats)?;
         for batch in received {
             clock.merge(batch.sent_at);
             for (gid, msg) in batch.items {
                 if let SyncMsg::Update { data, scatter } = msg {
                     let l = shard
                         .local_of(gid.into())
-                        .expect("update routed to non-replica");
+                        .expect("update routed to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
                     state.vdata[l as usize] = data;
                     if let Some(d) = scatter {
                         scatter_tasks.push((l, d));
@@ -278,7 +284,7 @@ fn machine_loop<P: VertexProgram>(
                 ..Default::default()
             },
             CommCharge::A2A,
-        );
+        )?;
 
         // ---- Phase 3: scatter on every replica along local out-edges. ---
         // Scatter reads vertex data but only `deliver` mutates anything,
@@ -325,7 +331,7 @@ fn machine_loop<P: VertexProgram>(
                 ..Default::default()
             },
             CommCharge::None,
-        );
+        )?;
         if me == 0 {
             if let Some(h) = &history {
                 h.lock().push(IterationRecord {
@@ -349,12 +355,12 @@ fn machine_loop<P: VertexProgram>(
         .filter(|&l| shard.is_master[l as usize])
         .map(|l| (shard.global_of(l).0, state.vdata[l as usize].clone()))
         .collect();
-    MachineOut {
+    Ok(MachineOut {
         masters,
         iterations,
         converged,
         sim_time: clock.now(),
-    }
+    })
 }
 
 fn assemble<P: VertexProgram>(
@@ -374,6 +380,8 @@ fn assemble<P: VertexProgram>(
     let values = values
         .into_iter()
         .enumerate()
+// lazylint: allow(no-panic) -- every vertex has exactly one master by
+        // partition construction; a gap here is an assembler bug
         .map(|(gid, v)| v.unwrap_or_else(|| panic!("vertex {gid} has no master value")))
         .collect();
     (values, iterations, converged, sim_time)

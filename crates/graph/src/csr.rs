@@ -130,7 +130,7 @@ impl Csr {
         if self.offsets[0] != 0 {
             return Err("offsets must start at 0".into());
         }
-        if *self.offsets.last().unwrap() as usize != self.targets.len() {
+        if self.offsets.last().copied().unwrap_or(0) as usize != self.targets.len() {
             return Err("last offset must equal edge count".into());
         }
         if self.targets.len() != self.weights.len() {

@@ -108,9 +108,9 @@ pub fn load_binary<P: AsRef<Path>>(path: P) -> io::Result<Graph> {
     let mut rec = [0u8; 12];
     for _ in 0..m {
         reader.read_exact(&mut rec)?;
-        let src = u32::from_le_bytes(rec[0..4].try_into().unwrap());
-        let dst = u32::from_le_bytes(rec[4..8].try_into().unwrap());
-        let w = f32::from_le_bytes(rec[8..12].try_into().unwrap());
+        let src = u32::from_le_bytes([rec[0], rec[1], rec[2], rec[3]]);
+        let dst = u32::from_le_bytes([rec[4], rec[5], rec[6], rec[7]]);
+        let w = f32::from_le_bytes([rec[8], rec[9], rec[10], rec[11]]);
         if src as usize >= n || dst as usize >= n {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,

@@ -39,7 +39,7 @@ pub fn graph_stats(graph: &Graph) -> GraphStats {
         let bin = if d <= 1 { 0 } else { (usize::BITS - d.leading_zeros()) as usize - 1 };
         histogram[bin.min(last_bin)] += 1;
     }
-    while histogram.len() > 1 && *histogram.last().unwrap() == 0 {
+    while histogram.len() > 1 && histogram.last() == Some(&0) {
         histogram.pop();
     }
     let mut sorted = out_degrees.clone();

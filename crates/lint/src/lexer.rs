@@ -1,0 +1,428 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! Produces a flat token stream with line numbers — no AST, no spans into
+//! the source. This is deliberately much less than a real Rust front end:
+//! the rules in [`crate::rules`] are token-sequence heuristics, and the
+//! lexer only has to be exact about the things that would otherwise
+//! corrupt the stream (nested block comments, raw strings, char literals
+//! vs. lifetimes, float literals vs. integer method calls).
+
+/// Token classification. Comments are kept in the stream (the pragma
+/// scanner needs them); rules iterate over [`Token::is_code`] tokens.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// Numeric literal; `float` is true for `1.0`, `1e3`, `2f64`, …
+    Num {
+        /// Whether the literal is floating-point.
+        float: bool,
+    },
+    /// String literal (plain, raw, or byte), content not unescaped.
+    Str,
+    /// Character literal.
+    Char,
+    /// Lifetime such as `'a`.
+    Lifetime,
+    /// Punctuation; multi-character operators the rules care about
+    /// (`::`, `+=`, `->`, …) are fused into one token.
+    Punct,
+    /// Line or block comment, text includes the delimiters.
+    Comment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The raw source text of the token.
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+}
+
+impl Token {
+    /// True for everything except comments.
+    pub fn is_code(&self) -> bool {
+        self.kind != TokKind::Comment
+    }
+
+    /// True if this is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this is punctuation with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// Multi-character operators fused into single tokens, longest first.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "<<=", ">>=", "::", "->", "=>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "==",
+    "!=", "<=", ">=", "&&", "||", "..",
+];
+
+/// Lexes `src` into a token stream. Never fails: unrecognised bytes are
+/// emitted as single-character punctuation so downstream rules degrade
+/// gracefully on malformed input.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let count_lines = |s: &[char]| s.iter().filter(|&&c| c == '\n').count() as u32;
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Line comment (incl. doc comments).
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Comment,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Block comment, nested.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            line += count_lines(&b[start..i]);
+            toks.push(Token {
+                kind: TokKind::Comment,
+                text: b[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Raw strings: r"...", r#"..."#, br#"..."# etc.
+        if (c == 'r' || c == 'b') && raw_string_start(&b, i) {
+            let start = i;
+            let start_line = line;
+            let mut j = i;
+            if b[j] == 'b' {
+                j += 1;
+            }
+            j += 1; // past 'r'
+            let mut hashes = 0usize;
+            while j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            j += 1; // past opening quote
+            loop {
+                if j >= n {
+                    break;
+                }
+                if b[j] == '"' {
+                    let mut k = j + 1;
+                    let mut h = 0usize;
+                    while k < n && b[k] == '#' && h < hashes {
+                        h += 1;
+                        k += 1;
+                    }
+                    if h == hashes {
+                        j = k;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            line += count_lines(&b[start..j]);
+            toks.push(Token {
+                kind: TokKind::Str,
+                text: b[start..j].iter().collect(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Plain / byte string literal.
+        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
+            let start = i;
+            let start_line = line;
+            if c == 'b' {
+                i += 1;
+            }
+            i += 1; // opening quote
+            while i < n {
+                if b[i] == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '"' {
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+            let end = i.min(n);
+            line += count_lines(&b[start..end]);
+            toks.push(Token {
+                kind: TokKind::Str,
+                text: b[start..end].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // Lifetime: 'ident not followed by a closing quote.
+            if i + 1 < n && (b[i + 1].is_alphabetic() || b[i + 1] == '_') {
+                let mut j = i + 2;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                if j >= n || b[j] != '\'' {
+                    toks.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: b[i..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                    continue;
+                }
+            }
+            // Char literal: '<char or escape>'.
+            let start = i;
+            i += 1;
+            if i < n && b[i] == '\\' {
+                i += 2;
+            } else {
+                i += 1;
+            }
+            if i < n && b[i] == '\'' {
+                i += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Char,
+                text: b[start..i.min(n)].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Identifier / keyword (incl. raw idents r#match).
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            // r#ident
+            if (c == 'r' || c == 'b') && i + 1 < n && b[i + 1] == '#' {
+                // only a raw ident if followed by ident-start
+                if i + 2 < n && (b[i + 2].is_alphabetic() || b[i + 2] == '_') {
+                    i += 2;
+                }
+            }
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Ident,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Numeric literal.
+        if c.is_ascii_digit() {
+            let start = i;
+            let hex = c == '0' && i + 1 < n && (b[i + 1] == 'x' || b[i + 1] == 'b' || b[i + 1] == 'o');
+            if hex {
+                i += 2;
+                while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Token {
+                    kind: TokKind::Num { float: false },
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+                continue;
+            }
+            let mut float = false;
+            while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                i += 1;
+            }
+            // Fractional part: only if '.' is followed by a digit (so
+            // `1.max(2)` stays an integer + method call).
+            if i + 1 < n && b[i] == '.' && b[i + 1].is_ascii_digit() {
+                float = true;
+                i += 1;
+                while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                    i += 1;
+                }
+            } else if i < n && b[i] == '.' && (i + 1 >= n || !(b[i + 1].is_alphabetic() || b[i + 1] == '_' || b[i + 1] == '.')) {
+                // Trailing-dot float `1.`
+                float = true;
+                i += 1;
+            }
+            // Exponent.
+            if i < n && (b[i] == 'e' || b[i] == 'E') {
+                let mut j = i + 1;
+                if j < n && (b[j] == '+' || b[j] == '-') {
+                    j += 1;
+                }
+                if j < n && b[j].is_ascii_digit() {
+                    float = true;
+                    i = j;
+                    while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                        i += 1;
+                    }
+                }
+            }
+            // Type suffix (f32/f64 force float; u32 etc. keep integer).
+            if i < n && (b[i].is_alphabetic() || b[i] == '_') {
+                let sstart = i;
+                while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                let suffix: String = b[sstart..i].iter().collect();
+                if suffix == "f32" || suffix == "f64" {
+                    float = true;
+                }
+            }
+            toks.push(Token {
+                kind: TokKind::Num { float },
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Multi-char punctuation, longest match first.
+        let mut matched = false;
+        for &op in MULTI_PUNCT {
+            let len = op.len();
+            if i + len <= n && b[i..i + len].iter().collect::<String>() == op {
+                toks.push(Token {
+                    kind: TokKind::Punct,
+                    text: op.to_string(),
+                    line,
+                });
+                i += len;
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        // Single-char punctuation (and anything unrecognised).
+        toks.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+/// True if position `i` starts a raw string (`r"`, `r#`-quote, `br"`, …).
+fn raw_string_start(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if j >= b.len() || b[j] != 'r' {
+            return false;
+        }
+    }
+    if j >= b.len() || b[j] != 'r' {
+        return false;
+    }
+    j += 1;
+    while j < b.len() && b[j] == '#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == '"'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("let x += y::z;");
+        assert_eq!(t[0], (TokKind::Ident, "let".into()));
+        assert_eq!(t[2], (TokKind::Punct, "+=".into()));
+        assert_eq!(t[4], (TokKind::Punct, "::".into()));
+    }
+
+    #[test]
+    fn float_vs_integer_method_call() {
+        let t = kinds("1.max(2) + 1.5 + 2e3 + 7f64 + 3u32");
+        assert_eq!(t[0], (TokKind::Num { float: false }, "1".into()));
+        assert!(t.iter().any(|k| *k == (TokKind::Num { float: true }, "1.5".into())));
+        assert!(t.iter().any(|k| *k == (TokKind::Num { float: true }, "2e3".into())));
+        assert!(t.iter().any(|k| *k == (TokKind::Num { float: true }, "7f64".into())));
+        assert!(t.iter().any(|k| *k == (TokKind::Num { float: false }, "3u32".into())));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\n'; }");
+        assert!(t.iter().any(|k| *k == (TokKind::Lifetime, "'a".into())));
+        assert!(t.iter().any(|k| k.0 == TokKind::Char && k.1 == "'x'"));
+        assert!(t.iter().any(|k| k.0 == TokKind::Char && k.1 == "'\\n'"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_raw_strings() {
+        let t = kinds("/* a /* b */ c */ x r#\"raw \" here\"# y");
+        assert_eq!(t[0].0, TokKind::Comment);
+        assert_eq!(t[1], (TokKind::Ident, "x".into()));
+        assert_eq!(t[2].0, TokKind::Str);
+        assert_eq!(t[3], (TokKind::Ident, "y".into()));
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn strings_with_escapes_do_not_leak() {
+        let t = kinds(r#"let s = "quote \" slash \\"; next"#);
+        assert!(t.iter().any(|k| *k == (TokKind::Ident, "next".into())));
+    }
+
+    #[test]
+    fn hex_is_not_float() {
+        let t = kinds("0x1e5");
+        assert_eq!(t[0], (TokKind::Num { float: false }, "0x1e5".into()));
+    }
+}

@@ -1,0 +1,108 @@
+//! `lazygraph-lint` — the workspace determinism & coherency linter.
+//!
+//! ```text
+//! cargo run -p lazygraph-lint -- --deny-all            # CI gate
+//! cargo run -p lazygraph-lint -- --format json         # machine output
+//! cargo run -p lazygraph-lint -- --rule no-panic       # one rule only
+//! cargo run -p lazygraph-lint -- --list-rules
+//! ```
+//!
+//! Exit status: `2` on usage errors; with `--deny-all`, `1` if any
+//! finding survives suppression; `0` otherwise.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use lazygraph_lint::{analyze_workspace, render_human, render_json, RULE_DESCRIPTIONS, RULE_IDS};
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    deny_all: bool,
+    rules: Vec<String>,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: false,
+        deny_all: false,
+        rules: Vec::new(),
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root needs a path")?;
+                args.root = PathBuf::from(v);
+            }
+            "--format" => {
+                let v = it.next().ok_or("--format needs `human` or `json`")?;
+                match v.as_str() {
+                    "human" => args.json = false,
+                    "json" => args.json = true,
+                    other => return Err(format!("unknown format `{other}`")),
+                }
+            }
+            "--deny-all" => args.deny_all = true,
+            "--list-rules" => args.list_rules = true,
+            "--rule" => {
+                let v = it.next().ok_or("--rule needs a rule id")?;
+                if !RULE_IDS.contains(&v.as_str()) {
+                    return Err(format!(
+                        "unknown rule `{v}` (try --list-rules)"
+                    ));
+                }
+                args.rules.push(v);
+            }
+            "--help" | "-h" => {
+                return Err("usage: lazygraph-lint [--root PATH] [--format human|json] \
+                            [--rule ID]... [--deny-all] [--list-rules]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        for (id, desc) in RULE_DESCRIPTIONS {
+            println!("{id:16} {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    // Resolve the workspace root: walk up from --root until a directory
+    // holding a `crates/` subdirectory is found, so the tool works from
+    // any crate directory.
+    let mut root = args.root.clone();
+    for _ in 0..5 {
+        if root.join("crates").is_dir() {
+            break;
+        }
+        root = root.join("..");
+    }
+    let mut findings = analyze_workspace(&root);
+    if !args.rules.is_empty() {
+        findings.retain(|f| args.rules.iter().any(|r| r == f.rule) || f.rule == "pragma");
+    }
+    if args.json {
+        print!("{}", render_json(&findings));
+    } else {
+        print!("{}", render_human(&findings));
+    }
+    if args.deny_all && !findings.is_empty() {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

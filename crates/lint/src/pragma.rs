@@ -1,0 +1,221 @@
+//! Suppression pragmas.
+//!
+//! Grammar (one directive per comment):
+//!
+//! ```text
+//! // lazylint: allow(rule-id) -- reason
+//! // lazylint: allow-file(rule-id) -- reason
+//! ```
+//!
+//! `allow` suppresses findings of `rule-id` on the pragma's own line and
+//! on the next line that contains code (so it can trail the offending
+//! expression or sit on its own line above it). `allow-file` suppresses
+//! the rule for the whole file. The `-- reason` clause is mandatory: a
+//! pragma without a written justification is itself a finding, as is a
+//! pragma naming an unknown rule.
+
+use crate::lexer::{TokKind, Token};
+use crate::report::Finding;
+
+/// A parsed suppression.
+#[derive(Clone, Debug)]
+pub struct Pragma {
+    /// Rule being suppressed.
+    pub rule: String,
+    /// Whether this is `allow-file` (whole file) or `allow` (line-scoped).
+    pub file_wide: bool,
+    /// Line the pragma comment starts on.
+    pub line: u32,
+    /// The justification after `--`.
+    pub reason: String,
+}
+
+/// Extracts pragmas from a token stream. Malformed pragmas are reported
+/// as findings under the `pragma` pseudo-rule.
+pub fn collect(
+    toks: &[Token],
+    file: &str,
+    known_rules: &[&str],
+) -> (Vec<Pragma>, Vec<Finding>) {
+    let mut pragmas = Vec::new();
+    let mut findings = Vec::new();
+    for t in toks {
+        if t.kind != TokKind::Comment {
+            continue;
+        }
+        let body = t
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim_start_matches('!')
+            .trim();
+        let Some(rest) = body.strip_prefix("lazylint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let (file_wide, rest) = if let Some(r) = rest.strip_prefix("allow-file(") {
+            (true, r)
+        } else if let Some(r) = rest.strip_prefix("allow(") {
+            (false, r)
+        } else {
+            findings.push(Finding {
+                rule: "pragma",
+                file: file.to_string(),
+                line: t.line,
+                message: format!("unrecognised lazylint directive: `{}`", body),
+            });
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            findings.push(Finding {
+                rule: "pragma",
+                file: file.to_string(),
+                line: t.line,
+                message: "unterminated rule list in lazylint pragma".to_string(),
+            });
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        if !known_rules.contains(&rule.as_str()) {
+            findings.push(Finding {
+                rule: "pragma",
+                file: file.to_string(),
+                line: t.line,
+                message: format!("lazylint pragma names unknown rule `{rule}`"),
+            });
+            continue;
+        }
+        let tail = rest[close + 1..].trim();
+        let reason = tail.strip_prefix("--").map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            findings.push(Finding {
+                rule: "pragma",
+                file: file.to_string(),
+                line: t.line,
+                message: format!(
+                    "lazylint allow({rule}) has no `-- reason`; every suppression must be justified"
+                ),
+            });
+            continue;
+        }
+        pragmas.push(Pragma {
+            rule,
+            file_wide,
+            line: t.line,
+            reason: reason.to_string(),
+        });
+    }
+    (pragmas, findings)
+}
+
+/// Applies pragmas to a finding list, removing suppressed findings.
+/// `code_lines` must be the sorted list of lines containing code tokens
+/// (used to resolve which line a standalone pragma protects).
+pub fn suppress(findings: Vec<Finding>, pragmas: &[Pragma], code_lines: &[u32]) -> Vec<Finding> {
+    findings
+        .into_iter()
+        .filter(|f| {
+            !pragmas.iter().any(|p| {
+                if p.rule != f.rule {
+                    return false;
+                }
+                if p.file_wide {
+                    return true;
+                }
+                // Line-scoped: the pragma's own line, or the next line
+                // holding any code token after it.
+                if f.line == p.line {
+                    return true;
+                }
+                match code_lines.iter().find(|&&l| l > p.line) {
+                    Some(&next) => f.line == next,
+                    None => false,
+                }
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const RULES: &[&str] = &["no-panic", "unordered-iter"];
+
+    #[test]
+    fn trailing_pragma_suppresses_same_line() {
+        let src = "let x = y.unwrap(); // lazylint: allow(no-panic) -- startup only\n";
+        let toks = lex(src);
+        let (pragmas, errs) = collect(&toks, "f.rs", RULES);
+        assert!(errs.is_empty());
+        assert_eq!(pragmas.len(), 1);
+        assert_eq!(pragmas[0].reason, "startup only");
+        let findings = vec![Finding {
+            rule: "no-panic",
+            file: "f.rs".into(),
+            line: 1,
+            message: "x".into(),
+        }];
+        assert!(suppress(findings, &pragmas, &[1]).is_empty());
+    }
+
+    #[test]
+    fn standalone_pragma_covers_next_code_line() {
+        let src = "// lazylint: allow(no-panic) -- invariant\n// more prose\nlet x = y.unwrap();\n";
+        let toks = lex(src);
+        let (pragmas, _) = collect(&toks, "f.rs", RULES);
+        let code_lines: Vec<u32> = toks.iter().filter(|t| t.is_code()).map(|t| t.line).collect();
+        let findings = vec![Finding {
+            rule: "no-panic",
+            file: "f.rs".into(),
+            line: 3,
+            message: "x".into(),
+        }];
+        assert!(suppress(findings, &pragmas, &code_lines).is_empty());
+    }
+
+    #[test]
+    fn missing_reason_is_a_finding() {
+        let toks = lex("// lazylint: allow(no-panic)\n");
+        let (pragmas, errs) = collect(&toks, "f.rs", RULES);
+        assert!(pragmas.is_empty());
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("no `-- reason`"));
+    }
+
+    #[test]
+    fn unknown_rule_is_a_finding() {
+        let toks = lex("// lazylint: allow(definitely-fake) -- because\n");
+        let (pragmas, errs) = collect(&toks, "f.rs", RULES);
+        assert!(pragmas.is_empty());
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn allow_file_suppresses_everywhere() {
+        let toks = lex("// lazylint: allow-file(no-panic) -- harness crate\n");
+        let (pragmas, _) = collect(&toks, "f.rs", RULES);
+        let findings = vec![Finding {
+            rule: "no-panic",
+            file: "f.rs".into(),
+            line: 99,
+            message: "x".into(),
+        }];
+        assert!(suppress(findings, &pragmas, &[99]).is_empty());
+    }
+
+    #[test]
+    fn different_rule_not_suppressed() {
+        let toks = lex("// lazylint: allow(no-panic) -- reason\nfor k in map.keys() {}\n");
+        let (pragmas, _) = collect(&toks, "f.rs", RULES);
+        let findings = vec![Finding {
+            rule: "unordered-iter",
+            file: "f.rs".into(),
+            line: 2,
+            message: "x".into(),
+        }];
+        assert_eq!(suppress(findings, &pragmas, &[2]).len(), 1);
+    }
+}

@@ -1,0 +1,228 @@
+//! L2 `float-commit`: float accumulation must consume ordered sources.
+//!
+//! Floating-point addition is not associative, so a float accumulation
+//! whose operand order varies between runs (hash order, thread arrival
+//! order) silently changes results. Under `crates/engine/src` every
+//! float `+=` statement and every float-typed `fold` must draw from an
+//! ordered source. Two sources count as ordered:
+//!
+//! * the block-ordered commit API in `engine::parallel` — evidence is a
+//!   `map_chunks` / `map_ranges` / `block_ranges` / `ParallelCtx` token
+//!   in the lookback window (results are merged in block-index order);
+//! * plain sequential iteration over ordered data — evidence is a `for`
+//!   keyword opening the enclosing statement's loop or an ordered
+//!   container method in the lookback window.
+//!
+//! `fold`s whose combiner is `f32/f64::max`/`min` are exempt (those are
+//! order-insensitive). `parallel.rs` itself — the commit API — is
+//! exempt wholesale.
+
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use crate::rules::FileCtx;
+
+/// Tokens that attest the accumulation is fed by the block-ordered
+/// parallel API or an explicitly ordered traversal.
+const ORDERED_EVIDENCE: &[&str] = &[
+    "map_chunks",
+    "map_ranges",
+    "block_ranges",
+    "ParallelCtx",
+    "commit",
+    "for",
+    "sort",
+    "sort_unstable_by_key",
+    "sorted",
+    "BTreeMap",
+    "BTreeSet",
+];
+
+/// Tokens scanned backwards from the `+=` for ordering evidence.
+const LOOKBACK: usize = 120;
+
+/// Runs the rule over one file.
+pub fn check(ctx: &FileCtx) -> Vec<Finding> {
+    if ctx.krate != "engine" || !ctx.path.contains("/src/") {
+        return Vec::new();
+    }
+    // The commit API itself is the mechanism, not a client.
+    if ctx.path.ends_with("parallel.rs") {
+        return Vec::new();
+    }
+    let toks = &ctx.toks;
+    let mut findings = Vec::new();
+
+    for i in 0..toks.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        // Case 1: `+=` in a statement with float evidence.
+        if toks[i].is_punct("+=") {
+            let (stmt_start, stmt_end) = statement_bounds(ctx, i);
+            let has_float = toks[stmt_start..stmt_end].iter().any(is_float_evidence);
+            if !has_float {
+                continue;
+            }
+            let back_start = stmt_start.saturating_sub(LOOKBACK);
+            let blessed = toks[back_start..stmt_start]
+                .iter()
+                .any(|t| ORDERED_EVIDENCE.contains(&t.text.as_str()));
+            if !blessed {
+                findings.push(ctx.finding(
+                    "float-commit",
+                    i,
+                    "floating-point `+=` with no ordered source in reach; route the \
+                     accumulation through the engine::parallel block-ordered commit"
+                        .to_string(),
+                ));
+            }
+        }
+        // Case 2: `.fold(` whose arguments carry float evidence.
+        if i + 2 < toks.len()
+            && toks[i].is_punct(".")
+            && toks[i + 1].is_ident("fold")
+            && toks[i + 2].is_punct("(")
+        {
+            let close = match_paren(ctx, i + 2);
+            let args = &toks[i + 2..close.min(toks.len())];
+            let has_float = args.iter().any(is_float_evidence);
+            if !has_float {
+                continue;
+            }
+            // Order-insensitive combiners are fine.
+            let mut k = i + 2;
+            let mut minmax = false;
+            while k < close.min(toks.len()) {
+                if (toks[k].is_ident("f64") || toks[k].is_ident("f32"))
+                    && k + 2 < toks.len()
+                    && toks[k + 1].is_punct("::")
+                    && (toks[k + 2].is_ident("max") || toks[k + 2].is_ident("min"))
+                {
+                    minmax = true;
+                    break;
+                }
+                if toks[k].is_ident("max") || toks[k].is_ident("min") {
+                    minmax = true;
+                    break;
+                }
+                k += 1;
+            }
+            if minmax {
+                continue;
+            }
+            let back_start = i.saturating_sub(LOOKBACK);
+            let blessed = toks[back_start..i]
+                .iter()
+                .any(|t| ORDERED_EVIDENCE.contains(&t.text.as_str()));
+            if !blessed {
+                findings.push(ctx.finding(
+                    "float-commit",
+                    i + 1,
+                    "float-typed `fold` with an order-sensitive combiner and no ordered \
+                     source in reach; fold over block-ordered results instead"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// Float evidence: a float literal, or an `f32`/`f64` ident.
+fn is_float_evidence(t: &crate::lexer::Token) -> bool {
+    matches!(t.kind, TokKind::Num { float: true })
+        || (t.kind == TokKind::Ident && (t.text == "f32" || t.text == "f64"))
+}
+
+/// Bounds of the statement containing token `i`: from the previous `;`,
+/// `{` or `}` to the next `;` or `}` (exclusive of the delimiters).
+fn statement_bounds(ctx: &FileCtx, i: usize) -> (usize, usize) {
+    let toks = &ctx.toks;
+    let mut s = i;
+    while s > 0 {
+        let t = &toks[s - 1];
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            break;
+        }
+        s -= 1;
+    }
+    let mut e = i;
+    while e < toks.len() {
+        let t = &toks[e];
+        if t.is_punct(";") || t.is_punct("}") {
+            break;
+        }
+        e += 1;
+    }
+    (s, e)
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn match_paren(ctx: &FileCtx, open: usize) -> usize {
+    let toks = &ctx.toks;
+    let mut depth = 0isize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::files::Role;
+    use crate::lexer::lex;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let ctx = FileCtx::new("crates/engine/src/x.rs", "engine", Role::Lib, &lex(src));
+        check(&ctx)
+    }
+
+    #[test]
+    fn unordered_float_accumulation_fires() {
+        // A `while let` drain of a channel: arrival order is racy.
+        let src = "fn f(rx: Receiver<f64>) { let mut acc = 0.0; while let Ok(v) = rx.try_recv() { acc += v * 2.0; } }";
+        let f = findings(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "float-commit");
+    }
+
+    #[test]
+    fn block_ordered_accumulation_is_silent() {
+        let src = "fn f(ctx: &ParallelCtx, xs: &[f64]) { let parts = ctx.map_chunks(xs, |c| c.iter().sum::<f64>()); let mut acc = 0.0f64; for p in parts { acc += p; } }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn integer_accumulation_is_silent() {
+        let src = "fn f(xs: &[u64]) { let mut n = 0u64; loop { n += next(); } }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn minmax_fold_is_silent() {
+        let src = "fn f(xs: Vec<f64>) -> f64 { xs.into_iter().fold(0.0f64, f64::max) }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn order_sensitive_float_fold_fires() {
+        let src = "fn f(m: Values<u32, f64>) -> f64 { m.fold(0.0f64, |a, b| a + b) }";
+        let f = findings(src);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn other_crates_unscoped() {
+        let src = "fn f(rx: R) { let mut acc = 0.0; while let Ok(v) = rx.r() { acc += v; } }";
+        let ctx = FileCtx::new("crates/cluster/src/x.rs", "cluster", Role::Lib, &lex(src));
+        assert!(check(&ctx).is_empty());
+    }
+}

@@ -1,0 +1,199 @@
+//! L5 `lock-order`: consistent Mutex/RwLock acquisition order.
+//!
+//! Heuristic deadlock guard over the `cluster` crate (the only crate
+//! holding real locks): within each function the rule records the order
+//! in which distinct lock fields are first acquired (`x.lock()`,
+//! `x.read()`, `x.write()`); if any two functions acquire the same pair
+//! of locks in opposite orders, both sites are flagged. This
+//! over-approximates (sequential, non-overlapping acquisitions count
+//! too) — that is deliberate: a consistent global order is cheap to keep
+//! and makes the absence of lock cycles auditable.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use crate::rules::FileCtx;
+
+/// Lock-acquiring method names.
+const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// One lock acquisition site.
+#[derive(Clone, Debug)]
+pub struct Acquisition {
+    /// Name of the lock (last identifier of the receiver chain).
+    pub lock: String,
+    /// Function it occurs in.
+    pub func: String,
+    /// Source file.
+    pub file: String,
+    /// Source line.
+    pub line: u32,
+}
+
+/// Extracts per-function first-acquisition sequences from one file.
+/// Public so the workspace analyzer can run the cross-file phase.
+pub fn acquisitions(ctx: &FileCtx) -> Vec<Vec<Acquisition>> {
+    if ctx.krate != "cluster" {
+        return Vec::new();
+    }
+    let toks = &ctx.toks;
+    let mut per_fn = Vec::new();
+    for f in &ctx.fns {
+        let mut seq: Vec<Acquisition> = Vec::new();
+        let mut i = f.start;
+        while i + 2 < toks.len() && i < f.end {
+            let is_lock_call = toks[i].is_punct(".")
+                && LOCK_METHODS.contains(&toks[i + 1].text.as_str())
+                && toks[i + 2].is_punct("(");
+            if is_lock_call && !ctx.in_test[i] {
+                // Receiver: walk identifiers/`.`/`self` backwards, keep
+                // the last plain identifier as the lock's name.
+                let mut j = i;
+                let mut name = None;
+                while j > 0 {
+                    let t = &toks[j - 1];
+                    if t.kind == TokKind::Ident {
+                        if name.is_none() && t.text != "self" {
+                            name = Some(t.text.clone());
+                        }
+                        j -= 1;
+                    } else if t.is_punct(".") || t.is_punct(")") || t.is_punct("]") {
+                        j -= 1;
+                        // Stop descending into complex receivers like
+                        // `slots[me]` — the index is not part of the name.
+                        if t.is_punct(")") || t.is_punct("]") {
+                            break;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                if let Some(lock) = name {
+                    if !seq.iter().any(|a| a.lock == lock) {
+                        seq.push(Acquisition {
+                            lock,
+                            func: f.name.clone(),
+                            file: ctx.path.clone(),
+                            line: toks[i + 1].line,
+                        });
+                    }
+                }
+            }
+            i += 1;
+        }
+        if seq.len() > 1 {
+            per_fn.push(seq);
+        }
+    }
+    per_fn
+}
+
+/// Cross-function phase: flags contradictory pair orders. Takes the
+/// acquisition sequences of every file in the crate.
+pub fn cross_check(all: &[Vec<Acquisition>]) -> Vec<Finding> {
+    // pair (a, b) with a < b lexically -> first direction seen + where.
+    let mut seen: BTreeMap<(String, String), (bool, String, String, u32)> = BTreeMap::new();
+    let mut findings = Vec::new();
+    for seq in all {
+        for x in 0..seq.len() {
+            for y in (x + 1)..seq.len() {
+                let (a, b) = (&seq[x], &seq[y]);
+                let key = if a.lock < b.lock {
+                    (a.lock.clone(), b.lock.clone())
+                } else {
+                    (b.lock.clone(), a.lock.clone())
+                };
+                let forward = a.lock < b.lock;
+                match seen.get(&key) {
+                    None => {
+                        seen.insert(
+                            key,
+                            (forward, a.func.clone(), a.file.clone(), a.line),
+                        );
+                    }
+                    Some((dir, func, file, line)) => {
+                        if *dir != forward {
+                            findings.push(Finding {
+                                rule: "lock-order",
+                                file: b.file.clone(),
+                                line: b.line,
+                                message: format!(
+                                    "`{}` acquires locks `{}` then `{}`, but `{}` ({}:{}) \
+                                     acquires them in the opposite order — pick one global order",
+                                    b.func, a.lock, b.lock, func, file, line
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Single-file entry point used by `rules::run_all`; cross-file analysis
+/// happens in the workspace analyzer, so per-file this only checks
+/// contradictions within the file itself.
+pub fn check(ctx: &FileCtx) -> Vec<Finding> {
+    cross_check(&acquisitions(ctx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::files::Role;
+    use crate::lexer::lex;
+
+    fn ctx(src: &str) -> FileCtx {
+        FileCtx::new("crates/cluster/src/x.rs", "cluster", Role::Lib, &lex(src))
+    }
+
+    #[test]
+    fn contradictory_order_fires() {
+        let src = "
+fn a(&self) { let s = self.state.lock(); let p = self.panic.lock(); }
+fn b(&self) { let p = self.panic.lock(); let s = self.state.lock(); }
+";
+        let f = check(&ctx(src));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "lock-order");
+        assert!(f[0].message.contains("opposite order"));
+    }
+
+    #[test]
+    fn consistent_order_is_silent() {
+        let src = "
+fn a(&self) { let s = self.state.lock(); let p = self.panic.lock(); }
+fn b(&self) { let s = self.state.lock(); let p = self.panic.lock(); }
+";
+        assert!(check(&ctx(src)).is_empty());
+    }
+
+    #[test]
+    fn single_lock_functions_are_silent() {
+        let src = "
+fn a(&self) { let s = self.state.lock(); }
+fn b(&self) { let p = self.panic.lock(); }
+";
+        assert!(check(&ctx(src)).is_empty());
+    }
+
+    #[test]
+    fn rwlock_read_write_counts() {
+        let src = "
+fn a(&self) { let s = self.map.read(); let p = self.log.write(); }
+fn b(&self) { let p = self.log.read(); let s = self.map.write(); }
+";
+        let f = check(&ctx(src));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn out_of_scope_crate_silent() {
+        let src = "fn a(&self) { self.b.lock(); self.a.lock(); } fn c(&self) { self.a.lock(); self.b.lock(); }";
+        let c = FileCtx::new("crates/engine/src/x.rs", "engine", Role::Lib, &lex(src));
+        assert!(check(&c).is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! L4 `no-panic`: no `unwrap()` / `expect()` / `panic!` in library code.
+//!
+//! Library crates must surface failures as typed errors the caller can
+//! route (see `lazygraph_cluster::CommError`); panics tear down a whole
+//! machine thread and wedge its peers at the next barrier. Binaries,
+//! tests, benches, and examples are exempt — aborting is their correct
+//! failure mode. Matches require the exact method idents `unwrap` /
+//! `expect` followed by `(` (so `unwrap_or_else` etc. pass) and the
+//! macros `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+
+use crate::files::Role;
+use crate::report::Finding;
+use crate::rules::FileCtx;
+
+/// Panicking macros flagged alongside the methods.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs the rule over one file.
+pub fn check(ctx: &FileCtx) -> Vec<Finding> {
+    if ctx.role != Role::Lib {
+        return Vec::new();
+    }
+    let toks = &ctx.toks;
+    let mut findings = Vec::new();
+    for i in 0..toks.len() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        // `.unwrap(` / `.expect(`
+        if i + 2 < toks.len()
+            && toks[i].is_punct(".")
+            && (toks[i + 1].is_ident("unwrap") || toks[i + 1].is_ident("expect"))
+            && toks[i + 2].is_punct("(")
+        {
+            findings.push(ctx.finding(
+                "no-panic",
+                i + 1,
+                format!(
+                    "`{}()` in library code; propagate a typed error instead of panicking",
+                    toks[i + 1].text
+                ),
+            ));
+        }
+        // `panic!(` family.
+        if i + 1 < toks.len() && toks[i + 1].is_punct("!") && i + 2 < toks.len() && toks[i + 2].is_punct("(")
+        {
+            for m in PANIC_MACROS {
+                if toks[i].is_ident(m) {
+                    findings.push(ctx.finding(
+                        "no-panic",
+                        i,
+                        format!("`{m}!` in library code; return an error the caller can route"),
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn findings_at(path: &str, krate: &str, role: Role, src: &str) -> Vec<Finding> {
+        let ctx = FileCtx::new(path, krate, role, &lex(src));
+        check(&ctx)
+    }
+
+    #[test]
+    fn unwrap_in_lib_fires() {
+        let f = findings_at(
+            "crates/graph/src/io.rs",
+            "graph",
+            Role::Lib,
+            "fn f() { let x = g().unwrap(); }",
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("unwrap"));
+    }
+
+    #[test]
+    fn unwrap_or_else_is_silent() {
+        let src = "fn f() { let x = g().unwrap_or_else(|e| e.into_inner()); let y = h().unwrap_or(0); }";
+        assert!(findings_at("crates/graph/src/io.rs", "graph", Role::Lib, src).is_empty());
+    }
+
+    #[test]
+    fn panic_macro_fires() {
+        let f = findings_at(
+            "crates/engine/src/x.rs",
+            "engine",
+            Role::Lib,
+            "fn f() { panic!(\"no master\"); }",
+        );
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_exempt() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { g().unwrap(); panic!(\"boom\"); } }";
+        assert!(findings_at("crates/graph/src/io.rs", "graph", Role::Lib, src).is_empty());
+    }
+
+    #[test]
+    fn bin_and_tests_exempt() {
+        let src = "fn main() { g().expect(\"cli\"); }";
+        assert!(findings_at("src/bin/cli.rs", "lazygraph", Role::Bin, src).is_empty());
+        assert!(findings_at("tests/t.rs", "lazygraph", Role::Tests, src).is_empty());
+        assert!(findings_at("examples/e.rs", "lazygraph", Role::Examples, src).is_empty());
+    }
+
+    #[test]
+    fn assert_macros_are_allowed() {
+        // assert!/assert_eq! express invariants and are not in scope.
+        let src = "fn f(n: usize) { assert!(n > 0); assert_eq!(n % 2, 0); }";
+        assert!(findings_at("crates/graph/src/io.rs", "graph", Role::Lib, src).is_empty());
+    }
+}

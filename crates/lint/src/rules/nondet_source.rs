@@ -1,0 +1,121 @@
+//! L3 `nondet-source`: no wall-clock / thread-id / unseeded-RNG reads in
+//! engine functions.
+//!
+//! The engines must be pure functions of `(graph, partition, config,
+//! seed)`: the simulated clock comes from the cost model, parallel
+//! scheduling from the block-ordered commit. Reading `Instant::now()`,
+//! `SystemTime::now()`, the current thread id, or an OS-entropy RNG
+//! inside engine code injects real-machine state into the computation.
+//! The rule matches usage sequences (not `use` declarations) inside
+//! function bodies in `crates/engine/src`.
+
+use crate::report::Finding;
+use crate::rules::FileCtx;
+
+/// `A :: B (` usage sequences that read ambient nondeterminism.
+const CALL_PATHS: &[(&str, &str)] = &[
+    ("Instant", "now"),
+    ("SystemTime", "now"),
+    ("thread", "current"),
+];
+
+/// Bare function idents that produce unseeded randomness.
+const ENTROPY_CALLS: &[&str] = &["thread_rng", "from_entropy", "random"];
+
+/// Runs the rule over one file.
+pub fn check(ctx: &FileCtx) -> Vec<Finding> {
+    if ctx.krate != "engine" || !ctx.path.contains("/src/") {
+        return Vec::new();
+    }
+    let toks = &ctx.toks;
+    let mut findings = Vec::new();
+    for i in 0..toks.len() {
+        if ctx.in_test[i] || !in_fn_body(ctx, i) {
+            continue;
+        }
+        // `Type::method(` sequences.
+        if i + 3 < toks.len() && toks[i + 1].is_punct("::") && toks[i + 3].is_punct("(") {
+            for (ty, method) in CALL_PATHS {
+                if toks[i].is_ident(ty) && toks[i + 2].is_ident(method) {
+                    findings.push(ctx.finding(
+                        "nondet-source",
+                        i,
+                        format!(
+                            "`{ty}::{method}()` inside engine code reads ambient machine \
+                             state; use the simulated clock / seeded RNG instead"
+                        ),
+                    ));
+                }
+            }
+        }
+        // Unseeded RNG constructors.
+        if i + 1 < toks.len() && toks[i + 1].is_punct("(") {
+            for call in ENTROPY_CALLS {
+                if toks[i].is_ident(call) {
+                    findings.push(ctx.finding(
+                        "nondet-source",
+                        i,
+                        format!(
+                            "`{call}()` is entropy-seeded; engine randomness must come from \
+                             an explicit seed in the config"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// True if token `i` falls inside any function body.
+fn in_fn_body(ctx: &FileCtx, i: usize) -> bool {
+    ctx.fns.iter().any(|f| i > f.start && i <= f.end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::files::Role;
+    use crate::lexer::lex;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let ctx = FileCtx::new("crates/engine/src/x.rs", "engine", Role::Lib, &lex(src));
+        check(&ctx)
+    }
+
+    #[test]
+    fn instant_now_fires() {
+        let f = findings("fn step() { let t = Instant::now(); use_it(t); }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "nondet-source");
+    }
+
+    #[test]
+    fn use_declaration_is_silent() {
+        assert!(findings("use std::time::Instant;\nfn step() { ordered(); }").is_empty());
+    }
+
+    #[test]
+    fn thread_rng_fires() {
+        let f = findings("fn step() { let mut rng = thread_rng(); rng.gen::<u32>(); }");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn seeded_rng_is_silent() {
+        assert!(findings("fn step(seed: u64) { let mut rng = StdRng::seed_from_u64(seed); }").is_empty());
+    }
+
+    #[test]
+    fn test_module_exempt() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { let t0 = Instant::now(); } }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn other_crate_unscoped() {
+        let src = "fn f() { let t = Instant::now(); }";
+        let ctx = FileCtx::new("crates/graph/src/x.rs", "graph", Role::Lib, &lex(src));
+        assert!(check(&ctx).is_empty());
+    }
+}

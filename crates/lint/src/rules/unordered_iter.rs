@@ -1,0 +1,278 @@
+//! L1 `unordered-iter`: iteration over hash containers must be ordered.
+//!
+//! In the `engine`, `cluster`, and `partition` crates, iterating a
+//! `HashMap`/`HashSet`/`FxHashMap`/`FxHashSet` exposes nondeterministic
+//! order; any value derived from that order (message sequence, commit
+//! sequence, rendered output) breaks run-to-run determinism. The rule
+//! tracks bindings initialised from hash-container constructors or typed
+//! as hash containers, then flags iteration entry points (`for … in`,
+//! `.iter()`, `.keys()`, `.values()`, `.drain()`, `.into_iter()`) unless
+//! the forward window reaches a sorting call, an ordered collection, or
+//! an order-insensitive reduction.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use crate::rules::FileCtx;
+
+/// Crates in scope for L1.
+const CRATES: &[&str] = &["engine", "cluster", "partition"];
+
+/// Type / constructor names that mark a binding as hash-ordered.
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+
+/// Iteration entry-point method names.
+const ITER_METHODS: &[&str] = &["iter", "iter_mut", "keys", "values", "values_mut", "drain", "into_iter", "into_keys", "into_values"];
+
+/// Calls that restore an order or make it unobservable. `sort*` fixes the
+/// order; `BTreeMap`/`BTreeSet` collections are intrinsically ordered;
+/// `sum`/`count`/`min`/`max`/`all`/`any` are order-insensitive
+/// reductions; `extend`ing another hash container keeps the value
+/// unordered-but-unobserved (it will be checked at ITS iteration site).
+const SAFE_TERMINALS: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "sum",
+    "count",
+    "min",
+    "max",
+    "min_by_key",
+    "max_by_key",
+    "all",
+    "any",
+    "extend",
+    "contains",
+    "contains_key",
+];
+
+/// How many tokens past the iteration entry we search for a safe
+/// terminal. Wide enough to span a collect-into-Vec-then-sort pair of
+/// statements, narrow enough not to credit unrelated later code.
+const WINDOW: usize = 90;
+
+/// Runs the rule over one file.
+pub fn check(ctx: &FileCtx) -> Vec<Finding> {
+    if !CRATES.contains(&ctx.krate.as_str()) {
+        return Vec::new();
+    }
+    let toks = &ctx.toks;
+    let mut findings = Vec::new();
+
+    // Pass 1: binding events in token order. `let` statements rebind a
+    // name with the hash-ness of their initialiser/annotation, so a
+    // sorted shadow (`let totals: Vec<_> = totals.into_iter().collect()`)
+    // correctly clears the mark. Annotations outside `let` (fn params,
+    // struct fields: `name: FxHashMap<..>`) bind positionally too.
+    let mut events: BTreeMap<String, Vec<(usize, bool)>> = BTreeMap::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("let") {
+            // First identifier after `let` / `mut` is the binding name.
+            let mut j = i + 1;
+            while j < toks.len() && (toks[j].is_ident("mut") || toks[j].is_punct("(")) {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].kind == TokKind::Ident {
+                let name = toks[j].text.clone();
+                // Hash-ness: does the statement mention a hash type?
+                let mut k = j + 1;
+                let mut depth = 0isize;
+                let mut is_hash = false;
+                while k < toks.len() {
+                    let t = &toks[k];
+                    if t.is_punct("{") || t.is_punct("(") {
+                        depth += 1;
+                    } else if t.is_punct("}") || t.is_punct(")") {
+                        depth -= 1;
+                    } else if t.is_punct(";") && depth <= 0 {
+                        break;
+                    } else if HASH_TYPES.contains(&t.text.as_str()) {
+                        is_hash = true;
+                    }
+                    k += 1;
+                }
+                events.entry(name).or_default().push((i, is_hash));
+                i = j + 1;
+                continue;
+            }
+        }
+        // `name : [&mut ] HashType` outside `let` (params, fields).
+        if HASH_TYPES.contains(&toks[i].text.as_str()) {
+            let mut j = i;
+            let mut hops = 0;
+            while j > 0 && hops < 6 {
+                j -= 1;
+                hops += 1;
+                let tj = &toks[j];
+                if tj.is_punct(":") {
+                    if j > 0 && toks[j - 1].kind == TokKind::Ident {
+                        let name = toks[j - 1].text.clone();
+                        events.entry(name).or_default().push((j - 1, true));
+                    }
+                    break;
+                }
+                if !(tj.is_punct("&") || tj.is_ident("mut") || tj.is_punct("<")) {
+                    break;
+                }
+            }
+        }
+        i += 1;
+    }
+    // Latest binding before `at` wins; a name with only later events
+    // (struct field declared below its uses) falls back to the first.
+    let is_hash_at = |name: &str, at: usize| -> bool {
+        let Some(evs) = events.get(name) else {
+            return false;
+        };
+        match evs.iter().rev().find(|(pos, _)| *pos <= at) {
+            Some(&(_, h)) => h,
+            None => evs.first().map(|&(_, h)| h).unwrap_or(false),
+        }
+    };
+
+    // Pass 2: find iteration entry points.
+    for i in 0..toks.len() {
+        // Form A: `name.method(` where name is hash-bound and method is
+        // an iteration entry.
+        if i + 3 < toks.len()
+            && toks[i].kind == TokKind::Ident
+            && is_hash_at(&toks[i].text, i)
+            && toks[i + 1].is_punct(".")
+            && ITER_METHODS.contains(&toks[i + 2].text.as_str())
+            && toks[i + 3].is_punct("(")
+        {
+            if !window_is_safe(ctx, i + 3) {
+                findings.push(ctx.finding(
+                    "unordered-iter",
+                    i,
+                    format!(
+                        "iteration over hash container `{}` with no sort/ordered sink in reach; \
+                         hash order is nondeterministic across runs",
+                        toks[i].text
+                    ),
+                ));
+            }
+            continue;
+        }
+        // Form B: `for pat in [&[mut ]]name` where name is hash-bound and
+        // the loop iterates the container directly.
+        if toks[i].is_ident("for") {
+            // find `in` within a short distance (patterns are short here)
+            let mut j = i + 1;
+            let mut found_in = None;
+            while j < toks.len() && j < i + 12 {
+                if toks[j].is_ident("in") {
+                    found_in = Some(j);
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(inpos) = found_in {
+                let mut k = inpos + 1;
+                while k < toks.len() && (toks[k].is_punct("&") || toks[k].is_ident("mut")) {
+                    k += 1;
+                }
+                if k < toks.len() && toks[k].kind == TokKind::Ident && is_hash_at(&toks[k].text, k)
+                {
+                    // Direct iteration (next token opens the loop body or
+                    // a .method chain already handled by Form A).
+                    let next_is_body = k + 1 < toks.len() && toks[k + 1].is_punct("{");
+                    if next_is_body && !window_is_safe(ctx, k) {
+                        findings.push(ctx.finding(
+                            "unordered-iter",
+                            k,
+                            format!(
+                                "`for` loop over hash container `{}`; loop body observes \
+                                 nondeterministic hash order",
+                                toks[k].text
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// True if any safe terminal appears within [`WINDOW`] tokens after `at`.
+fn window_is_safe(ctx: &FileCtx, at: usize) -> bool {
+    let toks = &ctx.toks;
+    let end = (at + WINDOW).min(toks.len());
+    toks[at..end]
+        .iter()
+        .any(|t| SAFE_TERMINALS.contains(&t.text.as_str()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::files::Role;
+    use crate::lexer::lex;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let ctx = FileCtx::new(
+            "crates/engine/src/x.rs",
+            "engine",
+            Role::Lib,
+            &lex(src),
+        );
+        check(&ctx)
+    }
+
+    #[test]
+    fn bare_keys_iteration_fires() {
+        let src = "fn f(m: &FxHashMap<u32, u32>) { for k in m.keys() { emit(k); } }";
+        let f = findings(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "unordered-iter");
+    }
+
+    #[test]
+    fn sorted_collect_is_silent() {
+        let src = "fn f(m: &FxHashMap<u32, u32>) { let mut v: Vec<_> = m.iter().collect(); v.sort_unstable_by_key(|(k, _)| **k); }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn order_insensitive_reduction_is_silent() {
+        let src = "fn f(m: &FxHashMap<u32, u64>) { let s: u64 = m.values().sum(); use_it(s); }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_crate_is_silent() {
+        let src = "fn f(m: &FxHashMap<u32, u32>) { for k in m.keys() { emit(k); } }";
+        let ctx = FileCtx::new("crates/graph/src/x.rs", "graph", Role::Lib, &lex(src));
+        assert!(check(&ctx).is_empty());
+    }
+
+    #[test]
+    fn direct_for_loop_over_set_fires() {
+        let src = "fn f() { let s: HashSet<u32> = build(); for v in &s { emit(v); } }";
+        let f = findings(src);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn sorted_shadow_rebinding_is_silent() {
+        // The exemplar pattern from lazy_block: drain the map into a Vec,
+        // sort it, then iterate the (re-bound) sorted name much later.
+        let src = "fn f(totals: FxHashMap<u32, f64>) { let mut totals: Vec<(u32, f64)> = totals.into_iter().collect(); totals.sort_unstable_by_key(|&(g, _)| g); a(); b(); c(); d(); e(); g(); h(); i(); j(); k(); l(); m(); n(); o(); p(); q(); r(); s(); t(); u(); v(); w(); x(); y(); z(); a(); b(); c(); d(); e(); g(); h(); for &(gid, t) in &totals { emit(gid, t); } }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn lookup_only_map_is_silent() {
+        let src = "fn f(m: &FxHashMap<u32, u32>) { let v = m.get(&3); use_it(v); }";
+        assert!(findings(src).is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! Fixture-corpus tests: every rule must fire exactly on the `//~ rule`
+//! marked lines of the `bad/` fixtures and stay silent on every `good/`
+//! fixture. Each fixture's first line declares the virtual workspace path
+//! that decides its crate/role scoping:
+//!
+//! ```text
+//! //! lazylint-fixture: path=crates/engine/src/fixture.rs
+//! ```
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use lazygraph_lint::analyze_file;
+
+fn fixture_dir(sub: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(sub)
+}
+
+/// Reads a fixture, returning its declared virtual path and source.
+fn load(path: &Path) -> (String, String) {
+    let src = fs::read_to_string(path).expect("read fixture");
+    let first = src.lines().next().unwrap_or("");
+    let vpath = first
+        .split("path=")
+        .nth(1)
+        .unwrap_or_else(|| panic!("fixture {path:?} missing `path=` header"))
+        .trim()
+        .to_string();
+    (vpath, src)
+}
+
+/// `//~ rule-a rule-b` markers as sorted (line, rule) pairs.
+fn markers(src: &str) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        if let Some(pos) = line.find("//~") {
+            for rule in line[pos + 3..].split_whitespace() {
+                out.push((i as u32 + 1, rule.to_string()));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn fixtures_in(sub: &str) -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = fs::read_dir(fixture_dir(sub))
+        .expect("fixture dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    v.sort();
+    assert!(!v.is_empty(), "no fixtures under {sub}/");
+    v
+}
+
+#[test]
+fn bad_fixtures_fire_exactly_where_marked() {
+    let mut rules_covered = BTreeSet::new();
+    for path in fixtures_in("bad") {
+        let (vpath, src) = load(&path);
+        let expected = markers(&src);
+        assert!(
+            !expected.is_empty(),
+            "bad fixture {path:?} has no //~ markers"
+        );
+        let mut actual: Vec<(u32, String)> = analyze_file(&vpath, &src)
+            .into_iter()
+            .map(|f| (f.line, f.rule.to_string()))
+            .collect();
+        actual.sort();
+        assert_eq!(
+            actual, expected,
+            "fixture {path:?}: findings (left) must match //~ markers (right)"
+        );
+        for (_, r) in expected {
+            rules_covered.insert(r);
+        }
+    }
+    // The corpus must exercise every real rule plus the pragma checker.
+    for rule in lazygraph_lint::RULE_IDS {
+        assert!(
+            rules_covered.contains(*rule),
+            "no bad fixture covers rule `{rule}`"
+        );
+    }
+    assert!(rules_covered.contains("pragma"), "no bad fixture covers malformed pragmas");
+}
+
+#[test]
+fn good_fixtures_are_silent() {
+    for path in fixtures_in("good") {
+        let (vpath, src) = load(&path);
+        let findings = analyze_file(&vpath, &src);
+        assert!(
+            findings.is_empty(),
+            "good fixture {path:?} produced findings:\n{}",
+            lazygraph_lint::render_human(&findings)
+        );
+    }
+}

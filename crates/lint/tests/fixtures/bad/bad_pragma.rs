@@ -1,0 +1,12 @@
+//! lazylint-fixture: path=crates/graph/src/fixture.rs
+//! Malformed suppressions are themselves findings, and do not suppress.
+
+pub fn missing_reason() -> u32 {
+    // lazylint: allow(no-panic) //~ pragma
+    g().unwrap() //~ no-panic
+}
+
+pub fn unknown_rule() -> u32 {
+    // lazylint: allow(not-a-rule) -- mistyped id //~ pragma
+    g()
+}

@@ -1,0 +1,14 @@
+//! lazylint-fixture: path=crates/engine/src/fixture.rs
+//! L2 must fire: float accumulation fed by arrival order.
+
+fn drain_clock(rx: &Receiver<f64>) -> f64 {
+    let mut acc = 0.0f64;
+    while let Ok(v) = rx.try_recv() {
+        acc += v * 0.5; //~ float-commit
+    }
+    acc
+}
+
+fn reduce_times(parts: Drain<f64>) -> f64 {
+    parts.fold(0.0f64, |a, b| a + b) //~ float-commit
+}

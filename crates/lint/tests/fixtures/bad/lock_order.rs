@@ -1,0 +1,17 @@
+//! lazylint-fixture: path=crates/cluster/src/fixture.rs
+//! L5 must fire: two functions acquiring the same locks in opposite order.
+
+impl Pool {
+    fn submit(&self) {
+        let mut st = self.state.lock();
+        let pn = self.panic.lock();
+        st.push(pn.clone());
+    }
+
+    fn drain(&self) {
+        let pn = self.panic.lock();
+        let mut st = self.state.lock(); //~ lock-order
+        st.clear();
+        drop(pn);
+    }
+}

@@ -1,0 +1,19 @@
+//! lazylint-fixture: path=crates/graph/src/fixture.rs
+//! L4 must fire: panicking calls in library code, tests exempt.
+
+pub fn load(path: &str) -> Vec<u32> {
+    let text = read(path).unwrap(); //~ no-panic
+    let first = text.lines().next().expect("empty file"); //~ no-panic
+    if first.is_empty() {
+        panic!("bad header"); //~ no-panic
+    }
+    parse(first)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_exempt() {
+        super::load("x").pop().unwrap();
+    }
+}

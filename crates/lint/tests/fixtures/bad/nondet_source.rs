@@ -1,0 +1,15 @@
+//! lazylint-fixture: path=crates/engine/src/fixture.rs
+//! L3 must fire: ambient machine state read inside engine functions.
+
+use std::time::Instant;
+
+fn step_timer() -> f64 {
+    let t0 = Instant::now(); //~ nondet-source
+    burn();
+    t0.elapsed().as_secs_f64()
+}
+
+fn jitter() -> u64 {
+    let mut rng = thread_rng(); //~ nondet-source
+    rng.next_u64()
+}

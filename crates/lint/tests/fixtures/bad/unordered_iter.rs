@@ -1,0 +1,18 @@
+//! lazylint-fixture: path=crates/engine/src/fixture.rs
+//! L1 must fire: hash iteration whose order escapes into the output.
+
+fn broadcast(totals: &FxHashMap<u32, u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (gid, t) in totals.iter() { //~ unordered-iter
+        out.push(encode(*gid, *t));
+    }
+    out
+}
+
+fn hash_of_members(set: HashSet<u32>) -> u64 {
+    let mut acc = 0u64;
+    for v in &set { //~ unordered-iter
+        acc = acc.wrapping_mul(31).wrapping_add(*v as u64);
+    }
+    acc
+}

@@ -1,0 +1,9 @@
+//! lazylint-fixture: path=src/bin/fixture.rs
+//! Binaries may abort: no-panic does not apply outside library code.
+
+fn main() {
+    let graph = load("data.bin").expect("load graph");
+    let t0 = std::time::Instant::now();
+    run(&graph).unwrap();
+    println!("{:?}", t0.elapsed());
+}

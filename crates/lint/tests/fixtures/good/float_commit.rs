@@ -1,0 +1,19 @@
+//! lazylint-fixture: path=crates/engine/src/fixture.rs
+//! L2 must stay silent: block-ordered and slice-ordered accumulation.
+
+fn block_ordered(ctx: &ParallelCtx, xs: &[f64]) -> f64 {
+    let parts = ctx.map_chunks(xs, |c| c.iter().copied().fold(0.0f64, |a, b| a + b));
+    parts.iter().copied().fold(0.0f64, |a, b| a + b)
+}
+
+fn sequential(parts: &[f64]) -> f64 {
+    let mut acc = 0.0f64;
+    for p in parts {
+        acc += *p * 2.0;
+    }
+    acc
+}
+
+fn clock_merge(times: Vec<f64>) -> f64 {
+    times.into_iter().fold(0.0f64, f64::max)
+}

@@ -1,0 +1,21 @@
+//! lazylint-fixture: path=crates/cluster/src/fixture.rs
+//! L5 must stay silent: both functions honour the state-then-panic order.
+
+impl Pool {
+    fn submit(&self) {
+        let mut st = self.state.lock();
+        let pn = self.panic.lock();
+        st.push(pn.clone());
+    }
+
+    fn drain(&self) {
+        let mut st = self.state.lock();
+        let pn = self.panic.lock();
+        st.clear();
+        drop(pn);
+    }
+
+    fn observe(&self) -> usize {
+        self.state.lock().len()
+    }
+}

@@ -1,0 +1,26 @@
+//! lazylint-fixture: path=crates/graph/src/fixture.rs
+//! L4 must stay silent: typed errors, non-panicking combinators, and a
+//! justified suppression.
+
+pub fn load(path: &str) -> Result<Vec<u32>, String> {
+    let text = read(path).map_err(|e| e.to_string())?;
+    let n = text.len().checked_mul(2).unwrap_or(usize::MAX);
+    Ok(vec![n as u32])
+}
+
+pub fn lock_with_recovery(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+pub fn invariant(v: Option<u32>) -> u32 {
+    // lazylint: allow(no-panic) -- fixture: invariant established by constructor
+    v.expect("set by constructor")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        super::load("x").unwrap();
+    }
+}

@@ -1,0 +1,18 @@
+//! lazylint-fixture: path=crates/engine/src/fixture.rs
+//! L3 must stay silent: seeded randomness, and wall clocks in tests only.
+
+fn seeded(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let t0 = Instant::now();
+        assert!(t0.elapsed().as_nanos() < u128::MAX);
+    }
+}

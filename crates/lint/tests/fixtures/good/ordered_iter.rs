@@ -1,0 +1,20 @@
+//! lazylint-fixture: path=crates/engine/src/fixture.rs
+//! L1 must stay silent: sorted drains and order-insensitive reductions.
+
+fn broadcast(totals: &FxHashMap<u32, u64>) -> Vec<(u32, u64)> {
+    let mut pairs: Vec<(u32, u64)> = totals.iter().map(|(k, v)| (*k, *v)).collect();
+    pairs.sort_unstable_by_key(|&(k, _)| k);
+    pairs
+}
+
+fn grand_total(map: &FxHashMap<u32, u64>) -> u64 {
+    map.values().sum()
+}
+
+fn heaviest(map: &FxHashMap<u32, u64>) -> Option<u64> {
+    map.values().copied().max()
+}
+
+fn lookup_only(map: &FxHashMap<u32, u64>, key: u32) -> Option<u64> {
+    map.get(&key).copied()
+}

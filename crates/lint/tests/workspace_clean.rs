@@ -1,0 +1,16 @@
+//! Self-check: the workspace this crate lives in must be lint-clean.
+//! This is the same gate CI runs via `lazygraph-lint --deny-all`,
+//! expressed as a test so `cargo test` alone catches regressions.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = lazygraph_lint::analyze_workspace(&root);
+    assert!(
+        findings.is_empty(),
+        "the workspace must satisfy its own determinism contract; findings:\n{}",
+        lazygraph_lint::render_human(&findings)
+    );
+}

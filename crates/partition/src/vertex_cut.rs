@@ -268,7 +268,7 @@ pub fn load_imbalance(assignment: &[MachineId], num_machines: usize) -> f64 {
     for &m in assignment {
         load[m.index()] += 1;
     }
-    let max = *load.iter().max().unwrap();
+    let max = load.iter().copied().max().unwrap_or(0);
     let ideal = assignment.len() as f64 / num_machines as f64;
     max as f64 / ideal
 }
@@ -393,7 +393,7 @@ mod tests {
         // Low-degree targets: all their in-edges land on one machine.
         for v in g.vertices() {
             if g.in_degree(v) > 0 && g.in_degree(v) <= 10 {
-                let machines: std::collections::HashSet<_> = g
+                let machines: std::collections::BTreeSet<_> = g
                     .edges()
                     .zip(&a)
                     .filter(|(e, _)| e.dst == v)

@@ -15,7 +15,7 @@ fn main() {
     let graph = ds.build_symmetric(0.2);
     let mut cfg = EngineConfig::lazygraph();
     cfg.record_history = true;
-    let result = run(&graph, 12, &cfg, &Sssp::new(0u32));
+    let result = run(&graph, 12, &cfg, &Sssp::new(0u32)).expect("cluster run");
     println!(
         "{} SSSP on 12 machines: {} coherency points, sim {:.3}s\n",
         ds.name(),

@@ -87,7 +87,7 @@ fn main() {
         EngineConfig::lazygraph(),
         EngineConfig::lazy_vertex_async(),
     ] {
-        let result = run(&graph, 6, &cfg, &program);
+        let result = run(&graph, 6, &cfg, &program).expect("cluster run");
         let fully_covered = result
             .values
             .iter()
@@ -104,7 +104,7 @@ fn main() {
 
     // Sanity: on a sparse random digraph, reachability is partial.
     let sparse = erdos_renyi(2000, 2500, 9);
-    let result = run(&graph, 4, &EngineConfig::lazygraph(), &program);
+    let result = run(&graph, 4, &EngineConfig::lazygraph(), &program).expect("cluster run");
     let coverage: u32 = result.values.iter().map(|m| m.count_ones()).sum();
     println!(
         "\nsmall-world mean seeds-reaching-a-vertex: {:.2} / {}",

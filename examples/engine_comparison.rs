@@ -29,7 +29,7 @@ fn main() {
         EngineKind::LazyVertexAsync,
     ] {
         let cfg = EngineConfig::lazygraph().with_engine(engine);
-        let r = run(&graph, 16, &cfg, &Sssp::new(0u32));
+        let r = run(&graph, 16, &cfg, &Sssp::new(0u32)).expect("cluster run");
         let m = &r.metrics;
         println!("── {} {}", m.engine, "─".repeat(46_usize.saturating_sub(m.engine.len())));
         println!(

@@ -27,7 +27,7 @@ fn main() {
     println!("\n k | core members | largest-k survivors (engine vs peeling)");
     println!("---+--------------+--------------------------------------");
     for k in [2u32, 4, 8, 16, 32] {
-        let result = run(&graph, 8, &cfg, &KCore::new(k));
+        let result = run(&graph, 8, &cfg, &KCore::new(k)).expect("cluster run");
         let survivors = result.values.iter().filter(|&&c| c > 0).count();
         // Cross-check against the sequential peeling reference.
         let peel = reference::kcore_peeling(&graph, k);
@@ -41,7 +41,7 @@ fn main() {
     // Degeneracy-style summary: at which k does the core vanish?
     let mut k = 2;
     loop {
-        let result = run(&graph, 8, &cfg, &KCore::new(k));
+        let result = run(&graph, 8, &cfg, &KCore::new(k)).expect("cluster run");
         if result.values.iter().all(|&c| c == 0) {
             println!("\nthe graph has no {k}-core: community density tops out below k={k}");
             break;

@@ -26,7 +26,7 @@ fn main() {
         8,
         &EngineConfig::powergraph_sync(),
         &PageRankDelta::default(),
-    );
+    ).expect("cluster run");
 
     // 3. LazyGraph: replicas drift between data coherency points; one sync
     //    per coherency point; deltas merged by computation.
@@ -35,7 +35,7 @@ fn main() {
         8,
         &EngineConfig::lazygraph(),
         &PageRankDelta::default(),
-    );
+    ).expect("cluster run");
 
     println!("\n{}", sync.metrics.summary());
     println!("{}", lazy.metrics.summary());

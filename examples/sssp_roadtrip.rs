@@ -26,8 +26,8 @@ fn main() {
         graph.num_edges()
     );
 
-    let sync = run(&graph, 16, &EngineConfig::powergraph_sync(), &Sssp::new(depot));
-    let lazy = run(&graph, 16, &EngineConfig::lazygraph(), &Sssp::new(depot));
+    let sync = run(&graph, 16, &EngineConfig::powergraph_sync(), &Sssp::new(depot)).expect("cluster run");
+    let lazy = run(&graph, 16, &EngineConfig::lazygraph(), &Sssp::new(depot)).expect("cluster run");
     println!("{}", sync.metrics.summary());
     println!("{}", lazy.metrics.summary());
     println!(

@@ -206,32 +206,32 @@ fn cmd_run(opts: &Opts) {
     match algorithm {
         "sssp" => {
             let source = VertexId(opts.parse_num("source", 0u32));
-            let r = run(&graph, machines, &cfg, &Sssp::new(source));
+            let r = run(&graph, machines, &cfg, &Sssp::new(source)).expect("cluster run");
             println!("{}", r.metrics.summary());
             write_values(opts, &r.values);
         }
         "bfs" => {
             let source = VertexId(opts.parse_num("source", 0u32));
-            let r = run(&graph, machines, &cfg, &Bfs::new(source));
+            let r = run(&graph, machines, &cfg, &Bfs::new(source)).expect("cluster run");
             println!("{}", r.metrics.summary());
             write_values(opts, &r.values);
         }
         "widest" => {
             let source = VertexId(opts.parse_num("source", 0u32));
-            let r = run(&graph, machines, &cfg, &WidestPath::new(source));
+            let r = run(&graph, machines, &cfg, &WidestPath::new(source)).expect("cluster run");
             println!("{}", r.metrics.summary());
             write_values(opts, &r.values);
         }
         "pagerank" => {
             let tolerance: f64 = opts.parse_num("tolerance", 1e-3);
-            let r = run(&graph, machines, &cfg, &PageRankDelta { tolerance });
+            let r = run(&graph, machines, &cfg, &PageRankDelta { tolerance }).expect("cluster run");
             println!("{}", r.metrics.summary());
             let ranks: Vec<String> = r.values.iter().map(|d| format!("{:.6}", d.rank)).collect();
             write_values(opts, &ranks);
         }
         "cc" => {
             let cfg = cfg.with_bidirectional(true);
-            let r = run(&graph, machines, &cfg, &ConnectedComponents);
+            let r = run(&graph, machines, &cfg, &ConnectedComponents).expect("cluster run");
             println!("{}", r.metrics.summary());
             let components: std::collections::HashSet<_> = r.values.iter().collect();
             println!("{} connected components", components.len());
@@ -240,7 +240,7 @@ fn cmd_run(opts: &Opts) {
         "kcore" => {
             let k: u32 = opts.parse_num("k", 3);
             let cfg = cfg.with_bidirectional(true);
-            let r = run(&graph, machines, &cfg, &KCore::new(k));
+            let r = run(&graph, machines, &cfg, &KCore::new(k)).expect("cluster run");
             println!("{}", r.metrics.summary());
             let survivors = r.values.iter().filter(|&&c| c > 0).count();
             println!("{survivors} vertices in the {k}-core");

@@ -23,7 +23,7 @@
 //!     lazygraph::graph::generators::Grid2dConfig::road(16, 16, 42),
 //! );
 //! let cfg = EngineConfig::lazygraph();
-//! let result = run(&graph, 4, &cfg, &PageRankDelta::default());
+//! let result = run(&graph, 4, &cfg, &PageRankDelta::default()).expect("cluster run");
 //! assert!(result.metrics.converged);
 //! assert_eq!(result.values.len(), graph.num_vertices());
 //! ```
@@ -38,8 +38,8 @@ pub use lazygraph_partition as partition;
 pub mod prelude {
     pub use lazygraph_algorithms::{Bfs, ConnectedComponents, KCore, PageRankDelta, Sssp};
     pub use lazygraph_engine::{
-        run, run_on, CommModePolicy, EngineConfig, EngineKind, IntervalPolicy, RunMetrics,
-        RunResult, VertexProgram, DEFAULT_BLOCK_SIZE,
+        run, run_on, CommError, CommModePolicy, EngineConfig, EngineKind, IntervalPolicy,
+        RunMetrics, RunResult, VertexProgram, DEFAULT_BLOCK_SIZE,
     };
     pub use lazygraph_graph::{Dataset, Edge, Graph, GraphBuilder, MachineId, VertexId};
     pub use lazygraph_partition::{PartitionStrategy, SplitterConfig};

@@ -44,7 +44,7 @@ fn run_fingerprint<P: VertexProgram>(
     cfg: &EngineConfig,
     program: &P,
 ) -> (String, String) {
-    let r = run(g, machines, cfg, program);
+    let r = run(g, machines, cfg, program).expect("cluster run");
     let values = format!("{:?}", r.values);
     let counters = format!(
         "iters={} coh={} sub={} a2a={} m2m={} syncs={} stats={:?} sim={:?} conv={}",
@@ -133,9 +133,9 @@ fn async_pagerank_across_machines_stays_within_tolerance() {
     for engine in [EngineKind::PowerGraphAsync, EngineKind::LazyVertexAsync] {
         let program = PageRankDelta::default();
         let band = 10.0 * program.tolerance;
-        let base = run(&g, 4, &cfg(engine, 1, false), &program).values;
+        let base = run(&g, 4, &cfg(engine, 1, false), &program).expect("cluster run").values;
         for threads in [2, 8] {
-            let got = run(&g, 4, &cfg(engine, threads, false), &program).values;
+            let got = run(&g, 4, &cfg(engine, threads, false), &program).expect("cluster run").values;
             for (v, (a, b)) in base.iter().zip(&got).enumerate() {
                 assert!(
                     (a.rank - b.rank).abs() <= band * a.rank.abs().max(1.0),

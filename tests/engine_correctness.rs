@@ -36,7 +36,7 @@ fn sssp_all_engines_match_dijkstra() {
     let g = symmetric_weighted(&grid2d(Grid2dConfig::road(12, 12, 1)), 1);
     let expected = reference::dijkstra(&g, VertexId(0));
     for engine in engines() {
-        let result = run(&g, 4, &cfg_for(engine, false), &Sssp::new(0u32));
+        let result = run(&g, 4, &cfg_for(engine, false), &Sssp::new(0u32)).expect("cluster run");
         assert_eq!(
             result.values, expected,
             "engine {engine:?} diverged on SSSP"
@@ -50,7 +50,7 @@ fn cc_all_engines_match_union_find() {
     let g = symmetric_weighted(&erdos_renyi(400, 900, 2), 2);
     let expected = reference::connected_components(&g);
     for engine in engines() {
-        let result = run(&g, 4, &cfg_for(engine, true), &ConnectedComponents);
+        let result = run(&g, 4, &cfg_for(engine, true), &ConnectedComponents).expect("cluster run");
         assert_eq!(result.values, expected, "engine {engine:?} diverged on CC");
     }
 }
@@ -60,7 +60,7 @@ fn kcore_all_engines_match_peeling() {
     let g = symmetric_weighted(&rmat(RmatConfig::graph500(9, 6, 3)), 3);
     let expected = reference::kcore_peeling(&g, 4);
     for engine in engines() {
-        let result = run(&g, 4, &cfg_for(engine, true), &KCore::new(4));
+        let result = run(&g, 4, &cfg_for(engine, true), &KCore::new(4)).expect("cluster run");
         assert_eq!(
             result.values, expected,
             "engine {engine:?} diverged on k-core"
@@ -73,7 +73,7 @@ fn bfs_all_engines_match_reference() {
     let g = rmat(RmatConfig::weblike(9, 6, 4));
     let expected = reference::bfs_levels(&g, VertexId(0));
     for engine in engines() {
-        let result = run(&g, 4, &cfg_for(engine, false), &Bfs::new(0u32));
+        let result = run(&g, 4, &cfg_for(engine, false), &Bfs::new(0u32)).expect("cluster run");
         assert_eq!(result.values, expected, "engine {engine:?} diverged on BFS");
     }
 }
@@ -84,7 +84,7 @@ fn pagerank_all_engines_near_power_iteration() {
     let power = reference::pagerank_power(&g, 150);
     for engine in engines() {
         let program = PageRankDelta { tolerance: 1e-5 };
-        let result = run(&g, 4, &cfg_for(engine, false), &program);
+        let result = run(&g, 4, &cfg_for(engine, false), &program).expect("cluster run");
         for (v, (got, want)) in result.values.iter().zip(&power).enumerate() {
             assert!(
                 (got.rank - want).abs() < 0.01 * want.max(1.0),
@@ -102,7 +102,7 @@ fn lazy_matches_reference_across_partitioners() {
     let expected = reference::dijkstra(&g, VertexId(0));
     for strategy in PartitionStrategy::all() {
         let cfg = EngineConfig::lazygraph().with_partition(strategy);
-        let result = run(&g, 6, &cfg, &Sssp::new(0u32));
+        let result = run(&g, 6, &cfg, &Sssp::new(0u32)).expect("cluster run");
         assert_eq!(result.values, expected, "partitioner {strategy:?} diverged");
     }
 }
@@ -113,7 +113,7 @@ fn lazy_matches_reference_across_machine_counts() {
     let expected = reference::kcore_peeling(&g, 3);
     for p in [1, 2, 3, 8, 13] {
         let cfg = EngineConfig::lazygraph().with_bidirectional(true);
-        let result = run(&g, p, &cfg, &KCore::new(3));
+        let result = run(&g, p, &cfg, &KCore::new(3)).expect("cluster run");
         assert_eq!(result.values, expected, "P={p} diverged");
     }
 }
@@ -130,7 +130,7 @@ fn lazy_interval_policies_all_correct() {
         let cfg = EngineConfig::lazygraph()
             .with_interval(interval)
             .with_bidirectional(true);
-        let result = run(&g, 4, &cfg, &ConnectedComponents);
+        let result = run(&g, 4, &cfg, &ConnectedComponents).expect("cluster run");
         assert_eq!(result.values, expected, "interval {interval:?} diverged");
     }
 }
@@ -145,7 +145,7 @@ fn lazy_comm_modes_all_correct() {
         CommModePolicy::MirrorsToMaster,
     ] {
         let cfg = EngineConfig::lazygraph().with_comm_mode(mode);
-        let result = run(&g, 5, &cfg, &Sssp::new(3u32));
+        let result = run(&g, 5, &cfg, &Sssp::new(3u32)).expect("cluster run");
         assert_eq!(result.values, expected, "comm mode {mode:?} diverged");
     }
 
@@ -155,7 +155,7 @@ fn lazy_comm_modes_all_correct() {
     let cfg = EngineConfig::lazygraph()
         .with_comm_mode(CommModePolicy::MirrorsToMaster)
         .with_bidirectional(true);
-    let result = run(&g, 5, &cfg, &KCore::new(5));
+    let result = run(&g, 5, &cfg, &KCore::new(5)).expect("cluster run");
     assert_eq!(result.values, expected, "m2m + additive algebra diverged");
 }
 
@@ -168,6 +168,6 @@ fn splitter_heavy_configuration_stays_correct() {
     let mut cfg = EngineConfig::lazygraph().with_bidirectional(true);
     cfg.splitter.t_extra = 0.01;
     cfg.splitter.max_fraction = 0.2;
-    let result = run(&g, 6, &cfg, &ConnectedComponents);
+    let result = run(&g, 6, &cfg, &ConnectedComponents).expect("cluster run");
     assert_eq!(result.values, expected);
 }

@@ -30,7 +30,7 @@ fn widest_path_all_engines_match_reference() {
     let expected = widest_path_reference(&g, VertexId(0));
     for engine in engines() {
         let cfg = EngineConfig::lazygraph().with_engine(engine);
-        let result = run(&g, 5, &cfg, &WidestPath::new(0u32));
+        let result = run(&g, 5, &cfg, &WidestPath::new(0u32)).expect("cluster run");
         assert_eq!(result.values, expected, "{engine:?} diverged");
     }
 }
@@ -43,7 +43,7 @@ fn multi_bfs_all_engines_match_reference() {
     let expected = reference::run_sequential(&g, &program);
     for engine in engines() {
         let cfg = EngineConfig::lazygraph().with_engine(engine);
-        let result = run(&g, 6, &cfg, &program);
+        let result = run(&g, 6, &cfg, &program).expect("cluster run");
         assert_eq!(result.values, expected, "{engine:?} diverged");
     }
 }
@@ -59,7 +59,7 @@ fn ppr_engines_near_power_iteration() {
     let power = ppr_power(&g, seed, 150);
     for engine in [EngineKind::PowerGraphSync, EngineKind::LazyBlockAsync] {
         let cfg = EngineConfig::lazygraph().with_engine(engine);
-        let result = run(&g, 4, &cfg, &program);
+        let result = run(&g, 4, &cfg, &program).expect("cluster run");
         for (v, (got, want)) in result.values.iter().zip(&power).enumerate() {
             assert!(
                 (got.rank - want).abs() < 1e-2 * want.max(0.1),
@@ -85,8 +85,8 @@ fn suppression_off_matches_suppression_on() {
     on.delta_suppression = true;
     let mut off = EngineConfig::lazygraph();
     off.delta_suppression = false;
-    let r_on = run(&g, 6, &on, &Sssp::new(0u32));
-    let r_off = run(&g, 6, &off, &Sssp::new(0u32));
+    let r_on = run(&g, 6, &on, &Sssp::new(0u32)).expect("cluster run");
+    let r_off = run(&g, 6, &off, &Sssp::new(0u32)).expect("cluster run");
     assert_eq!(r_on.values, r_off.values);
     assert!(
         r_on.metrics.traffic_bytes() <= r_off.metrics.traffic_bytes(),
@@ -101,7 +101,7 @@ fn history_recording_round_trip() {
     let g = small_world(600, 3, 0.1, 45);
     let mut cfg = EngineConfig::lazygraph();
     cfg.record_history = true;
-    let r = run(&g, 4, &cfg, &ConnectedComponents);
+    let r = run(&g, 4, &cfg, &ConnectedComponents).expect("cluster run");
     let h = &r.metrics.history;
     assert_eq!(h.len() as u64, r.metrics.coherency_points);
     assert!(!h[0].lazy_on, "first iteration is always eager");
@@ -114,6 +114,6 @@ fn history_recording_round_trip() {
     // Sync engine histories too.
     let mut cfg = EngineConfig::powergraph_sync();
     cfg.record_history = true;
-    let r = run(&g, 4, &cfg, &ConnectedComponents);
+    let r = run(&g, 4, &cfg, &ConnectedComponents).expect("cluster run");
     assert_eq!(r.metrics.history.len() as u64, r.metrics.iterations);
 }

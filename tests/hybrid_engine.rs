@@ -20,7 +20,7 @@ fn road() -> Graph {
 fn hybrid_sssp_matches_dijkstra() {
     let g = road();
     let expected = reference::dijkstra(&g, VertexId(0));
-    let r = run(&g, 6, &EngineConfig::powerswitch_hybrid(), &Sssp::new(0u32));
+    let r = run(&g, 6, &EngineConfig::powerswitch_hybrid(), &Sssp::new(0u32)).expect("cluster run");
     assert_eq!(r.values, expected);
     assert!(r.metrics.converged);
 }
@@ -33,9 +33,9 @@ fn hybrid_cc_and_kcore_match_references() {
     b.symmetrize();
     let g = b.build();
     let cfg = EngineConfig::powerswitch_hybrid().with_bidirectional(true);
-    let cc = run(&g, 5, &cfg, &ConnectedComponents);
+    let cc = run(&g, 5, &cfg, &ConnectedComponents).expect("cluster run");
     assert_eq!(cc.values, reference::connected_components(&g));
-    let kc = run(&g, 5, &cfg, &KCore::new(4));
+    let kc = run(&g, 5, &cfg, &KCore::new(4)).expect("cluster run");
     assert_eq!(kc.values, reference::kcore_peeling(&g, 4));
 }
 
@@ -45,8 +45,8 @@ fn hybrid_switches_on_sparse_frontiers() {
     // supersteps than pure Sync (it abandons BSP once the frontier falls
     // below the threshold).
     let g = road();
-    let sync = run(&g, 6, &EngineConfig::powergraph_sync(), &Sssp::new(0u32));
-    let hybrid = run(&g, 6, &EngineConfig::powerswitch_hybrid(), &Sssp::new(0u32));
+    let sync = run(&g, 6, &EngineConfig::powergraph_sync(), &Sssp::new(0u32)).expect("cluster run");
+    let hybrid = run(&g, 6, &EngineConfig::powerswitch_hybrid(), &Sssp::new(0u32)).expect("cluster run");
     assert!(
         hybrid.metrics.iterations < sync.metrics.iterations / 2,
         "hybrid stayed in BSP too long: {} vs sync {}",
@@ -70,8 +70,8 @@ fn hybrid_threshold_zero_degenerates_to_sync() {
     let g = road();
     let mut cfg = EngineConfig::powerswitch_hybrid();
     cfg.hybrid_switch_threshold = 0.0; // never switch
-    let hybrid = run(&g, 4, &cfg, &Sssp::new(0u32));
-    let sync = run(&g, 4, &EngineConfig::powergraph_sync(), &Sssp::new(0u32));
+    let hybrid = run(&g, 4, &cfg, &Sssp::new(0u32)).expect("cluster run");
+    let sync = run(&g, 4, &EngineConfig::powergraph_sync(), &Sssp::new(0u32)).expect("cluster run");
     assert_eq!(hybrid.values, sync.values);
     assert_eq!(hybrid.metrics.iterations, sync.metrics.iterations);
 }
@@ -85,7 +85,7 @@ fn hybrid_pagerank_near_power_iteration() {
         4,
         &EngineConfig::powerswitch_hybrid(),
         &PageRankDelta { tolerance: 1e-5 },
-    );
+    ).expect("cluster run");
     for (v, (got, want)) in r.values.iter().zip(&power).enumerate() {
         assert!(
             (got.rank - want).abs() < 0.01 * want.max(1.0),

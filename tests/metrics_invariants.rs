@@ -16,7 +16,7 @@ fn social() -> Graph {
 #[test]
 fn sync_engine_pays_three_syncs_per_superstep() {
     let g = road();
-    let r = run(&g, 6, &EngineConfig::powergraph_sync(), &Sssp::new(0u32));
+    let r = run(&g, 6, &EngineConfig::powergraph_sync(), &Sssp::new(0u32)).expect("cluster run");
     assert_eq!(
         r.metrics.global_syncs(),
         3 * r.metrics.iterations,
@@ -33,7 +33,7 @@ fn sync_engine_pays_three_syncs_per_superstep() {
 #[test]
 fn lazy_engine_pays_one_sync_per_coherency_point() {
     let g = road();
-    let r = run(&g, 6, &EngineConfig::lazygraph(), &Sssp::new(0u32));
+    let r = run(&g, 6, &EngineConfig::lazygraph(), &Sssp::new(0u32)).expect("cluster run");
     assert_eq!(
         r.metrics.global_syncs(),
         r.metrics.coherency_points,
@@ -52,7 +52,7 @@ fn lazy_engine_pays_one_sync_per_coherency_point() {
 #[test]
 fn async_engine_has_no_barriers() {
     let g = road();
-    let r = run(&g, 4, &EngineConfig::powergraph_async(), &Sssp::new(0u32));
+    let r = run(&g, 4, &EngineConfig::powergraph_async(), &Sssp::new(0u32)).expect("cluster run");
     assert_eq!(r.metrics.global_syncs(), 0);
     assert!(r.metrics.stats.phase(Phase::Async).bytes > 0);
     assert!(r.metrics.sim_time > 0.0);
@@ -62,8 +62,8 @@ fn async_engine_has_no_barriers() {
 fn lazy_reduces_syncs_and_traffic_on_road(// the §5.3 headline mechanism
 ) {
     let g = road();
-    let sync = run(&g, 8, &EngineConfig::powergraph_sync(), &Sssp::new(0u32)).metrics;
-    let lazy = run(&g, 8, &EngineConfig::lazygraph(), &Sssp::new(0u32)).metrics;
+    let sync = run(&g, 8, &EngineConfig::powergraph_sync(), &Sssp::new(0u32)).expect("cluster run").metrics;
+    let lazy = run(&g, 8, &EngineConfig::lazygraph(), &Sssp::new(0u32)).expect("cluster run").metrics;
     assert!(
         lazy.global_syncs() * 3 < sync.global_syncs(),
         "lazy must cut global syncs by >3x on road SSSP: {} vs {}",
@@ -88,8 +88,8 @@ fn speedup_ordering_tracks_lambda() {
     let road = road();
     let social = social();
     let s = |g: &Graph| {
-        let sync = run(g, 8, &EngineConfig::powergraph_sync(), &Sssp::new(0u32)).metrics;
-        let lazy = run(g, 8, &EngineConfig::lazygraph(), &Sssp::new(0u32)).metrics;
+        let sync = run(g, 8, &EngineConfig::powergraph_sync(), &Sssp::new(0u32)).expect("cluster run").metrics;
+        let lazy = run(g, 8, &EngineConfig::lazygraph(), &Sssp::new(0u32)).expect("cluster run").metrics;
         (lazy.lambda, sync.sim_time / lazy.sim_time)
     };
     let (road_lambda, road_speedup) = s(&road);
@@ -105,7 +105,7 @@ fn speedup_ordering_tracks_lambda() {
 fn sim_breakdown_sums_to_sim_time_for_bsp_engines() {
     let g = road();
     for cfg in [EngineConfig::powergraph_sync(), EngineConfig::lazygraph()] {
-        let r = run(&g, 5, &cfg, &Sssp::new(0u32));
+        let r = run(&g, 5, &cfg, &Sssp::new(0u32)).expect("cluster run");
         let total = r.metrics.breakdown.total();
         assert!(
             (total - r.metrics.sim_time).abs() < 0.05 * r.metrics.sim_time,
@@ -122,7 +122,7 @@ fn deterministic_metrics_for_bsp_engines() {
     // identical counted quantities AND identical simulated time.
     let g = social();
     let run_once = || {
-        let r = run(&g, 6, &EngineConfig::lazygraph(), &Sssp::new(0u32));
+        let r = run(&g, 6, &EngineConfig::lazygraph(), &Sssp::new(0u32)).expect("cluster run");
         (
             r.metrics.global_syncs(),
             r.metrics.traffic_bytes(),
@@ -138,7 +138,7 @@ fn deterministic_metrics_for_bsp_engines() {
 fn sync_engine_determinism() {
     let g = road();
     let run_once = || {
-        let r = run(&g, 7, &EngineConfig::powergraph_sync(), &Sssp::new(0u32));
+        let r = run(&g, 7, &EngineConfig::powergraph_sync(), &Sssp::new(0u32)).expect("cluster run");
         (r.metrics.global_syncs(), r.metrics.traffic_bytes(), r.metrics.sim_time.to_bits())
     };
     assert_eq!(run_once(), run_once());
@@ -152,7 +152,7 @@ fn single_machine_runs_have_no_traffic() {
         EngineConfig::lazygraph(),
         EngineConfig::powergraph_async(),
     ] {
-        let r = run(&g, 1, &cfg, &Sssp::new(0u32));
+        let r = run(&g, 1, &cfg, &Sssp::new(0u32)).expect("cluster run");
         assert_eq!(
             r.metrics.traffic_bytes(),
             0,
@@ -167,7 +167,7 @@ fn iteration_cap_reports_non_convergence() {
     let g = road();
     let mut cfg = EngineConfig::powergraph_sync();
     cfg.max_iterations = 3; // far too few for a road lattice
-    let r = run(&g, 4, &cfg, &Sssp::new(0u32));
+    let r = run(&g, 4, &cfg, &Sssp::new(0u32)).expect("cluster run");
     assert!(!r.metrics.converged);
     assert_eq!(r.metrics.iterations, 3);
 }

@@ -89,7 +89,7 @@ proptest! {
         let cfg = EngineConfig::lazygraph()
             .with_engine(engine)
             .with_partition(PartitionStrategy::all()[strategy_idx]);
-        let result = run(&g, machines, &cfg, &Sssp::new(source));
+        let result = run(&g, machines, &cfg, &Sssp::new(source)).expect("cluster run");
         prop_assert_eq!(result.values, expected);
     }
 
@@ -111,7 +111,7 @@ proptest! {
             } else {
                 CommModePolicy::AllToAll
             });
-        let result = run(&g, machines, &cfg, &KCore::new(k));
+        let result = run(&g, machines, &cfg, &KCore::new(k)).expect("cluster run");
         prop_assert_eq!(result.values, expected);
     }
 
@@ -132,7 +132,7 @@ proptest! {
         let cfg = EngineConfig::lazygraph()
             .with_bidirectional(true)
             .with_interval(policy);
-        let result = run(&g, machines, &cfg, &ConnectedComponents);
+        let result = run(&g, machines, &cfg, &ConnectedComponents).expect("cluster run");
         prop_assert_eq!(result.values, expected);
     }
 
@@ -148,7 +148,7 @@ proptest! {
         let seq = lazygraph_algorithms::reference::run_sequential(&g, &program);
         for engine in [EngineKind::PowerGraphSync, EngineKind::LazyBlockAsync] {
             let cfg = EngineConfig::lazygraph().with_engine(engine);
-            let result = run(&g, machines, &cfg, &program);
+            let result = run(&g, machines, &cfg, &program).expect("cluster run");
             for (v, (got, want)) in result.values.iter().zip(&seq).enumerate() {
                 prop_assert!(
                     (got.rank - want.rank).abs() < 1e-3 * want.rank.max(1.0),
