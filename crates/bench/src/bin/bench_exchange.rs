@@ -1,0 +1,284 @@
+//! **Exchange fast-path trajectory bench**: runs a fixed
+//! engine × algorithm × scale matrix over RMAT graphs and emits
+//! `BENCH_exchange.json` — wall time, simulated time, wire bytes/items,
+//! sender-side combining counters, and buffer-pool hit rates — so the repo
+//! carries a perf baseline the next optimisation PR can diff against.
+//!
+//! Also runs the fast-vs-naive equivalence check inline: the combined +
+//! pooled + parallel-routed path must produce bitwise-identical vertex
+//! values to the naive serial path (the determinism contract), and on
+//! PageRank/RMAT/4-machines the combining counters must show ≥20% of wire
+//! items folded away.
+//!
+//! Regenerate: `cargo run -p lazygraph-bench --release --bin bench_exchange`
+//! CI smoke:   `cargo run -p lazygraph-bench --release --bin bench_exchange -- --quick`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use lazygraph_algorithms::{PageRankDelta, Sssp};
+use lazygraph_engine::{run, EngineConfig, EngineKind, RunMetrics, VertexProgram};
+use lazygraph_graph::generators::{rmat, RmatConfig};
+use lazygraph_graph::{Graph, GraphBuilder};
+
+/// One measured cell of the matrix.
+struct Cell {
+    engine: &'static str,
+    algorithm: &'static str,
+    rmat_scale: u32,
+    vertices: usize,
+    edges: usize,
+    wall_ms: f64,
+    sim_time: f64,
+    wire_bytes: u64,
+    wire_items: u64,
+    items_combined: u64,
+    bytes_saved: u64,
+    pool_hits: u64,
+    pool_misses: u64,
+}
+
+impl Cell {
+    /// Fraction of would-be wire items folded away before shipping.
+    fn combined_frac(&self) -> f64 {
+        let total = self.items_combined + self.wire_items;
+        if total == 0 {
+            0.0
+        } else {
+            self.items_combined as f64 / total as f64
+        }
+    }
+}
+
+/// One fast-vs-naive equivalence verdict.
+struct Equivalence {
+    engine: &'static str,
+    algorithm: &'static str,
+    bitwise_identical: bool,
+    fast_wire_items: u64,
+    naive_wire_items: u64,
+    items_combined: u64,
+}
+
+const MACHINES: usize = 4;
+
+fn build_graph(scale_exp: u32) -> Graph {
+    let g = rmat(RmatConfig::graph500(scale_exp, 6, 5));
+    let mut b = GraphBuilder::new(g.num_vertices());
+    b.extend(g.edges());
+    b.symmetrize();
+    b.randomize_weights(1.0, 9.0, 5);
+    b.build()
+}
+
+fn cfg(engine: EngineKind, fast: bool) -> EngineConfig {
+    EngineConfig::lazygraph()
+        .with_engine(engine)
+        .with_exchange_fast(fast)
+}
+
+fn measure<P: VertexProgram>(
+    g: &Graph,
+    engine: EngineKind,
+    fast: bool,
+    program: &P,
+) -> (Vec<P::VData>, RunMetrics, f64) {
+    let started = Instant::now();
+    let r = run(g, MACHINES, &cfg(engine, fast), program).expect("cluster run");
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    (r.values, r.metrics, wall_ms)
+}
+
+fn cell<P: VertexProgram>(
+    g: &Graph,
+    scale_exp: u32,
+    engine: EngineKind,
+    algorithm: &'static str,
+    program: &P,
+) -> Cell {
+    let (_, m, wall_ms) = measure(g, engine, true, program);
+    eprintln!(
+        "  {} / {} / rmat{}: wall {:.1}ms, {} wire items, {} combined ({:.1}%)",
+        engine.name(),
+        algorithm,
+        scale_exp,
+        wall_ms,
+        m.stats.total_items(),
+        m.stats.items_combined,
+        100.0 * m.stats.items_combined as f64
+            / (m.stats.items_combined + m.stats.total_items()).max(1) as f64,
+    );
+    Cell {
+        engine: engine.name(),
+        algorithm,
+        rmat_scale: scale_exp,
+        vertices: g.num_vertices(),
+        edges: g.num_edges(),
+        wall_ms,
+        sim_time: m.sim_time,
+        wire_bytes: m.stats.total_bytes(),
+        wire_items: m.stats.total_items(),
+        items_combined: m.stats.items_combined,
+        bytes_saved: m.stats.bytes_saved,
+        pool_hits: m.stats.pool_hits,
+        pool_misses: m.stats.pool_misses,
+    }
+}
+
+/// Fast vs naive on the gated engines: values must agree bitwise (`{:?}`
+/// on finite floats round-trips, so string equality is bitwise equality).
+fn equivalence<P: VertexProgram>(
+    g: &Graph,
+    engine: EngineKind,
+    algorithm: &'static str,
+    program: &P,
+) -> Equivalence {
+    let (fast_values, fast_m, _) = measure(g, engine, true, program);
+    let (naive_values, naive_m, _) = measure(g, engine, false, program);
+    let identical = format!("{fast_values:?}") == format!("{naive_values:?}");
+    assert!(
+        identical,
+        "{} / {}: fast path diverged from naive path",
+        engine.name(),
+        algorithm
+    );
+    Equivalence {
+        engine: engine.name(),
+        algorithm,
+        bitwise_identical: identical,
+        fast_wire_items: fast_m.stats.total_items(),
+        naive_wire_items: naive_m.stats.total_items(),
+        items_combined: fast_m.stats.items_combined,
+    }
+}
+
+fn emit_json(quick: bool, scales: &[u32], cells: &[Cell], equiv: &[Equivalence]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"exchange\",");
+    let _ = writeln!(s, "  \"machines\": {MACHINES},");
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(
+        s,
+        "  \"rmat_scales\": [{}],",
+        scales
+            .iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"engine\": \"{}\", \"algorithm\": \"{}\", \"rmat_scale\": {}, \
+             \"vertices\": {}, \"edges\": {}, \"wall_ms\": {:.3}, \"sim_time\": {:.9}, \
+             \"wire_bytes\": {}, \"wire_items\": {}, \"items_combined\": {}, \
+             \"bytes_saved\": {}, \"pool_hits\": {}, \"pool_misses\": {}, \
+             \"combined_frac\": {:.4}}}{}",
+            c.engine,
+            c.algorithm,
+            c.rmat_scale,
+            c.vertices,
+            c.edges,
+            c.wall_ms,
+            c.sim_time,
+            c.wire_bytes,
+            c.wire_items,
+            c.items_combined,
+            c.bytes_saved,
+            c.pool_hits,
+            c.pool_misses,
+            c.combined_frac(),
+            if i + 1 == cells.len() { "" } else { "," }
+        );
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"equivalence\": [\n");
+    for (i, e) in equiv.iter().enumerate() {
+        let combined_frac = e.items_combined as f64
+            / (e.items_combined + e.fast_wire_items).max(1) as f64;
+        let _ = writeln!(
+            s,
+            "    {{\"engine\": \"{}\", \"algorithm\": \"{}\", \"bitwise_identical\": {}, \
+             \"fast_wire_items\": {}, \"naive_wire_items\": {}, \"items_combined\": {}, \
+             \"combined_frac\": {:.4}}}{}",
+            e.engine,
+            e.algorithm,
+            e.bitwise_identical,
+            e.fast_wire_items,
+            e.naive_wire_items,
+            e.items_combined,
+            combined_frac,
+            if i + 1 == equiv.len() { "" } else { "," }
+        );
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = "BENCH_exchange.json".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = it.next().expect("--out needs a path"),
+            other => panic!("unknown argument {other}; known: --quick --out"),
+        }
+    }
+    let scales: Vec<u32> = if quick { vec![8] } else { vec![10, 12] };
+    eprintln!(
+        "exchange bench: {} machines, rmat scales {:?}{}",
+        MACHINES,
+        scales,
+        if quick { " (quick)" } else { "" }
+    );
+
+    let engines = [
+        EngineKind::PowerGraphSync,
+        EngineKind::LazyBlockAsync,
+        EngineKind::LazyVertexAsync,
+    ];
+    let mut cells = Vec::new();
+    for &scale_exp in &scales {
+        let g = build_graph(scale_exp);
+        for engine in engines {
+            cells.push(cell(&g, scale_exp, engine, "pagerank", &PageRankDelta::default()));
+            cells.push(cell(&g, scale_exp, engine, "sssp", &Sssp::new(0u32)));
+        }
+    }
+
+    // Equivalence: only the gated engines have a naive path to compare.
+    eprintln!("equivalence: fast vs naive on the gated engines");
+    let equiv_g = build_graph(*scales.last().expect("non-empty scales"));
+    let mut equiv = Vec::new();
+    for engine in [EngineKind::PowerGraphSync, EngineKind::LazyBlockAsync] {
+        equiv.push(equivalence(&equiv_g, engine, "pagerank", &PageRankDelta::default()));
+        equiv.push(equivalence(&equiv_g, engine, "sssp", &Sssp::new(0u32)));
+    }
+
+    // Acceptance: the lazy engine's PageRank run must fold ≥20% of its
+    // would-be wire items (quick graphs are too small to owe the bar).
+    let headline = cells
+        .iter()
+        .find(|c| c.engine == "lazy-block-async" && c.algorithm == "pagerank")
+        .expect("matrix always contains the headline cell");
+    eprintln!(
+        "headline: lazy-block-async/pagerank combined {:.1}% of wire items",
+        100.0 * headline.combined_frac()
+    );
+    if !quick {
+        assert!(
+            headline.combined_frac() >= 0.20,
+            "fast path folded only {:.1}% of wire items on PageRank/RMAT/4 machines",
+            100.0 * headline.combined_frac()
+        );
+    }
+
+    let json = emit_json(quick, &scales, &cells, &equiv);
+    std::fs::write(&out, &json).expect("write bench json");
+    eprintln!("wrote {out}");
+}

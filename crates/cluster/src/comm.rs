@@ -5,6 +5,8 @@
 //! carry the sender's simulated-clock timestamp so receivers can maintain
 //! causal virtual time, and every send is accounted in [`NetStats`].
 
+use std::collections::VecDeque;
+
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 
 use crate::error::CommError;
@@ -14,7 +16,11 @@ use crate::stats::{NetStats, Phase};
 pub const ASYNC_ROUND: u64 = u64::MAX;
 
 /// One batch of typed items from one machine to another.
-#[derive(Clone, Debug)]
+///
+/// Deliberately not `Clone`: a batch owns a (possibly pooled) payload
+/// vector, and accidental deep copies are exactly what the zero-allocation
+/// exchange path exists to avoid.
+#[derive(Debug)]
 pub struct Batch<T> {
     /// Sending machine.
     pub from: usize,
@@ -26,18 +32,100 @@ pub struct Batch<T> {
     pub items: Vec<T>,
 }
 
+/// Per-destination staging buffers for one machine's sends.
+///
+/// An `OutboxSet` lives as long as the machine loop and is handed to
+/// [`Endpoint::exchange`] by mutable reference: the exchange moves each
+/// destination's vector onto the wire and replaces it with a recycled one
+/// from the buffer pool, so staged capacity flows around the mesh instead
+/// of being reallocated every round.
+#[derive(Debug)]
+pub struct OutboxSet<T> {
+    boxes: Vec<Vec<T>>,
+}
+
+impl<T> OutboxSet<T> {
+    /// One empty outbox per machine.
+    pub fn new(num_machines: usize) -> Self {
+        OutboxSet {
+            boxes: (0..num_machines).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Wraps pre-filled per-destination vectors (tests, benches).
+    pub fn from_boxes(boxes: Vec<Vec<T>>) -> Self {
+        OutboxSet { boxes }
+    }
+
+    /// Number of destinations (== cluster size).
+    #[inline]
+    pub fn num_machines(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Stages one item for `dst`.
+    #[inline]
+    pub fn push(&mut self, dst: usize, item: T) {
+        self.boxes[dst].push(item);
+    }
+
+    /// The most recently staged item for `dst`, if any — the hook the
+    /// sender-side combining fast path uses to fold a new contribution
+    /// into the item already at the tail of the outbox.
+    #[inline]
+    pub fn last_mut(&mut self, dst: usize) -> Option<&mut T> {
+        self.boxes[dst].last_mut()
+    }
+
+    /// Direct access to one destination's staging vector.
+    #[inline]
+    pub fn slot(&mut self, dst: usize) -> &mut Vec<T> {
+        &mut self.boxes[dst]
+    }
+
+    /// Staged items for `dst`.
+    #[inline]
+    pub fn staged(&self, dst: usize) -> &[T] {
+        &self.boxes[dst]
+    }
+
+    /// Total staged items across destinations.
+    pub fn total_staged(&self) -> usize {
+        self.boxes.iter().map(Vec::len).sum()
+    }
+
+    /// Sum of allocated capacities — visibility for pool behaviour tests.
+    pub fn total_capacity(&self) -> usize {
+        self.boxes.iter().map(Vec::capacity).sum()
+    }
+
+    /// Clears every outbox, keeping capacity.
+    pub fn clear(&mut self) {
+        for b in &mut self.boxes {
+            b.clear();
+        }
+    }
+}
+
 /// One machine's endpoint into the mesh: senders to every peer plus its own
-/// receiver.
+/// receiver, and the machine's side of the shared buffer pool.
 pub struct Endpoint<T> {
     me: usize,
     n: usize,
     txs: Vec<Sender<Batch<T>>>,
     rx: Receiver<Batch<T>>,
+    /// Return path of the buffer pool: `ret_txs[m]` carries drained payload
+    /// vectors back to machine `m`, their original allocator.
+    ret_txs: Vec<Sender<Vec<T>>>,
+    /// Vectors coming home from peers that finished consuming them.
+    ret_rx: Receiver<Vec<T>>,
+    /// Local free list of ready-to-reuse payload vectors.
+    free: Vec<Vec<T>>,
     /// Next BSP exchange round issued by this endpoint.
     next_round: u64,
     /// Batches received ahead of the round currently being collected
     /// (two-hop exchanges can race ahead on fast peers).
-    pending: Vec<Batch<T>>,
+    pending: VecDeque<Batch<T>>,
 }
 
 impl<T: Send> Endpoint<T> {
@@ -51,6 +139,45 @@ impl<T: Send> Endpoint<T> {
     #[inline]
     pub fn num_machines(&self) -> usize {
         self.n
+    }
+
+    /// Takes a payload vector from the buffer pool, pulling home any
+    /// vectors peers have returned first. A pool hit reuses capacity that
+    /// already travelled the mesh; a miss allocates a fresh (empty) vector.
+    pub fn take_buffer(&mut self, stats: &NetStats) -> Vec<T> {
+        while let Ok(v) = self.ret_rx.try_recv() {
+            self.free.push(v);
+        }
+        match self.free.pop() {
+            Some(v) => {
+                stats.record_pool(true);
+                v
+            }
+            None => {
+                stats.record_pool(false);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns a consumed batch's payload vector to its allocating
+    /// machine's free list (or our own, for locally produced vectors).
+    /// If the owner already left the mesh the capacity is simply dropped.
+    pub fn recycle(&mut self, batch: Batch<T>) {
+        self.recycle_vec(batch.from, batch.items);
+    }
+
+    /// Returns a bare payload vector allocated by machine `owner`.
+    pub fn recycle_vec(&mut self, owner: usize, mut items: Vec<T>) {
+        items.clear();
+        if items.capacity() == 0 {
+            return;
+        }
+        if owner == self.me {
+            self.free.push(items);
+        } else {
+            let _ = self.ret_txs[owner].send(items);
+        }
     }
 
     /// Sends an out-of-band batch to `dst`, charging `bytes_per_item · len`
@@ -68,6 +195,28 @@ impl<T: Send> Endpoint<T> {
         stats: &NetStats,
     ) -> Result<(), CommError> {
         self.send_tagged(dst, items, sim_now, ASYNC_ROUND, phase, bytes_per_item, stats)
+    }
+
+    /// Pooled variant of [`Self::send`] for engines that stage into an
+    /// [`OutboxSet`]: ships `outboxes[dst]` if non-empty, refilling the
+    /// slot from the buffer pool so staging capacity carries forward.
+    /// Returns whether a batch was actually sent.
+    pub fn send_staged(
+        &mut self,
+        outboxes: &mut OutboxSet<T>,
+        dst: usize,
+        sim_now: f64,
+        phase: Phase,
+        bytes_per_item: usize,
+        stats: &NetStats,
+    ) -> Result<bool, CommError> {
+        if outboxes.staged(dst).is_empty() {
+            return Ok(false);
+        }
+        let replacement = self.take_buffer(stats);
+        let items = std::mem::replace(outboxes.slot(dst), replacement);
+        self.send_tagged(dst, items, sim_now, ASYNC_ROUND, phase, bytes_per_item, stats)?;
+        Ok(true)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -100,8 +249,8 @@ impl<T: Send> Endpoint<T> {
     /// Blocking receive of the next batch of any round. Fails with
     /// [`CommError::MeshClosed`] if every peer endpoint has been dropped.
     pub fn recv(&mut self) -> Result<Batch<T>, CommError> {
-        if !self.pending.is_empty() {
-            return Ok(self.pending.remove(0));
+        if let Some(b) = self.pending.pop_front() {
+            return Ok(b);
         }
         self.rx.recv().map_err(|_| CommError::MeshClosed { me: self.me })
     }
@@ -114,7 +263,7 @@ impl<T: Send> Endpoint<T> {
     /// more work can still arrive.
     pub fn try_recv(&mut self) -> Option<Batch<T>> {
         if let Some(pos) = self.pending.iter().position(|b| b.round == ASYNC_ROUND) {
-            return Some(self.pending.remove(pos));
+            return self.pending.remove(pos);
         }
         match self.rx.try_recv() {
             Ok(b) => Some(b),
@@ -133,30 +282,33 @@ impl<T: Send> Endpoint<T> {
     /// two hops of mirrors-to-master coherency) safe.
     pub fn exchange(
         &mut self,
-        mut outboxes: Vec<Vec<T>>,
+        outboxes: &mut OutboxSet<T>,
         sim_now: f64,
         phase: Phase,
         bytes_per_item: usize,
         stats: &NetStats,
     ) -> Result<Vec<Batch<T>>, CommError> {
-        assert_eq!(outboxes.len(), self.n, "need one outbox per machine");
+        assert_eq!(outboxes.num_machines(), self.n, "need one outbox per machine");
         let round = self.next_round;
         self.next_round += 1;
-        for (dst, outbox) in outboxes.iter_mut().enumerate() {
+        for dst in 0..self.n {
             if dst == self.me {
                 continue;
             }
-            let items = std::mem::take(outbox);
+            // The staged vector goes on the wire; the slot is refilled from
+            // the pool so next round's staging reuses travelled capacity.
+            let replacement = self.take_buffer(stats);
+            let items = std::mem::replace(outboxes.slot(dst), replacement);
             self.send_tagged(dst, items, sim_now, round, phase, bytes_per_item, stats)?;
         }
         let mut received = Vec::with_capacity(self.n - 1);
-        // First collect any buffered batches for this round.
-        let mut i = 0;
-        while i < self.pending.len() {
-            if self.pending[i].round == round {
-                received.push(self.pending.remove(i));
-            } else {
-                i += 1;
+        // Single rotation pass over the ahead-of-round buffer: matching
+        // batches move to `received`, the rest keep their FIFO order.
+        for _ in 0..self.pending.len() {
+            match self.pending.pop_front() {
+                Some(b) if b.round == round => received.push(b),
+                Some(b) => self.pending.push_back(b),
+                None => break,
             }
         }
         while received.len() < self.n - 1 {
@@ -167,7 +319,7 @@ impl<T: Send> Endpoint<T> {
             if b.round == round {
                 received.push(b);
             } else {
-                self.pending.push(b);
+                self.pending.push_back(b);
             }
         }
         // Arrival order depends on peer scheduling; sender order does not.
@@ -181,30 +333,31 @@ impl<T: Send> Endpoint<T> {
 /// Builds the full mesh and hands out per-machine endpoints.
 pub fn build_mesh<T: Send>(n: usize) -> Vec<Endpoint<T>> {
     assert!(n > 0);
-    let mut txs_all: Vec<Vec<Sender<Batch<T>>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
     let mut rxs: Vec<Receiver<Batch<T>>> = Vec::with_capacity(n);
     let mut channel_txs: Vec<Sender<Batch<T>>> = Vec::with_capacity(n);
+    let mut ret_rxs: Vec<Receiver<Vec<T>>> = Vec::with_capacity(n);
+    let mut ret_channel_txs: Vec<Sender<Vec<T>>> = Vec::with_capacity(n);
     for _ in 0..n {
         let (tx, rx) = unbounded();
         channel_txs.push(tx);
         rxs.push(rx);
+        let (rtx, rrx) = unbounded();
+        ret_channel_txs.push(rtx);
+        ret_rxs.push(rrx);
     }
-    for txs in txs_all.iter_mut() {
-        for tx in &channel_txs {
-            txs.push(tx.clone());
-        }
-    }
-    txs_all
-        .into_iter()
-        .zip(rxs)
+    rxs.into_iter()
+        .zip(ret_rxs)
         .enumerate()
-        .map(|(me, (txs, rx))| Endpoint {
+        .map(|(me, (rx, ret_rx))| Endpoint {
             me,
             n,
-            txs,
+            txs: channel_txs.clone(),
             rx,
+            ret_txs: ret_channel_txs.clone(),
+            ret_rx,
+            free: Vec::new(),
             next_round: 0,
-            pending: Vec::new(),
+            pending: VecDeque::new(),
         })
         .collect()
 }
@@ -264,7 +417,10 @@ mod tests {
                                 }
                             })
                             .collect();
-                        let received = ep.exchange(outboxes, 0.0, Phase::Coherency, 8, &stats).unwrap();
+                        let mut outboxes = OutboxSet::from_boxes(outboxes);
+                        let received = ep
+                            .exchange(&mut outboxes, 0.0, Phase::Coherency, 8, &stats)
+                            .unwrap();
                         assert_eq!(received.len(), n - 1);
                         received
                             .iter()
@@ -295,7 +451,9 @@ mod tests {
         // must come back in sender order anyway.
         ep2.send_tagged(0, vec![22], 0.0, 0, Phase::Coherency, 4, &stats).unwrap();
         ep1.send_tagged(0, vec![11], 0.0, 0, Phase::Coherency, 4, &stats).unwrap();
-        let got = ep0.exchange(vec![vec![], vec![], vec![]], 0.0, Phase::Coherency, 4, &stats).unwrap();
+        let got = ep0
+            .exchange(&mut OutboxSet::new(3), 0.0, Phase::Coherency, 4, &stats)
+            .unwrap();
         assert_eq!(got.len(), 2);
         assert_eq!((got[0].from, got[0].items[0]), (1, 11));
         assert_eq!((got[1].from, got[1].items[0]), (2, 22));
@@ -310,11 +468,12 @@ mod tests {
         // Peer races ahead: its round-1 batch arrives before round 0.
         ep1.send_tagged(0, vec![201], 0.0, 1, Phase::Coherency, 4, &stats).unwrap();
         ep1.send_tagged(0, vec![100], 0.0, 0, Phase::Coherency, 4, &stats).unwrap();
-        let r0 = ep0.exchange(vec![vec![], vec![]], 0.0, Phase::Coherency, 4, &stats).unwrap();
+        let mut ob = OutboxSet::new(2);
+        let r0 = ep0.exchange(&mut ob, 0.0, Phase::Coherency, 4, &stats).unwrap();
         assert_eq!(r0[0].items, vec![100]);
         // The early batch sat in `pending` and satisfies round 1 without
         // touching the channel again.
-        let r1 = ep0.exchange(vec![vec![], vec![]], 0.0, Phase::Coherency, 4, &stats).unwrap();
+        let r1 = ep0.exchange(&mut ob, 0.0, Phase::Coherency, 4, &stats).unwrap();
         assert_eq!(r1[0].items, vec![201]);
     }
 
@@ -328,7 +487,9 @@ mod tests {
         ep1.send_tagged(0, vec![40], 0.0, 0, Phase::Coherency, 4, &stats).unwrap();
         ep1.send(0, vec![8], 0.0, Phase::Async, 4, &stats).unwrap();
         // The BSP exchange must skip over both out-of-band batches…
-        let got = ep0.exchange(vec![vec![], vec![]], 0.0, Phase::Coherency, 4, &stats).unwrap();
+        let got = ep0
+            .exchange(&mut OutboxSet::new(2), 0.0, Phase::Coherency, 4, &stats)
+            .unwrap();
         assert_eq!(got[0].items, vec![40]);
         // …and try_recv must then surface them, oldest first.
         assert_eq!(ep0.try_recv().unwrap().items, vec![7]);
@@ -346,7 +507,9 @@ mod tests {
         ep1.send(0, vec![1], 0.0, Phase::Async, 4, &stats).unwrap();
         ep1.send(0, vec![2], 0.0, Phase::Async, 4, &stats).unwrap();
         ep1.send_tagged(0, vec![50], 0.0, 0, Phase::Coherency, 4, &stats).unwrap();
-        let _ = ep0.exchange(vec![vec![], vec![]], 0.0, Phase::Coherency, 4, &stats).unwrap();
+        let _ = ep0
+            .exchange(&mut OutboxSet::new(2), 0.0, Phase::Coherency, 4, &stats)
+            .unwrap();
         // …then a fresh channel batch arrives behind them.
         ep1.send(0, vec![3], 0.0, Phase::Async, 4, &stats).unwrap();
         // Termination-time drain sees every batch exactly once, FIFO.
@@ -357,6 +520,95 @@ mod tests {
     }
 
     #[test]
+    fn racing_rounds_collect_in_one_pass_and_keep_fifo_order() {
+        // A peer races three rounds ahead and interleaves an out-of-band
+        // batch; each exchange must pull exactly its round out of `pending`
+        // while the remaining stragglers keep their arrival order.
+        let mut eps = build_mesh::<u32>(2);
+        let ep1 = eps.pop().unwrap();
+        let mut ep0 = eps.pop().unwrap();
+        let stats = NetStats::new();
+        ep1.send_tagged(0, vec![22], 0.0, 2, Phase::Coherency, 4, &stats).unwrap();
+        ep1.send(0, vec![99], 0.0, Phase::Async, 4, &stats).unwrap();
+        ep1.send_tagged(0, vec![11], 0.0, 1, Phase::Coherency, 4, &stats).unwrap();
+        ep1.send_tagged(0, vec![0], 0.0, 0, Phase::Coherency, 4, &stats).unwrap();
+        let mut ob = OutboxSet::new(2);
+        let r0 = ep0.exchange(&mut ob, 0.0, Phase::Coherency, 4, &stats).unwrap();
+        assert_eq!(r0[0].items, vec![0]);
+        // Rounds 1 and 2 plus the async batch now sit in `pending`.
+        assert_eq!(ep0.pending.len(), 3);
+        let r1 = ep0.exchange(&mut ob, 0.0, Phase::Coherency, 4, &stats).unwrap();
+        assert_eq!(r1[0].items, vec![11]);
+        let r2 = ep0.exchange(&mut ob, 0.0, Phase::Coherency, 4, &stats).unwrap();
+        assert_eq!(r2[0].items, vec![22]);
+        // The out-of-band batch survived all three rotation passes.
+        assert_eq!(ep0.try_recv().unwrap().items, vec![99]);
+        assert!(ep0.try_recv().is_none());
+    }
+
+    #[test]
+    fn buffer_pool_round_trips_capacity_through_the_mesh() {
+        let mut eps = build_mesh::<u32>(2);
+        let mut ep1 = eps.pop().unwrap();
+        let mut ep0 = eps.pop().unwrap();
+        let stats = NetStats::new();
+        let mut ob = OutboxSet::new(2);
+        ob.slot(1).reserve(64);
+
+        // Round 0: ep0's big staged vector travels to ep1…
+        ep1.send_tagged(0, vec![9], 0.0, 0, Phase::Coherency, 4, &stats).unwrap();
+        ob.push(1, 5);
+        let got = ep0.exchange(&mut ob, 0.0, Phase::Coherency, 4, &stats).unwrap();
+        assert_eq!(got[0].items, vec![9]);
+        let travelled = ep1.recv().unwrap();
+        assert_eq!(travelled.items, vec![5]);
+        assert!(travelled.items.capacity() >= 64);
+        // …and ep1 hands it back to its allocator once drained.
+        ep1.recycle(travelled);
+
+        // Round 1: ep0's pool pulls the vector home; the outbox slot gets
+        // its 64-slot capacity back without any new allocation.
+        ep1.send_tagged(0, vec![10], 0.0, 1, Phase::Coherency, 4, &stats).unwrap();
+        let _ = ep0.exchange(&mut ob, 0.0, Phase::Coherency, 4, &stats).unwrap();
+        assert!(ob.total_capacity() >= 64, "recycled capacity must carry forward");
+        let snap = stats.snapshot();
+        assert_eq!(snap.pool_hits, 1, "round 1 must reuse the travelled vector");
+        assert_eq!(snap.pool_misses, 1, "only round 0 may allocate");
+    }
+
+    #[test]
+    fn recycle_own_vectors_feeds_local_free_list() {
+        let mut eps = build_mesh::<u32>(1);
+        let mut ep = eps.pop().unwrap();
+        let stats = NetStats::new();
+        let mut v = ep.take_buffer(&stats);
+        v.extend([1, 2, 3]);
+        let cap = v.capacity();
+        ep.recycle_vec(0, v);
+        let v2 = ep.take_buffer(&stats);
+        assert!(v2.is_empty());
+        assert_eq!(v2.capacity(), cap);
+        let snap = stats.snapshot();
+        assert_eq!((snap.pool_hits, snap.pool_misses), (1, 1));
+    }
+
+    #[test]
+    fn outbox_set_staging_helpers() {
+        let mut ob = OutboxSet::new(3);
+        assert_eq!(ob.num_machines(), 3);
+        ob.push(1, 10u32);
+        ob.push(1, 20);
+        ob.push(2, 30);
+        assert_eq!(ob.total_staged(), 3);
+        assert_eq!(ob.staged(1), &[10, 20]);
+        *ob.last_mut(1).unwrap() += 5;
+        assert_eq!(ob.staged(1), &[10, 25]);
+        assert!(ob.last_mut(0).is_none());
+        ob.clear();
+        assert_eq!(ob.total_staged(), 0);
+    }
+
+    #[test]
     fn multiple_rounds_fifo() {
         let eps = build_mesh::<u32>(2);
         let stats = Arc::new(NetStats::new());
@@ -364,12 +616,14 @@ mod tests {
             for mut ep in eps {
                 let stats = stats.clone();
                 s.spawn(move || {
+                    let mut ob = OutboxSet::new(2);
                     for round in 0..100u32 {
-                        let outboxes = (0..2)
-                            .map(|d| if d == ep.me() { vec![] } else { vec![round] })
-                            .collect();
-                        let got = ep.exchange(outboxes, 0.0, Phase::Async, 4, &stats).unwrap();
+                        ob.push(1 - ep.me(), round);
+                        let got = ep.exchange(&mut ob, 0.0, Phase::Async, 4, &stats).unwrap();
                         assert_eq!(got[0].items, vec![round], "round mixing detected");
+                        for b in got {
+                            ep.recycle(b);
+                        }
                     }
                 });
             }

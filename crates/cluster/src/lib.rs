@@ -20,7 +20,7 @@ pub mod stats;
 pub mod termination;
 
 pub use collective::Collective;
-pub use comm::{build_mesh, Batch, Endpoint};
+pub use comm::{build_mesh, Batch, Endpoint, OutboxSet};
 pub use costmodel::{CostModel, SimClock};
 pub use error::CommError;
 pub use pool::ThreadPool;

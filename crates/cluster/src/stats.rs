@@ -58,6 +58,10 @@ pub struct NetStats {
     global_syncs: AtomicU64,
     edges_processed: AtomicU64,
     applies: AtomicU64,
+    items_combined: AtomicU64,
+    bytes_saved: AtomicU64,
+    pool_hits: AtomicU64,
+    pool_misses: AtomicU64,
 }
 
 impl NetStats {
@@ -94,6 +98,28 @@ impl NetStats {
         self.applies.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `items` contributions folded into an existing wire item by
+    /// the exchange fast path (sender-side `⊕` combining), saving `bytes`
+    /// of wire payload versus shipping each contribution separately.
+    #[inline]
+    pub fn record_combined(&self, items: u64, bytes: u64) {
+        if items != 0 {
+            self.items_combined.fetch_add(items, Ordering::Relaxed);
+            self.bytes_saved.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one buffer-pool acquisition: `hit` means a recycled vector
+    /// was reused, a miss means the pool had to allocate.
+    #[inline]
+    pub fn record_pool(&self, hit: bool) {
+        if hit {
+            self.pool_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.pool_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// A consistent snapshot (exact once all machine threads have joined).
     pub fn snapshot(&self) -> StatsSnapshot {
         let mut per_phase = [PhaseStats::default(); NUM_PHASES];
@@ -107,6 +133,10 @@ impl NetStats {
             global_syncs: self.global_syncs.load(Ordering::Relaxed),
             edges_processed: self.edges_processed.load(Ordering::Relaxed),
             applies: self.applies.load(Ordering::Relaxed),
+            items_combined: self.items_combined.load(Ordering::Relaxed),
+            bytes_saved: self.bytes_saved.load(Ordering::Relaxed),
+            pool_hits: self.pool_hits.load(Ordering::Relaxed),
+            pool_misses: self.pool_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -126,6 +156,15 @@ pub struct StatsSnapshot {
     pub global_syncs: u64,
     pub edges_processed: u64,
     pub applies: u64,
+    /// Contributions folded into an existing wire item before enqueue
+    /// (sender-side combining + deltaMsg pre-accumulation).
+    pub items_combined: u64,
+    /// Wire payload bytes those folds avoided shipping.
+    pub bytes_saved: u64,
+    /// Buffer-pool acquisitions served from a recycled vector.
+    pub pool_hits: u64,
+    /// Buffer-pool acquisitions that had to allocate.
+    pub pool_misses: u64,
 }
 
 impl StatsSnapshot {
@@ -192,6 +231,22 @@ mod tests {
         let snap = s.snapshot();
         assert_eq!(snap.phase(Phase::Async).batches, 4000);
         assert_eq!(snap.phase(Phase::Async).bytes, 64_000);
+    }
+
+    #[test]
+    fn fast_path_counters_accumulate() {
+        let s = NetStats::new();
+        s.record_combined(3, 36);
+        s.record_combined(0, 999); // no-op: nothing was folded
+        s.record_combined(2, 24);
+        s.record_pool(true);
+        s.record_pool(true);
+        s.record_pool(false);
+        let snap = s.snapshot();
+        assert_eq!(snap.items_combined, 5);
+        assert_eq!(snap.bytes_saved, 60);
+        assert_eq!(snap.pool_hits, 2);
+        assert_eq!(snap.pool_misses, 1);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use std::sync::Arc;
 
 use lazygraph_cluster::{
-    build_mesh, CommError, CostModel, Endpoint, NetStats, Phase, SimClock, Termination,
+    build_mesh, CommError, CostModel, Endpoint, NetStats, OutboxSet, Phase, SimClock, Termination,
 };
 use lazygraph_partition::{DistributedGraph, LocalShard};
 
@@ -94,12 +94,19 @@ fn machine_loop<P: VertexProgram>(
     let update_bytes = program.vdata_bytes() + std::mem::size_of::<P::Delta>();
     let mut scatter_tasks: Vec<(u32, P::Delta)> = Vec::new();
     let mut idle = false;
+    // Persistent staging: pump flushes refill shipped slots from the
+    // endpoint's buffer pool, so steady-state pumps allocate nothing.
+    let mut outboxes: OutboxSet<(u32, SyncMsg<P>)> = OutboxSet::new(n);
 
     loop {
         let mut progressed = false;
 
         // ---- Drain the network. -----------------------------------------
-        while let Some(batch) = ep.try_recv() {
+        // Accum/Update translation stays serial per batch — Updates
+        // overwrite `vdata` in place, and async batches are small by
+        // design — but `local_of` is now a dense-table index, and drained
+        // buffers recycle back to their senders.
+        while let Some(mut batch) = ep.try_recv() {
             if idle {
                 term.leave_idle();
                 idle = false;
@@ -107,7 +114,7 @@ fn machine_loop<P: VertexProgram>(
             let bytes = batch.items.len() * update_bytes;
             clock.merge(batch.sent_at + cost.async_batch_time(bytes as u64));
             let mut accums: Vec<(u32, P::Delta)> = Vec::new();
-            for (gid, msg) in batch.items {
+            for (gid, msg) in batch.items.drain(..) {
                 let l = shard
                     .local_of(gid.into())
                     .expect("async message routed to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
@@ -125,6 +132,7 @@ fn machine_loop<P: VertexProgram>(
                 }
             }
             state.deliver_all(program, &pctx, accums);
+            ep.recycle(batch);
             term.note_delivered(1);
             progressed = true;
         }
@@ -136,7 +144,6 @@ fn machine_loop<P: VertexProgram>(
                 idle = false;
             }
             progressed = true;
-            let mut outboxes: Vec<Vec<(u32, SyncMsg<P>)>> = (0..n).map(|_| Vec::new()).collect();
             let mut edges = 0u64;
             let mut applies = 0u64;
 
@@ -220,13 +227,16 @@ fn machine_loop<P: VertexProgram>(
                         applies += 1;
                         let gid = shard.global_of(l).0;
                         for &m in shard.mirrors[l as usize].iter() {
-                            outboxes[m.index()].push((
-                                gid,
-                                SyncMsg::Update {
-                                    data: data.clone(),
-                                    scatter: d,
-                                },
-                            ));
+                            outboxes.push(
+                                m.index(),
+                                (
+                                    gid,
+                                    SyncMsg::Update {
+                                        data: data.clone(),
+                                        scatter: d,
+                                    },
+                                ),
+                            );
                         }
                         state.vdata[l as usize] = data;
                         if let Some(d) = d {
@@ -237,8 +247,10 @@ fn machine_loop<P: VertexProgram>(
                         state.message[l as usize] = None;
                         state.active[l as usize] = false;
                         let gid = shard.global_of(l).0;
-                        outboxes[shard.master_of[l as usize].index()]
-                            .push((gid, SyncMsg::Accum(accum)));
+                        outboxes.push(
+                            shard.master_of[l as usize].index(),
+                            (gid, SyncMsg::Accum(accum)),
+                        );
                     }
                     Pump::Quiet { l } => {
                         state.active[l as usize] = false;
@@ -249,14 +261,14 @@ fn machine_loop<P: VertexProgram>(
             stats.record_applies(applies);
             clock.advance(cost.compute_time(edges) + cost.apply_time(applies));
             // Flush: one batch per destination per pump, each paying the
-            // per-message overhead.
-            for (dst, items) in outboxes.into_iter().enumerate() {
-                if dst == shard.machine.index() || items.is_empty() {
+            // per-message overhead; slots refill from the buffer pool.
+            for dst in 0..n {
+                if dst == shard.machine.index() || outboxes.staged(dst).is_empty() {
                     continue;
                 }
                 term.note_sent(1);
                 clock.advance(cost.async_send_cpu);
-                ep.send(dst, items, clock.now(), Phase::Async, update_bytes, &stats)?;
+                ep.send_staged(&mut outboxes, dst, clock.now(), Phase::Async, update_bytes, &stats)?;
             }
         }
 

@@ -114,6 +114,11 @@ pub struct EngineConfig {
     /// Vertices per work block handed to the machine-local pool. Also
     /// never changes results; tune for load balance vs dispatch overhead.
     pub block_size: usize,
+    /// Use the zero-allocation exchange fast path (sender-side `⊕`
+    /// combining + block-parallel inbound routing; DESIGN.md §9). Bitwise
+    /// result-identical to the naive path — the `false` setting exists
+    /// for the equivalence tests and as a diagnostics escape hatch.
+    pub exchange_fast: bool,
 }
 
 impl EngineConfig {
@@ -134,6 +139,7 @@ impl EngineConfig {
             hybrid_switch_threshold: 0.05,
             threads_per_machine: 0,
             block_size: DEFAULT_BLOCK_SIZE,
+            exchange_fast: true,
         }
     }
 
@@ -222,6 +228,13 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style override of the exchange fast path (see
+    /// [`Self::exchange_fast`]).
+    pub fn with_exchange_fast(mut self, fast: bool) -> Self {
+        self.exchange_fast = fast;
+        self
+    }
+
     /// Resolves `threads_per_machine` for a run on `num_machines` simulated
     /// machines: explicit setting wins, then the `LAZYGRAPH_THREADS` /
     /// `RAYON_NUM_THREADS` environment knobs, then an even split of the
@@ -293,6 +306,12 @@ mod tests {
         // More machines never resolve to more threads each.
         assert!(auto.resolve_threads(1024) >= 1);
         assert!(auto.resolve_threads(1) >= auto.resolve_threads(1024));
+    }
+
+    #[test]
+    fn exchange_fast_defaults_on() {
+        assert!(EngineConfig::lazygraph().exchange_fast);
+        assert!(!EngineConfig::lazygraph().with_exchange_fast(false).exchange_fast);
     }
 
     #[test]

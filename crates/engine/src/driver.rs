@@ -75,6 +75,7 @@ pub fn run_on<P: VertexProgram>(
                     cfg.cost,
                     cfg.max_iterations,
                     par,
+                    cfg.exchange_fast,
                     stats.clone(),
                     breakdown.clone(),
                     cfg.record_history.then(|| history.clone()),
@@ -94,6 +95,7 @@ pub fn run_on<P: VertexProgram>(
                     interval: cfg.interval,
                     delta_suppression: cfg.delta_suppression,
                     record_history: cfg.record_history,
+                    exchange_fast: cfg.exchange_fast,
                 };
                 let (values, iters, converged, sim, c) = run_lazy_block_engine(
                     dg,

@@ -1,0 +1,235 @@
+//! The zero-allocation exchange fast path shared by the engines.
+//!
+//! Every coherency point (and every sync-engine phase) is an exchange of
+//! keyed delta items, and three per-item costs used to dominate it:
+//! fresh outbox allocation each phase, a serial hash lookup per inbound
+//! item, and bucketing each item twice (once to translate, once inside
+//! `deliver_all`). The fast path removes all three:
+//!
+//! 1. **Pooled outboxes** — engines stage into a persistent
+//!    [`OutboxSet`](lazygraph_cluster::OutboxSet); `Endpoint::exchange`
+//!    refills each shipped slot from the endpoint's buffer pool, and
+//!    receivers [`recycle`](lazygraph_cluster::Endpoint::recycle) drained
+//!    batches back to their senders, so steady-state rounds allocate
+//!    nothing.
+//! 2. **Sender-side combining** ([`stage_combining`]) — consecutive items
+//!    staged for the same `(dst, gid)` fold with `program.sum` before
+//!    they ever reach the wire. Engines stage in canonical (ascending
+//!    local id) order, so adjacent-run combining is exhaustive per key
+//!    and the receiver's left-fold association is unchanged.
+//! 3. **Parallel inbound routing** ([`route_inbound`]) — one block-parallel
+//!    translate-and-bucket pass over the received batches, feeding
+//!    [`MachineState::deliver_segments`](crate::state::MachineState::deliver_segments)
+//!    directly. The gid → local translation reads the shard's dense route
+//!    table (`LocalShard::local_of`, an array index since PR 3), not a
+//!    hash map.
+//!
+//! Determinism: the router preserves (batch order, item order) within
+//! each target block, and batches arrive sorted by sender, so per-vertex
+//! fold order is exactly the serial translate-then-deliver order —
+//! bitwise-identical at any thread count. DESIGN.md §9 is the full
+//! contract.
+
+use lazygraph_cluster::Batch;
+
+use crate::parallel::ParallelCtx;
+use crate::program::VertexProgram;
+
+/// Routed inbound items: `[target block][segment][item]`, where each
+/// segment is one batch's contribution to that block, in batch order.
+/// Consumed by
+/// [`MachineState::deliver_segments`](crate::state::MachineState::deliver_segments).
+pub type RoutedSegments<D> = Vec<Vec<Vec<(u32, D)>>>;
+
+/// Stages `(gid, d)` for `dst`, folding into the previously staged item
+/// when it carries the same gid (sender-side `⊕` combining). Returns
+/// `true` iff the item was folded rather than pushed — the caller counts
+/// those into [`NetStats::record_combined`](lazygraph_cluster::NetStats).
+///
+/// Only *adjacent* duplicates combine, which is exhaustive because every
+/// engine stages its coherency decisions in ascending local-id order
+/// (equal to ascending gid order within a destination). Folding adjacent
+/// items of a stream never changes the receiver's left-fold result for
+/// an associative `⊕`, so combined and uncombined streams deliver
+/// bitwise-identical accumulators.
+#[inline]
+pub fn stage_combining<P: VertexProgram>(
+    program: &P,
+    outboxes: &mut lazygraph_cluster::OutboxSet<(u32, P::Delta)>,
+    dst: usize,
+    gid: u32,
+    d: P::Delta,
+) -> bool {
+    if let Some((last_gid, last_d)) = outboxes.last_mut(dst) {
+        if *last_gid == gid {
+            *last_d = program.sum(*last_d, d);
+            return true;
+        }
+    }
+    outboxes.push(dst, (gid, d));
+    false
+}
+
+/// Block-parallel translate-and-bucket over received batches: the
+/// replacement for the serial per-item `local_of` + push loop.
+///
+/// Each batch is drained by one pool task (batches are disjoint, so this
+/// needs no locking); every item goes through `translate` — typically a
+/// dense route-table lookup plus `program.gather` — and lands in that
+/// task's per-block bucket. `translate` returning `None` drops the item
+/// (unroutable or filtered), keeping the hot loop panic-free. The
+/// per-batch buckets are then stitched into per-block *segment lists* in
+/// batch order, ready for
+/// [`MachineState::deliver_segments`](crate::state::MachineState::deliver_segments):
+/// no second bucketing pass, and per-vertex fold order is identical to
+/// translating the batches serially in order.
+///
+/// Drained batches keep their capacity; the caller recycles them back to
+/// their senders via [`Endpoint::recycle`](lazygraph_cluster::Endpoint::recycle).
+pub fn route_inbound<T, D, F>(
+    pctx: &ParallelCtx,
+    num_local: usize,
+    batches: &mut [Batch<T>],
+    translate: F,
+) -> RoutedSegments<D>
+where
+    T: Send,
+    D: Send,
+    F: Fn(T) -> Option<(u32, D)> + Sync,
+{
+    let bs = pctx.block_size().max(1);
+    let num_blocks = num_local.div_ceil(bs).max(1);
+    let per_batch: Vec<Vec<Vec<(u32, D)>>> = pctx.pool().map(
+        batches.iter_mut().collect::<Vec<_>>(),
+        |batch| {
+            let mut buckets: Vec<Vec<(u32, D)>> = (0..num_blocks).map(|_| Vec::new()).collect();
+            for item in batch.items.drain(..) {
+                if let Some((l, d)) = translate(item) {
+                    // Out-of-range l means a corrupt route table; drop
+                    // rather than panic in the hot loop (debug builds
+                    // still catch it in deliver_segments).
+                    if let Some(bucket) = buckets.get_mut(l as usize / bs) {
+                        bucket.push((l, d));
+                    }
+                }
+            }
+            buckets
+        },
+    );
+    // Transpose [batch][block] → [block][segment], batch order preserved.
+    let mut per_block: RoutedSegments<D> = (0..num_blocks).map(|_| Vec::new()).collect();
+    for buckets in per_batch {
+        for (b, segment) in buckets.into_iter().enumerate() {
+            if !segment.is_empty() {
+                per_block[b].push(segment);
+            }
+        }
+    }
+    per_block
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::{ParallelConfig, ParallelCtx};
+    use crate::program::{EdgeCtx, VertexCtx};
+    use lazygraph_cluster::OutboxSet;
+    use lazygraph_graph::VertexId;
+
+    struct Sum;
+    impl VertexProgram for Sum {
+        type VData = u64;
+        type Delta = u64;
+        fn name(&self) -> &'static str {
+            "sum"
+        }
+        fn init_data(&self, _v: VertexId, _c: &VertexCtx) -> u64 {
+            0
+        }
+        fn init_message(&self, _v: VertexId, _c: &VertexCtx) -> Option<u64> {
+            None
+        }
+        fn sum(&self, a: u64, b: u64) -> u64 {
+            a + b
+        }
+        fn inverse(&self, accum: u64, a: u64) -> u64 {
+            accum - a
+        }
+        fn apply(&self, _v: VertexId, d: &mut u64, a: u64, _c: &VertexCtx) -> Option<u64> {
+            *d += a;
+            None
+        }
+        fn scatter(
+            &self,
+            _v: VertexId,
+            _d: &u64,
+            x: u64,
+            _c: &VertexCtx,
+            _e: &EdgeCtx,
+        ) -> Option<u64> {
+            Some(x)
+        }
+    }
+
+    #[test]
+    fn stage_combining_folds_adjacent_keys_only() {
+        let mut out = OutboxSet::new(2);
+        assert!(!stage_combining(&Sum, &mut out, 1, 7, 10));
+        assert!(stage_combining(&Sum, &mut out, 1, 7, 5)); // adjacent dup folds
+        assert!(!stage_combining(&Sum, &mut out, 1, 9, 1));
+        assert!(!stage_combining(&Sum, &mut out, 1, 7, 2)); // non-adjacent: new item
+        assert!(!stage_combining(&Sum, &mut out, 0, 7, 3)); // other dst untouched
+        assert_eq!(out.staged(1), &[(7, 15), (9, 1), (7, 2)]);
+        assert_eq!(out.staged(0), &[(7, 3)]);
+    }
+
+    #[test]
+    fn route_inbound_preserves_batch_then_item_order() {
+        // 3 batches (already sender-sorted), gid == local id, 2 blocks.
+        let mk = |from: usize, items: Vec<(u32, u64)>| Batch {
+            from,
+            sent_at: 0.0,
+            round: 0,
+            items,
+        };
+        for threads in [1, 4] {
+            let pctx = ParallelCtx::new(ParallelConfig {
+                threads,
+                block_size: 4,
+            });
+            let mut batches = vec![
+                mk(0, vec![(0, 1), (5, 2), (1, 3)]),
+                mk(1, vec![(5, 4), (0, 5)]),
+                mk(2, vec![(7, 6)]),
+            ];
+            let segments = route_inbound(&pctx, 8, &mut batches, |(gid, d): (u32, u64)| {
+                Some((gid, d * 10))
+            });
+            assert_eq!(segments.len(), 2);
+            // Block 0: batch 0's items in order, then batch 1's.
+            assert_eq!(segments[0], vec![vec![(0, 10), (1, 30)], vec![(0, 50)]]);
+            // Block 1 gets one segment per contributing batch, in order.
+            assert_eq!(segments[1], vec![vec![(5, 20)], vec![(5, 40)], vec![(7, 60)]]);
+            // Batches were drained in place (capacity recyclable).
+            assert!(batches.iter().all(|b| b.items.is_empty()));
+        }
+    }
+
+    #[test]
+    fn route_inbound_drops_untranslatable_items() {
+        let pctx = ParallelCtx::new(ParallelConfig {
+            threads: 2,
+            block_size: 4,
+        });
+        let mut batches = vec![Batch {
+            from: 0,
+            sent_at: 0.0,
+            round: 0,
+            items: vec![(0u32, 1u64), (99, 2), (3, 3)],
+        }];
+        let segments = route_inbound(&pctx, 4, &mut batches, |(gid, d): (u32, u64)| {
+            (gid < 4).then_some((gid, d))
+        });
+        assert_eq!(segments, vec![vec![vec![(0, 1), (3, 3)]]]);
+    }
+}

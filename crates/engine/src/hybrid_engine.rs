@@ -20,7 +20,7 @@
 use std::sync::Arc;
 
 use lazygraph_cluster::{
-    build_mesh, Collective, CommError, CostModel, Endpoint, NetStats, Phase, SimClock,
+    build_mesh, Collective, CommError, CostModel, Endpoint, NetStats, OutboxSet, Phase, SimClock,
     Termination,
 };
 use lazygraph_partition::{DistributedGraph, LocalShard};
@@ -121,12 +121,15 @@ fn machine_loop<P: VertexProgram>(
     let mut master_worklist: Vec<u32> = Vec::new();
     let mut supersteps = 0u64;
     let mut switched = false;
+    // Persistent outbox set shared by both phases: exchange/send_staged
+    // refill shipped slots from the endpoint's buffer pool, so
+    // steady-state supersteps (and async pumps) allocate nothing.
+    let mut outboxes: OutboxSet<(u32, SyncMsg<P>)> = OutboxSet::new(n);
 
     // ---- Phase A: eager BSP supersteps while the frontier is dense. ----
     'bsp: while supersteps < params.max_iterations {
         supersteps += 1;
         // Gather: mirrors forward to masters.
-        let mut outboxes: Vec<Vec<(u32, SyncMsg<P>)>> = (0..n).map(|_| Vec::new()).collect();
         let mut sent = 0u64;
         master_worklist.clear();
         for l in state.take_queue() {
@@ -134,21 +137,24 @@ fn machine_loop<P: VertexProgram>(
                 master_worklist.push(l);
             } else if let Some(d) = state.message[l as usize].take() {
                 state.active[l as usize] = false;
-                outboxes[shard.master_of[l as usize].index()]
-                    .push((shard.global_of(l).0, SyncMsg::Accum(d)));
+                outboxes.push(
+                    shard.master_of[l as usize].index(),
+                    (shard.global_of(l).0, SyncMsg::Accum(d)),
+                );
                 sent += delta_bytes as u64;
             } else {
                 state.active[l as usize] = false;
             }
         }
-        for batch in ep.exchange(outboxes, clock.now(), Phase::Gather, delta_bytes, &stats)? {
+        for mut batch in ep.exchange(&mut outboxes, clock.now(), Phase::Gather, delta_bytes, &stats)? {
             clock.merge(batch.sent_at);
-            for (gid, msg) in batch.items {
+            for (gid, msg) in batch.items.drain(..) {
                 if let SyncMsg::Accum(d) = msg {
                     let l = shard.local_of(gid.into()).expect("accum to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
                     state.deliver(program, l, program.gather(gid.into(), d));
                 }
             }
+            ep.recycle(batch);
         }
         master_worklist.extend(state.take_queue());
         bsp.sync(
@@ -161,7 +167,6 @@ fn machine_loop<P: VertexProgram>(
         )?;
 
         // Apply at masters + eager broadcast.
-        let mut outboxes: Vec<Vec<(u32, SyncMsg<P>)>> = (0..n).map(|_| Vec::new()).collect();
         let mut sent = 0u64;
         let mut applies = 0u64;
         for &l in &master_worklist {
@@ -175,13 +180,16 @@ fn machine_loop<P: VertexProgram>(
             let d = program.apply(v, &mut state.vdata[l as usize], accum, &ctx);
             applies += 1;
             for &m in shard.mirrors[l as usize].iter() {
-                outboxes[m.index()].push((
-                    v.0,
-                    SyncMsg::Update {
-                        data: state.vdata[l as usize].clone(),
-                        scatter: d,
-                    },
-                ));
+                outboxes.push(
+                    m.index(),
+                    (
+                        v.0,
+                        SyncMsg::Update {
+                            data: state.vdata[l as usize].clone(),
+                            scatter: d,
+                        },
+                    ),
+                );
                 sent += update_bytes as u64;
             }
             if let Some(d) = d {
@@ -190,9 +198,9 @@ fn machine_loop<P: VertexProgram>(
         }
         stats.record_applies(applies);
         clock.advance(params.cost.apply_time(applies));
-        for batch in ep.exchange(outboxes, clock.now(), Phase::Apply, update_bytes, &stats)? {
+        for mut batch in ep.exchange(&mut outboxes, clock.now(), Phase::Apply, update_bytes, &stats)? {
             clock.merge(batch.sent_at);
-            for (gid, msg) in batch.items {
+            for (gid, msg) in batch.items.drain(..) {
                 if let SyncMsg::Update { data, scatter } = msg {
                     let l = shard.local_of(gid.into()).expect("update to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
                     state.vdata[l as usize] = data;
@@ -201,6 +209,7 @@ fn machine_loop<P: VertexProgram>(
                     }
                 }
             }
+            ep.recycle(batch);
         }
         bsp.sync(
             &mut clock,
@@ -260,14 +269,14 @@ fn machine_loop<P: VertexProgram>(
         let mut idle = false;
         loop {
             let mut progressed = false;
-            while let Some(batch) = ep.try_recv() {
+            while let Some(mut batch) = ep.try_recv() {
                 if idle {
                     term.leave_idle();
                     idle = false;
                 }
                 let bytes = batch.items.len() * update_bytes;
                 clock.merge(batch.sent_at + params.cost.async_batch_time(bytes as u64));
-                for (gid, msg) in batch.items {
+                for (gid, msg) in batch.items.drain(..) {
                     let l = shard.local_of(gid.into()).expect("async to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
                     match msg {
                         SyncMsg::Accum(d) => {
@@ -281,6 +290,7 @@ fn machine_loop<P: VertexProgram>(
                         }
                     }
                 }
+                ep.recycle(batch);
                 term.note_delivered(1);
                 progressed = true;
             }
@@ -290,8 +300,6 @@ fn machine_loop<P: VertexProgram>(
                     idle = false;
                 }
                 progressed = true;
-                let mut outboxes: Vec<Vec<(u32, SyncMsg<P>)>> =
-                    (0..n).map(|_| Vec::new()).collect();
                 let mut edges = 0u64;
                 let mut applies = 0u64;
                 for (l, d) in scatter_tasks.drain(..) {
@@ -327,32 +335,44 @@ fn machine_loop<P: VertexProgram>(
                             program.apply(gid.into(), &mut state.vdata[l as usize], accum, &ctx);
                         applies += 1;
                         for &m in shard.mirrors[l as usize].iter() {
-                            outboxes[m.index()].push((
-                                gid,
-                                SyncMsg::Update {
-                                    data: state.vdata[l as usize].clone(),
-                                    scatter: d,
-                                },
-                            ));
+                            outboxes.push(
+                                m.index(),
+                                (
+                                    gid,
+                                    SyncMsg::Update {
+                                        data: state.vdata[l as usize].clone(),
+                                        scatter: d,
+                                    },
+                                ),
+                            );
                         }
                         if let Some(d) = d {
                             scatter_tasks.push((l, d));
                         }
                     } else {
-                        outboxes[shard.master_of[l as usize].index()]
-                            .push((gid, SyncMsg::Accum(accum)));
+                        outboxes.push(
+                            shard.master_of[l as usize].index(),
+                            (gid, SyncMsg::Accum(accum)),
+                        );
                     }
                 }
                 stats.record_edges(edges);
                 stats.record_applies(applies);
                 clock.advance(params.cost.compute_time(edges) + params.cost.apply_time(applies));
-                for (dst, items) in outboxes.into_iter().enumerate() {
-                    if dst == me || items.is_empty() {
+                for dst in 0..n {
+                    if dst == me || outboxes.staged(dst).is_empty() {
                         continue;
                     }
                     term.note_sent(1);
                     clock.advance(params.cost.async_send_cpu);
-                    ep.send(dst, items, clock.now(), Phase::Async, update_bytes, &stats)?;
+                    ep.send_staged(
+                        &mut outboxes,
+                        dst,
+                        clock.now(),
+                        Phase::Async,
+                        update_bytes,
+                        &stats,
+                    )?;
                 }
             }
             if !progressed {

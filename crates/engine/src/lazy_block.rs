@@ -22,15 +22,15 @@
 use std::sync::Arc;
 
 use lazygraph_cluster::{
-    build_mesh, Collective, CommError, CostModel, Endpoint, NetStats, Phase, SimClock,
+    build_mesh, Collective, CommError, CostModel, Endpoint, NetStats, OutboxSet, Phase, SimClock,
 };
-use lazygraph_graph::hash::FxHashMap;
-use lazygraph_partition::{DistributedGraph, EdgeMode, LocalShard};
+use lazygraph_partition::{DistributedGraph, EdgeMode, LocalShard, NO_LOCAL};
 use parking_lot::Mutex;
 
 use crate::bsp::{BspReduction, BspSync, CommCharge};
 use crate::comm_mode::{choose_mode, CommMode, VolumeEstimate};
 use crate::config::{CommModePolicy, IntervalPolicy};
+use crate::exchange::{route_inbound, stage_combining};
 use crate::interval::IntervalModel;
 use crate::metrics::{IterationRecord, SimBreakdown};
 use crate::parallel::{ParallelConfig, ParallelCtx};
@@ -68,6 +68,9 @@ pub struct LazyParams {
     pub delta_suppression: bool,
     /// Record a per-iteration trace on machine 0.
     pub record_history: bool,
+    /// Use the zero-allocation exchange fast path (DESIGN.md §9); the
+    /// naive path exists for equivalence tests and is bitwise-identical.
+    pub exchange_fast: bool,
 }
 
 /// `(values, supersteps, converged, sim_time, counters)` or the first
@@ -142,7 +145,10 @@ pub fn run_lazy_block_engine<P: VertexProgram>(
 /// delivery folds through [`MachineState::deliver_all_lazy`]. All applies
 /// see only worklist-time messages — same-sweep deliveries land in fresh
 /// inboxes for the next sweep — so the outcome is bitwise-identical at
-/// every thread count. Returns `(edges, applies)`.
+/// every thread count. Returns `(edges, applies, delta_folds)`, where
+/// `delta_folds` counts one-edge-mode deliveries folded into an occupied
+/// `deltaMsg` slot — contributions the coherency exchange will not ship
+/// as separate wire items (the fast path's `items_combined`).
 pub(crate) fn blocked_apply_scatter<P: VertexProgram>(
     shard: &LocalShard,
     state: &mut MachineState<P>,
@@ -151,7 +157,7 @@ pub(crate) fn blocked_apply_scatter<P: VertexProgram>(
     pctx: &ParallelCtx,
     worklist: &[u32],
     update_coherent: bool,
-) -> (u64, u64) {
+) -> (u64, u64, u64) {
     struct Block<P: VertexProgram> {
         commits: Vec<(u32, Option<P::VData>)>,
         deliveries: Vec<(u32, P::Delta, bool)>,
@@ -210,8 +216,8 @@ pub(crate) fn blocked_apply_scatter<P: VertexProgram>(
         }
         deliveries.extend(b.deliveries);
     }
-    state.deliver_all_lazy(program, pctx, deliveries);
-    (edges, applies)
+    let folds = state.deliver_all_lazy(program, pctx, deliveries);
+    (edges, applies, folds)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -238,6 +244,13 @@ fn machine_loop<P: VertexProgram>(
     let mut interval = IntervalModel::new(params.interval, ev_ratio);
     let delta_bytes = program.delta_bytes();
     let mut counters = LazyCounters::default();
+    // Persistent exchange state: staged outboxes keep their capacity
+    // across coherency points (exchange refills shipped slots from the
+    // buffer pool), and the m2m scratch arrays replace the per-call hash
+    // maps — zero steady-state allocation.
+    let mut outboxes: OutboxSet<(u32, P::Delta)> = OutboxSet::new(n);
+    let mut own_scratch: Vec<Option<P::Delta>> = vec![None; shard.num_local()];
+    let mut totals_scratch: Vec<Option<P::Delta>> = vec![None; shard.num_local()];
     let mut do_local = false;
     let mut iterations = 0u64;
     let mut converged = false;
@@ -265,7 +278,7 @@ fn machine_loop<P: VertexProgram>(
                 // decides which sub-round a scattered message lands in.
                 // Sorting makes the whole BSP engine bit-deterministic.
                 queue.sort_unstable();
-                let (edges, applies) = blocked_apply_scatter(
+                let (edges, applies, folds) = blocked_apply_scatter(
                     shard,
                     &mut state,
                     program,
@@ -276,6 +289,9 @@ fn machine_loop<P: VertexProgram>(
                 );
                 stats.record_edges(edges);
                 stats.record_applies(applies);
+                if params.exchange_fast {
+                    stats.record_combined(folds, folds * delta_bytes as u64);
+                }
                 clock.advance(params.cost.compute_time(edges) + params.cost.apply_time(applies));
                 counters.local_subrounds += 1;
                 if !interval.continue_local_stage(first_stage_time, clock.now() - stage_start) {
@@ -332,10 +348,11 @@ fn machine_loop<P: VertexProgram>(
                     program,
                     &pctx,
                     &mut ep,
+                    &mut outboxes,
                     &clock,
                     &stats,
-                    n,
                     params.delta_suppression,
+                    params.exchange_fast,
                 )?
             }
             CommMode::MirrorsToMaster => {
@@ -346,10 +363,13 @@ fn machine_loop<P: VertexProgram>(
                     program,
                     &pctx,
                     &mut ep,
+                    &mut outboxes,
+                    &mut own_scratch,
+                    &mut totals_scratch,
                     &clock,
                     &stats,
-                    n,
                     params.delta_suppression,
+                    params.exchange_fast,
                 )?
             }
         };
@@ -397,7 +417,7 @@ fn machine_loop<P: VertexProgram>(
         // snapshot and later suppress their own exchange.
         let mut queue = state.take_queue();
         queue.sort_unstable();
-        let (edges, applies) = blocked_apply_scatter(
+        let (edges, applies, folds) = blocked_apply_scatter(
             shard,
             &mut state,
             program,
@@ -408,6 +428,9 @@ fn machine_loop<P: VertexProgram>(
         );
         stats.record_edges(edges);
         stats.record_applies(applies);
+        if params.exchange_fast {
+            stats.record_combined(folds, folds * delta_bytes as u64);
+        }
         clock.advance(params.cost.compute_time(edges) + params.cost.apply_time(applies));
     }
 
@@ -426,6 +449,13 @@ fn machine_loop<P: VertexProgram>(
 
 /// All-to-all deltaMsg exchange (Fig. 5(a)): every delta-holding replica
 /// sends its delta straight to every sibling. Returns bytes sent locally.
+///
+/// With `fast` on, staging runs through [`stage_combining`] (decisions
+/// arrive in ascending local-id order, so duplicate keys would be
+/// adjacent) and inbound batches go through the block-parallel
+/// [`route_inbound`] → `deliver_segments` pipeline with drained buffers
+/// recycled to their senders. The naive branch is the pre-fast-path
+/// serial translate loop, kept for the equivalence tests.
 #[allow(clippy::too_many_arguments)]
 fn exchange_a2a<P: VertexProgram>(
     shard: &LocalShard,
@@ -433,14 +463,15 @@ fn exchange_a2a<P: VertexProgram>(
     program: &P,
     pctx: &ParallelCtx,
     ep: &mut Endpoint<(u32, P::Delta)>,
+    outboxes: &mut OutboxSet<(u32, P::Delta)>,
     clock: &SimClock,
     stats: &NetStats,
-    n: usize,
     suppression: bool,
+    fast: bool,
 ) -> Result<u64, CommError> {
     let delta_bytes = program.delta_bytes();
-    let mut outboxes: Vec<Vec<(u32, P::Delta)>> = (0..n).map(|_| Vec::new()).collect();
     let mut sent = 0u64;
+    let mut combined = 0u64;
     // Phase A (parallel): decide each replicated vertex's fate from a
     // read-only view. Phase B (block order): clear slots and fill
     // outboxes, so the wire byte stream is schedule-independent.
@@ -470,22 +501,47 @@ fn exchange_a2a<P: VertexProgram>(
         if let Some(d) = d {
             let gid = shard.global_of(l).0;
             for &m in shard.mirrors[l as usize].iter() {
-                outboxes[m.index()].push((gid, d));
+                if fast {
+                    if stage_combining(program, outboxes, m.index(), gid, d) {
+                        combined += 1;
+                        continue;
+                    }
+                } else {
+                    outboxes.push(m.index(), (gid, d));
+                }
                 sent += delta_bytes as u64;
             }
         }
     }
-    let received = ep.exchange(outboxes, clock.now(), Phase::Coherency, delta_bytes, stats)?;
-    let mut inbound: Vec<(u32, P::Delta)> = Vec::new();
-    for batch in received {
-        for (gid, d) in batch.items {
-            let l = shard
-                .local_of(gid.into())
-                .expect("delta routed to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
-            inbound.push((l, program.gather(gid.into(), d)));
+    stats.record_combined(combined, combined * delta_bytes as u64);
+    let mut received = ep.exchange(outboxes, clock.now(), Phase::Coherency, delta_bytes, stats)?;
+    if fast {
+        let route = shard.route_table();
+        let segments = route_inbound(
+            pctx,
+            shard.num_local(),
+            &mut received,
+            |(gid, d): (u32, P::Delta)| match route.get(gid as usize) {
+                Some(&l) if l != NO_LOCAL => Some((l, program.gather(gid.into(), d))),
+                _ => None,
+            },
+        );
+        state.deliver_segments(program, pctx, segments);
+        for batch in received {
+            ep.recycle(batch);
         }
+    } else {
+        let mut inbound: Vec<(u32, P::Delta)> = Vec::new();
+        for batch in received {
+            for (gid, d) in batch.items {
+                let l = shard
+                    .local_of(gid.into())
+                    .expect("delta routed to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
+                inbound.push((l, program.gather(gid.into(), d)));
+            }
+        }
+        state.deliver_all(program, pctx, inbound);
     }
-    state.deliver_all(program, pctx, inbound);
     Ok(sent)
 }
 
@@ -493,6 +549,12 @@ fn exchange_a2a<P: VertexProgram>(
 /// master combines with `Sum`, broadcasts the combined delta, and every
 /// replica removes its own contribution with `Inverse`. Returns bytes sent
 /// locally (both hops).
+///
+/// `own` and `totals` are caller-owned dense scratch arrays indexed by
+/// local id (the fast path's replacement for the per-call hash maps;
+/// this function leaves them fully `None` again on return). Local ids
+/// ascend with global ids within a shard, so iterating `shard.replicated`
+/// reproduces the old sort-by-gid broadcast order exactly.
 #[allow(clippy::too_many_arguments)]
 fn exchange_m2m<P: VertexProgram>(
     shard: &LocalShard,
@@ -500,18 +562,18 @@ fn exchange_m2m<P: VertexProgram>(
     program: &P,
     pctx: &ParallelCtx,
     ep: &mut Endpoint<(u32, P::Delta)>,
+    outboxes: &mut OutboxSet<(u32, P::Delta)>,
+    own: &mut [Option<P::Delta>],
+    totals: &mut [Option<P::Delta>],
     clock: &SimClock,
     stats: &NetStats,
-    n: usize,
     suppression: bool,
+    fast: bool,
 ) -> Result<u64, CommError> {
     let delta_bytes = program.delta_bytes();
     let mut sent = 0u64;
-    // Own contributions, saved for the Inverse step.
-    let mut own: FxHashMap<u32, P::Delta> = FxHashMap::default();
+    let mut combined = 0u64;
     // Hop 1: mirrors → master. Same two-phase shape as exchange_a2a.
-    let mut outboxes: Vec<Vec<(u32, P::Delta)>> = (0..n).map(|_| Vec::new()).collect();
-    let mut totals: FxHashMap<u32, P::Delta> = FxHashMap::default();
     let decisions = {
         let (delta_view, coherent_view) = (&state.delta_msg, &state.coherent);
         pctx.map_chunks(&shard.replicated, |chunk| {
@@ -534,58 +596,77 @@ fn exchange_m2m<P: VertexProgram>(
         })
     };
     for (l, d) in decisions.into_iter().flatten() {
-        let l = l as usize;
-        state.delta_msg[l] = None;
+        let li = l as usize;
+        state.delta_msg[li] = None;
         if let Some(d) = d {
-            let gid = shard.global_of(l as u32).0;
-            own.insert(gid, d);
-            if shard.is_master[l] {
-                totals.insert(gid, d);
+            own[li] = Some(d);
+            if shard.is_master[li] {
+                totals[li] = Some(d);
             } else {
-                outboxes[shard.master_of[l].index()].push((gid, d));
+                let gid = shard.global_of(l).0;
+                let dst = shard.master_of[li].index();
+                if fast {
+                    if stage_combining(program, outboxes, dst, gid, d) {
+                        combined += 1;
+                        continue;
+                    }
+                } else {
+                    outboxes.push(dst, (gid, d));
+                }
                 sent += delta_bytes as u64;
             }
         }
     }
     let received = ep.exchange(outboxes, clock.now(), Phase::Coherency, delta_bytes, stats)?;
-    for batch in received {
-        for (gid, d) in batch.items {
-            totals
-                .entry(gid)
-                .and_modify(|t| *t = program.sum(*t, d))
-                .or_insert(d);
+    // Masters fold mirror contributions in sender order (batches arrive
+    // sorted by sender, so this left-fold is reproducible).
+    for mut batch in received {
+        for (gid, d) in batch.items.drain(..) {
+            debug_assert!(shard.local_of(gid.into()).is_some(), "hop-1 delta routed to non-replica");
+            if let Some(l) = shard.local_of(gid.into()) {
+                let slot = &mut totals[l as usize];
+                *slot = Some(match slot.take() {
+                    Some(t) => program.sum(t, d),
+                    None => d,
+                });
+            }
         }
+        ep.recycle(batch);
     }
     // Hop 2: master → mirrors (combined delta), plus local master handling.
-    // FxHashMap iteration order is seed-dependent; sorting by global id
-    // makes the broadcast byte stream (and hence every downstream worklist)
-    // reproducible.
-    let mut totals: Vec<(u32, P::Delta)> = totals.into_iter().collect();
-    totals.sort_unstable_by_key(|&(gid, _)| gid);
-    let mut outboxes: Vec<Vec<(u32, P::Delta)>> = (0..n).map(|_| Vec::new()).collect();
-    let mut local_apply: Vec<(u32, P::Delta)> = Vec::new();
-    for &(gid, total) in &totals {
-        let l = shard
-            .local_of(gid.into())
-            .expect("totals key must be local"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
-        debug_assert!(shard.is_master[l as usize], "hop-1 routed to non-master");
-        for &m in shard.mirrors[l as usize].iter() {
-            outboxes[m.index()].push((gid, total));
+    // `shard.replicated` ascends in local id — equivalently global id — so
+    // the broadcast byte stream (and hence every downstream worklist) is
+    // reproducible without the old collect-and-sort pass.
+    let mut hop2_local: Vec<(u32, P::Delta)> = Vec::new();
+    for &l in &shard.replicated {
+        let li = l as usize;
+        if !shard.is_master[li] {
+            continue;
+        }
+        let Some(total) = totals[li] else { continue };
+        let gid = shard.global_of(l).0;
+        for &m in shard.mirrors[li].iter() {
+            if fast {
+                if stage_combining(program, outboxes, m.index(), gid, total) {
+                    combined += 1;
+                    continue;
+                }
+            } else {
+                outboxes.push(m.index(), (gid, total));
+            }
             sent += delta_bytes as u64;
         }
-        local_apply.push((gid, total));
+        hop2_local.push((l, total));
     }
-    let received = ep.exchange(outboxes, clock.now(), Phase::Coherency, delta_bytes, stats)?;
-    for batch in received {
-        local_apply.extend(batch.items);
-    }
-    let mut inbound: Vec<(u32, P::Delta)> = Vec::new();
-    for (gid, total) in local_apply {
-        let l = shard
-            .local_of(gid.into())
-            .expect("combined delta routed to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
-        let others = match own.get(&gid) {
-            Some(&mine) => {
+    stats.record_combined(combined, combined * delta_bytes as u64);
+    let mut received = ep.exchange(outboxes, clock.now(), Phase::Coherency, delta_bytes, stats)?;
+    // Every replica sees each vertex's combined total exactly once (its
+    // own if master, one master broadcast otherwise), so delivering the
+    // local and remote streams separately cannot change any fold.
+    let mut inbound_local: Vec<(u32, P::Delta)> = Vec::with_capacity(hop2_local.len());
+    for (l, total) in hop2_local {
+        let others = match own[l as usize] {
+            Some(mine) => {
                 if mine == total {
                     // This replica contributed everything; nothing remote
                     // to merge (exact for additive ⊕, harmless no-op skip
@@ -596,8 +677,63 @@ fn exchange_m2m<P: VertexProgram>(
             }
             None => total,
         };
-        inbound.push((l, program.gather(gid.into(), others)));
+        inbound_local.push((l, program.gather(shard.global_of(l), others)));
     }
-    state.deliver_all(program, pctx, inbound);
+    state.deliver_all(program, pctx, inbound_local);
+    if fast {
+        let route = shard.route_table();
+        let own_view: &[Option<P::Delta>] = own;
+        let segments = route_inbound(
+            pctx,
+            shard.num_local(),
+            &mut received,
+            |(gid, total): (u32, P::Delta)| {
+                let l = match route.get(gid as usize) {
+                    Some(&l) if l != NO_LOCAL => l,
+                    _ => return None,
+                };
+                let others = match own_view[l as usize] {
+                    Some(mine) => {
+                        if mine == total {
+                            return None;
+                        }
+                        program.inverse(total, mine)
+                    }
+                    None => total,
+                };
+                Some((l, program.gather(gid.into(), others)))
+            },
+        );
+        state.deliver_segments(program, pctx, segments);
+        for batch in received {
+            ep.recycle(batch);
+        }
+    } else {
+        let mut inbound: Vec<(u32, P::Delta)> = Vec::new();
+        for batch in received {
+            for (gid, total) in batch.items {
+                let l = shard
+                    .local_of(gid.into())
+                    .expect("combined delta routed to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
+                let others = match own[l as usize] {
+                    Some(mine) => {
+                        if mine == total {
+                            continue;
+                        }
+                        program.inverse(total, mine)
+                    }
+                    None => total,
+                };
+                inbound.push((l, program.gather(gid.into(), others)));
+            }
+        }
+        state.deliver_all(program, pctx, inbound);
+    }
+    // Leave the scratch arrays clean for the next coherency point; only
+    // replicated entries can ever have been written.
+    for &l in &shard.replicated {
+        own[l as usize] = None;
+        totals[l as usize] = None;
+    }
     Ok(sent)
 }

@@ -17,10 +17,11 @@
 use std::sync::Arc;
 
 use lazygraph_cluster::{
-    build_mesh, CommError, CostModel, Endpoint, NetStats, Phase, SimClock, Termination,
+    build_mesh, CommError, CostModel, Endpoint, NetStats, OutboxSet, Phase, SimClock, Termination,
 };
-use lazygraph_partition::{DistributedGraph, LocalShard};
+use lazygraph_partition::{DistributedGraph, LocalShard, NO_LOCAL};
 
+use crate::exchange::{route_inbound, stage_combining};
 use crate::lazy_block::{blocked_apply_scatter, LazyCounters};
 use crate::parallel::{ParallelConfig, ParallelCtx};
 use crate::program::{DeltaExchange, VertexProgram};
@@ -101,29 +102,34 @@ fn machine_loop<P: VertexProgram>(
     let delta_bytes = program.delta_bytes();
     let mut counters = LazyCounters::default();
     let mut idle = false;
+    // Persistent staging: exchange slots keep travelled capacity
+    // (refilled from the endpoint pool on send), so steady-state
+    // coherency flushes allocate nothing.
+    let mut outboxes: OutboxSet<(u32, P::Delta)> = OutboxSet::new(n);
+    let route = shard.route_table();
 
     loop {
         let mut progressed = false;
 
         // ---- Absorb remote deltas. ---------------------------------------
-        while let Some(batch) = ep.try_recv() {
+        while let Some(mut batch) = ep.try_recv() {
             if idle {
                 term.leave_idle();
                 idle = false;
             }
             let bytes = batch.items.len() * delta_bytes;
             clock.merge(batch.sent_at + cost.async_batch_time(bytes as u64));
-            let inbound: Vec<(u32, P::Delta)> = batch
-                .items
-                .into_iter()
-                .map(|(gid, d)| {
-                    let l = shard
-                        .local_of(gid.into())
-                        .expect("delta routed to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
-                    (l, program.gather(gid.into(), d))
-                })
-                .collect();
-            state.deliver_all(program, &pctx, inbound);
+            let segments = route_inbound(
+                &pctx,
+                shard.num_local(),
+                std::slice::from_mut(&mut batch),
+                |(gid, d): (u32, P::Delta)| match route.get(gid as usize) {
+                    Some(&l) if l != NO_LOCAL => Some((l, program.gather(gid.into(), d))),
+                    _ => None,
+                },
+            );
+            state.deliver_segments(program, &pctx, segments);
+            ep.recycle(batch);
             term.note_delivered(1);
             progressed = true;
         }
@@ -137,7 +143,7 @@ fn machine_loop<P: VertexProgram>(
             progressed = true;
             let mut queue = state.take_queue();
             queue.sort_unstable();
-            let (edges, applies) = blocked_apply_scatter(
+            let (edges, applies, folds) = blocked_apply_scatter(
                 shard,
                 &mut state,
                 program,
@@ -148,11 +154,11 @@ fn machine_loop<P: VertexProgram>(
             );
             stats.record_edges(edges);
             stats.record_applies(applies);
+            stats.record_combined(folds, folds * delta_bytes as u64);
             clock.advance(cost.compute_time(edges) + cost.apply_time(applies));
             counters.local_subrounds += 1;
         } else {
             // ---- Stage 2: needDataCoherency — flush accumulated deltas. --
-            let mut outboxes: Vec<Vec<(u32, P::Delta)>> = (0..n).map(|_| Vec::new()).collect();
             let mut any = false;
             // Same two-phase shape as the block engine's exchanges: decide
             // in parallel over the replicated list, commit in block order.
@@ -171,16 +177,18 @@ fn machine_loop<P: VertexProgram>(
                     out
                 })
             };
+            let mut combined = 0u64;
             for (l, d) in decisions.into_iter().flatten() {
                 state.delta_msg[l as usize] = None;
                 if let Some(d) = d {
                     any = true;
                     let gid = shard.global_of(l).0;
                     for &m in shard.mirrors[l as usize].iter() {
-                        outboxes[m.index()].push((gid, d));
+                        combined += u64::from(stage_combining(program, &mut outboxes, m.index(), gid, d));
                     }
                 }
             }
+            stats.record_combined(combined, combined * delta_bytes as u64);
             if any {
                 if idle {
                     term.leave_idle();
@@ -189,13 +197,20 @@ fn machine_loop<P: VertexProgram>(
                 progressed = true;
                 counters.coherency_points += 1;
                 counters.a2a_exchanges += 1;
-                for (dst, items) in outboxes.into_iter().enumerate() {
-                    if dst == shard.machine.index() || items.is_empty() {
+                for dst in 0..n {
+                    if dst == shard.machine.index() || outboxes.staged(dst).is_empty() {
                         continue;
                     }
                     term.note_sent(1);
                     clock.advance(cost.async_send_cpu);
-                    ep.send(dst, items, clock.now(), Phase::Coherency, delta_bytes, &stats)?;
+                    ep.send_staged(
+                        &mut outboxes,
+                        dst,
+                        clock.now(),
+                        Phase::Coherency,
+                        delta_bytes,
+                        &stats,
+                    )?;
                 }
             }
         }

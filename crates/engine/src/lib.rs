@@ -16,6 +16,7 @@ pub mod bsp;
 pub mod comm_mode;
 pub mod config;
 pub mod driver;
+pub mod exchange;
 pub mod hybrid_engine;
 pub mod interval;
 pub mod lazy_block;

@@ -188,22 +188,29 @@ impl<P: VertexProgram> MachineState<P> {
     /// replicated target). Same target-block ownership, same bitwise
     /// guarantee — `message`, `delta_msg` and `active` are chunked
     /// together so a block owns every array it touches.
+    ///
+    /// Returns the number of items folded into an *occupied* `deltaMsg`
+    /// slot: each such fold is one contribution the coherency exchange
+    /// will not ship as its own wire item (the sender-side combining the
+    /// fast path counts as `items_combined`).
     pub fn deliver_all_lazy(
         &mut self,
         program: &P,
         ctx: &ParallelCtx,
         items: Vec<(u32, P::Delta, bool)>,
-    ) {
+    ) -> u64 {
         let bs = ctx.block_size();
         let num_blocks = self.message.len().div_ceil(bs.max(1));
         if num_blocks <= 1 || items.len() <= 1 {
+            let mut folds = 0u64;
             for (l, d, fold_delta) in items {
                 self.deliver(program, l, d);
                 if fold_delta {
+                    folds += u64::from(self.delta_msg[l as usize].is_some());
                     self.accumulate_delta(program, l, d);
                 }
             }
-            return;
+            return folds;
         }
         let mut buckets: Vec<Vec<(u32, P::Delta, bool)>> = vec![Vec::new(); num_blocks];
         for (l, d, f) in items {
@@ -238,7 +245,7 @@ impl<P: VertexProgram> MachineState<P> {
                 });
             }
         }
-        let activated: Vec<Vec<u32>> = ctx.pool().map(work, |w| {
+        let activated: Vec<(Vec<u32>, u64)> = ctx.pool().map(work, |w| {
             let BlockWork {
                 base,
                 message,
@@ -247,6 +254,7 @@ impl<P: VertexProgram> MachineState<P> {
                 items,
             } = w;
             let mut newly = Vec::new();
+            let mut folds = 0u64;
             for (l, d, fold_delta) in items {
                 let i = l as usize - base;
                 let slot = &mut message[i];
@@ -261,9 +269,88 @@ impl<P: VertexProgram> MachineState<P> {
                 if fold_delta {
                     let slot = &mut delta_msg[i];
                     *slot = Some(match slot.take() {
+                        Some(prev) => {
+                            folds += 1;
+                            program.sum(prev, d)
+                        }
+                        None => d,
+                    });
+                }
+            }
+            (newly, folds)
+        });
+        let mut folds = 0u64;
+        for (block, f) in activated {
+            self.queue.extend(block);
+            folds += f;
+        }
+        folds
+    }
+
+    /// Delivers pre-bucketed per-block *segment lists* — the sink of the
+    /// exchange fast path's parallel inbound router
+    /// ([`crate::exchange::route_inbound`]), which already grouped items by
+    /// target block so no second bucketing pass is needed here.
+    ///
+    /// `segments[b]` holds block `b`'s item runs in canonical (sender)
+    /// order; folding the runs in order is bitwise-identical to the serial
+    /// left-fold over their concatenation, by the same target-block
+    /// ownership argument as [`Self::deliver_all`]. The blocking must
+    /// match the router's: `segments.len()` is
+    /// `message.len().div_ceil(block_size).max(1)`.
+    pub fn deliver_segments(
+        &mut self,
+        program: &P,
+        ctx: &ParallelCtx,
+        segments: crate::exchange::RoutedSegments<P::Delta>,
+    ) {
+        let bs = ctx.block_size();
+        let num_blocks = self.message.len().div_ceil(bs.max(1)).max(1);
+        debug_assert_eq!(segments.len(), num_blocks, "router/deliver blocking mismatch");
+        struct BlockWork<'a, P: VertexProgram> {
+            base: usize,
+            message: &'a mut [Option<P::Delta>],
+            active: &'a mut [bool],
+            segments: Vec<Vec<(u32, P::Delta)>>,
+        }
+        let mut work: Vec<BlockWork<'_, P>> = Vec::new();
+        let mut msg_rest = self.message.as_mut_slice();
+        let mut act_rest = self.active.as_mut_slice();
+        for (b, segments) in segments.into_iter().enumerate() {
+            let take = bs.min(msg_rest.len());
+            let (msg_chunk, m_rest) = msg_rest.split_at_mut(take);
+            let (act_chunk, a_rest) = act_rest.split_at_mut(take);
+            msg_rest = m_rest;
+            act_rest = a_rest;
+            if segments.iter().any(|s| !s.is_empty()) {
+                work.push(BlockWork {
+                    base: b * bs,
+                    message: msg_chunk,
+                    active: act_chunk,
+                    segments,
+                });
+            }
+        }
+        let activated: Vec<Vec<u32>> = ctx.pool().map(work, |w| {
+            let BlockWork {
+                base,
+                message,
+                active,
+                segments,
+            } = w;
+            let mut newly = Vec::new();
+            for segment in segments {
+                for (l, d) in segment {
+                    let i = l as usize - base;
+                    let slot = &mut message[i];
+                    *slot = Some(match slot.take() {
                         Some(prev) => program.sum(prev, d),
                         None => d,
                     });
+                    if !active[i] {
+                        active[i] = true;
+                        newly.push(l);
+                    }
                 }
             }
             newly
@@ -488,6 +575,76 @@ mod tests {
                 assert_eq!(q, rq);
             }
         }
+    }
+
+    #[test]
+    fn deliver_segments_matches_deliver_all() {
+        use crate::parallel::{ParallelConfig, ParallelCtx};
+
+        let dg = dist();
+        let shard = &dg.shards[0];
+        let n = shard.num_local() as u32;
+        let items: Vec<(u32, u32)> = (0..2048u64)
+            .map(|i| ((i.wrapping_mul(40503) % n as u64) as u32, (i % 13) as u32 + 1))
+            .collect();
+        for (threads, block_size) in [(1, 64), (4, 64), (4, 1), (2, 4096)] {
+            let ctx = ParallelCtx::new(ParallelConfig {
+                threads,
+                block_size,
+            });
+            let mut reference =
+                MachineState::init(shard, &P0, InitMessages::MastersOnly, dg.num_global_vertices);
+            reference.deliver_all(&P0, &ctx, items.clone());
+            // Bucket by block into two segments per block (split mid-stream),
+            // preserving item order within the concatenation.
+            let bs = block_size.max(1);
+            let num_blocks = (n as usize).div_ceil(bs).max(1);
+            let mut segments: Vec<Vec<Vec<(u32, u32)>>> =
+                (0..num_blocks).map(|_| vec![Vec::new(), Vec::new()]).collect();
+            for (i, &(l, d)) in items.iter().enumerate() {
+                let seg = usize::from(i >= items.len() / 2);
+                segments[l as usize / bs][seg].push((l, d));
+            }
+            let mut st =
+                MachineState::init(shard, &P0, InitMessages::MastersOnly, dg.num_global_vertices);
+            st.deliver_segments(&P0, &ctx, segments);
+            assert_eq!(st.message, reference.message, "threads={threads} bs={block_size}");
+            assert_eq!(st.active, reference.active);
+            let mut q = st.queue.clone();
+            q.sort_unstable();
+            let mut rq = reference.queue.clone();
+            rq.sort_unstable();
+            assert_eq!(q, rq);
+        }
+    }
+
+    #[test]
+    fn deliver_all_lazy_counts_occupied_folds() {
+        use crate::parallel::{ParallelConfig, ParallelCtx};
+
+        let dg = dist();
+        let shard = &dg.shards[0];
+        // Three folding items on one vertex: first lands in an empty slot,
+        // the next two fold — two wire items saved.
+        let items = vec![(0u32, 1u32, true), (0, 2, true), (0, 3, true), (1, 4, false)];
+        for threads in [1, 4] {
+            let ctx = ParallelCtx::new(ParallelConfig {
+                threads,
+                block_size: 1,
+            });
+            let mut st =
+                MachineState::init(shard, &P0, InitMessages::MastersOnly, dg.num_global_vertices);
+            st.delta_msg.iter_mut().for_each(|s| *s = None);
+            let folds = st.deliver_all_lazy(&P0, &ctx, items.clone());
+            assert_eq!(folds, 2, "threads={threads}");
+            assert_eq!(st.delta_msg[0], Some(6));
+            assert_eq!(st.delta_msg[1], None);
+        }
+        // Serial fallback path (single item) reports zero folds.
+        let ctx = ParallelCtx::new(ParallelConfig::sequential());
+        let mut st =
+            MachineState::init(shard, &P0, InitMessages::MastersOnly, dg.num_global_vertices);
+        assert_eq!(st.deliver_all_lazy(&P0, &ctx, vec![(0, 1, true)]), 0);
     }
 
     #[test]

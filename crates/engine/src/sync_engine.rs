@@ -18,12 +18,13 @@
 use std::sync::Arc;
 
 use lazygraph_cluster::{
-    build_mesh, Collective, CommError, CostModel, Endpoint, NetStats, Phase, SimClock,
+    build_mesh, Collective, CommError, CostModel, Endpoint, NetStats, OutboxSet, Phase, SimClock,
 };
-use lazygraph_partition::{DistributedGraph, LocalShard};
+use lazygraph_partition::{DistributedGraph, LocalShard, NO_LOCAL};
 use parking_lot::Mutex;
 
 use crate::bsp::{BspReduction, BspSync, CommCharge};
+use crate::exchange::route_inbound;
 use crate::metrics::{IterationRecord, SimBreakdown};
 use crate::parallel::{ParallelConfig, ParallelCtx};
 use crate::program::{EdgeCtx, VertexProgram};
@@ -67,6 +68,7 @@ pub fn run_sync_engine<P: VertexProgram>(
     cost: CostModel,
     max_iterations: u64,
     par: ParallelConfig,
+    exchange_fast: bool,
     stats: Arc<NetStats>,
     breakdown: Arc<Mutex<SimBreakdown>>,
     history: Option<Arc<Mutex<Vec<IterationRecord>>>>,
@@ -89,6 +91,7 @@ pub fn run_sync_engine<P: VertexProgram>(
             cost,
             max_iterations,
             par,
+            exchange_fast,
             coll.clone(),
             stats.clone(),
             breakdown.clone(),
@@ -106,6 +109,7 @@ fn machine_loop<P: VertexProgram>(
     cost: CostModel,
     max_iterations: u64,
     par: ParallelConfig,
+    exchange_fast: bool,
     coll: Arc<Collective>,
     stats: Arc<NetStats>,
     breakdown: Arc<Mutex<SimBreakdown>>,
@@ -126,6 +130,10 @@ fn machine_loop<P: VertexProgram>(
     let mut converged = false;
     let mut scatter_tasks: Vec<(u32, P::Delta)> = Vec::new();
     let mut master_worklist: Vec<u32> = Vec::new();
+    // One persistent outbox set serves both communication phases; every
+    // exchange refills shipped slots from the buffer pool, so steady-state
+    // supersteps allocate nothing (DESIGN.md §9).
+    let mut outboxes: OutboxSet<(u32, SyncMsg<P>)> = OutboxSet::new(n);
 
     while iterations < max_iterations {
         iterations += 1;
@@ -135,7 +143,6 @@ fn machine_loop<P: VertexProgram>(
         // classifies its entries against a read-only view of `message`,
         // and the per-block routings commit in block-index order — same
         // worklist, same outboxes, at every thread count.
-        let mut outboxes: Vec<Vec<(u32, SyncMsg<P>)>> = (0..n).map(|_| Vec::new()).collect();
         let mut sent_bytes = 0u64;
         master_worklist.clear();
         let mut worklist = state.take_queue();
@@ -171,30 +178,54 @@ fn machine_loop<P: VertexProgram>(
             master_worklist.extend(b.masters);
             for (dst, l, d) in b.forwards {
                 state.message[l as usize] = None;
-                outboxes[dst].push((shard.global_of(l).0, SyncMsg::Accum(d)));
+                outboxes.push(dst, (shard.global_of(l).0, SyncMsg::Accum(d)));
                 sent_bytes += delta_bytes as u64;
             }
             for l in b.deactivate {
                 state.active[l as usize] = false;
             }
         }
-        let received = w
-            .ep
-            .exchange(outboxes, clock.now(), Phase::Gather, delta_bytes, &stats)?;
-        let mut inbound: Vec<(u32, P::Delta)> = Vec::new();
-        for batch in received {
+        let mut received =
+            w.ep
+                .exchange(&mut outboxes, clock.now(), Phase::Gather, delta_bytes, &stats)?;
+        for batch in &received {
             clock.merge(batch.sent_at);
-            for (gid, msg) in batch.items {
-                if let SyncMsg::Accum(d) = msg {
-                    let l = shard
-                        .local_of(gid.into())
-                        .expect("accum routed to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
-                    debug_assert!(shard.is_master[l as usize]);
-                    inbound.push((l, program.gather(gid.into(), d)));
+        }
+        if exchange_fast {
+            // Gather-round batches carry only Accums (phase-tagged BSP
+            // lockstep); block-parallel routing feeds the masters directly.
+            let route = shard.route_table();
+            let segments = route_inbound(
+                &pctx,
+                shard.num_local(),
+                &mut received,
+                |(gid, msg): (u32, SyncMsg<P>)| match msg {
+                    SyncMsg::Accum(d) => match route.get(gid as usize) {
+                        Some(&l) if l != NO_LOCAL => Some((l, program.gather(gid.into(), d))),
+                        _ => None,
+                    },
+                    SyncMsg::Update { .. } => None,
+                },
+            );
+            state.deliver_segments(program, &pctx, segments);
+            for batch in received {
+                w.ep.recycle(batch);
+            }
+        } else {
+            let mut inbound: Vec<(u32, P::Delta)> = Vec::new();
+            for batch in received {
+                for (gid, msg) in batch.items {
+                    if let SyncMsg::Accum(d) = msg {
+                        let l = shard
+                            .local_of(gid.into())
+                            .expect("accum routed to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
+                        debug_assert!(shard.is_master[l as usize]);
+                        inbound.push((l, program.gather(gid.into(), d)));
+                    }
                 }
             }
+            state.deliver_all(program, &pctx, inbound);
         }
-        state.deliver_all(program, &pctx, inbound);
         // Newly activated masters ended up on the queue.
         master_worklist.extend(state.take_queue());
         master_worklist.sort_unstable();
@@ -212,7 +243,6 @@ fn machine_loop<P: VertexProgram>(
         // the vertex value (apply is a pure function of value + accum),
         // then the clones, broadcasts and scatter tasks commit in block
         // order.
-        let mut outboxes: Vec<Vec<(u32, SyncMsg<P>)>> = (0..n).map(|_| Vec::new()).collect();
         let mut sent_bytes = 0u64;
         let mut applies = 0u64;
         let (message_view, vdata_view) = (&state.message, &state.vdata);
@@ -243,13 +273,16 @@ fn machine_loop<P: VertexProgram>(
                 // Eager coherency: the changed data goes to every mirror
                 // now.
                 for &m in shard.mirrors[l as usize].iter() {
-                    outboxes[m.index()].push((
-                        v.0,
-                        SyncMsg::Update {
-                            data: data.clone(),
-                            scatter: d,
-                        },
-                    ));
+                    outboxes.push(
+                        m.index(),
+                        (
+                            v.0,
+                            SyncMsg::Update {
+                                data: data.clone(),
+                                scatter: d,
+                            },
+                        ),
+                    );
                     sent_bytes += update_bytes as u64;
                 }
                 state.vdata[l as usize] = data;
@@ -260,12 +293,14 @@ fn machine_loop<P: VertexProgram>(
         }
         stats.record_applies(applies);
         clock.advance(cost.apply_time(applies));
-        let received = w
-            .ep
-            .exchange(outboxes, clock.now(), Phase::Apply, update_bytes, &stats)?;
-        for batch in received {
+        let received =
+            w.ep
+                .exchange(&mut outboxes, clock.now(), Phase::Apply, update_bytes, &stats)?;
+        // Updates overwrite `vdata` in place, so this stays a serial pass
+        // (batch order = sender order); drained buffers go back to the pool.
+        for mut batch in received {
             clock.merge(batch.sent_at);
-            for (gid, msg) in batch.items {
+            for (gid, msg) in batch.items.drain(..) {
                 if let SyncMsg::Update { data, scatter } = msg {
                     let l = shard
                         .local_of(gid.into())
@@ -276,6 +311,7 @@ fn machine_loop<P: VertexProgram>(
                     }
                 }
             }
+            w.ep.recycle(batch);
         }
         bsp.sync(
             &mut clock,

@@ -8,7 +8,6 @@
 //! needed (Fig. 7(b)) — the dispatch therefore runs to a fixpoint, since
 //! created replicas can enlarge the required set of other parallel edges.
 
-use lazygraph_graph::hash::FxHashMap;
 use lazygraph_graph::{Graph, MachineId, VertexId};
 
 use crate::edge_split::SplitPlan;
@@ -24,6 +23,10 @@ pub enum EdgeMode {
     Parallel,
 }
 
+/// Sentinel in a shard's dense routing table: global vertex not replicated
+/// here.
+pub const NO_LOCAL: u32 = u32::MAX;
+
 /// Everything one machine knows about its part of the graph.
 #[derive(Clone, Debug)]
 pub struct LocalShard {
@@ -31,7 +34,12 @@ pub struct LocalShard {
     pub machine: MachineId,
     /// Sorted global ids of local replicas; index = local id.
     pub globals: Vec<VertexId>,
-    global_to_local: FxHashMap<u32, u32>,
+    /// Dense gid → local-id routing table (`NO_LOCAL` where absent), built
+    /// at partition time so inbound delta translation is one indexed load —
+    /// no hash map in the exchange hot loop. Costs 4 bytes per global
+    /// vertex per machine, which the simulator trades happily for the
+    /// branch-free lookup.
+    route: Box<[u32]>,
     /// Per local vertex: is this replica the master?
     pub is_master: Vec<bool>,
     /// Per local vertex: the machine hosting the master replica.
@@ -70,7 +78,17 @@ impl LocalShard {
     /// Local id of global vertex `v`, if replicated here.
     #[inline]
     pub fn local_of(&self, v: VertexId) -> Option<u32> {
-        self.global_to_local.get(&v.0).copied()
+        match self.route.get(v.index()) {
+            Some(&l) if l != NO_LOCAL => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The raw dense routing table (index = gid, value = local id or
+    /// [`NO_LOCAL`]), for block-parallel inbound translation.
+    #[inline]
+    pub fn route_table(&self) -> &[u32] {
+        &self.route
     }
 
     /// Global id of local vertex `l`.
@@ -224,14 +242,13 @@ pub fn build_distributed(
             shard_vertices[m.index()].push(v); // already in ascending v order
         }
     }
-    let mut local_maps: Vec<FxHashMap<u32, u32>> = Vec::with_capacity(num_machines);
+    let mut routes: Vec<Box<[u32]>> = Vec::with_capacity(num_machines);
     for verts in &shard_vertices {
-        let mut map = FxHashMap::default();
-        map.reserve(verts.len());
+        let mut route = vec![NO_LOCAL; n].into_boxed_slice();
         for (l, v) in verts.iter().enumerate() {
-            map.insert(v.0, l as u32);
+            route[v.index()] = l as u32;
         }
-        local_maps.push(map);
+        routes.push(route);
     }
 
     // Per-shard raw edge lists: (src_local, dst_local, weight, parallel).
@@ -241,17 +258,17 @@ pub fn build_distributed(
         if plan.is_parallel[idx] {
             let req = required_machines(&replication, src, dst, bidirectional);
             for m in req {
-                let map = &local_maps[m.index()];
-                let sl = map[&src.0];
-                let dl = map[&dst.0];
+                let route = &routes[m.index()];
+                let sl = route[src.index()];
+                let dl = route[dst.index()];
                 shard_edges[m.index()].push((sl, dl, w, true));
                 total_stored += 1;
             }
         } else {
             let m = assignment[idx];
-            let map = &local_maps[m.index()];
-            let sl = map[&src.0];
-            let dl = map[&dst.0];
+            let route = &routes[m.index()];
+            let sl = route[src.index()];
+            let dl = route[dst.index()];
             shard_edges[m.index()].push((sl, dl, w, false));
             total_stored += 1;
         }
@@ -260,7 +277,7 @@ pub fn build_distributed(
     let mut shards = Vec::with_capacity(num_machines);
     for m in 0..num_machines {
         let verts = std::mem::take(&mut shard_vertices[m]);
-        let map = std::mem::take(&mut local_maps[m]);
+        let route = std::mem::replace(&mut routes[m], Box::new([]));
         let mut es = std::mem::take(&mut shard_edges[m]);
         es.sort_by_key(|&(sl, ..)| sl); // stable: keeps edge-index order per row
         let nl = verts.len();
@@ -302,7 +319,7 @@ pub fn build_distributed(
         shards.push(LocalShard {
             machine,
             globals: verts,
-            global_to_local: map,
+            route,
             is_master,
             master_of,
             mirrors,
@@ -349,6 +366,17 @@ pub fn validate_distributed(
     for shard in &dg.shards {
         if shard.globals.len() != shard.num_local() {
             return Err("shard size inconsistency".into());
+        }
+        if shard.route_table().len() != n {
+            return Err(format!("{:?}: routing table wrong length", shard.machine));
+        }
+        let routed = shard.route_table().iter().filter(|&&l| l != NO_LOCAL).count();
+        if routed != shard.num_local() {
+            return Err(format!(
+                "{:?}: routing table has {routed} entries for {} locals",
+                shard.machine,
+                shard.num_local()
+            ));
         }
         let mut prev: Option<VertexId> = None;
         for (l, &v) in shard.globals.iter().enumerate() {
@@ -534,6 +562,30 @@ mod tests {
         assert_eq!(dg.shards[0].num_local_edges(), g.num_edges());
         assert_eq!(dg.lambda(), 1.0);
         assert!(dg.shards[0].is_master.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn dense_route_table_agrees_with_globals() {
+        let g = rmat(RmatConfig::graph500(9, 6, 5));
+        let a = CoordinatedCut.assign(&g, 4);
+        let plan = SplitPlan::none(g.num_edges());
+        let dg = build_distributed(&g, &a, 4, &plan, false);
+        for shard in &dg.shards {
+            let route = shard.route_table();
+            assert_eq!(route.len(), g.num_vertices());
+            // Every global vertex either routes to the local slot holding
+            // exactly its gid, or is marked absent.
+            for v in g.vertices() {
+                match route[v.index()] {
+                    NO_LOCAL => assert!(!shard.globals.contains(&v)),
+                    l => assert_eq!(shard.global_of(l), v),
+                }
+            }
+            // local_of is the same table behind an Option.
+            for (l, &v) in shard.globals.iter().enumerate() {
+                assert_eq!(shard.local_of(v), Some(l as u32));
+            }
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@ pub mod replication;
 pub mod vertex_cut;
 
 pub use distributed::{
-    build_distributed, validate_distributed, DistributedGraph, EdgeMode, LocalShard,
+    build_distributed, validate_distributed, DistributedGraph, EdgeMode, LocalShard, NO_LOCAL,
 };
 pub use edge_split::{plan_split, SplitPlan, SplitterConfig};
 pub use replication::Replication;
