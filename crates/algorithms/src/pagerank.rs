@@ -13,6 +13,7 @@
 use lazygraph_engine::program::DeltaExchange;
 use lazygraph_engine::{EdgeCtx, VertexCtx, VertexProgram};
 use lazygraph_graph::VertexId;
+use lazygraph_net::{NetError, Wire, WireReader};
 
 /// Vertex state: the converged rank plus the not-yet-flushed delta.
 #[derive(Clone, Copy, Debug, PartialEq, Default)]
@@ -21,6 +22,22 @@ pub struct PageRankData {
     pub rank: f64,
     /// Accumulated rank mass not yet propagated to neighbours.
     pub pending: f64,
+}
+
+/// Both components ride as IEEE-754 bit patterns, so a TCP run's vertex
+/// data is bit-identical to an in-proc run's.
+impl Wire for PageRankData {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.rank.encode(out);
+        self.pending.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        Ok(PageRankData {
+            rank: f64::decode(r)?,
+            pending: f64::decode(r)?,
+        })
+    }
 }
 
 /// The PageRank-Delta vertex program.

@@ -17,19 +17,26 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use lazygraph_algorithms::{PageRankDelta, Sssp};
-use lazygraph_engine::{run, EngineConfig, EngineKind, RunMetrics, VertexProgram};
+use lazygraph_engine::{run, EngineConfig, EngineKind, RunMetrics, TransportKind, VertexProgram};
 use lazygraph_graph::generators::{rmat, RmatConfig};
 use lazygraph_graph::{Graph, GraphBuilder};
 
 /// One measured cell of the matrix.
+///
+/// Byte columns live on two scales that must never be compared: `est_bytes`
+/// is the cost-model estimate every transport records (`size_of`-based, what
+/// the paper's Fig. 11 plots), while `wire_bytes` is the measured framed-TCP
+/// byte count — zero on the in-proc transport, which ships no frames.
 struct Cell {
     engine: &'static str,
     algorithm: &'static str,
+    transport: &'static str,
     rmat_scale: u32,
     vertices: usize,
     edges: usize,
     wall_ms: f64,
     sim_time: f64,
+    est_bytes: u64,
     wire_bytes: u64,
     wire_items: u64,
     items_combined: u64,
@@ -71,20 +78,22 @@ fn build_graph(scale_exp: u32) -> Graph {
     b.build()
 }
 
-fn cfg(engine: EngineKind, fast: bool) -> EngineConfig {
+fn cfg(engine: EngineKind, fast: bool, transport: TransportKind) -> EngineConfig {
     EngineConfig::lazygraph()
         .with_engine(engine)
         .with_exchange_fast(fast)
+        .with_transport(transport)
 }
 
 fn measure<P: VertexProgram>(
     g: &Graph,
     engine: EngineKind,
     fast: bool,
+    transport: TransportKind,
     program: &P,
 ) -> (Vec<P::VData>, RunMetrics, f64) {
     let started = Instant::now();
-    let r = run(g, MACHINES, &cfg(engine, fast), program).expect("cluster run");
+    let r = run(g, MACHINES, &cfg(engine, fast, transport), program).expect("cluster run");
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
     (r.values, r.metrics, wall_ms)
 }
@@ -93,13 +102,15 @@ fn cell<P: VertexProgram>(
     g: &Graph,
     scale_exp: u32,
     engine: EngineKind,
+    transport: TransportKind,
     algorithm: &'static str,
     program: &P,
 ) -> Cell {
-    let (_, m, wall_ms) = measure(g, engine, true, program);
+    let (_, m, wall_ms) = measure(g, engine, true, transport, program);
     eprintln!(
-        "  {} / {} / rmat{}: wall {:.1}ms, {} wire items, {} combined ({:.1}%)",
+        "  {} / {} / {} / rmat{}: wall {:.1}ms, {} wire items, {} combined ({:.1}%), est {} B, framed {} B",
         engine.name(),
+        transport.name(),
         algorithm,
         scale_exp,
         wall_ms,
@@ -107,16 +118,20 @@ fn cell<P: VertexProgram>(
         m.stats.items_combined,
         100.0 * m.stats.items_combined as f64
             / (m.stats.items_combined + m.stats.total_items()).max(1) as f64,
+        m.stats.total_est_bytes(),
+        m.stats.wire_bytes_sent,
     );
     Cell {
         engine: engine.name(),
         algorithm,
+        transport: transport.name(),
         rmat_scale: scale_exp,
         vertices: g.num_vertices(),
         edges: g.num_edges(),
         wall_ms,
         sim_time: m.sim_time,
-        wire_bytes: m.stats.total_bytes(),
+        est_bytes: m.stats.total_est_bytes(),
+        wire_bytes: m.stats.wire_bytes_sent,
         wire_items: m.stats.total_items(),
         items_combined: m.stats.items_combined,
         bytes_saved: m.stats.bytes_saved,
@@ -133,8 +148,8 @@ fn equivalence<P: VertexProgram>(
     algorithm: &'static str,
     program: &P,
 ) -> Equivalence {
-    let (fast_values, fast_m, _) = measure(g, engine, true, program);
-    let (naive_values, naive_m, _) = measure(g, engine, false, program);
+    let (fast_values, fast_m, _) = measure(g, engine, true, TransportKind::InProc, program);
+    let (naive_values, naive_m, _) = measure(g, engine, false, TransportKind::InProc, program);
     let identical = format!("{fast_values:?}") == format!("{naive_values:?}");
     assert!(
         identical,
@@ -171,18 +186,21 @@ fn emit_json(quick: bool, scales: &[u32], cells: &[Cell], equiv: &[Equivalence])
     for (i, c) in cells.iter().enumerate() {
         let _ = writeln!(
             s,
-            "    {{\"engine\": \"{}\", \"algorithm\": \"{}\", \"rmat_scale\": {}, \
+            "    {{\"engine\": \"{}\", \"algorithm\": \"{}\", \"transport\": \"{}\", \
+             \"rmat_scale\": {}, \
              \"vertices\": {}, \"edges\": {}, \"wall_ms\": {:.3}, \"sim_time\": {:.9}, \
-             \"wire_bytes\": {}, \"wire_items\": {}, \"items_combined\": {}, \
+             \"est_bytes\": {}, \"wire_bytes\": {}, \"wire_items\": {}, \"items_combined\": {}, \
              \"bytes_saved\": {}, \"pool_hits\": {}, \"pool_misses\": {}, \
              \"combined_frac\": {:.4}}}{}",
             c.engine,
             c.algorithm,
+            c.transport,
             c.rmat_scale,
             c.vertices,
             c.edges,
             c.wall_ms,
             c.sim_time,
+            c.est_bytes,
             c.wire_bytes,
             c.wire_items,
             c.items_combined,
@@ -246,10 +264,45 @@ fn main() {
     for &scale_exp in &scales {
         let g = build_graph(scale_exp);
         for engine in engines {
-            cells.push(cell(&g, scale_exp, engine, "pagerank", &PageRankDelta::default()));
-            cells.push(cell(&g, scale_exp, engine, "sssp", &Sssp::new(0u32)));
+            let t = TransportKind::InProc;
+            cells.push(cell(&g, scale_exp, engine, t, "pagerank", &PageRankDelta::default()));
+            cells.push(cell(&g, scale_exp, engine, t, "sssp", &Sssp::new(0u32)));
         }
+        // One framed-TCP cell per scale: the same run over loopback
+        // sockets, so the report carries measured frame bytes next to the
+        // cost-model estimates (the two byte scales of DESIGN.md §10).
+        cells.push(cell(
+            &g,
+            scale_exp,
+            EngineKind::LazyBlockAsync,
+            TransportKind::Tcp,
+            "pagerank",
+            &PageRankDelta::default(),
+        ));
     }
+    // The two byte scales must stay distinguishable: framed TCP carries
+    // per-frame headers and encoded payloads, in-proc ships no frames.
+    let tcp_head = cells
+        .iter()
+        .find(|c| c.transport == "tcp")
+        .expect("matrix always contains a tcp cell");
+    assert!(tcp_head.wire_bytes > 0, "tcp run must measure frame bytes");
+    assert_ne!(
+        tcp_head.wire_bytes, tcp_head.est_bytes,
+        "measured frame bytes and cost-model estimates are different scales"
+    );
+    let inproc_head = cells
+        .iter()
+        .find(|c| c.transport == "inproc" && c.engine == tcp_head.engine)
+        .expect("matrix always contains the matching inproc cell");
+    assert_eq!(
+        inproc_head.wire_bytes, 0,
+        "in-proc transport ships no frames"
+    );
+    assert_eq!(
+        inproc_head.est_bytes, tcp_head.est_bytes,
+        "estimates are transport-independent"
+    );
 
     // Equivalence: only the gated engines have a naive path to compare.
     eprintln!("equivalence: fast vs naive on the gated engines");

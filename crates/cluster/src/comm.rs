@@ -15,6 +15,13 @@ use crate::stats::{NetStats, Phase};
 /// Round tag for out-of-band (non-BSP) sends.
 pub const ASYNC_ROUND: u64 = u64::MAX;
 
+/// Cap on an endpoint's buffer-pool free list. A burst round can park a
+/// vector per (peer × in-flight round) in the pool; without a cap the
+/// free list keeps every one of them alive forever, pinning the burst's
+/// peak capacity. Vectors beyond the cap are dropped and counted in
+/// `NetStats::pool_evictions`.
+pub const POOL_FREE_CAP: usize = 32;
+
 /// One batch of typed items from one machine to another.
 ///
 /// Deliberately not `Clone`: a batch owns a (possibly pooled) payload
@@ -119,13 +126,72 @@ pub struct Endpoint<T> {
     ret_txs: Vec<Sender<Vec<T>>>,
     /// Vectors coming home from peers that finished consuming them.
     ret_rx: Receiver<Vec<T>>,
-    /// Local free list of ready-to-reuse payload vectors.
+    /// Local free list of ready-to-reuse payload vectors, capped at
+    /// [`POOL_FREE_CAP`] entries.
     free: Vec<Vec<T>>,
+    /// Evictions since the last flush into `NetStats` (recycle paths have
+    /// no stats handle, so the count rides along until `take_buffer`).
+    pending_evictions: u64,
     /// Next BSP exchange round issued by this endpoint.
     next_round: u64,
     /// Batches received ahead of the round currently being collected
     /// (two-hop exchanges can race ahead on fast peers).
     pending: VecDeque<Batch<T>>,
+    /// Writer-proxy threads a transport backend attached to this endpoint
+    /// (empty for the in-proc mesh). Joined on drop — see [`Drop`] below.
+    flush_on_drop: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<T> Endpoint<T> {
+    /// Assembles an endpoint from transport-built channel halves. Used by
+    /// `transport` to put proxy-thread channels behind the same API the
+    /// in-proc mesh hands out. `flush_on_drop` carries the backend's
+    /// writer-proxy handles, whose termination implies all outbound frames
+    /// (including the clean-close Shutdown) reached the socket.
+    pub(crate) fn from_parts(
+        me: usize,
+        n: usize,
+        txs: Vec<Sender<Batch<T>>>,
+        rx: Receiver<Batch<T>>,
+        ret_txs: Vec<Sender<Vec<T>>>,
+        ret_rx: Receiver<Vec<T>>,
+        flush_on_drop: Vec<std::thread::JoinHandle<()>>,
+    ) -> Self {
+        Endpoint {
+            me,
+            n,
+            txs,
+            rx,
+            ret_txs,
+            ret_rx,
+            free: Vec::new(),
+            pending_evictions: 0,
+            next_round: 0,
+            pending: VecDeque::new(),
+            flush_on_drop,
+        }
+    }
+}
+
+/// Dropping an endpoint *is* the clean-shutdown handshake. For transport
+/// backends with writer proxies, the outbound channels are disconnected
+/// first (each writer then drains what is queued and sends its Shutdown
+/// frame) and the writers are joined. Without the join, a worker process
+/// could exit between its machine loop returning and its proxies
+/// flushing, and peers would see a torn connection — a poisoned mesh —
+/// on what was actually a completed run. Reader proxies are *not* joined:
+/// they exit on the peer's Shutdown, which may arrive arbitrarily later.
+impl<T> Drop for Endpoint<T> {
+    fn drop(&mut self) {
+        if self.flush_on_drop.is_empty() {
+            return;
+        }
+        self.txs.clear();
+        self.ret_txs.clear();
+        for h in self.flush_on_drop.drain(..) {
+            let _ = h.join();
+        }
+    }
 }
 
 impl<T: Send> Endpoint<T> {
@@ -146,7 +212,15 @@ impl<T: Send> Endpoint<T> {
     /// already travelled the mesh; a miss allocates a fresh (empty) vector.
     pub fn take_buffer(&mut self, stats: &NetStats) -> Vec<T> {
         while let Ok(v) = self.ret_rx.try_recv() {
-            self.free.push(v);
+            if self.free.len() < POOL_FREE_CAP {
+                self.free.push(v);
+            } else {
+                self.pending_evictions += 1;
+            }
+        }
+        if self.pending_evictions != 0 {
+            stats.record_pool_evictions(self.pending_evictions);
+            self.pending_evictions = 0;
         }
         match self.free.pop() {
             Some(v) => {
@@ -174,7 +248,11 @@ impl<T: Send> Endpoint<T> {
             return;
         }
         if owner == self.me {
-            self.free.push(items);
+            if self.free.len() < POOL_FREE_CAP {
+                self.free.push(items);
+            } else {
+                self.pending_evictions += 1;
+            }
         } else {
             let _ = self.ret_txs[owner].send(items);
         }
@@ -348,16 +426,16 @@ pub fn build_mesh<T: Send>(n: usize) -> Vec<Endpoint<T>> {
     rxs.into_iter()
         .zip(ret_rxs)
         .enumerate()
-        .map(|(me, (rx, ret_rx))| Endpoint {
-            me,
-            n,
-            txs: channel_txs.clone(),
-            rx,
-            ret_txs: ret_channel_txs.clone(),
-            ret_rx,
-            free: Vec::new(),
-            next_round: 0,
-            pending: VecDeque::new(),
+        .map(|(me, (rx, ret_rx))| {
+            Endpoint::from_parts(
+                me,
+                n,
+                channel_txs.clone(),
+                rx,
+                ret_channel_txs.clone(),
+                ret_rx,
+                Vec::new(),
+            )
         })
         .collect()
 }
@@ -379,7 +457,7 @@ mod tests {
         assert_eq!(got.sent_at, 1.5);
         assert_eq!(got.items, vec![7, 8, 9]);
         let snap = stats.snapshot();
-        assert_eq!(snap.phase(Phase::Async).bytes, 12);
+        assert_eq!(snap.phase(Phase::Async).est_bytes, 12);
         assert_eq!(snap.phase(Phase::Async).items, 3);
     }
 
@@ -392,7 +470,7 @@ mod tests {
         a.send(1, vec![], 0.0, Phase::Coherency, 4, &stats).unwrap();
         let got = b.recv().unwrap();
         assert!(got.items.is_empty());
-        assert_eq!(stats.snapshot().total_bytes(), 0);
+        assert_eq!(stats.snapshot().total_est_bytes(), 0);
         assert_eq!(stats.snapshot().total_batches(), 0);
     }
 
@@ -590,6 +668,31 @@ mod tests {
         assert_eq!(v2.capacity(), cap);
         let snap = stats.snapshot();
         assert_eq!((snap.pool_hits, snap.pool_misses), (1, 1));
+    }
+
+    #[test]
+    fn free_list_cap_evicts_and_counts() {
+        let mut eps = build_mesh::<u32>(1);
+        let mut ep = eps.pop().unwrap();
+        let stats = NetStats::new();
+        // Recycle far more vectors than the cap allows; the overflow must
+        // be dropped, not hoarded.
+        for _ in 0..(POOL_FREE_CAP + 10) {
+            ep.recycle_vec(0, Vec::with_capacity(8));
+        }
+        assert_eq!(ep.free.len(), POOL_FREE_CAP);
+        // Eviction counts ride along until the next take_buffer flush.
+        let _ = ep.take_buffer(&stats);
+        assert_eq!(stats.snapshot().pool_evictions, 10);
+
+        // The return-channel path is capped on drain too.
+        for _ in 0..(POOL_FREE_CAP + 5) {
+            ep.ret_txs[0].send(Vec::with_capacity(4)).unwrap();
+        }
+        let _ = ep.take_buffer(&stats); // drains ret_rx: pool was at cap-1
+        let snap = stats.snapshot();
+        assert!(snap.pool_evictions >= 10 + 4, "drain must evict past-cap returns");
+        assert!(ep.free.len() <= POOL_FREE_CAP);
     }
 
     #[test]

@@ -36,6 +36,22 @@ pub enum CommError {
         /// Machine whose slot held the wrong type.
         machine: usize,
     },
+    /// The wire transport failed: a socket error, a codec failure, or a
+    /// peer that died without the shutdown handshake. Carries the
+    /// `lazygraph_net::NetError` rendering.
+    Transport {
+        /// The machine observing the failure.
+        me: usize,
+        /// The underlying transport error, rendered.
+        detail: String,
+    },
+}
+
+impl CommError {
+    /// Wraps a net-layer error as seen by machine `me`.
+    pub fn transport(me: usize, err: &lazygraph_net::NetError) -> CommError {
+        CommError::Transport { me, detail: err.to_string() }
+    }
 }
 
 impl fmt::Display for CommError {
@@ -55,6 +71,9 @@ impl fmt::Display for CommError {
                     f,
                     "allreduce contribution from machine {machine} has mismatched type"
                 )
+            }
+            CommError::Transport { me, detail } => {
+                write!(f, "machine {me}: transport failure: {detail}")
             }
         }
     }

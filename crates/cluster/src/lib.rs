@@ -18,6 +18,7 @@ pub mod pool;
 pub mod runtime;
 pub mod stats;
 pub mod termination;
+pub mod transport;
 
 pub use collective::Collective;
 pub use comm::{build_mesh, Batch, Endpoint, OutboxSet};
@@ -27,3 +28,4 @@ pub use pool::ThreadPool;
 pub use runtime::{run_machines, try_run_machines};
 pub use stats::{NetStats, Phase, PhaseStats, StatsSnapshot};
 pub use termination::Termination;
+pub use transport::{build_endpoints, connect_tcp_endpoint, TransportKind};

@@ -5,8 +5,28 @@
 //! communication traffic (Fig. 11). [`NetStats`] counts both exactly,
 //! broken down by protocol phase, using relaxed atomics so that the 48
 //! machine threads never contend.
+//!
+//! ## Two byte scales, never silently comparable
+//!
+//! There are **two distinct byte counters** and they measure different
+//! things:
+//!
+//! * **`est_bytes`** (per phase) — the engine's `size_of`-based estimate
+//!   of payload volume, charged at `send` time by every backend. This is
+//!   the quantity the simulated cost model consumes and the Fig. 11
+//!   comparisons use; it is identical whether batches cross a channel or
+//!   a socket.
+//! * **`wire_bytes_sent` / `wire_bytes_recv`** — *measured* frame bytes
+//!   (header + encoded payload) recorded only by the TCP transport's
+//!   writer/reader threads. On the in-proc channel backend these stay 0:
+//!   nothing is serialized, so there is no wire truth to report.
+//!
+//! The names are deliberately different so the two scales cannot be
+//! compared by accident; `bench_exchange` prints both side by side.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use lazygraph_net::{NetError, Wire, WireReader};
 
 /// Which protocol phase a communication belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,7 +72,7 @@ impl Phase {
 /// Shared counters, one instance per engine run.
 #[derive(Debug, Default)]
 pub struct NetStats {
-    bytes: [AtomicU64; NUM_PHASES],
+    est_bytes: [AtomicU64; NUM_PHASES],
     batches: [AtomicU64; NUM_PHASES],
     items: [AtomicU64; NUM_PHASES],
     global_syncs: AtomicU64,
@@ -62,6 +82,11 @@ pub struct NetStats {
     bytes_saved: AtomicU64,
     pool_hits: AtomicU64,
     pool_misses: AtomicU64,
+    pool_evictions: AtomicU64,
+    wire_bytes_sent: AtomicU64,
+    wire_bytes_recv: AtomicU64,
+    wire_frames_sent: AtomicU64,
+    wire_frames_recv: AtomicU64,
 }
 
 impl NetStats {
@@ -70,11 +95,12 @@ impl NetStats {
         NetStats::default()
     }
 
-    /// Records one sent batch of `items` entries totalling `bytes` payload.
+    /// Records one sent batch of `items` entries totalling `est_bytes`
+    /// of *estimated* (`size_of`-based) payload.
     #[inline]
-    pub fn record_batch(&self, phase: Phase, items: u64, bytes: u64) {
+    pub fn record_batch(&self, phase: Phase, items: u64, est_bytes: u64) {
         let i = phase.index();
-        self.bytes[i].fetch_add(bytes, Ordering::Relaxed);
+        self.est_bytes[i].fetch_add(est_bytes, Ordering::Relaxed);
         self.batches[i].fetch_add(1, Ordering::Relaxed);
         self.items[i].fetch_add(items, Ordering::Relaxed);
     }
@@ -120,11 +146,36 @@ impl NetStats {
         }
     }
 
+    /// Records `n` vectors dropped because an endpoint's free list hit its
+    /// cap (capacity that would otherwise be pinned forever after a burst).
+    #[inline]
+    pub fn record_pool_evictions(&self, n: u64) {
+        if n != 0 {
+            self.pool_evictions.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `frames` frames totalling `bytes` *measured* bytes written
+    /// to a socket (header + encoded payload). TCP backend only.
+    #[inline]
+    pub fn record_wire_sent(&self, frames: u64, bytes: u64) {
+        self.wire_frames_sent.fetch_add(frames, Ordering::Relaxed);
+        self.wire_bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records `frames` frames totalling `bytes` *measured* bytes read
+    /// from a socket. TCP backend only.
+    #[inline]
+    pub fn record_wire_recv(&self, frames: u64, bytes: u64) {
+        self.wire_frames_recv.fetch_add(frames, Ordering::Relaxed);
+        self.wire_bytes_recv.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// A consistent snapshot (exact once all machine threads have joined).
     pub fn snapshot(&self) -> StatsSnapshot {
         let mut per_phase = [PhaseStats::default(); NUM_PHASES];
         for (i, p) in per_phase.iter_mut().enumerate() {
-            p.bytes = self.bytes[i].load(Ordering::Relaxed);
+            p.est_bytes = self.est_bytes[i].load(Ordering::Relaxed);
             p.batches = self.batches[i].load(Ordering::Relaxed);
             p.items = self.items[i].load(Ordering::Relaxed);
         }
@@ -137,15 +188,25 @@ impl NetStats {
             bytes_saved: self.bytes_saved.load(Ordering::Relaxed),
             pool_hits: self.pool_hits.load(Ordering::Relaxed),
             pool_misses: self.pool_misses.load(Ordering::Relaxed),
+            pool_evictions: self.pool_evictions.load(Ordering::Relaxed),
+            wire_bytes_sent: self.wire_bytes_sent.load(Ordering::Relaxed),
+            wire_bytes_recv: self.wire_bytes_recv.load(Ordering::Relaxed),
+            wire_frames_sent: self.wire_frames_sent.load(Ordering::Relaxed),
+            wire_frames_recv: self.wire_frames_recv.load(Ordering::Relaxed),
         }
     }
 }
 
-/// Per-phase communication totals.
+/// Per-phase communication totals. `est_bytes` is the `size_of`-based
+/// estimate charged at send time, *not* measured wire truth — see the
+/// module docs for the distinction.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct PhaseStats {
-    pub bytes: u64,
+    /// Estimated payload bytes (`items × size_of` per send).
+    pub est_bytes: u64,
+    /// Non-empty batches sent.
     pub batches: u64,
+    /// Items sent.
     pub items: u64,
 }
 
@@ -159,18 +220,30 @@ pub struct StatsSnapshot {
     /// Contributions folded into an existing wire item before enqueue
     /// (sender-side combining + deltaMsg pre-accumulation).
     pub items_combined: u64,
-    /// Wire payload bytes those folds avoided shipping.
+    /// Estimated payload bytes those folds avoided shipping.
     pub bytes_saved: u64,
     /// Buffer-pool acquisitions served from a recycled vector.
     pub pool_hits: u64,
     /// Buffer-pool acquisitions that had to allocate.
     pub pool_misses: u64,
+    /// Recycled vectors dropped because the free list was at capacity.
+    pub pool_evictions: u64,
+    /// Measured frame bytes written to sockets (0 on the in-proc backend).
+    pub wire_bytes_sent: u64,
+    /// Measured frame bytes read from sockets (0 on the in-proc backend).
+    pub wire_bytes_recv: u64,
+    /// Frames written to sockets.
+    pub wire_frames_sent: u64,
+    /// Frames read from sockets.
+    pub wire_frames_recv: u64,
 }
 
 impl StatsSnapshot {
-    /// Total payload bytes across phases — the Fig. 11 quantity.
-    pub fn total_bytes(&self) -> u64 {
-        self.per_phase.iter().map(|p| p.bytes).sum()
+    /// Total *estimated* payload bytes across phases — the Fig. 11
+    /// quantity. Not comparable to [`Self::wire_bytes_sent`], which counts
+    /// measured frame bytes on the TCP path.
+    pub fn total_est_bytes(&self) -> u64 {
+        self.per_phase.iter().map(|p| p.est_bytes).sum()
     }
 
     /// Total message items across phases.
@@ -186,6 +259,86 @@ impl StatsSnapshot {
     /// Stats for one phase.
     pub fn phase(&self, p: Phase) -> PhaseStats {
         self.per_phase[p.index()]
+    }
+
+    /// Element-wise sum — aggregates per-worker snapshots into a cluster
+    /// total. Valid because every counter is a plain sum over events and
+    /// `global_syncs` is recorded by machine 0 only (so summing worker
+    /// snapshots does not multiply it).
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        for (a, b) in self.per_phase.iter_mut().zip(other.per_phase.iter()) {
+            a.est_bytes += b.est_bytes;
+            a.batches += b.batches;
+            a.items += b.items;
+        }
+        self.global_syncs += other.global_syncs;
+        self.edges_processed += other.edges_processed;
+        self.applies += other.applies;
+        self.items_combined += other.items_combined;
+        self.bytes_saved += other.bytes_saved;
+        self.pool_hits += other.pool_hits;
+        self.pool_misses += other.pool_misses;
+        self.pool_evictions += other.pool_evictions;
+        self.wire_bytes_sent += other.wire_bytes_sent;
+        self.wire_bytes_recv += other.wire_bytes_recv;
+        self.wire_frames_sent += other.wire_frames_sent;
+        self.wire_frames_recv += other.wire_frames_recv;
+    }
+}
+
+impl Wire for PhaseStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.est_bytes.encode(out);
+        self.batches.encode(out);
+        self.items.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        Ok(PhaseStats {
+            est_bytes: u64::decode(r)?,
+            batches: u64::decode(r)?,
+            items: u64::decode(r)?,
+        })
+    }
+}
+
+impl Wire for StatsSnapshot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        for p in &self.per_phase {
+            p.encode(out);
+        }
+        self.global_syncs.encode(out);
+        self.edges_processed.encode(out);
+        self.applies.encode(out);
+        self.items_combined.encode(out);
+        self.bytes_saved.encode(out);
+        self.pool_hits.encode(out);
+        self.pool_misses.encode(out);
+        self.pool_evictions.encode(out);
+        self.wire_bytes_sent.encode(out);
+        self.wire_bytes_recv.encode(out);
+        self.wire_frames_sent.encode(out);
+        self.wire_frames_recv.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        let mut per_phase = [PhaseStats::default(); NUM_PHASES];
+        for p in per_phase.iter_mut() {
+            *p = PhaseStats::decode(r)?;
+        }
+        Ok(StatsSnapshot {
+            per_phase,
+            global_syncs: u64::decode(r)?,
+            edges_processed: u64::decode(r)?,
+            applies: u64::decode(r)?,
+            items_combined: u64::decode(r)?,
+            bytes_saved: u64::decode(r)?,
+            pool_hits: u64::decode(r)?,
+            pool_misses: u64::decode(r)?,
+            pool_evictions: u64::decode(r)?,
+            wire_bytes_sent: u64::decode(r)?,
+            wire_bytes_recv: u64::decode(r)?,
+            wire_frames_sent: u64::decode(r)?,
+            wire_frames_recv: u64::decode(r)?,
+        })
     }
 }
 
@@ -204,11 +357,11 @@ mod tests {
         s.record_edges(100);
         s.record_applies(7);
         let snap = s.snapshot();
-        assert_eq!(snap.phase(Phase::Coherency).bytes, 180);
+        assert_eq!(snap.phase(Phase::Coherency).est_bytes, 180);
         assert_eq!(snap.phase(Phase::Coherency).batches, 2);
         assert_eq!(snap.phase(Phase::Coherency).items, 15);
-        assert_eq!(snap.phase(Phase::Gather).bytes, 8);
-        assert_eq!(snap.total_bytes(), 188);
+        assert_eq!(snap.phase(Phase::Gather).est_bytes, 8);
+        assert_eq!(snap.total_est_bytes(), 188);
         assert_eq!(snap.total_items(), 16);
         assert_eq!(snap.global_syncs, 2);
         assert_eq!(snap.edges_processed, 100);
@@ -230,7 +383,7 @@ mod tests {
         });
         let snap = s.snapshot();
         assert_eq!(snap.phase(Phase::Async).batches, 4000);
-        assert_eq!(snap.phase(Phase::Async).bytes, 64_000);
+        assert_eq!(snap.phase(Phase::Async).est_bytes, 64_000);
     }
 
     #[test]
@@ -242,11 +395,67 @@ mod tests {
         s.record_pool(true);
         s.record_pool(true);
         s.record_pool(false);
+        s.record_pool_evictions(2);
+        s.record_pool_evictions(0); // no-op
         let snap = s.snapshot();
         assert_eq!(snap.items_combined, 5);
         assert_eq!(snap.bytes_saved, 60);
         assert_eq!(snap.pool_hits, 2);
         assert_eq!(snap.pool_misses, 1);
+        assert_eq!(snap.pool_evictions, 2);
+    }
+
+    #[test]
+    fn wire_counters_are_separate_from_estimates() {
+        let s = NetStats::new();
+        s.record_batch(Phase::Gather, 4, 32); // estimate path
+        s.record_wire_sent(1, 51); // measured frame: 5B header + payload
+        s.record_wire_recv(1, 51);
+        let snap = s.snapshot();
+        assert_eq!(snap.total_est_bytes(), 32);
+        assert_eq!(snap.wire_bytes_sent, 51);
+        assert_eq!(snap.wire_bytes_recv, 51);
+        assert_eq!(snap.wire_frames_sent, 1);
+        assert_eq!(snap.wire_frames_recv, 1);
+        // The two scales measure different things and must differ here.
+        assert_ne!(snap.total_est_bytes(), snap.wire_bytes_sent);
+    }
+
+    #[test]
+    fn snapshot_merge_sums_everything() {
+        let a = NetStats::new();
+        a.record_batch(Phase::Coherency, 2, 16);
+        a.record_sync();
+        a.record_wire_sent(3, 300);
+        a.record_pool_evictions(1);
+        let b = NetStats::new();
+        b.record_batch(Phase::Coherency, 3, 24);
+        b.record_wire_recv(2, 200);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.phase(Phase::Coherency).items, 5);
+        assert_eq!(m.phase(Phase::Coherency).est_bytes, 40);
+        assert_eq!(m.global_syncs, 1);
+        assert_eq!(m.wire_bytes_sent, 300);
+        assert_eq!(m.wire_bytes_recv, 200);
+        assert_eq!(m.pool_evictions, 1);
+    }
+
+    #[test]
+    fn snapshot_round_trips_over_the_wire() {
+        let s = NetStats::new();
+        s.record_batch(Phase::Apply, 9, 72);
+        s.record_sync();
+        s.record_edges(123);
+        s.record_applies(45);
+        s.record_combined(6, 48);
+        s.record_pool(true);
+        s.record_pool_evictions(3);
+        s.record_wire_sent(7, 700);
+        s.record_wire_recv(8, 800);
+        let snap = s.snapshot();
+        let back = StatsSnapshot::from_wire(&snap.to_wire()).unwrap();
+        assert_eq!(back, snap);
     }
 
     #[test]

@@ -1,0 +1,492 @@
+//! Transport selection: the same `Endpoint<T>` API over channels or TCP.
+//!
+//! Engines are written against [`Endpoint`] and never learn which backend
+//! carries their batches:
+//!
+//! * **InProc** (default) — the original channel mesh from
+//!   [`build_mesh`]: zero-copy `Vec<T>` moves, buffer-pool recycling,
+//!   no serialization. NetStats byte counters stay `size_of` estimates.
+//! * **Tcp** — every batch is `Wire`-encoded into a length-prefixed Data
+//!   frame and crosses a real socket. Behind the endpoint sit two proxy
+//!   threads per peer connection: a *writer* draining an outbound channel
+//!   onto the socket, and a *reader* reassembling frames into inbound
+//!   batches. NetStats additionally gets **measured** frame bytes.
+//!
+//! ## Failure semantics
+//!
+//! A machine that finishes drops its endpoint; the writers drain what is
+//! queued, send a `Shutdown` frame, and exit — peers treat that as a
+//! clean close. A machine that *dies* (process kill, panic) never sends
+//! `Shutdown`: its peers' readers see EOF, flip the machine-local poison
+//! flag, and exit. Because mesh sockets run with a short read timeout,
+//! every other reader notices the poison on its next tick and exits too,
+//! which disconnects the endpoint's inbound channel — so a blocked
+//! `recv`/`exchange` surfaces [`CommError::MeshClosed`] instead of
+//! hanging forever.
+//!
+//! ## Wire format of a Data frame payload
+//!
+//! ```text
+//! [from: u32] [round: u64] [sent_at: f64 bits as u64] [items: Vec<T>]
+//! ```
+//!
+//! all little-endian via [`Wire`]; see DESIGN.md §10.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use lazygraph_net::{
+    connect_mesh, control_payload, write_frame, FrameKind, FrameReader, NetError, PeerLink,
+    TcpOptions, Wire, WireReader,
+};
+
+use crate::comm::{build_mesh, Batch, Endpoint};
+use crate::error::CommError;
+use crate::stats::NetStats;
+
+/// Which backend carries mesh batches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TransportKind {
+    /// In-process channel mesh (zero-copy, estimates only).
+    #[default]
+    InProc,
+    /// Framed TCP over loopback (serialized, measured wire bytes).
+    Tcp,
+}
+
+impl TransportKind {
+    /// Name for reports and CLI round-tripping.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportKind::InProc => "inproc",
+            TransportKind::Tcp => "tcp",
+        }
+    }
+}
+
+impl std::str::FromStr for TransportKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "inproc" | "channel" | "in-proc" => Ok(TransportKind::InProc),
+            "tcp" => Ok(TransportKind::Tcp),
+            other => Err(format!("unknown transport '{other}' (expected inproc|tcp)")),
+        }
+    }
+}
+
+/// Builds the full mesh for `n` machines over the chosen backend.
+///
+/// For [`TransportKind::Tcp`] the machines still live in this process
+/// (one thread each, exactly like InProc) but every batch crosses a real
+/// loopback socket — the configuration the transport-equivalence tests
+/// use to prove serialization changes nothing.
+pub fn build_endpoints<T: Wire + Send + 'static>(
+    kind: TransportKind,
+    n: usize,
+    stats: &Arc<NetStats>,
+) -> Result<Vec<Endpoint<T>>, CommError> {
+    match kind {
+        TransportKind::InProc => Ok(build_mesh(n)),
+        TransportKind::Tcp => build_tcp_mesh(n, stats, &TcpOptions::default()),
+    }
+}
+
+/// Encodes one batch as a Data-frame payload.
+pub fn encode_batch<T: Wire>(b: &Batch<T>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(21 + b.items.len() * 8);
+    (b.from as u32).encode(&mut out);
+    b.round.encode(&mut out);
+    b.sent_at.encode(&mut out);
+    b.items.encode(&mut out);
+    out
+}
+
+/// Decodes a Data-frame payload back into a batch.
+pub fn decode_batch<T: Wire>(payload: &[u8]) -> Result<Batch<T>, NetError> {
+    let mut r = WireReader::new(payload);
+    let from = u32::decode(&mut r)? as usize;
+    let round = u64::decode(&mut r)?;
+    let sent_at = f64::decode(&mut r)?;
+    let items = Vec::<T>::decode(&mut r)?;
+    r.finish()?;
+    Ok(Batch { from, sent_at, round, items })
+}
+
+fn io_err(me: usize, what: &'static str, e: &std::io::Error) -> CommError {
+    CommError::transport(me, &NetError::from_io(e, what))
+}
+
+/// Builds an all-loopback TCP mesh with every machine in this process.
+///
+/// Listeners are bound (port 0) before any thread dials, so establishment
+/// cannot race; each machine thread then runs the standard dial/accept
+/// split from `lazygraph_net::connect_mesh`.
+pub fn build_tcp_mesh<T: Wire + Send + 'static>(
+    n: usize,
+    stats: &Arc<NetStats>,
+    opts: &TcpOptions,
+) -> Result<Vec<Endpoint<T>>, CommError> {
+    assert!(n > 0);
+    if n == 1 {
+        // A 1-machine mesh has no peers and therefore no sockets.
+        return Ok(build_mesh(1));
+    }
+    let mut listeners = Vec::with_capacity(n);
+    let mut addrs: Vec<SocketAddr> = Vec::with_capacity(n);
+    for me in 0..n {
+        let l = TcpListener::bind("127.0.0.1:0").map_err(|e| io_err(me, "mesh bind", &e))?;
+        let addr = l.local_addr().map_err(|e| io_err(me, "mesh local_addr", &e))?;
+        listeners.push(l);
+        addrs.push(addr);
+    }
+    let handles: Vec<_> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(me, listener)| {
+            let addrs = addrs.clone();
+            let stats = Arc::clone(stats);
+            let opts = opts.clone();
+            std::thread::spawn(move || -> Result<Endpoint<T>, CommError> {
+                let links = connect_mesh(me, &addrs, &listener, &opts)
+                    .map_err(|e| CommError::transport(me, &e))?;
+                Ok(tcp_endpoint(me, n, links, &stats, &opts))
+            })
+        })
+        .collect();
+    let mut endpoints = Vec::with_capacity(n);
+    for (me, h) in handles.into_iter().enumerate() {
+        let ep = h
+            .join()
+            .map_err(|_| CommError::Transport {
+                me,
+                detail: "mesh establishment thread panicked".into(),
+            })??;
+        endpoints.push(ep);
+    }
+    Ok(endpoints)
+}
+
+/// Binds `addrs[me]`, joins the mesh, and returns this machine's endpoint.
+/// The worker-process entry point: one data (or control) mesh per call.
+pub fn connect_tcp_endpoint<T: Wire + Send + 'static>(
+    me: usize,
+    addrs: &[SocketAddr],
+    stats: &Arc<NetStats>,
+    opts: &TcpOptions,
+) -> Result<Endpoint<T>, CommError> {
+    let n = addrs.len();
+    if n == 1 {
+        let mut eps = build_mesh(1);
+        // `build_mesh(1)` returns exactly one endpoint.
+        return eps.pop().ok_or(CommError::MeshClosed { me });
+    }
+    let listener =
+        TcpListener::bind(addrs[me]).map_err(|e| io_err(me, "worker mesh bind", &e))?;
+    let links = connect_mesh(me, addrs, &listener, opts).map_err(|e| CommError::transport(me, &e))?;
+    Ok(tcp_endpoint(me, n, links, stats, opts))
+}
+
+/// Wraps established peer connections into an [`Endpoint`] backed by
+/// writer/reader proxy threads.
+fn tcp_endpoint<T: Wire + Send + 'static>(
+    me: usize,
+    n: usize,
+    links: Vec<PeerLink>,
+    stats: &Arc<NetStats>,
+    opts: &TcpOptions,
+) -> Endpoint<T> {
+    let (in_tx, in_rx) = unbounded::<Batch<T>>();
+    let (ret_tx, ret_rx) = unbounded::<Vec<T>>();
+    // Remote peers cannot take a vector's capacity back over a socket, so
+    // every "return to owner" lands in our own pool instead.
+    let ret_txs: Vec<Sender<Vec<T>>> = (0..n).map(|_| ret_tx.clone()).collect();
+    drop(ret_tx);
+
+    // Self-sends are routed locally by the engines; the slot still needs a
+    // sender, so give it one whose receiver is already gone.
+    let (dead_tx, _) = unbounded::<Batch<T>>();
+    let mut txs: Vec<Option<Sender<Batch<T>>>> = (0..n).map(|_| None).collect();
+    txs[me] = Some(dead_tx);
+
+    // One poison flag per machine: any proxy thread that sees an unclean
+    // failure sets it, and every reader exits on its next timeout tick,
+    // disconnecting `in_rx` so the engine observes `MeshClosed`.
+    let poison = Arc::new(AtomicBool::new(false));
+
+    let mut writers = Vec::with_capacity(links.len());
+    for link in links {
+        let peer = link.peer;
+        let stream = link.stream;
+        let (out_tx, out_rx) = unbounded::<Batch<T>>();
+        txs[peer] = Some(out_tx);
+
+        // Writer half works on a clone; reader keeps the original.
+        match stream.try_clone() {
+            Ok(wstream) => {
+                writers.push(spawn_writer(
+                    me,
+                    peer,
+                    wstream,
+                    out_rx,
+                    Arc::clone(stats),
+                    Arc::clone(&poison),
+                ));
+            }
+            Err(_) => {
+                // No writer: sends to this peer fail as PeerDisconnected
+                // (the out_rx end just dropped), and the mesh is poisoned
+                // so peers don't hang waiting for our batches.
+                poison.store(true, Ordering::Release);
+            }
+        }
+        spawn_reader(
+            me,
+            peer,
+            stream,
+            in_tx.clone(),
+            Arc::clone(stats),
+            Arc::clone(&poison),
+            opts.clone(),
+        );
+    }
+    // Readers hold the only inbound senders from here on.
+    drop(in_tx);
+
+    let txs: Vec<Sender<Batch<T>>> = txs
+        .into_iter()
+        .map(|t| match t {
+            Some(t) => t,
+            // Unreachable in practice (every slot is filled above); a
+            // disconnected sender keeps the failure typed if it ever isn't.
+            None => {
+                let (tx, _) = unbounded();
+                tx
+            }
+        })
+        .collect();
+    // The writer handles ride in the endpoint: dropping it joins them, so
+    // "endpoint dropped" implies "all frames (incl. Shutdown) flushed" —
+    // the guarantee a worker process needs before it may exit.
+    Endpoint::from_parts(me, n, txs, in_rx, ret_txs, ret_rx, writers)
+}
+
+/// Writer proxy: drains the outbound channel onto the socket. Exits when
+/// the endpoint drops (sending the clean Shutdown frame) or on a socket
+/// failure (poisoning the mesh). The returned handle is joined by the
+/// endpoint's drop.
+fn spawn_writer<T: Wire + Send + 'static>(
+    me: usize,
+    peer: usize,
+    mut stream: TcpStream,
+    out_rx: Receiver<Batch<T>>,
+    stats: Arc<NetStats>,
+    poison: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut payload = Vec::new();
+        loop {
+            match out_rx.recv() {
+                Ok(batch) => {
+                    payload.clear();
+                    (batch.from as u32).encode(&mut payload);
+                    batch.round.encode(&mut payload);
+                    batch.sent_at.encode(&mut payload);
+                    batch.items.encode(&mut payload);
+                    match write_frame(&mut stream, FrameKind::Data, &payload) {
+                        Ok(total) => stats.record_wire_sent(1, total as u64),
+                        Err(_) => {
+                            poison.store(true, Ordering::Release);
+                            return;
+                        }
+                    }
+                }
+                // Endpoint dropped: everything queued has been drained
+                // (the channel yields buffered batches before reporting
+                // disconnect), so close cleanly.
+                Err(_) => {
+                    if let Ok(total) =
+                        write_frame(&mut stream, FrameKind::Shutdown, &control_payload(me))
+                    {
+                        stats.record_wire_sent(1, total as u64);
+                    }
+                    let _ = stream.shutdown(std::net::Shutdown::Write);
+                    let _ = peer; // thread identity is for debugging only
+                    return;
+                }
+            }
+        }
+    })
+}
+
+/// Reader proxy: reassembles frames into inbound batches. Exits on the
+/// peer's clean Shutdown, on endpoint drop, or (poisoning the mesh) on
+/// any unclean failure including bare EOF.
+fn spawn_reader<T: Wire + Send + 'static>(
+    me: usize,
+    peer: usize,
+    mut stream: TcpStream,
+    in_tx: Sender<Batch<T>>,
+    stats: Arc<NetStats>,
+    poison: Arc<AtomicBool>,
+    _opts: TcpOptions,
+) {
+    std::thread::spawn(move || {
+        let mut reader = FrameReader::new();
+        loop {
+            match reader.poll(&mut stream) {
+                Ok(Some(frame)) => match frame.kind {
+                    FrameKind::Data => {
+                        stats.record_wire_recv(1, frame.wire_len() as u64);
+                        match decode_batch::<T>(&frame.payload) {
+                            Ok(batch) => {
+                                debug_assert_eq!(batch.from, peer, "machine {me}: spoofed sender");
+                                if in_tx.send(batch).is_err() {
+                                    // Our endpoint is gone; nothing left to
+                                    // deliver to.
+                                    return;
+                                }
+                            }
+                            Err(_) => {
+                                poison.store(true, Ordering::Release);
+                                return;
+                            }
+                        }
+                    }
+                    FrameKind::Shutdown => {
+                        stats.record_wire_recv(1, frame.wire_len() as u64);
+                        return; // clean close: drop our inbound sender
+                    }
+                    FrameKind::Hello => {
+                        poison.store(true, Ordering::Release);
+                        return;
+                    }
+                },
+                // Timeout tick: the moment to notice a poisoned mesh.
+                Ok(None) => {
+                    if poison.load(Ordering::Acquire) {
+                        return;
+                    }
+                }
+                // EOF without Shutdown, or a hard socket/protocol error.
+                Err(_) => {
+                    poison.store(true, Ordering::Release);
+                    return;
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::OutboxSet;
+    use crate::stats::Phase;
+
+    #[test]
+    fn transport_kind_parses() {
+        assert_eq!("inproc".parse::<TransportKind>().unwrap(), TransportKind::InProc);
+        assert_eq!("tcp".parse::<TransportKind>().unwrap(), TransportKind::Tcp);
+        assert!("smoke-signals".parse::<TransportKind>().is_err());
+        assert_eq!(TransportKind::Tcp.name(), "tcp");
+    }
+
+    #[test]
+    fn batch_payload_round_trips() {
+        let b = Batch { from: 3, sent_at: 1.25, round: 42, items: vec![(7u32, -1.5f64), (9, 0.0)] };
+        let payload = encode_batch(&b);
+        let back = decode_batch::<(u32, f64)>(&payload).unwrap();
+        assert_eq!(back.from, 3);
+        assert_eq!(back.round, 42);
+        assert_eq!(back.sent_at.to_bits(), 1.25f64.to_bits());
+        assert_eq!(back.items, b.items);
+    }
+
+    #[test]
+    fn tcp_mesh_exchange_matches_inproc_semantics() {
+        let n = 3;
+        let stats = Arc::new(NetStats::new());
+        let eps = build_tcp_mesh::<u64>(n, &stats, &TcpOptions::default()).unwrap();
+        let sums: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = eps
+                .into_iter()
+                .map(|mut ep| {
+                    let stats = Arc::clone(&stats);
+                    s.spawn(move || {
+                        let mut total = 0u64;
+                        for round in 0..5u64 {
+                            let mut ob = OutboxSet::new(n);
+                            for dst in 0..n {
+                                if dst != ep.me() {
+                                    ob.push(dst, (ep.me() as u64) * 100 + round);
+                                }
+                            }
+                            let got = ep
+                                .exchange(&mut ob, 0.0, Phase::Coherency, 8, &stats)
+                                .unwrap();
+                            assert_eq!(got.len(), n - 1);
+                            // Sorted by sender, like the channel mesh.
+                            for w in got.windows(2) {
+                                assert!(w[0].from < w[1].from);
+                            }
+                            for b in got {
+                                assert_eq!(b.items.len(), 1);
+                                assert_eq!(b.round, round);
+                                total += b.items[0];
+                                ep.recycle(b);
+                            }
+                        }
+                        total
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (d, sum) in sums.iter().enumerate() {
+            let expected: u64 = (0..5)
+                .flat_map(|round| {
+                    (0..n).filter(|&src| src != d).map(move |src| (src as u64) * 100 + round)
+                })
+                .sum();
+            assert_eq!(*sum, expected, "machine {d}");
+        }
+        // Wire truth: measured frame bytes were recorded and differ from
+        // the size_of estimates. (No sent == recv assertion here: the
+        // proxy threads' Shutdown frames are still in flight when the
+        // machine threads join, so the two counters race by a few frames.)
+        let snap = stats.snapshot();
+        assert!(snap.wire_frames_sent >= (5 * n * (n - 1)) as u64);
+        assert!(snap.wire_frames_recv >= (5 * n * (n - 1)) as u64);
+        assert!(snap.wire_bytes_sent > 0);
+        assert_ne!(snap.wire_bytes_sent, snap.total_est_bytes());
+    }
+
+    #[test]
+    fn dropped_endpoint_shuts_down_cleanly() {
+        let n = 2;
+        let stats = Arc::new(NetStats::new());
+        let mut eps = build_tcp_mesh::<u32>(n, &stats, &TcpOptions::default()).unwrap();
+        let mut ep1 = eps.pop().unwrap();
+        let ep0 = eps.pop().unwrap();
+        ep0.send(1, vec![5, 6], 0.0, Phase::Async, 4, &stats).unwrap();
+        let got = ep1.recv().unwrap();
+        assert_eq!(got.items, vec![5, 6]);
+        // Machine 0 finishes and drops its endpoint → writers send
+        // Shutdown → machine 1's reader exits cleanly → inbound channel
+        // disconnects → recv reports MeshClosed rather than hanging.
+        drop(ep0);
+        let err = ep1.recv().unwrap_err();
+        assert_eq!(err, CommError::MeshClosed { me: 1 });
+    }
+
+    #[test]
+    fn single_machine_tcp_mesh_degenerates_to_channels() {
+        let stats = Arc::new(NetStats::new());
+        let eps = build_tcp_mesh::<u32>(1, &stats, &TcpOptions::default()).unwrap();
+        assert_eq!(eps.len(), 1);
+        assert_eq!(stats.snapshot().wire_frames_sent, 0);
+    }
+}

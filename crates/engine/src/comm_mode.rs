@@ -11,6 +11,7 @@
 //! ```
 
 use lazygraph_cluster::CostModel;
+use lazygraph_net::{NetError, Wire, WireReader};
 
 /// Which mode a coherency exchange used.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,6 +60,20 @@ impl VolumeEstimate {
             // A mirror holder accounts its one up-message.
             self.m2m_bytes += delta_size as u64;
         }
+    }
+}
+
+impl Wire for VolumeEstimate {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.a2a_bytes.encode(out);
+        self.m2m_bytes.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        Ok(VolumeEstimate {
+            a2a_bytes: u64::decode(r)?,
+            m2m_bytes: u64::decode(r)?,
+        })
     }
 }
 

@@ -1,7 +1,7 @@
 //! Engine configuration: which engine, which partitioning, which
 //! graph-aware optimisations (§4.2).
 
-use lazygraph_cluster::CostModel;
+use lazygraph_cluster::{CostModel, TransportKind};
 use lazygraph_partition::{PartitionStrategy, SplitterConfig};
 
 /// The four execution engines.
@@ -119,6 +119,12 @@ pub struct EngineConfig {
     /// result-identical to the naive path — the `false` setting exists
     /// for the equivalence tests and as a diagnostics escape hatch.
     pub exchange_fast: bool,
+    /// Mesh transport backend (DESIGN.md §10): `InProc` moves batches over
+    /// lock-free channels untouched (the default; zero-copy, pool-
+    /// recycling); `Tcp` encodes every batch into a length-prefixed frame
+    /// and ships it over loopback sockets. Results are bitwise-identical;
+    /// `NetStats` additionally reports measured frame bytes on `Tcp`.
+    pub transport: TransportKind,
 }
 
 impl EngineConfig {
@@ -140,6 +146,7 @@ impl EngineConfig {
             threads_per_machine: 0,
             block_size: DEFAULT_BLOCK_SIZE,
             exchange_fast: true,
+            transport: TransportKind::InProc,
         }
     }
 
@@ -235,6 +242,12 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style override of the mesh transport backend.
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
+
     /// Resolves `threads_per_machine` for a run on `num_machines` simulated
     /// machines: explicit setting wins, then the `LAZYGRAPH_THREADS` /
     /// `RAYON_NUM_THREADS` environment knobs, then an even split of the
@@ -318,6 +331,13 @@ mod tests {
     fn block_size_floor_is_one() {
         assert_eq!(EngineConfig::lazygraph().block_size, DEFAULT_BLOCK_SIZE);
         assert_eq!(EngineConfig::lazygraph().with_block_size(0).block_size, 1);
+    }
+
+    #[test]
+    fn transport_defaults_to_inproc() {
+        assert_eq!(EngineConfig::lazygraph().transport, TransportKind::InProc);
+        let tcp = EngineConfig::lazygraph().with_transport(TransportKind::Tcp);
+        assert_eq!(tcp.transport, TransportKind::Tcp);
     }
 
     #[test]

@@ -76,6 +76,7 @@ pub fn run_on<P: VertexProgram>(
                     cfg.max_iterations,
                     par,
                     cfg.exchange_fast,
+                    cfg.transport,
                     stats.clone(),
                     breakdown.clone(),
                     cfg.record_history.then(|| history.clone()),
@@ -84,7 +85,7 @@ pub fn run_on<P: VertexProgram>(
             }
             EngineKind::PowerGraphAsync => {
                 let (values, sim) =
-                    run_async_engine(dg, program, cfg.cost, par, stats.clone())?;
+                    run_async_engine(dg, program, cfg.cost, par, cfg.transport, stats.clone())?;
                 (values, 0, 0, 0, 0, 0, sim, true)
             }
             EngineKind::LazyBlockAsync => {
@@ -102,6 +103,7 @@ pub fn run_on<P: VertexProgram>(
                     program,
                     params,
                     par,
+                    cfg.transport,
                     stats.clone(),
                     breakdown.clone(),
                     history.clone(),
@@ -127,14 +129,21 @@ pub fn run_on<P: VertexProgram>(
                     dg,
                     program,
                     params,
+                    cfg.transport,
                     stats.clone(),
                     breakdown.clone(),
                 )?;
                 (values, supersteps, 0, 0, 0, 0, sim, true)
             }
             EngineKind::LazyVertexAsync => {
-                let (values, sim, c) =
-                    run_lazy_vertex_engine(dg, program, cfg.cost, par, stats.clone())?;
+                let (values, sim, c) = run_lazy_vertex_engine(
+                    dg,
+                    program,
+                    cfg.cost,
+                    par,
+                    cfg.transport,
+                    stats.clone(),
+                )?;
                 (
                     values,
                     0,

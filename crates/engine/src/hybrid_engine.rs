@@ -20,8 +20,8 @@
 use std::sync::Arc;
 
 use lazygraph_cluster::{
-    build_mesh, Collective, CommError, CostModel, Endpoint, NetStats, OutboxSet, Phase, SimClock,
-    Termination,
+    build_endpoints, Collective, CommError, CostModel, Endpoint, NetStats, OutboxSet, Phase,
+    SimClock, Termination, TransportKind,
 };
 use lazygraph_partition::{DistributedGraph, LocalShard};
 use parking_lot::Mutex;
@@ -54,13 +54,14 @@ pub fn run_hybrid_engine<P: VertexProgram>(
     dg: &DistributedGraph,
     program: &P,
     params: HybridParams,
+    transport: TransportKind,
     stats: Arc<NetStats>,
     breakdown: Arc<Mutex<SimBreakdown>>,
 ) -> EngineOutput<P::VData> {
     let p = dg.num_machines;
     let coll = Arc::new(Collective::new(p));
     let term = Arc::new(Termination::new(p));
-    let endpoints = build_mesh::<(u32, SyncMsg<P>)>(p);
+    let endpoints = build_endpoints::<(u32, SyncMsg<P>)>(transport, p, &stats)?;
     #[allow(clippy::type_complexity)]
     let workers: Vec<(&LocalShard, Endpoint<(u32, SyncMsg<P>)>)> =
         dg.shards.iter().zip(endpoints).collect();

@@ -22,8 +22,10 @@
 use std::sync::Arc;
 
 use lazygraph_cluster::{
-    build_mesh, Collective, CommError, CostModel, Endpoint, NetStats, OutboxSet, Phase, SimClock,
+    build_endpoints, Collective, CommError, CostModel, Endpoint, NetStats, OutboxSet, Phase,
+    SimClock, TransportKind,
 };
+use lazygraph_net::{NetError, Wire, WireReader};
 use lazygraph_partition::{DistributedGraph, EdgeMode, LocalShard, NO_LOCAL};
 use parking_lot::Mutex;
 
@@ -47,12 +49,53 @@ pub struct LazyCounters {
     pub m2m_exchanges: u64,
 }
 
-struct MachineOut<P: VertexProgram> {
-    masters: Vec<(u32, P::VData)>,
-    iterations: u64,
-    converged: bool,
-    sim_time: f64,
-    counters: LazyCounters,
+impl Wire for LazyCounters {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.coherency_points.encode(out);
+        self.local_subrounds.encode(out);
+        self.a2a_exchanges.encode(out);
+        self.m2m_exchanges.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        Ok(LazyCounters {
+            coherency_points: u64::decode(r)?,
+            local_subrounds: u64::decode(r)?,
+            a2a_exchanges: u64::decode(r)?,
+            m2m_exchanges: u64::decode(r)?,
+        })
+    }
+}
+
+/// Per-machine outcome. Public (with a [`Wire`] impl) so the multiprocess
+/// worker binary can run one machine's loop and ship the result back to
+/// the launcher for [`assemble`].
+pub struct MachineOut<P: VertexProgram> {
+    pub masters: Vec<(u32, P::VData)>,
+    pub iterations: u64,
+    pub converged: bool,
+    pub sim_time: f64,
+    pub counters: LazyCounters,
+}
+
+impl<P: VertexProgram> Wire for MachineOut<P> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.masters.encode(out);
+        self.iterations.encode(out);
+        self.converged.encode(out);
+        self.sim_time.encode(out);
+        self.counters.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        Ok(MachineOut {
+            masters: Vec::<(u32, P::VData)>::decode(r)?,
+            iterations: u64::decode(r)?,
+            converged: bool::decode(r)?,
+            sim_time: f64::decode(r)?,
+            counters: LazyCounters::decode(r)?,
+        })
+    }
 }
 
 /// Configuration slice the lazy engine needs.
@@ -78,18 +121,20 @@ pub struct LazyParams {
 pub type LazyBlockOutput<V> = Result<(Vec<V>, u64, bool, f64, LazyCounters), CommError>;
 
 /// Runs LazyBlockAsync to convergence.
+#[allow(clippy::too_many_arguments)]
 pub fn run_lazy_block_engine<P: VertexProgram>(
     dg: &DistributedGraph,
     program: &P,
     params: LazyParams,
     par: ParallelConfig,
+    transport: TransportKind,
     stats: Arc<NetStats>,
     breakdown: Arc<Mutex<SimBreakdown>>,
     history: Arc<Mutex<Vec<IterationRecord>>>,
 ) -> LazyBlockOutput<P::VData> {
     let p = dg.num_machines;
     let coll = Arc::new(Collective::new(p));
-    let endpoints = build_mesh::<(u32, P::Delta)>(p);
+    let endpoints = build_endpoints::<(u32, P::Delta)>(transport, p, &stats)?;
     #[allow(clippy::type_complexity)]
     let workers: Vec<(usize, &LocalShard, Endpoint<(u32, P::Delta)>)> = dg
         .shards
@@ -116,6 +161,16 @@ pub fn run_lazy_block_engine<P: VertexProgram>(
             history.clone(),
         )
     })?;
+    assemble(outs, num_vertices)
+}
+
+/// Folds per-machine outcomes into the driver-facing result. Public so a
+/// multiprocess launcher can assemble worker-shipped [`MachineOut`]s with
+/// exactly the in-process rules.
+pub fn assemble<P: VertexProgram>(
+    outs: Vec<MachineOut<P>>,
+    num_vertices: usize,
+) -> LazyBlockOutput<P::VData> {
     let iterations = outs[0].iterations;
     let converged = outs[0].converged;
     let sim_time = outs.iter().map(|o| o.sim_time).fold(0.0, f64::max);
@@ -135,6 +190,42 @@ pub fn run_lazy_block_engine<P: VertexProgram>(
         .map(|(gid, v)| v.unwrap_or_else(|| panic!("vertex {gid} has no master value")))
         .collect();
     Ok((values, iterations, converged, sim_time, counters))
+}
+
+/// One machine's share of a LazyBlockAsync run, callable from a separate
+/// worker process: the caller supplies the endpoint (a TCP mesh leg built
+/// with [`lazygraph_cluster::connect_tcp_endpoint`]) and a mesh-backed
+/// [`Collective`]. `params.record_history` is ignored here (the trace
+/// sink is process-local); multiprocess launchers run without history.
+#[allow(clippy::too_many_arguments)]
+pub fn run_lazy_block_machine<P: VertexProgram>(
+    me: usize,
+    shard: &LocalShard,
+    ep: Endpoint<(u32, P::Delta)>,
+    coll: Arc<Collective>,
+    program: &P,
+    num_vertices: usize,
+    ev_ratio: f64,
+    params: LazyParams,
+    par: ParallelConfig,
+    stats: Arc<NetStats>,
+    breakdown: Arc<Mutex<SimBreakdown>>,
+) -> Result<MachineOut<P>, CommError> {
+    let history = Arc::new(Mutex::new(Vec::new()));
+    machine_loop(
+        me,
+        shard,
+        ep,
+        program,
+        num_vertices,
+        ev_ratio,
+        params,
+        par,
+        coll,
+        stats,
+        breakdown,
+        history,
+    )
 }
 
 /// One blocked apply+scatter sweep over a sorted worklist: the engine-side

@@ -17,7 +17,8 @@
 use std::sync::Arc;
 
 use lazygraph_cluster::{
-    build_mesh, CommError, CostModel, Endpoint, NetStats, OutboxSet, Phase, SimClock, Termination,
+    build_endpoints, CommError, CostModel, Endpoint, NetStats, OutboxSet, Phase, SimClock,
+    Termination, TransportKind,
 };
 use lazygraph_partition::{DistributedGraph, LocalShard, NO_LOCAL};
 
@@ -39,10 +40,11 @@ pub fn run_lazy_vertex_engine<P: VertexProgram>(
     program: &P,
     cost: CostModel,
     par: ParallelConfig,
+    transport: TransportKind,
     stats: Arc<NetStats>,
 ) -> Result<(Vec<P::VData>, f64, LazyCounters), CommError> {
     let p = dg.num_machines;
-    let endpoints = build_mesh::<(u32, P::Delta)>(p);
+    let endpoints = build_endpoints::<(u32, P::Delta)>(transport, p, &stats)?;
     let term = Arc::new(Termination::new(p));
     #[allow(clippy::type_complexity)]
     let workers: Vec<(&LocalShard, Endpoint<(u32, P::Delta)>)> =

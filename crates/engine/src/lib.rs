@@ -31,7 +31,7 @@ pub use comm_mode::{choose_mode, CommMode, VolumeEstimate};
 pub use config::{CommModePolicy, EngineConfig, EngineKind, IntervalPolicy, DEFAULT_BLOCK_SIZE};
 pub use parallel::{ParallelConfig, ParallelCtx};
 pub use driver::{run, run_on, RunResult};
-pub use lazygraph_cluster::CommError;
+pub use lazygraph_cluster::{CommError, TransportKind};
 pub use interval::IntervalModel;
 pub use metrics::{RunMetrics, SimBreakdown};
 pub use program::{EdgeCtx, VertexCtx, VertexProgram};

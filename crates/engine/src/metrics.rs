@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use lazygraph_cluster::StatsSnapshot;
+use lazygraph_net::{NetError, Wire, WireReader};
 
 /// Simulated-time breakdown, accumulated by machine 0 at each collective.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -19,6 +20,24 @@ impl SimBreakdown {
     /// Total of the tracked components.
     pub fn total(&self) -> f64 {
         self.compute + self.comm + self.barrier
+    }
+}
+
+/// Shipped from multiprocess worker 0 (the only recorder) back to the
+/// launcher; f64 components ride as IEEE-754 bit patterns.
+impl Wire for SimBreakdown {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.compute.encode(out);
+        self.comm.encode(out);
+        self.barrier.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        Ok(SimBreakdown {
+            compute: f64::decode(r)?,
+            comm: f64::decode(r)?,
+            barrier: f64::decode(r)?,
+        })
     }
 }
 
@@ -80,9 +99,11 @@ pub struct RunMetrics {
 }
 
 impl RunMetrics {
-    /// Total communication traffic in bytes (Fig. 11's quantity).
+    /// Total communication traffic in *estimated* bytes (Fig. 11's
+    /// quantity; the transport-independent cost-model scale — see
+    /// `lazygraph_cluster::stats` for the estimate/measured split).
     pub fn traffic_bytes(&self) -> u64 {
-        self.stats.total_bytes()
+        self.stats.total_est_bytes()
     }
 
     /// Number of global synchronisations (Fig. 10's quantity).

@@ -16,6 +16,7 @@
 use std::fmt::Debug;
 
 use lazygraph_graph::VertexId;
+use lazygraph_net::Wire;
 
 /// Per-vertex context available to the program's operators: the *user-view*
 /// (global) degrees — a replica sees its vertex's whole-graph degrees, not
@@ -67,11 +68,17 @@ pub enum DeltaExchange {
 ///   unchanged, because re-applying one's own contribution is harmless;
 /// * [`VertexProgram::apply`] must be a deterministic function of the
 ///   current value and the accumulator.
-pub trait VertexProgram: Send + Sync {
+/// Both associated types carry a [`Wire`] bound so every engine message is
+/// transport-agnostic: the in-proc mesh moves the values untouched, while
+/// the TCP backend encodes them with the deterministic little-endian codec
+/// (bit-identical on every platform, so a TCP run reproduces an in-proc
+/// run exactly). The `'static` supertrait lets the TCP proxy threads hold
+/// program message types beyond the engine scope.
+pub trait VertexProgram: Send + Sync + 'static {
     /// Vertex value type.
-    type VData: Clone + Send + Sync + PartialEq + Debug + 'static;
+    type VData: Clone + Send + Sync + PartialEq + Debug + Wire + 'static;
     /// Message / delta type.
-    type Delta: Copy + Send + Sync + PartialEq + Debug + 'static;
+    type Delta: Copy + Send + Sync + PartialEq + Debug + Wire + 'static;
 
     /// Short name for reports.
     fn name(&self) -> &'static str;

@@ -18,8 +18,10 @@
 use std::sync::Arc;
 
 use lazygraph_cluster::{
-    build_mesh, Collective, CommError, CostModel, Endpoint, NetStats, OutboxSet, Phase, SimClock,
+    build_endpoints, Collective, CommError, CostModel, Endpoint, NetStats, OutboxSet, Phase,
+    SimClock, TransportKind,
 };
+use lazygraph_net::{NetError, Wire, WireReader};
 use lazygraph_partition::{DistributedGraph, LocalShard, NO_LOCAL};
 use parking_lot::Mutex;
 
@@ -42,17 +44,67 @@ pub enum SyncMsg<P: VertexProgram> {
     },
 }
 
+impl<P: VertexProgram> Wire for SyncMsg<P> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            SyncMsg::Accum(d) => {
+                out.push(0);
+                d.encode(out);
+            }
+            SyncMsg::Update { data, scatter } => {
+                out.push(1);
+                data.encode(out);
+                scatter.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        match r.take_u8()? {
+            0 => Ok(SyncMsg::Accum(P::Delta::decode(r)?)),
+            1 => Ok(SyncMsg::Update {
+                data: P::VData::decode(r)?,
+                scatter: Option::<P::Delta>::decode(r)?,
+            }),
+            tag => Err(NetError::BadTag {
+                tag,
+                ty: "SyncMsg",
+            }),
+        }
+    }
+}
+
 struct Worker<'a, P: VertexProgram> {
     shard: &'a LocalShard,
     ep: Endpoint<(u32, SyncMsg<P>)>,
 }
 
-/// Per-machine outcome.
-struct MachineOut<P: VertexProgram> {
-    masters: Vec<(u32, P::VData)>,
-    iterations: u64,
-    converged: bool,
-    sim_time: f64,
+/// Per-machine outcome. Public (with a [`Wire`] impl) so the multiprocess
+/// worker binary can run one machine's loop and ship the result back to
+/// the launcher for [`assemble`].
+pub struct MachineOut<P: VertexProgram> {
+    pub masters: Vec<(u32, P::VData)>,
+    pub iterations: u64,
+    pub converged: bool,
+    pub sim_time: f64,
+}
+
+impl<P: VertexProgram> Wire for MachineOut<P> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.masters.encode(out);
+        self.iterations.encode(out);
+        self.converged.encode(out);
+        self.sim_time.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        Ok(MachineOut {
+            masters: Vec::<(u32, P::VData)>::decode(r)?,
+            iterations: u64::decode(r)?,
+            converged: bool::decode(r)?,
+            sim_time: f64::decode(r)?,
+        })
+    }
 }
 
 /// `(values, supersteps, converged, sim_time)` or the first machine's
@@ -69,13 +121,14 @@ pub fn run_sync_engine<P: VertexProgram>(
     max_iterations: u64,
     par: ParallelConfig,
     exchange_fast: bool,
+    transport: TransportKind,
     stats: Arc<NetStats>,
     breakdown: Arc<Mutex<SimBreakdown>>,
     history: Option<Arc<Mutex<Vec<IterationRecord>>>>,
 ) -> EngineOutput<P::VData> {
     let p = dg.num_machines;
     let coll = Arc::new(Collective::new(p));
-    let endpoints = build_mesh::<(u32, SyncMsg<P>)>(p);
+    let endpoints = build_endpoints::<(u32, SyncMsg<P>)>(transport, p, &stats)?;
     let workers: Vec<Worker<P>> = dg
         .shards
         .iter()
@@ -99,6 +152,40 @@ pub fn run_sync_engine<P: VertexProgram>(
         )
     })?;
     Ok(assemble(outs, num_vertices))
+}
+
+/// One machine's share of a Sync run, callable from a separate worker
+/// process: the caller supplies the endpoint (a TCP mesh leg built with
+/// [`lazygraph_cluster::connect_tcp_endpoint`]) and a mesh-backed
+/// [`Collective`]. The in-process [`run_sync_engine`] and a multiprocess
+/// launcher driving this function produce bitwise-identical results.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sync_machine<P: VertexProgram>(
+    shard: &LocalShard,
+    ep: Endpoint<(u32, SyncMsg<P>)>,
+    coll: Arc<Collective>,
+    program: &P,
+    num_vertices: usize,
+    cost: CostModel,
+    max_iterations: u64,
+    par: ParallelConfig,
+    exchange_fast: bool,
+    stats: Arc<NetStats>,
+    breakdown: Arc<Mutex<SimBreakdown>>,
+) -> Result<MachineOut<P>, CommError> {
+    machine_loop(
+        Worker { shard, ep },
+        program,
+        num_vertices,
+        cost,
+        max_iterations,
+        par,
+        exchange_fast,
+        coll,
+        stats,
+        breakdown,
+        None,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -399,7 +486,10 @@ fn machine_loop<P: VertexProgram>(
     })
 }
 
-fn assemble<P: VertexProgram>(
+/// Folds per-machine outcomes into the driver-facing result. Public so a
+/// multiprocess launcher can assemble worker-shipped [`MachineOut`]s with
+/// exactly the in-process rules.
+pub fn assemble<P: VertexProgram>(
     outs: Vec<MachineOut<P>>,
     num_vertices: usize,
 ) -> (Vec<P::VData>, u64, bool, f64) {

@@ -1,0 +1,33 @@
+//! `lazygraph-net`: the wire layer under the mesh.
+//!
+//! Everything a value needs to leave its process: a deterministic
+//! little-endian codec ([`Wire`]), length-prefixed framing robust to
+//! torn reads ([`FrameReader`]), and TCP mesh establishment with retry,
+//! backoff, and a clean shutdown handshake ([`connect_mesh`]).
+//!
+//! This crate is a leaf — no dependencies, `std::net` only — so the
+//! cluster layer can build its transport on top without cycles. It knows
+//! nothing about engines, batches, or graph types; the cluster layer
+//! owns the mapping between `Batch<T>` and Data-frame payloads, and maps
+//! [`NetError`] onto `CommError` at its boundary.
+//!
+//! See DESIGN.md §10 for the frame format and the transport-selection
+//! matrix.
+
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod frame;
+pub mod tcp;
+pub mod wire;
+
+pub use error::NetError;
+pub use frame::{
+    control_payload, decode_control_payload, encode_frame_into, write_frame, FrameKind,
+    FrameReader, RawFrame, HEADER_LEN, MAX_FRAME,
+};
+pub use tcp::{
+    await_shutdown, connect_mesh, connect_with_backoff, drain_until_eof, send_shutdown, PeerLink,
+    TcpOptions,
+};
+pub use wire::{Wire, WireReader};

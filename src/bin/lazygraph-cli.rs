@@ -7,6 +7,7 @@
 //!                    [--partition coordinated|random|grid|hybrid]
 //!                    [--source 0] [--k 3] [--tolerance 1e-3] [--scale 0.1]
 //!                    [--threads N] [--block-size 1024]
+//!                    [--transport inproc|tcp] [--multiprocess]
 //!                    [--symmetrize] [--weights LO:HI] [--output values.txt]
 //! lazygraph-cli info --input <...> [--machines 48] [--scale 0.1]
 //! lazygraph-cli generate --kind rmat|road|web|social --vertices N --out FILE
@@ -14,7 +15,9 @@
 
 use std::process::exit;
 
+use lazygraph::multiproc::{run_multiprocess, AlgoSpec, MultiprocOutcome};
 use lazygraph::prelude::*;
+use lazygraph_engine::TransportKind;
 use lazygraph_algorithms::{
     reference, Bfs, ConnectedComponents, KCore, PageRankDelta, Sssp, WidestPath,
 };
@@ -173,6 +176,13 @@ fn engine_config(opts: &Opts) -> EngineConfig {
     if opts.flags.contains("history") {
         cfg.record_history = true;
     }
+    if let Some(t) = opts.get("transport") {
+        let kind: TransportKind = t.parse().unwrap_or_else(|e: String| {
+            eprintln!("--transport: {e}");
+            exit(2);
+        });
+        cfg = cfg.with_transport(kind);
+    }
     cfg
 }
 
@@ -191,6 +201,101 @@ fn write_values<T: std::fmt::Display>(opts: &Opts, values: &[T]) {
     }
 }
 
+/// Locates the `lazygraph-worker` binary next to the running CLI.
+fn worker_bin() -> std::path::PathBuf {
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("cannot locate current executable: {e}");
+        exit(1);
+    });
+    let name = if cfg!(windows) {
+        "lazygraph-worker.exe"
+    } else {
+        "lazygraph-worker"
+    };
+    exe.with_file_name(name)
+}
+
+/// Launches a multiprocess run and prints its summary line; returns the
+/// final vertex values.
+fn mp_run<P: VertexProgram>(
+    graph: &Graph,
+    machines: usize,
+    cfg: &EngineConfig,
+    spec: &AlgoSpec,
+) -> Vec<P::VData> {
+    let out: MultiprocOutcome<P::VData> =
+        run_multiprocess::<P>(graph, machines, cfg, spec, &worker_bin()).unwrap_or_else(|e| {
+            eprintln!("multiprocess run failed: {e}");
+            exit(1);
+        });
+    println!(
+        "multiprocess {} workers: {} iterations, converged={}, sim_time {:.4}s, \
+         est {} B (cost model), wire {} B sent / {} frames (measured)",
+        machines,
+        out.iterations,
+        out.converged,
+        out.sim_time,
+        out.stats.total_est_bytes(),
+        out.stats.wire_bytes_sent,
+        out.stats.wire_frames_sent,
+    );
+    out.values
+}
+
+fn cmd_run_multiprocess(opts: &Opts, graph: &Graph, machines: usize, cfg: &EngineConfig) {
+    let algorithm = opts.get("algorithm").unwrap_or_else(|| usage());
+    match algorithm {
+        "sssp" => {
+            let spec = AlgoSpec::Sssp {
+                source: opts.parse_num("source", 0u32),
+            };
+            let values = mp_run::<Sssp>(graph, machines, cfg, &spec);
+            write_values(opts, &values);
+        }
+        "bfs" => {
+            let spec = AlgoSpec::Bfs {
+                source: opts.parse_num("source", 0u32),
+            };
+            let values = mp_run::<Bfs>(graph, machines, cfg, &spec);
+            write_values(opts, &values);
+        }
+        "widest" => {
+            let spec = AlgoSpec::Widest {
+                source: opts.parse_num("source", 0u32),
+            };
+            let values = mp_run::<WidestPath>(graph, machines, cfg, &spec);
+            write_values(opts, &values);
+        }
+        "pagerank" => {
+            let spec = AlgoSpec::PageRank {
+                tolerance: opts.parse_num("tolerance", 1e-3),
+            };
+            let values = mp_run::<PageRankDelta>(graph, machines, cfg, &spec);
+            let ranks: Vec<String> = values.iter().map(|d| format!("{:.6}", d.rank)).collect();
+            write_values(opts, &ranks);
+        }
+        "cc" => {
+            let cfg = cfg.clone().with_bidirectional(true);
+            let values = mp_run::<ConnectedComponents>(graph, machines, &cfg, &AlgoSpec::Cc);
+            let components: std::collections::HashSet<_> = values.iter().collect();
+            println!("{} connected components", components.len());
+            write_values(opts, &values);
+        }
+        "kcore" => {
+            let k: u32 = opts.parse_num("k", 3);
+            let cfg = cfg.clone().with_bidirectional(true);
+            let values = mp_run::<KCore>(graph, machines, &cfg, &AlgoSpec::KCore { k });
+            let survivors = values.iter().filter(|&&c| c > 0).count();
+            println!("{survivors} vertices in the {k}-core");
+            write_values(opts, &values);
+        }
+        other => {
+            eprintln!("unknown algorithm {other}");
+            usage();
+        }
+    }
+}
+
 fn cmd_run(opts: &Opts) {
     let graph = load_input(opts);
     let machines: usize = opts.parse_num("machines", 8);
@@ -203,6 +308,9 @@ fn cmd_run(opts: &Opts) {
         machines,
         cfg.engine.name()
     );
+    if opts.flags.contains("multiprocess") {
+        return cmd_run_multiprocess(opts, &graph, machines, &cfg);
+    }
     match algorithm {
         "sssp" => {
             let source = VertexId(opts.parse_num("source", 0u32));

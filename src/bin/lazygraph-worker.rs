@@ -1,0 +1,217 @@
+//! One machine of a multiprocess LazyGraph run (DESIGN.md §10).
+//!
+//! Spawned by [`lazygraph::multiproc::run_multiprocess`] (or the CLI's
+//! `--multiprocess` flag) as `lazygraph-worker --job J --me I --out R`:
+//! decodes the Wire-encoded [`WorkerJob`], deterministically rebuilds and
+//! re-partitions the graph (so all workers agree on placement without
+//! shipping shard structures), joins the control and data TCP meshes over
+//! loopback, runs its machine loop, and writes its Wire-encoded result —
+//! `MachineOut ++ StatsSnapshot ++ SimBreakdown` — to the output path.
+//!
+//! Exit status 0 means the result file is complete; any failure prints to
+//! stderr and exits 1, which the launcher surfaces as
+//! `MultiprocError::Worker`. A worker dying mid-run poisons its peers'
+//! mesh legs, so the whole gang fails fast instead of hanging.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use lazygraph::multiproc::{AlgoSpec, WorkerJob};
+use lazygraph_algorithms::{Bfs, ConnectedComponents, KCore, PageRankDelta, Sssp, WidestPath};
+use lazygraph_cluster::{connect_tcp_endpoint, Collective, NetStats};
+use lazygraph_engine::lazy_block::{self, LazyParams};
+use lazygraph_engine::sync_engine::{self, SyncMsg};
+use lazygraph_engine::{EngineKind, ParallelConfig, SimBreakdown, VertexProgram};
+use lazygraph_graph::{Edge, GraphBuilder, VertexId};
+use lazygraph_net::{TcpOptions, Wire};
+use lazygraph_partition::partition_graph;
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("lazygraph-worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Args {
+    job: PathBuf,
+    me: usize,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut job = None;
+    let mut me = None;
+    let mut out = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--job" => job = Some(PathBuf::from(val()?)),
+            "--me" => {
+                me = Some(
+                    val()?
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad --me: {e}"))?,
+                )
+            }
+            "--out" => out = Some(PathBuf::from(val()?)),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Args {
+        job: job.ok_or("missing --job")?,
+        me: me.ok_or("missing --me")?,
+        out: out.ok_or("missing --out")?,
+    })
+}
+
+fn real_main() -> Result<(), String> {
+    let args = parse_args()?;
+    let bytes = std::fs::read(&args.job)
+        .map_err(|e| format!("reading job file {}: {e}", args.job.display()))?;
+    let job = WorkerJob::from_wire(&bytes).map_err(|e| format!("decoding job: {e}"))?;
+    if args.me >= job.num_machines {
+        return Err(format!(
+            "--me {} out of range for {} machines",
+            args.me, job.num_machines
+        ));
+    }
+    match job.algo.clone() {
+        AlgoSpec::PageRank { tolerance } => run_worker(&job, args, PageRankDelta { tolerance }),
+        AlgoSpec::Sssp { source } => run_worker(&job, args, Sssp::new(source)),
+        AlgoSpec::Bfs { source } => run_worker(&job, args, Bfs::new(source)),
+        AlgoSpec::Cc => run_worker(&job, args, ConnectedComponents),
+        AlgoSpec::KCore { k } => run_worker(&job, args, KCore::new(k)),
+        AlgoSpec::Widest { source } => run_worker(&job, args, WidestPath::new(source)),
+    }
+}
+
+fn parse_addrs(addrs: &[String]) -> Result<Vec<SocketAddr>, String> {
+    addrs
+        .iter()
+        .map(|a| a.parse().map_err(|e| format!("bad mesh address {a}: {e}")))
+        .collect()
+}
+
+/// Runs this worker's machine and writes the result file.
+fn run_worker<P: VertexProgram>(job: &WorkerJob, args: Args, program: P) -> Result<(), String> {
+    let me = args.me;
+    let data_addrs = parse_addrs(&job.data_addrs)?;
+    let ctrl_addrs = parse_addrs(&job.ctrl_addrs)?;
+
+    // Rebuild the graph exactly: same vertex count, same edge order, same
+    // weight bit patterns — then the deterministic partitioner puts every
+    // worker in agreement on placement.
+    let mut builder = GraphBuilder::new(job.num_vertices);
+    builder.extend(job.edges.iter().map(|&(s, d, w)| Edge {
+        src: VertexId(s),
+        dst: VertexId(d),
+        weight: w,
+    }));
+    let graph = builder.build();
+    let dg = partition_graph(
+        &graph,
+        job.num_machines,
+        job.partition,
+        &job.splitter,
+        job.bidirectional,
+    );
+    let shard = &dg.shards[me];
+
+    let stats = Arc::new(NetStats::default());
+    let breakdown = Arc::new(Mutex::new(SimBreakdown::default()));
+    let par = ParallelConfig {
+        threads: job.threads_per_machine.max(1),
+        block_size: job.block_size.max(1),
+    };
+    let opts = TcpOptions::default();
+
+    // Mesh establishment order is part of the protocol: every worker
+    // joins the control mesh first, then the engine-typed data mesh.
+    let ctrl_ep = connect_tcp_endpoint::<u8>(me, &ctrl_addrs, &stats, &opts)
+        .map_err(|e| format!("control mesh: {e}"))?;
+    let coll = Arc::new(Collective::mesh(ctrl_ep));
+
+    let mut result = Vec::new();
+    match job.engine {
+        EngineKind::PowerGraphSync => {
+            let ep = connect_tcp_endpoint::<(u32, SyncMsg<P>)>(me, &data_addrs, &stats, &opts)
+                .map_err(|e| format!("data mesh: {e}"))?;
+            let out = sync_engine::run_sync_machine(
+                shard,
+                ep,
+                coll,
+                &program,
+                dg.num_global_vertices,
+                job.cost,
+                job.max_iterations,
+                par,
+                job.exchange_fast,
+                stats.clone(),
+                breakdown.clone(),
+            )
+            .map_err(|e| format!("sync machine {me}: {e}"))?;
+            out.encode(&mut result);
+        }
+        EngineKind::LazyBlockAsync => {
+            let params = LazyParams {
+                cost: job.cost,
+                max_iterations: job.max_iterations,
+                comm_mode: job.comm_mode,
+                interval: job.interval,
+                delta_suppression: job.delta_suppression,
+                record_history: false,
+                exchange_fast: job.exchange_fast,
+            };
+            let ep = connect_tcp_endpoint::<(u32, P::Delta)>(me, &data_addrs, &stats, &opts)
+                .map_err(|e| format!("data mesh: {e}"))?;
+            let out = lazy_block::run_lazy_block_machine(
+                me,
+                shard,
+                ep,
+                coll,
+                &program,
+                dg.num_global_vertices,
+                dg.ev_ratio,
+                params,
+                par,
+                stats.clone(),
+                breakdown.clone(),
+            )
+            .map_err(|e| format!("lazy machine {me}: {e}"))?;
+            if std::env::var_os("LAZYGRAPH_MP_DEBUG").is_some() {
+                eprintln!(
+                    "worker {me}: iters={} converged={} counters={:?}",
+                    out.iterations, out.converged, out.counters
+                );
+            }
+            out.encode(&mut result);
+        }
+        other => {
+            return Err(format!(
+                "engine {} cannot run multiprocess (shared-memory termination)",
+                other.name()
+            ))
+        }
+    }
+
+    // Result file layout: MachineOut ++ StatsSnapshot ++ SimBreakdown.
+    // The snapshot is taken after the run; detached writer proxies may
+    // still flush shutdown frames, so frame counters are best-effort.
+    stats.snapshot().encode(&mut result);
+    breakdown.lock().encode(&mut result);
+    std::fs::write(&args.out, &result)
+        .map_err(|e| format!("writing result {}: {e}", args.out.display()))?;
+    Ok(())
+}

@@ -11,7 +11,10 @@
 //!   barriers, deterministic cost model);
 //! * [`engine`] — PowerGraph Sync/Async baselines and the LazyAsync
 //!   engines, with the adaptive interval and comm-mode optimisations;
-//! * [`algorithms`] — PageRank-Delta, SSSP, CC, k-core, BFS + references.
+//! * [`algorithms`] — PageRank-Delta, SSSP, CC, k-core, BFS + references;
+//! * [`net`] — the wire codec and framed-TCP transport (DESIGN.md §10);
+//! * [`multiproc`] — the multiprocess worker launcher (N OS processes
+//!   over a loopback TCP mesh, bitwise-identical results).
 //!
 //! ## Quickstart
 //!
@@ -32,7 +35,10 @@ pub use lazygraph_algorithms as algorithms;
 pub use lazygraph_cluster as cluster;
 pub use lazygraph_engine as engine;
 pub use lazygraph_graph as graph;
+pub use lazygraph_net as net;
 pub use lazygraph_partition as partition;
+
+pub mod multiproc;
 
 /// The most common imports in one place.
 pub mod prelude {

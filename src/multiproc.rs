@@ -1,0 +1,731 @@
+//! The multiprocess worker runtime (DESIGN.md §10): a launcher that runs
+//! one engine round-trip across N **separate OS processes** connected by
+//! the framed-TCP mesh over loopback.
+//!
+//! The launcher serialises a [`WorkerJob`] — the full edge list (weights
+//! as exact IEEE-754 bit patterns), the engine configuration slice, and
+//! the socket addresses of both meshes — spawns N `lazygraph-worker`
+//! processes, and collects each worker's Wire-encoded result file: its
+//! per-machine outcome, its `NetStats` snapshot (with *measured* frame
+//! bytes, since every exchange crossed a real socket), and its simulated
+//! time breakdown. Every worker deterministically re-partitions the same
+//! graph, so all processes agree on the placement without shipping shard
+//! structures.
+//!
+//! Two meshes per run: a control mesh (`Endpoint<u8>`) backing the
+//! mesh-based [`Collective`] (barriers/allreduce), and a data mesh typed
+//! by the engine's message. Workers establish them in that fixed order.
+//!
+//! Only the engines whose machine loops communicate exclusively through
+//! `Endpoint` + `Collective` can run multiprocess: **PowerGraphSync** and
+//! **LazyBlockAsync**. The async-family engines coordinate termination
+//! through shared memory and stay in-process (they still support the
+//! threaded TCP transport via `EngineConfig::with_transport`).
+//!
+//! Determinism: a multiprocess run is bitwise-identical to the in-process
+//! run on the same graph and configuration — the codec is position-based
+//! little-endian with floats as bit patterns, exchanges sort inbound
+//! batches by sender, and the mesh collective folds contributions in
+//! machine order.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lazygraph_cluster::{CostModel, StatsSnapshot, TransportKind};
+use lazygraph_engine::lazy_block::{self, LazyCounters};
+use lazygraph_engine::sync_engine;
+use lazygraph_engine::{CommModePolicy, EngineConfig, EngineKind, IntervalPolicy, SimBreakdown,
+    VertexProgram};
+use lazygraph_graph::Graph;
+use lazygraph_net::{NetError, Wire, WireReader};
+use lazygraph_partition::{PartitionStrategy, SplitterConfig};
+
+/// Which vertex program a worker process should instantiate. The launcher
+/// and worker agree on this enum; the generic `P` of [`run_multiprocess`]
+/// must be the program type the spec names, or result decoding fails.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AlgoSpec {
+    /// PageRank-Delta with the given flush tolerance.
+    PageRank { tolerance: f64 },
+    /// Single-source shortest paths from `source`.
+    Sssp { source: u32 },
+    /// BFS levels from `source`.
+    Bfs { source: u32 },
+    /// Connected components (label propagation).
+    Cc,
+    /// k-core decomposition.
+    KCore { k: u32 },
+    /// Widest path from `source`.
+    Widest { source: u32 },
+}
+
+impl AlgoSpec {
+    /// Report name, matching the in-process program names.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgoSpec::PageRank { .. } => "pagerank",
+            AlgoSpec::Sssp { .. } => "sssp",
+            AlgoSpec::Bfs { .. } => "bfs",
+            AlgoSpec::Cc => "cc",
+            AlgoSpec::KCore { .. } => "kcore",
+            AlgoSpec::Widest { .. } => "widest-path",
+        }
+    }
+}
+
+impl Wire for AlgoSpec {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            AlgoSpec::PageRank { tolerance } => {
+                out.push(0);
+                tolerance.encode(out);
+            }
+            AlgoSpec::Sssp { source } => {
+                out.push(1);
+                source.encode(out);
+            }
+            AlgoSpec::Bfs { source } => {
+                out.push(2);
+                source.encode(out);
+            }
+            AlgoSpec::Cc => out.push(3),
+            AlgoSpec::KCore { k } => {
+                out.push(4);
+                k.encode(out);
+            }
+            AlgoSpec::Widest { source } => {
+                out.push(5);
+                source.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        Ok(match r.take_u8()? {
+            0 => AlgoSpec::PageRank {
+                tolerance: f64::decode(r)?,
+            },
+            1 => AlgoSpec::Sssp {
+                source: u32::decode(r)?,
+            },
+            2 => AlgoSpec::Bfs {
+                source: u32::decode(r)?,
+            },
+            3 => AlgoSpec::Cc,
+            4 => AlgoSpec::KCore { k: u32::decode(r)? },
+            5 => AlgoSpec::Widest {
+                source: u32::decode(r)?,
+            },
+            tag => return Err(NetError::BadTag { tag, ty: "AlgoSpec" }),
+        })
+    }
+}
+
+/// Everything one worker process needs to run its machine: the graph (as
+/// the exact edge list), the partition/engine configuration slice, and
+/// the two mesh address lists. Written Wire-encoded to a job file read by
+/// every worker.
+#[derive(Clone, Debug)]
+pub struct WorkerJob {
+    pub engine: EngineKind,
+    pub algo: AlgoSpec,
+    pub num_machines: usize,
+    /// Data-mesh socket addresses, one per machine (`127.0.0.1:port`).
+    pub data_addrs: Vec<String>,
+    /// Control-mesh socket addresses backing the collective.
+    pub ctrl_addrs: Vec<String>,
+    pub num_vertices: usize,
+    /// `(src, dst, weight)` in the launcher graph's edge order; weights
+    /// cross as bit patterns so the rebuilt graph is identical.
+    pub edges: Vec<(u32, u32, f32)>,
+    pub partition: PartitionStrategy,
+    pub splitter: SplitterConfig,
+    pub bidirectional: bool,
+    pub comm_mode: CommModePolicy,
+    pub interval: IntervalPolicy,
+    pub cost: CostModel,
+    pub max_iterations: u64,
+    pub delta_suppression: bool,
+    pub exchange_fast: bool,
+    /// Already-resolved thread count (the launcher resolves `0 = auto`
+    /// before shipping, so all workers agree).
+    pub threads_per_machine: usize,
+    pub block_size: usize,
+}
+
+fn encode_engine_kind(k: EngineKind, out: &mut Vec<u8>) {
+    out.push(match k {
+        EngineKind::PowerGraphSync => 0,
+        EngineKind::PowerGraphAsync => 1,
+        EngineKind::LazyBlockAsync => 2,
+        EngineKind::LazyVertexAsync => 3,
+        EngineKind::PowerSwitchHybrid => 4,
+    });
+}
+
+fn decode_engine_kind(r: &mut WireReader<'_>) -> Result<EngineKind, NetError> {
+    Ok(match r.take_u8()? {
+        0 => EngineKind::PowerGraphSync,
+        1 => EngineKind::PowerGraphAsync,
+        2 => EngineKind::LazyBlockAsync,
+        3 => EngineKind::LazyVertexAsync,
+        4 => EngineKind::PowerSwitchHybrid,
+        tag => return Err(NetError::BadTag { tag, ty: "EngineKind" }),
+    })
+}
+
+impl Wire for WorkerJob {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_engine_kind(self.engine, out);
+        self.algo.encode(out);
+        (self.num_machines as u64).encode(out);
+        self.data_addrs.encode(out);
+        self.ctrl_addrs.encode(out);
+        (self.num_vertices as u64).encode(out);
+        self.edges.encode(out);
+        out.push(match self.partition {
+            PartitionStrategy::Random => 0,
+            PartitionStrategy::Grid => 1,
+            PartitionStrategy::Coordinated => 2,
+            PartitionStrategy::Hybrid => 3,
+        });
+        self.splitter.teps.encode(out);
+        self.splitter.t_extra.encode(out);
+        self.splitter
+            .high_degree_threshold
+            .map(|x| x as u64)
+            .encode(out);
+        self.splitter
+            .low_degree_threshold
+            .map(|x| x as u64)
+            .encode(out);
+        self.splitter.max_fraction.encode(out);
+        self.bidirectional.encode(out);
+        out.push(match self.comm_mode {
+            CommModePolicy::Auto => 0,
+            CommModePolicy::AllToAll => 1,
+            CommModePolicy::MirrorsToMaster => 2,
+        });
+        match self.interval {
+            IntervalPolicy::Adaptive {
+                ev_threshold,
+                trend_threshold,
+                local_bound_factor,
+            } => {
+                out.push(0);
+                ev_threshold.encode(out);
+                trend_threshold.encode(out);
+                local_bound_factor.encode(out);
+            }
+            IntervalPolicy::AlwaysLazy => out.push(1),
+            IntervalPolicy::NeverLazy => out.push(2),
+        }
+        self.cost.teps.encode(out);
+        self.cost.apply_cost.encode(out);
+        self.cost.barrier_latency.encode(out);
+        self.cost.async_msg_overhead.encode(out);
+        self.cost.async_send_cpu.encode(out);
+        self.cost.latency.encode(out);
+        self.cost.async_apply_cost.encode(out);
+        self.cost.async_lock_rtt.encode(out);
+        self.cost.bandwidth.encode(out);
+        self.max_iterations.encode(out);
+        self.delta_suppression.encode(out);
+        self.exchange_fast.encode(out);
+        (self.threads_per_machine as u64).encode(out);
+        (self.block_size as u64).encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        let engine = decode_engine_kind(r)?;
+        let algo = AlgoSpec::decode(r)?;
+        let num_machines = u64::decode(r)? as usize;
+        let data_addrs = Vec::<String>::decode(r)?;
+        let ctrl_addrs = Vec::<String>::decode(r)?;
+        let num_vertices = u64::decode(r)? as usize;
+        let edges = Vec::<(u32, u32, f32)>::decode(r)?;
+        let partition = match r.take_u8()? {
+            0 => PartitionStrategy::Random,
+            1 => PartitionStrategy::Grid,
+            2 => PartitionStrategy::Coordinated,
+            3 => PartitionStrategy::Hybrid,
+            tag => {
+                return Err(NetError::BadTag {
+                    tag,
+                    ty: "PartitionStrategy",
+                })
+            }
+        };
+        let splitter = SplitterConfig {
+            teps: f64::decode(r)?,
+            t_extra: f64::decode(r)?,
+            high_degree_threshold: Option::<u64>::decode(r)?.map(|x| x as usize),
+            low_degree_threshold: Option::<u64>::decode(r)?.map(|x| x as usize),
+            max_fraction: f64::decode(r)?,
+        };
+        let bidirectional = bool::decode(r)?;
+        let comm_mode = match r.take_u8()? {
+            0 => CommModePolicy::Auto,
+            1 => CommModePolicy::AllToAll,
+            2 => CommModePolicy::MirrorsToMaster,
+            tag => {
+                return Err(NetError::BadTag {
+                    tag,
+                    ty: "CommModePolicy",
+                })
+            }
+        };
+        let interval = match r.take_u8()? {
+            0 => IntervalPolicy::Adaptive {
+                ev_threshold: f64::decode(r)?,
+                trend_threshold: f64::decode(r)?,
+                local_bound_factor: f64::decode(r)?,
+            },
+            1 => IntervalPolicy::AlwaysLazy,
+            2 => IntervalPolicy::NeverLazy,
+            tag => {
+                return Err(NetError::BadTag {
+                    tag,
+                    ty: "IntervalPolicy",
+                })
+            }
+        };
+        let cost = CostModel {
+            teps: f64::decode(r)?,
+            apply_cost: f64::decode(r)?,
+            barrier_latency: f64::decode(r)?,
+            async_msg_overhead: f64::decode(r)?,
+            async_send_cpu: f64::decode(r)?,
+            latency: f64::decode(r)?,
+            async_apply_cost: f64::decode(r)?,
+            async_lock_rtt: f64::decode(r)?,
+            bandwidth: f64::decode(r)?,
+        };
+        Ok(WorkerJob {
+            engine,
+            algo,
+            num_machines,
+            data_addrs,
+            ctrl_addrs,
+            num_vertices,
+            edges,
+            partition,
+            splitter,
+            bidirectional,
+            comm_mode,
+            interval,
+            cost,
+            max_iterations: u64::decode(r)?,
+            delta_suppression: bool::decode(r)?,
+            exchange_fast: bool::decode(r)?,
+            threads_per_machine: u64::decode(r)? as usize,
+            block_size: u64::decode(r)? as usize,
+        })
+    }
+}
+
+/// A multiprocess launch failure.
+#[derive(Debug)]
+pub enum MultiprocError {
+    /// The configured engine cannot run multiprocess (async-family
+    /// engines coordinate termination through shared memory).
+    UnsupportedEngine(&'static str),
+    /// Filesystem / process-spawn failure.
+    Io(String),
+    /// A worker's job or result bytes failed to decode.
+    Decode(String),
+    /// A worker process exited unsuccessfully; carries its stderr.
+    Worker { me: usize, detail: String },
+}
+
+impl fmt::Display for MultiprocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultiprocError::UnsupportedEngine(name) => {
+                write!(
+                    f,
+                    "engine {name} cannot run multiprocess (shared-memory termination); \
+                     use powergraph-sync or lazy-block-async"
+                )
+            }
+            MultiprocError::Io(detail) => write!(f, "multiprocess launcher I/O: {detail}"),
+            MultiprocError::Decode(detail) => write!(f, "multiprocess codec: {detail}"),
+            MultiprocError::Worker { me, detail } => {
+                write!(f, "worker {me} failed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MultiprocError {}
+
+/// The assembled outcome of a multiprocess run.
+pub struct MultiprocOutcome<V> {
+    /// Final vertex values, indexed by global vertex id — bitwise equal
+    /// to the in-process run's.
+    pub values: Vec<V>,
+    /// Supersteps (Sync) / coherency iterations (LazyBlockAsync).
+    pub iterations: u64,
+    pub converged: bool,
+    /// Final simulated time (max across workers).
+    pub sim_time: f64,
+    /// Lazy-engine counters (`None` for the Sync engine).
+    pub counters: Option<LazyCounters>,
+    /// Element-wise sum of all workers' `NetStats` snapshots. Wire byte
+    /// counters are *measured* frame bytes — every exchange crossed a
+    /// real socket.
+    pub stats: StatsSnapshot,
+    /// Each worker's own snapshot, indexed by machine.
+    pub per_worker_stats: Vec<StatsSnapshot>,
+    /// Worker 0's simulated-time breakdown (the only recorder).
+    pub breakdown: SimBreakdown,
+}
+
+/// True if `engine` can run as separate processes.
+pub fn multiproc_supported(engine: EngineKind) -> bool {
+    matches!(
+        engine,
+        EngineKind::PowerGraphSync | EngineKind::LazyBlockAsync
+    )
+}
+
+static LAUNCH_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn io_err<E: fmt::Display>(what: &str, e: E) -> MultiprocError {
+    MultiprocError::Io(format!("{what}: {e}"))
+}
+
+/// Reserves `n` distinct loopback ports by binding ephemeral listeners,
+/// then releasing them. The usual probe pattern: a port could in
+/// principle be re-taken before the worker binds it, in which case mesh
+/// establishment fails loudly and the run errors out rather than hangs.
+fn alloc_loopback_addrs(n: usize) -> Result<Vec<String>, MultiprocError> {
+    let mut listeners = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let l = std::net::TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| io_err("reserving loopback port", e))?;
+        addrs.push(
+            l.local_addr()
+                .map_err(|e| io_err("reading reserved port", e))?
+                .to_string(),
+        );
+        listeners.push(l); // hold all so the ports are distinct
+    }
+    Ok(addrs)
+}
+
+fn decode_worker_result<O: Wire>(
+    me: usize,
+    bytes: &[u8],
+) -> Result<(O, StatsSnapshot, SimBreakdown), MultiprocError> {
+    let mut r = WireReader::new(bytes);
+    let fail = |e: NetError| MultiprocError::Decode(format!("worker {me} result: {e}"));
+    let out = O::decode(&mut r).map_err(fail)?;
+    let stats = StatsSnapshot::decode(&mut r).map_err(fail)?;
+    let breakdown = SimBreakdown::decode(&mut r).map_err(fail)?;
+    r.finish().map_err(fail)?;
+    Ok((out, stats, breakdown))
+}
+
+/// Runs `spec` on `graph` across `num_machines` worker **processes**
+/// connected by framed TCP over loopback. `P` must be the program type
+/// `spec` names (e.g. `Sssp` for [`AlgoSpec::Sssp`]); `worker_bin` is the
+/// path to the `lazygraph-worker` binary.
+///
+/// `cfg.transport` is ignored — a multiprocess run is TCP by definition.
+pub fn run_multiprocess<P: VertexProgram>(
+    graph: &Graph,
+    num_machines: usize,
+    cfg: &EngineConfig,
+    spec: &AlgoSpec,
+    worker_bin: &Path,
+) -> Result<MultiprocOutcome<P::VData>, MultiprocError> {
+    if !multiproc_supported(cfg.engine) {
+        return Err(MultiprocError::UnsupportedEngine(cfg.engine.name()));
+    }
+    let n = num_machines.max(1);
+    let job = WorkerJob {
+        engine: cfg.engine,
+        algo: spec.clone(),
+        num_machines: n,
+        data_addrs: alloc_loopback_addrs(n)?,
+        ctrl_addrs: alloc_loopback_addrs(n)?,
+        num_vertices: graph.num_vertices(),
+        edges: graph
+            .edges()
+            .map(|e| (e.src.0, e.dst.0, e.weight))
+            .collect(),
+        partition: cfg.partition,
+        splitter: cfg.splitter.clone(),
+        bidirectional: cfg.bidirectional,
+        comm_mode: cfg.comm_mode,
+        interval: cfg.interval,
+        cost: cfg.cost,
+        max_iterations: cfg.max_iterations,
+        delta_suppression: cfg.delta_suppression,
+        exchange_fast: cfg.exchange_fast,
+        threads_per_machine: cfg.resolve_threads(n),
+        block_size: cfg.block_size.max(1),
+    };
+
+    let seq = LAUNCH_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "lazygraph-mp-{}-{seq}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).map_err(|e| io_err("creating scratch dir", e))?;
+    let outcome = launch_in(&dir, &job, worker_bin)
+        .and_then(|result_files| assemble_outcome::<P>(cfg.engine, &job, result_files));
+    let _ = std::fs::remove_dir_all(&dir); // best-effort cleanup
+    outcome
+}
+
+/// Writes the job file, spawns the workers, waits for all of them, and
+/// returns the raw result bytes per machine.
+fn launch_in(
+    dir: &Path,
+    job: &WorkerJob,
+    worker_bin: &Path,
+) -> Result<Vec<Vec<u8>>, MultiprocError> {
+    let job_path = dir.join("job.bin");
+    std::fs::write(&job_path, job.to_wire()).map_err(|e| io_err("writing job file", e))?;
+    let out_paths: Vec<PathBuf> = (0..job.num_machines)
+        .map(|i| dir.join(format!("result-{i}.bin")))
+        .collect();
+
+    let mut children = Vec::with_capacity(job.num_machines);
+    for me in 0..job.num_machines {
+        let spawned = Command::new(worker_bin)
+            .arg("--job")
+            .arg(&job_path)
+            .arg("--me")
+            .arg(me.to_string())
+            .arg("--out")
+            .arg(&out_paths[me])
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn();
+        match spawned {
+            Ok(child) => children.push(child),
+            Err(e) => {
+                // A worker that never spawned would hang the mesh: kill
+                // the ones already running and fail the launch.
+                for mut c in children {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+                return Err(io_err("spawning lazygraph-worker", e));
+            }
+        }
+    }
+
+    // A dying worker surfaces on its peers as a transport error (shutdown
+    // handshake / poisoned readers), so every process exits rather than
+    // hangs and plain waits are safe here.
+    let mut failures: Vec<(usize, String)> = Vec::new();
+    let debug = std::env::var_os("LAZYGRAPH_MP_DEBUG").is_some();
+    for (me, child) in children.into_iter().enumerate() {
+        match child.wait_with_output() {
+            Ok(out) if out.status.success() => {
+                if debug {
+                    let stderr = String::from_utf8_lossy(&out.stderr);
+                    if !stderr.trim().is_empty() {
+                        eprintln!("[worker {me}] {}", stderr.trim());
+                    }
+                }
+            }
+            Ok(out) => {
+                let stderr = String::from_utf8_lossy(&out.stderr);
+                failures.push((
+                    me,
+                    format!("exit {:?}: {}", out.status.code(), stderr.trim()),
+                ));
+            }
+            Err(e) => failures.push((me, format!("wait failed: {e}"))),
+        }
+    }
+    // Report the first failing worker but include every peer's failure:
+    // with a mesh transport the root cause is often on a *different*
+    // machine than the one whose error the caller happens to see.
+    if let Some((me, detail)) = failures.first() {
+        let mut detail = detail.clone();
+        for (peer, d) in &failures[1..] {
+            detail.push_str(&format!("; worker {peer}: {d}"));
+        }
+        return Err(MultiprocError::Worker { me: *me, detail });
+    }
+
+    out_paths
+        .iter()
+        .enumerate()
+        .map(|(me, p)| {
+            std::fs::read(p).map_err(|e| {
+                MultiprocError::Worker {
+                    me,
+                    detail: format!("exited 0 but wrote no result file: {e}"),
+                }
+            })
+        })
+        .collect()
+}
+
+fn assemble_outcome<P: VertexProgram>(
+    engine: EngineKind,
+    job: &WorkerJob,
+    result_files: Vec<Vec<u8>>,
+) -> Result<MultiprocOutcome<P::VData>, MultiprocError> {
+    let mut per_worker_stats = Vec::with_capacity(result_files.len());
+    let mut merged = StatsSnapshot::default();
+    match engine {
+        EngineKind::PowerGraphSync => {
+            let mut outs: Vec<sync_engine::MachineOut<P>> = Vec::new();
+            let mut breakdown = SimBreakdown::default();
+            for (me, bytes) in result_files.iter().enumerate() {
+                let (out, stats, bd) =
+                    decode_worker_result::<sync_engine::MachineOut<P>>(me, bytes)?;
+                if me == 0 {
+                    breakdown = bd;
+                }
+                merged.merge(&stats);
+                per_worker_stats.push(stats);
+                outs.push(out);
+            }
+            let (values, iterations, converged, sim_time) =
+                sync_engine::assemble(outs, job.num_vertices);
+            Ok(MultiprocOutcome {
+                values,
+                iterations,
+                converged,
+                sim_time,
+                counters: None,
+                stats: merged,
+                per_worker_stats,
+                breakdown,
+            })
+        }
+        EngineKind::LazyBlockAsync => {
+            let mut outs: Vec<lazy_block::MachineOut<P>> = Vec::new();
+            let mut breakdown = SimBreakdown::default();
+            for (me, bytes) in result_files.iter().enumerate() {
+                let (out, stats, bd) =
+                    decode_worker_result::<lazy_block::MachineOut<P>>(me, bytes)?;
+                if me == 0 {
+                    breakdown = bd;
+                }
+                merged.merge(&stats);
+                per_worker_stats.push(stats);
+                outs.push(out);
+            }
+            let (values, iterations, converged, sim_time, counters) =
+                lazy_block::assemble(outs, job.num_vertices)
+                    .map_err(|e| MultiprocError::Decode(e.to_string()))?;
+            Ok(MultiprocOutcome {
+                values,
+                iterations,
+                converged,
+                sim_time,
+                counters: Some(counters),
+                stats: merged,
+                per_worker_stats,
+                breakdown,
+            })
+        }
+        other => Err(MultiprocError::UnsupportedEngine(other.name())),
+    }
+}
+
+/// Ignore `cfg.transport` (multiprocess is TCP by definition) but honour
+/// everything else when building the job from an [`EngineConfig`]. Kept
+/// as a free function so callers see the contract in one place.
+pub fn effective_transport(_cfg: &EngineConfig) -> TransportKind {
+    TransportKind::Tcp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazygraph_engine::TransportKind;
+
+    fn job() -> WorkerJob {
+        let cfg = EngineConfig::lazygraph();
+        WorkerJob {
+            engine: EngineKind::LazyBlockAsync,
+            algo: AlgoSpec::PageRank { tolerance: 1e-3 },
+            num_machines: 3,
+            data_addrs: vec!["127.0.0.1:4000".into(); 3],
+            ctrl_addrs: vec!["127.0.0.1:5000".into(); 3],
+            num_vertices: 7,
+            edges: vec![(0, 1, 1.5), (1, 2, 0.25), (6, 0, 3.0)],
+            partition: cfg.partition,
+            splitter: cfg.splitter.clone(),
+            bidirectional: false,
+            comm_mode: cfg.comm_mode,
+            interval: cfg.interval,
+            cost: cfg.cost,
+            max_iterations: 100,
+            delta_suppression: true,
+            exchange_fast: true,
+            threads_per_machine: 2,
+            block_size: 1024,
+        }
+    }
+
+    #[test]
+    fn worker_job_round_trips() {
+        let j = job();
+        let bytes = j.to_wire();
+        let back = WorkerJob::from_wire(&bytes).expect("decode");
+        assert_eq!(back.engine, j.engine);
+        assert_eq!(back.algo, j.algo);
+        assert_eq!(back.num_machines, 3);
+        assert_eq!(back.edges, j.edges);
+        assert_eq!(back.data_addrs, j.data_addrs);
+        assert_eq!(back.max_iterations, 100);
+        assert_eq!(back.threads_per_machine, 2);
+        assert_eq!(back.cost.bandwidth.to_bits(), j.cost.bandwidth.to_bits());
+        assert_eq!(
+            back.splitter.t_extra.to_bits(),
+            j.splitter.t_extra.to_bits()
+        );
+    }
+
+    #[test]
+    fn algo_specs_round_trip() {
+        for spec in [
+            AlgoSpec::PageRank { tolerance: 2.5e-4 },
+            AlgoSpec::Sssp { source: 7 },
+            AlgoSpec::Bfs { source: 0 },
+            AlgoSpec::Cc,
+            AlgoSpec::KCore { k: 4 },
+            AlgoSpec::Widest { source: 9 },
+        ] {
+            let bytes = spec.to_wire();
+            assert_eq!(AlgoSpec::from_wire(&bytes).expect("decode"), spec);
+        }
+    }
+
+    #[test]
+    fn unsupported_engines_are_rejected() {
+        assert!(multiproc_supported(EngineKind::PowerGraphSync));
+        assert!(multiproc_supported(EngineKind::LazyBlockAsync));
+        assert!(!multiproc_supported(EngineKind::PowerGraphAsync));
+        assert!(!multiproc_supported(EngineKind::LazyVertexAsync));
+        assert!(!multiproc_supported(EngineKind::PowerSwitchHybrid));
+        let cfg = EngineConfig::powergraph_async();
+        assert_eq!(effective_transport(&cfg), TransportKind::Tcp);
+    }
+
+    #[test]
+    fn loopback_ports_are_distinct() {
+        let addrs = alloc_loopback_addrs(8).expect("alloc");
+        let set: std::collections::HashSet<_> = addrs.iter().collect();
+        assert_eq!(set.len(), 8);
+        for a in &addrs {
+            assert!(a.starts_with("127.0.0.1:"));
+        }
+    }
+}
