@@ -21,7 +21,7 @@ pub mod termination;
 pub mod transport;
 
 pub use collective::Collective;
-pub use comm::{build_mesh, Batch, Endpoint, OutboxSet};
+pub use comm::{build_mesh, Batch, Endpoint, OutboxSet, PipelineTiming};
 pub use costmodel::{CostModel, SimClock};
 pub use error::CommError;
 pub use pool::ThreadPool;

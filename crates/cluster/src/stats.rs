@@ -87,6 +87,7 @@ pub struct NetStats {
     wire_bytes_recv: AtomicU64,
     wire_frames_sent: AtomicU64,
     wire_frames_recv: AtomicU64,
+    drain_batches_early: AtomicU64,
 }
 
 impl NetStats {
@@ -171,6 +172,15 @@ impl NetStats {
         self.wire_bytes_recv.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Records `n` inbound batches routed eagerly by a pipelined exchange
+    /// (i.e. before the coherency barrier rather than at it).
+    #[inline]
+    pub fn record_drain_early(&self, n: u64) {
+        if n != 0 {
+            self.drain_batches_early.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// A consistent snapshot (exact once all machine threads have joined).
     pub fn snapshot(&self) -> StatsSnapshot {
         let mut per_phase = [PhaseStats::default(); NUM_PHASES];
@@ -193,6 +203,7 @@ impl NetStats {
             wire_bytes_recv: self.wire_bytes_recv.load(Ordering::Relaxed),
             wire_frames_sent: self.wire_frames_sent.load(Ordering::Relaxed),
             wire_frames_recv: self.wire_frames_recv.load(Ordering::Relaxed),
+            drain_batches_early: self.drain_batches_early.load(Ordering::Relaxed),
         }
     }
 }
@@ -236,6 +247,11 @@ pub struct StatsSnapshot {
     pub wire_frames_sent: u64,
     /// Frames read from sockets.
     pub wire_frames_recv: u64,
+    /// Inbound batches routed eagerly (during compute) by the pipelined
+    /// exchange path, instead of at the coherency barrier. Timing
+    /// telemetry: like pool hit/miss, the value depends on scheduling and
+    /// is excluded from the determinism counter contract.
+    pub drain_batches_early: u64,
 }
 
 impl StatsSnapshot {
@@ -283,6 +299,7 @@ impl StatsSnapshot {
         self.wire_bytes_recv += other.wire_bytes_recv;
         self.wire_frames_sent += other.wire_frames_sent;
         self.wire_frames_recv += other.wire_frames_recv;
+        self.drain_batches_early += other.drain_batches_early;
     }
 }
 
@@ -318,6 +335,7 @@ impl Wire for StatsSnapshot {
         self.wire_bytes_recv.encode(out);
         self.wire_frames_sent.encode(out);
         self.wire_frames_recv.encode(out);
+        self.drain_batches_early.encode(out);
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
         let mut per_phase = [PhaseStats::default(); NUM_PHASES];
@@ -338,6 +356,7 @@ impl Wire for StatsSnapshot {
             wire_bytes_recv: u64::decode(r)?,
             wire_frames_sent: u64::decode(r)?,
             wire_frames_recv: u64::decode(r)?,
+            drain_batches_early: u64::decode(r)?,
         })
     }
 }
@@ -453,7 +472,10 @@ mod tests {
         s.record_pool_evictions(3);
         s.record_wire_sent(7, 700);
         s.record_wire_recv(8, 800);
+        s.record_drain_early(5);
+        s.record_drain_early(0); // no-op
         let snap = s.snapshot();
+        assert_eq!(snap.drain_batches_early, 5);
         let back = StatsSnapshot::from_wire(&snap.to_wire()).unwrap();
         assert_eq!(back, snap);
     }

@@ -27,7 +27,7 @@
 //! ## Wire format of a Data frame payload
 //!
 //! ```text
-//! [from: u32] [round: u64] [sent_at: f64 bits as u64] [items: Vec<T>]
+//! [from: u32] [round: u64] [sent_at: f64 bits as u64] [last: u8] [items: Vec<T>]
 //! ```
 //!
 //! all little-endian via [`Wire`]; see DESIGN.md §10.
@@ -96,10 +96,11 @@ pub fn build_endpoints<T: Wire + Send + 'static>(
 
 /// Encodes one batch as a Data-frame payload.
 pub fn encode_batch<T: Wire>(b: &Batch<T>) -> Vec<u8> {
-    let mut out = Vec::with_capacity(21 + b.items.len() * 8);
+    let mut out = Vec::with_capacity(22 + b.items.len() * 8);
     (b.from as u32).encode(&mut out);
     b.round.encode(&mut out);
     b.sent_at.encode(&mut out);
+    b.last.encode(&mut out);
     b.items.encode(&mut out);
     out
 }
@@ -110,9 +111,10 @@ pub fn decode_batch<T: Wire>(payload: &[u8]) -> Result<Batch<T>, NetError> {
     let from = u32::decode(&mut r)? as usize;
     let round = u64::decode(&mut r)?;
     let sent_at = f64::decode(&mut r)?;
+    let last = bool::decode(&mut r)?;
     let items = Vec::<T>::decode(&mut r)?;
     r.finish()?;
-    Ok(Batch { from, sent_at, round, items })
+    Ok(Batch { from, sent_at, round, last, items })
 }
 
 fn io_err(me: usize, what: &'static str, e: &std::io::Error) -> CommError {
@@ -294,6 +296,7 @@ fn spawn_writer<T: Wire + Send + 'static>(
                     (batch.from as u32).encode(&mut payload);
                     batch.round.encode(&mut payload);
                     batch.sent_at.encode(&mut payload);
+                    batch.last.encode(&mut payload);
                     batch.items.encode(&mut payload);
                     match write_frame(&mut stream, FrameKind::Data, &payload) {
                         Ok(total) => stats.record_wire_sent(1, total as u64),
@@ -333,6 +336,9 @@ fn spawn_reader<T: Wire + Send + 'static>(
     poison: Arc<AtomicBool>,
     _opts: TcpOptions,
 ) {
+    // lazylint: allow(detached-spawn) -- readers exit on the peer's Shutdown
+    // frame, which may arrive arbitrarily after this endpoint is done;
+    // joining here would deadlock a clean shutdown (see Endpoint's Drop)
     std::thread::spawn(move || {
         let mut reader = FrameReader::new();
         loop {
@@ -396,12 +402,19 @@ mod tests {
 
     #[test]
     fn batch_payload_round_trips() {
-        let b = Batch { from: 3, sent_at: 1.25, round: 42, items: vec![(7u32, -1.5f64), (9, 0.0)] };
+        let b = Batch {
+            from: 3,
+            sent_at: 1.25,
+            round: 42,
+            last: false,
+            items: vec![(7u32, -1.5f64), (9, 0.0)],
+        };
         let payload = encode_batch(&b);
         let back = decode_batch::<(u32, f64)>(&payload).unwrap();
         assert_eq!(back.from, 3);
         assert_eq!(back.round, 42);
         assert_eq!(back.sent_at.to_bits(), 1.25f64.to_bits());
+        assert!(!back.last);
         assert_eq!(back.items, b.items);
     }
 
@@ -479,6 +492,65 @@ mod tests {
         // disconnects → recv reports MeshClosed rather than hanging.
         drop(ep0);
         let err = ep1.recv().unwrap_err();
+        assert_eq!(err, CommError::MeshClosed { me: 1 });
+    }
+
+    #[test]
+    fn pipelined_round_streams_parts_over_tcp() {
+        let n = 2;
+        let stats = Arc::new(NetStats::new());
+        let eps = build_tcp_mesh::<u32>(n, &stats, &TcpOptions::default()).unwrap();
+        let per_machine: Vec<Vec<u32>> = std::thread::scope(|s| {
+            let handles: Vec<_> = eps
+                .into_iter()
+                .map(|mut ep| {
+                    let stats = Arc::clone(&stats);
+                    s.spawn(move || {
+                        let me = ep.me();
+                        let dst = 1 - me;
+                        let mut ob = OutboxSet::new(n);
+                        let mut got = Vec::new();
+                        for part in 0..3u32 {
+                            ob.push(dst, me as u32 * 10 + part);
+                            ep.stream_part(&mut ob, dst, 0.0, Phase::Coherency, 4, &stats)
+                                .unwrap();
+                            while let Some(b) = ep.poll_stream() {
+                                got.extend_from_slice(&b.items);
+                                ep.recycle(b);
+                            }
+                        }
+                        ob.push(dst, me as u32 * 10 + 9);
+                        ep.finish_pipelined(&mut ob, 0.0, Phase::Coherency, 4, &stats, |b| {
+                            got.append(&mut b.items);
+                        })
+                        .unwrap();
+                        got
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Per-sender FIFO survives serialization: parts in send order, then
+        // the final, regardless of how eagerly the drain caught them.
+        assert_eq!(per_machine[0], vec![10, 11, 12, 19]);
+        assert_eq!(per_machine[1], vec![0, 1, 2, 9]);
+    }
+
+    #[test]
+    fn torn_connection_surfaces_error_in_pipelined_finish() {
+        let n = 2;
+        let stats = Arc::new(NetStats::new());
+        let mut eps = build_tcp_mesh::<u32>(n, &stats, &TcpOptions::default()).unwrap();
+        let mut ep1 = eps.pop().unwrap();
+        let ep0 = eps.pop().unwrap();
+        // Peer 0 leaves the mesh before ever sending its final for the
+        // pipelined round; the barrier must report the closed mesh instead
+        // of blocking forever on a final that can no longer arrive.
+        drop(ep0);
+        let mut ob = OutboxSet::new(n);
+        let err = ep1
+            .finish_pipelined(&mut ob, 0.0, Phase::Coherency, 4, &stats, |_| {})
+            .unwrap_err();
         assert_eq!(err, CommError::MeshClosed { me: 1 });
     }
 

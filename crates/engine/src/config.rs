@@ -119,6 +119,13 @@ pub struct EngineConfig {
     /// result-identical to the naive path — the `false` setting exists
     /// for the equivalence tests and as a diagnostics escape hatch.
     pub exchange_fast: bool,
+    /// Pipeline coherency exchanges (DESIGN.md §11): stream staged outbox
+    /// parts to the transport as staging fills them and drain arriving
+    /// batches concurrently with compute, deferring only the ⊕-commit to
+    /// the barrier. Requires `exchange_fast` (ignored without it); bitwise
+    /// result-identical to the serialized exchange. Off by default — the
+    /// serialized path is the reference oracle.
+    pub pipeline: bool,
     /// Mesh transport backend (DESIGN.md §10): `InProc` moves batches over
     /// lock-free channels untouched (the default; zero-copy, pool-
     /// recycling); `Tcp` encodes every batch into a length-prefixed frame
@@ -146,6 +153,7 @@ impl EngineConfig {
             threads_per_machine: 0,
             block_size: DEFAULT_BLOCK_SIZE,
             exchange_fast: true,
+            pipeline: false,
             transport: TransportKind::InProc,
         }
     }
@@ -242,6 +250,13 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style override of the pipelined coherency exchange (see
+    /// [`Self::pipeline`]).
+    pub fn with_pipeline(mut self, pipeline: bool) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
     /// Builder-style override of the mesh transport backend.
     pub fn with_transport(mut self, transport: TransportKind) -> Self {
         self.transport = transport;
@@ -331,6 +346,12 @@ mod tests {
     fn block_size_floor_is_one() {
         assert_eq!(EngineConfig::lazygraph().block_size, DEFAULT_BLOCK_SIZE);
         assert_eq!(EngineConfig::lazygraph().with_block_size(0).block_size, 1);
+    }
+
+    #[test]
+    fn pipeline_defaults_off() {
+        assert!(!EngineConfig::lazygraph().pipeline);
+        assert!(EngineConfig::lazygraph().with_pipeline(true).pipeline);
     }
 
     #[test]

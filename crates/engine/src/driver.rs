@@ -76,6 +76,7 @@ pub fn run_on<P: VertexProgram>(
                     cfg.max_iterations,
                     par,
                     cfg.exchange_fast,
+                    cfg.pipeline,
                     cfg.transport,
                     stats.clone(),
                     breakdown.clone(),
@@ -97,6 +98,7 @@ pub fn run_on<P: VertexProgram>(
                     delta_suppression: cfg.delta_suppression,
                     record_history: cfg.record_history,
                     exchange_fast: cfg.exchange_fast,
+                    pipeline: cfg.pipeline,
                 };
                 let (values, iters, converged, sim, c) = run_lazy_block_engine(
                     dg,
@@ -141,6 +143,7 @@ pub fn run_on<P: VertexProgram>(
                     program,
                     cfg.cost,
                     par,
+                    cfg.pipeline,
                     cfg.transport,
                     stats.clone(),
                 )?;

@@ -41,6 +41,58 @@ use crate::program::VertexProgram;
 /// [`MachineState::deliver_segments`](crate::state::MachineState::deliver_segments).
 pub type RoutedSegments<D> = Vec<Vec<Vec<(u32, D)>>>;
 
+/// Staged-item threshold at which the pipelined engines flush a
+/// destination's outbox as a streamed part
+/// ([`Endpoint::stream_part`](lazygraph_cluster::Endpoint)). Chosen so a
+/// PageRank-sized delta part encodes to roughly one socket write's worth
+/// of payload; correctness is threshold-independent (any split between
+/// distinct local ids preserves fold order).
+pub const PIPELINE_PART_ITEMS: usize = 1024;
+
+/// Per-sender staging for the eager inbound drain of a pipelined exchange.
+///
+/// Batches of the in-flight round are routed the moment they arrive
+/// (overlapping the sender's remaining compute) and parked here; at the
+/// coherency barrier [`Self::stitch`] re-establishes the serialized path's
+/// global order — ascending sender, then per-sender arrival (= send)
+/// order, which per-peer FIFO guarantees on both transports. Since every
+/// replicated vertex ships at most once per (sender, round), per-vertex
+/// fold order is exactly the serialized sender order, making the commit
+/// bitwise identical to `Endpoint::exchange` + one `route_inbound` pass.
+pub struct PipelineDrain<D> {
+    by_sender: Vec<Vec<RoutedSegments<D>>>,
+}
+
+impl<D> PipelineDrain<D> {
+    /// Empty staging for an `n`-machine mesh.
+    pub fn new(n: usize) -> Self {
+        PipelineDrain {
+            by_sender: (0..n).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Parks one routed part from machine `from` (arrival order per sender
+    /// is preserved by pushing, never sorting).
+    pub fn push(&mut self, from: usize, routed: RoutedSegments<D>) {
+        self.by_sender[from].push(routed);
+    }
+
+    /// Drains the staging into a single per-block segment list in
+    /// (sender, part) order, ready for `deliver_segments`.
+    pub fn stitch(&mut self, num_blocks: usize) -> RoutedSegments<D> {
+        let mut out: RoutedSegments<D> = (0..num_blocks).map(|_| Vec::new()).collect();
+        for parts in &mut self.by_sender {
+            for routed in parts.drain(..) {
+                debug_assert_eq!(routed.len(), num_blocks);
+                for (b, segments) in routed.into_iter().enumerate() {
+                    out[b].extend(segments);
+                }
+            }
+        }
+        out
+    }
+}
+
 /// Stages `(gid, d)` for `dst`, folding into the previously staged item
 /// when it carries the same gid (sender-side `⊕` combining). Returns
 /// `true` iff the item was folded rather than pushed — the caller counts
@@ -86,11 +138,19 @@ pub fn stage_combining<P: VertexProgram>(
 ///
 /// Drained batches keep their capacity; the caller recycles them back to
 /// their senders via [`Endpoint::recycle`](lazygraph_cluster::Endpoint::recycle).
+///
+/// `scratch` is the caller's iteration-persistent pool of emptied bucket
+/// vectors (typically `MachineState::seg_scratch`): buckets are drawn from
+/// it before the parallel pass and unused (empty) ones are returned after,
+/// so steady-state supersteps stop re-growing the per-block buckets from
+/// zero. The non-empty buckets travel on as segments and come home through
+/// `deliver_segments`, which drains into the same pool.
 pub fn route_inbound<T, D, F>(
     pctx: &ParallelCtx,
     num_local: usize,
     batches: &mut [Batch<T>],
     translate: F,
+    scratch: &mut Vec<Vec<(u32, D)>>,
 ) -> RoutedSegments<D>
 where
     T: Send,
@@ -99,29 +159,39 @@ where
 {
     let bs = pctx.block_size().max(1);
     let num_blocks = num_local.div_ceil(bs).max(1);
-    let per_batch: Vec<Vec<Vec<(u32, D)>>> = pctx.pool().map(
-        batches.iter_mut().collect::<Vec<_>>(),
-        |batch| {
-            let mut buckets: Vec<Vec<(u32, D)>> = (0..num_blocks).map(|_| Vec::new()).collect();
-            for item in batch.items.drain(..) {
-                if let Some((l, d)) = translate(item) {
-                    // Out-of-range l means a corrupt route table; drop
-                    // rather than panic in the hot loop (debug builds
-                    // still catch it in deliver_segments).
-                    if let Some(bucket) = buckets.get_mut(l as usize / bs) {
-                        bucket.push((l, d));
-                    }
+    // Buckets are drawn serially here (the pool itself is never shared
+    // with tasks); capacities differ per draw but contents never do, so
+    // reuse cannot affect results.
+    #[allow(clippy::type_complexity)]
+    let work: Vec<(&mut Batch<T>, Vec<Vec<(u32, D)>>)> = batches
+        .iter_mut()
+        .map(|batch| {
+            let buckets: Vec<Vec<(u32, D)>> =
+                (0..num_blocks).map(|_| scratch.pop().unwrap_or_default()).collect();
+            (batch, buckets)
+        })
+        .collect();
+    let per_batch: Vec<Vec<Vec<(u32, D)>>> = pctx.pool().map(work, |(batch, mut buckets)| {
+        for item in batch.items.drain(..) {
+            if let Some((l, d)) = translate(item) {
+                // Out-of-range l means a corrupt route table; drop
+                // rather than panic in the hot loop (debug builds
+                // still catch it in deliver_segments).
+                if let Some(bucket) = buckets.get_mut(l as usize / bs) {
+                    bucket.push((l, d));
                 }
             }
-            buckets
-        },
-    );
+        }
+        buckets
+    });
     // Transpose [batch][block] → [block][segment], batch order preserved.
     let mut per_block: RoutedSegments<D> = (0..num_blocks).map(|_| Vec::new()).collect();
     for buckets in per_batch {
         for (b, segment) in buckets.into_iter().enumerate() {
             if !segment.is_empty() {
                 per_block[b].push(segment);
+            } else if segment.capacity() != 0 {
+                scratch.push(segment);
             }
         }
     }
@@ -190,6 +260,7 @@ mod tests {
             from,
             sent_at: 0.0,
             round: 0,
+            last: true,
             items,
         };
         for threads in [1, 4] {
@@ -202,9 +273,13 @@ mod tests {
                 mk(1, vec![(5, 4), (0, 5)]),
                 mk(2, vec![(7, 6)]),
             ];
-            let segments = route_inbound(&pctx, 8, &mut batches, |(gid, d): (u32, u64)| {
-                Some((gid, d * 10))
-            });
+            let segments = route_inbound(
+                &pctx,
+                8,
+                &mut batches,
+                |(gid, d): (u32, u64)| Some((gid, d * 10)),
+                &mut Vec::new(),
+            );
             assert_eq!(segments.len(), 2);
             // Block 0: batch 0's items in order, then batch 1's.
             assert_eq!(segments[0], vec![vec![(0, 10), (1, 30)], vec![(0, 50)]]);
@@ -225,11 +300,68 @@ mod tests {
             from: 0,
             sent_at: 0.0,
             round: 0,
+            last: true,
             items: vec![(0u32, 1u64), (99, 2), (3, 3)],
         }];
-        let segments = route_inbound(&pctx, 4, &mut batches, |(gid, d): (u32, u64)| {
-            (gid < 4).then_some((gid, d))
-        });
+        let segments = route_inbound(
+            &pctx,
+            4,
+            &mut batches,
+            |(gid, d): (u32, u64)| (gid < 4).then_some((gid, d)),
+            &mut Vec::new(),
+        );
         assert_eq!(segments, vec![vec![vec![(0, 1), (3, 3)]]]);
+    }
+
+    #[test]
+    fn route_inbound_draws_and_returns_scratch_buckets() {
+        let pctx = ParallelCtx::new(ParallelConfig {
+            threads: 1,
+            block_size: 4,
+        });
+        // 2 blocks, one batch whose items all land in block 0: the block-1
+        // bucket must come back to the pool with its capacity intact.
+        let mut scratch: Vec<Vec<(u32, u64)>> =
+            vec![Vec::with_capacity(100), Vec::with_capacity(100)];
+        let mut batches = vec![Batch {
+            from: 0,
+            sent_at: 0.0,
+            round: 0,
+            last: true,
+            items: vec![(0u32, 1u64), (1, 2)],
+        }];
+        let segments = route_inbound(
+            &pctx,
+            8,
+            &mut batches,
+            |(gid, d): (u32, u64)| Some((gid, d)),
+            &mut scratch,
+        );
+        assert_eq!(segments[0], vec![vec![(0, 1), (1, 2)]]);
+        assert!(segments[1].is_empty());
+        assert_eq!(scratch.len(), 1, "unused bucket returns to the pool");
+        assert_eq!(scratch[0].capacity(), 100);
+        // The used bucket left with pooled capacity too.
+        assert!(segments[0][0].capacity() >= 100);
+    }
+
+    #[test]
+    fn pipeline_drain_stitches_in_sender_then_part_order() {
+        let mut drain: PipelineDrain<u64> = PipelineDrain::new(3);
+        // Arrival order scrambles senders; parts within a sender arrive in
+        // send order (per-peer FIFO).
+        drain.push(2, vec![vec![vec![(0, 200)]], vec![]]);
+        drain.push(0, vec![vec![vec![(1, 1)]], vec![vec![(5, 2)]]]);
+        drain.push(2, vec![vec![], vec![vec![(4, 201)]]]);
+        drain.push(0, vec![vec![vec![(0, 3)]], vec![]]);
+        let out = drain.stitch(2);
+        assert_eq!(
+            out[0],
+            vec![vec![(1, 1)], vec![(0, 3)], vec![(0, 200)]],
+            "block 0: sender 0's parts in order, then sender 2's"
+        );
+        assert_eq!(out[1], vec![vec![(5, 2)], vec![(4, 201)]]);
+        // Stitch drains: a second stitch is empty.
+        assert!(drain.stitch(2).iter().all(Vec::is_empty));
     }
 }

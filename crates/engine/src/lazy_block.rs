@@ -23,7 +23,7 @@ use std::sync::Arc;
 
 use lazygraph_cluster::{
     build_endpoints, Collective, CommError, CostModel, Endpoint, NetStats, OutboxSet, Phase,
-    SimClock, TransportKind,
+    PipelineTiming, SimClock, TransportKind,
 };
 use lazygraph_net::{NetError, Wire, WireReader};
 use lazygraph_partition::{DistributedGraph, EdgeMode, LocalShard, NO_LOCAL};
@@ -32,7 +32,7 @@ use parking_lot::Mutex;
 use crate::bsp::{BspReduction, BspSync, CommCharge};
 use crate::comm_mode::{choose_mode, CommMode, VolumeEstimate};
 use crate::config::{CommModePolicy, IntervalPolicy};
-use crate::exchange::{route_inbound, stage_combining};
+use crate::exchange::{route_inbound, stage_combining, PipelineDrain, PIPELINE_PART_ITEMS};
 use crate::interval::IntervalModel;
 use crate::metrics::{IterationRecord, SimBreakdown};
 use crate::parallel::{ParallelConfig, ParallelCtx};
@@ -114,6 +114,12 @@ pub struct LazyParams {
     /// Use the zero-allocation exchange fast path (DESIGN.md §9); the
     /// naive path exists for equivalence tests and is bitwise-identical.
     pub exchange_fast: bool,
+    /// Pipeline the coherency exchange (DESIGN.md §11): stream staged
+    /// outbox parts to the transport as Phase B fills them, drain arriving
+    /// batches concurrently, and defer only the ⊕-commit to the barrier.
+    /// Requires `exchange_fast` (the serialized paths are the oracle);
+    /// ignored without it. Bitwise-identical to the serialized exchange.
+    pub pipeline: bool,
 }
 
 /// `(values, supersteps, converged, sim_time, counters)` or the first
@@ -289,7 +295,11 @@ pub(crate) fn blocked_apply_scatter<P: VertexProgram>(
     });
     let mut edges = 0u64;
     let mut applies = 0u64;
-    let mut deliveries: Vec<(u32, P::Delta, bool)> = Vec::new();
+    // Staging draws from the iteration-persistent pool; `deliver_all_lazy`
+    // drains it and returns the emptied husk, so steady-state sweeps stop
+    // re-growing this hot-loop vector from zero.
+    let mut deliveries: Vec<(u32, P::Delta, bool)> =
+        state.lazy_scratch.pop().unwrap_or_default();
     for b in blocks {
         edges += b.edges;
         for (l, data) in b.commits {
@@ -328,6 +338,9 @@ fn machine_loop<P: VertexProgram>(
 ) -> Result<MachineOut<P>, CommError> {
     let n = coll.num_machines();
     let pctx = ParallelCtx::new(par);
+    // BspSync owns the breakdown for the simulated components; this clone
+    // is the sink for the pipelined exchange's wall-clock telemetry.
+    let timing_sink = breakdown.clone();
     let mut bsp = BspSync::new(me, coll, stats.clone(), params.cost, breakdown);
     let mut clock = SimClock::new();
     let mut state: MachineState<P> =
@@ -430,7 +443,7 @@ fn machine_loop<P: VertexProgram>(
             CommModePolicy::MirrorsToMaster => CommMode::MirrorsToMaster,
             CommModePolicy::Auto => next_mode,
         };
-        let sent_bytes = match mode {
+        let (sent_bytes, timing) = match mode {
             CommMode::AllToAll => {
                 counters.a2a_exchanges += 1;
                 exchange_a2a(
@@ -444,6 +457,7 @@ fn machine_loop<P: VertexProgram>(
                     &stats,
                     params.delta_suppression,
                     params.exchange_fast,
+                    params.pipeline,
                 )?
             }
             CommMode::MirrorsToMaster => {
@@ -461,9 +475,15 @@ fn machine_loop<P: VertexProgram>(
                     &stats,
                     params.delta_suppression,
                     params.exchange_fast,
+                    params.pipeline,
                 )?
             }
         };
+        if timing.overlap_ms > 0.0 || timing.send_wait_ms > 0.0 {
+            let mut bd = timing_sink.lock();
+            bd.overlap_ms += timing.overlap_ms; // lazylint: allow(float-commit) -- wall-clock telemetry summed over machines; outside the determinism contract and SimBreakdown::total()
+            bd.send_wait_ms += timing.send_wait_ms; // lazylint: allow(float-commit) -- same telemetry channel as the line above
+        }
         counters.coherency_points += 1;
         let charge = match mode {
             CommMode::AllToAll => CommCharge::A2A,
@@ -508,6 +528,10 @@ fn machine_loop<P: VertexProgram>(
         // snapshot and later suppress their own exchange.
         let mut queue = state.take_queue();
         queue.sort_unstable();
+        // `coherent` is only ever read by the suppression policy (the
+        // volume-estimate scan and the exchange decisions both gate on
+        // `delta_suppression`), so with suppression off the per-vertex
+        // snapshot clone would be pure overhead — skip it.
         let (edges, applies, folds) = blocked_apply_scatter(
             shard,
             &mut state,
@@ -515,7 +539,7 @@ fn machine_loop<P: VertexProgram>(
             num_vertices,
             &pctx,
             &queue,
-            true,
+            params.delta_suppression,
         );
         stats.record_edges(edges);
         stats.record_applies(applies);
@@ -539,7 +563,8 @@ fn machine_loop<P: VertexProgram>(
 }
 
 /// All-to-all deltaMsg exchange (Fig. 5(a)): every delta-holding replica
-/// sends its delta straight to every sibling. Returns bytes sent locally.
+/// sends its delta straight to every sibling. Returns bytes sent locally
+/// plus the pipelined path's wall-clock overlap telemetry.
 ///
 /// With `fast` on, staging runs through [`stage_combining`] (decisions
 /// arrive in ascending local-id order, so duplicate keys would be
@@ -547,6 +572,13 @@ fn machine_loop<P: VertexProgram>(
 /// [`route_inbound`] → `deliver_segments` pipeline with drained buffers
 /// recycled to their senders. The naive branch is the pre-fast-path
 /// serial translate loop, kept for the equivalence tests.
+///
+/// With `pipeline` on top of `fast`, filled outbox parts ship to the
+/// transport writers mid-staging ([`Endpoint::stream_part`]) and arriving
+/// batches are routed into per-sender staging as they land; only the
+/// ⊕-commit waits for the barrier, where [`PipelineDrain::stitch`]
+/// re-establishes (sender, part) order — bitwise identical to the
+/// serialized exchange (DESIGN.md §11).
 #[allow(clippy::too_many_arguments)]
 fn exchange_a2a<P: VertexProgram>(
     shard: &LocalShard,
@@ -559,8 +591,10 @@ fn exchange_a2a<P: VertexProgram>(
     stats: &NetStats,
     suppression: bool,
     fast: bool,
-) -> Result<u64, CommError> {
+    pipeline: bool,
+) -> Result<(u64, PipelineTiming), CommError> {
     let delta_bytes = program.delta_bytes();
+    let pipelined = pipeline && fast;
     let mut sent = 0u64;
     let mut combined = 0u64;
     // Phase A (parallel): decide each replicated vertex's fate from a
@@ -587,35 +621,84 @@ fn exchange_a2a<P: VertexProgram>(
             out
         })
     };
+    let route = shard.route_table();
+    let translate = |(gid, d): (u32, P::Delta)| match route.get(gid as usize) {
+        Some(&l) if l != NO_LOCAL => Some((l, program.gather(gid.into(), d))),
+        _ => None,
+    };
+    let num_local = shard.num_local();
+    let mut drain: PipelineDrain<P::Delta> = PipelineDrain::new(ep.num_machines());
     for (l, d) in decisions.into_iter().flatten() {
         state.delta_msg[l as usize] = None;
         if let Some(d) = d {
             let gid = shard.global_of(l).0;
             for &m in shard.mirrors[l as usize].iter() {
+                let dst = m.index();
                 if fast {
-                    if stage_combining(program, outboxes, m.index(), gid, d) {
+                    if stage_combining(program, outboxes, dst, gid, d) {
                         combined += 1;
                         continue;
                     }
                 } else {
-                    outboxes.push(m.index(), (gid, d));
+                    outboxes.push(dst, (gid, d));
                 }
                 sent += delta_bytes as u64;
+                if pipelined && outboxes.staged(dst).len() >= PIPELINE_PART_ITEMS {
+                    // Streaming send: hand the filled part to the transport
+                    // writers, then eagerly route whatever peers have
+                    // already streamed to us while staging continues.
+                    ep.stream_part(outboxes, dst, clock.now(), Phase::Coherency, delta_bytes, stats)?;
+                    while let Some(mut batch) = ep.poll_stream() {
+                        let from = batch.from;
+                        let routed = route_inbound(
+                            pctx,
+                            num_local,
+                            std::slice::from_mut(&mut batch),
+                            translate,
+                            &mut state.seg_scratch,
+                        );
+                        drain.push(from, routed);
+                        ep.recycle(batch);
+                        stats.record_drain_early(1);
+                    }
+                }
             }
         }
     }
     stats.record_combined(combined, combined * delta_bytes as u64);
+    if pipelined {
+        let seg_scratch = &mut state.seg_scratch;
+        let timing = ep.finish_pipelined(
+            outboxes,
+            clock.now(),
+            Phase::Coherency,
+            delta_bytes,
+            stats,
+            |batch| {
+                let from = batch.from;
+                let routed = route_inbound(
+                    pctx,
+                    num_local,
+                    std::slice::from_mut(batch),
+                    translate,
+                    seg_scratch,
+                );
+                drain.push(from, routed);
+            },
+        )?;
+        let bs = pctx.block_size().max(1);
+        let segments = drain.stitch(num_local.div_ceil(bs).max(1));
+        state.deliver_segments(program, pctx, segments);
+        return Ok((sent, timing));
+    }
     let mut received = ep.exchange(outboxes, clock.now(), Phase::Coherency, delta_bytes, stats)?;
     if fast {
-        let route = shard.route_table();
         let segments = route_inbound(
             pctx,
-            shard.num_local(),
+            num_local,
             &mut received,
-            |(gid, d): (u32, P::Delta)| match route.get(gid as usize) {
-                Some(&l) if l != NO_LOCAL => Some((l, program.gather(gid.into(), d))),
-                _ => None,
-            },
+            translate,
+            &mut state.seg_scratch,
         );
         state.deliver_segments(program, pctx, segments);
         for batch in received {
@@ -633,7 +716,7 @@ fn exchange_a2a<P: VertexProgram>(
         }
         state.deliver_all(program, pctx, inbound);
     }
-    Ok(sent)
+    Ok((sent, PipelineTiming::default()))
 }
 
 /// Mirrors-to-master deltaMsg exchange (Fig. 5(b)): mirrors send up, the
@@ -646,6 +729,13 @@ fn exchange_a2a<P: VertexProgram>(
 /// this function leaves them fully `None` again on return). Local ids
 /// ascend with global ids within a shard, so iterating `shard.replicated`
 /// reproduces the old sort-by-gid broadcast order exactly.
+///
+/// With `pipeline` on top of `fast`, both hops stream: hop-1 parts are
+/// stashed per sender as they arrive and folded into `totals` in
+/// (sender, part) order at the hop-1 close — the exact item sequence of
+/// the serialized per-sender batches — and hop-2 broadcasts drain through
+/// [`PipelineDrain`] like [`exchange_a2a`]. Each hop is one pipelined
+/// round, so the two-sync shape of the serialized m2m is preserved.
 #[allow(clippy::too_many_arguments)]
 fn exchange_m2m<P: VertexProgram>(
     shard: &LocalShard,
@@ -660,8 +750,12 @@ fn exchange_m2m<P: VertexProgram>(
     stats: &NetStats,
     suppression: bool,
     fast: bool,
-) -> Result<u64, CommError> {
+    pipeline: bool,
+) -> Result<(u64, PipelineTiming), CommError> {
     let delta_bytes = program.delta_bytes();
+    let pipelined = pipeline && fast;
+    let n = ep.num_machines();
+    let mut timing = PipelineTiming::default();
     let mut sent = 0u64;
     let mut combined = 0u64;
     // Hop 1: mirrors → master. Same two-phase shape as exchange_a2a.
@@ -686,6 +780,9 @@ fn exchange_m2m<P: VertexProgram>(
             out
         })
     };
+    // Per-sender stash of early-drained hop-1 parts (arrival order).
+    #[allow(clippy::type_complexity)]
+    let mut hop1_parts: Vec<Vec<Vec<(u32, P::Delta)>>> = vec![Vec::new(); n];
     for (l, d) in decisions.into_iter().flatten() {
         let li = l as usize;
         state.delta_msg[li] = None;
@@ -705,30 +802,99 @@ fn exchange_m2m<P: VertexProgram>(
                     outboxes.push(dst, (gid, d));
                 }
                 sent += delta_bytes as u64;
+                if pipelined && outboxes.staged(dst).len() >= PIPELINE_PART_ITEMS {
+                    // Mirror contributions are not a commutative stream —
+                    // they fold in (sender, part) order at the hop close —
+                    // so early arrivals are stashed, not folded.
+                    ep.stream_part(outboxes, dst, clock.now(), Phase::Coherency, delta_bytes, stats)?;
+                    while let Some(mut batch) = ep.poll_stream() {
+                        if !batch.items.is_empty() {
+                            hop1_parts[batch.from]
+                                .push(std::mem::take(&mut batch.items));
+                        }
+                        ep.recycle(batch);
+                        stats.record_drain_early(1);
+                    }
+                }
             }
         }
     }
-    let received = ep.exchange(outboxes, clock.now(), Phase::Coherency, delta_bytes, stats)?;
-    // Masters fold mirror contributions in sender order (batches arrive
-    // sorted by sender, so this left-fold is reproducible).
-    for mut batch in received {
-        for (gid, d) in batch.items.drain(..) {
-            debug_assert!(shard.local_of(gid.into()).is_some(), "hop-1 delta routed to non-replica");
-            if let Some(l) = shard.local_of(gid.into()) {
-                let slot = &mut totals[l as usize];
-                *slot = Some(match slot.take() {
-                    Some(t) => program.sum(t, d),
-                    None => d,
-                });
+    if pipelined {
+        let t = ep.finish_pipelined(
+            outboxes,
+            clock.now(),
+            Phase::Coherency,
+            delta_bytes,
+            stats,
+            |batch| {
+                if !batch.items.is_empty() {
+                    hop1_parts[batch.from].push(std::mem::take(&mut batch.items));
+                }
+            },
+        )?;
+        timing.overlap_ms += t.overlap_ms;
+        timing.send_wait_ms += t.send_wait_ms;
+        // Masters fold mirror contributions in (sender, part) order — the
+        // exact item sequence of the serialized path's sender-sorted
+        // batches, since per-peer FIFO preserves part order.
+        for (from, parts) in hop1_parts.into_iter().enumerate() {
+            for mut items in parts {
+                for (gid, d) in items.drain(..) {
+                    debug_assert!(shard.local_of(gid.into()).is_some(), "hop-1 delta routed to non-replica");
+                    if let Some(l) = shard.local_of(gid.into()) {
+                        let slot = &mut totals[l as usize];
+                        *slot = Some(match slot.take() {
+                            Some(t) => program.sum(t, d),
+                            None => d,
+                        });
+                    }
+                }
+                ep.recycle_vec(from, items);
             }
         }
-        ep.recycle(batch);
+    } else {
+        let received = ep.exchange(outboxes, clock.now(), Phase::Coherency, delta_bytes, stats)?;
+        // Masters fold mirror contributions in sender order (batches arrive
+        // sorted by sender, so this left-fold is reproducible).
+        for mut batch in received {
+            for (gid, d) in batch.items.drain(..) {
+                debug_assert!(shard.local_of(gid.into()).is_some(), "hop-1 delta routed to non-replica");
+                if let Some(l) = shard.local_of(gid.into()) {
+                    let slot = &mut totals[l as usize];
+                    *slot = Some(match slot.take() {
+                        Some(t) => program.sum(t, d),
+                        None => d,
+                    });
+                }
+            }
+            ep.recycle(batch);
+        }
     }
     // Hop 2: master → mirrors (combined delta), plus local master handling.
     // `shard.replicated` ascends in local id — equivalently global id — so
     // the broadcast byte stream (and hence every downstream worklist) is
     // reproducible without the old collect-and-sort pass.
-    let mut hop2_local: Vec<(u32, P::Delta)> = Vec::new();
+    let route = shard.route_table();
+    let own_view: &[Option<P::Delta>] = own;
+    let translate = |(gid, total): (u32, P::Delta)| {
+        let l = match route.get(gid as usize) {
+            Some(&l) if l != NO_LOCAL => l,
+            _ => return None,
+        };
+        let others = match own_view[l as usize] {
+            Some(mine) => {
+                if mine == total {
+                    return None;
+                }
+                program.inverse(total, mine)
+            }
+            None => total,
+        };
+        Some((l, program.gather(gid.into(), others)))
+    };
+    let num_local = shard.num_local();
+    let mut drain: PipelineDrain<P::Delta> = PipelineDrain::new(n);
+    let mut hop2_local: Vec<(u32, P::Delta)> = state.seg_scratch.pop().unwrap_or_default();
     for &l in &shard.replicated {
         let li = l as usize;
         if !shard.is_master[li] {
@@ -737,26 +903,42 @@ fn exchange_m2m<P: VertexProgram>(
         let Some(total) = totals[li] else { continue };
         let gid = shard.global_of(l).0;
         for &m in shard.mirrors[li].iter() {
+            let dst = m.index();
             if fast {
-                if stage_combining(program, outboxes, m.index(), gid, total) {
+                if stage_combining(program, outboxes, dst, gid, total) {
                     combined += 1;
                     continue;
                 }
             } else {
-                outboxes.push(m.index(), (gid, total));
+                outboxes.push(dst, (gid, total));
             }
             sent += delta_bytes as u64;
+            if pipelined && outboxes.staged(dst).len() >= PIPELINE_PART_ITEMS {
+                ep.stream_part(outboxes, dst, clock.now(), Phase::Coherency, delta_bytes, stats)?;
+                while let Some(mut batch) = ep.poll_stream() {
+                    let from = batch.from;
+                    let routed = route_inbound(
+                        pctx,
+                        num_local,
+                        std::slice::from_mut(&mut batch),
+                        translate,
+                        &mut state.seg_scratch,
+                    );
+                    drain.push(from, routed);
+                    ep.recycle(batch);
+                    stats.record_drain_early(1);
+                }
+            }
         }
         hop2_local.push((l, total));
     }
     stats.record_combined(combined, combined * delta_bytes as u64);
-    let mut received = ep.exchange(outboxes, clock.now(), Phase::Coherency, delta_bytes, stats)?;
     // Every replica sees each vertex's combined total exactly once (its
     // own if master, one master broadcast otherwise), so delivering the
     // local and remote streams separately cannot change any fold.
-    let mut inbound_local: Vec<(u32, P::Delta)> = Vec::with_capacity(hop2_local.len());
-    for (l, total) in hop2_local {
-        let others = match own[l as usize] {
+    let mut inbound_local: Vec<(u32, P::Delta)> = state.seg_scratch.pop().unwrap_or_default();
+    for (l, total) in hop2_local.drain(..) {
+        let others = match own_view[l as usize] {
             Some(mine) => {
                 if mine == total {
                     // This replica contributed everything; nothing remote
@@ -770,55 +952,70 @@ fn exchange_m2m<P: VertexProgram>(
         };
         inbound_local.push((l, program.gather(shard.global_of(l), others)));
     }
+    if hop2_local.capacity() != 0 {
+        state.seg_scratch.push(hop2_local);
+    }
     state.deliver_all(program, pctx, inbound_local);
-    if fast {
-        let route = shard.route_table();
-        let own_view: &[Option<P::Delta>] = own;
-        let segments = route_inbound(
-            pctx,
-            shard.num_local(),
-            &mut received,
-            |(gid, total): (u32, P::Delta)| {
-                let l = match route.get(gid as usize) {
-                    Some(&l) if l != NO_LOCAL => l,
-                    _ => return None,
-                };
-                let others = match own_view[l as usize] {
-                    Some(mine) => {
-                        if mine == total {
-                            return None;
-                        }
-                        program.inverse(total, mine)
-                    }
-                    None => total,
-                };
-                Some((l, program.gather(gid.into(), others)))
+    if pipelined {
+        let seg_scratch = &mut state.seg_scratch;
+        let t = ep.finish_pipelined(
+            outboxes,
+            clock.now(),
+            Phase::Coherency,
+            delta_bytes,
+            stats,
+            |batch| {
+                let from = batch.from;
+                let routed = route_inbound(
+                    pctx,
+                    num_local,
+                    std::slice::from_mut(batch),
+                    translate,
+                    seg_scratch,
+                );
+                drain.push(from, routed);
             },
-        );
+        )?;
+        timing.overlap_ms += t.overlap_ms;
+        timing.send_wait_ms += t.send_wait_ms;
+        let bs = pctx.block_size().max(1);
+        let segments = drain.stitch(num_local.div_ceil(bs).max(1));
         state.deliver_segments(program, pctx, segments);
-        for batch in received {
-            ep.recycle(batch);
-        }
     } else {
-        let mut inbound: Vec<(u32, P::Delta)> = Vec::new();
-        for batch in received {
-            for (gid, total) in batch.items {
-                let l = shard
-                    .local_of(gid.into())
-                    .expect("combined delta routed to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
-                let others = match own[l as usize] {
-                    Some(mine) => {
-                        if mine == total {
-                            continue;
-                        }
-                        program.inverse(total, mine)
-                    }
-                    None => total,
-                };
-                inbound.push((l, program.gather(gid.into(), others)));
+        let mut received = ep.exchange(outboxes, clock.now(), Phase::Coherency, delta_bytes, stats)?;
+        if fast {
+            let segments = route_inbound(
+                pctx,
+                num_local,
+                &mut received,
+                translate,
+                &mut state.seg_scratch,
+            );
+            state.deliver_segments(program, pctx, segments);
+            for batch in received {
+                ep.recycle(batch);
             }
+        } else {
+            let mut inbound: Vec<(u32, P::Delta)> = Vec::new();
+            for batch in received {
+                for (gid, total) in batch.items {
+                    let l = shard
+                        .local_of(gid.into())
+                        .expect("combined delta routed to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
+                    let others = match own_view[l as usize] {
+                        Some(mine) => {
+                            if mine == total {
+                                continue;
+                            }
+                            program.inverse(total, mine)
+                        }
+                        None => total,
+                    };
+                    inbound.push((l, program.gather(gid.into(), others)));
+                }
+            }
+            state.deliver_all(program, pctx, inbound);
         }
-        state.deliver_all(program, pctx, inbound);
     }
     // Leave the scratch arrays clean for the next coherency point; only
     // replicated entries can ever have been written.
@@ -826,5 +1023,5 @@ fn exchange_m2m<P: VertexProgram>(
         own[l as usize] = None;
         totals[l as usize] = None;
     }
-    Ok(sent)
+    Ok((sent, timing))
 }

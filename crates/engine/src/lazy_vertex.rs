@@ -22,7 +22,7 @@ use lazygraph_cluster::{
 };
 use lazygraph_partition::{DistributedGraph, LocalShard, NO_LOCAL};
 
-use crate::exchange::{route_inbound, stage_combining};
+use crate::exchange::{route_inbound, stage_combining, PIPELINE_PART_ITEMS};
 use crate::lazy_block::{blocked_apply_scatter, LazyCounters};
 use crate::parallel::{ParallelConfig, ParallelCtx};
 use crate::program::{DeltaExchange, VertexProgram};
@@ -34,12 +34,18 @@ struct MachineOut<P: VertexProgram> {
     counters: LazyCounters,
 }
 
-/// Runs LazyVertexAsync to quiescence.
+/// Runs LazyVertexAsync to quiescence. With `pipeline` on, coherency
+/// flushes stream per-destination as staging crosses the part threshold
+/// instead of all at once when the worklist drains — the async engine has
+/// no barrier to overlap against, so pipelining here just starts wire
+/// writes earlier (same fixpoint; batch boundaries differ).
+#[allow(clippy::too_many_arguments)]
 pub fn run_lazy_vertex_engine<P: VertexProgram>(
     dg: &DistributedGraph,
     program: &P,
     cost: CostModel,
     par: ParallelConfig,
+    pipeline: bool,
     transport: TransportKind,
     stats: Arc<NetStats>,
 ) -> Result<(Vec<P::VData>, f64, LazyCounters), CommError> {
@@ -58,6 +64,7 @@ pub fn run_lazy_vertex_engine<P: VertexProgram>(
             num_vertices,
             cost,
             par,
+            pipeline,
             term.clone(),
             stats.clone(),
         )
@@ -93,6 +100,7 @@ fn machine_loop<P: VertexProgram>(
     num_vertices: usize,
     cost: CostModel,
     par: ParallelConfig,
+    pipeline: bool,
     term: Arc<Termination>,
     stats: Arc<NetStats>,
 ) -> Result<MachineOut<P>, CommError> {
@@ -129,6 +137,7 @@ fn machine_loop<P: VertexProgram>(
                     Some(&l) if l != NO_LOCAL => Some((l, program.gather(gid.into(), d))),
                     _ => None,
                 },
+                &mut state.seg_scratch,
             );
             state.deliver_segments(program, &pctx, segments);
             ep.recycle(batch);
@@ -186,7 +195,28 @@ fn machine_loop<P: VertexProgram>(
                     any = true;
                     let gid = shard.global_of(l).0;
                     for &m in shard.mirrors[l as usize].iter() {
-                        combined += u64::from(stage_combining(program, &mut outboxes, m.index(), gid, d));
+                        let dst = m.index();
+                        combined += u64::from(stage_combining(program, &mut outboxes, dst, gid, d));
+                        if pipeline && outboxes.staged(dst).len() >= PIPELINE_PART_ITEMS {
+                            // Early flush: start the wire write while the
+                            // rest of the worklist is still staging. Sent
+                            // accounting must precede the send so the
+                            // receiver's delivered count never leads it.
+                            if idle {
+                                term.leave_idle();
+                                idle = false;
+                            }
+                            term.note_sent(1);
+                            clock.advance(cost.async_send_cpu);
+                            ep.send_staged(
+                                &mut outboxes,
+                                dst,
+                                clock.now(),
+                                Phase::Coherency,
+                                delta_bytes,
+                                &stats,
+                            )?;
+                        }
                     }
                 }
             }

@@ -14,10 +14,20 @@ pub struct SimBreakdown {
     pub comm: f64,
     /// Barrier latency.
     pub barrier: f64,
+    /// Measured wall-clock milliseconds (summed over machines) during which
+    /// the pipelined exchange overlapped wire I/O with local compute. Host
+    /// telemetry, not simulated time: excluded from [`Self::total`] and from
+    /// the determinism contract.
+    pub overlap_ms: f64,
+    /// Measured wall-clock milliseconds (summed over machines) spent blocked
+    /// at the coherency barrier waiting for peer finals after local compute
+    /// finished. Host telemetry, same caveats as `overlap_ms`.
+    pub send_wait_ms: f64,
 }
 
 impl SimBreakdown {
-    /// Total of the tracked components.
+    /// Total of the tracked *simulated* components. The measured overlap
+    /// counters are a different scale (host milliseconds) and stay out.
     pub fn total(&self) -> f64 {
         self.compute + self.comm + self.barrier
     }
@@ -30,6 +40,8 @@ impl Wire for SimBreakdown {
         self.compute.encode(out);
         self.comm.encode(out);
         self.barrier.encode(out);
+        self.overlap_ms.encode(out);
+        self.send_wait_ms.encode(out);
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
@@ -37,6 +49,8 @@ impl Wire for SimBreakdown {
             compute: f64::decode(r)?,
             comm: f64::decode(r)?,
             barrier: f64::decode(r)?,
+            overlap_ms: f64::decode(r)?,
+            send_wait_ms: f64::decode(r)?,
         })
     }
 }
@@ -145,6 +159,9 @@ mod tests {
                 compute: 1.0,
                 comm: 0.4,
                 barrier: 0.1,
+                // Must not leak into total(): it's a wall-clock scale.
+                overlap_ms: 250.0,
+                send_wait_ms: 30.0,
             },
             wall_time: Duration::from_millis(10),
             stats: StatsSnapshot::default(),

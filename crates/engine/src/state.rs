@@ -35,6 +35,18 @@ pub struct MachineState<P: VertexProgram> {
     pub active: Vec<bool>,
     /// Worklist of active local vertices.
     pub queue: Vec<u32>,
+    /// Iteration-persistent scratch: a pool of emptied `(l, delta)` vectors
+    /// reused across supersteps as [`Self::deliver_all`] buckets,
+    /// [`crate::exchange::route_inbound`] segments (same shape — engines
+    /// pass `&mut state.seg_scratch` as the router's scratch) and delivery
+    /// staging, so steady-state delivery stops re-growing them from zero.
+    /// Capacity-only state: contents are always written before being read,
+    /// so reuse cannot affect results.
+    pub seg_scratch: Vec<Vec<(u32, P::Delta)>>,
+    /// Same pool for the lazy path's `(l, delta, fold)` triples:
+    /// [`Self::deliver_all_lazy`] buckets and the blocked apply/scatter
+    /// sweep's delivery staging vector.
+    pub lazy_scratch: Vec<Vec<(u32, P::Delta, bool)>>,
 }
 
 impl<P: VertexProgram> MachineState<P> {
@@ -78,6 +90,8 @@ impl<P: VertexProgram> MachineState<P> {
             delta_msg: vec![None; n],
             active,
             queue,
+            seg_scratch: Vec::new(),
+            lazy_scratch: Vec::new(),
         }
     }
 
@@ -119,18 +133,26 @@ impl<P: VertexProgram> MachineState<P> {
     /// concatenated in block-index order; the path taken depends only on
     /// the item count and block size, never on `ctx.threads()`, so the
     /// worklist order is reproducible too.
-    pub fn deliver_all(&mut self, program: &P, ctx: &ParallelCtx, items: Vec<(u32, P::Delta)>) {
+    pub fn deliver_all(&mut self, program: &P, ctx: &ParallelCtx, mut items: Vec<(u32, P::Delta)>) {
         let bs = ctx.block_size();
         let num_blocks = self.message.len().div_ceil(bs.max(1));
         if num_blocks <= 1 || items.len() <= 1 {
-            for (l, d) in items {
+            for (l, d) in items.drain(..) {
                 self.deliver(program, l, d);
+            }
+            if items.capacity() != 0 {
+                self.seg_scratch.push(items);
             }
             return;
         }
-        let mut buckets: Vec<Vec<(u32, P::Delta)>> = vec![Vec::new(); num_blocks];
-        for (l, d) in items {
+        let mut buckets: Vec<Vec<(u32, P::Delta)>> = (0..num_blocks)
+            .map(|_| self.seg_scratch.pop().unwrap_or_default())
+            .collect();
+        for (l, d) in items.drain(..) {
             buckets[l as usize / bs].push((l, d));
+        }
+        if items.capacity() != 0 {
+            self.seg_scratch.push(items);
         }
         struct BlockWork<'a, P: VertexProgram> {
             base: usize,
@@ -154,17 +176,22 @@ impl<P: VertexProgram> MachineState<P> {
                     active: act_chunk,
                     items,
                 });
+            } else if items.capacity() != 0 {
+                self.seg_scratch.push(items);
             }
         }
-        let activated: Vec<Vec<u32>> = ctx.pool().map(work, |w| {
+        // Tasks drain (not consume) their item vectors so the capacity can
+        // rejoin the scratch pool for the next superstep.
+        #[allow(clippy::type_complexity)]
+        let activated: Vec<(Vec<u32>, Vec<(u32, P::Delta)>)> = ctx.pool().map(work, |w| {
             let BlockWork {
                 base,
                 message,
                 active,
-                items,
+                mut items,
             } = w;
             let mut newly = Vec::new();
-            for (l, d) in items {
+            for (l, d) in items.drain(..) {
                 let i = l as usize - base;
                 let slot = &mut message[i];
                 *slot = Some(match slot.take() {
@@ -176,10 +203,13 @@ impl<P: VertexProgram> MachineState<P> {
                     newly.push(l);
                 }
             }
-            newly
+            (newly, items)
         });
-        for block in activated {
+        for (block, emptied) in activated {
             self.queue.extend(block);
+            if emptied.capacity() != 0 {
+                self.seg_scratch.push(emptied);
+            }
         }
     }
 
@@ -197,24 +227,32 @@ impl<P: VertexProgram> MachineState<P> {
         &mut self,
         program: &P,
         ctx: &ParallelCtx,
-        items: Vec<(u32, P::Delta, bool)>,
+        mut items: Vec<(u32, P::Delta, bool)>,
     ) -> u64 {
         let bs = ctx.block_size();
         let num_blocks = self.message.len().div_ceil(bs.max(1));
         if num_blocks <= 1 || items.len() <= 1 {
             let mut folds = 0u64;
-            for (l, d, fold_delta) in items {
+            for (l, d, fold_delta) in items.drain(..) {
                 self.deliver(program, l, d);
                 if fold_delta {
                     folds += u64::from(self.delta_msg[l as usize].is_some());
                     self.accumulate_delta(program, l, d);
                 }
             }
+            if items.capacity() != 0 {
+                self.lazy_scratch.push(items);
+            }
             return folds;
         }
-        let mut buckets: Vec<Vec<(u32, P::Delta, bool)>> = vec![Vec::new(); num_blocks];
-        for (l, d, f) in items {
+        let mut buckets: Vec<Vec<(u32, P::Delta, bool)>> = (0..num_blocks)
+            .map(|_| self.lazy_scratch.pop().unwrap_or_default())
+            .collect();
+        for (l, d, f) in items.drain(..) {
             buckets[l as usize / bs].push((l, d, f));
+        }
+        if items.capacity() != 0 {
+            self.lazy_scratch.push(items);
         }
         struct BlockWork<'a, P: VertexProgram> {
             base: usize,
@@ -243,19 +281,22 @@ impl<P: VertexProgram> MachineState<P> {
                     active: act_chunk,
                     items,
                 });
+            } else if items.capacity() != 0 {
+                self.lazy_scratch.push(items);
             }
         }
-        let activated: Vec<(Vec<u32>, u64)> = ctx.pool().map(work, |w| {
+        #[allow(clippy::type_complexity)]
+        let activated: Vec<(Vec<u32>, u64, Vec<(u32, P::Delta, bool)>)> = ctx.pool().map(work, |w| {
             let BlockWork {
                 base,
                 message,
                 delta_msg,
                 active,
-                items,
+                mut items,
             } = w;
             let mut newly = Vec::new();
             let mut folds = 0u64;
-            for (l, d, fold_delta) in items {
+            for (l, d, fold_delta) in items.drain(..) {
                 let i = l as usize - base;
                 let slot = &mut message[i];
                 *slot = Some(match slot.take() {
@@ -277,12 +318,15 @@ impl<P: VertexProgram> MachineState<P> {
                     });
                 }
             }
-            (newly, folds)
+            (newly, folds, items)
         });
         let mut folds = 0u64;
-        for (block, f) in activated {
+        for (block, f, emptied) in activated {
             self.queue.extend(block);
             folds += f;
+            if emptied.capacity() != 0 {
+                self.lazy_scratch.push(emptied);
+            }
         }
         folds
     }
@@ -331,16 +375,20 @@ impl<P: VertexProgram> MachineState<P> {
                 });
             }
         }
-        let activated: Vec<Vec<u32>> = ctx.pool().map(work, |w| {
+        // Segments are drained, not consumed: their capacity flows back
+        // into `seg_scratch`, where the next superstep's `route_inbound`
+        // pass picks it up as fresh buckets.
+        #[allow(clippy::type_complexity)]
+        let activated: Vec<(Vec<u32>, Vec<Vec<(u32, P::Delta)>>)> = ctx.pool().map(work, |w| {
             let BlockWork {
                 base,
                 message,
                 active,
-                segments,
+                mut segments,
             } = w;
             let mut newly = Vec::new();
-            for segment in segments {
-                for (l, d) in segment {
+            for segment in &mut segments {
+                for (l, d) in segment.drain(..) {
                     let i = l as usize - base;
                     let slot = &mut message[i];
                     *slot = Some(match slot.take() {
@@ -353,10 +401,15 @@ impl<P: VertexProgram> MachineState<P> {
                     }
                 }
             }
-            newly
+            (newly, segments)
         });
-        for block in activated {
+        for (block, segments) in activated {
             self.queue.extend(block);
+            for s in segments {
+                if s.capacity() != 0 {
+                    self.seg_scratch.push(s);
+                }
+            }
         }
     }
 
@@ -645,6 +698,46 @@ mod tests {
         let mut st =
             MachineState::init(shard, &P0, InitMessages::MastersOnly, dg.num_global_vertices);
         assert_eq!(st.deliver_all_lazy(&P0, &ctx, vec![(0, 1, true)]), 0);
+    }
+
+    #[test]
+    fn delivery_scratch_cycles_instead_of_growing() {
+        use crate::parallel::{ParallelConfig, ParallelCtx};
+
+        let dg = dist();
+        let shard = &dg.shards[0];
+        let n = shard.num_local() as u32;
+        let ctx = ParallelCtx::new(ParallelConfig {
+            threads: 2,
+            block_size: 16,
+        });
+        let mut st =
+            MachineState::init(shard, &P0, InitMessages::MastersOnly, dg.num_global_vertices);
+        let items: Vec<(u32, u32)> = (0..256u32).map(|i| (i % n, 1)).collect();
+        st.deliver_all(&P0, &ctx, items.clone());
+        let pooled = st.seg_scratch.len();
+        let cap: usize = st.seg_scratch.iter().map(Vec::capacity).sum();
+        assert!(pooled > 0, "first superstep seeds the pool");
+        assert!(cap > 0, "pooled vectors keep their grown capacity");
+        // Steady state mirrors the engines: each superstep's staging vector
+        // is itself drawn from the pool, so the pool cycles without growing.
+        for _ in 0..3 {
+            let mut batch = st.seg_scratch.pop().unwrap_or_default();
+            batch.extend(items.iter().copied());
+            st.deliver_all(&P0, &ctx, batch);
+        }
+        assert!(st.seg_scratch.len() <= pooled + 1, "pool must not grow per superstep");
+
+        let lazy_items: Vec<(u32, u32, bool)> = (0..256u32).map(|i| (i % n, 1, false)).collect();
+        st.deliver_all_lazy(&P0, &ctx, lazy_items.clone());
+        let lazy_pooled = st.lazy_scratch.len();
+        assert!(lazy_pooled > 0);
+        for _ in 0..3 {
+            let mut batch = st.lazy_scratch.pop().unwrap_or_default();
+            batch.extend(lazy_items.iter().copied());
+            st.deliver_all_lazy(&P0, &ctx, batch);
+        }
+        assert!(st.lazy_scratch.len() <= lazy_pooled + 1);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use lazygraph_partition::{DistributedGraph, LocalShard, NO_LOCAL};
 use parking_lot::Mutex;
 
 use crate::bsp::{BspReduction, BspSync, CommCharge};
-use crate::exchange::route_inbound;
+use crate::exchange::{route_inbound, PipelineDrain, PIPELINE_PART_ITEMS};
 use crate::metrics::{IterationRecord, SimBreakdown};
 use crate::parallel::{ParallelConfig, ParallelCtx};
 use crate::program::{EdgeCtx, VertexProgram};
@@ -121,6 +121,7 @@ pub fn run_sync_engine<P: VertexProgram>(
     max_iterations: u64,
     par: ParallelConfig,
     exchange_fast: bool,
+    pipeline: bool,
     transport: TransportKind,
     stats: Arc<NetStats>,
     breakdown: Arc<Mutex<SimBreakdown>>,
@@ -145,6 +146,7 @@ pub fn run_sync_engine<P: VertexProgram>(
             max_iterations,
             par,
             exchange_fast,
+            pipeline,
             coll.clone(),
             stats.clone(),
             breakdown.clone(),
@@ -170,6 +172,7 @@ pub fn run_sync_machine<P: VertexProgram>(
     max_iterations: u64,
     par: ParallelConfig,
     exchange_fast: bool,
+    pipeline: bool,
     stats: Arc<NetStats>,
     breakdown: Arc<Mutex<SimBreakdown>>,
 ) -> Result<MachineOut<P>, CommError> {
@@ -181,6 +184,7 @@ pub fn run_sync_machine<P: VertexProgram>(
         max_iterations,
         par,
         exchange_fast,
+        pipeline,
         coll,
         stats,
         breakdown,
@@ -197,6 +201,7 @@ fn machine_loop<P: VertexProgram>(
     max_iterations: u64,
     par: ParallelConfig,
     exchange_fast: bool,
+    pipeline: bool,
     coll: Arc<Collective>,
     stats: Arc<NetStats>,
     breakdown: Arc<Mutex<SimBreakdown>>,
@@ -206,6 +211,12 @@ fn machine_loop<P: VertexProgram>(
     let me = shard.machine.index();
     let n = coll.num_machines();
     let pctx = ParallelCtx::new(par);
+    // The pipelined exchange needs the fast path's routing machinery; the
+    // serialized paths stay the reference oracle (DESIGN.md §11).
+    let pipelined = pipeline && exchange_fast;
+    // BspSync owns the breakdown for the simulated components; this clone
+    // is the sink for the pipelined exchange's wall-clock telemetry.
+    let timing_sink = breakdown.clone();
     let mut bsp = BspSync::new(me, coll, stats.clone(), cost, breakdown);
     let mut clock = SimClock::new();
     let mut state: MachineState<P> =
@@ -261,44 +272,105 @@ fn machine_loop<P: VertexProgram>(
             }
             b
         });
+        // Gather-round batches carry only Accums (phase-tagged BSP
+        // lockstep); block-parallel routing feeds the masters directly.
+        let route = shard.route_table();
+        let gather_translate = |(gid, msg): (u32, SyncMsg<P>)| match msg {
+            SyncMsg::Accum(d) => match route.get(gid as usize) {
+                Some(&l) if l != NO_LOCAL => Some((l, program.gather(gid.into(), d))),
+                _ => None,
+            },
+            SyncMsg::Update { .. } => None,
+        };
+        let num_local = shard.num_local();
+        let mut drain: PipelineDrain<P::Delta> = PipelineDrain::new(n);
         for b in gather_blocks {
             master_worklist.extend(b.masters);
             for (dst, l, d) in b.forwards {
                 state.message[l as usize] = None;
                 outboxes.push(dst, (shard.global_of(l).0, SyncMsg::Accum(d)));
                 sent_bytes += delta_bytes as u64;
+                if pipelined && outboxes.staged(dst).len() >= PIPELINE_PART_ITEMS {
+                    // Streaming send plus eager routing; `clock.merge` is a
+                    // max, so merging per-arrival here reproduces the
+                    // serialized path's merged clock exactly.
+                    w.ep.stream_part(&mut outboxes, dst, clock.now(), Phase::Gather, delta_bytes, &stats)?;
+                    while let Some(mut batch) = w.ep.poll_stream() {
+                        clock.merge(batch.sent_at);
+                        let from = batch.from;
+                        let routed = route_inbound(
+                            &pctx,
+                            num_local,
+                            std::slice::from_mut(&mut batch),
+                            gather_translate,
+                            &mut state.seg_scratch,
+                        );
+                        drain.push(from, routed);
+                        w.ep.recycle(batch);
+                        stats.record_drain_early(1);
+                    }
+                }
             }
             for l in b.deactivate {
                 state.active[l as usize] = false;
             }
         }
-        let mut received =
-            w.ep
-                .exchange(&mut outboxes, clock.now(), Phase::Gather, delta_bytes, &stats)?;
-        for batch in &received {
-            clock.merge(batch.sent_at);
-        }
-        if exchange_fast {
-            // Gather-round batches carry only Accums (phase-tagged BSP
-            // lockstep); block-parallel routing feeds the masters directly.
-            let route = shard.route_table();
+        if pipelined {
+            let seg_scratch = &mut state.seg_scratch;
+            let now = clock.now();
+            let clock_ref = &mut clock;
+            let t = w.ep.finish_pipelined(
+                &mut outboxes,
+                now,
+                Phase::Gather,
+                delta_bytes,
+                &stats,
+                |batch| {
+                    clock_ref.merge(batch.sent_at);
+                    let from = batch.from;
+                    let routed = route_inbound(
+                        &pctx,
+                        num_local,
+                        std::slice::from_mut(batch),
+                        gather_translate,
+                        seg_scratch,
+                    );
+                    drain.push(from, routed);
+                },
+            )?;
+            {
+                let mut bd = timing_sink.lock();
+                bd.overlap_ms += t.overlap_ms; // lazylint: allow(float-commit) -- wall-clock telemetry summed over machines; outside the determinism contract and SimBreakdown::total()
+                bd.send_wait_ms += t.send_wait_ms; // lazylint: allow(float-commit) -- same telemetry channel as the line above
+            }
+            let bs = pctx.block_size().max(1);
+            let segments = drain.stitch(num_local.div_ceil(bs).max(1));
+            state.deliver_segments(program, &pctx, segments);
+        } else if exchange_fast {
+            let mut received =
+                w.ep
+                    .exchange(&mut outboxes, clock.now(), Phase::Gather, delta_bytes, &stats)?;
+            for batch in &received {
+                clock.merge(batch.sent_at);
+            }
             let segments = route_inbound(
                 &pctx,
-                shard.num_local(),
+                num_local,
                 &mut received,
-                |(gid, msg): (u32, SyncMsg<P>)| match msg {
-                    SyncMsg::Accum(d) => match route.get(gid as usize) {
-                        Some(&l) if l != NO_LOCAL => Some((l, program.gather(gid.into(), d))),
-                        _ => None,
-                    },
-                    SyncMsg::Update { .. } => None,
-                },
+                gather_translate,
+                &mut state.seg_scratch,
             );
             state.deliver_segments(program, &pctx, segments);
             for batch in received {
                 w.ep.recycle(batch);
             }
         } else {
+            let received =
+                w.ep
+                    .exchange(&mut outboxes, clock.now(), Phase::Gather, delta_bytes, &stats)?;
+            for batch in &received {
+                clock.merge(batch.sent_at);
+            }
             let mut inbound: Vec<(u32, P::Delta)> = Vec::new();
             for batch in received {
                 for (gid, msg) in batch.items {
@@ -353,6 +425,16 @@ fn machine_loop<P: VertexProgram>(
             state.message[l as usize] = None;
             state.active[l as usize] = false;
         }
+        // Early-drained update parts, stashed per sender in arrival order.
+        // Updates overwrite `vdata` and append to `scatter_tasks`, whose
+        // order feeds phase 3's worklist — the commit below replays the
+        // serialized path's (sender, part) sequence exactly. Clock merges
+        // are deferred too: the serialized path merges after the
+        // `apply_time` advance, and merge/advance do not commute.
+        #[allow(clippy::type_complexity)]
+        let mut update_parts: Vec<Vec<Vec<(u32, SyncMsg<P>)>>> =
+            (0..n).map(|_| Vec::new()).collect();
+        let mut deferred_merges: Vec<f64> = Vec::new();
         for block in apply_blocks {
             for (l, data, d) in block {
                 let v = shard.global_of(l);
@@ -360,8 +442,9 @@ fn machine_loop<P: VertexProgram>(
                 // Eager coherency: the changed data goes to every mirror
                 // now.
                 for &m in shard.mirrors[l as usize].iter() {
+                    let dst = m.index();
                     outboxes.push(
-                        m.index(),
+                        dst,
                         (
                             v.0,
                             SyncMsg::Update {
@@ -371,6 +454,18 @@ fn machine_loop<P: VertexProgram>(
                         ),
                     );
                     sent_bytes += update_bytes as u64;
+                    if pipelined && outboxes.staged(dst).len() >= PIPELINE_PART_ITEMS {
+                        w.ep.stream_part(&mut outboxes, dst, clock.now(), Phase::Apply, update_bytes, &stats)?;
+                        while let Some(mut batch) = w.ep.poll_stream() {
+                            deferred_merges.push(batch.sent_at);
+                            if !batch.items.is_empty() {
+                                update_parts[batch.from]
+                                    .push(std::mem::take(&mut batch.items));
+                            }
+                            w.ep.recycle(batch);
+                            stats.record_drain_early(1);
+                        }
+                    }
                 }
                 state.vdata[l as usize] = data;
                 if let Some(d) = d {
@@ -380,25 +475,67 @@ fn machine_loop<P: VertexProgram>(
         }
         stats.record_applies(applies);
         clock.advance(cost.apply_time(applies));
-        let received =
-            w.ep
-                .exchange(&mut outboxes, clock.now(), Phase::Apply, update_bytes, &stats)?;
-        // Updates overwrite `vdata` in place, so this stays a serial pass
-        // (batch order = sender order); drained buffers go back to the pool.
-        for mut batch in received {
-            clock.merge(batch.sent_at);
-            for (gid, msg) in batch.items.drain(..) {
-                if let SyncMsg::Update { data, scatter } = msg {
-                    let l = shard
-                        .local_of(gid.into())
-                        .expect("update routed to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
-                    state.vdata[l as usize] = data;
-                    if let Some(d) = scatter {
-                        scatter_tasks.push((l, d));
+        if pipelined {
+            let t = w.ep.finish_pipelined(
+                &mut outboxes,
+                clock.now(),
+                Phase::Apply,
+                update_bytes,
+                &stats,
+                |batch| {
+                    deferred_merges.push(batch.sent_at);
+                    if !batch.items.is_empty() {
+                        update_parts[batch.from].push(std::mem::take(&mut batch.items));
                     }
+                },
+            )?;
+            {
+                let mut bd = timing_sink.lock();
+                bd.overlap_ms += t.overlap_ms; // lazylint: allow(float-commit) -- wall-clock telemetry summed over machines; outside the determinism contract and SimBreakdown::total()
+                bd.send_wait_ms += t.send_wait_ms; // lazylint: allow(float-commit) -- same telemetry channel as the line above
+            }
+            for sent_at in deferred_merges.drain(..) {
+                clock.merge(sent_at);
+            }
+            // Commit in (sender, part) order — the exact item sequence of
+            // the serialized path's sender-sorted batches.
+            for (from, parts) in update_parts.into_iter().enumerate() {
+                for mut items in parts {
+                    for (gid, msg) in items.drain(..) {
+                        if let SyncMsg::Update { data, scatter } = msg {
+                            let l = shard
+                                .local_of(gid.into())
+                                .expect("update routed to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
+                            state.vdata[l as usize] = data;
+                            if let Some(d) = scatter {
+                                scatter_tasks.push((l, d));
+                            }
+                        }
+                    }
+                    w.ep.recycle_vec(from, items);
                 }
             }
-            w.ep.recycle(batch);
+        } else {
+            let received =
+                w.ep
+                    .exchange(&mut outboxes, clock.now(), Phase::Apply, update_bytes, &stats)?;
+            // Updates overwrite `vdata` in place, so this stays a serial pass
+            // (batch order = sender order); drained buffers go back to the pool.
+            for mut batch in received {
+                clock.merge(batch.sent_at);
+                for (gid, msg) in batch.items.drain(..) {
+                    if let SyncMsg::Update { data, scatter } = msg {
+                        let l = shard
+                            .local_of(gid.into())
+                            .expect("update routed to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
+                        state.vdata[l as usize] = data;
+                        if let Some(d) = scatter {
+                            scatter_tasks.push((l, d));
+                        }
+                    }
+                }
+                w.ep.recycle(batch);
+            }
         }
         bsp.sync(
             &mut clock,
@@ -438,7 +575,9 @@ fn machine_loop<P: VertexProgram>(
                 (deliveries, edges)
             });
         scatter_tasks.clear();
-        let mut deliveries: Vec<(u32, P::Delta)> = Vec::new();
+        // Staging draws from the iteration-persistent pool; `deliver_all`
+        // drains it and returns the emptied husk.
+        let mut deliveries: Vec<(u32, P::Delta)> = state.seg_scratch.pop().unwrap_or_default();
         for (block, e) in scatter_blocks {
             deliveries.extend(block);
             edges += e;

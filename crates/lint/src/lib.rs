@@ -1,7 +1,7 @@
 //! # lazygraph-lint
 //!
 //! An offline, registry-free static analyzer enforcing the workspace's
-//! determinism & coherency contract as five named rules:
+//! determinism & coherency contract as six named rules:
 //!
 //! | id | meaning |
 //! |----|---------|
@@ -10,6 +10,7 @@
 //! | `nondet-source`  | L3: no wall-clock / thread-id / unseeded-RNG reads in engine functions |
 //! | `no-panic`       | L4: no `unwrap()`/`expect()`/`panic!` in library crates outside tests |
 //! | `lock-order`     | L5: Mutex/RwLock acquisition order consistent across the `cluster` crate |
+//! | `detached-spawn` | L6: `thread::spawn` in `engine`/`cluster` must join its `JoinHandle` |
 //!
 //! Suppression: `// lazylint: allow(rule-id) -- reason` (line-scoped) or
 //! `// lazylint: allow-file(rule-id) -- reason` (whole file). The reason
@@ -79,6 +80,7 @@ pub fn analyze_workspace(root: &Path) -> Vec<Finding> {
         file_findings.extend(rules::float_commit::check(&ctx));
         file_findings.extend(rules::nondet_source::check(&ctx));
         file_findings.extend(rules::no_panic::check(&ctx));
+        file_findings.extend(rules::detached_spawn::check(&ctx));
         all_acq.extend(rules::lock_order::acquisitions(&ctx));
         findings.extend(apply_pragmas(&toks, &sf.rel, &mut file_findings));
         lexed.push((sf.rel, toks));

@@ -10,6 +10,7 @@ use crate::files::Role;
 use crate::lexer::{TokKind, Token};
 use crate::report::Finding;
 
+pub mod detached_spawn;
 pub mod float_commit;
 pub mod lock_order;
 pub mod no_panic;
@@ -23,6 +24,7 @@ pub const RULE_IDS: &[&str] = &[
     "nondet-source",
     "no-panic",
     "lock-order",
+    "detached-spawn",
 ];
 
 /// Short per-rule descriptions for `--list-rules`.
@@ -46,6 +48,10 @@ pub const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
     (
         "lock-order",
         "L5: Mutex/RwLock acquisition order must be consistent across cluster functions",
+    ),
+    (
+        "detached-spawn",
+        "L6: thread::spawn in engine/cluster must join its JoinHandle (or justify the detach)",
     ),
 ];
 
@@ -111,6 +117,7 @@ pub fn run_all(ctx: &FileCtx) -> Vec<Finding> {
     out.extend(nondet_source::check(ctx));
     out.extend(no_panic::check(ctx));
     out.extend(lock_order::check(ctx));
+    out.extend(detached_spawn::check(ctx));
     out
 }
 

@@ -1,0 +1,19 @@
+//! lazylint-fixture: path=crates/cluster/src/fixture.rs
+//! L6 must fire: fire-and-forget spawns whose JoinHandle is dropped.
+
+pub fn start_background_poller() {
+    std::thread::spawn(move || loop_forever()); //~ detached-spawn
+}
+
+pub fn discard_explicitly() {
+    let _ = thread::spawn(|| work()); //~ detached-spawn
+}
+
+pub fn keep_handle() -> std::thread::JoinHandle<()> {
+    // Tail expression: the handle is returned for the caller to join.
+    std::thread::spawn(|| work())
+}
+
+pub fn collect_handles(v: &mut Vec<std::thread::JoinHandle<()>>) {
+    v.push(std::thread::spawn(|| work()));
+}

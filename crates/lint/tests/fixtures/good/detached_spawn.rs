@@ -1,0 +1,25 @@
+//! lazylint-fixture: path=crates/cluster/src/fixture.rs
+//! L6 stays silent: joined handles, consumed handles, justified detaches.
+
+pub fn joined() {
+    let h = std::thread::spawn(|| work());
+    h.join().ok();
+}
+
+pub fn chained() {
+    std::thread::spawn(|| work()).join().ok();
+}
+
+pub fn justified_detach() {
+    // lazylint: allow(detached-spawn) -- exits on the peer's Shutdown frame;
+    // joining would deadlock a clean endpoint drop
+    std::thread::spawn(move || reader_loop());
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn detach_in_tests_is_exempt() {
+        std::thread::spawn(|| super::joined());
+    }
+}

@@ -7,7 +7,7 @@
 //!                    [--partition coordinated|random|grid|hybrid]
 //!                    [--source 0] [--k 3] [--tolerance 1e-3] [--scale 0.1]
 //!                    [--threads N] [--block-size 1024]
-//!                    [--transport inproc|tcp] [--multiprocess]
+//!                    [--transport inproc|tcp] [--multiprocess] [--pipeline]
 //!                    [--symmetrize] [--weights LO:HI] [--output values.txt]
 //! lazygraph-cli info --input <...> [--machines 48] [--scale 0.1]
 //! lazygraph-cli generate --kind rmat|road|web|social --vertices N --out FILE
@@ -175,6 +175,9 @@ fn engine_config(opts: &Opts) -> EngineConfig {
     }
     if opts.flags.contains("history") {
         cfg.record_history = true;
+    }
+    if opts.flags.contains("pipeline") {
+        cfg = cfg.with_pipeline(true);
     }
     if let Some(t) = opts.get("transport") {
         let kind: TransportKind = t.parse().unwrap_or_else(|e: String| {

@@ -158,6 +158,7 @@ fn run_worker<P: VertexProgram>(job: &WorkerJob, args: Args, program: P) -> Resu
                 job.max_iterations,
                 par,
                 job.exchange_fast,
+                job.pipeline,
                 stats.clone(),
                 breakdown.clone(),
             )
@@ -173,6 +174,7 @@ fn run_worker<P: VertexProgram>(job: &WorkerJob, args: Args, program: P) -> Resu
                 delta_suppression: job.delta_suppression,
                 record_history: false,
                 exchange_fast: job.exchange_fast,
+                pipeline: job.pipeline,
             };
             let ep = connect_tcp_endpoint::<(u32, P::Delta)>(me, &data_addrs, &stats, &opts)
                 .map_err(|e| format!("data mesh: {e}"))?;

@@ -153,6 +153,8 @@ pub struct WorkerJob {
     /// before shipping, so all workers agree).
     pub threads_per_machine: usize,
     pub block_size: usize,
+    /// Pipelined coherency exchange (DESIGN.md §11).
+    pub pipeline: bool,
 }
 
 fn encode_engine_kind(k: EngineKind, out: &mut Vec<u8>) {
@@ -236,6 +238,7 @@ impl Wire for WorkerJob {
         self.exchange_fast.encode(out);
         (self.threads_per_machine as u64).encode(out);
         (self.block_size as u64).encode(out);
+        self.pipeline.encode(out);
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
@@ -322,6 +325,7 @@ impl Wire for WorkerJob {
             exchange_fast: bool::decode(r)?,
             threads_per_machine: u64::decode(r)? as usize,
             block_size: u64::decode(r)? as usize,
+            pipeline: bool::decode(r)?,
         })
     }
 }
@@ -469,6 +473,7 @@ pub fn run_multiprocess<P: VertexProgram>(
         exchange_fast: cfg.exchange_fast,
         threads_per_machine: cfg.resolve_threads(n),
         block_size: cfg.block_size.max(1),
+        pipeline: cfg.pipeline,
     };
 
     let seq = LAUNCH_SEQ.fetch_add(1, Ordering::Relaxed);
@@ -671,6 +676,7 @@ mod tests {
             exchange_fast: true,
             threads_per_machine: 2,
             block_size: 1024,
+            pipeline: true,
         }
     }
 
@@ -686,6 +692,7 @@ mod tests {
         assert_eq!(back.data_addrs, j.data_addrs);
         assert_eq!(back.max_iterations, 100);
         assert_eq!(back.threads_per_machine, 2);
+        assert!(back.pipeline);
         assert_eq!(back.cost.bandwidth.to_bits(), j.cost.bandwidth.to_bits());
         assert_eq!(
             back.splitter.t_extra.to_bits(),
