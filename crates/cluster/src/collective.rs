@@ -189,6 +189,24 @@ impl Collective {
         }
     }
 
+    /// The control-mesh round the next collective will consume — the
+    /// ctrl-side replay watermark a checkpoint records. Always 0 on the
+    /// shared-memory path (nothing to replay).
+    pub fn next_round(&self) -> u64 {
+        match &self.inner {
+            Inner::Shared { .. } => 0,
+            Inner::Mesh { ep, .. } => ep.lock().next_round(),
+        }
+    }
+
+    /// Prunes the control mesh's replay logs below `watermark`; no-op on
+    /// the shared-memory path.
+    pub fn prune_log(&self, watermark: u64) {
+        if let Inner::Mesh { ep, .. } = &self.inner {
+            ep.lock().prune_log(watermark);
+        }
+    }
+
     /// Allreduce-sum over u64.
     pub fn sum_u64(&self, me: usize, val: u64, stats: &NetStats) -> Result<u64, CommError> {
         self.allreduce(me, val, stats, |a, b| a + b)

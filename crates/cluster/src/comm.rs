@@ -150,9 +150,16 @@ pub struct Endpoint<T> {
     /// When the first part of the current streaming round left this
     /// endpoint — the start of the compute/IO overlap window.
     stream_started: Option<std::time::Instant>,
+    /// Non-empty parts streamed so far in the current round — the index
+    /// the `stream:<round>:<part>` fail point fires on.
+    stream_parts: u64,
     /// Writer-proxy threads a transport backend attached to this endpoint
     /// (empty for the in-proc mesh). Joined on drop — see [`Drop`] below.
     flush_on_drop: Vec<std::thread::JoinHandle<()>>,
+    /// Fault-tolerance state shared with the transport's reader/writer/
+    /// acceptor threads (`None` for the in-proc mesh and for TCP meshes
+    /// running in the PR 4 fail-fast mode).
+    recovery: Option<std::sync::Arc<crate::recovery::RecoveryShared>>,
 }
 
 impl<T> Endpoint<T> {
@@ -183,8 +190,63 @@ impl<T> Endpoint<T> {
             pending: VecDeque::new(),
             stream_finals: 0,
             stream_started: None,
+            stream_parts: 0,
             flush_on_drop,
+            recovery: None,
         }
+    }
+
+    /// Attaches the transport's recovery state (set once, right after
+    /// `from_parts`, by the TCP backend).
+    pub(crate) fn set_recovery(&mut self, r: std::sync::Arc<crate::recovery::RecoveryShared>) {
+        self.recovery = Some(r);
+    }
+
+    /// The recovery state, if this endpoint's transport has one.
+    #[cfg(test)]
+    pub(crate) fn recovery_shared(
+        &self,
+    ) -> Option<&std::sync::Arc<crate::recovery::RecoveryShared>> {
+        self.recovery.as_ref()
+    }
+
+    /// The round the next `exchange`/`finish_pipelined` will be tagged
+    /// with — the replay watermark a checkpoint records.
+    #[inline]
+    pub fn next_round(&self) -> u64 {
+        self.next_round
+    }
+
+    /// Fast-forwards the round counter; used when resuming a machine
+    /// from a snapshot so regenerated rounds keep their original tags.
+    pub fn set_next_round(&mut self, round: u64) {
+        self.next_round = round;
+    }
+
+    /// Drops replay-log entries below `watermark` on every link; no-op
+    /// for transports without recovery state.
+    pub fn prune_log(&self, watermark: u64) {
+        if let Some(r) = &self.recovery {
+            r.prune_logs(watermark);
+        }
+    }
+
+    /// Simulates a process death for in-process tests: severs every live
+    /// socket without sending Shutdown frames (peers observe a bare EOF,
+    /// exactly like a killed worker), then drops the endpoint. Only
+    /// meaningful on recovery-mode TCP transports.
+    #[cfg(test)]
+    pub(crate) fn crash_for_test(mut self) {
+        if let Some(r) = self.recovery.take() {
+            r.close();
+            for link in &r.links {
+                if let Some(s) = link.stream.lock().take() {
+                    let _ = s.shutdown(std::net::Shutdown::Both);
+                }
+            }
+            self.recovery = Some(r);
+        }
+        drop(self);
     }
 }
 
@@ -216,10 +278,33 @@ impl<T> Drop for Endpoint<T> {
         if self.flush_on_drop.is_empty() {
             return;
         }
+        // Recovery-mode teardown: latch `closed` first so the acceptor
+        // thread (riding in `flush_on_drop`) knows to retire its links
+        // and exit instead of awaiting further rejoins.
+        if let Some(r) = &self.recovery {
+            r.close();
+        }
         self.txs.clear();
         self.ret_txs.clear();
         for h in self.flush_on_drop.drain(..) {
             let _ = h.join();
+        }
+        // In recovery mode the per-link writer/reader threads are parked
+        // in `LinkShared` (the acceptor swaps them on rejoin); join them
+        // after the acceptor so nobody respawns what we just joined.
+        // Writers see the cleared `txs` as a disconnect and flush their
+        // Shutdown frames; readers notice `closed` on a timeout tick.
+        if let Some(r) = self.recovery.take() {
+            for link in &r.links {
+                let writer = link.writer.lock().take();
+                if let Some(h) = writer {
+                    let _ = h.join();
+                }
+                let reader = link.reader.lock().take();
+                if let Some(h) = reader {
+                    let _ = h.join();
+                }
+            }
         }
     }
 }
@@ -391,6 +476,8 @@ impl<T: Send> Endpoint<T> {
             self.stream_started = Some(std::time::Instant::now());
         }
         let round = self.next_round;
+        self.stream_parts += 1;
+        crate::recovery::failpoint_stream(round, self.stream_parts);
         let replacement = self.take_buffer(stats);
         let items = std::mem::replace(outboxes.slot(dst), replacement);
         self.send_tagged_part(dst, items, sim_now, round, false, phase, bytes_per_item, stats)?;
@@ -454,6 +541,7 @@ impl<T: Send> Endpoint<T> {
             .unwrap_or(0.0);
         let round = self.next_round;
         self.next_round += 1;
+        self.stream_parts = 0;
         for dst in 0..self.n {
             if dst == self.me {
                 continue;
@@ -542,6 +630,7 @@ impl<T: Send> Endpoint<T> {
         assert_eq!(outboxes.num_machines(), self.n, "need one outbox per machine");
         let round = self.next_round;
         self.next_round += 1;
+        self.stream_parts = 0;
         for dst in 0..self.n {
             if dst == self.me {
                 continue;

@@ -15,6 +15,7 @@ pub mod comm;
 pub mod costmodel;
 pub mod error;
 pub mod pool;
+pub mod recovery;
 pub mod runtime;
 pub mod stats;
 pub mod termination;
@@ -25,7 +26,10 @@ pub use comm::{build_mesh, Batch, Endpoint, OutboxSet, PipelineTiming};
 pub use costmodel::{CostModel, SimClock};
 pub use error::CommError;
 pub use pool::ThreadPool;
+pub use recovery::{failpoint_stream, failpoint_superstep, FailPoint, LinkStatus};
 pub use runtime::{run_machines, try_run_machines};
 pub use stats::{NetStats, Phase, PhaseStats, StatsSnapshot};
 pub use termination::Termination;
-pub use transport::{build_endpoints, connect_tcp_endpoint, TransportKind};
+pub use transport::{
+    build_endpoints, connect_tcp_endpoint, reconnect_tcp_endpoint, TransportKind,
+};

@@ -1,0 +1,289 @@
+//! Fault-tolerance plumbing under the TCP mesh: seeded fail points, the
+//! per-link state that survives a peer's death, and the outbound frame
+//! log that makes a restarted worker's rejoin exact.
+//!
+//! The design rides the determinism contract from PR 1: a restarted
+//! worker re-executes from its last snapshot and regenerates *bitwise
+//! identical* outbound rounds, while each surviving peer replays its
+//! logged outbound frames for the rounds the dead worker lost. Rounds
+//! are dense per link (every exchange sends to every peer, empty batches
+//! included), so receive-side deduplication is pure counting: a reader
+//! tracks how many rounds (and, mid-round, how many pipelined parts) it
+//! has already forwarded, and drops exactly that prefix of the replayed
+//! or regenerated stream. DESIGN.md §12 walks through the full protocol.
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// A seeded fault-injection point, parsed once from the
+/// `LAZYGRAPH_FAILPOINT` environment variable:
+///
+/// * `superstep:<N>` — abort when superstep `N` (1-based) begins;
+/// * `stream:<round>:<part>` — abort just before the `<part>`-th
+///   (1-based) streamed pipeline part of data round `<round>` goes out.
+///
+/// Firing is `std::process::abort()` — no unwinding, no Shutdown frame —
+/// so the harness exercises the genuinely torn-connection path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailPoint {
+    /// Abort at the start of the given 1-based superstep.
+    Superstep(u64),
+    /// Abort before the given 1-based pipelined part of a data round.
+    Stream {
+        /// The data-mesh round being streamed.
+        round: u64,
+        /// Which `stream_part` call within that round (1-based).
+        part: u64,
+    },
+}
+
+impl FailPoint {
+    /// Parses the `LAZYGRAPH_FAILPOINT` syntax. Returns `None` on any
+    /// malformed input (fault injection is best-effort test plumbing).
+    pub fn parse(s: &str) -> Option<FailPoint> {
+        let mut parts = s.split(':');
+        match parts.next()? {
+            "superstep" => {
+                let n = parts.next()?.parse().ok()?;
+                parts.next().is_none().then_some(FailPoint::Superstep(n))
+            }
+            "stream" => {
+                let round = parts.next()?.parse().ok()?;
+                let part = parts.next()?.parse().ok()?;
+                parts
+                    .next()
+                    .is_none()
+                    .then_some(FailPoint::Stream { round, part })
+            }
+            _ => None,
+        }
+    }
+}
+
+fn armed() -> Option<&'static FailPoint> {
+    static FP: OnceLock<Option<FailPoint>> = OnceLock::new();
+    FP.get_or_init(|| {
+        let v = std::env::var("LAZYGRAPH_FAILPOINT").ok()?;
+        FailPoint::parse(&v)
+    })
+    .as_ref()
+}
+
+/// Engine hook: called at the top of every superstep body with the
+/// 1-based superstep number. Aborts the process if the seeded fail point
+/// names this superstep.
+pub fn failpoint_superstep(superstep: u64) {
+    if let Some(FailPoint::Superstep(n)) = armed() {
+        if *n == superstep {
+            eprintln!("lazygraph: failpoint superstep:{superstep} firing");
+            std::process::abort();
+        }
+    }
+}
+
+/// Transport hook: called before each non-empty `stream_part` send with
+/// the current data round and the 1-based part index within it.
+pub fn failpoint_stream(round: u64, part: u64) {
+    if let Some(FailPoint::Stream { round: r, part: p }) = armed() {
+        if *r == round && *p == part {
+            eprintln!("lazygraph: failpoint stream:{round}:{part} firing");
+            std::process::abort();
+        }
+    }
+}
+
+/// What a mesh link's far end is doing, as far as this machine knows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkStatus {
+    /// Connected and flowing.
+    Up,
+    /// The peer sent its Shutdown frame: it left *cleanly*. Socket
+    /// errors observed afterwards (a close can RST buffered bytes) must
+    /// never be reported as a failure.
+    CleanClosed,
+    /// The connection tore without a Shutdown — the peer likely died.
+    /// In recovery mode the link waits in this state for a rejoin until
+    /// the configured window expires; the instant records when the tear
+    /// was noticed.
+    Down(Instant),
+    /// Our own writer flushed its Shutdown: local teardown.
+    Finished,
+}
+
+/// Per-peer-link state shared between the writer thread, the reader
+/// thread, the rejoin acceptor, and the endpoint. Created for every TCP
+/// mesh link; the outbound log is populated only when the mesh runs in
+/// recovery mode (`TcpOptions::rejoin_window` set).
+pub struct LinkShared {
+    /// The peer machine id on the far end.
+    pub peer: usize,
+    /// Link liveness as observed by reader/writer.
+    status: Mutex<LinkStatus>,
+    /// Bumped by the acceptor each time the link's socket is replaced;
+    /// writer/reader threads capture the value at spawn and retire when
+    /// it moves on.
+    pub gen: AtomicU64,
+    /// Outbound Data-frame payloads by round, kept since the last
+    /// checkpoint prune — the replay source for a rejoining peer.
+    log: Mutex<Vec<(u64, Vec<u8>)>>,
+    /// Rounds fully forwarded to the endpoint by this link's reader.
+    pub fwd_rounds: AtomicU64,
+    /// Pipelined parts forwarded within round `fwd_rounds` so far.
+    pub cur_parts: AtomicU64,
+    /// A clone of the link's current stream, so the acceptor can sever
+    /// it when swapping in a rejoined connection.
+    pub stream: Mutex<Option<TcpStream>>,
+    /// The current writer thread (recovery mode only; joined on swap).
+    pub writer: Mutex<Option<JoinHandle<()>>>,
+    /// The current reader thread (recovery mode only; joined on swap).
+    pub reader: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl LinkShared {
+    /// Fresh link state for `peer`, starting `Up` with the round
+    /// counters at `start_round` (non-zero when this machine is itself
+    /// rejoining and resumes mid-run).
+    pub fn new(peer: usize, start_round: u64) -> Self {
+        LinkShared {
+            peer,
+            status: Mutex::new(LinkStatus::Up),
+            gen: AtomicU64::new(0),
+            log: Mutex::new(Vec::new()),
+            fwd_rounds: AtomicU64::new(start_round),
+            cur_parts: AtomicU64::new(0),
+            stream: Mutex::new(None),
+            writer: Mutex::new(None),
+            reader: Mutex::new(None),
+        }
+    }
+
+    /// Current link status.
+    pub fn status(&self) -> LinkStatus {
+        *self.status.lock()
+    }
+
+    /// Records a status transition. `CleanClosed` and `Finished` are
+    /// terminal: a later socket error must not overwrite the evidence
+    /// that the peer left on purpose.
+    pub fn set_status(&self, s: LinkStatus) {
+        let mut cur = self.status.lock();
+        match *cur {
+            LinkStatus::CleanClosed | LinkStatus::Finished => {}
+            _ => *cur = s,
+        }
+    }
+
+    /// Appends one outbound Data-frame payload to the replay log.
+    /// Called by the writer *before* the socket write, so a frame lost
+    /// to a torn write is still replayable.
+    pub fn log_frame(&self, round: u64, payload: &[u8]) {
+        self.log.lock().push((round, payload.to_vec()));
+    }
+
+    /// Clones the logged payloads for rounds `>= from`, in log (= send)
+    /// order, for replay to a rejoined peer.
+    pub fn replay_from(&self, from: u64) -> Vec<Vec<u8>> {
+        self.log
+            .lock()
+            .iter()
+            .filter(|(r, _)| *r >= from)
+            .map(|(_, p)| p.clone())
+            .collect()
+    }
+
+    /// Drops log entries below `watermark` — called after a checkpoint
+    /// barrier proves every peer has durably passed those rounds.
+    pub fn prune_log(&self, watermark: u64) {
+        self.log.lock().retain(|(r, _)| *r >= watermark);
+    }
+
+    /// Number of logged frames (for tests and diagnostics).
+    pub fn log_len(&self) -> usize {
+        self.log.lock().len()
+    }
+}
+
+/// Recovery state for one endpoint's whole mesh: the per-link shares
+/// plus the teardown latch the acceptor thread watches.
+pub struct RecoveryShared {
+    /// One entry per machine; the self slot is present but unused.
+    pub links: Vec<Arc<LinkShared>>,
+    /// Set by `Endpoint::drop` before joining its threads, so the
+    /// acceptor (which holds the mesh listener) knows to exit.
+    pub closed: AtomicBool,
+    /// Whether outbound frames are logged for replay (recovery mode).
+    pub logging: bool,
+}
+
+impl RecoveryShared {
+    /// Fresh recovery state for an `n`-machine mesh.
+    pub fn new(me: usize, n: usize, logging: bool, start_round: u64) -> Arc<Self> {
+        let _ = me;
+        Arc::new(RecoveryShared {
+            links: (0..n)
+                .map(|p| Arc::new(LinkShared::new(p, start_round)))
+                .collect(),
+            closed: AtomicBool::new(false),
+            logging,
+        })
+    }
+
+    /// Marks the endpoint as shutting down.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the endpoint is shutting down.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+
+    /// Prunes every link's replay log below `watermark`.
+    pub fn prune_logs(&self, watermark: u64) {
+        for l in &self.links {
+            l.prune_log(watermark);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failpoint_syntax_parses() {
+        assert_eq!(FailPoint::parse("superstep:4"), Some(FailPoint::Superstep(4)));
+        assert_eq!(
+            FailPoint::parse("stream:7:2"),
+            Some(FailPoint::Stream { round: 7, part: 2 })
+        );
+        for bad in ["", "superstep", "superstep:x", "superstep:1:2", "stream:1", "boom:1"] {
+            assert_eq!(FailPoint::parse(bad), None, "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn clean_close_is_sticky() {
+        let l = LinkShared::new(1, 0);
+        l.set_status(LinkStatus::CleanClosed);
+        l.set_status(LinkStatus::Down(Instant::now()));
+        assert_eq!(l.status(), LinkStatus::CleanClosed);
+    }
+
+    #[test]
+    fn log_replay_and_prune() {
+        let l = LinkShared::new(2, 0);
+        for r in 0..5u64 {
+            l.log_frame(r, &[r as u8]);
+        }
+        assert_eq!(l.replay_from(3), vec![vec![3u8], vec![4u8]]);
+        l.prune_log(4);
+        assert_eq!(l.log_len(), 1);
+        assert_eq!(l.replay_from(0), vec![vec![4u8]]);
+    }
+}

@@ -88,6 +88,9 @@ pub struct NetStats {
     wire_frames_sent: AtomicU64,
     wire_frames_recv: AtomicU64,
     drain_batches_early: AtomicU64,
+    reconnects: AtomicU64,
+    snapshot_bytes: AtomicU64,
+    replay_rounds: AtomicU64,
 }
 
 impl NetStats {
@@ -181,6 +184,25 @@ impl NetStats {
         }
     }
 
+    /// Records one rejoin admitted by this endpoint's acceptor (a torn
+    /// link swapped onto a restarted peer's new connection).
+    #[inline]
+    pub fn record_reconnect(&self) {
+        self.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `bytes` of checkpoint snapshot written to disk.
+    #[inline]
+    pub fn record_snapshot_bytes(&self, bytes: u64) {
+        self.snapshot_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one logged frame retransmitted to a rejoined peer.
+    #[inline]
+    pub fn record_replay_round(&self) {
+        self.replay_rounds.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent snapshot (exact once all machine threads have joined).
     pub fn snapshot(&self) -> StatsSnapshot {
         let mut per_phase = [PhaseStats::default(); NUM_PHASES];
@@ -204,6 +226,9 @@ impl NetStats {
             wire_frames_sent: self.wire_frames_sent.load(Ordering::Relaxed),
             wire_frames_recv: self.wire_frames_recv.load(Ordering::Relaxed),
             drain_batches_early: self.drain_batches_early.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            snapshot_bytes: self.snapshot_bytes.load(Ordering::Relaxed),
+            replay_rounds: self.replay_rounds.load(Ordering::Relaxed),
         }
     }
 }
@@ -252,6 +277,16 @@ pub struct StatsSnapshot {
     /// telemetry: like pool hit/miss, the value depends on scheduling and
     /// is excluded from the determinism counter contract.
     pub drain_batches_early: u64,
+    /// Rejoins admitted after a torn link (recovery mode only; 0 on
+    /// undisturbed runs). Fault telemetry, outside the determinism
+    /// counter contract.
+    pub reconnects: u64,
+    /// Checkpoint snapshot bytes written to disk (0 with checkpointing
+    /// disabled).
+    pub snapshot_bytes: u64,
+    /// Logged frames retransmitted to rejoined peers (0 on undisturbed
+    /// runs). Fault telemetry, outside the determinism counter contract.
+    pub replay_rounds: u64,
 }
 
 impl StatsSnapshot {
@@ -300,6 +335,9 @@ impl StatsSnapshot {
         self.wire_frames_sent += other.wire_frames_sent;
         self.wire_frames_recv += other.wire_frames_recv;
         self.drain_batches_early += other.drain_batches_early;
+        self.reconnects += other.reconnects;
+        self.snapshot_bytes += other.snapshot_bytes;
+        self.replay_rounds += other.replay_rounds;
     }
 }
 
@@ -336,6 +374,9 @@ impl Wire for StatsSnapshot {
         self.wire_frames_sent.encode(out);
         self.wire_frames_recv.encode(out);
         self.drain_batches_early.encode(out);
+        self.reconnects.encode(out);
+        self.snapshot_bytes.encode(out);
+        self.replay_rounds.encode(out);
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
         let mut per_phase = [PhaseStats::default(); NUM_PHASES];
@@ -357,6 +398,9 @@ impl Wire for StatsSnapshot {
             wire_frames_sent: u64::decode(r)?,
             wire_frames_recv: u64::decode(r)?,
             drain_batches_early: u64::decode(r)?,
+            reconnects: u64::decode(r)?,
+            snapshot_bytes: u64::decode(r)?,
+            replay_rounds: u64::decode(r)?,
         })
     }
 }
@@ -474,8 +518,15 @@ mod tests {
         s.record_wire_recv(8, 800);
         s.record_drain_early(5);
         s.record_drain_early(0); // no-op
+        s.record_reconnect();
+        s.record_snapshot_bytes(4096);
+        s.record_replay_round();
+        s.record_replay_round();
         let snap = s.snapshot();
         assert_eq!(snap.drain_batches_early, 5);
+        assert_eq!(snap.reconnects, 1);
+        assert_eq!(snap.snapshot_bytes, 4096);
+        assert_eq!(snap.replay_rounds, 2);
         let back = StatsSnapshot::from_wire(&snap.to_wire()).unwrap();
         assert_eq!(back, snap);
     }

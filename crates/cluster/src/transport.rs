@@ -35,16 +35,23 @@
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use lazygraph_net::tcp::configure;
 use lazygraph_net::{
-    connect_mesh, control_payload, write_frame, FrameKind, FrameReader, NetError, PeerLink,
-    TcpOptions, Wire, WireReader,
+    connect_mesh, control_payload, decode_rejoin_payload, dial_rejoin, read_frame_deadline,
+    write_frame, FrameKind, FrameReader, NetError, PeerLink, TcpOptions, Wire, WireReader,
 };
 
-use crate::comm::{build_mesh, Batch, Endpoint};
+use crate::comm::{build_mesh, Batch, Endpoint, ASYNC_ROUND};
 use crate::error::CommError;
+use crate::recovery::{LinkShared, LinkStatus, RecoveryShared};
 use crate::stats::NetStats;
+
+/// How often a writer wakes from its outbound-channel wait to check
+/// whether a rejoin swap has superseded it.
+const WRITER_TICK: Duration = Duration::from_millis(50);
 
 /// Which backend carries mesh batches.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -154,7 +161,10 @@ pub fn build_tcp_mesh<T: Wire + Send + 'static>(
             std::thread::spawn(move || -> Result<Endpoint<T>, CommError> {
                 let links = connect_mesh(me, &addrs, &listener, &opts)
                     .map_err(|e| CommError::transport(me, &e))?;
-                Ok(tcp_endpoint(me, n, links, &stats, &opts))
+                // In recovery mode the listener stays alive inside the
+                // acceptor thread so a restarted peer can dial back in.
+                let keep = opts.rejoin_window.map(|_| listener);
+                Ok(tcp_endpoint(me, n, links, &stats, &opts, keep, 0))
             })
         })
         .collect();
@@ -188,17 +198,72 @@ pub fn connect_tcp_endpoint<T: Wire + Send + 'static>(
     let listener =
         TcpListener::bind(addrs[me]).map_err(|e| io_err(me, "worker mesh bind", &e))?;
     let links = connect_mesh(me, addrs, &listener, opts).map_err(|e| CommError::transport(me, &e))?;
-    Ok(tcp_endpoint(me, n, links, stats, opts))
+    let keep = opts.rejoin_window.map(|_| listener);
+    Ok(tcp_endpoint(me, n, links, stats, opts, keep, 0))
+}
+
+/// Rejoins established meshes after a worker restart: dials *every* peer
+/// (no rank split — every rejoin leg is dialed by the restarted side, so
+/// there is no glare) with a `Rejoin` frame carrying `resume_round`, the
+/// first round this worker will regenerate. Each peer's acceptor swaps
+/// the torn link for the new socket and replays its logged outbound
+/// frames for rounds `>= resume_round`; this endpoint's round counter and
+/// per-link dedupe baselines start at `resume_round` likewise.
+///
+/// Recovery mode is mandatory here; if `opts.rejoin_window` is unset a
+/// default window is applied.
+pub fn reconnect_tcp_endpoint<T: Wire + Send + 'static>(
+    me: usize,
+    addrs: &[SocketAddr],
+    resume_round: u64,
+    stats: &Arc<NetStats>,
+    opts: &TcpOptions,
+) -> Result<Endpoint<T>, CommError> {
+    let n = addrs.len();
+    let mut opts = opts.clone();
+    opts.rejoin_window.get_or_insert(Duration::from_secs(10));
+    if n == 1 {
+        let mut eps = build_mesh(1);
+        let mut ep = eps.pop().ok_or(CommError::MeshClosed { me })?;
+        ep.set_next_round(resume_round);
+        return Ok(ep);
+    }
+    // Best-effort rebind of our original mesh address so later failures
+    // of *other* workers can still rejoin through us. Lingering kernel
+    // state from the dead process can make the bind fail; single-failure
+    // runs never need it, so that is not an error.
+    let listener = TcpListener::bind(addrs[me]).ok();
+    let mut links = Vec::with_capacity(n - 1);
+    for (j, addr) in addrs.iter().enumerate() {
+        if j == me {
+            continue;
+        }
+        let stream =
+            dial_rejoin(addr, me, resume_round, &opts).map_err(|e| CommError::transport(me, &e))?;
+        links.push(PeerLink { peer: j, stream });
+    }
+    let mut ep = tcp_endpoint(me, n, links, stats, &opts, listener, resume_round);
+    ep.set_next_round(resume_round);
+    Ok(ep)
 }
 
 /// Wraps established peer connections into an [`Endpoint`] backed by
 /// writer/reader proxy threads.
+///
+/// With `opts.rejoin_window` unset this behaves exactly like the PR 4
+/// transport: torn connections poison the mesh fail-fast. With a window
+/// set the mesh runs in *recovery mode*: outbound Data rounds are logged
+/// for replay, a torn link degrades to `Down` (awaiting rejoin) instead
+/// of poisoning, and an acceptor thread holds `listener` to admit a
+/// restarted peer dialing back in with a [`FrameKind::Rejoin`] handshake.
 fn tcp_endpoint<T: Wire + Send + 'static>(
     me: usize,
     n: usize,
     links: Vec<PeerLink>,
     stats: &Arc<NetStats>,
     opts: &TcpOptions,
+    listener: Option<TcpListener>,
+    start_round: u64,
 ) -> Endpoint<T> {
     let (in_tx, in_rx) = unbounded::<Batch<T>>();
     let (ret_tx, ret_rx) = unbounded::<Vec<T>>();
@@ -213,29 +278,47 @@ fn tcp_endpoint<T: Wire + Send + 'static>(
     let mut txs: Vec<Option<Sender<Batch<T>>>> = (0..n).map(|_| None).collect();
     txs[me] = Some(dead_tx);
 
-    // One poison flag per machine: any proxy thread that sees an unclean
-    // failure sets it, and every reader exits on its next timeout tick,
-    // disconnecting `in_rx` so the engine observes `MeshClosed`.
+    // One poison flag per machine: any proxy thread that sees an unclean,
+    // unrecoverable failure sets it, and every reader exits on its next
+    // timeout tick, disconnecting `in_rx` so the engine observes
+    // `MeshClosed`.
     let poison = Arc::new(AtomicBool::new(false));
+    let recovery_mode = opts.rejoin_window.is_some();
+    let shared = RecoveryShared::new(me, n, recovery_mode, start_round);
 
-    let mut writers = Vec::with_capacity(links.len());
+    let mut flush_on_drop = Vec::with_capacity(links.len());
+    // In recovery mode the acceptor keeps a clone of each peer's outbound
+    // receiver so a replacement writer can take over the queue mid-run.
+    let mut out_rxs: Vec<Option<Receiver<Batch<T>>>> = (0..n).map(|_| None).collect();
     for link in links {
         let peer = link.peer;
         let stream = link.stream;
         let (out_tx, out_rx) = unbounded::<Batch<T>>();
         txs[peer] = Some(out_tx);
+        let lshared = Arc::clone(&shared.links[peer]);
 
         // Writer half works on a clone; reader keeps the original.
         match stream.try_clone() {
             Ok(wstream) => {
-                writers.push(spawn_writer(
+                *lshared.stream.lock() = stream.try_clone().ok();
+                let handle = spawn_writer(WriterCtx {
                     me,
-                    peer,
-                    wstream,
-                    out_rx,
-                    Arc::clone(stats),
-                    Arc::clone(&poison),
-                ));
+                    stream: wstream,
+                    out_rx: out_rx.clone(),
+                    stats: Arc::clone(stats),
+                    poison: Arc::clone(&poison),
+                    link: Arc::clone(&lshared),
+                    opts: opts.clone(),
+                    logging: shared.logging,
+                    gen: 0,
+                    replay: Vec::new(),
+                });
+                if recovery_mode {
+                    out_rxs[peer] = Some(out_rx);
+                    *lshared.writer.lock() = Some(handle);
+                } else {
+                    flush_on_drop.push(handle);
+                }
             }
             Err(_) => {
                 // No writer: sends to this peer fail as PeerDisconnected
@@ -244,17 +327,41 @@ fn tcp_endpoint<T: Wire + Send + 'static>(
                 poison.store(true, Ordering::Release);
             }
         }
-        spawn_reader(
+        let handle = spawn_reader(ReaderCtx {
             me,
-            peer,
             stream,
-            in_tx.clone(),
-            Arc::clone(stats),
-            Arc::clone(&poison),
-            opts.clone(),
-        );
+            in_tx: in_tx.clone(),
+            stats: Arc::clone(stats),
+            poison: Arc::clone(&poison),
+            link: lshared.clone(),
+            shared: Arc::clone(&shared),
+            recovery_mode,
+            gen: 0,
+            skip: 0,
+        });
+        if recovery_mode {
+            *lshared.reader.lock() = handle;
+        }
     }
-    // Readers hold the only inbound senders from here on.
+    if recovery_mode {
+        // The acceptor owns the listener and an inbound sender; it is the
+        // thread that notices expired rejoin windows. Its handle rides in
+        // `flush_on_drop` so teardown joins it first, before the per-link
+        // threads stored in `LinkShared`.
+        flush_on_drop.push(spawn_acceptor(AcceptorCtx {
+            me,
+            n,
+            listener,
+            shared: Arc::clone(&shared),
+            in_tx: in_tx.clone(),
+            out_rxs,
+            stats: Arc::clone(stats),
+            poison: Arc::clone(&poison),
+            opts: opts.clone(),
+        }));
+    }
+    // Readers (and in recovery mode the acceptor) hold the only inbound
+    // senders from here on.
     drop(in_tx);
 
     let txs: Vec<Sender<Batch<T>>> = txs
@@ -269,28 +376,71 @@ fn tcp_endpoint<T: Wire + Send + 'static>(
             }
         })
         .collect();
-    // The writer handles ride in the endpoint: dropping it joins them, so
+    // The flush handles ride in the endpoint: dropping it joins them, so
     // "endpoint dropped" implies "all frames (incl. Shutdown) flushed" —
-    // the guarantee a worker process needs before it may exit.
-    Endpoint::from_parts(me, n, txs, in_rx, ret_txs, ret_rx, writers)
+    // the guarantee a worker process needs before it may exit. In recovery
+    // mode the per-link threads are joined afterwards via `LinkShared`.
+    let mut ep = Endpoint::from_parts(me, n, txs, in_rx, ret_txs, ret_rx, flush_on_drop);
+    ep.set_recovery(shared);
+    ep
 }
 
-/// Writer proxy: drains the outbound channel onto the socket. Exits when
-/// the endpoint drops (sending the clean Shutdown frame) or on a socket
-/// failure (poisoning the mesh). The returned handle is joined by the
-/// endpoint's drop.
-fn spawn_writer<T: Wire + Send + 'static>(
+/// Everything one writer proxy thread needs.
+struct WriterCtx<T> {
     me: usize,
-    peer: usize,
-    mut stream: TcpStream,
+    stream: TcpStream,
     out_rx: Receiver<Batch<T>>,
     stats: Arc<NetStats>,
     poison: Arc<AtomicBool>,
-) -> std::thread::JoinHandle<()> {
+    link: Arc<LinkShared>,
+    opts: TcpOptions,
+    /// Whether outbound Data rounds are logged for replay.
+    logging: bool,
+    /// The link generation this writer belongs to; it retires silently
+    /// when the acceptor moves the link to a newer socket.
+    gen: u64,
+    /// Logged payloads to retransmit before draining the live queue
+    /// (non-empty only for the replacement writer after a rejoin).
+    replay: Vec<Vec<u8>>,
+}
+
+/// Writer proxy: drains the outbound channel onto the socket. Exits when
+/// the endpoint drops (sending the clean Shutdown frame), when a rejoin
+/// swap supersedes it, or on an unrecoverable socket failure. A write
+/// error is *not* immediately a failure: the peer may have closed cleanly
+/// (see [`writer_write_failure`]).
+fn spawn_writer<T: Wire + Send + 'static>(ctx: WriterCtx<T>) -> std::thread::JoinHandle<()> {
     std::thread::spawn(move || {
+        let WriterCtx {
+            me,
+            mut stream,
+            out_rx,
+            stats,
+            poison,
+            link,
+            opts,
+            logging,
+            gen,
+            replay,
+        } = ctx;
+        // Replay first: logged frames for the rounds the rejoined peer
+        // lost. They are already encoded; order is original send order.
+        for payload in &replay {
+            match write_frame(&mut stream, FrameKind::Data, payload) {
+                Ok(total) => {
+                    stats.record_wire_sent(1, total as u64);
+                    stats.record_replay_round();
+                }
+                Err(_) => {
+                    writer_write_failure(&link, &poison, &opts, gen);
+                    return;
+                }
+            }
+        }
+        drop(replay);
         let mut payload = Vec::new();
         loop {
-            match out_rx.recv() {
+            match out_rx.recv_timeout(WRITER_TICK) {
                 Ok(batch) => {
                     payload.clear();
                     (batch.from as u32).encode(&mut payload);
@@ -298,25 +448,38 @@ fn spawn_writer<T: Wire + Send + 'static>(
                     batch.sent_at.encode(&mut payload);
                     batch.last.encode(&mut payload);
                     batch.items.encode(&mut payload);
+                    // Log before the socket write: a frame lost to a torn
+                    // write must still be replayable.
+                    if logging && batch.round != ASYNC_ROUND {
+                        link.log_frame(batch.round, &payload);
+                    }
                     match write_frame(&mut stream, FrameKind::Data, &payload) {
                         Ok(total) => stats.record_wire_sent(1, total as u64),
                         Err(_) => {
-                            poison.store(true, Ordering::Release);
+                            writer_write_failure(&link, &poison, &opts, gen);
                             return;
                         }
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    // Superseded by a rejoin swap: the replacement writer
+                    // owns both queue and socket now. Retire without a
+                    // Shutdown frame — the link itself is still live.
+                    if link.gen.load(Ordering::Acquire) != gen {
+                        return;
                     }
                 }
                 // Endpoint dropped: everything queued has been drained
                 // (the channel yields buffered batches before reporting
                 // disconnect), so close cleanly.
-                Err(_) => {
+                Err(RecvTimeoutError::Disconnected) => {
                     if let Ok(total) =
                         write_frame(&mut stream, FrameKind::Shutdown, &control_payload(me))
                     {
                         stats.record_wire_sent(1, total as u64);
                     }
                     let _ = stream.shutdown(std::net::Shutdown::Write);
-                    let _ = peer; // thread identity is for debugging only
+                    link.set_status(LinkStatus::Finished);
                     return;
                 }
             }
@@ -324,66 +487,327 @@ fn spawn_writer<T: Wire + Send + 'static>(
     })
 }
 
-/// Reader proxy: reassembles frames into inbound batches. Exits on the
-/// peer's clean Shutdown, on endpoint drop, or (poisoning the mesh) on
-/// any unclean failure including bare EOF.
-fn spawn_reader<T: Wire + Send + 'static>(
+/// Decides what a writer's socket error means. A peer that closed its
+/// socket after sending Shutdown can RST bytes still in flight, so the
+/// write error races the reader observing the Shutdown frame: give the
+/// reader a bounded window (a few read-timeout ticks) to deliver its
+/// verdict before concluding the peer died. Only a link still `Up` at the
+/// deadline is a real failure — `Down` (awaiting rejoin) in recovery
+/// mode, mesh poison otherwise.
+fn writer_write_failure(link: &LinkShared, poison: &AtomicBool, opts: &TcpOptions, gen: u64) {
+    let deadline = Instant::now() + opts.read_timeout * 4 + Duration::from_millis(100);
+    loop {
+        if link.gen.load(Ordering::Acquire) != gen {
+            return; // superseded mid-poll: the failure was the swap sever
+        }
+        match link.status() {
+            // The peer left on purpose, or our own teardown already
+            // flushed Shutdown: not a failure.
+            LinkStatus::CleanClosed | LinkStatus::Finished => return,
+            // The reader already classified the tear.
+            LinkStatus::Down(_) => return,
+            LinkStatus::Up => {
+                if Instant::now() >= deadline {
+                    if opts.rejoin_window.is_some() {
+                        link.set_status(LinkStatus::Down(Instant::now()));
+                    } else {
+                        poison.store(true, Ordering::Release);
+                    }
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+/// Everything one reader proxy thread needs.
+struct ReaderCtx<T> {
     me: usize,
-    peer: usize,
-    mut stream: TcpStream,
+    stream: TcpStream,
     in_tx: Sender<Batch<T>>,
     stats: Arc<NetStats>,
     poison: Arc<AtomicBool>,
-    _opts: TcpOptions,
-) {
-    // lazylint: allow(detached-spawn) -- readers exit on the peer's Shutdown
-    // frame, which may arrive arbitrarily after this endpoint is done;
-    // joining here would deadlock a clean shutdown (see Endpoint's Drop)
-    std::thread::spawn(move || {
+    link: Arc<LinkShared>,
+    shared: Arc<RecoveryShared>,
+    recovery_mode: bool,
+    /// The link generation this reader belongs to (recovery mode).
+    gen: u64,
+    /// Pipelined parts of the current round already forwarded by the
+    /// predecessor reader before a rejoin swap; dropped, not re-delivered.
+    skip: u64,
+}
+
+/// Reader proxy: reassembles frames into inbound batches. Exits on the
+/// peer's clean Shutdown, on endpoint drop, on supersession by a rejoin
+/// swap, or on any unclean failure (mesh poison outside recovery mode; a
+/// `Down` rejoin window inside it). In recovery mode it also runs the
+/// count-based dedupe that makes replayed/regenerated rounds exact.
+///
+/// Returns `Some(handle)` in recovery mode (the acceptor/teardown joins
+/// it); detached otherwise.
+fn spawn_reader<T: Wire + Send + 'static>(
+    ctx: ReaderCtx<T>,
+) -> Option<std::thread::JoinHandle<()>> {
+    let recovery_mode = ctx.recovery_mode;
+    let body = move || {
+        let ReaderCtx {
+            me,
+            mut stream,
+            in_tx,
+            stats,
+            poison,
+            link,
+            shared,
+            recovery_mode,
+            gen,
+            mut skip,
+        } = ctx;
+        let peer = link.peer;
         let mut reader = FrameReader::new();
         loop {
             match reader.poll(&mut stream) {
                 Ok(Some(frame)) => match frame.kind {
                     FrameKind::Data => {
                         stats.record_wire_recv(1, frame.wire_len() as u64);
-                        match decode_batch::<T>(&frame.payload) {
-                            Ok(batch) => {
-                                debug_assert_eq!(batch.from, peer, "machine {me}: spoofed sender");
-                                if in_tx.send(batch).is_err() {
-                                    // Our endpoint is gone; nothing left to
-                                    // deliver to.
-                                    return;
-                                }
-                            }
+                        let batch = match decode_batch::<T>(&frame.payload) {
+                            Ok(batch) => batch,
                             Err(_) => {
                                 poison.store(true, Ordering::Release);
                                 return;
                             }
+                        };
+                        debug_assert_eq!(batch.from, peer, "machine {me}: spoofed sender");
+                        if recovery_mode {
+                            debug_assert_ne!(
+                                batch.round, ASYNC_ROUND,
+                                "recovery mode requires dense BSP rounds"
+                            );
+                            // Count-based dedupe: rounds are dense per
+                            // link, so anything below the forwarded
+                            // watermark is a replayed duplicate, and the
+                            // first `skip` parts of the current round were
+                            // already forwarded before a swap.
+                            let fwd = link.fwd_rounds.load(Ordering::Acquire);
+                            if batch.round < fwd {
+                                continue;
+                            }
+                            debug_assert_eq!(batch.round, fwd, "rounds are dense per link");
+                            if skip > 0 {
+                                skip -= 1;
+                                continue;
+                            }
+                            let last = batch.last;
+                            if in_tx.send(batch).is_err() {
+                                return;
+                            }
+                            if last {
+                                link.fwd_rounds.store(fwd + 1, Ordering::Release);
+                                link.cur_parts.store(0, Ordering::Release);
+                            } else {
+                                link.cur_parts.fetch_add(1, Ordering::AcqRel);
+                            }
+                        } else if in_tx.send(batch).is_err() {
+                            // Our endpoint is gone; nothing left to
+                            // deliver to.
+                            return;
                         }
                     }
                     FrameKind::Shutdown => {
                         stats.record_wire_recv(1, frame.wire_len() as u64);
-                        return; // clean close: drop our inbound sender
+                        // Clean close: sticky, so a raced socket error on
+                        // the writer side is never reported as a failure.
+                        link.set_status(LinkStatus::CleanClosed);
+                        return;
                     }
-                    FrameKind::Hello => {
+                    FrameKind::Hello | FrameKind::Rejoin => {
+                        // Handshake frames never appear on an established
+                        // link (rejoins arrive on the *listener*).
                         poison.store(true, Ordering::Release);
                         return;
                     }
                 },
-                // Timeout tick: the moment to notice a poisoned mesh.
+                // Timeout tick: the moment to notice poison, teardown, or
+                // a rejoin swap that superseded this reader.
                 Ok(None) => {
                     if poison.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if recovery_mode
+                        && (shared.is_closed() || link.gen.load(Ordering::Acquire) != gen)
+                    {
                         return;
                     }
                 }
                 // EOF without Shutdown, or a hard socket/protocol error.
                 Err(_) => {
-                    poison.store(true, Ordering::Release);
+                    if recovery_mode {
+                        if shared.is_closed() || link.gen.load(Ordering::Acquire) != gen {
+                            return; // teardown/swap severed the socket
+                        }
+                        // Torn connection: open the rejoin window instead
+                        // of failing the mesh. The acceptor enforces its
+                        // expiry.
+                        link.set_status(LinkStatus::Down(Instant::now()));
+                    } else {
+                        poison.store(true, Ordering::Release);
+                    }
                     return;
                 }
             }
         }
+    };
+    if recovery_mode {
+        Some(std::thread::spawn(body))
+    } else {
+        // lazylint: allow(detached-spawn) -- readers exit on the peer's Shutdown
+        // frame, which may arrive arbitrarily after this endpoint is done;
+        // joining here would deadlock a clean shutdown (see Endpoint's Drop)
+        std::thread::spawn(body);
+        None
+    }
+}
+
+/// Everything the rejoin acceptor thread needs.
+struct AcceptorCtx<T> {
+    me: usize,
+    n: usize,
+    /// The mesh listener, kept alive for rejoin dials. `None` when the
+    /// original address could not be rebound after our own restart — the
+    /// mesh still works, it just cannot admit a *second* failure.
+    listener: Option<TcpListener>,
+    shared: Arc<RecoveryShared>,
+    in_tx: Sender<Batch<T>>,
+    /// Clones of each peer's outbound queue receiver, handed to
+    /// replacement writers on swap.
+    out_rxs: Vec<Option<Receiver<Batch<T>>>>,
+    stats: Arc<NetStats>,
+    poison: Arc<AtomicBool>,
+    opts: TcpOptions,
+}
+
+/// Rejoin acceptor (recovery mode only): polls the mesh listener for
+/// `Rejoin` dials from restarted peers and swaps the torn link onto the
+/// new socket, and poisons the mesh when a `Down` link's rejoin window
+/// expires with nobody coming back.
+fn spawn_acceptor<T: Wire + Send + 'static>(ctx: AcceptorCtx<T>) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let window = ctx.opts.rejoin_window.unwrap_or_default();
+        if let Some(l) = &ctx.listener {
+            let _ = l.set_nonblocking(true);
+        }
+        loop {
+            if ctx.shared.is_closed() || ctx.poison.load(Ordering::Acquire) {
+                // Exit WITHOUT joining per-link threads: writers must stay
+                // alive to drain their queues until the endpoint's drop
+                // disconnects them; the drop joins everything afterwards.
+                return;
+            }
+            for link in &ctx.shared.links {
+                if link.peer == ctx.me {
+                    continue;
+                }
+                if let LinkStatus::Down(since) = link.status() {
+                    if since.elapsed() > window {
+                        // Nobody rejoined in time: degrade to fail-fast.
+                        ctx.poison.store(true, Ordering::Release);
+                        return;
+                    }
+                }
+            }
+            let Some(listener) = &ctx.listener else {
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // A malformed dial never takes the mesh down; the
+                    // window clock keeps running for the real rejoin.
+                    let _ = admit_rejoin(&ctx, stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    })
+}
+
+/// Handles one accepted rejoin connection: validates the handshake, then
+/// swaps the peer's link onto the new socket — retire the old proxy pair,
+/// compute the replay set, spawn replacements.
+fn admit_rejoin<T: Wire + Send + 'static>(
+    ctx: &AcceptorCtx<T>,
+    mut stream: TcpStream,
+) -> Result<(), NetError> {
+    stream
+        .set_nonblocking(false)
+        .map_err(|e| NetError::from_io(&e, "rejoin unblock"))?;
+    configure(&stream, &ctx.opts)?;
+    let deadline = Instant::now() + Duration::from_secs(2);
+    let frame = read_frame_deadline(&mut stream, deadline)?;
+    if frame.kind != FrameKind::Rejoin {
+        return Err(NetError::Handshake {
+            detail: format!("expected Rejoin, got {:?}", frame.kind),
+        });
+    }
+    let (peer, resume_round) = decode_rejoin_payload(&frame.payload)?;
+    if peer >= ctx.n || peer == ctx.me || ctx.out_rxs[peer].is_none() {
+        return Err(NetError::Handshake {
+            detail: format!("rejoin from invalid peer {peer}"),
+        });
+    }
+    let link = &ctx.shared.links[peer];
+    // Retire the old proxy pair. Ordering matters: bump the generation
+    // first (so a blocked writer retires instead of poisoning), sever the
+    // old socket, and join both threads BEFORE computing the replay set —
+    // the old writer may still pop-log-and-fail a batch, and that batch
+    // must make the replay.
+    let new_gen = link.gen.fetch_add(1, Ordering::AcqRel) + 1;
+    if let Some(old) = link.stream.lock().take() {
+        let _ = old.shutdown(std::net::Shutdown::Both);
+    }
+    if let Some(h) = link.writer.lock().take() {
+        let _ = h.join();
+    }
+    if let Some(h) = link.reader.lock().take() {
+        let _ = h.join();
+    }
+    let skip = link.cur_parts.load(Ordering::Acquire);
+    let replay = link.replay_from(resume_round);
+    let wstream = stream
+        .try_clone()
+        .map_err(|e| NetError::from_io(&e, "rejoin stream clone"))?;
+    *link.stream.lock() = stream.try_clone().ok();
+    link.set_status(LinkStatus::Up);
+    *link.writer.lock() = Some(spawn_writer(WriterCtx {
+        me: ctx.me,
+        stream: wstream,
+        out_rx: ctx.out_rxs[peer].clone().expect("checked above"), // lazylint: allow(no-panic) -- mesh construction fills every peer != me slot, and the acceptor only serves peers
+        stats: Arc::clone(&ctx.stats),
+        poison: Arc::clone(&ctx.poison),
+        link: Arc::clone(link),
+        opts: ctx.opts.clone(),
+        logging: ctx.shared.logging,
+        gen: new_gen,
+        replay,
+    }));
+    *link.reader.lock() = spawn_reader(ReaderCtx {
+        me: ctx.me,
+        stream,
+        in_tx: ctx.in_tx.clone(),
+        stats: Arc::clone(&ctx.stats),
+        poison: Arc::clone(&ctx.poison),
+        link: Arc::clone(link),
+        shared: Arc::clone(&ctx.shared),
+        recovery_mode: true,
+        gen: new_gen,
+        skip,
     });
+    ctx.stats.record_reconnect();
+    Ok(())
 }
 
 #[cfg(test)]
@@ -560,5 +984,161 @@ mod tests {
         let eps = build_tcp_mesh::<u32>(1, &stats, &TcpOptions::default()).unwrap();
         assert_eq!(eps.len(), 1);
         assert_eq!(stats.snapshot().wire_frames_sent, 0);
+    }
+
+    #[test]
+    fn clean_shutdown_race_is_not_a_failure() {
+        // Regression (PR 6 satellite): a peer that closed its socket
+        // right after sending Shutdown — before our writer noticed — used
+        // to poison the whole mesh when a later write to it failed. The
+        // write error must be classified against the link status instead:
+        // CleanClosed retires the one writer, the rest of the mesh lives.
+        let n = 3;
+        let stats = Arc::new(NetStats::new());
+        // A short write timeout so a write blocked on the dead peer's full
+        // buffers surfaces its error quickly (the classification under
+        // test is the same for EPIPE, RST, and timeout).
+        let opts = TcpOptions {
+            write_timeout: Duration::from_millis(500),
+            ..TcpOptions::default()
+        };
+        let mut eps = build_tcp_mesh::<u32>(n, &stats, &opts).unwrap();
+        let mut ep2 = eps.pop().unwrap();
+        let mut ep1 = eps.pop().unwrap();
+        let ep0 = eps.pop().unwrap();
+        // Peer 0 leaves cleanly: Shutdown frames, then closed sockets.
+        drop(ep0);
+        // Wait (bounded) until machine 1's reader has classified it.
+        let shared = Arc::clone(ep1.recovery_shared().unwrap());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while shared.links[0].status() != LinkStatus::CleanClosed {
+            assert!(Instant::now() < deadline, "Shutdown frame never classified");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Hammer the closed link until the writer hits the socket error
+        // and retires; its retirement surfaces as a *per-peer* disconnect
+        // on send, never as a mesh-wide failure.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut writer_retired = false;
+        while Instant::now() < deadline {
+            let burst = vec![7u32; 64 * 1024];
+            if ep1.send(0, burst, 0.0, Phase::Async, 4, &stats).is_err() {
+                writer_retired = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(writer_retired, "writer never observed the torn socket");
+        // The 1 <-> 2 half of the mesh must still work: no poison.
+        ep1.send(2, vec![11], 0.0, Phase::Async, 4, &stats).unwrap();
+        ep2.send(1, vec![22], 0.0, Phase::Async, 4, &stats).unwrap();
+        assert_eq!(ep1.recv().unwrap().items, vec![22]);
+        assert_eq!(ep2.recv().unwrap().items, vec![11]);
+        assert_eq!(stats.snapshot().reconnects, 0);
+    }
+
+    /// Reserves `n` distinct loopback addresses (bind, record, release) —
+    /// the same trick the multiprocess launcher uses.
+    fn alloc_addrs(n: usize) -> Vec<SocketAddr> {
+        let listeners: Vec<_> = (0..n)
+            .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+            .collect();
+        listeners.iter().map(|l| l.local_addr().unwrap()).collect()
+    }
+
+    #[test]
+    fn crashed_machine_rejoins_with_exact_replay() {
+        // End-to-end rejoin over a live 2-machine recovery-mode mesh:
+        // machine 0 completes rounds 0..3, dies without Shutdown frames,
+        // and a fresh endpoint rejoins with resume_round = 2 (as if its
+        // last checkpoint was taken there). The survivor must see every
+        // round's payload exactly once (replay duplicates deduped), and
+        // the rejoiner must receive the survivor's rounds 2..6 — round 2
+        // from the replay log, the rest live.
+        let n = 2;
+        let stats = Arc::new(NetStats::new());
+        let opts = TcpOptions {
+            rejoin_window: Some(Duration::from_secs(30)),
+            ..TcpOptions::default()
+        };
+        let addrs = alloc_addrs(n);
+        let payload = |me: usize, round: u64| (me as u32 + 1) * 100 + round as u32;
+        let rounds_total = 6u64;
+        let crash_after = 3u64; // machine 0 dies with next_round == 3
+        let resume_round = 2u64; // pretend checkpoint watermark
+
+        let run_rounds = move |ep: &mut Endpoint<u32>,
+                          rounds: std::ops::Range<u64>,
+                          stats: &Arc<NetStats>|
+         -> Vec<u32> {
+            let me = ep.me();
+            let mut got = Vec::new();
+            for round in rounds {
+                let mut ob = OutboxSet::new(n);
+                ob.push(1 - me, payload(me, round));
+                let batches = ep.exchange(&mut ob, 0.0, Phase::Coherency, 4, stats).unwrap();
+                for b in batches {
+                    got.extend_from_slice(&b.items);
+                    ep.recycle(b);
+                }
+            }
+            got
+        };
+
+        let (m0_done_tx, m0_done_rx) = unbounded::<()>();
+        let (m1_done_tx, m1_done_rx) = unbounded::<()>();
+        let (crash_tx, crash_rx) = unbounded::<()>();
+
+        let survivor = {
+            let addrs = addrs.clone();
+            let stats = Arc::clone(&stats);
+            let opts = opts.clone();
+            std::thread::spawn(move || {
+                let mut ep = connect_tcp_endpoint::<u32>(1, &addrs, &stats, &opts).unwrap();
+                // Rounds 0..3 against the doomed first incarnation...
+                let mut got = run_rounds(&mut ep, 0..crash_after, &stats);
+                m1_done_tx.send(()).unwrap();
+                // ...then block mid-exchange until the rejoin completes.
+                got.extend(run_rounds(&mut ep, crash_after..rounds_total, &stats));
+                got
+            })
+        };
+        let doomed = {
+            let addrs = addrs.clone();
+            let stats = Arc::clone(&stats);
+            let opts = opts.clone();
+            std::thread::spawn(move || {
+                let mut ep = connect_tcp_endpoint::<u32>(0, &addrs, &stats, &opts).unwrap();
+                run_rounds(&mut ep, 0..crash_after, &stats);
+                m0_done_tx.send(()).unwrap();
+                crash_rx.recv().unwrap();
+                // Bare EOF everywhere — no Shutdown frames, like a kill.
+                ep.crash_for_test();
+            })
+        };
+        // Only crash once both sides have fully delivered rounds < 3 —
+        // exactly the guarantee a checkpoint barrier provides for rounds
+        // below the snapshot watermark.
+        m0_done_rx.recv().unwrap();
+        m1_done_rx.recv().unwrap();
+        crash_tx.send(()).unwrap();
+        doomed.join().unwrap();
+
+        let mut ep =
+            reconnect_tcp_endpoint::<u32>(0, &addrs, resume_round, &stats, &opts).unwrap();
+        // Regenerate rounds 2..6 bit-identically; the survivor's dedupe
+        // drops the repeated round 2, and its replay log covers the
+        // rounds 2..4 the dead instance took with it.
+        let got0 = run_rounds(&mut ep, resume_round..rounds_total, &stats);
+        drop(ep);
+
+        let got1 = survivor.join().unwrap();
+        let want1: Vec<u32> = (0..rounds_total).map(|r| payload(0, r)).collect();
+        let want0: Vec<u32> = (resume_round..rounds_total).map(|r| payload(1, r)).collect();
+        assert_eq!(got1, want1, "survivor saw every round exactly once");
+        assert_eq!(got0, want0, "rejoiner saw replayed + live rounds");
+        let snap = stats.snapshot();
+        assert_eq!(snap.reconnects, 1);
+        assert!(snap.replay_rounds >= 1, "round 2 must come from the log");
     }
 }

@@ -54,6 +54,21 @@ impl IntervalModel {
         self.last_trend
     }
 
+    /// The model's mutable state, for checkpointing:
+    /// `(prev_active, last_trend, iterations_seen)`.
+    pub fn export_state(&self) -> (Option<u64>, f64, u64) {
+        (self.prev_active, self.last_trend, self.iterations_seen)
+    }
+
+    /// Restores state captured by [`Self::export_state`] — the policy and
+    /// `E/V` are reconstruction inputs, not state, so only the trend
+    /// tracker moves.
+    pub fn import_state(&mut self, state: (Option<u64>, f64, u64)) {
+        self.prev_active = state.0;
+        self.last_trend = state.1;
+        self.iterations_seen = state.2;
+    }
+
     /// `turnOnLazy()` — may the engine enter the local computation stage?
     pub fn turn_on_lazy(&self) -> bool {
         // The first iteration always runs eagerly (establishes x^(1), Δ^(1)).

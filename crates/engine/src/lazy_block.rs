@@ -30,6 +30,7 @@ use lazygraph_partition::{DistributedGraph, EdgeMode, LocalShard, NO_LOCAL};
 use parking_lot::Mutex;
 
 use crate::bsp::{BspReduction, BspSync, CommCharge};
+use crate::checkpoint::{checkpoint_at_barrier, interval_state, lazy_resume, RecoveryCfg};
 use crate::comm_mode::{choose_mode, CommMode, VolumeEstimate};
 use crate::config::{CommModePolicy, IntervalPolicy};
 use crate::exchange::{route_inbound, stage_combining, PipelineDrain, PIPELINE_PART_ITEMS};
@@ -41,7 +42,7 @@ use crate::state::{vertex_ctx, InitMessages, MachineState};
 
 /// Aggregated lazy-engine counters (identical on every machine except
 /// `local_subrounds`, which is summed by the driver).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LazyCounters {
     pub coherency_points: u64,
     pub local_subrounds: u64,
@@ -165,6 +166,7 @@ pub fn run_lazy_block_engine<P: VertexProgram>(
             stats.clone(),
             breakdown.clone(),
             history.clone(),
+            RecoveryCfg::default(),
         )
     })?;
     assemble(outs, num_vertices)
@@ -216,6 +218,7 @@ pub fn run_lazy_block_machine<P: VertexProgram>(
     par: ParallelConfig,
     stats: Arc<NetStats>,
     breakdown: Arc<Mutex<SimBreakdown>>,
+    recovery: RecoveryCfg<P>,
 ) -> Result<MachineOut<P>, CommError> {
     let history = Arc::new(Mutex::new(Vec::new()));
     machine_loop(
@@ -231,6 +234,7 @@ pub fn run_lazy_block_machine<P: VertexProgram>(
         stats,
         breakdown,
         history,
+        recovery,
     )
 }
 
@@ -335,6 +339,7 @@ fn machine_loop<P: VertexProgram>(
     stats: Arc<NetStats>,
     breakdown: Arc<Mutex<SimBreakdown>>,
     history: Arc<Mutex<Vec<IterationRecord>>>,
+    mut recovery: RecoveryCfg<P>,
 ) -> Result<MachineOut<P>, CommError> {
     let n = coll.num_machines();
     let pctx = ParallelCtx::new(par);
@@ -365,8 +370,33 @@ fn machine_loop<P: VertexProgram>(
     // global synchronisation, as in the paper's Fig. 1(c)).
     let mut next_mode = CommMode::AllToAll;
 
+    if let Some(snap) = recovery.resume.take() {
+        debug_assert_eq!(snap.engine, 1, "resume snapshot is not a LazyBlock snapshot");
+        snap.restore_into(&mut state);
+        clock.set(f64::from_bits(snap.clock_bits));
+        iterations = snap.iterations;
+        if let Some(l) = &snap.lazy {
+            counters = l.counters;
+            interval.import_state(interval_state(l));
+            do_local = l.do_local;
+            first_stage_time = l.first_stage_bits.map(f64::from_bits);
+            next_mode = if l.next_mode_m2m {
+                CommMode::MirrorsToMaster
+            } else {
+                CommMode::AllToAll
+            };
+        }
+        // Re-execute the checkpoint barrier unconditionally: if the crash
+        // landed before it, the peers are still blocked in it and this
+        // completes it; if after, their count-based dedupe drops the
+        // re-sent round and this machine's contribution is satisfied from
+        // their replay logs (DESIGN.md §12).
+        bsp.coll.barrier(bsp.me, &bsp.stats)?;
+    }
+
     while iterations < params.max_iterations {
         iterations += 1;
+        lazygraph_cluster::failpoint_superstep(iterations);
         let subrounds_at_round_start = counters.local_subrounds;
 
         // ---- Stage 1: local computation. --------------------------------
@@ -547,6 +577,18 @@ fn machine_loop<P: VertexProgram>(
             stats.record_combined(folds, folds * delta_bytes as u64);
         }
         clock.advance(params.cost.compute_time(edges) + params.cost.apply_time(applies));
+        if recovery.due(iterations) {
+            let lazy = Some(lazy_resume(
+                counters,
+                interval.export_state(),
+                do_local,
+                first_stage_time,
+                next_mode,
+            ));
+            checkpoint_at_barrier(
+                &ep, &bsp.coll, me, &stats, &recovery, 1, iterations, &clock, &state, lazy,
+            )?;
+        }
     }
 
     let masters = (0..shard.num_local() as u32)

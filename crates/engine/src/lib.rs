@@ -13,6 +13,7 @@
 
 pub mod async_engine;
 pub mod bsp;
+pub mod checkpoint;
 pub mod comm_mode;
 pub mod config;
 pub mod driver;
@@ -27,6 +28,7 @@ pub mod program;
 pub mod state;
 pub mod sync_engine;
 
+pub use checkpoint::{CheckpointError, EngineSnapshot, LazyResume, RecoveryCfg, SnapshotStore};
 pub use comm_mode::{choose_mode, CommMode, VolumeEstimate};
 pub use config::{CommModePolicy, EngineConfig, EngineKind, IntervalPolicy, DEFAULT_BLOCK_SIZE};
 pub use parallel::{ParallelConfig, ParallelCtx};

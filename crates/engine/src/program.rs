@@ -68,6 +68,7 @@ pub enum DeltaExchange {
 ///   unchanged, because re-applying one's own contribution is harmless;
 /// * [`VertexProgram::apply`] must be a deterministic function of the
 ///   current value and the accumulator.
+///
 /// Both associated types carry a [`Wire`] bound so every engine message is
 /// transport-agnostic: the in-proc mesh moves the values untouched, while
 /// the TCP backend encodes them with the deterministic little-endian codec

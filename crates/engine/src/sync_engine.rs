@@ -26,6 +26,7 @@ use lazygraph_partition::{DistributedGraph, LocalShard, NO_LOCAL};
 use parking_lot::Mutex;
 
 use crate::bsp::{BspReduction, BspSync, CommCharge};
+use crate::checkpoint::{checkpoint_at_barrier, RecoveryCfg};
 use crate::exchange::{route_inbound, PipelineDrain, PIPELINE_PART_ITEMS};
 use crate::metrics::{IterationRecord, SimBreakdown};
 use crate::parallel::{ParallelConfig, ParallelCtx};
@@ -151,6 +152,7 @@ pub fn run_sync_engine<P: VertexProgram>(
             stats.clone(),
             breakdown.clone(),
             history.clone(),
+            RecoveryCfg::default(),
         )
     })?;
     Ok(assemble(outs, num_vertices))
@@ -175,6 +177,7 @@ pub fn run_sync_machine<P: VertexProgram>(
     pipeline: bool,
     stats: Arc<NetStats>,
     breakdown: Arc<Mutex<SimBreakdown>>,
+    recovery: RecoveryCfg<P>,
 ) -> Result<MachineOut<P>, CommError> {
     machine_loop(
         Worker { shard, ep },
@@ -189,6 +192,7 @@ pub fn run_sync_machine<P: VertexProgram>(
         stats,
         breakdown,
         None,
+        recovery,
     )
 }
 
@@ -206,6 +210,7 @@ fn machine_loop<P: VertexProgram>(
     stats: Arc<NetStats>,
     breakdown: Arc<Mutex<SimBreakdown>>,
     history: Option<Arc<Mutex<Vec<IterationRecord>>>>,
+    mut recovery: RecoveryCfg<P>,
 ) -> Result<MachineOut<P>, CommError> {
     let shard = w.shard;
     let me = shard.machine.index();
@@ -233,8 +238,22 @@ fn machine_loop<P: VertexProgram>(
     // supersteps allocate nothing (DESIGN.md §9).
     let mut outboxes: OutboxSet<(u32, SyncMsg<P>)> = OutboxSet::new(n);
 
+    if let Some(snap) = recovery.resume.take() {
+        debug_assert_eq!(snap.engine, 0, "resume snapshot is not a Sync snapshot");
+        snap.restore_into(&mut state);
+        clock.set(f64::from_bits(snap.clock_bits));
+        iterations = snap.iterations;
+        // Re-execute the checkpoint barrier unconditionally: if the crash
+        // landed before it, the peers are still blocked in it and this
+        // completes it; if after, their count-based dedupe drops the
+        // re-sent round and this machine's contribution is satisfied from
+        // their replay logs (DESIGN.md §12).
+        bsp.coll.barrier(bsp.me, &bsp.stats)?;
+    }
+
     while iterations < max_iterations {
         iterations += 1;
+        lazygraph_cluster::failpoint_superstep(iterations);
 
         // ---- Phase 1: gather (mirrors forward partials to masters). ----
         // Blocked two-phase: the sorted worklist is chunked, each block
@@ -610,6 +629,11 @@ fn machine_loop<P: VertexProgram>(
         if red.pending == 0 {
             converged = true;
             break;
+        }
+        if recovery.due(iterations) {
+            checkpoint_at_barrier(
+                &w.ep, &bsp.coll, me, &stats, &recovery, 0, iterations, &clock, &state, None,
+            )?;
         }
     }
 

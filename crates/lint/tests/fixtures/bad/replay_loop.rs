@@ -1,0 +1,18 @@
+//! lazylint-fixture: path=crates/engine/src/fixture.rs
+//! L1/L3 must fire on the replay anti-patterns: resending logged rounds
+//! in hash order (the rejoiner's count-based dedupe needs ascending
+//! rounds), and stamping recovery state with the wall clock (a resumed
+//! run would diverge from the oracle bit-for-bit).
+
+fn replay_in_hash_order(log: &FxHashMap<u64, Vec<u8>>) -> Vec<(u64, Vec<u8>)> {
+    let mut out = Vec::new();
+    for (round, frames) in log.iter() { //~ unordered-iter
+        out.push((*round, frames.clone()));
+    }
+    out
+}
+
+fn resume_clock_from_wall_time() -> f64 {
+    let t0 = Instant::now(); //~ nondet-source
+    t0.elapsed().as_secs_f64()
+}

@@ -23,11 +23,11 @@ pub mod wire;
 
 pub use error::NetError;
 pub use frame::{
-    control_payload, decode_control_payload, encode_frame_into, write_frame, FrameKind,
-    FrameReader, RawFrame, HEADER_LEN, MAX_FRAME,
+    control_payload, decode_control_payload, decode_rejoin_payload, encode_frame_into,
+    rejoin_payload, write_frame, FrameKind, FrameReader, RawFrame, HEADER_LEN, MAX_FRAME,
 };
 pub use tcp::{
-    await_shutdown, connect_mesh, connect_with_backoff, drain_until_eof, send_shutdown, PeerLink,
-    TcpOptions,
+    await_shutdown, connect_mesh, connect_with_backoff, dial_rejoin, drain_until_eof,
+    read_frame_deadline, send_shutdown, PeerLink, TcpOptions,
 };
 pub use wire::{Wire, WireReader};

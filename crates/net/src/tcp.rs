@@ -39,6 +39,11 @@ pub struct TcpOptions {
     pub write_timeout: Duration,
     /// Overall deadline for mesh establishment (accepting + Hello).
     pub handshake_timeout: Duration,
+    /// Fault-tolerance mode: how long a torn peer connection may sit in
+    /// "awaiting rejoin" before the mesh is poisoned. `None` (the
+    /// default) keeps the PR 4 fail-fast behaviour: any torn connection
+    /// poisons the mesh immediately.
+    pub rejoin_window: Option<Duration>,
 }
 
 impl Default for TcpOptions {
@@ -50,6 +55,7 @@ impl Default for TcpOptions {
             read_timeout: Duration::from_millis(50),
             write_timeout: Duration::from_secs(10),
             handshake_timeout: Duration::from_secs(20),
+            rejoin_window: None,
         }
     }
 }
@@ -72,8 +78,10 @@ pub fn connect_with_backoff(addr: &SocketAddr, opts: &TcpOptions) -> Result<TcpS
     Err(NetError::ConnectFailed { addr: addr.to_string(), attempts, last })
 }
 
-/// Applies the per-socket options every mesh stream runs with.
-fn configure(stream: &TcpStream, opts: &TcpOptions) -> Result<(), NetError> {
+/// Applies the per-socket options every mesh stream runs with. Public so
+/// the cluster layer's rejoin acceptor can configure accepted sockets the
+/// same way establishment does.
+pub fn configure(stream: &TcpStream, opts: &TcpOptions) -> Result<(), NetError> {
     stream.set_nodelay(true).map_err(|e| NetError::from_io(&e, "set_nodelay"))?;
     stream
         .set_read_timeout(Some(opts.read_timeout))
@@ -86,7 +94,7 @@ fn configure(stream: &TcpStream, opts: &TcpOptions) -> Result<(), NetError> {
 
 /// Reads one complete frame from `stream`, tolerating timeout ticks,
 /// until `deadline` passes.
-fn read_frame_deadline(stream: &mut TcpStream, deadline: Instant) -> Result<RawFrame, NetError> {
+pub fn read_frame_deadline(stream: &mut TcpStream, deadline: Instant) -> Result<RawFrame, NetError> {
     let mut reader = FrameReader::new();
     loop {
         match reader.poll(stream) {
@@ -192,6 +200,26 @@ pub fn send_shutdown(stream: &mut TcpStream, me: usize) -> Result<usize, NetErro
     write_frame(stream, FrameKind::Shutdown, &control_payload(me))
 }
 
+/// Dials `addr` and opens with a Rejoin frame instead of a Hello: a
+/// restarted worker re-entering an established mesh. Every rejoin leg is
+/// dialed by the restarted side (no rank-based dial/accept split and
+/// therefore no glare), so this works toward peers of any rank.
+pub fn dial_rejoin(
+    addr: &SocketAddr,
+    me: usize,
+    resume_round: u64,
+    opts: &TcpOptions,
+) -> Result<TcpStream, NetError> {
+    let mut stream = connect_with_backoff(addr, opts)?;
+    configure(&stream, opts)?;
+    write_frame(
+        &mut stream,
+        FrameKind::Rejoin,
+        &crate::frame::rejoin_payload(me, resume_round),
+    )?;
+    Ok(stream)
+}
+
 /// Reads frames until Shutdown (clean) or EOF/error, with a deadline.
 /// Returns `Ok(peer_id)` on a clean shutdown.
 pub fn await_shutdown(stream: &mut TcpStream, timeout: Duration) -> Result<usize, NetError> {
@@ -199,11 +227,14 @@ pub fn await_shutdown(stream: &mut TcpStream, timeout: Duration) -> Result<usize
     loop {
         let frame = read_frame_deadline(stream, deadline)?;
         match frame.kind {
-            FrameKind::Shutdown => return Ok(decode_control_payload(&frame.payload)?),
+            FrameKind::Shutdown => return decode_control_payload(&frame.payload),
             // Late data frames during teardown are dropped, not errors.
             FrameKind::Data => continue,
             FrameKind::Hello => {
                 return Err(NetError::Handshake { detail: "Hello after establishment".into() })
+            }
+            FrameKind::Rejoin => {
+                return Err(NetError::Handshake { detail: "Rejoin during teardown".into() })
             }
         }
     }

@@ -8,6 +8,7 @@
 //!                    [--source 0] [--k 3] [--tolerance 1e-3] [--scale 0.1]
 //!                    [--threads N] [--block-size 1024]
 //!                    [--transport inproc|tcp] [--multiprocess] [--pipeline]
+//!                    [--checkpoint-every K] [--rejoin-window-ms MS] [--respawn-budget N]
 //!                    [--symmetrize] [--weights LO:HI] [--output values.txt]
 //! lazygraph-cli info --input <...> [--machines 48] [--scale 0.1]
 //! lazygraph-cli generate --kind rmat|road|web|social --vertices N --out FILE
@@ -15,7 +16,7 @@
 
 use std::process::exit;
 
-use lazygraph::multiproc::{run_multiprocess, AlgoSpec, MultiprocOutcome};
+use lazygraph::multiproc::{run_multiprocess_with, AlgoSpec, MpOptions, MultiprocOutcome};
 use lazygraph::prelude::*;
 use lazygraph_engine::TransportKind;
 use lazygraph_algorithms::{
@@ -225,12 +226,14 @@ fn mp_run<P: VertexProgram>(
     machines: usize,
     cfg: &EngineConfig,
     spec: &AlgoSpec,
+    mp: &MpOptions,
 ) -> Vec<P::VData> {
     let out: MultiprocOutcome<P::VData> =
-        run_multiprocess::<P>(graph, machines, cfg, spec, &worker_bin()).unwrap_or_else(|e| {
-            eprintln!("multiprocess run failed: {e}");
-            exit(1);
-        });
+        run_multiprocess_with::<P>(graph, machines, cfg, spec, &worker_bin(), mp)
+            .unwrap_or_else(|e| {
+                eprintln!("multiprocess run failed: {e}");
+                exit(1);
+            });
     println!(
         "multiprocess {} workers: {} iterations, converged={}, sim_time {:.4}s, \
          est {} B (cost model), wire {} B sent / {} frames (measured)",
@@ -242,44 +245,72 @@ fn mp_run<P: VertexProgram>(
         out.stats.wire_bytes_sent,
         out.stats.wire_frames_sent,
     );
+    if mp.checkpoint_every > 0 {
+        println!(
+            "recovery: {} snapshot B written, {} reconnects, {} rounds replayed",
+            out.stats.snapshot_bytes, out.stats.reconnects, out.stats.replay_rounds,
+        );
+    }
     out.values
 }
 
 fn cmd_run_multiprocess(opts: &Opts, graph: &Graph, machines: usize, cfg: &EngineConfig) {
     let algorithm = opts.get("algorithm").unwrap_or_else(|| usage());
+    // `--failpoint RANK:SPEC` (e.g. `1:superstep:3`) arms a deterministic
+    // crash in one worker — chaos testing for the recovery path
+    // (DESIGN.md §12); requires `--checkpoint-every` so the launcher
+    // respawns the victim.
+    let failpoint = opts.get("failpoint").map(|s| {
+        let Some((rank, spec)) = s.split_once(':') else {
+            eprintln!("--failpoint needs RANK:SPEC (e.g. 1:superstep:3)");
+            exit(2);
+        };
+        let rank = rank.parse().unwrap_or_else(|_| {
+            eprintln!("--failpoint: cannot parse rank {rank}");
+            exit(2);
+        });
+        (rank, spec.to_string())
+    });
+    let mp = MpOptions {
+        checkpoint_every: opts.parse_num("checkpoint-every", 0u64),
+        rejoin_window_ms: opts.parse_num("rejoin-window-ms", 0u64),
+        respawn_budget: opts.parse_num("respawn-budget", 2u32),
+        failpoint,
+    };
+    let mp = &mp;
     match algorithm {
         "sssp" => {
             let spec = AlgoSpec::Sssp {
                 source: opts.parse_num("source", 0u32),
             };
-            let values = mp_run::<Sssp>(graph, machines, cfg, &spec);
+            let values = mp_run::<Sssp>(graph, machines, cfg, &spec, mp);
             write_values(opts, &values);
         }
         "bfs" => {
             let spec = AlgoSpec::Bfs {
                 source: opts.parse_num("source", 0u32),
             };
-            let values = mp_run::<Bfs>(graph, machines, cfg, &spec);
+            let values = mp_run::<Bfs>(graph, machines, cfg, &spec, mp);
             write_values(opts, &values);
         }
         "widest" => {
             let spec = AlgoSpec::Widest {
                 source: opts.parse_num("source", 0u32),
             };
-            let values = mp_run::<WidestPath>(graph, machines, cfg, &spec);
+            let values = mp_run::<WidestPath>(graph, machines, cfg, &spec, mp);
             write_values(opts, &values);
         }
         "pagerank" => {
             let spec = AlgoSpec::PageRank {
                 tolerance: opts.parse_num("tolerance", 1e-3),
             };
-            let values = mp_run::<PageRankDelta>(graph, machines, cfg, &spec);
+            let values = mp_run::<PageRankDelta>(graph, machines, cfg, &spec, mp);
             let ranks: Vec<String> = values.iter().map(|d| format!("{:.6}", d.rank)).collect();
             write_values(opts, &ranks);
         }
         "cc" => {
             let cfg = cfg.clone().with_bidirectional(true);
-            let values = mp_run::<ConnectedComponents>(graph, machines, &cfg, &AlgoSpec::Cc);
+            let values = mp_run::<ConnectedComponents>(graph, machines, &cfg, &AlgoSpec::Cc, mp);
             let components: std::collections::HashSet<_> = values.iter().collect();
             println!("{} connected components", components.len());
             write_values(opts, &values);
@@ -287,7 +318,7 @@ fn cmd_run_multiprocess(opts: &Opts, graph: &Graph, machines: usize, cfg: &Engin
         "kcore" => {
             let k: u32 = opts.parse_num("k", 3);
             let cfg = cfg.clone().with_bidirectional(true);
-            let values = mp_run::<KCore>(graph, machines, &cfg, &AlgoSpec::KCore { k });
+            let values = mp_run::<KCore>(graph, machines, &cfg, &AlgoSpec::KCore { k }, mp);
             let survivors = values.iter().filter(|&&c| c > 0).count();
             println!("{survivors} vertices in the {k}-core");
             write_values(opts, &values);

@@ -22,7 +22,8 @@ use parking_lot::Mutex;
 
 use lazygraph::multiproc::{AlgoSpec, WorkerJob};
 use lazygraph_algorithms::{Bfs, ConnectedComponents, KCore, PageRankDelta, Sssp, WidestPath};
-use lazygraph_cluster::{connect_tcp_endpoint, Collective, NetStats};
+use lazygraph_cluster::{connect_tcp_endpoint, reconnect_tcp_endpoint, Collective, NetStats};
+use lazygraph_engine::checkpoint::{EngineSnapshot, RecoveryCfg, SnapshotStore};
 use lazygraph_engine::lazy_block::{self, LazyParams};
 use lazygraph_engine::sync_engine::{self, SyncMsg};
 use lazygraph_engine::{EngineKind, ParallelConfig, SimBreakdown, VertexProgram};
@@ -44,12 +45,17 @@ struct Args {
     job: PathBuf,
     me: usize,
     out: PathBuf,
+    /// Rejoin an already-running gang: load the latest valid snapshot (if
+    /// any), reconnect both meshes at the recorded round watermarks, and
+    /// replay forward (DESIGN.md §12).
+    resume: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut job = None;
     let mut me = None;
     let mut out = None;
+    let mut resume = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut val = || {
@@ -66,6 +72,7 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--out" => out = Some(PathBuf::from(val()?)),
+            "--resume" => resume = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -73,6 +80,7 @@ fn parse_args() -> Result<Args, String> {
         job: job.ok_or("missing --job")?,
         me: me.ok_or("missing --me")?,
         out: out.ok_or("missing --out")?,
+        resume,
     })
 }
 
@@ -135,19 +143,77 @@ fn run_worker<P: VertexProgram>(job: &WorkerJob, args: Args, program: P) -> Resu
         threads: job.threads_per_machine.max(1),
         block_size: job.block_size.max(1),
     };
-    let opts = TcpOptions::default();
+    let recovery_on = job.checkpoint_every > 0 && !job.checkpoint_dir.is_empty();
+    let mut opts = TcpOptions::default();
+    if recovery_on && job.rejoin_window_ms > 0 {
+        opts.rejoin_window = Some(std::time::Duration::from_millis(job.rejoin_window_ms));
+    }
+    let store = recovery_on.then(|| SnapshotStore::new(&job.checkpoint_dir, me));
+
+    // A resumed worker loads its newest valid snapshot; `None` (crashed
+    // before the first checkpoint) means a fresh start at watermark 0 —
+    // peers still hold their full replay logs in that case, because log
+    // pruning only ever happens at a completed checkpoint barrier.
+    let resume_snap: Option<EngineSnapshot<P>> = if args.resume {
+        match &store {
+            Some(s) => s
+                .load_latest::<P>()
+                .map_err(|e| format!("loading snapshot: {e}"))?,
+            None => return Err("--resume without checkpointing configured".into()),
+        }
+    } else {
+        None
+    };
+    if let Some(s) = &resume_snap {
+        let want = match job.engine {
+            EngineKind::PowerGraphSync => 0u8,
+            EngineKind::LazyBlockAsync => 1u8,
+            _ => u8::MAX,
+        };
+        if s.engine != want {
+            return Err(format!(
+                "snapshot engine tag {} does not match configured engine {}",
+                s.engine,
+                job.engine.name()
+            ));
+        }
+    }
+    let (data_round, ctrl_round) = resume_snap
+        .as_ref()
+        .map(|s| (s.data_round, s.ctrl_round))
+        .unwrap_or((0, 0));
 
     // Mesh establishment order is part of the protocol: every worker
     // joins the control mesh first, then the engine-typed data mesh.
-    let ctrl_ep = connect_tcp_endpoint::<u8>(me, &ctrl_addrs, &stats, &opts)
-        .map_err(|e| format!("control mesh: {e}"))?;
+    let ctrl_ep = if args.resume {
+        reconnect_tcp_endpoint::<u8>(me, &ctrl_addrs, ctrl_round, &stats, &opts)
+    } else {
+        connect_tcp_endpoint::<u8>(me, &ctrl_addrs, &stats, &opts)
+    }
+    .map_err(|e| format!("control mesh: {e}"))?;
     let coll = Arc::new(Collective::mesh(ctrl_ep));
+
+    let recovery = RecoveryCfg {
+        every: job.checkpoint_every,
+        store,
+        resume: resume_snap,
+    };
 
     let mut result = Vec::new();
     match job.engine {
         EngineKind::PowerGraphSync => {
-            let ep = connect_tcp_endpoint::<(u32, SyncMsg<P>)>(me, &data_addrs, &stats, &opts)
-                .map_err(|e| format!("data mesh: {e}"))?;
+            let ep = if args.resume {
+                reconnect_tcp_endpoint::<(u32, SyncMsg<P>)>(
+                    me,
+                    &data_addrs,
+                    data_round,
+                    &stats,
+                    &opts,
+                )
+            } else {
+                connect_tcp_endpoint::<(u32, SyncMsg<P>)>(me, &data_addrs, &stats, &opts)
+            }
+            .map_err(|e| format!("data mesh: {e}"))?;
             let out = sync_engine::run_sync_machine(
                 shard,
                 ep,
@@ -161,6 +227,7 @@ fn run_worker<P: VertexProgram>(job: &WorkerJob, args: Args, program: P) -> Resu
                 job.pipeline,
                 stats.clone(),
                 breakdown.clone(),
+                recovery,
             )
             .map_err(|e| format!("sync machine {me}: {e}"))?;
             out.encode(&mut result);
@@ -176,8 +243,18 @@ fn run_worker<P: VertexProgram>(job: &WorkerJob, args: Args, program: P) -> Resu
                 exchange_fast: job.exchange_fast,
                 pipeline: job.pipeline,
             };
-            let ep = connect_tcp_endpoint::<(u32, P::Delta)>(me, &data_addrs, &stats, &opts)
-                .map_err(|e| format!("data mesh: {e}"))?;
+            let ep = if args.resume {
+                reconnect_tcp_endpoint::<(u32, P::Delta)>(
+                    me,
+                    &data_addrs,
+                    data_round,
+                    &stats,
+                    &opts,
+                )
+            } else {
+                connect_tcp_endpoint::<(u32, P::Delta)>(me, &data_addrs, &stats, &opts)
+            }
+            .map_err(|e| format!("data mesh: {e}"))?;
             let out = lazy_block::run_lazy_block_machine(
                 me,
                 shard,
@@ -190,6 +267,7 @@ fn run_worker<P: VertexProgram>(job: &WorkerJob, args: Args, program: P) -> Resu
                 par,
                 stats.clone(),
                 breakdown.clone(),
+                recovery,
             )
             .map_err(|e| format!("lazy machine {me}: {e}"))?;
             if std::env::var_os("LAZYGRAPH_MP_DEBUG").is_some() {

@@ -155,6 +155,14 @@ pub struct WorkerJob {
     pub block_size: usize,
     /// Pipelined coherency exchange (DESIGN.md §11).
     pub pipeline: bool,
+    /// Snapshot every K supersteps (0 = checkpointing off, PR 4 fail-fast
+    /// behaviour).
+    pub checkpoint_every: u64,
+    /// Directory for the per-rank snapshot files (empty = none).
+    pub checkpoint_dir: String,
+    /// How long a surviving worker keeps a torn link in the "awaiting
+    /// rejoin" window, in milliseconds (0 = poison immediately).
+    pub rejoin_window_ms: u64,
 }
 
 fn encode_engine_kind(k: EngineKind, out: &mut Vec<u8>) {
@@ -239,6 +247,11 @@ impl Wire for WorkerJob {
         (self.threads_per_machine as u64).encode(out);
         (self.block_size as u64).encode(out);
         self.pipeline.encode(out);
+        // Fault-tolerance fields (PR 6) appended last so the layout of
+        // every pre-existing field is unchanged.
+        self.checkpoint_every.encode(out);
+        self.checkpoint_dir.encode(out);
+        self.rejoin_window_ms.encode(out);
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
@@ -326,8 +339,30 @@ impl Wire for WorkerJob {
             threads_per_machine: u64::decode(r)? as usize,
             block_size: u64::decode(r)? as usize,
             pipeline: bool::decode(r)?,
+            checkpoint_every: u64::decode(r)?,
+            checkpoint_dir: String::decode(r)?,
+            rejoin_window_ms: u64::decode(r)?,
         })
     }
+}
+
+/// Fault-tolerance knobs for a multiprocess launch. `Default` is the
+/// PR 4 behaviour: no checkpoints, no rejoin window, a dying worker
+/// poisons the gang and the launch fails fast.
+#[derive(Clone, Debug, Default)]
+pub struct MpOptions {
+    /// Snapshot every K supersteps (0 = checkpointing off).
+    pub checkpoint_every: u64,
+    /// How long surviving workers hold a torn link awaiting a rejoin, in
+    /// milliseconds (0 with checkpointing on picks a 30 s default).
+    pub rejoin_window_ms: u64,
+    /// How many crashed workers the launcher may respawn before reporting
+    /// the failure instead.
+    pub respawn_budget: u32,
+    /// Arm `LAZYGRAPH_FAILPOINT` on one rank's *first* spawn
+    /// (`(rank, spec)`, e.g. `(2, "superstep:3")`). Respawns never re-arm
+    /// it. Deterministic fault-injection hook for the test harness.
+    pub failpoint: Option<(usize, String)>,
 }
 
 /// A multiprocess launch failure.
@@ -447,6 +482,22 @@ pub fn run_multiprocess<P: VertexProgram>(
     spec: &AlgoSpec,
     worker_bin: &Path,
 ) -> Result<MultiprocOutcome<P::VData>, MultiprocError> {
+    run_multiprocess_with::<P>(graph, num_machines, cfg, spec, worker_bin, &MpOptions::default())
+}
+
+/// [`run_multiprocess`] with fault-tolerance options: periodic worker
+/// checkpoints, a rejoin window on every mesh link, and a launcher-side
+/// respawn policy — a crashed worker is restarted with `--resume`, loads
+/// its latest snapshot, rejoins the mesh, and the run completes with
+/// results bitwise-identical to an undisturbed run (DESIGN.md §12).
+pub fn run_multiprocess_with<P: VertexProgram>(
+    graph: &Graph,
+    num_machines: usize,
+    cfg: &EngineConfig,
+    spec: &AlgoSpec,
+    worker_bin: &Path,
+    opts: &MpOptions,
+) -> Result<MultiprocOutcome<P::VData>, MultiprocError> {
     if !multiproc_supported(cfg.engine) {
         return Err(MultiprocError::UnsupportedEngine(cfg.engine.name()));
     }
@@ -463,7 +514,7 @@ pub fn run_multiprocess<P: VertexProgram>(
             .map(|e| (e.src.0, e.dst.0, e.weight))
             .collect(),
         partition: cfg.partition,
-        splitter: cfg.splitter.clone(),
+        splitter: cfg.splitter,
         bidirectional: cfg.bidirectional,
         comm_mode: cfg.comm_mode,
         interval: cfg.interval,
@@ -474,7 +525,15 @@ pub fn run_multiprocess<P: VertexProgram>(
         threads_per_machine: cfg.resolve_threads(n),
         block_size: cfg.block_size.max(1),
         pipeline: cfg.pipeline,
+        checkpoint_every: opts.checkpoint_every,
+        checkpoint_dir: String::new(),
+        rejoin_window_ms: if opts.checkpoint_every > 0 && opts.rejoin_window_ms == 0 {
+            30_000
+        } else {
+            opts.rejoin_window_ms
+        },
     };
+    let mut job = job;
 
     let seq = LAUNCH_SEQ.fetch_add(1, Ordering::Relaxed);
     let dir = std::env::temp_dir().join(format!(
@@ -482,18 +541,58 @@ pub fn run_multiprocess<P: VertexProgram>(
         std::process::id()
     ));
     std::fs::create_dir_all(&dir).map_err(|e| io_err("creating scratch dir", e))?;
-    let outcome = launch_in(&dir, &job, worker_bin)
+    if job.checkpoint_every > 0 {
+        let ckpt = dir.join("ckpt");
+        std::fs::create_dir_all(&ckpt).map_err(|e| io_err("creating checkpoint dir", e))?;
+        job.checkpoint_dir = ckpt.to_string_lossy().into_owned();
+    }
+    let outcome = launch_in(&dir, &job, worker_bin, opts)
         .and_then(|result_files| assemble_outcome::<P>(cfg.engine, &job, result_files));
     let _ = std::fs::remove_dir_all(&dir); // best-effort cleanup
     outcome
 }
 
-/// Writes the job file, spawns the workers, waits for all of them, and
-/// returns the raw result bytes per machine.
+/// Spawns one worker process. `resume` adds `--resume` (load the latest
+/// snapshot and rejoin the mesh); `failpoint` arms `LAZYGRAPH_FAILPOINT`
+/// in the child's environment. The launcher's own environment never leaks
+/// a failpoint into the gang.
+fn spawn_worker(
+    worker_bin: &Path,
+    job_path: &Path,
+    me: usize,
+    out_path: &Path,
+    resume: bool,
+    failpoint: Option<&str>,
+) -> std::io::Result<std::process::Child> {
+    let mut cmd = Command::new(worker_bin);
+    cmd.arg("--job")
+        .arg(job_path)
+        .arg("--me")
+        .arg(me.to_string())
+        .arg("--out")
+        .arg(out_path)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .env_remove("LAZYGRAPH_FAILPOINT");
+    if resume {
+        cmd.arg("--resume");
+    }
+    if let Some(spec) = failpoint {
+        cmd.env("LAZYGRAPH_FAILPOINT", spec);
+    }
+    cmd.spawn()
+}
+
+/// Writes the job file, spawns the workers, supervises them to completion
+/// (respawning crashed ones with `--resume` while `opts.respawn_budget`
+/// lasts and checkpointing is on), and returns the raw result bytes per
+/// machine.
 fn launch_in(
     dir: &Path,
     job: &WorkerJob,
     worker_bin: &Path,
+    opts: &MpOptions,
 ) -> Result<Vec<Vec<u8>>, MultiprocError> {
     let job_path = dir.join("job.bin");
     std::fs::write(&job_path, job.to_wire()).map_err(|e| io_err("writing job file", e))?;
@@ -501,25 +600,19 @@ fn launch_in(
         .map(|i| dir.join(format!("result-{i}.bin")))
         .collect();
 
-    let mut children = Vec::with_capacity(job.num_machines);
-    for me in 0..job.num_machines {
-        let spawned = Command::new(worker_bin)
-            .arg("--job")
-            .arg(&job_path)
-            .arg("--me")
-            .arg(me.to_string())
-            .arg("--out")
-            .arg(&out_paths[me])
-            .stdin(Stdio::null())
-            .stdout(Stdio::null())
-            .stderr(Stdio::piped())
-            .spawn();
-        match spawned {
-            Ok(child) => children.push(child),
+    let mut children: Vec<Option<std::process::Child>> = Vec::with_capacity(job.num_machines);
+    for (me, out_path) in out_paths.iter().enumerate() {
+        let failpoint = opts
+            .failpoint
+            .as_ref()
+            .filter(|(rank, _)| *rank == me)
+            .map(|(_, spec)| spec.as_str());
+        match spawn_worker(worker_bin, &job_path, me, out_path, false, failpoint) {
+            Ok(child) => children.push(Some(child)),
             Err(e) => {
                 // A worker that never spawned would hang the mesh: kill
                 // the ones already running and fail the launch.
-                for mut c in children {
+                for c in children.iter_mut().flatten() {
                     let _ = c.kill();
                     let _ = c.wait();
                 }
@@ -528,29 +621,85 @@ fn launch_in(
         }
     }
 
-    // A dying worker surfaces on its peers as a transport error (shutdown
-    // handshake / poisoned readers), so every process exits rather than
-    // hangs and plain waits are safe here.
+    // Supervision loop. Without recovery a dying worker surfaces on its
+    // peers as a transport error (shutdown handshake / poisoned readers),
+    // so every process exits rather than hangs. With recovery, a non-zero
+    // exit is respawned with `--resume` (failpoint disarmed) while the
+    // budget lasts; the survivors hold the torn links in their rejoin
+    // windows until the restarted worker dials back in.
     let mut failures: Vec<(usize, String)> = Vec::new();
+    let mut done = vec![false; job.num_machines];
+    let mut respawns_left = opts.respawn_budget;
+    let recovery_on = job.checkpoint_every > 0 && job.rejoin_window_ms > 0;
     let debug = std::env::var_os("LAZYGRAPH_MP_DEBUG").is_some();
-    for (me, child) in children.into_iter().enumerate() {
-        match child.wait_with_output() {
-            Ok(out) if out.status.success() => {
+    while done.iter().any(|d| !d) {
+        let mut progressed = false;
+        for me in 0..job.num_machines {
+            if done[me] {
+                continue;
+            }
+            let exited = match children[me].as_mut() {
+                Some(child) => match child.try_wait() {
+                    Ok(Some(_)) => true,
+                    Ok(None) => false,
+                    Err(e) => {
+                        done[me] = true;
+                        failures.push((me, format!("wait failed: {e}")));
+                        continue;
+                    }
+                },
+                None => {
+                    done[me] = true;
+                    continue;
+                }
+            };
+            if !exited {
+                continue;
+            }
+            progressed = true;
+            // Already exited, so this drains the stderr pipe and reaps
+            // without blocking on a live process.
+            let out = match children[me]
+                .take()
+                // lazylint: allow(no-panic) -- the `exited` branch above only runs when this slot held a live child
+                .expect("checked above")
+                .wait_with_output()
+            {
+                Ok(out) => out,
+                Err(e) => {
+                    done[me] = true;
+                    failures.push((me, format!("wait failed: {e}")));
+                    continue;
+                }
+            };
+            let stderr = String::from_utf8_lossy(&out.stderr).trim().to_string();
+            if out.status.success() {
+                done[me] = true;
+                if debug && !stderr.is_empty() {
+                    eprintln!("[worker {me}] {stderr}");
+                }
+            } else if recovery_on && respawns_left > 0 {
+                respawns_left -= 1;
                 if debug {
-                    let stderr = String::from_utf8_lossy(&out.stderr);
-                    if !stderr.trim().is_empty() {
-                        eprintln!("[worker {me}] {}", stderr.trim());
+                    eprintln!(
+                        "[launcher] worker {me} died (exit {:?}): respawning with --resume",
+                        out.status.code()
+                    );
+                }
+                match spawn_worker(worker_bin, &job_path, me, &out_paths[me], true, None) {
+                    Ok(child) => children[me] = Some(child),
+                    Err(e) => {
+                        done[me] = true;
+                        failures.push((me, format!("respawn failed: {e}")));
                     }
                 }
+            } else {
+                done[me] = true;
+                failures.push((me, format!("exit {:?}: {stderr}", out.status.code())));
             }
-            Ok(out) => {
-                let stderr = String::from_utf8_lossy(&out.stderr);
-                failures.push((
-                    me,
-                    format!("exit {:?}: {}", out.status.code(), stderr.trim()),
-                ));
-            }
-            Err(e) => failures.push((me, format!("wait failed: {e}"))),
+        }
+        if !progressed {
+            std::thread::sleep(std::time::Duration::from_millis(10));
         }
     }
     // Report the first failing worker but include every peer's failure:
@@ -666,7 +815,7 @@ mod tests {
             num_vertices: 7,
             edges: vec![(0, 1, 1.5), (1, 2, 0.25), (6, 0, 3.0)],
             partition: cfg.partition,
-            splitter: cfg.splitter.clone(),
+            splitter: cfg.splitter,
             bidirectional: false,
             comm_mode: cfg.comm_mode,
             interval: cfg.interval,
@@ -677,6 +826,9 @@ mod tests {
             threads_per_machine: 2,
             block_size: 1024,
             pipeline: true,
+            checkpoint_every: 4,
+            checkpoint_dir: "/tmp/lz-ckpt".into(),
+            rejoin_window_ms: 15_000,
         }
     }
 
@@ -693,6 +845,9 @@ mod tests {
         assert_eq!(back.max_iterations, 100);
         assert_eq!(back.threads_per_machine, 2);
         assert!(back.pipeline);
+        assert_eq!(back.checkpoint_every, 4);
+        assert_eq!(back.checkpoint_dir, "/tmp/lz-ckpt");
+        assert_eq!(back.rejoin_window_ms, 15_000);
         assert_eq!(back.cost.bandwidth.to_bits(), j.cost.bandwidth.to_bits());
         assert_eq!(
             back.splitter.t_extra.to_bits(),

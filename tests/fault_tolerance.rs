@@ -1,0 +1,229 @@
+//! Checkpoint/replay fault-tolerance suite (DESIGN.md §12).
+//!
+//! Every test here follows the same shape: run an undisturbed **oracle**
+//! gang with checkpointing enabled, then re-run the identical job with a
+//! deterministic fail point armed in exactly one worker
+//! (`LAZYGRAPH_FAILPOINT`, which calls `abort()` — no unwinding, no
+//! clean-shutdown frame, a genuinely torn process). The launcher respawns
+//! the victim with `--resume`; it loads its newest valid snapshot,
+//! rejoins both meshes at the recorded round watermarks, and replays
+//! forward. The recovered run must be **bitwise identical** to the
+//! oracle: same values, same iteration count, same simulated time bits.
+//!
+//! Nothing here sleeps or polls wall-clock state: fail points key on
+//! superstep / round counters (deterministic under the PR 1 bitwise-
+//! determinism contract), and recovery is proven by output equality plus
+//! the `reconnects` / `replay_rounds` counters — if a fail point silently
+//! stopped firing, `reconnects == 0` fails the test rather than letting
+//! it pass vacuously.
+
+use lazygraph::multiproc::{
+    run_multiprocess, run_multiprocess_with, AlgoSpec, MpOptions, MultiprocOutcome,
+};
+use lazygraph::prelude::*;
+use lazygraph_graph::generators::{rmat, RmatConfig};
+
+fn worker_bin() -> &'static std::path::Path {
+    std::path::Path::new(env!("CARGO_BIN_EXE_lazygraph-worker"))
+}
+
+/// Small power-law graph for the kill matrix: big enough that SSSP takes
+/// several supersteps (so there are checkpoints to resume from and rounds
+/// to replay), small enough that a 4-process gang stays fast.
+fn matrix_graph() -> Graph {
+    let g = rmat(RmatConfig::graph500(7, 6, 5));
+    let mut b = GraphBuilder::new(g.num_vertices());
+    b.extend(g.edges());
+    b.symmetrize();
+    b.randomize_weights(1.0, 9.0, 5);
+    b.build()
+}
+
+/// Larger graph for the pipelined-streaming kill: the pipelined exchange
+/// only streams a part once ≥ `PIPELINE_PART_ITEMS` (1024) updates are
+/// staged for one destination, so the 2-machine apply broadcast needs
+/// over a thousand replicated masters on the victim.
+fn stream_graph() -> Graph {
+    let g = rmat(RmatConfig::graph500(13, 8, 5));
+    let mut b = GraphBuilder::new(g.num_vertices());
+    b.extend(g.edges());
+    b.symmetrize();
+    b.randomize_weights(1.0, 9.0, 5);
+    b.build()
+}
+
+fn cfg(engine: EngineKind) -> EngineConfig {
+    EngineConfig::lazygraph()
+        .with_engine(engine)
+        .with_threads(2)
+        .with_block_size(64)
+}
+
+/// Checkpoint every 2 supersteps, generous rejoin window (an upper bound,
+/// not a wait — recovery is event-driven), budget for one respawn plus
+/// slack. The oracle uses the same options minus the fail point so both
+/// runs share a checkpoint cadence.
+fn mp_opts(failpoint: Option<(usize, String)>) -> MpOptions {
+    MpOptions {
+        checkpoint_every: 2,
+        rejoin_window_ms: 30_000,
+        respawn_budget: 2,
+        failpoint,
+    }
+}
+
+/// `{:?}` on finite floats round-trips, so string equality on the value
+/// vector is bitwise equality; `sim_time` is compared as raw bits.
+fn fingerprint<V: std::fmt::Debug>(o: &MultiprocOutcome<V>) -> String {
+    format!(
+        "values={:?} iters={} conv={} sim={} counters={:?}",
+        o.values,
+        o.iterations,
+        o.converged,
+        o.sim_time.to_bits(),
+        o.counters
+    )
+}
+
+/// Worker rank that gets killed in every fault run.
+const VICTIM: usize = 1;
+
+/// Kill points for a run of `f` supersteps: first, middle, last.
+fn kill_points(f: u64) -> Vec<u64> {
+    let mut ns = vec![1, (f / 2).max(1), f.max(1)];
+    ns.sort_unstable();
+    ns.dedup();
+    ns
+}
+
+/// The recovery-equivalence matrix body: oracle first, then kill the
+/// victim at the first / middle / last superstep and demand a bitwise
+/// identical outcome each time.
+fn run_matrix(engine: EngineKind, workers: usize) {
+    let g = matrix_graph();
+    let base = cfg(engine);
+    let spec = AlgoSpec::Sssp { source: 0 };
+
+    let oracle = run_multiprocess_with::<Sssp>(&g, workers, &base, &spec, worker_bin(), &mp_opts(None))
+        .unwrap_or_else(|e| panic!("{} {workers}w oracle: {e}", engine.name()));
+    assert!(
+        oracle.iterations >= 3,
+        "{} {workers}w: oracle converged in {} supersteps — too few for a \
+         first/middle/last kill matrix, grow the graph",
+        engine.name(),
+        oracle.iterations
+    );
+    assert_eq!(oracle.stats.reconnects, 0, "oracle must run undisturbed");
+    assert_eq!(oracle.stats.replay_rounds, 0, "oracle must run undisturbed");
+    assert!(
+        oracle.stats.snapshot_bytes > 0,
+        "{} {workers}w: checkpointing was on but no snapshot was written",
+        engine.name()
+    );
+    let want = fingerprint(&oracle);
+
+    // Checkpointing must be observationally free: the same job without
+    // any recovery machinery lands on the same bits.
+    if workers == 4 {
+        let plain = run_multiprocess::<Sssp>(&g, workers, &base, &spec, worker_bin())
+            .unwrap_or_else(|e| panic!("{} {workers}w plain: {e}", engine.name()));
+        assert_eq!(
+            fingerprint(&plain),
+            want,
+            "{} {workers}w: enabling checkpoints changed the result",
+            engine.name()
+        );
+    }
+
+    for n in kill_points(oracle.iterations) {
+        let opts = mp_opts(Some((VICTIM, format!("superstep:{n}"))));
+        let out = run_multiprocess_with::<Sssp>(&g, workers, &base, &spec, worker_bin(), &opts)
+            .unwrap_or_else(|e| panic!("{} {workers}w kill@{n}: {e}", engine.name()));
+        assert_eq!(
+            fingerprint(&out),
+            want,
+            "{} {workers}w: recovery after a kill at superstep {n} is not \
+             bitwise identical to the oracle",
+            engine.name()
+        );
+        // If the fail point never fired the run degenerates to the oracle
+        // and would pass vacuously — the reconnect counters catch that.
+        assert!(
+            out.stats.reconnects >= 1,
+            "{} {workers}w kill@{n}: fail point never fired (no reconnects)",
+            engine.name()
+        );
+        if n >= 2 {
+            // To reach superstep n ≥ 2 the gang completed superstep n-1,
+            // so the survivors' logs hold rounds the rejoiner needs.
+            assert!(
+                out.stats.replay_rounds >= 1,
+                "{} {workers}w kill@{n}: rejoin happened but nothing was replayed",
+                engine.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn sync_recovers_bitwise_2_workers() {
+    run_matrix(EngineKind::PowerGraphSync, 2);
+}
+
+#[test]
+fn sync_recovers_bitwise_4_workers() {
+    run_matrix(EngineKind::PowerGraphSync, 4);
+}
+
+#[test]
+fn lazy_block_recovers_bitwise_2_workers() {
+    run_matrix(EngineKind::LazyBlockAsync, 2);
+}
+
+#[test]
+fn lazy_block_recovers_bitwise_4_workers() {
+    run_matrix(EngineKind::LazyBlockAsync, 4);
+}
+
+/// Kill the victim *mid pipelined exchange*: the `stream:<round>:<part>`
+/// fail point aborts just before the victim streams its first part of
+/// data round 1 (the apply broadcast of superstep 1) — peers are left
+/// holding a torn, partially-streamed round. The respawned victim has no
+/// snapshot yet (first checkpoint lands after superstep 2), so this is
+/// the watermark-zero path: full regeneration on the victim, full log
+/// replay from the survivor, count-based dedupe discarding every
+/// duplicate frame.
+#[test]
+fn kill_during_pipelined_exchange_recovers_bitwise() {
+    let g = stream_graph();
+    let workers = 2;
+    let tolerance = 1e-5;
+    let mut base = cfg(EngineKind::PowerGraphSync).with_pipeline(true);
+    // Bounded run: recovery equivalence does not require convergence,
+    // and eight supersteps of a scale-12 graph keep the test quick.
+    base.max_iterations = 8;
+    let spec = AlgoSpec::PageRank { tolerance };
+
+    let oracle =
+        run_multiprocess_with::<PageRankDelta>(&g, workers, &base, &spec, worker_bin(), &mp_opts(None))
+            .expect("pipelined oracle");
+
+    let opts = mp_opts(Some((VICTIM, "stream:1:1".into())));
+    let out = run_multiprocess_with::<PageRankDelta>(&g, workers, &base, &spec, worker_bin(), &opts)
+        .expect("pipelined kill run");
+
+    assert_eq!(
+        fingerprint(&out),
+        fingerprint(&oracle),
+        "recovery after a kill mid pipelined exchange is not bitwise identical"
+    );
+    // The fail point only fires if round 1 actually streamed a part
+    // (≥ 1024 staged updates for one destination). A vacuous pass would
+    // mean the graph stopped exercising the pipelined path.
+    assert!(
+        out.stats.reconnects >= 1,
+        "stream:1:1 never fired — superstep 1's apply broadcast no longer \
+         streams parts; grow stream_graph()"
+    );
+    assert!(out.stats.replay_rounds >= 1, "nothing was replayed on rejoin");
+}

@@ -163,6 +163,55 @@ fn single_machine_runs_have_no_traffic() {
 }
 
 #[test]
+fn recovery_counters_stay_zero_without_faults() {
+    // The recovery counters (DESIGN.md §12) are strictly event-driven:
+    // `reconnects` only ticks on a Rejoin handshake, `snapshot_bytes`
+    // only on a checkpoint save, `replay_rounds` only when a logged
+    // round is re-sent to a rejoiner. An in-proc run has none of those
+    // — any nonzero here means recovery machinery leaked into the
+    // fault-free fast path.
+    let g = road();
+    for cfg in [EngineConfig::powergraph_sync(), EngineConfig::lazygraph()] {
+        let r = run(&g, 4, &cfg, &Sssp::new(0u32)).expect("cluster run");
+        let s = &r.metrics.stats;
+        assert_eq!(s.reconnects, 0, "{}", r.metrics.engine);
+        assert_eq!(s.snapshot_bytes, 0, "{}", r.metrics.engine);
+        assert_eq!(s.replay_rounds, 0, "{}", r.metrics.engine);
+    }
+}
+
+#[test]
+fn recovery_counters_survive_wire_and_merge() {
+    use lazygraph_cluster::{NetStats, StatsSnapshot};
+    use lazygraph_net::Wire;
+
+    // The counters ride the worker result files as part of the
+    // StatsSnapshot Wire encoding, and the launcher aggregates them by
+    // `merge` — both paths must preserve them exactly.
+    let stats = NetStats::default();
+    stats.record_reconnect();
+    stats.record_reconnect();
+    stats.record_snapshot_bytes(12_345);
+    stats.record_replay_round();
+    let snap = stats.snapshot();
+    assert_eq!(snap.reconnects, 2);
+    assert_eq!(snap.snapshot_bytes, 12_345);
+    assert_eq!(snap.replay_rounds, 1);
+
+    let back = StatsSnapshot::from_wire(&snap.to_wire()).expect("decode");
+    assert_eq!(back.reconnects, snap.reconnects);
+    assert_eq!(back.snapshot_bytes, snap.snapshot_bytes);
+    assert_eq!(back.replay_rounds, snap.replay_rounds);
+
+    let mut merged = StatsSnapshot::default();
+    merged.merge(&snap);
+    merged.merge(&back);
+    assert_eq!(merged.reconnects, 4);
+    assert_eq!(merged.snapshot_bytes, 24_690);
+    assert_eq!(merged.replay_rounds, 2);
+}
+
+#[test]
 fn iteration_cap_reports_non_convergence() {
     let g = road();
     let mut cfg = EngineConfig::powergraph_sync();
