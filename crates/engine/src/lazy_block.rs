@@ -511,8 +511,8 @@ fn machine_loop<P: VertexProgram>(
         };
         if timing.overlap_ms > 0.0 || timing.send_wait_ms > 0.0 {
             let mut bd = timing_sink.lock();
-            bd.overlap_ms += timing.overlap_ms; // lazylint: allow(float-commit) -- wall-clock telemetry summed over machines; outside the determinism contract and SimBreakdown::total()
-            bd.send_wait_ms += timing.send_wait_ms; // lazylint: allow(float-commit) -- same telemetry channel as the line above
+            bd.overlap_ms += timing.overlap_ms;
+            bd.send_wait_ms += timing.send_wait_ms;
         }
         counters.coherency_points += 1;
         let charge = match mode {

@@ -31,6 +31,34 @@ impl SimBreakdown {
     pub fn total(&self) -> f64 {
         self.compute + self.comm + self.barrier
     }
+
+    /// Element-wise sum — folds another worker's breakdown into this one.
+    /// Only machine 0 records the simulated components, so across workers
+    /// the sum is the identity there; the wall-clock overlap counters are
+    /// genuinely per-machine and add up.
+    pub fn merge(&mut self, other: &SimBreakdown) {
+        self.compute += other.compute;
+        self.comm += other.comm;
+        self.barrier += other.barrier;
+        self.overlap_ms += other.overlap_ms;
+        self.send_wait_ms += other.send_wait_ms;
+    }
+
+    /// Labelled report lines: every component appears under its own field
+    /// name (the L9 `stats-coverage` obligation). Simulated seconds and
+    /// measured milliseconds stay visually separate.
+    pub fn report_lines(&self) -> Vec<String> {
+        vec![
+            format!(
+                "sim breakdown: compute={:.6}s comm={:.6}s barrier={:.6}s",
+                self.compute, self.comm, self.barrier
+            ),
+            format!(
+                "host overlap:  overlap_ms={:.1} send_wait_ms={:.1}",
+                self.overlap_ms, self.send_wait_ms
+            ),
+        ]
+    }
 }
 
 /// Shipped from multiprocess worker 0 (the only recorder) back to the

@@ -42,10 +42,12 @@ pub struct MachineState<P: VertexProgram> {
     /// staging, so steady-state delivery stops re-growing them from zero.
     /// Capacity-only state: contents are always written before being read,
     /// so reuse cannot affect results.
+    // lazylint: allow(snapshot-coverage) -- capacity-only pool, always written before read; a recovered worker regrows it from empty with bitwise-identical results
     pub seg_scratch: Vec<Vec<(u32, P::Delta)>>,
     /// Same pool for the lazy path's `(l, delta, fold)` triples:
     /// [`Self::deliver_all_lazy`] buckets and the blocked apply/scatter
     /// sweep's delivery staging vector.
+    // lazylint: allow(snapshot-coverage) -- capacity-only pool, always written before read; a recovered worker regrows it from empty with bitwise-identical results
     pub lazy_scratch: Vec<Vec<(u32, P::Delta, bool)>>,
 }
 

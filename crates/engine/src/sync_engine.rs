@@ -359,8 +359,8 @@ fn machine_loop<P: VertexProgram>(
             )?;
             {
                 let mut bd = timing_sink.lock();
-                bd.overlap_ms += t.overlap_ms; // lazylint: allow(float-commit) -- wall-clock telemetry summed over machines; outside the determinism contract and SimBreakdown::total()
-                bd.send_wait_ms += t.send_wait_ms; // lazylint: allow(float-commit) -- same telemetry channel as the line above
+                bd.overlap_ms += t.overlap_ms;
+                bd.send_wait_ms += t.send_wait_ms;
             }
             let bs = pctx.block_size().max(1);
             let segments = drain.stitch(num_local.div_ceil(bs).max(1));
@@ -510,8 +510,8 @@ fn machine_loop<P: VertexProgram>(
             )?;
             {
                 let mut bd = timing_sink.lock();
-                bd.overlap_ms += t.overlap_ms; // lazylint: allow(float-commit) -- wall-clock telemetry summed over machines; outside the determinism contract and SimBreakdown::total()
-                bd.send_wait_ms += t.send_wait_ms; // lazylint: allow(float-commit) -- same telemetry channel as the line above
+                bd.overlap_ms += t.overlap_ms;
+                bd.send_wait_ms += t.send_wait_ms;
             }
             for sent_at in deferred_merges.drain(..) {
                 clock.merge(sent_at);

@@ -195,6 +195,26 @@ pub fn lex(src: &str) -> Vec<Token> {
             });
             continue;
         }
+        // Byte-char literal b'x' (must precede the identifier path, or
+        // the `b` lexes as an ident and the quote as a stray literal).
+        if c == 'b' && i + 1 < n && b[i + 1] == '\'' {
+            let start = i;
+            i += 2; // past b'
+            if i < n && b[i] == '\\' {
+                i += 2;
+            } else {
+                i += 1;
+            }
+            if i < n && b[i] == '\'' {
+                i += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Char,
+                text: b[start..i.min(n)].iter().collect(),
+                line,
+            });
+            continue;
+        }
         // Char literal vs lifetime.
         if c == '\'' {
             // Lifetime: 'ident not followed by a closing quote.
@@ -424,5 +444,85 @@ mod tests {
     fn hex_is_not_float() {
         let t = kinds("0x1e5");
         assert_eq!(t[0], (TokKind::Num { float: false }, "0x1e5".into()));
+    }
+
+    #[test]
+    fn byte_char_literal_is_one_token() {
+        let t = kinds("let x = b'q'; let y = b'\\n'; next");
+        assert!(t.iter().any(|k| k.0 == TokKind::Char && k.1 == "b'q'"));
+        assert!(t.iter().any(|k| k.0 == TokKind::Char && k.1 == "b'\\n'"));
+        // The stream is not torn: `next` survives as an ident.
+        assert!(t.iter().any(|k| *k == (TokKind::Ident, "next".into())));
+        // And `b` never appears as a stray identifier.
+        assert!(!t.iter().any(|k| *k == (TokKind::Ident, "b".into())));
+    }
+
+    #[test]
+    fn deep_hash_raw_strings_with_embedded_terminators() {
+        // A `"#` inside an `r##"…"##` must not terminate it.
+        let t = kinds("r##\"has \"# inside\"## end");
+        assert_eq!(t[0].0, TokKind::Str);
+        assert!(t[0].1.contains("\"# inside"));
+        assert_eq!(t[1], (TokKind::Ident, "end".into()));
+    }
+
+    #[test]
+    fn byte_raw_string() {
+        let t = kinds("br#\"bytes \" here\"# tail");
+        assert_eq!(t[0].0, TokKind::Str);
+        assert_eq!(t[1], (TokKind::Ident, "tail".into()));
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_raw_string() {
+        let t = kinds("let r#match = r#fn; r#\"str\"#");
+        assert!(t.iter().any(|k| *k == (TokKind::Ident, "r#match".into())));
+        assert!(t.iter().any(|k| *k == (TokKind::Ident, "r#fn".into())));
+        assert!(t.iter().any(|k| k.0 == TokKind::Str));
+    }
+
+    #[test]
+    fn unterminated_raw_string_consumes_to_eof_without_panicking() {
+        let t = kinds("before r##\"never closed\"# still inside");
+        assert_eq!(t[0], (TokKind::Ident, "before".into()));
+        assert_eq!(t[1].0, TokKind::Str);
+        assert_eq!(t.len(), 2); // everything after the opener is the string
+    }
+
+    #[test]
+    fn unterminated_block_comment_consumes_to_eof() {
+        let t = kinds("x /* open /* nested */ still open");
+        assert_eq!(t[0], (TokKind::Ident, "x".into()));
+        assert_eq!(t[1].0, TokKind::Comment);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn unterminated_plain_string_consumes_to_eof() {
+        let t = kinds("y = \"no close");
+        assert!(t.iter().any(|k| k.0 == TokKind::Str));
+    }
+
+    #[test]
+    fn line_numbers_across_multiline_tokens() {
+        let src = "a\n/* two\nline comment */\nb r#\"raw\nstring\"# c\nd";
+        let toks = lex(src);
+        let line_of = |name: &str| {
+            toks.iter()
+                .find(|t| t.text == name)
+                .unwrap_or_else(|| panic!("token {name}"))
+                .line
+        };
+        assert_eq!(line_of("a"), 1);
+        assert_eq!(line_of("b"), 4); // after the 2-line block comment
+        assert_eq!(line_of("c"), 5); // after the 2-line raw string
+        assert_eq!(line_of("d"), 6);
+    }
+
+    #[test]
+    fn crlf_counts_lines_once() {
+        let toks = lex("a\r\nb\r\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
     }
 }

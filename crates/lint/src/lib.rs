@@ -1,21 +1,31 @@
 //! # lazygraph-lint
 //!
 //! An offline, registry-free static analyzer enforcing the workspace's
-//! determinism & coherency contract as six named rules:
+//! determinism & coherency contract as nine named rules:
 //!
 //! | id | meaning |
 //! |----|---------|
-//! | `unordered-iter` | L1: hash-container iteration in `engine`/`cluster`/`partition` must be sorted or reduced order-insensitively |
-//! | `float-commit`   | L2: float accumulation under `engine/src` must consume ordered (block-committed) sources |
-//! | `nondet-source`  | L3: no wall-clock / thread-id / unseeded-RNG reads in engine functions |
-//! | `no-panic`       | L4: no `unwrap()`/`expect()`/`panic!` in library crates outside tests |
-//! | `lock-order`     | L5: Mutex/RwLock acquisition order consistent across the `cluster` crate |
-//! | `detached-spawn` | L6: `thread::spawn` in `engine`/`cluster` must join its `JoinHandle` |
+//! | `unordered-iter`    | L1: hash-container iteration in `engine`/`cluster`/`partition` must be sorted or reduced order-insensitively |
+//! | `float-commit`      | L2: float accumulation under `engine/src` must consume ordered (block-committed) sources |
+//! | `nondet-source`     | L3: no wall-clock / thread-id / unseeded-RNG reads in engine functions |
+//! | `no-panic`          | L4: no `unwrap()`/`expect()`/`panic!` in library crates outside tests |
+//! | `lock-order`        | L5: Mutex/RwLock acquisition order consistent across the `cluster` crate |
+//! | `detached-spawn`    | L6: `thread::spawn` in `engine`/`cluster` must join its `JoinHandle` |
+//! | `snapshot-coverage` | L7: every `MachineState` field must be read by `EngineSnapshot::capture` and written by `restore_into` |
+//! | `wire-symmetry`     | L8: each `Wire` impl's encode and decode must walk the same fields in the same order |
+//! | `stats-coverage`    | L9: every `NetStats`/`StatsSnapshot`/`SimBreakdown` counter must survive `merge()` and have a labelled report path |
+//!
+//! L1–L6 are per-file token heuristics. L7–L9 are **workspace rules**:
+//! phase 1 builds a cross-file model ([`model::WorkspaceCtx`] — struct
+//! declarations with field lists, impl blocks mapped to types, and a
+//! per-function field-access index) and phase 2 checks coverage and
+//! symmetry obligations across files. See DESIGN.md §13.
 //!
 //! Suppression: `// lazylint: allow(rule-id) -- reason` (line-scoped) or
 //! `// lazylint: allow-file(rule-id) -- reason` (whole file). The reason
-//! is mandatory. See DESIGN.md for the contract rationale and how to add
-//! a rule.
+//! is mandatory. A pragma that no longer suppresses anything is reported
+//! through the `stale-pragma` channel (`lazylint --stale-pragmas`), so
+//! justifications cannot outlive the code they excuse.
 //!
 //! The analyzer is a hand-rolled lexer plus token-sequence heuristics —
 //! no `syn`, no registry access — so it builds and runs in the same
@@ -26,106 +36,163 @@ use std::path::Path;
 
 pub mod files;
 pub mod lexer;
+pub mod model;
 pub mod pragma;
 pub mod report;
 pub mod rules;
 
 pub use files::{classify, discover, Role, SourceFile};
-pub use report::{render_human, render_json, Finding};
+pub use model::WorkspaceCtx;
+pub use report::{render_human, render_json, Finding, REPORT_VERSION};
 pub use rules::{RULE_DESCRIPTIONS, RULE_IDS};
 
 use rules::FileCtx;
 
-/// Analyzes one file's source under a virtual workspace-relative path
-/// (the path decides crate and role scoping). Pragmas in the source are
-/// honoured; malformed pragmas are reported. This is the entry point the
-/// fixture tests drive.
-pub fn analyze_file(virtual_path: &str, src: &str) -> Vec<Finding> {
-    let Some((krate, role)) = files::classify(virtual_path) else {
-        return Vec::new();
-    };
-    let toks = lexer::lex(src);
-    let ctx = FileCtx::new(virtual_path, &krate, role, &toks);
-    let mut findings = rules::run_all(&ctx);
-    apply_pragmas(&toks, virtual_path, &mut findings)
+/// One source file handed to [`analyze_sources`]: a workspace-relative
+/// path (which decides crate and role scoping) plus its contents.
+#[derive(Clone, Debug)]
+pub struct SourceSpec {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// File contents.
+    pub src: String,
 }
 
-/// Analyzes the whole workspace rooted at `root`. Per-file rules run on
-/// every discovered source; the `lock-order` cross-function phase runs
-/// once over the union of all files' lock acquisitions, so inconsistent
-/// orders are caught across file boundaries too.
-pub fn analyze_workspace(root: &Path) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    let mut all_acq: Vec<Vec<rules::lock_order::Acquisition>> = Vec::new();
-    // (path, lexed tokens) kept for pragma application of global findings.
-    let mut lexed: Vec<(String, Vec<lexer::Token>)> = Vec::new();
+/// The outcome of a workspace analysis.
+#[derive(Clone, Debug, Default)]
+pub struct Analysis {
+    /// Rule findings that survived pragma suppression, plus pragma-syntax
+    /// findings, in deterministic `(file, line, rule, message)` order.
+    pub findings: Vec<Finding>,
+    /// `stale-pragma` findings: suppressions that matched nothing this
+    /// run. Kept out of `findings` because staleness is a property of the
+    /// *pragma*, not the code, and is gated separately in CI.
+    pub stale_pragmas: Vec<Finding>,
+}
 
-    for sf in files::discover(root) {
-        let src = match fs::read_to_string(&sf.abs) {
-            Ok(s) => s,
-            Err(e) => {
-                findings.push(Finding {
-                    rule: "pragma",
-                    file: sf.rel.clone(),
-                    line: 0,
-                    message: format!("unreadable source file: {e}"),
-                });
-                continue;
-            }
+/// Analyzes a set of sources as one workspace: per-file rules on each
+/// file, then the cross-file phases (`lock-order` order consistency and
+/// the L7–L9 coverage rules) over the union. Pragmas are applied per
+/// file with usage tracking — a pragma that suppressed nothing becomes a
+/// `stale-pragma` finding.
+pub fn analyze_sources(sources: &[SourceSpec]) -> Analysis {
+    let mut raw = Vec::new();
+    let mut all_acq: Vec<Vec<rules::lock_order::Acquisition>> = Vec::new();
+    let mut lexed: Vec<(String, Vec<lexer::Token>)> = Vec::new();
+    let mut ws = WorkspaceCtx::default();
+
+    // Phase 1: per-file rules + model building.
+    for spec in sources {
+        let Some((krate, role)) = files::classify(&spec.rel) else {
+            continue;
         };
-        let toks = lexer::lex(&src);
-        let ctx = FileCtx::new(&sf.rel, &sf.krate, sf.role, &toks);
-        let mut file_findings = Vec::new();
-        file_findings.extend(rules::unordered_iter::check(&ctx));
-        file_findings.extend(rules::float_commit::check(&ctx));
-        file_findings.extend(rules::nondet_source::check(&ctx));
-        file_findings.extend(rules::no_panic::check(&ctx));
-        file_findings.extend(rules::detached_spawn::check(&ctx));
+        let toks = lexer::lex(&spec.src);
+        let ctx = FileCtx::new(&spec.rel, &krate, role, &toks);
+        raw.extend(rules::unordered_iter::check(&ctx));
+        raw.extend(rules::float_commit::check(&ctx));
+        raw.extend(rules::nondet_source::check(&ctx));
+        raw.extend(rules::no_panic::check(&ctx));
+        raw.extend(rules::detached_spawn::check(&ctx));
         all_acq.extend(rules::lock_order::acquisitions(&ctx));
-        findings.extend(apply_pragmas(&toks, &sf.rel, &mut file_findings));
-        lexed.push((sf.rel, toks));
+        ws.files.push(model::build_file_model(&ctx));
+        lexed.push((spec.rel.clone(), toks));
     }
 
-    // Global lock-order phase, then per-file pragma application on its
-    // findings.
-    let mut global = rules::lock_order::cross_check(&all_acq);
+    // Phase 2: cross-file rules over the union.
+    raw.extend(rules::lock_order::cross_check(&all_acq));
+    raw.extend(rules::run_workspace(&ws));
+
+    // Pragma application, one pass per file, with usage tracking.
+    let mut findings = Vec::new();
+    let mut stale = Vec::new();
     for (rel, toks) in &lexed {
-        let mut here: Vec<Finding> = Vec::new();
-        global.retain(|f| {
+        let mut mine = Vec::new();
+        raw.retain(|f| {
             if &f.file == rel {
-                here.push(f.clone());
+                mine.push(f.clone());
                 false
             } else {
                 true
             }
         });
-        if !here.is_empty() {
-            // Pragma findings from this pass were already reported above;
-            // drop duplicates by keeping only lock-order findings.
-            let kept = apply_pragmas(toks, rel, &mut here)
-                .into_iter()
-                .filter(|f| f.rule == "lock-order");
-            findings.extend(kept);
+        let (pragmas, mut pragma_findings) = pragma::collect(toks, rel, RULE_IDS);
+        let code_lines: Vec<u32> = {
+            let mut v: Vec<u32> = toks.iter().filter(|t| t.is_code()).map(|t| t.line).collect();
+            v.dedup();
+            v
+        };
+        let (mut kept, used) = pragma::suppress_tracked(mine, &pragmas, &code_lines);
+        findings.append(&mut kept);
+        findings.append(&mut pragma_findings);
+        for (p, was_used) in pragmas.iter().zip(used) {
+            if !was_used {
+                stale.push(Finding {
+                    rule: "stale-pragma",
+                    file: rel.clone(),
+                    line: p.line,
+                    message: format!(
+                        "`allow{}({})` suppresses nothing — the finding it excused is gone; \
+                         delete the pragma (its reason was: {})",
+                        if p.file_wide { "-file" } else { "" },
+                        p.rule,
+                        p.reason
+                    ),
+                });
+            }
         }
     }
-    findings.extend(global); // findings in files we never lexed (none in practice)
+    findings.extend(raw); // findings in files we never lexed (none in practice)
 
-    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    findings
+    report::sort_findings(&mut findings);
+    report::sort_findings(&mut stale);
+    Analysis {
+        findings,
+        stale_pragmas: stale,
+    }
 }
 
-/// Applies a file's pragmas to its findings; returns the surviving
-/// findings plus any pragma-syntax findings.
-fn apply_pragmas(toks: &[lexer::Token], path: &str, findings: &mut Vec<Finding>) -> Vec<Finding> {
-    let (pragmas, mut pragma_findings) = pragma::collect(toks, path, RULE_IDS);
-    let code_lines: Vec<u32> = {
-        let mut v: Vec<u32> = toks.iter().filter(|t| t.is_code()).map(|t| t.line).collect();
-        v.dedup();
-        v
-    };
-    let mut kept = pragma::suppress(std::mem::take(findings), &pragmas, &code_lines);
-    kept.append(&mut pragma_findings);
-    kept
+/// Analyzes one file's source under a virtual workspace-relative path
+/// (the path decides crate and role scoping). The file is treated as a
+/// one-file workspace, so the L7–L9 rules see any structs and impls it
+/// declares. Pragmas are honoured; malformed pragmas are reported; stale
+/// pragmas are *not* (fixtures legitimately carry pragmas whose findings
+/// depend on context the fixture omits). This is the entry point the
+/// fixture tests drive.
+pub fn analyze_file(virtual_path: &str, src: &str) -> Vec<Finding> {
+    analyze_sources(&[SourceSpec {
+        rel: virtual_path.to_string(),
+        src: src.to_string(),
+    }])
+    .findings
+}
+
+/// Discovers and analyzes the whole workspace rooted at `root`,
+/// returning the full [`Analysis`] (findings + stale pragmas).
+pub fn analyze_workspace_full(root: &Path) -> Analysis {
+    let mut sources = Vec::new();
+    let mut unreadable = Vec::new();
+    for sf in files::discover(root) {
+        match fs::read_to_string(&sf.abs) {
+            Ok(src) => sources.push(SourceSpec { rel: sf.rel, src }),
+            Err(e) => unreadable.push(Finding {
+                rule: "pragma",
+                file: sf.rel.clone(),
+                line: 0,
+                message: format!("unreadable source file: {e}"),
+            }),
+        }
+    }
+    let mut analysis = analyze_sources(&sources);
+    analysis.findings.extend(unreadable);
+    report::sort_findings(&mut analysis.findings);
+    analysis
+}
+
+/// Analyzes the whole workspace rooted at `root`, returning the findings
+/// only (the historical entry point; see [`analyze_workspace_full`] for
+/// stale-pragma reporting).
+pub fn analyze_workspace(root: &Path) -> Vec<Finding> {
+    analyze_workspace_full(root).findings
 }
 
 #[cfg(test)]
@@ -154,5 +221,63 @@ mod tests {
         assert_eq!(f.len(), 2);
         assert!(f.iter().any(|x| x.rule == "no-panic"));
         assert!(f.iter().any(|x| x.rule == "pragma"));
+    }
+
+    #[test]
+    fn stale_pragma_is_reported_via_the_side_channel() {
+        let src = "fn f() { g(); // lazylint: allow(no-panic) -- nothing here anymore\n }";
+        let a = analyze_sources(&[SourceSpec {
+            rel: "crates/graph/src/io.rs".into(),
+            src: src.into(),
+        }]);
+        assert!(a.findings.is_empty());
+        assert_eq!(a.stale_pragmas.len(), 1);
+        assert_eq!(a.stale_pragmas[0].rule, "stale-pragma");
+        assert!(a.stale_pragmas[0].message.contains("suppresses nothing"));
+    }
+
+    #[test]
+    fn used_pragma_is_not_stale() {
+        let src = "fn f() { let x = g().unwrap(); // lazylint: allow(no-panic) -- boot path\n }";
+        let a = analyze_sources(&[SourceSpec {
+            rel: "crates/graph/src/io.rs".into(),
+            src: src.into(),
+        }]);
+        assert!(a.findings.is_empty());
+        assert!(a.stale_pragmas.is_empty());
+    }
+
+    #[test]
+    fn workspace_rules_fire_across_files() {
+        // MachineState in one file, the snapshot impl in another: the
+        // uncaptured field is found cross-file.
+        let state = SourceSpec {
+            rel: "crates/engine/src/state.rs".into(),
+            src: "pub struct MachineState<P> {\n pub vdata: Vec<P>,\n pub extra: u64,\n}".into(),
+        };
+        let ckpt = SourceSpec {
+            rel: "crates/engine/src/checkpoint.rs".into(),
+            src: "impl<P> EngineSnapshot<P> {\n pub fn capture(s: &MachineState<P>) -> Self { let v = s.vdata.clone(); Self {} }\n pub fn restore_into(&self, s: &mut MachineState<P>) { s.vdata = v; }\n}"
+                .into(),
+        };
+        let a = analyze_sources(&[state, ckpt]);
+        let l7: Vec<_> = a.findings.iter().filter(|f| f.rule == "snapshot-coverage").collect();
+        assert_eq!(l7.len(), 2); // `extra` missing from capture AND restore
+        assert!(l7.iter().all(|f| f.file == "crates/engine/src/state.rs"));
+    }
+
+    #[test]
+    fn findings_order_is_deterministic() {
+        let spec = SourceSpec {
+            rel: "crates/graph/src/io.rs".into(),
+            src: "fn f() { a().unwrap(); b().unwrap(); }\nfn g() { c().unwrap(); }".into(),
+        };
+        let a1 = analyze_sources(std::slice::from_ref(&spec));
+        let a2 = analyze_sources(&[spec]);
+        assert_eq!(a1.findings, a2.findings);
+        let lines: Vec<u32> = a1.findings.iter().map(|f| f.line).collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
     }
 }

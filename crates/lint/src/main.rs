@@ -4,16 +4,25 @@
 //! cargo run -p lazygraph-lint -- --deny-all            # CI gate
 //! cargo run -p lazygraph-lint -- --format json         # machine output
 //! cargo run -p lazygraph-lint -- --rule no-panic       # one rule only
+//! cargo run -p lazygraph-lint -- --stale-pragmas       # pragma hygiene gate
 //! cargo run -p lazygraph-lint -- --list-rules
 //! ```
 //!
-//! Exit status: `2` on usage errors; with `--deny-all`, `1` if any
-//! finding survives suppression; `0` otherwise.
+//! `--stale-pragmas` switches the report to the stale-pragma channel:
+//! every `// lazylint: allow(...)` that suppressed no finding this run is
+//! listed, and the exit status is `1` if any exist — the CI gate that
+//! keeps justifications from outliving the code they excuse.
+//!
+//! Exit status: `2` on usage errors; `1` if any finding survives
+//! suppression under `--deny-all`, or if `--stale-pragmas` found stale
+//! pragmas; `0` otherwise.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use lazygraph_lint::{analyze_workspace, render_human, render_json, RULE_DESCRIPTIONS, RULE_IDS};
+use lazygraph_lint::{
+    analyze_workspace_full, render_human, render_json, RULE_DESCRIPTIONS, RULE_IDS,
+};
 
 struct Args {
     root: PathBuf,
@@ -21,6 +30,7 @@ struct Args {
     deny_all: bool,
     rules: Vec<String>,
     list_rules: bool,
+    stale_pragmas: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -30,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
         deny_all: false,
         rules: Vec::new(),
         list_rules: false,
+        stale_pragmas: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -48,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--deny-all" => args.deny_all = true,
             "--list-rules" => args.list_rules = true,
+            "--stale-pragmas" => args.stale_pragmas = true,
             "--rule" => {
                 let v = it.next().ok_or("--rule needs a rule id")?;
                 if !RULE_IDS.contains(&v.as_str()) {
@@ -59,7 +71,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err("usage: lazygraph-lint [--root PATH] [--format human|json] \
-                            [--rule ID]... [--deny-all] [--list-rules]"
+                            [--rule ID]... [--deny-all] [--stale-pragmas] [--list-rules]"
                     .to_string())
             }
             other => return Err(format!("unknown argument `{other}`")),
@@ -78,7 +90,7 @@ fn main() -> ExitCode {
     };
     if args.list_rules {
         for (id, desc) in RULE_DESCRIPTIONS {
-            println!("{id:16} {desc}");
+            println!("{id:18} {desc}");
         }
         return ExitCode::SUCCESS;
     }
@@ -92,7 +104,24 @@ fn main() -> ExitCode {
         }
         root = root.join("..");
     }
-    let mut findings = analyze_workspace(&root);
+    let analysis = analyze_workspace_full(&root);
+    if args.stale_pragmas {
+        // Pragma-hygiene mode: report the stale-pragma channel and gate
+        // on it directly (no --deny-all needed — a stale pragma has no
+        // legitimate reason to stay).
+        let stale = analysis.stale_pragmas;
+        if args.json {
+            print!("{}", render_json(&stale));
+        } else {
+            print!("{}", render_human(&stale));
+        }
+        return if stale.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
+    }
+    let mut findings = analysis.findings;
     if !args.rules.is_empty() {
         findings.retain(|f| args.rules.iter().any(|r| r == f.rule) || f.rule == "pragma");
     }

@@ -1,0 +1,698 @@
+//! Phase 1 of the workspace-semantic analyzer: a cross-file model built
+//! on top of the lexer.
+//!
+//! The per-file rules (L1–L6) are token-window heuristics that never need
+//! to know what a `struct` *is*. The coverage rules (L7–L9) do: they ask
+//! "does every field of `MachineState` appear in the capture path?" and
+//! "do `encode` and `decode` walk the same field sequence?" — questions
+//! about *declarations* and *uses* that span files. This module extracts
+//! exactly the declarations those rules consume, still with no `syn` and
+//! no type checker:
+//!
+//! * [`StructDef`] — named-field struct declarations with per-field
+//!   declaration lines and raw type text (tuple/unit structs and enums
+//!   are deliberately absent: the rules only reason about named fields);
+//! * [`FnModel`] — every function body, annotated with the impl block it
+//!   sits in (`self_ty`, `trait_name`), its signature tokens, and three
+//!   use indexes: the ordered `.field` accesses, the struct literals it
+//!   builds (with field-key order), and its string literals;
+//! * [`WorkspaceCtx`] — the union over all analyzed files, with the
+//!   lookups the rules need.
+//!
+//! Everything is an over-approximation in the same spirit as the L1–L6
+//! heuristics: an `.ident` not followed by `(` counts as a field access
+//! whatever its receiver, and `CamelIdent {` inside a function body
+//! counts as a struct literal. The rules compensate by filtering against
+//! declared field sets.
+
+use crate::files::Role;
+use crate::lexer::{TokKind, Token};
+use crate::rules::{match_brace, FileCtx};
+
+/// One named field of a struct declaration.
+#[derive(Clone, Debug)]
+pub struct FieldDef {
+    /// Field name.
+    pub name: String,
+    /// 1-based declaration line (where pragmas exempting the field go).
+    pub line: u32,
+    /// Raw type text, tokens joined by single spaces (e.g. `Vec < u64 >`).
+    pub ty: String,
+}
+
+/// A named-field struct declaration.
+#[derive(Clone, Debug)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Workspace-relative file the declaration lives in.
+    pub file: String,
+    /// Line of the `struct` keyword.
+    pub line: u32,
+    /// Fields in declaration order.
+    pub fields: Vec<FieldDef>,
+}
+
+impl StructDef {
+    /// Whether `name` is one of this struct's fields.
+    pub fn has_field(&self, name: &str) -> bool {
+        self.fields.iter().any(|f| f.name == name)
+    }
+}
+
+/// One `.field` use inside a function body.
+#[derive(Clone, Debug)]
+pub struct FieldAccess {
+    /// Accessed member name.
+    pub name: String,
+    /// Source line of the access.
+    pub line: u32,
+}
+
+/// One `Type { field: …, shorthand, … }` struct literal in a body.
+#[derive(Clone, Debug)]
+pub struct StructLiteral {
+    /// The literal's type name (last path segment).
+    pub ty: String,
+    /// Field keys in source order (named and shorthand alike).
+    pub fields: Vec<String>,
+    /// Line the literal opens on.
+    pub line: u32,
+}
+
+/// One function body with its use indexes.
+#[derive(Clone, Debug)]
+pub struct FnModel {
+    /// Function name.
+    pub name: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Type name of the enclosing `impl` block, if any.
+    pub self_ty: Option<String>,
+    /// Trait name of the enclosing `impl Trait for Type`, if any.
+    pub trait_name: Option<String>,
+    /// Signature token texts (`fn` through the token before the body).
+    pub sig: Vec<String>,
+    /// Ordered `.ident` accesses (method calls excluded).
+    pub accesses: Vec<FieldAccess>,
+    /// Struct literals constructed in the body.
+    pub literals: Vec<StructLiteral>,
+    /// String-literal texts in the body (label detection).
+    pub strings: Vec<String>,
+    /// Whether the function sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+impl FnModel {
+    /// First-occurrence-ordered deduplicated access names restricted to
+    /// `fields` — the sequence the symmetry rules compare.
+    pub fn access_seq(&self, fields: &[FieldDef]) -> Vec<String> {
+        let mut seq = Vec::new();
+        for a in &self.accesses {
+            if fields.iter().any(|f| f.name == a.name) && !seq.contains(&a.name) {
+                seq.push(a.name.clone());
+            }
+        }
+        seq
+    }
+
+    /// Whether the body accesses `.name` anywhere.
+    pub fn accesses_field(&self, name: &str) -> bool {
+        self.accesses.iter().any(|a| a.name == name)
+    }
+
+    /// Whether any string literal in the body contains `label`.
+    pub fn has_label(&self, label: &str) -> bool {
+        self.strings.iter().any(|s| s.contains(label))
+    }
+}
+
+/// Everything the workspace rules know about one file.
+#[derive(Clone, Debug)]
+pub struct FileModel {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Owning crate.
+    pub krate: String,
+    /// Target role.
+    pub role: Role,
+    /// Named-field struct declarations.
+    pub structs: Vec<StructDef>,
+    /// Function bodies with use indexes.
+    pub fns: Vec<FnModel>,
+}
+
+/// The phase-1 output: the union of all file models, queried by phase 2.
+#[derive(Clone, Debug, Default)]
+pub struct WorkspaceCtx {
+    /// One model per analyzed file, in discovery (path) order.
+    pub files: Vec<FileModel>,
+}
+
+impl WorkspaceCtx {
+    /// Looks up a struct declaration by name. When several files declare
+    /// the same name (the two engine `MachineOut`s), `prefer_file` breaks
+    /// the tie in favour of the declaration in that file; with no match
+    /// there, a unique global declaration wins and an ambiguous name
+    /// resolves to `None`.
+    pub fn struct_def(&self, name: &str, prefer_file: Option<&str>) -> Option<&StructDef> {
+        let all: Vec<&StructDef> = self
+            .files
+            .iter()
+            .flat_map(|f| f.structs.iter())
+            .filter(|s| s.name == name)
+            .collect();
+        if let Some(pf) = prefer_file {
+            if let Some(local) = all.iter().find(|s| s.file == pf) {
+                return Some(local);
+            }
+        }
+        match all.as_slice() {
+            [one] => Some(one),
+            _ => None,
+        }
+    }
+
+    /// All functions across the workspace.
+    pub fn fns(&self) -> impl Iterator<Item = &FnModel> {
+        self.files.iter().flat_map(|f| f.fns.iter())
+    }
+
+    /// All non-test functions named `name` implemented on type `ty`
+    /// (inherent or trait impls alike).
+    pub fn impl_fns<'a>(&'a self, ty: &'a str, name: &'a str) -> impl Iterator<Item = &'a FnModel> {
+        self.fns()
+            .filter(move |f| !f.in_test && f.name == name && f.self_ty.as_deref() == Some(ty))
+    }
+}
+
+/// Rust keywords that can precede `{` without starting a struct literal.
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "as" | "break" | "const" | "continue" | "crate" | "dyn" | "else" | "enum" | "extern"
+            | "false" | "fn" | "for" | "if" | "impl" | "in" | "let" | "loop" | "match" | "mod"
+            | "move" | "mut" | "pub" | "ref" | "return" | "self" | "Self" | "static" | "struct"
+            | "super" | "trait" | "true" | "type" | "unsafe" | "use" | "where" | "while"
+            | "async" | "await" | "union"
+    )
+}
+
+/// Builds the file model from an already-built per-file context (shares
+/// the comment-stripped token stream and `#[cfg(test)]` marking).
+pub fn build_file_model(ctx: &FileCtx) -> FileModel {
+    let toks = &ctx.toks;
+    let structs = find_structs(ctx, toks);
+    let impls = find_impls(toks);
+    let mut fns = Vec::new();
+    for span in &ctx.fns {
+        // Nested fns (closures produce no FnSpan; `fn` inside a body does)
+        // are rare and harmless: they become their own models.
+        let owner = impls
+            .iter()
+            .find(|im| span.start > im.body_open && span.end <= im.body_close);
+        let body_open = match body_open_of(toks, span.start) {
+            Some(b) => b,
+            None => continue, // bodyless trait declaration
+        };
+        let sig: Vec<String> = toks[span.start..body_open]
+            .iter()
+            .map(|t| t.text.clone())
+            .collect();
+        let (accesses, literals, strings) = index_body(toks, body_open, span.end);
+        fns.push(FnModel {
+            name: span.name.clone(),
+            file: ctx.path.clone(),
+            line: toks[span.start].line,
+            self_ty: owner.map(|im| im.type_name.clone()),
+            trait_name: owner.and_then(|im| im.trait_name.clone()),
+            sig,
+            accesses,
+            literals,
+            strings,
+            in_test: ctx.in_test.get(span.start).copied().unwrap_or(false),
+        });
+    }
+    FileModel {
+        path: ctx.path.clone(),
+        krate: ctx.krate.clone(),
+        role: ctx.role,
+        structs,
+        fns,
+    }
+}
+
+/// A located `impl` block.
+struct ImplBlock {
+    type_name: String,
+    trait_name: Option<String>,
+    body_open: usize,
+    body_close: usize,
+}
+
+/// Skips a balanced `<…>` generic list starting at `open` (which must be
+/// `<`); returns the index just past the matching `>`. Token-fused
+/// operators (`->`, `=>`, shifts) never appear inside a declaration's
+/// generics, so counting single `<`/`>` puncts is exact enough.
+fn skip_angles(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0isize;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct("<") {
+            depth += 1;
+        } else if toks[i].is_punct(">") {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        } else if toks[i].is_punct(";") || toks[i].is_punct("{") {
+            // Malformed / not actually generics: bail without consuming.
+            return open;
+        }
+        i += 1;
+    }
+    open
+}
+
+/// Finds named-field struct declarations (tuple and unit structs are
+/// skipped — the coverage rules reason about named fields only).
+fn find_structs(ctx: &FileCtx, toks: &[Token]) -> Vec<StructDef> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if !toks[i].is_ident("struct") || toks[i + 1].kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let name = toks[i + 1].text.clone();
+        let line = toks[i].line;
+        let mut j = i + 2;
+        if j < toks.len() && toks[j].is_punct("<") {
+            j = skip_angles(toks, j);
+        }
+        // `where` clause: anything up to the body brace.
+        while j < toks.len()
+            && !toks[j].is_punct("{")
+            && !toks[j].is_punct("(")
+            && !toks[j].is_punct(";")
+        {
+            j += 1;
+        }
+        if j >= toks.len() || !toks[j].is_punct("{") {
+            i = j.max(i + 1); // tuple or unit struct
+            continue;
+        }
+        let close = match_brace(toks, j);
+        out.push(StructDef {
+            name,
+            file: ctx.path.clone(),
+            line,
+            fields: parse_fields(toks, j, close),
+        });
+        i = close + 1;
+    }
+    out
+}
+
+/// Parses the named fields between a struct body's braces.
+fn parse_fields(toks: &[Token], open: usize, close: usize) -> Vec<FieldDef> {
+    let mut fields = Vec::new();
+    let mut i = open + 1;
+    while i < close {
+        // Skip attributes on the field.
+        while i < close && toks[i].is_punct("#") {
+            if i + 1 < close && toks[i + 1].is_punct("[") {
+                let mut depth = 0isize;
+                i += 1;
+                while i < close {
+                    if toks[i].is_punct("[") {
+                        depth += 1;
+                    } else if toks[i].is_punct("]") {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        // Visibility.
+        if i < close && toks[i].is_ident("pub") {
+            i += 1;
+            if i < close && toks[i].is_punct("(") {
+                let mut depth = 0isize;
+                while i < close {
+                    if toks[i].is_punct("(") {
+                        depth += 1;
+                    } else if toks[i].is_punct(")") {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+        }
+        if i >= close {
+            break;
+        }
+        // `name : type`
+        if toks[i].kind == TokKind::Ident && i + 1 < close && toks[i + 1].is_punct(":") {
+            let name = toks[i].text.clone();
+            let line = toks[i].line;
+            let mut j = i + 2;
+            let mut ty = Vec::new();
+            let mut depth = 0isize;
+            while j < close {
+                let t = &toks[j];
+                if depth == 0 && t.is_punct(",") {
+                    break;
+                }
+                if t.is_punct("<") || t.is_punct("(") || t.is_punct("[") {
+                    depth += 1;
+                } else if t.is_punct(">") || t.is_punct(")") || t.is_punct("]") {
+                    depth -= 1;
+                }
+                ty.push(t.text.clone());
+                j += 1;
+            }
+            fields.push(FieldDef {
+                name,
+                line,
+                ty: ty.join(" "),
+            });
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Finds `impl` blocks and their (trait, type) names.
+fn find_impls(toks: &[Token]) -> Vec<ImplBlock> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if j < toks.len() && toks[j].is_punct("<") {
+            j = skip_angles(toks, j);
+        }
+        // First path: the trait (if `for` follows) or the type.
+        let (first, mut j) = read_path_name(toks, j);
+        let (trait_name, type_name, body_open) = if j < toks.len() && toks[j].is_ident("for") {
+            let (second, k) = read_path_name(toks, j + 1);
+            j = k;
+            (first, second, find_body(toks, j))
+        } else {
+            (None, first, find_body(toks, j))
+        };
+        let Some(open) = body_open else {
+            i += 1;
+            continue;
+        };
+        if let Some(type_name) = type_name {
+            out.push(ImplBlock {
+                type_name,
+                trait_name,
+                body_open: open,
+                body_close: match_brace(toks, open),
+            });
+        }
+        i = open + 1; // impls never nest; fns inside are matched by span
+    }
+    out
+}
+
+/// Reads a type/trait path starting at `i`, returning its last ident
+/// segment (None for non-path types like tuples or references) and the
+/// index just past the path (generics consumed).
+fn read_path_name(toks: &[Token], mut i: usize) -> (Option<String>, usize) {
+    let mut last = None;
+    // Leading `&`/`&mut`/`dyn`.
+    while i < toks.len() && (toks[i].is_punct("&") || toks[i].is_ident("dyn") || toks[i].is_ident("mut")) {
+        i += 1;
+    }
+    loop {
+        if i < toks.len() && toks[i].kind == TokKind::Ident && !toks[i].is_ident("for") && !toks[i].is_ident("where") {
+            last = Some(toks[i].text.clone());
+            i += 1;
+            if i < toks.len() && toks[i].is_punct("::") {
+                i += 1;
+                continue;
+            }
+            if i < toks.len() && toks[i].is_punct("<") {
+                i = skip_angles(toks, i);
+            }
+        }
+        break;
+    }
+    (last, i)
+}
+
+/// Finds the body `{` from `i`, skipping a `where` clause.
+fn find_body(toks: &[Token], mut i: usize) -> Option<usize> {
+    let mut depth = 0isize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if depth == 0 && t.is_punct("{") {
+            return Some(i);
+        }
+        if depth == 0 && t.is_punct(";") {
+            return None;
+        }
+        if t.is_punct("<") || t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(">") || t.is_punct(")") {
+            depth -= 1;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Finds the body-opening `{` of the fn whose `fn` keyword is at `start`
+/// (mirrors the walk in [`crate::rules`]'s span finder).
+fn body_open_of(toks: &[Token], start: usize) -> Option<usize> {
+    let mut j = start + 2;
+    let mut paren = 0isize;
+    while j < toks.len() {
+        if toks[j].is_punct("(") {
+            paren += 1;
+        } else if toks[j].is_punct(")") {
+            paren -= 1;
+        } else if paren == 0 && toks[j].is_punct("{") {
+            return Some(j);
+        } else if paren == 0 && toks[j].is_punct(";") {
+            return None;
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Indexes one fn body: `.field` accesses (in order), struct literals,
+/// and string literals.
+fn index_body(
+    toks: &[Token],
+    open: usize,
+    close: usize,
+) -> (Vec<FieldAccess>, Vec<StructLiteral>, Vec<String>) {
+    let mut accesses = Vec::new();
+    let mut literals = Vec::new();
+    let mut strings = Vec::new();
+    let mut i = open;
+    while i <= close && i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Str {
+            strings.push(t.text.clone());
+            i += 1;
+            continue;
+        }
+        // `.ident` not followed by `(` is a field access; `.ident(` is a
+        // method call; `.0` is a Num token and never matches.
+        if t.is_punct(".") && i < close && toks[i + 1].kind == TokKind::Ident {
+            let next_is_call = i + 2 <= close && toks[i + 2].is_punct("(");
+            if !next_is_call {
+                accesses.push(FieldAccess {
+                    name: toks[i + 1].text.clone(),
+                    line: toks[i + 1].line,
+                });
+            }
+            i += 2;
+            continue;
+        }
+        // `CamelIdent {` starts a struct literal (keywords excluded; the
+        // CamelCase requirement keeps `match x {` arms and loop bodies
+        // out without a grammar).
+        if t.kind == TokKind::Ident
+            && !is_keyword(&t.text)
+            && t.text.chars().next().is_some_and(|c| c.is_uppercase())
+            && i < close
+            && toks[i + 1].is_punct("{")
+        {
+            let lit_close = match_brace(toks, i + 1);
+            literals.push(StructLiteral {
+                ty: t.text.clone(),
+                fields: literal_fields(toks, i + 1, lit_close),
+                line: t.line,
+            });
+            // Recurse into the literal body for nested accesses/strings.
+            let (mut a, mut l, mut s) = index_body(toks, i + 1, lit_close);
+            accesses.append(&mut a);
+            literals.append(&mut l);
+            strings.append(&mut s);
+            i = lit_close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    (accesses, literals, strings)
+}
+
+/// Extracts the field keys of one struct literal: at value depth the
+/// parser is in "expect key" state at the start and after each top-level
+/// `,`; a key is an ident followed by `:` (named) or by `,`/`}` (shorthand).
+fn literal_fields(toks: &[Token], open: usize, close: usize) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = open + 1;
+    let mut expect_key = true;
+    let mut depth = 0isize;
+    while i < close {
+        let t = &toks[i];
+        if t.is_punct("{") || t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("}") || t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct(",") {
+            expect_key = true;
+            i += 1;
+            continue;
+        } else if depth == 0 && expect_key {
+            if t.is_punct("..") {
+                break; // functional-update rest: no more keys
+            }
+            if t.kind == TokKind::Ident {
+                let named = i + 1 < close && toks[i + 1].is_punct(":");
+                let shorthand =
+                    i < close && (toks[i + 1].is_punct(",") || toks[i + 1].is_punct("}"));
+                if named || shorthand {
+                    fields.push(t.text.clone());
+                }
+            }
+            expect_key = false;
+        }
+        i += 1;
+    }
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn model(src: &str) -> FileModel {
+        let ctx = FileCtx::new("crates/engine/src/x.rs", "engine", Role::Lib, &lex(src));
+        build_file_model(&ctx)
+    }
+
+    #[test]
+    fn structs_with_named_fields_are_modelled() {
+        let m = model(
+            "pub struct Snap<P: Prog> {\n    /// doc\n    pub a: u64,\n    b: Vec<Option<P::D>>,\n}\nstruct Unit;\nstruct Tup(u32);",
+        );
+        assert_eq!(m.structs.len(), 1);
+        let s = &m.structs[0];
+        assert_eq!(s.name, "Snap");
+        let names: Vec<&str> = s.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(s.fields[0].line, 3);
+        assert!(s.fields[1].ty.contains("Vec"));
+    }
+
+    #[test]
+    fn enum_variants_are_not_structs() {
+        let m = model("enum E { V { x: u32 }, W }");
+        assert!(m.structs.is_empty());
+    }
+
+    #[test]
+    fn impl_blocks_attribute_fns() {
+        let m = model(
+            "impl<P: Prog> Wire for Snap<P> {\n fn encode(&self, out: &mut Vec<u8>) { self.a.encode(out); }\n fn decode(r: &mut R) -> X { Ok(Snap { a: u64::decode(r)?, b }) }\n}\nfn free() { x.y; }",
+        );
+        let enc = m.fns.iter().find(|f| f.name == "encode").expect("encode");
+        assert_eq!(enc.self_ty.as_deref(), Some("Snap"));
+        assert_eq!(enc.trait_name.as_deref(), Some("Wire"));
+        assert_eq!(enc.accesses.len(), 1);
+        assert_eq!(enc.accesses[0].name, "a");
+        let dec = m.fns.iter().find(|f| f.name == "decode").expect("decode");
+        assert_eq!(dec.literals.len(), 1);
+        assert_eq!(dec.literals[0].ty, "Snap");
+        assert_eq!(dec.literals[0].fields, vec!["a", "b"]);
+        let free = m.fns.iter().find(|f| f.name == "free").expect("free");
+        assert!(free.self_ty.is_none());
+        assert_eq!(free.accesses[0].name, "y");
+    }
+
+    #[test]
+    fn method_calls_are_not_field_accesses() {
+        let m = model("fn f(s: &S) { s.a.clone(); s.b(); s.c.d(); }");
+        let f = &m.fns[0];
+        let names: Vec<&str> = f.accesses.iter().map(|a| a.name.as_str()).collect();
+        // `a` and `c` are accesses; `b(` and `d(` are calls.
+        assert_eq!(names, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn shorthand_and_nested_literals() {
+        let m = model(
+            "fn f() -> S { let inner = T { q: 1 }; S { a, b: g(inner), ..Default::default() } }",
+        );
+        let f = &m.fns[0];
+        let tys: Vec<&str> = f.literals.iter().map(|l| l.ty.as_str()).collect();
+        assert!(tys.contains(&"S") && tys.contains(&"T"));
+        let s = f.literals.iter().find(|l| l.ty == "S").expect("S literal");
+        assert_eq!(s.fields, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn match_arms_are_not_struct_literals() {
+        let m = model("fn f(x: E) { match x { E::V { q } => q, _ => 0 }; }");
+        // `V {` is CamelCase and *is* collected (variant patterns share the
+        // literal grammar) but `match x {` is not.
+        assert!(m.fns[0].literals.iter().all(|l| l.ty != "match"));
+    }
+
+    #[test]
+    fn strings_and_in_test_marking() {
+        let m = model(
+            "fn f() { let s = \"label: value\"; }\n#[cfg(test)]\nmod t { fn g() { h(); } }",
+        );
+        assert!(m.fns.iter().find(|f| f.name == "f").expect("f").strings[0].contains("label"));
+        assert!(m.fns.iter().find(|f| f.name == "g").expect("g").in_test);
+    }
+
+    #[test]
+    fn access_seq_orders_and_filters() {
+        let m = model("fn enc(&self) { self.b.enc(); self.a.enc(); self.b.enc(); self.zz.enc(); }");
+        let fields = vec![
+            FieldDef { name: "a".into(), line: 1, ty: "u64".into() },
+            FieldDef { name: "b".into(), line: 2, ty: "u64".into() },
+        ];
+        assert_eq!(m.fns[0].access_seq(&fields), vec!["b".to_string(), "a".to_string()]);
+    }
+}

@@ -112,28 +112,47 @@ pub fn collect(
 /// `code_lines` must be the sorted list of lines containing code tokens
 /// (used to resolve which line a standalone pragma protects).
 pub fn suppress(findings: Vec<Finding>, pragmas: &[Pragma], code_lines: &[u32]) -> Vec<Finding> {
-    findings
+    suppress_tracked(findings, pragmas, code_lines).0
+}
+
+/// Like [`suppress`], but also reports which pragmas earned their keep:
+/// the second return value has one flag per pragma, true iff it
+/// suppressed at least one finding. Unused pragmas are the raw material
+/// of stale-pragma detection — a justification that outlives the code it
+/// excused is a standing invitation to reintroduce the bug silently.
+pub fn suppress_tracked(
+    findings: Vec<Finding>,
+    pragmas: &[Pragma],
+    code_lines: &[u32],
+) -> (Vec<Finding>, Vec<bool>) {
+    let mut used = vec![false; pragmas.len()];
+    let kept = findings
         .into_iter()
         .filter(|f| {
-            !pragmas.iter().any(|p| {
+            let mut suppressed = false;
+            for (i, p) in pragmas.iter().enumerate() {
                 if p.rule != f.rule {
-                    return false;
-                }
-                if p.file_wide {
-                    return true;
+                    continue;
                 }
                 // Line-scoped: the pragma's own line, or the next line
                 // holding any code token after it.
-                if f.line == p.line {
-                    return true;
+                let hits = p.file_wide
+                    || f.line == p.line
+                    || match code_lines.iter().find(|&&l| l > p.line) {
+                        Some(&next) => f.line == next,
+                        None => false,
+                    };
+                if hits {
+                    used[i] = true;
+                    suppressed = true;
+                    // Keep scanning: every pragma covering this finding
+                    // counts as used, not just the first.
                 }
-                match code_lines.iter().find(|&&l| l > p.line) {
-                    Some(&next) => f.line == next,
-                    None => false,
-                }
-            })
+            }
+            !suppressed
         })
-        .collect()
+        .collect();
+    (kept, used)
 }
 
 #[cfg(test)]
@@ -204,6 +223,23 @@ mod tests {
             message: "x".into(),
         }];
         assert!(suppress(findings, &pragmas, &[99]).is_empty());
+    }
+
+    #[test]
+    fn usage_tracking_flags_idle_pragmas() {
+        let src = "let x = y.unwrap(); // lazylint: allow(no-panic) -- used\n// lazylint: allow(unordered-iter) -- never fires\nlet z = 1;\n";
+        let toks = lex(src);
+        let (pragmas, _) = collect(&toks, "f.rs", RULES);
+        assert_eq!(pragmas.len(), 2);
+        let findings = vec![Finding {
+            rule: "no-panic",
+            file: "f.rs".into(),
+            line: 1,
+            message: "x".into(),
+        }];
+        let (kept, used) = suppress_tracked(findings, &pragmas, &[1, 3]);
+        assert!(kept.is_empty());
+        assert_eq!(used, vec![true, false]);
     }
 
     #[test]

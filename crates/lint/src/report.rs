@@ -2,6 +2,20 @@
 
 use std::fmt::Write as _;
 
+/// JSON report schema version. Bumped when the shape changes:
+/// 1 — `{count, findings}`; 2 — adds this `version` field (and the
+/// workspace rules L7–L9 plus the `stale-pragma` channel upstream).
+pub const REPORT_VERSION: u32 = 2;
+
+/// Sorts findings into the canonical deterministic order:
+/// `(file, line, rule, message)`. Every rendered report and every CI run
+/// goes through this, so textual diffs between runs are meaningful.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+}
+
 /// One rule violation at a source location.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
@@ -40,11 +54,13 @@ pub fn render_human(findings: &[Finding]) -> String {
 }
 
 /// Renders findings as a JSON document:
-/// `{"count": N, "findings": [{"rule": ..., "file": ..., "line": N,
-/// "message": ...}]}`. Hand-rolled (no serde in this container).
+/// `{"version": V, "count": N, "findings": [{"rule": ..., "file": ...,
+/// "line": N, "message": ...}]}`. Hand-rolled (no serde in this
+/// container).
 pub fn render_json(findings: &[Finding]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
+    let _ = writeln!(out, "  \"version\": {REPORT_VERSION},");
     let _ = writeln!(out, "  \"count\": {},", findings.len());
     out.push_str("  \"findings\": [");
     for (i, f) in findings.iter().enumerate() {
@@ -128,5 +144,30 @@ mod tests {
     fn empty_report() {
         assert!(render_human(&[]).contains("no findings"));
         assert!(render_json(&[]).contains("\"count\": 0"));
+    }
+
+    #[test]
+    fn json_carries_schema_version() {
+        let j = render_json(&sample());
+        assert!(j.contains(&format!("\"version\": {REPORT_VERSION}")));
+    }
+
+    #[test]
+    fn sort_is_total_including_message() {
+        let mk = |line: u32, rule: &'static str, msg: &str| Finding {
+            rule,
+            file: "a.rs".into(),
+            line,
+            message: msg.into(),
+        };
+        let mut v = vec![
+            mk(2, "no-panic", "zz"),
+            mk(2, "no-panic", "aa"),
+            mk(1, "pragma", "x"),
+        ];
+        sort_findings(&mut v);
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[1].message, "aa");
+        assert_eq!(v[2].message, "zz");
     }
 }

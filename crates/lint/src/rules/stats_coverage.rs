@@ -1,0 +1,220 @@
+//! L9 `stats-coverage`: every counter must survive aggregation and be
+//! observable in a labelled report.
+//!
+//! The paper's entire evaluation is two counted quantities (global syncs,
+//! Fig. 10; traffic, Fig. 11), and PR 4–6 added a dozen more operational
+//! counters (pool, wire, recovery). A counter that is recorded but
+//! dropped by `merge()` silently under-reports the cluster total; a
+//! counter that is merged but never printed with a label is invisible —
+//! both states look exactly like "the feature never fired". This rule
+//! pins three obligations onto the known counter structs:
+//!
+//! 1. `NetStats` — every field must be read by `snapshot()` (atomics →
+//!    value snapshot is the only way counters become reportable);
+//! 2. `StatsSnapshot` / `PhaseStats` / `SimBreakdown` — every field must
+//!    be accessed in the struct's `merge()` (element-wise aggregation
+//!    across workers);
+//! 3. the scalar counters of those snapshot structs must each have a
+//!    **labelled report path**: some non-test Lib/Bin function that both
+//!    reads `.field` and contains a string literal mentioning the field
+//!    name (`report_lines()` in `stats.rs`/`metrics.rs` is the canonical
+//!    provider).
+//!
+//! Findings anchor at the field declaration so an exemption pragma sits
+//! next to the field it justifies. Structs absent from the workspace are
+//! skipped, which lets fixtures exercise the rule with their own copies.
+
+use crate::files::Role;
+use crate::model::WorkspaceCtx;
+use crate::report::Finding;
+
+/// One monitored struct and the function that must cover its fields.
+struct Target {
+    /// Struct name.
+    strct: &'static str,
+    /// Required covering method (inherent, non-test).
+    cover_fn: &'static str,
+    /// What the covering method does, for messages.
+    verb: &'static str,
+    /// Whether scalar fields also need a labelled report path.
+    needs_label: bool,
+}
+
+const TARGETS: &[Target] = &[
+    Target {
+        strct: "NetStats",
+        cover_fn: "snapshot",
+        verb: "snapshotted",
+        needs_label: false,
+    },
+    Target {
+        strct: "StatsSnapshot",
+        cover_fn: "merge",
+        verb: "merged",
+        needs_label: true,
+    },
+    Target {
+        strct: "PhaseStats",
+        cover_fn: "merge",
+        verb: "merged",
+        needs_label: true,
+    },
+    Target {
+        strct: "SimBreakdown",
+        cover_fn: "merge",
+        verb: "merged",
+        needs_label: true,
+    },
+];
+
+/// Whether a field's type text denotes one scalar counter (the label
+/// obligation applies); aggregate fields like `per_phase: [PhaseStats; N]`
+/// are covered through their element struct instead.
+fn is_scalar_counter(ty: &str) -> bool {
+    matches!(
+        ty.split_whitespace().next().unwrap_or(""),
+        "u64" | "u32" | "usize" | "i64" | "f64" | "f32" | "AtomicU64" | "AtomicUsize"
+    )
+}
+
+/// Runs the rule over the workspace model.
+pub fn check(ws: &WorkspaceCtx) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for target in TARGETS {
+        let Some(def) = ws.struct_def(target.strct, None) else {
+            continue;
+        };
+        let in_lib = ws
+            .files
+            .iter()
+            .any(|f| f.path == def.file && matches!(f.role, Role::Lib));
+        if !in_lib {
+            continue;
+        }
+        let covers: Vec<_> = ws.impl_fns(target.strct, target.cover_fn).collect();
+        if covers.is_empty() {
+            out.push(Finding {
+                rule: "stats-coverage",
+                file: def.file.clone(),
+                line: def.line,
+                message: format!(
+                    "counter struct `{}` has no `{}()` — per-worker values cannot be {} \
+                     into a cluster total",
+                    target.strct, target.cover_fn, target.verb
+                ),
+            });
+            continue;
+        }
+        for field in &def.fields {
+            if !covers.iter().any(|f| f.accesses_field(&field.name)) {
+                out.push(Finding {
+                    rule: "stats-coverage",
+                    file: def.file.clone(),
+                    line: field.line,
+                    message: format!(
+                        "counter `{}.{}` is not {} in `{}()` — its value is silently \
+                         dropped on aggregation",
+                        target.strct, field.name, target.verb, target.cover_fn
+                    ),
+                });
+            }
+            if target.needs_label && is_scalar_counter(&field.ty) && !has_labelled_report(ws, &field.name)
+            {
+                out.push(Finding {
+                    rule: "stats-coverage",
+                    file: def.file.clone(),
+                    line: field.line,
+                    message: format!(
+                        "counter `{}.{}` has no labelled report path — no non-test function \
+                         both reads `.{}` and prints a label containing \"{}\", so the \
+                         counter is invisible in every report",
+                        target.strct, field.name, field.name, field.name
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Whether some non-test Lib/Bin function both accesses `.field` and has
+/// a string literal containing the field name.
+fn has_labelled_report(ws: &WorkspaceCtx, field: &str) -> bool {
+    ws.files
+        .iter()
+        .filter(|f| matches!(f.role, Role::Lib | Role::Bin))
+        .flat_map(|f| f.fns.iter())
+        .any(|f| !f.in_test && f.accesses_field(field) && f.has_label(field))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::model::build_file_model;
+    use crate::rules::FileCtx;
+
+    fn ws(files: &[(&str, &str)]) -> WorkspaceCtx {
+        let mut w = WorkspaceCtx::default();
+        for (path, src) in files {
+            let (krate, role) = crate::files::classify(path).expect("classifiable path");
+            let ctx = FileCtx::new(path, &krate, role, &lex(src));
+            w.files.push(build_file_model(&ctx));
+        }
+        w
+    }
+
+    const COVERED: &str = "pub struct SimBreakdown {\n pub compute: f64,\n pub comm: f64,\n}\nimpl SimBreakdown {\n pub fn merge(&mut self, o: &Self) { self.compute += o.compute; self.comm += o.comm; }\n pub fn report_lines(&self) -> Vec<String> { vec![format!(\"compute {}\", self.compute), format!(\"comm {}\", self.comm)] }\n}";
+
+    #[test]
+    fn covered_struct_is_clean() {
+        assert!(check(&ws(&[("crates/engine/src/metrics.rs", COVERED)])).is_empty());
+    }
+
+    #[test]
+    fn unmerged_counter_fires_at_field_line() {
+        let src = "pub struct SimBreakdown {\n pub compute: f64,\n pub comm: f64,\n}\nimpl SimBreakdown {\n pub fn merge(&mut self, o: &Self) { self.compute += o.compute; }\n pub fn report_lines(&self) -> Vec<String> { vec![format!(\"compute {}\", self.compute), format!(\"comm {}\", self.comm)] }\n}";
+        let f = check(&ws(&[("crates/engine/src/metrics.rs", src)]));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("`SimBreakdown.comm` is not merged"));
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn missing_merge_fires_on_the_struct() {
+        let src = "pub struct SimBreakdown {\n pub compute: f64,\n}";
+        let f = check(&ws(&[("crates/engine/src/metrics.rs", src)]));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("has no `merge()`"));
+    }
+
+    #[test]
+    fn unlabelled_counter_fires() {
+        let src = "pub struct SimBreakdown {\n pub compute: f64,\n}\nimpl SimBreakdown {\n pub fn merge(&mut self, o: &Self) { self.compute += o.compute; }\n}";
+        let f = check(&ws(&[("crates/engine/src/metrics.rs", src)]));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("no labelled report path"));
+    }
+
+    #[test]
+    fn label_in_test_code_does_not_count() {
+        let src = "pub struct SimBreakdown {\n pub compute: f64,\n}\nimpl SimBreakdown {\n pub fn merge(&mut self, o: &Self) { self.compute += o.compute; }\n}\n#[cfg(test)]\nmod t { fn p(s: &SimBreakdown) { println!(\"compute {}\", s.compute); } }";
+        let f = check(&ws(&[("crates/engine/src/metrics.rs", src)]));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("no labelled report path"));
+    }
+
+    #[test]
+    fn aggregate_fields_need_merge_but_not_label() {
+        let src = "pub struct StatsSnapshot {\n pub per_phase: [PhaseStats; 5],\n pub syncs: u64,\n}\nimpl StatsSnapshot {\n pub fn merge(&mut self, o: &Self) { self.per_phase.merge_with(o); self.syncs += o.syncs; }\n pub fn report_lines(&self) -> Vec<String> { vec![format!(\"syncs {}\", self.syncs)] }\n}";
+        assert!(check(&ws(&[("crates/cluster/src/stats.rs", src)])).is_empty());
+    }
+
+    #[test]
+    fn netstats_fields_must_reach_snapshot() {
+        let src = "pub struct NetStats {\n pub a: AtomicU64,\n pub b: AtomicU64,\n}\nimpl NetStats {\n pub fn snapshot(&self) -> u64 { self.a.load(Ordering::Relaxed) }\n}";
+        let f = check(&ws(&[("crates/cluster/src/stats.rs", src)]));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("`NetStats.b` is not snapshotted"));
+    }
+}

@@ -1,0 +1,224 @@
+//! L8 `wire-symmetry`: every `Wire` impl must encode and decode the same
+//! fields, in the same order, the same number of times.
+//!
+//! The wire codec (DESIGN.md §10) has no self-description: `decode` is
+//! correct only because it replays `encode`'s field walk byte-for-byte.
+//! A field encoded but not decoded shears the frame; a reordered pair
+//! swaps values silently when the types happen to line up. Both bug
+//! classes survive unit tests that round-trip default values — which is
+//! why this rule compares the *sequences* statically.
+//!
+//! Mechanics: phase 2 pairs each `fn encode`/`fn decode` under an
+//! `impl Wire for T` with T's struct declaration (same file first, then
+//! unique in the workspace). The encode sequence is the
+//! first-occurrence order of `self.field` accesses restricted to T's
+//! fields; the decode sequence is the key order of the `T { … }` struct
+//! literal(s) the decode body builds. Impls over enums, primitives,
+//! tuples, or macro-generated `$t` have no named-field declaration and
+//! are skipped — the rule covers exactly the hand-written struct codecs
+//! where asymmetry bites. Only the first divergence per impl is
+//! reported (everything after a shear point is noise). A field in the
+//! declaration but in *neither* body is reported at the field's own
+//! declaration line, where a pragma can justify it.
+
+use crate::files::Role;
+use crate::model::{FileModel, FnModel, StructDef, WorkspaceCtx};
+use crate::report::Finding;
+
+/// Runs the rule over the workspace model.
+pub fn check(ws: &WorkspaceCtx) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if !matches!(file.role, Role::Lib | Role::Bin) {
+            continue;
+        }
+        // Collect the (type → encode/decode) pairs declared in this file.
+        let mut seen: Vec<&str> = Vec::new();
+        for f in &file.fns {
+            if f.in_test || f.trait_name.as_deref() != Some("Wire") {
+                continue;
+            }
+            let Some(ty) = f.self_ty.as_deref() else { continue };
+            if seen.contains(&ty) {
+                continue;
+            }
+            seen.push(ty);
+            let enc = wire_fn(file, ty, "encode");
+            let dec = wire_fn(file, ty, "decode");
+            let (Some(enc), Some(dec)) = (enc, dec) else {
+                continue; // half an impl won't compile; nothing to compare
+            };
+            let Some(def) = ws.struct_def(ty, Some(&file.path)) else {
+                continue; // enum / primitive / tuple / macro impl
+            };
+            if def.fields.is_empty() {
+                continue;
+            }
+            check_impl(def, enc, dec, &mut out);
+        }
+    }
+    out
+}
+
+/// The non-test `Wire` method `name` on `ty` declared in `file`.
+fn wire_fn<'a>(file: &'a FileModel, ty: &str, name: &str) -> Option<&'a FnModel> {
+    file.fns.iter().find(|f| {
+        !f.in_test
+            && f.name == name
+            && f.trait_name.as_deref() == Some("Wire")
+            && f.self_ty.as_deref() == Some(ty)
+    })
+}
+
+/// Compares one impl's encode/decode sequences against the declaration.
+fn check_impl(def: &StructDef, enc: &FnModel, dec: &FnModel, out: &mut Vec<Finding>) {
+    let enc_seq = enc.access_seq(&def.fields);
+    let dec_seq: Vec<String> = {
+        let mut seq = Vec::new();
+        for lit in dec.literals.iter().filter(|l| l.ty == def.name) {
+            for key in &lit.fields {
+                if def.has_field(key) && !seq.contains(key) {
+                    seq.push(key.clone());
+                }
+            }
+        }
+        seq
+    };
+    if enc_seq.is_empty() && dec_seq.is_empty() {
+        // Opaque codec (delegates to helpers): nothing to compare.
+        return;
+    }
+    // First divergence between the walks (only the first is reported —
+    // everything after a shear point is noise).
+    for i in 0..enc_seq.len().max(dec_seq.len()) {
+        let msg = match (enc_seq.get(i), dec_seq.get(i)) {
+            (Some(e), Some(d)) if e == d => continue,
+            (Some(e), Some(d)) => format!(
+                "`{}` encode/decode walks diverge at position {}: encode visits `{}` \
+                 where decode expects `{}` — the frame shears here",
+                def.name, i, e, d
+            ),
+            (Some(e), None) => format!(
+                "`{}` field `{}` is encoded but never decoded — every field after \
+                 it deserializes from the wrong bytes",
+                def.name, e
+            ),
+            (None, Some(d)) => format!(
+                "`{}` field `{}` is decoded but never encoded — decode reads past \
+                 the frame",
+                def.name, d
+            ),
+            // Unreachable (i < max of the lengths), but degrade quietly.
+            (None, None) => continue,
+        };
+        out.push(finding(enc, msg));
+        return;
+    }
+    // The walks agree; flag declaration fields that never cross the wire.
+    for field in &def.fields {
+        if !enc_seq.contains(&field.name) {
+            out.push(Finding {
+                rule: "wire-symmetry",
+                file: def.file.clone(),
+                line: field.line,
+                message: format!(
+                    "field `{}` of `{}` never crosses the wire (absent from both encode \
+                     and decode) — serialize it or justify the exemption with a pragma \
+                     on this declaration",
+                    field.name, def.name
+                ),
+            });
+        }
+    }
+}
+
+/// A finding anchored at the encode fn (where the walk is defined).
+fn finding(enc: &FnModel, message: String) -> Finding {
+    Finding {
+        rule: "wire-symmetry",
+        file: enc.file.clone(),
+        line: enc.line,
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::model::build_file_model;
+    use crate::rules::FileCtx;
+
+    fn ws(files: &[(&str, &str)]) -> WorkspaceCtx {
+        let mut w = WorkspaceCtx::default();
+        for (path, src) in files {
+            let (krate, role) = crate::files::classify(path).expect("classifiable path");
+            let ctx = FileCtx::new(path, &krate, role, &lex(src));
+            w.files.push(build_file_model(&ctx));
+        }
+        w
+    }
+
+    fn codec(encode_body: &str, decode_expr: &str) -> String {
+        format!(
+            "pub struct Pair {{\n pub a: u32,\n pub b: u64,\n}}\nimpl Wire for Pair {{\n fn encode(&self, out: &mut Vec<u8>) {{ {encode_body} }}\n fn decode(r: &mut WireReader) -> Result<Self, NetError> {{ Ok({decode_expr}) }}\n}}"
+        )
+    }
+
+    #[test]
+    fn symmetric_impl_is_clean() {
+        let src = codec(
+            "self.a.encode(out); self.b.encode(out);",
+            "Pair { a: u32::decode(r)?, b: u64::decode(r)? }",
+        );
+        assert!(check(&ws(&[("crates/net/src/wire.rs", &src)])).is_empty());
+    }
+
+    #[test]
+    fn encoded_but_not_decoded_fires_once() {
+        let src = codec("self.a.encode(out); self.b.encode(out);", "Pair { a: u32::decode(r)? }");
+        let f = check(&ws(&[("crates/net/src/wire.rs", &src)]));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("`b` is encoded but never decoded"));
+    }
+
+    #[test]
+    fn reorder_reports_the_shear_point_only() {
+        let src = codec(
+            "self.b.encode(out); self.a.encode(out);",
+            "Pair { a: u32::decode(r)?, b: u64::decode(r)? }",
+        );
+        let f = check(&ws(&[("crates/net/src/wire.rs", &src)]));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("diverge at position 0"));
+    }
+
+    #[test]
+    fn never_wired_field_is_anchored_at_declaration() {
+        let src = codec("self.a.encode(out);", "Pair { a: u32::decode(r)? }");
+        let f = check(&ws(&[("crates/net/src/wire.rs", &src)]));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("never crosses the wire"));
+        assert_eq!(f[0].line, 3); // `pub b: u64,`
+    }
+
+    #[test]
+    fn enum_impls_are_skipped() {
+        let src = "enum Msg { A, B }\nimpl Wire for Msg {\n fn encode(&self, out: &mut Vec<u8>) { match self { Msg::A => 0u8.encode(out), Msg::B => 1u8.encode(out) }; }\n fn decode(r: &mut WireReader) -> Result<Self, NetError> { Ok(Msg::A) }\n}";
+        assert!(check(&ws(&[("crates/net/src/wire.rs", src)])).is_empty());
+    }
+
+    #[test]
+    fn cross_file_struct_resolution() {
+        let def = "pub struct Job {\n pub x: u32,\n}";
+        let imp = "impl Wire for Job {\n fn encode(&self, out: &mut Vec<u8>) { self.x.encode(out); }\n fn decode(r: &mut WireReader) -> Result<Self, NetError> { Ok(Job { x: u32::decode(r)? }) }\n}";
+        let w = ws(&[("crates/net/src/lib.rs", def), ("crates/net/src/wire.rs", imp)]);
+        assert!(check(&w).is_empty());
+    }
+
+    #[test]
+    fn nested_literals_of_other_types_are_ignored() {
+        let src = "pub struct Pair {\n pub a: u32,\n}\nimpl Wire for Pair {\n fn encode(&self, out: &mut Vec<u8>) { self.a.encode(out); }\n fn decode(r: &mut WireReader) -> Result<Self, NetError> { let e = NetError::BadTag { got: 9 }; Ok(Pair { a: u32::decode(r)? }) }\n}";
+        assert!(check(&ws(&[("crates/net/src/wire.rs", src)])).is_empty());
+    }
+}

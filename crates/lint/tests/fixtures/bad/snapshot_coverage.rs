@@ -1,0 +1,29 @@
+//! lazylint-fixture: path=crates/engine/src/fixture.rs
+//! L7 must fire: engine-state fields missing from the snapshot paths.
+//! `active` is captured but never restored (one finding); `queue` is in
+//! neither path (two findings, one per direction). Findings anchor at
+//! the field declaration, where an exemption pragma would go.
+
+pub struct MachineState<P> {
+    pub vdata: Vec<P>,
+    pub active: Vec<bool>, //~ snapshot-coverage
+    pub queue: Vec<u32>, //~ snapshot-coverage snapshot-coverage
+}
+
+pub struct EngineSnapshot<P> {
+    pub vdata: Vec<P>,
+    pub active: Vec<bool>,
+}
+
+impl<P: Clone> EngineSnapshot<P> {
+    pub fn capture(state: &MachineState<P>) -> Self {
+        EngineSnapshot {
+            vdata: state.vdata.clone(),
+            active: state.active.clone(),
+        }
+    }
+
+    pub fn restore_into(&self, state: &mut MachineState<P>) {
+        state.vdata = self.vdata.clone();
+    }
+}

@@ -1,0 +1,28 @@
+//! lazylint-fixture: path=crates/cluster/src/fixture.rs
+//! L9 must fire three ways: a counter dropped by `merge()`, a counter
+//! merged but invisible in every labelled report, and a counter struct
+//! with no `merge()` at all (struct-level finding).
+
+pub struct StatsSnapshot {
+    pub syncs: u64,
+    pub dropped: u64, //~ stats-coverage
+    pub hidden: u64, //~ stats-coverage
+}
+
+impl StatsSnapshot {
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        self.syncs += other.syncs;
+        self.hidden += other.hidden;
+    }
+
+    pub fn report_lines(&self) -> Vec<String> {
+        vec![
+            format!("syncs={}", self.syncs),
+            format!("dropped={}", self.dropped),
+        ]
+    }
+}
+
+pub struct PhaseStats { //~ stats-coverage
+    pub items: u64,
+}

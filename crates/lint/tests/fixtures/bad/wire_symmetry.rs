@@ -1,0 +1,55 @@
+//! lazylint-fixture: path=crates/net/src/fixture.rs
+//! L8 must fire three ways: a field encoded but not decoded (frame
+//! shear), an encode/decode order swap, and a declared field that never
+//! crosses the wire at all. Shear findings anchor at the encode fn;
+//! never-wired fields anchor at their declaration.
+
+pub struct Torn {
+    pub a: u32,
+    pub b: u64,
+}
+
+impl Wire for Torn {
+    fn encode(&self, out: &mut Vec<u8>) { //~ wire-symmetry
+        self.a.encode(out);
+        self.b.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        Ok(Torn { a: u32::decode(r)? })
+    }
+}
+
+pub struct Swapped {
+    pub x: u32,
+    pub y: u32,
+}
+
+impl Wire for Swapped {
+    fn encode(&self, out: &mut Vec<u8>) { //~ wire-symmetry
+        self.y.encode(out);
+        self.x.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        Ok(Swapped {
+            x: u32::decode(r)?,
+            y: u32::decode(r)?,
+        })
+    }
+}
+
+pub struct Forgotten {
+    pub keep: u32,
+    pub lost: u64, //~ wire-symmetry
+}
+
+impl Wire for Forgotten {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.keep.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        Ok(Forgotten {
+            keep: u32::decode(r)?,
+            ..Default::default()
+        })
+    }
+}

@@ -1,0 +1,30 @@
+//! lazylint-fixture: path=crates/engine/src/fixture.rs
+//! L7 must stay silent: every live field is captured and restored, and
+//! the derivable scratch pool is exempted with a justified pragma on its
+//! declaration line.
+
+pub struct MachineState<P> {
+    pub vdata: Vec<P>,
+    pub queue: Vec<u32>,
+    // lazylint: allow(snapshot-coverage) -- capacity-only pool, always written before read; recovery regrows it from empty
+    pub scratch: Vec<Vec<u32>>,
+}
+
+pub struct EngineSnapshot<P> {
+    pub vdata: Vec<P>,
+    pub queue: Vec<u32>,
+}
+
+impl<P: Clone> EngineSnapshot<P> {
+    pub fn capture(state: &MachineState<P>) -> Self {
+        EngineSnapshot {
+            vdata: state.vdata.clone(),
+            queue: state.queue.clone(),
+        }
+    }
+
+    pub fn restore_into(&self, state: &mut MachineState<P>) {
+        state.vdata = self.vdata.clone();
+        state.queue = self.queue.clone();
+    }
+}

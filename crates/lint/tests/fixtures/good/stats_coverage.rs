@@ -1,0 +1,36 @@
+//! lazylint-fixture: path=crates/cluster/src/fixture.rs
+//! L9 must stay silent: every counter survives `merge()` and every
+//! scalar has a labelled report line; the aggregate field is covered by
+//! merging without needing its own label.
+
+pub struct PhaseStats {
+    pub items: u64,
+}
+
+impl PhaseStats {
+    pub fn merge(&mut self, other: &PhaseStats) {
+        self.items += other.items;
+    }
+
+    pub fn report_line(&self) -> String {
+        format!("items={}", self.items)
+    }
+}
+
+pub struct StatsSnapshot {
+    pub per_phase: [PhaseStats; 4],
+    pub syncs: u64,
+}
+
+impl StatsSnapshot {
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        for (a, b) in self.per_phase.iter_mut().zip(other.per_phase.iter()) {
+            a.merge(b);
+        }
+        self.syncs += other.syncs;
+    }
+
+    pub fn report_lines(&self) -> Vec<String> {
+        vec![format!("syncs={}", self.syncs)]
+    }
+}

@@ -1,0 +1,45 @@
+//! lazylint-fixture: path=crates/net/src/fixture.rs
+//! L8 must stay silent: a symmetric struct codec, an enum codec (no
+//! named-field declaration — out of scope by construction), and a
+//! pragma-justified field that deliberately never ships.
+
+pub struct Frame {
+    pub tag: u8,
+    pub len: u32,
+    // lazylint: allow(wire-symmetry) -- derived from `len` at connect time, never shipped
+    pub cached_crc: u64,
+}
+
+impl Wire for Frame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.tag.encode(out);
+        self.len.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        Ok(Frame {
+            tag: u8::decode(r)?,
+            len: u32::decode(r)?,
+            ..Default::default()
+        })
+    }
+}
+
+pub enum Ctl {
+    Ping,
+    Pong,
+}
+
+impl Wire for Ctl {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Ctl::Ping => 0u8.encode(out),
+            Ctl::Pong => 1u8.encode(out),
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        match u8::decode(r)? {
+            0 => Ok(Ctl::Ping),
+            _ => Ok(Ctl::Pong),
+        }
+    }
+}

@@ -1,16 +1,22 @@
 //! Self-check: the workspace this crate lives in must be lint-clean.
-//! This is the same gate CI runs via `lazygraph-lint --deny-all`,
-//! expressed as a test so `cargo test` alone catches regressions.
+//! This is the same gate CI runs via `lazygraph-lint --deny-all` plus
+//! `--stale-pragmas`, expressed as a test so `cargo test` alone catches
+//! regressions.
 
 use std::path::Path;
 
 #[test]
 fn workspace_is_lint_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let findings = lazygraph_lint::analyze_workspace(&root);
+    let analysis = lazygraph_lint::analyze_workspace_full(&root);
     assert!(
-        findings.is_empty(),
+        analysis.findings.is_empty(),
         "the workspace must satisfy its own determinism contract; findings:\n{}",
-        lazygraph_lint::render_human(&findings)
+        lazygraph_lint::render_human(&analysis.findings)
+    );
+    assert!(
+        analysis.stale_pragmas.is_empty(),
+        "every in-tree pragma must still be earning its keep; stale:\n{}",
+        lazygraph_lint::render_human(&analysis.stale_pragmas)
     );
 }
