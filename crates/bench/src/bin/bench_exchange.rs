@@ -49,6 +49,9 @@ struct Cell {
     bytes_saved: u64,
     pool_hits: u64,
     pool_misses: u64,
+    zero_copy_frames: u64,
+    fold_runs: u64,
+    adaptive_part_items: u64,
 }
 
 impl Cell {
@@ -75,6 +78,25 @@ struct Equivalence {
 
 const MACHINES: usize = 4;
 
+/// Short git revision of the tree that produced the baseline, so a diff
+/// of two JSON files names the commits it compares. "unknown" outside a
+/// git checkout (e.g. a source tarball).
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
 /// One serialized-vs-pipelined comparison cell (always framed TCP).
 struct PipelineCell {
     engine: &'static str,
@@ -86,6 +108,10 @@ struct PipelineCell {
     overlap_ms: f64,
     send_wait_ms: f64,
     drain_batches_early: u64,
+    /// High-water part size the adaptive controller reached (0 when the
+    /// engine does not adapt).
+    adaptive_part_items: u64,
+    zero_copy_frames: u64,
     bitwise_identical: bool,
 }
 
@@ -164,6 +190,9 @@ fn cell<P: VertexProgram>(
         bytes_saved: m.stats.bytes_saved,
         pool_hits: m.stats.pool_hits,
         pool_misses: m.stats.pool_misses,
+        zero_copy_frames: m.stats.zero_copy_frames,
+        fold_runs: m.stats.fold_runs,
+        adaptive_part_items: m.stats.adaptive_part_items,
     }
 }
 
@@ -200,6 +229,8 @@ fn emit_json(quick: bool, scales: &[u32], cells: &[Cell], equiv: &[Equivalence])
     let _ = writeln!(s, "  \"bench\": \"exchange\",");
     let _ = writeln!(s, "  \"machines\": {MACHINES},");
     let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(s, "  \"host_parallelism\": {},", host_parallelism());
+    let _ = writeln!(s, "  \"git_rev\": \"{}\",", git_rev());
     let _ = writeln!(
         s,
         "  \"rmat_scales\": [{}],",
@@ -218,6 +249,7 @@ fn emit_json(quick: bool, scales: &[u32], cells: &[Cell], equiv: &[Equivalence])
              \"vertices\": {}, \"edges\": {}, \"wall_ms\": {:.3}, \"sim_time\": {:.9}, \
              \"est_bytes\": {}, \"wire_bytes\": {}, \"wire_items\": {}, \"items_combined\": {}, \
              \"bytes_saved\": {}, \"pool_hits\": {}, \"pool_misses\": {}, \
+             \"zero_copy_frames\": {}, \"fold_runs\": {}, \"adaptive_part_items\": {}, \
              \"combined_frac\": {:.4}}}{}",
             c.engine,
             c.algorithm,
@@ -234,6 +266,9 @@ fn emit_json(quick: bool, scales: &[u32], cells: &[Cell], equiv: &[Equivalence])
             c.bytes_saved,
             c.pool_hits,
             c.pool_misses,
+            c.zero_copy_frames,
+            c.fold_runs,
+            c.adaptive_part_items,
             c.combined_frac(),
             if i + 1 == cells.len() { "" } else { "," }
         );
@@ -281,6 +316,8 @@ fn pipeline_cell<P: VertexProgram>(
     let mut overlap_ms = 0.0;
     let mut send_wait_ms = 0.0;
     let mut drain_early = 0u64;
+    let mut adaptive_part_items = 0u64;
+    let mut zero_copy_frames = 0u64;
     let mut serial_values = String::new();
     let mut piped_values = String::new();
     for _ in 0..reps {
@@ -297,6 +334,8 @@ fn pipeline_cell<P: VertexProgram>(
             overlap_ms = r.metrics.breakdown.overlap_ms;
             send_wait_ms = r.metrics.breakdown.send_wait_ms;
             drain_early = r.metrics.stats.drain_batches_early;
+            adaptive_part_items = r.metrics.stats.adaptive_part_items;
+            zero_copy_frames = r.metrics.stats.zero_copy_frames;
         }
         piped_values = format!("{:?}", r.values);
     }
@@ -330,11 +369,19 @@ fn pipeline_cell<P: VertexProgram>(
         overlap_ms,
         send_wait_ms,
         drain_batches_early: drain_early,
+        adaptive_part_items,
+        zero_copy_frames,
         bitwise_identical: identical,
     }
 }
 
-fn emit_pipeline_json(quick: bool, host_parallelism: usize, scales: &[u32], cells: &[PipelineCell]) -> String {
+fn emit_pipeline_json(
+    quick: bool,
+    host_parallelism: usize,
+    pinned: bool,
+    scales: &[u32],
+    cells: &[PipelineCell],
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"bench\": \"pipeline\",");
@@ -342,6 +389,8 @@ fn emit_pipeline_json(quick: bool, host_parallelism: usize, scales: &[u32], cell
     let _ = writeln!(s, "  \"transport\": \"tcp\",");
     let _ = writeln!(s, "  \"quick\": {quick},");
     let _ = writeln!(s, "  \"host_parallelism\": {host_parallelism},");
+    let _ = writeln!(s, "  \"pinned\": {pinned},");
+    let _ = writeln!(s, "  \"git_rev\": \"{}\",", git_rev());
     let _ = writeln!(
         s,
         "  \"rmat_scales\": [{}],",
@@ -358,7 +407,8 @@ fn emit_pipeline_json(quick: bool, host_parallelism: usize, scales: &[u32], cell
             "    {{\"engine\": \"{}\", \"algorithm\": \"{}\", \"rmat_scale\": {}, \
              \"reps\": {}, \"serial_wall_ms\": {:.3}, \"piped_wall_ms\": {:.3}, \
              \"speedup\": {:.4}, \"overlap_ms\": {:.3}, \"send_wait_ms\": {:.3}, \
-             \"drain_batches_early\": {}, \"bitwise_identical\": {}}}{}",
+             \"drain_batches_early\": {}, \"adaptive_part_items\": {}, \
+             \"zero_copy_frames\": {}, \"bitwise_identical\": {}}}{}",
             c.engine,
             c.algorithm,
             c.rmat_scale,
@@ -369,6 +419,8 @@ fn emit_pipeline_json(quick: bool, host_parallelism: usize, scales: &[u32], cell
             c.overlap_ms,
             c.send_wait_ms,
             c.drain_batches_early,
+            c.adaptive_part_items,
+            c.zero_copy_frames,
             c.bitwise_identical,
             if i + 1 == cells.len() { "" } else { "," }
         );
@@ -379,16 +431,27 @@ fn emit_pipeline_json(quick: bool, host_parallelism: usize, scales: &[u32], cell
 }
 
 /// The `--pipeline-compare` mode: serialized vs pipelined over framed TCP.
-fn run_pipeline_compare(quick: bool, out: &str) {
+fn run_pipeline_compare(quick: bool, pin: bool, out: &str) {
     // Scales start where streaming matters: a destination's outbox only
-    // crosses PIPELINE_PART_ITEMS once per-machine replica counts beat
-    // the part threshold, which needs rmat ≥ ~13 at 4 machines.
+    // crosses the part threshold once per-machine replica counts beat
+    // it, which needs rmat ≥ ~13 at 4 machines.
     let scales: Vec<u32> = if quick { vec![8] } else { vec![13, 14] };
     let reps = if quick { 1 } else { 3 };
-    let host_parallelism = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host_parallelism = host_parallelism();
+    // With ≥2 cores the wall-clock bar is owed un-waived, so stabilise the
+    // race: pin each simulated machine thread to its own core
+    // (machine i → core i mod ncores), removing scheduler migration noise
+    // from the serialized-vs-pipelined comparison. Explicit `--pin` forces
+    // it; single-core hosts skip it (pinning everything to core 0 is a
+    // no-op).
+    let pinned = pin || host_parallelism >= 2;
+    if pinned {
+        std::env::set_var(lazygraph_cluster::runtime::PIN_CORES_ENV, "1");
+    }
     eprintln!(
         "pipeline bench: {MACHINES} machines over tcp, rmat scales {scales:?}, {reps} reps, \
-         {host_parallelism} host cores{}",
+         {host_parallelism} host cores{}{}",
+        if pinned { ", pinned" } else { "" },
         if quick { " (quick)" } else { "" }
     );
     let mut cells = Vec::new();
@@ -446,7 +509,7 @@ fn run_pipeline_compare(quick: bool, out: &str) {
             );
         }
     }
-    let json = emit_pipeline_json(quick, host_parallelism, &scales, &cells);
+    let json = emit_pipeline_json(quick, host_parallelism, pinned, &scales, &cells);
     std::fs::write(out, &json).expect("write bench json");
     eprintln!("wrote {out}");
 }
@@ -454,19 +517,23 @@ fn run_pipeline_compare(quick: bool, out: &str) {
 fn main() {
     let mut quick = false;
     let mut pipeline_compare = false;
+    let mut pin = false;
     let mut out: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--pipeline-compare" => pipeline_compare = true,
+            "--pin" => pin = true,
             "--out" => out = Some(it.next().expect("--out needs a path")),
-            other => panic!("unknown argument {other}; known: --quick --pipeline-compare --out"),
+            other => {
+                panic!("unknown argument {other}; known: --quick --pipeline-compare --pin --out")
+            }
         }
     }
     if pipeline_compare {
         let out = out.unwrap_or_else(|| "BENCH_pipeline.json".to_string());
-        return run_pipeline_compare(quick, &out);
+        return run_pipeline_compare(quick, pin, &out);
     }
     let out = out.unwrap_or_else(|| "BENCH_exchange.json".to_string());
     let scales: Vec<u32> = if quick { vec![8] } else { vec![10, 12] };

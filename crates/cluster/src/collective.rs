@@ -168,12 +168,16 @@ impl Collective {
                     let v = if machine == me {
                         val.clone()
                     } else {
-                        let b = batches
+                        let mut b = batches
                             .next()
                             .ok_or(CommError::CollectiveSlotEmpty { machine })?;
                         if b.from != machine {
                             return Err(CommError::CollectiveSlotEmpty { machine });
                         }
+                        // Zero-copy TCP batches arrive still-encoded; the
+                        // collective is cold-path, so materializing here
+                        // (a byte copy) is the right trade.
+                        b.make_items().map_err(|e| CommError::transport(me, &e))?;
                         let v = T::from_wire(&b.items)
                             .map_err(|e| CommError::transport(me, &e))?;
                         ep.recycle(b);

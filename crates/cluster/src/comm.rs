@@ -8,6 +8,7 @@
 use std::collections::VecDeque;
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use lazygraph_net::{NetError, Wire, WireReader};
 
 use crate::error::CommError;
 use crate::stats::{NetStats, Phase};
@@ -21,6 +22,23 @@ pub const ASYNC_ROUND: u64 = u64::MAX;
 /// peak capacity. Vectors beyond the cap are dropped and counted in
 /// `NetStats::pool_evictions`.
 pub const POOL_FREE_CAP: usize = 32;
+
+/// A still-encoded inbound payload: the frame bytes exactly as they left
+/// the socket, plus a cursor start. The zero-copy inbound path hands
+/// these to the engine, which decodes items straight out of `bytes`
+/// while routing them — no intermediate `Vec<T>` is ever built.
+#[derive(Debug)]
+pub struct RawBatch {
+    /// The whole Data-frame payload (header included, so the buffer can
+    /// go back to the frame reader's pool unchanged).
+    pub bytes: Vec<u8>,
+    /// Byte offset where the encoded items begin (just past the header
+    /// and the item count).
+    pub offset: usize,
+    /// Encoded items remaining from `offset` on. Consumers zero this
+    /// after the cursor pass so a batch is never decoded twice.
+    pub count: u32,
+}
 
 /// One batch of typed items from one machine to another.
 ///
@@ -41,8 +59,42 @@ pub struct Batch<T> {
     /// by exactly one final (possibly empty) batch, so the round stays
     /// self-delimiting without a separate control frame.
     pub last: bool,
-    /// Payload.
+    /// Payload. Empty when the batch arrived on the zero-copy wire path
+    /// (`raw` is `Some`); call [`Batch::make_items`] to materialize.
     pub items: Vec<T>,
+    /// Still-encoded payload from the zero-copy inbound wire path.
+    /// `None` for in-proc batches and for materialized ones. Exactly one
+    /// of `items` / `raw` carries the payload at any time.
+    pub raw: Option<RawBatch>,
+}
+
+impl<T> Batch<T> {
+    /// Items this batch carries, whether decoded or still on the wire.
+    pub fn item_count(&self) -> usize {
+        self.items.len() + self.raw.as_ref().map_or(0, |r| r.count as usize)
+    }
+}
+
+impl<T: Wire> Batch<T> {
+    /// Materializes a zero-copy payload into `items` — the escape hatch
+    /// for consumers that genuinely need a `Vec<T>` (collectives, the
+    /// naive oracle paths, tests). Hot paths decode the raw cursor in
+    /// place instead and never call this.
+    pub fn make_items(&mut self) -> Result<(), NetError> {
+        let Some(raw) = &mut self.raw else {
+            return Ok(());
+        };
+        let mut r = WireReader::new(&raw.bytes[raw.offset..]);
+        // Each encoded item is at least one byte, so this reserve is
+        // bounded by the frame size even if `count` is corrupt.
+        let cap = (raw.count as usize).min(raw.bytes.len() - raw.offset);
+        self.items.reserve(cap);
+        for _ in 0..raw.count {
+            self.items.push(T::decode(&mut r)?);
+        }
+        raw.count = 0;
+        Ok(())
+    }
 }
 
 /// Per-destination staging buffers for one machine's sends.
@@ -132,6 +184,10 @@ pub struct Endpoint<T> {
     ret_txs: Vec<Sender<Vec<T>>>,
     /// Vectors coming home from peers that finished consuming them.
     ret_rx: Receiver<Vec<T>>,
+    /// Return path for zero-copy frame buffers: recycled raw payloads go
+    /// back to the transport's reader proxies, which feed them to their
+    /// `FrameReader` pools. `None` on the in-proc mesh (no raw batches).
+    raw_ret: Option<Sender<Vec<u8>>>,
     /// Local free list of ready-to-reuse payload vectors, capped at
     /// [`POOL_FREE_CAP`] entries.
     free: Vec<Vec<T>>,
@@ -184,6 +240,7 @@ impl<T> Endpoint<T> {
             rx,
             ret_txs,
             ret_rx,
+            raw_ret: None,
             free: Vec::new(),
             pending_evictions: 0,
             next_round: 0,
@@ -200,6 +257,13 @@ impl<T> Endpoint<T> {
     /// `from_parts`, by the TCP backend).
     pub(crate) fn set_recovery(&mut self, r: std::sync::Arc<crate::recovery::RecoveryShared>) {
         self.recovery = Some(r);
+    }
+
+    /// Attaches the zero-copy buffer return channel (set once, right
+    /// after `from_parts`, by the TCP backend). Recycled raw payloads
+    /// flow back to the reader proxies' `FrameReader` pools through it.
+    pub(crate) fn set_raw_return(&mut self, tx: Sender<Vec<u8>>) {
+        self.raw_ret = Some(tx);
     }
 
     /// The recovery state, if this endpoint's transport has one.
@@ -286,6 +350,7 @@ impl<T> Drop for Endpoint<T> {
         }
         self.txs.clear();
         self.ret_txs.clear();
+        self.raw_ret = None;
         for h in self.flush_on_drop.drain(..) {
             let _ = h.join();
         }
@@ -352,7 +417,14 @@ impl<T: Send> Endpoint<T> {
     /// Returns a consumed batch's payload vector to its allocating
     /// machine's free list (or our own, for locally produced vectors).
     /// If the owner already left the mesh the capacity is simply dropped.
-    pub fn recycle(&mut self, batch: Batch<T>) {
+    /// Zero-copy frame buffers go back to the reader proxies instead, so
+    /// steady-state inbound decode allocates nothing per batch.
+    pub fn recycle(&mut self, mut batch: Batch<T>) {
+        if let Some(raw) = batch.raw.take() {
+            if let Some(tx) = &self.raw_ret {
+                let _ = tx.send(raw.bytes);
+            }
+        }
         self.recycle_vec(batch.from, batch.items);
     }
 
@@ -448,6 +520,7 @@ impl<T: Send> Endpoint<T> {
             round,
             last,
             items,
+            raw: None,
         };
         self.txs[dst].send(batch).map_err(|_| CommError::PeerDisconnected {
             from: self.me,
@@ -1105,6 +1178,47 @@ mod tests {
             })
             .unwrap();
         assert_eq!(timing.overlap_ms, 0.0);
+    }
+
+    #[test]
+    fn raw_batches_materialize_once_and_count_items() {
+        // A zero-copy batch: fake frame-header bytes, then three encoded
+        // items starting at `offset`, exactly as the TCP reader hands
+        // them off.
+        let mut bytes = vec![0xEE; 7];
+        let offset = bytes.len();
+        for v in [5u32, 6, 7] {
+            v.encode(&mut bytes);
+        }
+        let mut b = Batch::<u32> {
+            from: 1,
+            sent_at: 0.0,
+            round: 0,
+            last: true,
+            items: Vec::new(),
+            raw: Some(RawBatch { bytes, offset, count: 3 }),
+        };
+        assert_eq!(b.item_count(), 3);
+        b.make_items().unwrap();
+        assert_eq!(b.items, vec![5, 6, 7]);
+        assert_eq!(b.item_count(), 3, "materialized items replace the raw count");
+        b.make_items().unwrap(); // idempotent: the raw count was zeroed
+        assert_eq!(b.items, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn corrupt_raw_count_is_a_typed_error_not_a_panic() {
+        let mut bytes = Vec::new();
+        5u32.encode(&mut bytes);
+        let mut b = Batch::<u32> {
+            from: 0,
+            sent_at: 0.0,
+            round: 0,
+            last: true,
+            items: Vec::new(),
+            raw: Some(RawBatch { bytes, offset: 0, count: 9 }),
+        };
+        assert!(b.make_items().is_err());
     }
 
     #[test]

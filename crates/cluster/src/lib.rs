@@ -14,6 +14,7 @@ pub mod collective;
 pub mod comm;
 pub mod costmodel;
 pub mod error;
+pub mod pin;
 pub mod pool;
 pub mod recovery;
 pub mod runtime;
@@ -22,14 +23,16 @@ pub mod termination;
 pub mod transport;
 
 pub use collective::Collective;
-pub use comm::{build_mesh, Batch, Endpoint, OutboxSet, PipelineTiming};
+pub use comm::{build_mesh, Batch, Endpoint, OutboxSet, PipelineTiming, RawBatch};
 pub use costmodel::{CostModel, SimClock};
 pub use error::CommError;
+pub use pin::pin_current_thread;
 pub use pool::ThreadPool;
 pub use recovery::{failpoint_stream, failpoint_superstep, FailPoint, LinkStatus};
 pub use runtime::{run_machines, try_run_machines};
 pub use stats::{NetStats, Phase, PhaseStats, StatsSnapshot};
 pub use termination::Termination;
 pub use transport::{
-    build_endpoints, connect_tcp_endpoint, reconnect_tcp_endpoint, TransportKind,
+    build_endpoints, connect_tcp_endpoint, decode_batch, decode_batch_raw, encode_batch,
+    reconnect_tcp_endpoint, TransportKind,
 };

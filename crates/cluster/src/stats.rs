@@ -91,6 +91,9 @@ pub struct NetStats {
     reconnects: AtomicU64,
     snapshot_bytes: AtomicU64,
     replay_rounds: AtomicU64,
+    zero_copy_frames: AtomicU64,
+    fold_runs: AtomicU64,
+    adaptive_part_items: AtomicU64,
 }
 
 impl NetStats {
@@ -203,6 +206,35 @@ impl NetStats {
         self.replay_rounds.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `n` inbound Data frames handed off zero-copy in a payload
+    /// buffer drawn from the reader's recycled pool — the frames whose
+    /// decode allocated nothing. After warmup this tracks
+    /// `wire_frames_recv` one-for-one.
+    #[inline]
+    pub fn record_zero_copy_frames(&self, n: u64) {
+        if n != 0 {
+            self.zero_copy_frames.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `n` contiguous same-destination runs (length ≥ 2) folded
+    /// by the vectorized ⊕ loop in segment delivery — each run is one
+    /// slot load/store instead of one per delta.
+    #[inline]
+    pub fn record_fold_runs(&self, n: u64) {
+        if n != 0 {
+            self.fold_runs.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records the pipeline part size a superstep committed; the counter
+    /// keeps the high-water mark (`fetch_max`), so reports show the
+    /// largest part size the adaptive controller reached.
+    #[inline]
+    pub fn record_adaptive_part_items(&self, part_items: u64) {
+        self.adaptive_part_items.fetch_max(part_items, Ordering::Relaxed);
+    }
+
     /// A consistent snapshot (exact once all machine threads have joined).
     pub fn snapshot(&self) -> StatsSnapshot {
         let mut per_phase = [PhaseStats::default(); NUM_PHASES];
@@ -229,6 +261,9 @@ impl NetStats {
             reconnects: self.reconnects.load(Ordering::Relaxed),
             snapshot_bytes: self.snapshot_bytes.load(Ordering::Relaxed),
             replay_rounds: self.replay_rounds.load(Ordering::Relaxed),
+            zero_copy_frames: self.zero_copy_frames.load(Ordering::Relaxed),
+            fold_runs: self.fold_runs.load(Ordering::Relaxed),
+            adaptive_part_items: self.adaptive_part_items.load(Ordering::Relaxed),
         }
     }
 }
@@ -305,6 +340,21 @@ pub struct StatsSnapshot {
     /// Logged frames retransmitted to rejoined peers (0 on undisturbed
     /// runs). Fault telemetry, outside the determinism counter contract.
     pub replay_rounds: u64,
+    /// Inbound Data frames handed off zero-copy in a recycled payload
+    /// buffer (TCP only; 0 in-proc). Timing/pool telemetry like
+    /// `pool_hits`: the warmup tail depends on scheduling, so this is
+    /// excluded from the determinism counter contract.
+    pub zero_copy_frames: u64,
+    /// Contiguous same-destination runs (length ≥ 2) folded by the
+    /// vectorized ⊕ loop in segment delivery. Deterministic per
+    /// configuration: run boundaries follow the routed segment contents.
+    pub fold_runs: u64,
+    /// High-water mark of the adaptive pipeline part size committed by
+    /// any superstep (0 when adaptive sizing is off). Merged by `max`,
+    /// not `+`: a high-water mark across workers is the largest any of
+    /// them reached. Wall-clock-fed telemetry, outside the determinism
+    /// counter contract.
+    pub adaptive_part_items: u64,
 }
 
 impl StatsSnapshot {
@@ -354,6 +404,11 @@ impl StatsSnapshot {
         self.reconnects += other.reconnects;
         self.snapshot_bytes += other.snapshot_bytes;
         self.replay_rounds += other.replay_rounds;
+        self.zero_copy_frames += other.zero_copy_frames;
+        self.fold_runs += other.fold_runs;
+        // High-water mark, not an event count: the cluster-wide value is
+        // the largest part size any worker committed.
+        self.adaptive_part_items = self.adaptive_part_items.max(other.adaptive_part_items);
     }
 
     /// Labelled report lines: every counter of the snapshot appears here
@@ -391,6 +446,10 @@ impl StatsSnapshot {
         lines.push(format!(
             "drain_batches_early={} reconnects={} snapshot_bytes={} replay_rounds={}",
             self.drain_batches_early, self.reconnects, self.snapshot_bytes, self.replay_rounds
+        ));
+        lines.push(format!(
+            "zero_copy_frames={} fold_runs={} adaptive_part_items={}",
+            self.zero_copy_frames, self.fold_runs, self.adaptive_part_items
         ));
         lines
     }
@@ -432,6 +491,9 @@ impl Wire for StatsSnapshot {
         self.reconnects.encode(out);
         self.snapshot_bytes.encode(out);
         self.replay_rounds.encode(out);
+        self.zero_copy_frames.encode(out);
+        self.fold_runs.encode(out);
+        self.adaptive_part_items.encode(out);
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
         let mut per_phase = [PhaseStats::default(); NUM_PHASES];
@@ -456,6 +518,9 @@ impl Wire for StatsSnapshot {
             reconnects: u64::decode(r)?,
             snapshot_bytes: u64::decode(r)?,
             replay_rounds: u64::decode(r)?,
+            zero_copy_frames: u64::decode(r)?,
+            fold_runs: u64::decode(r)?,
+            adaptive_part_items: u64::decode(r)?,
         })
     }
 }
@@ -584,6 +649,34 @@ mod tests {
         assert_eq!(snap.replay_rounds, 2);
         let back = StatsSnapshot::from_wire(&snap.to_wire()).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn zero_copy_counters_accumulate_and_merge() {
+        let s = NetStats::new();
+        s.record_zero_copy_frames(3);
+        s.record_zero_copy_frames(0); // no-op
+        s.record_fold_runs(7);
+        // High-water: later smaller commits must not lower it.
+        s.record_adaptive_part_items(512);
+        s.record_adaptive_part_items(2048);
+        s.record_adaptive_part_items(1024);
+        let snap = s.snapshot();
+        assert_eq!(snap.zero_copy_frames, 3);
+        assert_eq!(snap.fold_runs, 7);
+        assert_eq!(snap.adaptive_part_items, 2048);
+
+        let other = NetStats::new();
+        other.record_zero_copy_frames(4);
+        other.record_fold_runs(1);
+        other.record_adaptive_part_items(4096);
+        let mut m = snap;
+        m.merge(&other.snapshot());
+        assert_eq!(m.zero_copy_frames, 7, "event counts sum");
+        assert_eq!(m.fold_runs, 8);
+        assert_eq!(m.adaptive_part_items, 4096, "high-water merges by max");
+        let back = StatsSnapshot::from_wire(&m.to_wire()).unwrap();
+        assert_eq!(back, m);
     }
 
     #[test]

@@ -44,7 +44,7 @@ use lazygraph_net::{
     write_frame, FrameKind, FrameReader, NetError, PeerLink, TcpOptions, Wire, WireReader,
 };
 
-use crate::comm::{build_mesh, Batch, Endpoint, ASYNC_ROUND};
+use crate::comm::{build_mesh, Batch, Endpoint, RawBatch, ASYNC_ROUND};
 use crate::error::CommError;
 use crate::recovery::{LinkShared, LinkStatus, RecoveryShared};
 use crate::stats::NetStats;
@@ -112,7 +112,12 @@ pub fn encode_batch<T: Wire>(b: &Batch<T>) -> Vec<u8> {
     out
 }
 
-/// Decodes a Data-frame payload back into a batch.
+/// Decodes a Data-frame payload back into a batch, materializing every
+/// item into a fresh `Vec<T>`.
+///
+/// This is the PR 4 path, retained as the byte-equality oracle for the
+/// zero-copy [`decode_batch_raw`] (see `tests/zero_copy.rs`) and for
+/// consumers that want eager validation of the whole payload.
 pub fn decode_batch<T: Wire>(payload: &[u8]) -> Result<Batch<T>, NetError> {
     let mut r = WireReader::new(payload);
     let from = u32::decode(&mut r)? as usize;
@@ -121,7 +126,36 @@ pub fn decode_batch<T: Wire>(payload: &[u8]) -> Result<Batch<T>, NetError> {
     let last = bool::decode(&mut r)?;
     let items = Vec::<T>::decode(&mut r)?;
     r.finish()?;
-    Ok(Batch { from, sent_at, round, last, items })
+    Ok(Batch { from, sent_at, round, last, items, raw: None })
+}
+
+/// Header-only decode of a Data-frame payload: parses the routing header
+/// and the item count, then hands the payload buffer itself — items
+/// still encoded — to the consumer as a [`RawBatch`] cursor. No per-item
+/// decode, no `Vec<T>` allocation; the engine's route pass decodes each
+/// item exactly once, straight into its destination bucket.
+///
+/// The items region is *not* validated here (that would require walking
+/// it); a malformed tail surfaces at the cursor decode instead, where
+/// the consumer drops the remainder of the batch.
+pub fn decode_batch_raw<T: Wire>(payload: Vec<u8>) -> Result<Batch<T>, NetError> {
+    let (from, round, sent_at, last, count, offset) = {
+        let mut r = WireReader::new(&payload);
+        let from = u32::decode(&mut r)? as usize;
+        let round = u64::decode(&mut r)?;
+        let sent_at = f64::decode(&mut r)?;
+        let last = bool::decode(&mut r)?;
+        let count = u32::decode(&mut r)?;
+        (from, round, sent_at, last, count, payload.len() - r.remaining())
+    };
+    Ok(Batch {
+        from,
+        sent_at,
+        round,
+        last,
+        items: Vec::new(),
+        raw: Some(RawBatch { bytes: payload, offset, count }),
+    })
 }
 
 fn io_err(me: usize, what: &'static str, e: &std::io::Error) -> CommError {
@@ -271,6 +305,12 @@ fn tcp_endpoint<T: Wire + Send + 'static>(
     // every "return to owner" lands in our own pool instead.
     let ret_txs: Vec<Sender<Vec<T>>> = (0..n).map(|_| ret_tx.clone()).collect();
     drop(ret_tx);
+    // Zero-copy buffer loop: recycled raw-frame payloads flow from the
+    // endpoint back to the reader proxies, which park them in their
+    // FrameReader pools. One shared MPMC queue serves every reader — a
+    // buffer need not return to the link it arrived on, capacity just has
+    // to keep circulating.
+    let (raw_ret_tx, raw_ret_rx) = unbounded::<Vec<u8>>();
 
     // Self-sends are routed locally by the engines; the slot still needs a
     // sender, so give it one whose receiver is already gone.
@@ -331,6 +371,7 @@ fn tcp_endpoint<T: Wire + Send + 'static>(
             me,
             stream,
             in_tx: in_tx.clone(),
+            raw_rx: raw_ret_rx.clone(),
             stats: Arc::clone(stats),
             poison: Arc::clone(&poison),
             link: lshared.clone(),
@@ -354,6 +395,7 @@ fn tcp_endpoint<T: Wire + Send + 'static>(
             listener,
             shared: Arc::clone(&shared),
             in_tx: in_tx.clone(),
+            raw_rx: raw_ret_rx.clone(),
             out_rxs,
             stats: Arc::clone(stats),
             poison: Arc::clone(&poison),
@@ -382,6 +424,7 @@ fn tcp_endpoint<T: Wire + Send + 'static>(
     // mode the per-link threads are joined afterwards via `LinkShared`.
     let mut ep = Endpoint::from_parts(me, n, txs, in_rx, ret_txs, ret_rx, flush_on_drop);
     ep.set_recovery(shared);
+    ep.set_raw_return(raw_ret_tx);
     ep
 }
 
@@ -526,6 +569,10 @@ struct ReaderCtx<T> {
     me: usize,
     stream: TcpStream,
     in_tx: Sender<Batch<T>>,
+    /// Recycled raw-frame buffers coming home from the endpoint; drained
+    /// into the `FrameReader` pool before each poll so steady-state
+    /// frames reuse travelled capacity instead of allocating.
+    raw_rx: Receiver<Vec<u8>>,
     stats: Arc<NetStats>,
     poison: Arc<AtomicBool>,
     link: Arc<LinkShared>,
@@ -555,6 +602,7 @@ fn spawn_reader<T: Wire + Send + 'static>(
             me,
             mut stream,
             in_tx,
+            raw_rx,
             stats,
             poison,
             link,
@@ -566,11 +614,22 @@ fn spawn_reader<T: Wire + Send + 'static>(
         let peer = link.peer;
         let mut reader = FrameReader::new();
         loop {
+            // Pull home any raw buffers the engine recycled since the
+            // last poll; the next frame then assembles into one of them.
+            while let Ok(buf) = raw_rx.try_recv() {
+                reader.supply_buffer(buf);
+            }
             match reader.poll(&mut stream) {
                 Ok(Some(frame)) => match frame.kind {
                     FrameKind::Data => {
                         stats.record_wire_recv(1, frame.wire_len() as u64);
-                        let batch = match decode_batch::<T>(&frame.payload) {
+                        if reader.last_frame_pooled() {
+                            // Handed off zero-copy AND assembled in a
+                            // recycled buffer: the steady state where an
+                            // inbound batch allocates nothing.
+                            stats.record_zero_copy_frames(1);
+                        }
+                        let batch = match decode_batch_raw::<T>(frame.payload) {
                             Ok(batch) => batch,
                             Err(_) => {
                                 poison.store(true, Ordering::Release);
@@ -678,6 +737,9 @@ struct AcceptorCtx<T> {
     listener: Option<TcpListener>,
     shared: Arc<RecoveryShared>,
     in_tx: Sender<Batch<T>>,
+    /// The shared raw-buffer return queue, cloned into replacement
+    /// readers on rejoin swaps.
+    raw_rx: Receiver<Vec<u8>>,
     /// Clones of each peer's outbound queue receiver, handed to
     /// replacement writers on swap.
     out_rxs: Vec<Option<Receiver<Batch<T>>>>,
@@ -798,6 +860,7 @@ fn admit_rejoin<T: Wire + Send + 'static>(
         me: ctx.me,
         stream,
         in_tx: ctx.in_tx.clone(),
+        raw_rx: ctx.raw_rx.clone(),
         stats: Arc::clone(&ctx.stats),
         poison: Arc::clone(&ctx.poison),
         link: Arc::clone(link),
@@ -832,6 +895,7 @@ mod tests {
             round: 42,
             last: false,
             items: vec![(7u32, -1.5f64), (9, 0.0)],
+            raw: None,
         };
         let payload = encode_batch(&b);
         let back = decode_batch::<(u32, f64)>(&payload).unwrap();
@@ -840,6 +904,15 @@ mod tests {
         assert_eq!(back.sent_at.to_bits(), 1.25f64.to_bits());
         assert!(!back.last);
         assert_eq!(back.items, b.items);
+        // The zero-copy header decode agrees field-for-field, and its
+        // cursor materializes the identical item vector.
+        let mut raw = decode_batch_raw::<(u32, f64)>(payload).unwrap();
+        assert_eq!(raw.item_count(), 2);
+        raw.make_items().unwrap();
+        assert_eq!(
+            (raw.from, raw.round, raw.sent_at.to_bits(), raw.last, &raw.items),
+            (back.from, back.round, back.sent_at.to_bits(), back.last, &back.items),
+        );
     }
 
     #[test]
@@ -869,7 +942,8 @@ mod tests {
                             for w in got.windows(2) {
                                 assert!(w[0].from < w[1].from);
                             }
-                            for b in got {
+                            for mut b in got {
+                                b.make_items().unwrap();
                                 assert_eq!(b.items.len(), 1);
                                 assert_eq!(b.round, round);
                                 total += b.items[0];
@@ -909,7 +983,8 @@ mod tests {
         let mut ep1 = eps.pop().unwrap();
         let ep0 = eps.pop().unwrap();
         ep0.send(1, vec![5, 6], 0.0, Phase::Async, 4, &stats).unwrap();
-        let got = ep1.recv().unwrap();
+        let mut got = ep1.recv().unwrap();
+        got.make_items().unwrap();
         assert_eq!(got.items, vec![5, 6]);
         // Machine 0 finishes and drops its endpoint → writers send
         // Shutdown → machine 1's reader exits cleanly → inbound channel
@@ -938,13 +1013,15 @@ mod tests {
                             ob.push(dst, me as u32 * 10 + part);
                             ep.stream_part(&mut ob, dst, 0.0, Phase::Coherency, 4, &stats)
                                 .unwrap();
-                            while let Some(b) = ep.poll_stream() {
+                            while let Some(mut b) = ep.poll_stream() {
+                                b.make_items().unwrap();
                                 got.extend_from_slice(&b.items);
                                 ep.recycle(b);
                             }
                         }
                         ob.push(dst, me as u32 * 10 + 9);
                         ep.finish_pipelined(&mut ob, 0.0, Phase::Coherency, 4, &stats, |b| {
+                            b.make_items().unwrap();
                             got.append(&mut b.items);
                         })
                         .unwrap();
@@ -1032,8 +1109,12 @@ mod tests {
         // The 1 <-> 2 half of the mesh must still work: no poison.
         ep1.send(2, vec![11], 0.0, Phase::Async, 4, &stats).unwrap();
         ep2.send(1, vec![22], 0.0, Phase::Async, 4, &stats).unwrap();
-        assert_eq!(ep1.recv().unwrap().items, vec![22]);
-        assert_eq!(ep2.recv().unwrap().items, vec![11]);
+        let mut b1 = ep1.recv().unwrap();
+        b1.make_items().unwrap();
+        assert_eq!(b1.items, vec![22]);
+        let mut b2 = ep2.recv().unwrap();
+        b2.make_items().unwrap();
+        assert_eq!(b2.items, vec![11]);
         assert_eq!(stats.snapshot().reconnects, 0);
     }
 
@@ -1077,7 +1158,8 @@ mod tests {
                 let mut ob = OutboxSet::new(n);
                 ob.push(1 - me, payload(me, round));
                 let batches = ep.exchange(&mut ob, 0.0, Phase::Coherency, 4, stats).unwrap();
-                for b in batches {
+                for mut b in batches {
+                    b.make_items().unwrap();
                     got.extend_from_slice(&b.items);
                     ep.recycle(b);
                 }

@@ -40,8 +40,11 @@ use crate::state::MachineState;
 
 /// Magic prefix of every checkpoint file ("LZCK", little-endian).
 pub const CKPT_MAGIC: u32 = 0x4b435a4c;
-/// Current checkpoint format version.
-pub const CKPT_VERSION: u32 = 1;
+/// Current checkpoint format version. v2 added `part_items` (adaptive
+/// pipelined part sizing, PR 8) — replay regeneration must reproduce the
+/// exact wire stream, part boundaries included, so the part size rides in
+/// the snapshot.
+pub const CKPT_VERSION: u32 = 2;
 /// Maximum payload bytes per checksummed chunk.
 pub const CKPT_CHUNK: usize = 1 << 20;
 
@@ -251,6 +254,10 @@ pub struct EngineSnapshot<P: VertexProgram> {
     pub active: Vec<bool>,
     /// `MachineState::queue`.
     pub queue: Vec<u32>,
+    /// `MachineState::part_items` — the adaptive pipelined part size in
+    /// force at the snapshot, so regenerated rounds reproduce the logged
+    /// part boundaries byte-for-byte.
+    pub part_items: u32,
     /// Lazy-engine extras (None for the Sync engine).
     pub lazy: Option<LazyResume>,
 }
@@ -268,6 +275,7 @@ impl<P: VertexProgram> PartialEq for EngineSnapshot<P> {
             && self.delta_msg == other.delta_msg
             && self.active == other.active
             && self.queue == other.queue
+            && self.part_items == other.part_items
             && self.lazy == other.lazy
     }
 }
@@ -285,6 +293,7 @@ impl<P: VertexProgram> Wire for EngineSnapshot<P> {
         self.delta_msg.encode(out);
         self.active.encode(out);
         self.queue.encode(out);
+        self.part_items.encode(out);
         self.lazy.encode(out);
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
@@ -300,6 +309,7 @@ impl<P: VertexProgram> Wire for EngineSnapshot<P> {
             delta_msg: Vec::<Option<P::Delta>>::decode(r)?,
             active: Vec::<bool>::decode(r)?,
             queue: Vec::<u32>::decode(r)?,
+            part_items: u32::decode(r)?,
             lazy: Option::<LazyResume>::decode(r)?,
         })
     }
@@ -329,6 +339,7 @@ impl<P: VertexProgram> EngineSnapshot<P> {
             delta_msg: state.delta_msg.clone(),
             active: state.active.clone(),
             queue: state.queue.clone(),
+            part_items: state.part_items,
             lazy,
         }
     }
@@ -341,6 +352,7 @@ impl<P: VertexProgram> EngineSnapshot<P> {
         state.delta_msg = self.delta_msg.clone();
         state.active = self.active.clone();
         state.queue = self.queue.clone();
+        state.part_items = self.part_items;
     }
 }
 
@@ -610,6 +622,7 @@ mod tests {
             delta_msg: vec![Some(4), None, None],
             active: vec![false, true, false],
             queue: vec![1],
+            part_items: 2048,
             lazy: Some(LazyResume {
                 counters: LazyCounters {
                     coherency_points: 6,

@@ -126,6 +126,13 @@ pub struct EngineConfig {
     /// result-identical to the serialized exchange. Off by default — the
     /// serialized path is the reference oracle.
     pub pipeline: bool,
+    /// Adapt the pipelined exchange's part size per superstep from the
+    /// measured send-wait / overlap balance (DESIGN.md §14). Only
+    /// meaningful with `pipeline`; part boundaries never affect results
+    /// (the (sender, part) stitch is split-invariant), so this is on by
+    /// default. With checkpointing enabled the size only commits at
+    /// checkpoint barriers so replay regenerates identical rounds.
+    pub adaptive_parts: bool,
     /// Mesh transport backend (DESIGN.md §10): `InProc` moves batches over
     /// lock-free channels untouched (the default; zero-copy, pool-
     /// recycling); `Tcp` encodes every batch into a length-prefixed frame
@@ -154,6 +161,7 @@ impl EngineConfig {
             block_size: DEFAULT_BLOCK_SIZE,
             exchange_fast: true,
             pipeline: false,
+            adaptive_parts: true,
             transport: TransportKind::InProc,
         }
     }
@@ -257,6 +265,13 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style override of adaptive pipeline part sizing (see
+    /// [`Self::adaptive_parts`]).
+    pub fn with_adaptive_parts(mut self, adaptive: bool) -> Self {
+        self.adaptive_parts = adaptive;
+        self
+    }
+
     /// Builder-style override of the mesh transport backend.
     pub fn with_transport(mut self, transport: TransportKind) -> Self {
         self.transport = transport;
@@ -352,6 +367,12 @@ mod tests {
     fn pipeline_defaults_off() {
         assert!(!EngineConfig::lazygraph().pipeline);
         assert!(EngineConfig::lazygraph().with_pipeline(true).pipeline);
+    }
+
+    #[test]
+    fn adaptive_parts_defaults_on() {
+        assert!(EngineConfig::lazygraph().adaptive_parts);
+        assert!(!EngineConfig::lazygraph().with_adaptive_parts(false).adaptive_parts);
     }
 
     #[test]

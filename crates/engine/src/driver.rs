@@ -77,6 +77,7 @@ pub fn run_on<P: VertexProgram>(
                     par,
                     cfg.exchange_fast,
                     cfg.pipeline,
+                    cfg.adaptive_parts,
                     cfg.transport,
                     stats.clone(),
                     breakdown.clone(),
@@ -99,6 +100,7 @@ pub fn run_on<P: VertexProgram>(
                     record_history: cfg.record_history,
                     exchange_fast: cfg.exchange_fast,
                     pipeline: cfg.pipeline,
+                    adaptive_parts: cfg.adaptive_parts,
                 };
                 let (values, iters, converged, sim, c) = run_lazy_block_engine(
                     dg,

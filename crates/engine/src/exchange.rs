@@ -31,6 +31,7 @@
 //! contract.
 
 use lazygraph_cluster::Batch;
+use lazygraph_net::{Wire, WireReader};
 
 use crate::parallel::ParallelCtx;
 use crate::program::VertexProgram;
@@ -48,6 +49,41 @@ pub type RoutedSegments<D> = Vec<Vec<Vec<(u32, D)>>>;
 /// of payload; correctness is threshold-independent (any split between
 /// distinct local ids preserves fold order).
 pub const PIPELINE_PART_ITEMS: usize = 1024;
+
+/// Lower clamp for adaptive part sizing: below this, per-part framing
+/// overhead (header + flush syscall) dominates the payload.
+pub const PART_ITEMS_MIN: u32 = 256;
+
+/// Upper clamp for adaptive part sizing: above this, a part holds enough
+/// of the round that the receiver's eager drain loses its overlap window.
+pub const PART_ITEMS_MAX: u32 = 16384;
+
+/// One step of the adaptive part-size controller, run from the previous
+/// superstep's [`PipelineTiming`](lazygraph_cluster::PipelineTiming):
+///
+/// - sends blocked longer than routing overlapped (`send_wait > overlap`)
+///   → parts are too big for the socket, halve;
+/// - sends essentially never blocked (`send_wait < overlap / 10`)
+///   → framing overhead dominates, double to amortise it;
+/// - otherwise hold.
+///
+/// Pure and clamped to `[PART_ITEMS_MIN, PART_ITEMS_MAX]`, so the
+/// part-size trajectory is a deterministic function of the measured
+/// timings — and because any part split between distinct local ids
+/// preserves the (sender, part) fold order, the *values* computed are
+/// invariant to whatever trajectory the timings produce. NaN or negative
+/// timings (never produced, but wall-clock is untrusted input) hold the
+/// current size.
+pub fn adapt_part_items(cur: u32, send_wait_ms: f64, overlap_ms: f64) -> u32 {
+    let next = if send_wait_ms > overlap_ms {
+        cur / 2
+    } else if send_wait_ms < overlap_ms * 0.1 {
+        cur.saturating_mul(2)
+    } else {
+        cur
+    };
+    next.clamp(PART_ITEMS_MIN, PART_ITEMS_MAX)
+}
 
 /// Per-sender staging for the eager inbound drain of a pipelined exchange.
 ///
@@ -153,7 +189,7 @@ pub fn route_inbound<T, D, F>(
     scratch: &mut Vec<Vec<(u32, D)>>,
 ) -> RoutedSegments<D>
 where
-    T: Send,
+    T: Wire + Send,
     D: Send,
     F: Fn(T) -> Option<(u32, D)> + Sync,
 {
@@ -172,6 +208,35 @@ where
         })
         .collect();
     let per_batch: Vec<Vec<Vec<(u32, D)>>> = pctx.pool().map(work, |(batch, mut buckets)| {
+        // Zero-copy inbound path: a TCP batch arrives as the raw frame
+        // payload, and each item decodes straight off those bytes into
+        // its destination bucket — no intermediate `Vec<T>` per batch.
+        // Decode order equals wire order equals the materialized path's
+        // item order, so fold order (and thus every value) is identical.
+        if let Some(raw) = batch.raw.as_mut() {
+            let mut r = WireReader::new(&raw.bytes[raw.offset..]);
+            for _ in 0..raw.count {
+                match T::decode(&mut r) {
+                    Ok(item) => {
+                        if let Some((l, d)) = translate(item) {
+                            if let Some(bucket) = buckets.get_mut(l as usize / bs) {
+                                bucket.push((l, d));
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        // A short or malformed tail means wire corruption
+                        // the frame layer missed; drop the remainder of
+                        // this batch rather than panic in the hot loop.
+                        debug_assert!(false, "malformed item in zero-copy batch");
+                        break;
+                    }
+                }
+            }
+            // Mark drained; the buffer itself rides home through
+            // `Endpoint::recycle` back to the reader's free list.
+            raw.count = 0;
+        }
         for item in batch.items.drain(..) {
             if let Some((l, d)) = translate(item) {
                 // Out-of-range l means a corrupt route table; drop
@@ -262,6 +327,7 @@ mod tests {
             round: 0,
             last: true,
             items,
+            raw: None,
         };
         for threads in [1, 4] {
             let pctx = ParallelCtx::new(ParallelConfig {
@@ -302,6 +368,7 @@ mod tests {
             round: 0,
             last: true,
             items: vec![(0u32, 1u64), (99, 2), (3, 3)],
+            raw: None,
         }];
         let segments = route_inbound(
             &pctx,
@@ -329,6 +396,7 @@ mod tests {
             round: 0,
             last: true,
             items: vec![(0u32, 1u64), (1, 2)],
+            raw: None,
         }];
         let segments = route_inbound(
             &pctx,
@@ -343,6 +411,72 @@ mod tests {
         assert_eq!(scratch[0].capacity(), 100);
         // The used bucket left with pooled capacity too.
         assert!(segments[0][0].capacity() >= 100);
+    }
+
+    #[test]
+    fn route_inbound_raw_cursor_matches_materialized_routing() {
+        use lazygraph_cluster::RawBatch;
+        // Same logical items twice: once materialized, once as raw wire
+        // bytes behind a cursor (with a nonzero offset, as a real frame
+        // payload has). Routing must be identical.
+        let items: Vec<(u32, u64)> = vec![(0, 1), (5, 2), (1, 3), (5, 4), (7, 5)];
+        let mut bytes = vec![0xAB, 0xCD, 0xEF]; // stand-in header bytes
+        let offset = bytes.len();
+        for it in &items {
+            it.encode(&mut bytes);
+        }
+        for threads in [1, 4] {
+            let pctx = ParallelCtx::new(ParallelConfig {
+                threads,
+                block_size: 4,
+            });
+            let mut materialized = vec![Batch {
+                from: 0,
+                sent_at: 0.0,
+                round: 0,
+                last: true,
+                items: items.clone(),
+                raw: None,
+            }];
+            let mut raw = vec![Batch {
+                from: 0,
+                sent_at: 0.0,
+                round: 0,
+                last: true,
+                items: Vec::new(),
+                raw: Some(RawBatch {
+                    bytes: bytes.clone(),
+                    offset,
+                    count: items.len() as u32,
+                }),
+            }];
+            let translate = |(gid, d): (u32, u64)| Some((gid, d * 10));
+            let a = route_inbound(&pctx, 8, &mut materialized, translate, &mut Vec::new());
+            let b = route_inbound(&pctx, 8, &mut raw, translate, &mut Vec::new());
+            assert_eq!(a, b);
+            // The raw batch is drained (count zeroed) but keeps its buffer
+            // for recycling back to the frame reader's free list.
+            let r = raw[0].raw.as_ref().unwrap();
+            assert_eq!(r.count, 0);
+            assert!(!r.bytes.is_empty());
+        }
+    }
+
+    #[test]
+    fn adapt_part_items_halves_doubles_and_clamps() {
+        // Send-bound: halve.
+        assert_eq!(adapt_part_items(1024, 5.0, 1.0), 512);
+        // Fully overlapped: double.
+        assert_eq!(adapt_part_items(1024, 0.01, 1.0), 2048);
+        // In between: hold.
+        assert_eq!(adapt_part_items(1024, 0.5, 1.0), 1024);
+        // Clamps at both ends.
+        assert_eq!(adapt_part_items(PART_ITEMS_MIN, 5.0, 1.0), PART_ITEMS_MIN);
+        assert_eq!(adapt_part_items(PART_ITEMS_MAX, 0.0, 1.0), PART_ITEMS_MAX);
+        // Untrusted wall-clock: NaN holds (after clamping into range).
+        assert_eq!(adapt_part_items(1024, f64::NAN, f64::NAN), 1024);
+        // Zero overlap with zero wait holds rather than oscillating.
+        assert_eq!(adapt_part_items(1024, 0.0, 0.0), 1024);
     }
 
     #[test]

@@ -149,6 +149,9 @@ fn machine_loop<P: VertexProgram>(
         }
         for mut batch in ep.exchange(&mut outboxes, clock.now(), Phase::Gather, delta_bytes, &stats)? {
             clock.merge(batch.sent_at);
+            batch
+                .make_items()
+                .map_err(|e| CommError::transport(me, &e))?;
             for (gid, msg) in batch.items.drain(..) {
                 if let SyncMsg::Accum(d) = msg {
                     let l = shard.local_of(gid.into()).expect("accum to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
@@ -201,6 +204,9 @@ fn machine_loop<P: VertexProgram>(
         clock.advance(params.cost.apply_time(applies));
         for mut batch in ep.exchange(&mut outboxes, clock.now(), Phase::Apply, update_bytes, &stats)? {
             clock.merge(batch.sent_at);
+            batch
+                .make_items()
+                .map_err(|e| CommError::transport(me, &e))?;
             for (gid, msg) in batch.items.drain(..) {
                 if let SyncMsg::Update { data, scatter } = msg {
                     let l = shard.local_of(gid.into()).expect("update to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
@@ -275,8 +281,11 @@ fn machine_loop<P: VertexProgram>(
                     term.leave_idle();
                     idle = false;
                 }
-                let bytes = batch.items.len() * update_bytes;
+                let bytes = batch.item_count() * update_bytes;
                 clock.merge(batch.sent_at + params.cost.async_batch_time(bytes as u64));
+                batch
+                    .make_items()
+                    .map_err(|e| CommError::transport(me, &e))?;
                 for (gid, msg) in batch.items.drain(..) {
                     let l = shard.local_of(gid.into()).expect("async to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
                     match msg {

@@ -33,7 +33,7 @@ use crate::bsp::{BspReduction, BspSync, CommCharge};
 use crate::checkpoint::{checkpoint_at_barrier, interval_state, lazy_resume, RecoveryCfg};
 use crate::comm_mode::{choose_mode, CommMode, VolumeEstimate};
 use crate::config::{CommModePolicy, IntervalPolicy};
-use crate::exchange::{route_inbound, stage_combining, PipelineDrain, PIPELINE_PART_ITEMS};
+use crate::exchange::{adapt_part_items, route_inbound, stage_combining, PipelineDrain};
 use crate::interval::IntervalModel;
 use crate::metrics::{IterationRecord, SimBreakdown};
 use crate::parallel::{ParallelConfig, ParallelCtx};
@@ -121,6 +121,13 @@ pub struct LazyParams {
     /// Requires `exchange_fast` (the serialized paths are the oracle);
     /// ignored without it. Bitwise-identical to the serialized exchange.
     pub pipeline: bool,
+    /// Adapt the pipelined part size per machine from measured
+    /// send-wait/overlap feedback ([`crate::exchange::adapt_part_items`]).
+    /// Part boundaries never affect computed values; with recovery on,
+    /// adaptation commits only at checkpoint barriers so replay
+    /// regeneration reproduces the logged wire stream. Requires
+    /// `pipeline`; ignored without it.
+    pub adaptive_parts: bool,
 }
 
 /// `(values, supersteps, converged, sim_time, counters)` or the first
@@ -363,6 +370,12 @@ fn machine_loop<P: VertexProgram>(
     let mut do_local = false;
     let mut iterations = 0u64;
     let mut converged = false;
+    // Wall-clock feedback for adaptive part sizing; committed into
+    // `state.part_items` only at deterministic points (see the commit
+    // site at the bottom of the loop).
+    let pipelined = params.pipeline && params.exchange_fast;
+    let mut pending_wait_ms = 0.0f64;
+    let mut pending_overlap_ms = 0.0f64;
     // Duration T of the first local computation stage (§4.2.1's doLC bound).
     let mut first_stage_time: Option<f64> = None;
     // Comm mode decided from the previous coherency point's volume
@@ -514,6 +527,8 @@ fn machine_loop<P: VertexProgram>(
             bd.overlap_ms += timing.overlap_ms;
             bd.send_wait_ms += timing.send_wait_ms;
         }
+        pending_wait_ms += timing.send_wait_ms;
+        pending_overlap_ms += timing.overlap_ms;
         counters.coherency_points += 1;
         let charge = match mode {
             CommMode::AllToAll => CommCharge::A2A,
@@ -577,6 +592,22 @@ fn machine_loop<P: VertexProgram>(
             stats.record_combined(folds, folds * delta_bytes as u64);
         }
         clock.advance(params.cost.compute_time(edges) + params.cost.apply_time(applies));
+        // Adaptive part sizing commits at deterministic points only: every
+        // superstep bottom when recovery is off, else only at checkpoint
+        // boundaries (before capture, so the snapshot carries the value
+        // replay regeneration needs).
+        if pipelined
+            && params.adaptive_parts
+            && (recovery.every == 0 || recovery.due(iterations))
+        {
+            state.part_items =
+                adapt_part_items(state.part_items, pending_wait_ms, pending_overlap_ms);
+            pending_wait_ms = 0.0;
+            pending_overlap_ms = 0.0;
+        }
+        if pipelined {
+            stats.record_adaptive_part_items(state.part_items as u64);
+        }
         if recovery.due(iterations) {
             let lazy = Some(lazy_resume(
                 counters,
@@ -637,6 +668,7 @@ fn exchange_a2a<P: VertexProgram>(
 ) -> Result<(u64, PipelineTiming), CommError> {
     let delta_bytes = program.delta_bytes();
     let pipelined = pipeline && fast;
+    let part_limit = state.part_items as usize;
     let mut sent = 0u64;
     let mut combined = 0u64;
     // Phase A (parallel): decide each replicated vertex's fate from a
@@ -685,7 +717,7 @@ fn exchange_a2a<P: VertexProgram>(
                     outboxes.push(dst, (gid, d));
                 }
                 sent += delta_bytes as u64;
-                if pipelined && outboxes.staged(dst).len() >= PIPELINE_PART_ITEMS {
+                if pipelined && outboxes.staged(dst).len() >= part_limit {
                     // Streaming send: hand the filled part to the transport
                     // writers, then eagerly route whatever peers have
                     // already streamed to us while staging continues.
@@ -730,7 +762,8 @@ fn exchange_a2a<P: VertexProgram>(
         )?;
         let bs = pctx.block_size().max(1);
         let segments = drain.stitch(num_local.div_ceil(bs).max(1));
-        state.deliver_segments(program, pctx, segments);
+        let runs = state.deliver_segments(program, pctx, segments);
+        stats.record_fold_runs(runs);
         return Ok((sent, timing));
     }
     let mut received = ep.exchange(outboxes, clock.now(), Phase::Coherency, delta_bytes, stats)?;
@@ -742,21 +775,13 @@ fn exchange_a2a<P: VertexProgram>(
             translate,
             &mut state.seg_scratch,
         );
-        state.deliver_segments(program, pctx, segments);
+        let runs = state.deliver_segments(program, pctx, segments);
+        stats.record_fold_runs(runs);
         for batch in received {
             ep.recycle(batch);
         }
     } else {
-        let mut inbound: Vec<(u32, P::Delta)> = Vec::new();
-        for batch in received {
-            for (gid, d) in batch.items {
-                let l = shard
-                    .local_of(gid.into())
-                    .expect("delta routed to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
-                inbound.push((l, program.gather(gid.into(), d)));
-            }
-        }
-        state.deliver_all(program, pctx, inbound);
+        crate::oracle::lazy_a2a_deliver(shard, program, pctx, state, ep.me(), received)?;
     }
     Ok((sent, PipelineTiming::default()))
 }
@@ -796,6 +821,7 @@ fn exchange_m2m<P: VertexProgram>(
 ) -> Result<(u64, PipelineTiming), CommError> {
     let delta_bytes = program.delta_bytes();
     let pipelined = pipeline && fast;
+    let part_limit = state.part_items as usize;
     let n = ep.num_machines();
     let mut timing = PipelineTiming::default();
     let mut sent = 0u64;
@@ -844,12 +870,15 @@ fn exchange_m2m<P: VertexProgram>(
                     outboxes.push(dst, (gid, d));
                 }
                 sent += delta_bytes as u64;
-                if pipelined && outboxes.staged(dst).len() >= PIPELINE_PART_ITEMS {
+                if pipelined && outboxes.staged(dst).len() >= part_limit {
                     // Mirror contributions are not a commutative stream —
                     // they fold in (sender, part) order at the hop close —
                     // so early arrivals are stashed, not folded.
                     ep.stream_part(outboxes, dst, clock.now(), Phase::Coherency, delta_bytes, stats)?;
                     while let Some(mut batch) = ep.poll_stream() {
+                        batch
+                            .make_items()
+                            .map_err(|e| CommError::transport(ep.me(), &e))?;
                         if !batch.items.is_empty() {
                             hop1_parts[batch.from]
                                 .push(std::mem::take(&mut batch.items));
@@ -862,6 +891,7 @@ fn exchange_m2m<P: VertexProgram>(
         }
     }
     if pipelined {
+        let mut cb_err: Option<NetError> = None;
         let t = ep.finish_pipelined(
             outboxes,
             clock.now(),
@@ -869,11 +899,20 @@ fn exchange_m2m<P: VertexProgram>(
             delta_bytes,
             stats,
             |batch| {
+                if cb_err.is_none() {
+                    if let Err(e) = batch.make_items() {
+                        cb_err = Some(e);
+                        return;
+                    }
+                }
                 if !batch.items.is_empty() {
                     hop1_parts[batch.from].push(std::mem::take(&mut batch.items));
                 }
             },
         )?;
+        if let Some(e) = cb_err {
+            return Err(CommError::transport(ep.me(), &e));
+        }
         timing.overlap_ms += t.overlap_ms;
         timing.send_wait_ms += t.send_wait_ms;
         // Masters fold mirror contributions in (sender, part) order — the
@@ -899,6 +938,9 @@ fn exchange_m2m<P: VertexProgram>(
         // Masters fold mirror contributions in sender order (batches arrive
         // sorted by sender, so this left-fold is reproducible).
         for mut batch in received {
+            batch
+                .make_items()
+                .map_err(|e| CommError::transport(ep.me(), &e))?;
             for (gid, d) in batch.items.drain(..) {
                 debug_assert!(shard.local_of(gid.into()).is_some(), "hop-1 delta routed to non-replica");
                 if let Some(l) = shard.local_of(gid.into()) {
@@ -955,7 +997,7 @@ fn exchange_m2m<P: VertexProgram>(
                 outboxes.push(dst, (gid, total));
             }
             sent += delta_bytes as u64;
-            if pipelined && outboxes.staged(dst).len() >= PIPELINE_PART_ITEMS {
+            if pipelined && outboxes.staged(dst).len() >= part_limit {
                 ep.stream_part(outboxes, dst, clock.now(), Phase::Coherency, delta_bytes, stats)?;
                 while let Some(mut batch) = ep.poll_stream() {
                     let from = batch.from;
@@ -1022,7 +1064,8 @@ fn exchange_m2m<P: VertexProgram>(
         timing.send_wait_ms += t.send_wait_ms;
         let bs = pctx.block_size().max(1);
         let segments = drain.stitch(num_local.div_ceil(bs).max(1));
-        state.deliver_segments(program, pctx, segments);
+        let runs = state.deliver_segments(program, pctx, segments);
+        stats.record_fold_runs(runs);
     } else {
         let mut received = ep.exchange(outboxes, clock.now(), Phase::Coherency, delta_bytes, stats)?;
         if fast {
@@ -1033,30 +1076,15 @@ fn exchange_m2m<P: VertexProgram>(
                 translate,
                 &mut state.seg_scratch,
             );
-            state.deliver_segments(program, pctx, segments);
+            let runs = state.deliver_segments(program, pctx, segments);
+            stats.record_fold_runs(runs);
             for batch in received {
                 ep.recycle(batch);
             }
         } else {
-            let mut inbound: Vec<(u32, P::Delta)> = Vec::new();
-            for batch in received {
-                for (gid, total) in batch.items {
-                    let l = shard
-                        .local_of(gid.into())
-                        .expect("combined delta routed to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
-                    let others = match own_view[l as usize] {
-                        Some(mine) => {
-                            if mine == total {
-                                continue;
-                            }
-                            program.inverse(total, mine)
-                        }
-                        None => total,
-                    };
-                    inbound.push((l, program.gather(gid.into(), others)));
-                }
-            }
-            state.deliver_all(program, pctx, inbound);
+            crate::oracle::lazy_m2m_hop2_deliver(
+                shard, program, pctx, state, own_view, ep.me(), received,
+            )?;
         }
     }
     // Leave the scratch arrays clean for the next coherency point; only

@@ -127,7 +127,9 @@ fn machine_loop<P: VertexProgram>(
                 term.leave_idle();
                 idle = false;
             }
-            let bytes = batch.items.len() * delta_bytes;
+            // `item_count` covers both materialized and zero-copy raw
+            // batches (`items` is empty for the latter).
+            let bytes = batch.item_count() * delta_bytes;
             clock.merge(batch.sent_at + cost.async_batch_time(bytes as u64));
             let segments = route_inbound(
                 &pctx,
@@ -139,7 +141,8 @@ fn machine_loop<P: VertexProgram>(
                 },
                 &mut state.seg_scratch,
             );
-            state.deliver_segments(program, &pctx, segments);
+            let runs = state.deliver_segments(program, &pctx, segments);
+            stats.record_fold_runs(runs);
             ep.recycle(batch);
             term.note_delivered(1);
             progressed = true;

@@ -23,6 +23,7 @@ pub mod interval;
 pub mod lazy_block;
 pub mod lazy_vertex;
 pub mod metrics;
+pub mod oracle;
 pub mod parallel;
 pub mod program;
 pub mod state;

@@ -1,0 +1,113 @@
+//! Test-only reference oracle: the pre-fast-path serial exchange
+//! delivery loops, collapsed here out of the engines' hot files (PR 8).
+//!
+//! Every function is the naive `exchange_fast = false` inbound half of an
+//! exchange — a serial per-item `local_of` lookup + push into a staging
+//! vector, then one `deliver_all`. The fast path (block-parallel
+//! [`route_inbound`](crate::exchange::route_inbound) with zero-copy
+//! cursor decode) is required to be bitwise-identical to these loops at
+//! every thread count; the equivalence tests run both and compare. No
+//! production configuration routes through this module — the naive path
+//! exists to keep the oracle executable, not fast: it materializes every
+//! raw batch ([`Batch::make_items`]) and recycles nothing.
+
+use lazygraph_cluster::{Batch, CommError};
+use lazygraph_partition::LocalShard;
+
+use crate::parallel::ParallelCtx;
+use crate::program::VertexProgram;
+use crate::state::MachineState;
+use crate::sync_engine::SyncMsg;
+
+/// Naive inbound half of the Sync engine's gather phase: decode every
+/// `Accum`, translate gid → local with a hash-free `local_of`, deliver
+/// serially in batch (= sender) order.
+pub fn sync_gather_deliver<P: VertexProgram>(
+    shard: &LocalShard,
+    program: &P,
+    pctx: &ParallelCtx,
+    state: &mut MachineState<P>,
+    me: usize,
+    received: Vec<Batch<(u32, SyncMsg<P>)>>,
+) -> Result<(), CommError> {
+    let mut inbound: Vec<(u32, P::Delta)> = Vec::new();
+    for mut batch in received {
+        batch
+            .make_items()
+            .map_err(|e| CommError::transport(me, &e))?;
+        for (gid, msg) in batch.items.drain(..) {
+            if let SyncMsg::Accum(d) = msg {
+                let l = shard
+                    .local_of(gid.into())
+                    .expect("accum routed to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
+                debug_assert!(shard.is_master[l as usize]);
+                inbound.push((l, program.gather(gid.into(), d)));
+            }
+        }
+    }
+    state.deliver_all(program, pctx, inbound);
+    Ok(())
+}
+
+/// Naive inbound half of the lazy all-to-all coherency exchange.
+pub fn lazy_a2a_deliver<P: VertexProgram>(
+    shard: &LocalShard,
+    program: &P,
+    pctx: &ParallelCtx,
+    state: &mut MachineState<P>,
+    me: usize,
+    received: Vec<Batch<(u32, P::Delta)>>,
+) -> Result<(), CommError> {
+    let mut inbound: Vec<(u32, P::Delta)> = Vec::new();
+    for mut batch in received {
+        batch
+            .make_items()
+            .map_err(|e| CommError::transport(me, &e))?;
+        for (gid, d) in batch.items.drain(..) {
+            let l = shard
+                .local_of(gid.into())
+                .expect("delta routed to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
+            inbound.push((l, program.gather(gid.into(), d)));
+        }
+    }
+    state.deliver_all(program, pctx, inbound);
+    Ok(())
+}
+
+/// Naive inbound half of the mirrors-to-master exchange's hop 2: each
+/// broadcast total has this replica's own contribution removed with
+/// `Inverse` before delivery (`own_view[l]` is the delta this replica
+/// shipped up in hop 1, if any).
+pub fn lazy_m2m_hop2_deliver<P: VertexProgram>(
+    shard: &LocalShard,
+    program: &P,
+    pctx: &ParallelCtx,
+    state: &mut MachineState<P>,
+    own_view: &[Option<P::Delta>],
+    me: usize,
+    received: Vec<Batch<(u32, P::Delta)>>,
+) -> Result<(), CommError> {
+    let mut inbound: Vec<(u32, P::Delta)> = Vec::new();
+    for mut batch in received {
+        batch
+            .make_items()
+            .map_err(|e| CommError::transport(me, &e))?;
+        for (gid, total) in batch.items.drain(..) {
+            let l = shard
+                .local_of(gid.into())
+                .expect("combined delta routed to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
+            let others = match own_view[l as usize] {
+                Some(mine) => {
+                    if mine == total {
+                        continue;
+                    }
+                    program.inverse(total, mine)
+                }
+                None => total,
+            };
+            inbound.push((l, program.gather(gid.into(), others)));
+        }
+    }
+    state.deliver_all(program, pctx, inbound);
+    Ok(())
+}

@@ -49,6 +49,16 @@ pub struct MachineState<P: VertexProgram> {
     /// sweep's delivery staging vector.
     // lazylint: allow(snapshot-coverage) -- capacity-only pool, always written before read; a recovered worker regrows it from empty with bitwise-identical results
     pub lazy_scratch: Vec<Vec<(u32, P::Delta, bool)>>,
+    /// Current pipelined-part size for this machine's streamed sends,
+    /// adapted each superstep from the previous superstep's
+    /// [`PipelineTiming`](lazygraph_cluster::PipelineTiming) via
+    /// [`crate::exchange::adapt_part_items`]. Part boundaries never affect
+    /// computed values (any split between distinct local ids preserves the
+    /// (sender, part) fold order), but replay regeneration must reproduce
+    /// the exact wire stream, so this is snapshot-covered state: captured
+    /// in [`EngineSnapshot`](crate::checkpoint::EngineSnapshot) and
+    /// restored on rejoin.
+    pub part_items: u32,
 }
 
 impl<P: VertexProgram> MachineState<P> {
@@ -94,6 +104,7 @@ impl<P: VertexProgram> MachineState<P> {
             queue,
             seg_scratch: Vec::new(),
             lazy_scratch: Vec::new(),
+            part_items: crate::exchange::PIPELINE_PART_ITEMS as u32,
         }
     }
 
@@ -344,12 +355,25 @@ impl<P: VertexProgram> MachineState<P> {
     /// ownership argument as [`Self::deliver_all`]. The blocking must
     /// match the router's: `segments.len()` is
     /// `message.len().div_ceil(block_size).max(1)`.
+    ///
+    /// The fold is *run-vectorized*: a maximal run of consecutive items
+    /// with the same target loads the slot once, folds the run's deltas
+    /// left-to-right (`((slot ⊕ d₁) ⊕ d₂) ⊕ …` — exactly the per-item
+    /// delivery order, so no float re-association), and stores once.
+    /// Runs deliberately span *segment boundaries*: sender-side combining
+    /// means a gid appears at most once per inbound batch (= per
+    /// segment), so a high-degree vertex's deltas from k senders land in
+    /// k consecutive segments of its block, not k consecutive items of
+    /// one segment. The loaded slot stays open across the boundary and
+    /// only stores when the target changes. Returns the number of
+    /// vectorized runs (length ≥ 2) folded — the engines record it as
+    /// `fold_runs` in [`NetStats`](lazygraph_cluster::NetStats).
     pub fn deliver_segments(
         &mut self,
         program: &P,
         ctx: &ParallelCtx,
         segments: crate::exchange::RoutedSegments<P::Delta>,
-    ) {
+    ) -> u64 {
         let bs = ctx.block_size();
         let num_blocks = self.message.len().div_ceil(bs.max(1)).max(1);
         debug_assert_eq!(segments.len(), num_blocks, "router/deliver blocking mismatch");
@@ -381,38 +405,71 @@ impl<P: VertexProgram> MachineState<P> {
         // into `seg_scratch`, where the next superstep's `route_inbound`
         // pass picks it up as fresh buckets.
         #[allow(clippy::type_complexity)]
-        let activated: Vec<(Vec<u32>, Vec<Vec<(u32, P::Delta)>>)> = ctx.pool().map(work, |w| {
+        let activated: Vec<(Vec<u32>, u64, Vec<Vec<(u32, P::Delta)>>)> = ctx.pool().map(work, |w| {
             let BlockWork {
                 base,
                 message,
                 active,
                 mut segments,
             } = w;
-            let mut newly = Vec::new();
-            for segment in &mut segments {
-                for (l, d) in segment.drain(..) {
-                    let i = l as usize - base;
-                    let slot = &mut message[i];
-                    *slot = Some(match slot.take() {
-                        Some(prev) => program.sum(prev, d),
-                        None => d,
-                    });
-                    if !active[i] {
-                        active[i] = true;
-                        newly.push(l);
-                    }
+            // Store the open run's accumulator back and account for it.
+            fn flush<P: VertexProgram>(
+                base: usize,
+                message: &mut [Option<P::Delta>],
+                active: &mut [bool],
+                newly: &mut Vec<u32>,
+                runs: &mut u64,
+                (l, acc, n): (u32, P::Delta, u64),
+            ) {
+                let idx = l as usize - base;
+                message[idx] = Some(acc);
+                if !active[idx] {
+                    active[idx] = true;
+                    newly.push(l);
                 }
+                *runs += u64::from(n >= 2);
             }
-            (newly, segments)
+            let mut newly = Vec::new();
+            let mut runs = 0u64;
+            // Open run: (target, loaded-and-folded accumulator, length).
+            // Kept across the segment loop so a run continues through a
+            // segment boundary; stored only when the target changes.
+            let mut open: Option<(u32, P::Delta, u64)> = None;
+            for segment in &mut segments {
+                for &(l, d) in segment.iter() {
+                    open = Some(match open.take() {
+                        Some((ol, acc, n)) if ol == l => (l, program.sum(acc, d), n + 1),
+                        prev => {
+                            if let Some(run) = prev {
+                                flush::<P>(base, message, active, &mut newly, &mut runs, run);
+                            }
+                            let idx = l as usize - base;
+                            let acc = match message[idx].take() {
+                                Some(prev) => program.sum(prev, d),
+                                None => d,
+                            };
+                            (l, acc, 1)
+                        }
+                    });
+                }
+                segment.clear();
+            }
+            if let Some(run) = open {
+                flush::<P>(base, message, active, &mut newly, &mut runs, run);
+            }
+            (newly, runs, segments)
         });
-        for (block, segments) in activated {
+        let mut fold_runs = 0u64;
+        for (block, runs, segments) in activated {
             self.queue.extend(block);
+            fold_runs += runs;
             for s in segments {
                 if s.capacity() != 0 {
                     self.seg_scratch.push(s);
                 }
             }
         }
+        fold_runs
     }
 
     /// Number of local replicas with a pending message.

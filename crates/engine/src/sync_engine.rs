@@ -27,7 +27,7 @@ use parking_lot::Mutex;
 
 use crate::bsp::{BspReduction, BspSync, CommCharge};
 use crate::checkpoint::{checkpoint_at_barrier, RecoveryCfg};
-use crate::exchange::{route_inbound, PipelineDrain, PIPELINE_PART_ITEMS};
+use crate::exchange::{adapt_part_items, route_inbound, PipelineDrain};
 use crate::metrics::{IterationRecord, SimBreakdown};
 use crate::parallel::{ParallelConfig, ParallelCtx};
 use crate::program::{EdgeCtx, VertexProgram};
@@ -123,6 +123,7 @@ pub fn run_sync_engine<P: VertexProgram>(
     par: ParallelConfig,
     exchange_fast: bool,
     pipeline: bool,
+    adaptive_parts: bool,
     transport: TransportKind,
     stats: Arc<NetStats>,
     breakdown: Arc<Mutex<SimBreakdown>>,
@@ -148,6 +149,7 @@ pub fn run_sync_engine<P: VertexProgram>(
             par,
             exchange_fast,
             pipeline,
+            adaptive_parts,
             coll.clone(),
             stats.clone(),
             breakdown.clone(),
@@ -175,6 +177,7 @@ pub fn run_sync_machine<P: VertexProgram>(
     par: ParallelConfig,
     exchange_fast: bool,
     pipeline: bool,
+    adaptive_parts: bool,
     stats: Arc<NetStats>,
     breakdown: Arc<Mutex<SimBreakdown>>,
     recovery: RecoveryCfg<P>,
@@ -188,6 +191,7 @@ pub fn run_sync_machine<P: VertexProgram>(
         par,
         exchange_fast,
         pipeline,
+        adaptive_parts,
         coll,
         stats,
         breakdown,
@@ -206,6 +210,7 @@ fn machine_loop<P: VertexProgram>(
     par: ParallelConfig,
     exchange_fast: bool,
     pipeline: bool,
+    adaptive_parts: bool,
     coll: Arc<Collective>,
     stats: Arc<NetStats>,
     breakdown: Arc<Mutex<SimBreakdown>>,
@@ -231,6 +236,12 @@ fn machine_loop<P: VertexProgram>(
 
     let mut iterations = 0u64;
     let mut converged = false;
+    // Wall-clock feedback for adaptive part sizing, accumulated locally
+    // and committed into `state.part_items` only at deterministic points
+    // (every superstep bottom, or — with recovery on — only at checkpoint
+    // barriers, so replay regeneration reproduces part boundaries).
+    let mut pending_wait_ms = 0.0f64;
+    let mut pending_overlap_ms = 0.0f64;
     let mut scatter_tasks: Vec<(u32, P::Delta)> = Vec::new();
     let mut master_worklist: Vec<u32> = Vec::new();
     // One persistent outbox set serves both communication phases; every
@@ -254,6 +265,9 @@ fn machine_loop<P: VertexProgram>(
     while iterations < max_iterations {
         iterations += 1;
         lazygraph_cluster::failpoint_superstep(iterations);
+        // Constant within a superstep: both pipelined phases flush at the
+        // same threshold, and adaptation commits only between supersteps.
+        let part_limit = state.part_items as usize;
 
         // ---- Phase 1: gather (mirrors forward partials to masters). ----
         // Blocked two-phase: the sorted worklist is chunked, each block
@@ -309,7 +323,7 @@ fn machine_loop<P: VertexProgram>(
                 state.message[l as usize] = None;
                 outboxes.push(dst, (shard.global_of(l).0, SyncMsg::Accum(d)));
                 sent_bytes += delta_bytes as u64;
-                if pipelined && outboxes.staged(dst).len() >= PIPELINE_PART_ITEMS {
+                if pipelined && outboxes.staged(dst).len() >= part_limit {
                     // Streaming send plus eager routing; `clock.merge` is a
                     // max, so merging per-arrival here reproduces the
                     // serialized path's merged clock exactly.
@@ -362,9 +376,12 @@ fn machine_loop<P: VertexProgram>(
                 bd.overlap_ms += t.overlap_ms;
                 bd.send_wait_ms += t.send_wait_ms;
             }
+            pending_wait_ms += t.send_wait_ms;
+            pending_overlap_ms += t.overlap_ms;
             let bs = pctx.block_size().max(1);
             let segments = drain.stitch(num_local.div_ceil(bs).max(1));
-            state.deliver_segments(program, &pctx, segments);
+            let runs = state.deliver_segments(program, &pctx, segments);
+            stats.record_fold_runs(runs);
         } else if exchange_fast {
             let mut received =
                 w.ep
@@ -379,7 +396,8 @@ fn machine_loop<P: VertexProgram>(
                 gather_translate,
                 &mut state.seg_scratch,
             );
-            state.deliver_segments(program, &pctx, segments);
+            let runs = state.deliver_segments(program, &pctx, segments);
+            stats.record_fold_runs(runs);
             for batch in received {
                 w.ep.recycle(batch);
             }
@@ -390,19 +408,7 @@ fn machine_loop<P: VertexProgram>(
             for batch in &received {
                 clock.merge(batch.sent_at);
             }
-            let mut inbound: Vec<(u32, P::Delta)> = Vec::new();
-            for batch in received {
-                for (gid, msg) in batch.items {
-                    if let SyncMsg::Accum(d) = msg {
-                        let l = shard
-                            .local_of(gid.into())
-                            .expect("accum routed to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
-                        debug_assert!(shard.is_master[l as usize]);
-                        inbound.push((l, program.gather(gid.into(), d)));
-                    }
-                }
-            }
-            state.deliver_all(program, &pctx, inbound);
+            crate::oracle::sync_gather_deliver(shard, program, &pctx, &mut state, me, received)?;
         }
         // Newly activated masters ended up on the queue.
         master_worklist.extend(state.take_queue());
@@ -473,10 +479,15 @@ fn machine_loop<P: VertexProgram>(
                         ),
                     );
                     sent_bytes += update_bytes as u64;
-                    if pipelined && outboxes.staged(dst).len() >= PIPELINE_PART_ITEMS {
+                    if pipelined && outboxes.staged(dst).len() >= part_limit {
                         w.ep.stream_part(&mut outboxes, dst, clock.now(), Phase::Apply, update_bytes, &stats)?;
                         while let Some(mut batch) = w.ep.poll_stream() {
                             deferred_merges.push(batch.sent_at);
+                            // Updates mutate `vdata` in sender order, so
+                            // this path materializes (the zero-copy cursor
+                            // serves the fold-routed gather/coherency
+                            // exchanges, which dominate wire volume).
+                            batch.make_items().map_err(|e| CommError::transport(me, &e))?;
                             if !batch.items.is_empty() {
                                 update_parts[batch.from]
                                     .push(std::mem::take(&mut batch.items));
@@ -495,6 +506,7 @@ fn machine_loop<P: VertexProgram>(
         stats.record_applies(applies);
         clock.advance(cost.apply_time(applies));
         if pipelined {
+            let mut cb_err: Option<NetError> = None;
             let t = w.ep.finish_pipelined(
                 &mut outboxes,
                 clock.now(),
@@ -503,16 +515,27 @@ fn machine_loop<P: VertexProgram>(
                 &stats,
                 |batch| {
                     deferred_merges.push(batch.sent_at);
+                    if cb_err.is_none() {
+                        if let Err(e) = batch.make_items() {
+                            cb_err = Some(e);
+                            return;
+                        }
+                    }
                     if !batch.items.is_empty() {
                         update_parts[batch.from].push(std::mem::take(&mut batch.items));
                     }
                 },
             )?;
+            if let Some(e) = cb_err {
+                return Err(CommError::transport(me, &e));
+            }
             {
                 let mut bd = timing_sink.lock();
                 bd.overlap_ms += t.overlap_ms;
                 bd.send_wait_ms += t.send_wait_ms;
             }
+            pending_wait_ms += t.send_wait_ms;
+            pending_overlap_ms += t.overlap_ms;
             for sent_at in deferred_merges.drain(..) {
                 clock.merge(sent_at);
             }
@@ -542,6 +565,7 @@ fn machine_loop<P: VertexProgram>(
             // (batch order = sender order); drained buffers go back to the pool.
             for mut batch in received {
                 clock.merge(batch.sent_at);
+                batch.make_items().map_err(|e| CommError::transport(me, &e))?;
                 for (gid, msg) in batch.items.drain(..) {
                     if let SyncMsg::Update { data, scatter } = msg {
                         let l = shard
@@ -625,6 +649,19 @@ fn machine_loop<P: VertexProgram>(
                     sim_time: clock.now(),
                 });
             }
+        }
+        // Adaptive part sizing commits at deterministic points only: every
+        // superstep bottom when recovery is off, else only at checkpoint
+        // boundaries (and before capture, so the snapshot carries the value
+        // replay regeneration needs).
+        if pipelined && adaptive_parts && (recovery.every == 0 || recovery.due(iterations)) {
+            state.part_items =
+                adapt_part_items(state.part_items, pending_wait_ms, pending_overlap_ms);
+            pending_wait_ms = 0.0;
+            pending_overlap_ms = 0.0;
+        }
+        if pipelined {
+            stats.record_adaptive_part_items(state.part_items as u64);
         }
         if red.pending == 0 {
             converged = true;

@@ -38,6 +38,13 @@ pub const MAX_FRAME: usize = 64 << 20;
 /// Fixed header size: 4-byte length + 1-byte kind.
 pub const HEADER_LEN: usize = 5;
 
+/// Cap on a [`FrameReader`]'s recycled-payload free list. One reader
+/// serves one peer link, and the consumer recycles a frame's payload as
+/// soon as it has been routed, so a couple of buffers in flight per link
+/// is the steady state; anything beyond the cap is burst capacity not
+/// worth pinning.
+pub const FRAME_POOL_CAP: usize = 8;
+
 /// What a frame carries.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FrameKind {
@@ -174,6 +181,14 @@ pub struct FrameReader {
     in_payload: bool,
     /// Parsed kind tag (valid once `in_payload`).
     kind: FrameKind,
+    /// Recycled payload buffers returned by the consumer once a frame
+    /// has been routed (see [`FrameReader::supply_buffer`]). Capped at
+    /// [`FRAME_POOL_CAP`].
+    free: Vec<Vec<u8>>,
+    /// Whether the payload of the frame currently being (or last)
+    /// assembled was drawn from the `free` list rather than freshly
+    /// allocated — the zero-copy steady-state signal.
+    cur_pooled: bool,
 }
 
 impl Default for FrameReader {
@@ -192,7 +207,37 @@ impl FrameReader {
             payload_have: 0,
             in_payload: false,
             kind: FrameKind::Data,
+            free: Vec::new(),
+            cur_pooled: false,
         }
+    }
+
+    /// Returns a spent payload buffer to the reader's free list so the
+    /// next frame can be assembled without a fresh heap allocation.
+    ///
+    /// The buffer is cleared but keeps its capacity; zero-capacity
+    /// buffers and anything past [`FRAME_POOL_CAP`] are dropped rather
+    /// than pooled.
+    pub fn supply_buffer(&mut self, mut buf: Vec<u8>) {
+        if buf.capacity() == 0 || self.free.len() >= FRAME_POOL_CAP {
+            return;
+        }
+        buf.clear();
+        self.free.push(buf);
+    }
+
+    /// Whether the most recently completed (or in-flight) frame's
+    /// payload buffer came from the free list. After warmup, a healthy
+    /// zero-copy consumer sees this `true` for every data frame —
+    /// steady-state inbound decode then performs zero per-frame heap
+    /// allocations.
+    pub fn last_frame_pooled(&self) -> bool {
+        self.cur_pooled
+    }
+
+    /// Buffers currently parked on the free list (diagnostics/tests).
+    pub fn pooled_buffers(&self) -> usize {
+        self.free.len()
     }
 
     /// Whether a frame is partially received (useful for diagnostics: an
@@ -226,6 +271,18 @@ impl FrameReader {
                     return Err(NetError::FrameTooLarge { len, max: MAX_FRAME });
                 }
                 self.kind = kind;
+                // `poll` hands completed payloads off by `mem::take`, so
+                // at this point `payload` is always the empty post-take
+                // husk; draw a recycled buffer if the consumer returned
+                // one, otherwise allocate fresh (and record which).
+                if self.payload.capacity() == 0 {
+                    if let Some(buf) = self.free.pop() {
+                        self.payload = buf;
+                        self.cur_pooled = true;
+                    } else {
+                        self.cur_pooled = false;
+                    }
+                }
                 self.payload.clear();
                 self.payload.resize(len, 0);
                 self.payload_have = 0;
@@ -420,5 +477,51 @@ mod tests {
         let n = write_frame(&mut sink, FrameKind::Data, b"abcd").unwrap();
         assert_eq!(n, HEADER_LEN + 4);
         assert_eq!(sink.len(), n);
+    }
+
+    #[test]
+    fn recycled_buffers_are_reused_without_allocation() {
+        let mut bytes = Vec::new();
+        for i in 0..4u8 {
+            bytes.extend_from_slice(&framed(FrameKind::Data, &[i; 16]));
+        }
+        let mut cur = Cursor::new(&bytes);
+        let mut rd = FrameReader::new();
+
+        // First frame: cold, allocates.
+        let f0 = rd.poll(&mut cur).unwrap().unwrap();
+        assert!(!rd.last_frame_pooled());
+        rd.supply_buffer(f0.payload);
+        assert_eq!(rd.pooled_buffers(), 1);
+
+        // Steady state: every subsequent frame draws from the pool.
+        for i in 1..4u8 {
+            let f = rd.poll(&mut cur).unwrap().unwrap();
+            assert_eq!(f.payload, vec![i; 16]);
+            assert!(rd.last_frame_pooled(), "frame {i} should reuse the recycled buffer");
+            rd.supply_buffer(f.payload);
+        }
+    }
+
+    #[test]
+    fn pool_drops_empty_buffers_and_caps_depth() {
+        let mut rd = FrameReader::new();
+        rd.supply_buffer(Vec::new()); // zero capacity: not pooled
+        assert_eq!(rd.pooled_buffers(), 0);
+        for _ in 0..(FRAME_POOL_CAP + 3) {
+            rd.supply_buffer(Vec::with_capacity(8));
+        }
+        assert_eq!(rd.pooled_buffers(), FRAME_POOL_CAP);
+    }
+
+    #[test]
+    fn pooled_buffer_contents_do_not_leak_into_next_frame() {
+        let mut rd = FrameReader::new();
+        // A dirty recycled buffer larger than the next frame's payload.
+        rd.supply_buffer(vec![0xFF; 64]);
+        let bytes = framed(FrameKind::Data, b"clean");
+        let f = rd.poll(&mut Cursor::new(&bytes)).unwrap().unwrap();
+        assert!(rd.last_frame_pooled());
+        assert_eq!(f.payload, b"clean");
     }
 }

@@ -8,6 +8,7 @@
 //!                    [--source 0] [--k 3] [--tolerance 1e-3] [--scale 0.1]
 //!                    [--threads N] [--block-size 1024]
 //!                    [--transport inproc|tcp] [--multiprocess] [--pipeline]
+//!                    [--no-adaptive-parts]
 //!                    [--checkpoint-every K] [--rejoin-window-ms MS] [--respawn-budget N]
 //!                    [--symmetrize] [--weights LO:HI] [--output values.txt]
 //! lazygraph-cli info --input <...> [--machines 48] [--scale 0.1]
@@ -179,6 +180,9 @@ fn engine_config(opts: &Opts) -> EngineConfig {
     }
     if opts.flags.contains("pipeline") {
         cfg = cfg.with_pipeline(true);
+    }
+    if opts.flags.contains("no-adaptive-parts") {
+        cfg = cfg.with_adaptive_parts(false);
     }
     if let Some(t) = opts.get("transport") {
         let kind: TransportKind = t.parse().unwrap_or_else(|e: String| {

@@ -225,6 +225,7 @@ fn run_worker<P: VertexProgram>(job: &WorkerJob, args: Args, program: P) -> Resu
                 par,
                 job.exchange_fast,
                 job.pipeline,
+                job.adaptive_parts,
                 stats.clone(),
                 breakdown.clone(),
                 recovery,
@@ -242,6 +243,7 @@ fn run_worker<P: VertexProgram>(job: &WorkerJob, args: Args, program: P) -> Resu
                 record_history: false,
                 exchange_fast: job.exchange_fast,
                 pipeline: job.pipeline,
+                adaptive_parts: job.adaptive_parts,
             };
             let ep = if args.resume {
                 reconnect_tcp_endpoint::<(u32, P::Delta)>(

@@ -163,6 +163,9 @@ pub struct WorkerJob {
     /// How long a surviving worker keeps a torn link in the "awaiting
     /// rejoin" window, in milliseconds (0 = poison immediately).
     pub rejoin_window_ms: u64,
+    /// Adaptive pipeline part sizing (DESIGN.md §14). Appended last on
+    /// the wire (PR 8) so every pre-existing field keeps its offset.
+    pub adaptive_parts: bool,
 }
 
 fn encode_engine_kind(k: EngineKind, out: &mut Vec<u8>) {
@@ -252,6 +255,8 @@ impl Wire for WorkerJob {
         self.checkpoint_every.encode(out);
         self.checkpoint_dir.encode(out);
         self.rejoin_window_ms.encode(out);
+        // Adaptive part sizing (PR 8), appended last.
+        self.adaptive_parts.encode(out);
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
@@ -342,6 +347,7 @@ impl Wire for WorkerJob {
             checkpoint_every: u64::decode(r)?,
             checkpoint_dir: String::decode(r)?,
             rejoin_window_ms: u64::decode(r)?,
+            adaptive_parts: bool::decode(r)?,
         })
     }
 }
@@ -532,6 +538,7 @@ pub fn run_multiprocess_with<P: VertexProgram>(
         } else {
             opts.rejoin_window_ms
         },
+        adaptive_parts: cfg.adaptive_parts,
     };
     let mut job = job;
 
@@ -829,6 +836,7 @@ mod tests {
             checkpoint_every: 4,
             checkpoint_dir: "/tmp/lz-ckpt".into(),
             rejoin_window_ms: 15_000,
+            adaptive_parts: true,
         }
     }
 
@@ -848,6 +856,7 @@ mod tests {
         assert_eq!(back.checkpoint_every, 4);
         assert_eq!(back.checkpoint_dir, "/tmp/lz-ckpt");
         assert_eq!(back.rejoin_window_ms, 15_000);
+        assert!(back.adaptive_parts);
         assert_eq!(back.cost.bandwidth.to_bits(), j.cost.bandwidth.to_bits());
         assert_eq!(
             back.splitter.t_extra.to_bits(),

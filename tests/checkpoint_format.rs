@@ -136,6 +136,7 @@ proptest! {
         mbits in proptest::collection::vec((any::<bool>(), any::<u32>()), 0usize..32),
         active in proptest::collection::vec(any::<bool>(), 0usize..32),
         queue in proptest::collection::vec(any::<u32>(), 0usize..32),
+        part_items in any::<u32>(),
         with_lazy in any::<bool>(),
         counters in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         prev_active in (any::<bool>(), any::<u64>()),
@@ -172,6 +173,7 @@ proptest! {
             delta_msg: mbits.iter().map(|&(s, b)| s.then(|| f32::from_bits(!b))).collect(),
             active,
             queue,
+            part_items,
             lazy: lazy.clone(),
         };
         let bytes = snap.to_wire();
@@ -203,6 +205,7 @@ proptest! {
             delta_msg: vec![Some(1.5), None, None],
             active: vec![true, false, true],
             queue: vec![2, 0],
+            part_items: 1024,
             lazy: None,
         };
         let bytes = snap.to_wire();

@@ -56,6 +56,11 @@ fn run_fingerprint<P: VertexProgram>(
     // How many streamed parts land before the coherency barrier is a race
     // between compute and the wire — telemetry, not part of the contract.
     stats.drain_batches_early = 0;
+    // How many deliveries coalesce into vectorized runs depends on the
+    // block partitioning (a run cannot cross a block boundary), so the
+    // counter varies with block_size by design — vectorization telemetry,
+    // not part of the contract. Values must still match bitwise.
+    stats.fold_runs = 0;
     let counters = format!(
         "iters={} coh={} sub={} a2a={} m2m={} syncs={} stats={:?} sim={:?} conv={}",
         r.metrics.iterations,
@@ -254,6 +259,50 @@ fn pipelined_path_matches_serialized_bitwise() {
                     "{engine:?}/sssp sim_time diverged on {transport:?}, machines={machines}"
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn adaptive_part_sizing_never_changes_results() {
+    // Adaptive pipeline sizing (DESIGN.md §14) only moves *part
+    // boundaries*, and part boundaries are proven value- and
+    // sim_time-invariant by `pipelined_path_matches_serialized_bitwise`
+    // (which already runs with the adaptive default). This pins the
+    // stronger explicit triangle: adaptive-on ≡ adaptive-off ≡
+    // serialized, bitwise, on the wire transport where adaptation
+    // actually engages.
+    let g = test_graph();
+    for engine in [EngineKind::PowerGraphSync, EngineKind::LazyBlockAsync] {
+        for machines in [2usize, 4] {
+            let serial = cfg(engine, 4, false).with_transport(TransportKind::Tcp);
+            let fixed = serial
+                .clone()
+                .with_pipeline(true)
+                .with_adaptive_parts(false);
+            let adaptive = serial.clone().with_pipeline(true);
+            let r_serial =
+                run(&g, machines, &serial, &PageRankDelta::default()).expect("cluster run");
+            let r_fixed =
+                run(&g, machines, &fixed, &PageRankDelta::default()).expect("cluster run");
+            let r_adaptive =
+                run(&g, machines, &adaptive, &PageRankDelta::default()).expect("cluster run");
+            let vals = |r: &RunResult<PageRankDelta>| format!("{:?}", r.values);
+            assert_eq!(
+                vals(&r_adaptive),
+                vals(&r_fixed),
+                "{engine:?} adaptive changed values at machines={machines}"
+            );
+            assert_eq!(
+                vals(&r_adaptive),
+                vals(&r_serial),
+                "{engine:?} pipelined diverged from serialized at machines={machines}"
+            );
+            assert_eq!(
+                r_adaptive.metrics.sim_time.to_bits(),
+                r_fixed.metrics.sim_time.to_bits(),
+                "{engine:?} adaptive changed sim_time at machines={machines}"
+            );
         }
     }
 }

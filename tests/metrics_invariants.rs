@@ -212,6 +212,111 @@ fn recovery_counters_survive_wire_and_merge() {
 }
 
 #[test]
+fn zero_copy_counters_survive_wire_and_merge() {
+    use lazygraph_cluster::{NetStats, StatsSnapshot};
+    use lazygraph_net::Wire;
+
+    // PR 8 counters: `zero_copy_frames` and `fold_runs` are sums across
+    // workers, `adaptive_part_items` is a high-water mark — merge must
+    // take the max, not add (two workers both cruising at 2048 did not
+    // jointly reach 4096).
+    let stats = NetStats::default();
+    stats.record_zero_copy_frames(5);
+    stats.record_fold_runs(17);
+    stats.record_adaptive_part_items(2048);
+    stats.record_adaptive_part_items(512); // later, smaller: high-water holds
+    let snap = stats.snapshot();
+    assert_eq!(snap.zero_copy_frames, 5);
+    assert_eq!(snap.fold_runs, 17);
+    assert_eq!(snap.adaptive_part_items, 2048);
+
+    let back = StatsSnapshot::from_wire(&snap.to_wire()).expect("decode");
+    assert_eq!(back.zero_copy_frames, snap.zero_copy_frames);
+    assert_eq!(back.fold_runs, snap.fold_runs);
+    assert_eq!(back.adaptive_part_items, snap.adaptive_part_items);
+
+    let other = StatsSnapshot {
+        zero_copy_frames: 3,
+        fold_runs: 4,
+        adaptive_part_items: 1024,
+        ..Default::default()
+    };
+    let mut merged = StatsSnapshot::default();
+    merged.merge(&snap);
+    merged.merge(&other);
+    assert_eq!(merged.zero_copy_frames, 8);
+    assert_eq!(merged.fold_runs, 21);
+    assert_eq!(merged.adaptive_part_items, 2048, "merge must max, not sum");
+
+    // The report must surface all three so a perf log names them.
+    let lines = merged.report_lines();
+    assert!(
+        lines.iter().any(|l| l.contains("zero_copy_frames=8")
+            && l.contains("fold_runs=21")
+            && l.contains("adaptive_part_items=2048")),
+        "report lines missing PR 8 counters: {lines:?}"
+    );
+}
+
+#[test]
+fn tcp_inbound_path_is_zero_copy_and_adaptation_stays_clamped() {
+    use lazygraph_engine::exchange::{PART_ITEMS_MAX, PART_ITEMS_MIN};
+    use lazygraph_engine::TransportKind;
+
+    // Every framed-TCP data batch should draw its payload buffer from the
+    // reader's pool after warmup and route through the borrowing cursor —
+    // `zero_copy_frames` is counted at the only place payload buffers are
+    // born, so frames ≈ zero-copy frames proves the per-batch `Vec<Item>`
+    // is gone. The adaptive controller's high-water must stay inside its
+    // clamp window whenever it records at all.
+    let g = road();
+    for base in [EngineConfig::powergraph_sync(), EngineConfig::lazygraph()] {
+        let cfg = base.with_transport(TransportKind::Tcp).with_pipeline(true);
+        let r = run(&g, 4, &cfg, &Sssp::new(0u32)).expect("cluster run");
+        let s = &r.metrics.stats;
+        assert!(
+            s.zero_copy_frames > 0,
+            "{}: tcp run recorded no zero-copy frames",
+            r.metrics.engine
+        );
+        assert!(
+            s.adaptive_part_items >= PART_ITEMS_MIN as u64
+                && s.adaptive_part_items <= PART_ITEMS_MAX as u64,
+            "{}: adaptive high-water {} outside [{PART_ITEMS_MIN}, {PART_ITEMS_MAX}]",
+            r.metrics.engine,
+            s.adaptive_part_items
+        );
+    }
+    // In-proc ships no frames, so the counter must stay zero there: it
+    // measures the wire path, not deliveries.
+    let r = run(&g, 4, &EngineConfig::lazygraph(), &Sssp::new(0u32)).expect("cluster run");
+    assert_eq!(r.metrics.stats.zero_copy_frames, 0);
+}
+
+#[test]
+fn fold_runs_are_deterministic_and_fingerprint_stable() {
+    // `fold_runs` counts contiguous same-vertex runs in the delivered
+    // segments; segment contents are part of the determinism contract, so
+    // the counter must reproduce run-to-run in a fixed configuration.
+    // Sender-side combining leaves one item per vertex per sender, so a
+    // hot vertex's deltas sit in consecutive *segments* of its block —
+    // the run fold spans those boundaries, so the default production
+    // config must already vectorize on a skewed graph.
+    let g = social();
+    let run_once = || {
+        let cfg = EngineConfig::lazygraph();
+        let r = run(&g, 6, &cfg, &PageRankDelta::default()).expect("cluster run");
+        (r.metrics.stats.fold_runs, r.metrics.sim_time.to_bits())
+    };
+    let (folds, sim) = run_once();
+    assert_eq!((folds, sim), run_once());
+    assert!(
+        folds > 0,
+        "PageRank on a social graph must fold at least one multi-delta run"
+    );
+}
+
+#[test]
 fn iteration_cap_reports_non_convergence() {
     let g = road();
     let mut cfg = EngineConfig::powergraph_sync();
