@@ -126,6 +126,13 @@ impl VertexProgram for PageRankDelta {
             DeltaExchange::Send
         }
     }
+
+    fn priority(&self, _data: &PageRankData, accum: &f64) -> f64 {
+        // Maiter-style urgency: the pending inbox mass. Sub-tolerance
+        // residue parks (its mass is conserved in the inbox) until more
+        // arrives — the same error model the flush threshold defines.
+        accum.abs()
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +193,14 @@ mod tests {
             None,
             "sinks drop mass"
         );
+    }
+
+    #[test]
+    fn priority_is_inbox_magnitude() {
+        let p = PageRankDelta::default();
+        let d = PageRankData::default();
+        assert_eq!(p.priority(&d, &0.25), 0.25);
+        assert_eq!(p.priority(&d, &-0.25), 0.25, "negative mass is as urgent");
     }
 
     #[test]

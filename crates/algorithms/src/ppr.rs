@@ -95,6 +95,11 @@ impl VertexProgram for PersonalizedPageRank {
             DeltaExchange::Send
         }
     }
+
+    fn priority(&self, _data: &PageRankData, accum: &f64) -> f64 {
+        // Residual push: urgency is the unapplied residual mass.
+        accum.abs()
+    }
 }
 
 /// Sequential reference: dense personalised power iteration.

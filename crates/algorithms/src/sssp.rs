@@ -82,6 +82,14 @@ impl VertexProgram for Sssp {
             DeltaExchange::Send
         }
     }
+
+    fn priority(&self, data: &f32, accum: &f32) -> f64 {
+        // Urgency = how much this candidate would shorten the current
+        // distance. A non-improving candidate prices at ≤ 0 (the
+        // scheduler parks it: applying it would be a no-op), and the
+        // first relaxation of an ∞ vertex prices at ∞ (top bucket).
+        (*data - *accum) as f64
+    }
 }
 
 #[cfg(test)]
@@ -127,6 +135,14 @@ mod tests {
             weight: 2.5,
         };
         assert_eq!(p.scatter(VertexId(0), &0.0, 4.0, &ctx(), &e), Some(6.5));
+    }
+
+    #[test]
+    fn priority_is_the_improvement() {
+        let p = Sssp::new(0u32);
+        assert_eq!(p.priority(&5.0, &3.0), 2.0);
+        assert!(p.priority(&3.0, &5.0) <= 0.0, "non-improving parks");
+        assert_eq!(p.priority(&f32::INFINITY, &3.0), f64::INFINITY);
     }
 
     #[test]

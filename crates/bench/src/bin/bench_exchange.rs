@@ -18,6 +18,16 @@
 //! `--pipeline`, repeated and min-reduced, emitting `BENCH_pipeline.json`
 //! with the overlap counters. The full run asserts ≥10% wall-clock
 //! improvement on at least one PageRank cell with `overlap_ms > 0`.
+//!
+//! `--engine delta` switches to the delta-accumulative comparison
+//! (DESIGN.md §15): DeltaAccum vs LazyVertexAsync on the same
+//! PageRank/SSSP × R-MAT × 4-machine matrix, emitting `BENCH_delta.json`
+//! with applies, wire traffic, and the scheduler counters. The full run
+//! asserts the delta engine ships fewer framed wire bytes and applies
+//! fewer vertex updates than lazy-vertex on PageRank (it ships more,
+//! smaller items — raw delta payloads vs lazy-vertex's framing — so the
+//! byte column is the honest comparison); wall clock is documented only
+//! (a 1-core container timeshares the machines).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -430,6 +440,203 @@ fn emit_pipeline_json(
     s
 }
 
+/// One delta-vs-lazy comparison cell (`--engine delta` mode).
+struct DeltaCell {
+    engine: &'static str,
+    algorithm: &'static str,
+    transport: &'static str,
+    rmat_scale: u32,
+    vertices: usize,
+    edges: usize,
+    wall_ms: f64,
+    sim_time: f64,
+    est_bytes: u64,
+    wire_bytes: u64,
+    wire_items: u64,
+    /// Vertex-program applies — the processed-vertex count the epoch
+    /// scheduler is supposed to shrink.
+    applies: u64,
+    delta_skipped_vertices: u64,
+    sched_epochs: u64,
+    bucket_high_water: u64,
+}
+
+fn delta_cell<P: VertexProgram>(
+    g: &Graph,
+    scale_exp: u32,
+    engine: EngineKind,
+    transport: TransportKind,
+    algorithm: &'static str,
+    program: &P,
+) -> DeltaCell {
+    let (_, m, wall_ms) = measure(g, engine, true, transport, program);
+    eprintln!(
+        "  {} / {} / {} / rmat{}: wall {:.1}ms, {} applies, {} wire items, \
+         {} skipped, {} epochs, high-water {}",
+        engine.name(),
+        transport.name(),
+        algorithm,
+        scale_exp,
+        wall_ms,
+        m.stats.applies,
+        m.stats.total_items(),
+        m.stats.delta_skipped_vertices,
+        m.stats.sched_epochs,
+        m.stats.bucket_high_water,
+    );
+    DeltaCell {
+        engine: engine.name(),
+        algorithm,
+        transport: transport.name(),
+        rmat_scale: scale_exp,
+        vertices: g.num_vertices(),
+        edges: g.num_edges(),
+        wall_ms,
+        sim_time: m.sim_time,
+        est_bytes: m.stats.total_est_bytes(),
+        wire_bytes: m.stats.wire_bytes_sent,
+        wire_items: m.stats.total_items(),
+        applies: m.stats.applies,
+        delta_skipped_vertices: m.stats.delta_skipped_vertices,
+        sched_epochs: m.stats.sched_epochs,
+        bucket_high_water: m.stats.bucket_high_water,
+    }
+}
+
+fn emit_delta_json(quick: bool, scales: &[u32], cells: &[DeltaCell]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"delta\",");
+    let _ = writeln!(s, "  \"machines\": {MACHINES},");
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(s, "  \"host_parallelism\": {},", host_parallelism());
+    let _ = writeln!(s, "  \"git_rev\": \"{}\",", git_rev());
+    let _ = writeln!(
+        s,
+        "  \"rmat_scales\": [{}],",
+        scales
+            .iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"engine\": \"{}\", \"algorithm\": \"{}\", \"transport\": \"{}\", \
+             \"rmat_scale\": {}, \"vertices\": {}, \"edges\": {}, \
+             \"wall_ms\": {:.3}, \"sim_time\": {:.9}, \
+             \"est_bytes\": {}, \"wire_bytes\": {}, \"wire_items\": {}, \"applies\": {}, \
+             \"delta_skipped_vertices\": {}, \"sched_epochs\": {}, \
+             \"bucket_high_water\": {}}}{}",
+            c.engine,
+            c.algorithm,
+            c.transport,
+            c.rmat_scale,
+            c.vertices,
+            c.edges,
+            c.wall_ms,
+            c.sim_time,
+            c.est_bytes,
+            c.wire_bytes,
+            c.wire_items,
+            c.applies,
+            c.delta_skipped_vertices,
+            c.sched_epochs,
+            c.bucket_high_water,
+            if i + 1 == cells.len() { "" } else { "," }
+        );
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+/// The `--engine delta` mode: the delta-accumulative engine against the
+/// lazy-vertex baseline it is supposed to beat on shipped work.
+fn run_delta_compare(quick: bool, out: &str) {
+    let scales: Vec<u32> = if quick { vec![8] } else { vec![10, 12] };
+    eprintln!(
+        "delta bench: {} machines, rmat scales {:?}{}",
+        MACHINES,
+        scales,
+        if quick { " (quick)" } else { "" }
+    );
+    let engines = [EngineKind::LazyVertexAsync, EngineKind::DeltaAccum];
+    let mut cells = Vec::new();
+    for &scale_exp in &scales {
+        let g = build_graph(scale_exp);
+        for engine in engines {
+            let t = TransportKind::InProc;
+            cells.push(delta_cell(&g, scale_exp, engine, t, "pagerank", &PageRankDelta::default()));
+            cells.push(delta_cell(&g, scale_exp, engine, t, "sssp", &Sssp::new(0u32)));
+            // One framed-TCP PageRank cell per engine per scale, so the
+            // wire_bytes column compares measured frame bytes rather than
+            // the zero the in-proc transport ships.
+            cells.push(delta_cell(
+                &g,
+                scale_exp,
+                engine,
+                TransportKind::Tcp,
+                "pagerank",
+                &PageRankDelta::default(),
+            ));
+        }
+    }
+    // Headline at the largest scale: the epoch scheduler must shrink the
+    // shipped and applied work on PageRank. Counts are deterministic, so
+    // they are asserted even where wall clock is not (quick graphs are
+    // too small to owe the bar).
+    let find = |engine: &str, transport: &str| {
+        cells
+            .iter()
+            .find(|c| {
+                c.engine == engine
+                    && c.transport == transport
+                    && c.algorithm == "pagerank"
+                    && c.rmat_scale == *scales.last().expect("non-empty scales")
+            })
+            .expect("matrix always contains the headline cells")
+    };
+    let lazy = find("lazy-vertex-async", "inproc");
+    let delta = find("delta-accum", "inproc");
+    let lazy_tcp = find("lazy-vertex-async", "tcp");
+    let delta_tcp = find("delta-accum", "tcp");
+    eprintln!(
+        "headline: delta-accum/pagerank applies {} vs lazy-vertex {} ({:.1}% of the work), \
+         wire items {} vs {}, framed bytes {} vs {}",
+        delta.applies,
+        lazy.applies,
+        100.0 * delta.applies as f64 / lazy.applies.max(1) as f64,
+        delta.wire_items,
+        lazy.wire_items,
+        delta_tcp.wire_bytes,
+        lazy_tcp.wire_bytes,
+    );
+    if !quick {
+        assert!(
+            delta.applies < lazy.applies,
+            "delta engine applied {} vertex updates, lazy-vertex {}",
+            delta.applies,
+            lazy.applies
+        );
+        assert!(
+            delta_tcp.wire_bytes < lazy_tcp.wire_bytes,
+            "delta engine framed {} bytes, lazy-vertex {}",
+            delta_tcp.wire_bytes,
+            lazy_tcp.wire_bytes
+        );
+        assert!(
+            delta.delta_skipped_vertices > 0 && delta.sched_epochs > 0,
+            "scheduler counters must show the bucket plan deferring work"
+        );
+    }
+    let json = emit_delta_json(quick, &scales, &cells);
+    std::fs::write(out, &json).expect("write bench json");
+    eprintln!("wrote {out}");
+}
+
 /// The `--pipeline-compare` mode: serialized vs pipelined over framed TCP.
 fn run_pipeline_compare(quick: bool, pin: bool, out: &str) {
     // Scales start where streaming matters: a destination's outbox only
@@ -517,6 +724,7 @@ fn run_pipeline_compare(quick: bool, pin: bool, out: &str) {
 fn main() {
     let mut quick = false;
     let mut pipeline_compare = false;
+    let mut delta_compare = false;
     let mut pin = false;
     let mut out: Option<String> = None;
     let mut it = std::env::args().skip(1);
@@ -524,12 +732,26 @@ fn main() {
         match a.as_str() {
             "--quick" => quick = true,
             "--pipeline-compare" => pipeline_compare = true,
+            "--engine" => {
+                let e = it.next().expect("--engine needs a name");
+                match e.as_str() {
+                    "delta" | "delta-accum" => delta_compare = true,
+                    other => panic!("unknown --engine {other}; known: delta"),
+                }
+            }
             "--pin" => pin = true,
             "--out" => out = Some(it.next().expect("--out needs a path")),
             other => {
-                panic!("unknown argument {other}; known: --quick --pipeline-compare --pin --out")
+                panic!(
+                    "unknown argument {other}; known: --quick --pipeline-compare \
+                     --engine --pin --out"
+                )
             }
         }
+    }
+    if delta_compare {
+        let out = out.unwrap_or_else(|| "BENCH_delta.json".to_string());
+        return run_delta_compare(quick, &out);
     }
     if pipeline_compare {
         let out = out.unwrap_or_else(|| "BENCH_pipeline.json".to_string());

@@ -84,6 +84,16 @@ impl<T: Wire> Batch<T> {
         let Some(raw) = &mut self.raw else {
             return Ok(());
         };
+        // Calling again with the decoded items still in place is a benign
+        // no-op (the count is drained, the loop below runs zero times).
+        // The dangerous shape is a re-call *after* the items were taken:
+        // encoded bytes still sit past the header, yet the caller gets an
+        // empty payload back and believes it was a fresh decode.
+        debug_assert!(
+            raw.count > 0 || !self.items.is_empty() || raw.bytes.len() == raw.offset,
+            "raw batch re-materialized after its items were drained; \
+             hoist make_items to the delivery site"
+        );
         let mut r = WireReader::new(&raw.bytes[raw.offset..]);
         // Each encoded item is at least one byte, so this reserve is
         // bounded by the frame size even if `count` is corrupt.
@@ -1202,8 +1212,26 @@ mod tests {
         b.make_items().unwrap();
         assert_eq!(b.items, vec![5, 6, 7]);
         assert_eq!(b.item_count(), 3, "materialized items replace the raw count");
-        b.make_items().unwrap(); // idempotent: the raw count was zeroed
-        assert_eq!(b.items, vec![5, 6, 7]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "materialized twice")]
+    fn double_materialize_is_caught_in_debug() {
+        let mut bytes = Vec::new();
+        for v in [5u32, 6] {
+            v.encode(&mut bytes);
+        }
+        let mut b = Batch::<u32> {
+            from: 1,
+            sent_at: 0.0,
+            round: 0,
+            last: true,
+            items: Vec::new(),
+            raw: Some(RawBatch { bytes, offset: 0, count: 2 }),
+        };
+        b.make_items().unwrap();
+        b.make_items().unwrap(); // second call: a consumer bug, not a no-op
     }
 
     #[test]

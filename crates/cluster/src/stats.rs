@@ -94,6 +94,9 @@ pub struct NetStats {
     zero_copy_frames: AtomicU64,
     fold_runs: AtomicU64,
     adaptive_part_items: AtomicU64,
+    delta_skipped_vertices: AtomicU64,
+    sched_epochs: AtomicU64,
+    bucket_high_water: AtomicU64,
 }
 
 impl NetStats {
@@ -235,6 +238,32 @@ impl NetStats {
         self.adaptive_part_items.fetch_max(part_items, Ordering::Relaxed);
     }
 
+    /// Records `n` pending vertices the delta engine's bucket scheduler
+    /// parked this epoch (sub-tolerance accumulated mass — work the dense
+    /// reference would have processed).
+    #[inline]
+    pub fn record_delta_skipped(&self, n: u64) {
+        if n != 0 {
+            self.delta_skipped_vertices.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one scheduler epoch executed by a machine (the cluster
+    /// total is machine-epochs: every machine of an `n`-machine run
+    /// contributes one per epoch).
+    #[inline]
+    pub fn record_sched_epochs(&self, n: u64) {
+        self.sched_epochs.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records an epoch's largest single-bucket occupancy; the counter
+    /// keeps the high-water mark (`fetch_max`) like
+    /// [`Self::record_adaptive_part_items`].
+    #[inline]
+    pub fn record_bucket_high_water(&self, occupancy: u64) {
+        self.bucket_high_water.fetch_max(occupancy, Ordering::Relaxed);
+    }
+
     /// A consistent snapshot (exact once all machine threads have joined).
     pub fn snapshot(&self) -> StatsSnapshot {
         let mut per_phase = [PhaseStats::default(); NUM_PHASES];
@@ -264,6 +293,9 @@ impl NetStats {
             zero_copy_frames: self.zero_copy_frames.load(Ordering::Relaxed),
             fold_runs: self.fold_runs.load(Ordering::Relaxed),
             adaptive_part_items: self.adaptive_part_items.load(Ordering::Relaxed),
+            delta_skipped_vertices: self.delta_skipped_vertices.load(Ordering::Relaxed),
+            sched_epochs: self.sched_epochs.load(Ordering::Relaxed),
+            bucket_high_water: self.bucket_high_water.load(Ordering::Relaxed),
         }
     }
 }
@@ -355,6 +387,16 @@ pub struct StatsSnapshot {
     /// them reached. Wall-clock-fed telemetry, outside the determinism
     /// counter contract.
     pub adaptive_part_items: u64,
+    /// Pending vertices the delta engine's scheduler parked as
+    /// sub-tolerance instead of processing. Deterministic per
+    /// configuration: the plan is a pure function of state.
+    pub delta_skipped_vertices: u64,
+    /// Scheduler epochs executed, summed over machines (an `n`-machine
+    /// run records `n` per epoch). Deterministic per configuration.
+    pub sched_epochs: u64,
+    /// High-water mark of any single priority bucket's occupancy in one
+    /// epoch. Merged by `max`, not `+`, like `adaptive_part_items`.
+    pub bucket_high_water: u64,
 }
 
 impl StatsSnapshot {
@@ -409,6 +451,9 @@ impl StatsSnapshot {
         // High-water mark, not an event count: the cluster-wide value is
         // the largest part size any worker committed.
         self.adaptive_part_items = self.adaptive_part_items.max(other.adaptive_part_items);
+        self.delta_skipped_vertices += other.delta_skipped_vertices;
+        self.sched_epochs += other.sched_epochs;
+        self.bucket_high_water = self.bucket_high_water.max(other.bucket_high_water);
     }
 
     /// Labelled report lines: every counter of the snapshot appears here
@@ -450,6 +495,10 @@ impl StatsSnapshot {
         lines.push(format!(
             "zero_copy_frames={} fold_runs={} adaptive_part_items={}",
             self.zero_copy_frames, self.fold_runs, self.adaptive_part_items
+        ));
+        lines.push(format!(
+            "delta_skipped_vertices={} sched_epochs={} bucket_high_water={}",
+            self.delta_skipped_vertices, self.sched_epochs, self.bucket_high_water
         ));
         lines
     }
@@ -494,6 +543,9 @@ impl Wire for StatsSnapshot {
         self.zero_copy_frames.encode(out);
         self.fold_runs.encode(out);
         self.adaptive_part_items.encode(out);
+        self.delta_skipped_vertices.encode(out);
+        self.sched_epochs.encode(out);
+        self.bucket_high_water.encode(out);
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
         let mut per_phase = [PhaseStats::default(); NUM_PHASES];
@@ -521,6 +573,9 @@ impl Wire for StatsSnapshot {
             zero_copy_frames: u64::decode(r)?,
             fold_runs: u64::decode(r)?,
             adaptive_part_items: u64::decode(r)?,
+            delta_skipped_vertices: u64::decode(r)?,
+            sched_epochs: u64::decode(r)?,
+            bucket_high_water: u64::decode(r)?,
         })
     }
 }
@@ -675,6 +730,36 @@ mod tests {
         assert_eq!(m.zero_copy_frames, 7, "event counts sum");
         assert_eq!(m.fold_runs, 8);
         assert_eq!(m.adaptive_part_items, 4096, "high-water merges by max");
+        let back = StatsSnapshot::from_wire(&m.to_wire()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn delta_scheduler_counters_accumulate_and_merge() {
+        let s = NetStats::new();
+        s.record_delta_skipped(40);
+        s.record_delta_skipped(0); // no-op
+        s.record_delta_skipped(2);
+        s.record_sched_epochs(1);
+        s.record_sched_epochs(1);
+        // High-water: later smaller epochs must not lower it.
+        s.record_bucket_high_water(100);
+        s.record_bucket_high_water(900);
+        s.record_bucket_high_water(300);
+        let snap = s.snapshot();
+        assert_eq!(snap.delta_skipped_vertices, 42);
+        assert_eq!(snap.sched_epochs, 2);
+        assert_eq!(snap.bucket_high_water, 900);
+
+        let other = NetStats::new();
+        other.record_delta_skipped(8);
+        other.record_sched_epochs(2);
+        other.record_bucket_high_water(1500);
+        let mut m = snap;
+        m.merge(&other.snapshot());
+        assert_eq!(m.delta_skipped_vertices, 50, "event counts sum");
+        assert_eq!(m.sched_epochs, 4);
+        assert_eq!(m.bucket_high_water, 1500, "high-water merges by max");
         let back = StatsSnapshot::from_wire(&m.to_wire()).unwrap();
         assert_eq!(back, m);
     }

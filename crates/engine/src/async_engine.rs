@@ -113,13 +113,14 @@ fn machine_loop<P: VertexProgram>(
                 term.leave_idle();
                 idle = false;
             }
-            let bytes = batch.item_count() * update_bytes;
-            clock.merge(batch.sent_at + cost.async_batch_time(bytes as u64));
-            // Updates overwrite in place, so this path materializes raw
-            // TCP batches rather than cursor-routing them.
+            // Materialize exactly once, at receipt (Updates overwrite in
+            // place, so this path cannot cursor-route raw TCP batches);
+            // everything below works on the decoded items.
             batch
                 .make_items()
                 .map_err(|e| CommError::transport(shard.machine.index(), &e))?;
+            let bytes = batch.items.len() * update_bytes;
+            clock.merge(batch.sent_at + cost.async_batch_time(bytes as u64));
             let mut accums: Vec<(u32, P::Delta)> = Vec::new();
             for (gid, msg) in batch.items.drain(..) {
                 let l = shard

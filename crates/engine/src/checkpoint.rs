@@ -43,8 +43,11 @@ pub const CKPT_MAGIC: u32 = 0x4b435a4c;
 /// Current checkpoint format version. v2 added `part_items` (adaptive
 /// pipelined part sizing, PR 8) — replay regeneration must reproduce the
 /// exact wire stream, part boundaries included, so the part size rides in
-/// the snapshot.
-pub const CKPT_VERSION: u32 = 2;
+/// the snapshot. v3 appended the DeltaAccum engine's resume extras
+/// (`delta`): the engine's cross-iteration counters; the scheduler's
+/// buckets themselves are a pure function of `MachineState` and carry no
+/// state of their own.
+pub const CKPT_VERSION: u32 = 3;
 /// Maximum payload bytes per checksummed chunk.
 pub const CKPT_CHUNK: usize = 1 << 20;
 
@@ -225,6 +228,29 @@ impl Wire for LazyResume {
     }
 }
 
+/// Extra cross-iteration state of the DeltaAccum engine. The bucket
+/// scheduler is deliberately stateless across epochs — every epoch's plan
+/// is recomputed from `MachineState` alone — so the engine's counters are
+/// all that must survive a crash for the resumed trajectory to stay
+/// bitwise-identical.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeltaResume {
+    /// The per-machine counters (epochs double as coherency points; every
+    /// exchange is all-to-all).
+    pub counters: LazyCounters,
+}
+
+impl Wire for DeltaResume {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.counters.encode(out);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        Ok(DeltaResume {
+            counters: LazyCounters::decode(r)?,
+        })
+    }
+}
+
 /// One machine's complete resumable state at a checkpoint boundary (the
 /// bottom of a superstep, after its last exchange and collective).
 #[derive(Clone, Debug)]
@@ -258,8 +284,11 @@ pub struct EngineSnapshot<P: VertexProgram> {
     /// force at the snapshot, so regenerated rounds reproduce the logged
     /// part boundaries byte-for-byte.
     pub part_items: u32,
-    /// Lazy-engine extras (None for the Sync engine).
+    /// Lazy-engine extras (None for the Sync and DeltaAccum engines).
     pub lazy: Option<LazyResume>,
+    /// DeltaAccum extras (None for every other engine). Appended last —
+    /// wire evolution rule — hence the v3 version bump.
+    pub delta: Option<DeltaResume>,
 }
 
 impl<P: VertexProgram> PartialEq for EngineSnapshot<P> {
@@ -277,6 +306,7 @@ impl<P: VertexProgram> PartialEq for EngineSnapshot<P> {
             && self.queue == other.queue
             && self.part_items == other.part_items
             && self.lazy == other.lazy
+            && self.delta == other.delta
     }
 }
 
@@ -295,6 +325,7 @@ impl<P: VertexProgram> Wire for EngineSnapshot<P> {
         self.queue.encode(out);
         self.part_items.encode(out);
         self.lazy.encode(out);
+        self.delta.encode(out);
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
         Ok(EngineSnapshot {
@@ -311,6 +342,7 @@ impl<P: VertexProgram> Wire for EngineSnapshot<P> {
             queue: Vec::<u32>::decode(r)?,
             part_items: u32::decode(r)?,
             lazy: Option::<LazyResume>::decode(r)?,
+            delta: Option::<DeltaResume>::decode(r)?,
         })
     }
 }
@@ -318,6 +350,7 @@ impl<P: VertexProgram> Wire for EngineSnapshot<P> {
 impl<P: VertexProgram> EngineSnapshot<P> {
     /// Captures the state arrays from `state` (scratch pools excluded —
     /// they are allocation caches, not state).
+    #[allow(clippy::too_many_arguments)]
     pub fn capture(
         engine: u8,
         iterations: u64,
@@ -326,6 +359,7 @@ impl<P: VertexProgram> EngineSnapshot<P> {
         ctrl_round: u64,
         state: &MachineState<P>,
         lazy: Option<LazyResume>,
+        delta: Option<DeltaResume>,
     ) -> Self {
         EngineSnapshot {
             engine,
@@ -341,6 +375,7 @@ impl<P: VertexProgram> EngineSnapshot<P> {
             queue: state.queue.clone(),
             part_items: state.part_items,
             lazy,
+            delta,
         }
     }
 
@@ -512,6 +547,7 @@ pub fn checkpoint_at_barrier<P: VertexProgram, T>(
     clock: &SimClock,
     state: &MachineState<P>,
     lazy: Option<LazyResume>,
+    delta: Option<DeltaResume>,
 ) -> Result<(), CommError> {
     let Some(store) = cfg.store.as_ref() else {
         return Ok(());
@@ -526,6 +562,7 @@ pub fn checkpoint_at_barrier<P: VertexProgram, T>(
         ctrl_round,
         state,
         lazy,
+        delta,
     );
     let bytes = store.save(&snap).map_err(|e| CommError::Transport {
         me,
@@ -637,7 +674,23 @@ mod tests {
                 first_stage_bits: Some(0.001f64.to_bits()),
                 next_mode_m2m: true,
             }),
+            delta: None,
         }
+    }
+
+    fn sample_delta_snapshot() -> EngineSnapshot<P0> {
+        let mut snap = sample_snapshot();
+        snap.engine = 2;
+        snap.lazy = None;
+        snap.delta = Some(DeltaResume {
+            counters: LazyCounters {
+                coherency_points: 9,
+                local_subrounds: 0,
+                a2a_exchanges: 9,
+                m2m_exchanges: 0,
+            },
+        });
+        snap
     }
 
     #[test]
@@ -653,6 +706,29 @@ mod tests {
         let snap = sample_snapshot();
         let back = EngineSnapshot::<P0>::from_wire(&snap.to_wire()).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn delta_snapshot_round_trips() {
+        let snap = sample_delta_snapshot();
+        let back = EngineSnapshot::<P0>::from_wire(&snap.to_wire()).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.engine, 2);
+        assert_eq!(back.delta.unwrap().counters.coherency_points, 9);
+    }
+
+    #[test]
+    fn v2_snapshots_are_rejected_by_version_check() {
+        // A v3 container with the version field rewritten to 2 must fail
+        // the strict equality check, not decode garbage: the appended
+        // `delta` field makes the payloads incompatible.
+        let framed = encode_container(&sample_snapshot().to_wire());
+        let mut old = framed.clone();
+        old[4..8].copy_from_slice(&2u32.to_le_bytes());
+        assert!(matches!(
+            decode_container(&old),
+            Err(CheckpointError::BadHeader { .. })
+        ));
     }
 
     #[test]

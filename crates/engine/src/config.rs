@@ -4,7 +4,7 @@
 use lazygraph_cluster::{CostModel, TransportKind};
 use lazygraph_partition::{PartitionStrategy, SplitterConfig};
 
-/// The four execution engines.
+/// The execution engines.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum EngineKind {
     /// PowerGraph's synchronous BSP engine with eager replica coherency
@@ -22,6 +22,11 @@ pub enum EngineKind {
     /// PowerSwitch-style hybrid (extension, §6 related work): eager BSP
     /// while the frontier is dense, eager async once it goes sparse.
     PowerSwitchHybrid,
+    /// Maiter-style delta-accumulative engine with epoch-bucketed
+    /// deterministic priority scheduling (extension, DESIGN.md §15):
+    /// vertices hold `(value, delta)`, only deltas flow, and each epoch
+    /// processes the highest non-empty |delta| bucket.
+    DeltaAccum,
 }
 
 impl EngineKind {
@@ -33,6 +38,7 @@ impl EngineKind {
             EngineKind::LazyBlockAsync => "lazy-block-async",
             EngineKind::LazyVertexAsync => "lazy-vertex-async",
             EngineKind::PowerSwitchHybrid => "powerswitch-hybrid",
+            EngineKind::DeltaAccum => "delta-accum",
         }
     }
 }
@@ -133,6 +139,15 @@ pub struct EngineConfig {
     /// default. With checkpointing enabled the size only commits at
     /// checkpoint barriers so replay regenerates identical rounds.
     pub adaptive_parts: bool,
+    /// Number of power-of-two priority buckets the DeltaAccum scheduler
+    /// bins pending vertices into (DESIGN.md §15). More buckets = finer
+    /// magnitude classes = stricter largest-first ordering; ignored by
+    /// every other engine.
+    pub delta_buckets: usize,
+    /// DeltaAccum scheduling/termination tolerance: pending deltas whose
+    /// priority falls below it are parked, and the run converges when no
+    /// machine holds a schedulable vertex. Ignored by other engines.
+    pub delta_tolerance: f64,
     /// Mesh transport backend (DESIGN.md §10): `InProc` moves batches over
     /// lock-free channels untouched (the default; zero-copy, pool-
     /// recycling); `Tcp` encodes every batch into a length-prefixed frame
@@ -162,6 +177,8 @@ impl EngineConfig {
             exchange_fast: true,
             pipeline: false,
             adaptive_parts: true,
+            delta_buckets: DEFAULT_DELTA_BUCKETS,
+            delta_tolerance: DEFAULT_DELTA_TOLERANCE,
             transport: TransportKind::InProc,
         }
     }
@@ -197,6 +214,16 @@ impl EngineConfig {
         EngineConfig {
             engine: EngineKind::PowerSwitchHybrid,
             splitter: SplitterConfig::disabled(),
+            ..EngineConfig::lazygraph()
+        }
+    }
+
+    /// DeltaAccum (extension engine): delta-accumulative iteration with
+    /// epoch-bucketed priority scheduling. Keeps the splitter (it shares
+    /// the lazy engines' replica algebra).
+    pub fn delta_accum() -> Self {
+        EngineConfig {
+            engine: EngineKind::DeltaAccum,
             ..EngineConfig::lazygraph()
         }
     }
@@ -272,6 +299,18 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style override of the DeltaAccum bucket count (floor 1).
+    pub fn with_delta_buckets(mut self, buckets: usize) -> Self {
+        self.delta_buckets = buckets.max(1);
+        self
+    }
+
+    /// Builder-style override of the DeltaAccum scheduling tolerance.
+    pub fn with_delta_tolerance(mut self, tolerance: f64) -> Self {
+        self.delta_tolerance = tolerance;
+        self
+    }
+
     /// Builder-style override of the mesh transport backend.
     pub fn with_transport(mut self, transport: TransportKind) -> Self {
         self.transport = transport;
@@ -301,6 +340,14 @@ impl EngineConfig {
 /// Default vertices-per-block for the machine-local pools.
 pub const DEFAULT_BLOCK_SIZE: usize = 1024;
 
+/// Default DeltaAccum priority-bucket count: 16 doublings above the
+/// tolerance span every magnitude PageRank-style residuals traverse.
+pub const DEFAULT_DELTA_BUCKETS: usize = 16;
+
+/// Default DeltaAccum scheduling tolerance (matches the PageRank
+/// adapter's default flush tolerance).
+pub const DEFAULT_DELTA_TOLERANCE: f64 = 1e-3;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,6 +368,19 @@ mod tests {
         assert_eq!(cfg.splitter.t_extra, 0.0);
         let cfg2 = EngineConfig::lazygraph().with_engine(EngineKind::LazyVertexAsync);
         assert!(cfg2.splitter.t_extra > 0.0);
+        let cfg3 = EngineConfig::lazygraph().with_engine(EngineKind::DeltaAccum);
+        assert!(cfg3.splitter.t_extra > 0.0, "delta engine keeps the splitter");
+    }
+
+    #[test]
+    fn delta_knobs_have_sane_defaults_and_builders() {
+        let cfg = EngineConfig::delta_accum();
+        assert_eq!(cfg.engine, EngineKind::DeltaAccum);
+        assert_eq!(cfg.delta_buckets, DEFAULT_DELTA_BUCKETS);
+        assert_eq!(cfg.delta_tolerance, DEFAULT_DELTA_TOLERANCE);
+        let tuned = cfg.with_delta_buckets(0).with_delta_tolerance(1e-6);
+        assert_eq!(tuned.delta_buckets, 1, "bucket floor is one");
+        assert_eq!(tuned.delta_tolerance, 1e-6);
     }
 
     #[test]
@@ -390,6 +450,7 @@ mod tests {
             EngineKind::LazyBlockAsync,
             EngineKind::LazyVertexAsync,
             EngineKind::PowerSwitchHybrid,
+            EngineKind::DeltaAccum,
         ]
         .map(EngineKind::name);
         let set: std::collections::HashSet<_> = names.iter().collect();

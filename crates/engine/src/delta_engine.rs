@@ -1,0 +1,352 @@
+//! The **DeltaAccum** engine: Maiter-style delta-accumulative iteration
+//! with epoch-bucketed deterministic priority scheduling (DESIGN.md §15).
+//!
+//! Every vertex holds `(value, delta)` — `MachineState::vdata` and the
+//! accumulated `MachineState::message` inbox — and only deltas ever move:
+//! a sub-epoch applies `x ← x ⊕ Δ` for the scheduled vertices, scatters
+//! the resulting per-edge deltas, and re-bins everything still pending.
+//! The scheduler ([`PriorityBuckets`]) selects the highest non-empty
+//! power-of-two |delta| buckets down to the portion cut, so high-impact
+//! mass propagates first — Maiter's selective execution — while the plan
+//! stays a pure function of state (lazylint L1/L3 clean, no pragma).
+//! Sub-epochs repeat until the machine quiesces within tolerance; only
+//! then does an outer epoch pay a coherency exchange, shipping the
+//! `delta_msg` accumulators (⊕-combined sender-side through the
+//! [`stage_combining`](crate::exchange::stage_combining) fast path inside
+//! the shared a2a exchange) — lazy replica coherency applied to deltas.
+//!
+//! Termination is tolerance-based: a vertex whose pending priority falls
+//! below the scheduler tolerance is parked (its mass stays in the inbox
+//! and folds with the next arrival), and the epoch barrier's allreduce
+//! counts schedulable vertices globally — zero means the fixpoint has
+//! been reached within tolerance.
+
+use std::sync::Arc;
+
+use lazygraph_cluster::{
+    build_endpoints, Collective, CommError, CostModel, Endpoint, NetStats, OutboxSet,
+    TransportKind,
+};
+use lazygraph_cluster::SimClock;
+use lazygraph_partition::{DistributedGraph, LocalShard};
+use parking_lot::Mutex;
+
+use crate::bsp::{BspReduction, BspSync, CommCharge};
+use crate::checkpoint::{checkpoint_at_barrier, DeltaResume, RecoveryCfg};
+use crate::exchange::adapt_part_items;
+use crate::lazy_block::{
+    assemble, blocked_apply_scatter, exchange_a2a, LazyBlockOutput, LazyCounters, MachineOut,
+};
+use crate::metrics::SimBreakdown;
+use crate::parallel::{ParallelConfig, ParallelCtx};
+use crate::program::VertexProgram;
+use crate::scheduler::PriorityBuckets;
+use crate::state::{InitMessages, MachineState};
+
+/// Upper bound on local sub-epochs between coherency exchanges — a
+/// safety valve so a program whose priorities do not contract locally
+/// still reaches the exchange (and the termination vote) instead of
+/// spinning. Contracting programs (PageRank damping, SSSP relaxation)
+/// quiesce in far fewer sweeps.
+const MAX_SUBEPOCHS: u64 = 4096;
+
+/// Configuration slice the delta engine needs.
+#[derive(Clone, Copy, Debug)]
+pub struct DeltaParams {
+    pub cost: CostModel,
+    pub max_iterations: u64,
+    /// Number of power-of-two priority buckets above the tolerance.
+    pub num_buckets: usize,
+    /// Scheduling/termination tolerance: priorities below it are parked,
+    /// and the run converges when no machine holds a schedulable vertex.
+    pub tolerance: f64,
+    /// Consult [`VertexProgram::exchange_policy`] before shipping deltas.
+    pub delta_suppression: bool,
+    /// Use the zero-allocation exchange fast path (DESIGN.md §9).
+    pub exchange_fast: bool,
+    /// Pipeline the coherency exchange (DESIGN.md §11); requires
+    /// `exchange_fast`.
+    pub pipeline: bool,
+    /// Adapt the pipelined part size from measured timings (DESIGN.md
+    /// §14); requires `pipeline`.
+    pub adaptive_parts: bool,
+}
+
+/// Runs the DeltaAccum engine to its tolerance fixpoint. The per-machine
+/// outcome reuses the lazy engines' [`MachineOut`] shape: one epoch is
+/// one coherency point, and every exchange is all-to-all.
+pub fn run_delta_engine<P: VertexProgram>(
+    dg: &DistributedGraph,
+    program: &P,
+    params: DeltaParams,
+    par: ParallelConfig,
+    transport: TransportKind,
+    stats: Arc<NetStats>,
+    breakdown: Arc<Mutex<SimBreakdown>>,
+) -> LazyBlockOutput<P::VData> {
+    let p = dg.num_machines;
+    let coll = Arc::new(Collective::new(p));
+    let endpoints = build_endpoints::<(u32, P::Delta)>(transport, p, &stats)?;
+    #[allow(clippy::type_complexity)]
+    let workers: Vec<(usize, &LocalShard, Endpoint<(u32, P::Delta)>)> = dg
+        .shards
+        .iter()
+        .enumerate()
+        .zip(endpoints)
+        .map(|((i, shard), ep)| (i, shard, ep))
+        .collect();
+    let num_vertices = dg.num_global_vertices;
+    let outs = lazygraph_cluster::try_run_machines(workers, |(me, shard, ep)| {
+        machine_loop(
+            me,
+            shard,
+            ep,
+            program,
+            num_vertices,
+            params,
+            par,
+            coll.clone(),
+            stats.clone(),
+            breakdown.clone(),
+            RecoveryCfg::default(),
+        )
+    })?;
+    assemble(outs, num_vertices)
+}
+
+/// One machine's share of a DeltaAccum run, callable from a separate
+/// worker process (the multiprocess launcher's entry).
+#[allow(clippy::too_many_arguments)]
+pub fn run_delta_machine<P: VertexProgram>(
+    me: usize,
+    shard: &LocalShard,
+    ep: Endpoint<(u32, P::Delta)>,
+    coll: Arc<Collective>,
+    program: &P,
+    num_vertices: usize,
+    params: DeltaParams,
+    par: ParallelConfig,
+    stats: Arc<NetStats>,
+    breakdown: Arc<Mutex<SimBreakdown>>,
+    recovery: RecoveryCfg<P>,
+) -> Result<MachineOut<P>, CommError> {
+    machine_loop(
+        me, shard, ep, program, num_vertices, params, par, coll, stats, breakdown, recovery,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn machine_loop<P: VertexProgram>(
+    me: usize,
+    shard: &LocalShard,
+    mut ep: Endpoint<(u32, P::Delta)>,
+    program: &P,
+    num_vertices: usize,
+    params: DeltaParams,
+    par: ParallelConfig,
+    coll: Arc<Collective>,
+    stats: Arc<NetStats>,
+    breakdown: Arc<Mutex<SimBreakdown>>,
+    mut recovery: RecoveryCfg<P>,
+) -> Result<MachineOut<P>, CommError> {
+    let n = coll.num_machines();
+    let pctx = ParallelCtx::new(par);
+    let timing_sink = breakdown.clone();
+    let mut bsp = BspSync::new(me, coll, stats.clone(), params.cost, breakdown);
+    let mut clock = SimClock::new();
+    let mut state: MachineState<P> =
+        MachineState::init(shard, program, InitMessages::AllReplicas, num_vertices);
+    let mut sched = PriorityBuckets::new(params.num_buckets, params.tolerance);
+    let delta_bytes = program.delta_bytes();
+    let mut counters = LazyCounters::default();
+    let mut outboxes: OutboxSet<(u32, P::Delta)> = OutboxSet::new(n);
+    let mut iterations = 0u64;
+    let mut converged = false;
+    let pipelined = params.pipeline && params.exchange_fast;
+    let mut pending_wait_ms = 0.0f64;
+    let mut pending_overlap_ms = 0.0f64;
+    // Ascending-id candidate scratch, rebuilt each epoch (pure function of
+    // `state`, so it needs no snapshot coverage).
+    let mut candidates: Vec<(u32, f64)> = Vec::new();
+
+    if let Some(snap) = recovery.resume.take() {
+        debug_assert_eq!(snap.engine, 2, "resume snapshot is not a DeltaAccum snapshot");
+        snap.restore_into(&mut state);
+        clock.set(f64::from_bits(snap.clock_bits));
+        iterations = snap.iterations;
+        if let Some(d) = &snap.delta {
+            counters = d.counters;
+        }
+        // Re-execute the checkpoint barrier unconditionally (DESIGN.md
+        // §12): peers still blocked in it are released; peers past it
+        // dedupe the re-sent round.
+        bsp.coll.barrier(bsp.me, &bsp.stats)?;
+    }
+
+    while iterations < params.max_iterations {
+        iterations += 1;
+        lazygraph_cluster::failpoint_superstep(iterations);
+        counters.coherency_points += 1;
+
+        // ---- Local sub-epochs: drain the schedulable worklist to
+        // quiescence before paying a coherency exchange. High-impact mass
+        // propagates first (the bucket portion cut), its local cascades
+        // are absorbed in place, and outbound deltas ⊕-accumulate in
+        // `delta_msg` across sub-epochs — replicas sync once per outer
+        // epoch, not once per sweep, which is where the delta engine's
+        // wire saving comes from (lazy coherency applied to deltas).
+        let mut subepochs = 0u64;
+        loop {
+            // Canonical order first: exchange batches arrive in
+            // nondeterministic interleavings, so the sorted queue is the
+            // only order the plan may ever see.
+            let mut queue = state.take_queue();
+            queue.sort_unstable();
+            candidates.clear();
+            for &l in &queue {
+                match &state.message[l as usize] {
+                    Some(d) => {
+                        candidates.push((l, program.priority(&state.vdata[l as usize], d)));
+                    }
+                    // A queued vertex with an empty inbox has nothing to
+                    // do; deactivate it so a future delivery re-queues it.
+                    None => state.active[l as usize] = false,
+                }
+            }
+            let plan = sched.plan(&candidates);
+            // Sub-tolerance vertices are parked: the accumulated mass
+            // stays in the inbox (it folds with the next arrival) but the
+            // vertex leaves the schedule until a fresh delivery
+            // re-activates it.
+            for &l in &plan.skipped {
+                state.active[l as usize] = false;
+            }
+            stats.record_delta_skipped(plan.skipped.len() as u64);
+            stats.record_bucket_high_water(plan.high_water);
+            stats.record_sched_epochs(1);
+            if plan.selected.is_empty() {
+                // Nothing schedulable locally: the machine has quiesced
+                // within tolerance; time to sync replicas.
+                break;
+            }
+            subepochs += 1;
+
+            // ---- Apply ⊕ scatter for the selected buckets (block order).
+            // `update_coherent` stays off: between exchanges each machine
+            // applies a different local schedule, so a locally-advanced
+            // `coherent` view would no longer be common to the siblings —
+            // the exchange policy would judge outbound deltas against
+            // information the peers never received (and e.g. drop every
+            // SSSP improvement a local relaxation already consumed). The
+            // delta engine's `coherent` stays at the initial common view;
+            // delta suppression still gates the exchange itself.
+            let (edges, applies, folds) = blocked_apply_scatter(
+                shard,
+                &mut state,
+                program,
+                num_vertices,
+                &pctx,
+                &plan.selected,
+                false,
+            );
+            stats.record_edges(edges);
+            stats.record_applies(applies);
+            if params.exchange_fast {
+                stats.record_combined(folds, folds * delta_bytes as u64);
+            }
+            clock.advance(params.cost.compute_time(edges) + params.cost.apply_time(applies));
+            // Deferred vertices stay active and pending for the next
+            // sub-epoch (their inbox entries were untouched by the sweep).
+            state.queue.extend_from_slice(&plan.deferred);
+            if subepochs >= MAX_SUBEPOCHS {
+                // Safety valve for a non-contracting program: ship what
+                // has accumulated and let the next outer epoch continue.
+                break;
+            }
+        }
+        counters.local_subrounds += subepochs;
+
+        // ---- Delta coherency: ship accumulated deltaMsg all-to-all. -----
+        counters.a2a_exchanges += 1;
+        let (sent_bytes, timing) = exchange_a2a(
+            shard,
+            &mut state,
+            program,
+            &pctx,
+            &mut ep,
+            &mut outboxes,
+            &clock,
+            &stats,
+            params.delta_suppression,
+            params.exchange_fast,
+            params.pipeline,
+        )?;
+        if timing.overlap_ms > 0.0 || timing.send_wait_ms > 0.0 {
+            let mut bd = timing_sink.lock();
+            bd.overlap_ms += timing.overlap_ms;
+            bd.send_wait_ms += timing.send_wait_ms;
+        }
+        pending_wait_ms += timing.send_wait_ms;
+        pending_overlap_ms += timing.overlap_ms;
+
+        // ---- Tolerance-based termination vote. --------------------------
+        // Schedulable = priority at or above tolerance; parked mass does
+        // not keep the run alive (it is negligible by the program's own
+        // error model).
+        let mut pending = 0u64;
+        for &l in &state.queue {
+            if let Some(d) = &state.message[l as usize] {
+                if sched.schedulable(program.priority(&state.vdata[l as usize], d)) {
+                    pending += 1;
+                }
+            }
+        }
+        let red = bsp.sync(
+            &mut clock,
+            BspReduction {
+                bytes: sent_bytes,
+                pending,
+                ..Default::default()
+            },
+            CommCharge::A2A,
+        )?;
+        if red.pending == 0 {
+            converged = true;
+            break;
+        }
+
+        // Adaptive part sizing commits at deterministic points only
+        // (checkpoint boundaries when recovery is on).
+        if pipelined
+            && params.adaptive_parts
+            && (recovery.every == 0 || recovery.due(iterations))
+        {
+            state.part_items =
+                adapt_part_items(state.part_items, pending_wait_ms, pending_overlap_ms);
+            pending_wait_ms = 0.0;
+            pending_overlap_ms = 0.0;
+        }
+        if pipelined {
+            stats.record_adaptive_part_items(state.part_items as u64);
+        }
+        if recovery.due(iterations) {
+            let delta = Some(DeltaResume { counters });
+            checkpoint_at_barrier(
+                &ep, &bsp.coll, me, &stats, &recovery, 2, iterations, &clock, &state, None,
+                delta,
+            )?;
+        }
+    }
+
+    let masters = (0..shard.num_local() as u32)
+        .filter(|&l| shard.is_master[l as usize])
+        .map(|l| (shard.global_of(l).0, state.vdata[l as usize].clone()))
+        .collect();
+    Ok(MachineOut {
+        masters,
+        iterations,
+        converged,
+        sim_time: clock.now(),
+        counters,
+    })
+}

@@ -10,6 +10,7 @@ use lazygraph_partition::{partition_graph, DistributedGraph};
 use parking_lot::Mutex;
 
 use crate::async_engine::run_async_engine;
+use crate::delta_engine::{run_delta_engine, DeltaParams};
 use crate::hybrid_engine::{run_hybrid_engine, HybridParams};
 use crate::config::{EngineConfig, EngineKind};
 use crate::lazy_block::{run_lazy_block_engine, LazyParams};
@@ -138,6 +139,37 @@ pub fn run_on<P: VertexProgram>(
                     breakdown.clone(),
                 )?;
                 (values, supersteps, 0, 0, 0, 0, sim, true)
+            }
+            EngineKind::DeltaAccum => {
+                let params = DeltaParams {
+                    cost: cfg.cost,
+                    max_iterations: cfg.max_iterations,
+                    num_buckets: cfg.delta_buckets,
+                    tolerance: cfg.delta_tolerance,
+                    delta_suppression: cfg.delta_suppression,
+                    exchange_fast: cfg.exchange_fast,
+                    pipeline: cfg.pipeline,
+                    adaptive_parts: cfg.adaptive_parts,
+                };
+                let (values, epochs, converged, sim, c) = run_delta_engine(
+                    dg,
+                    program,
+                    params,
+                    par,
+                    cfg.transport,
+                    stats.clone(),
+                    breakdown.clone(),
+                )?;
+                (
+                    values,
+                    epochs,
+                    c.coherency_points,
+                    0,
+                    c.a2a_exchanges,
+                    0,
+                    sim,
+                    converged,
+                )
             }
             EngineKind::LazyVertexAsync => {
                 let (values, sim, c) = run_lazy_vertex_engine(

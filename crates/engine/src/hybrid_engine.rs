@@ -148,10 +148,11 @@ fn machine_loop<P: VertexProgram>(
             }
         }
         for mut batch in ep.exchange(&mut outboxes, clock.now(), Phase::Gather, delta_bytes, &stats)? {
-            clock.merge(batch.sent_at);
+            // Materialize exactly once, at receipt.
             batch
                 .make_items()
                 .map_err(|e| CommError::transport(me, &e))?;
+            clock.merge(batch.sent_at);
             for (gid, msg) in batch.items.drain(..) {
                 if let SyncMsg::Accum(d) = msg {
                     let l = shard.local_of(gid.into()).expect("accum to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
@@ -203,10 +204,11 @@ fn machine_loop<P: VertexProgram>(
         stats.record_applies(applies);
         clock.advance(params.cost.apply_time(applies));
         for mut batch in ep.exchange(&mut outboxes, clock.now(), Phase::Apply, update_bytes, &stats)? {
-            clock.merge(batch.sent_at);
+            // Materialize exactly once, at receipt.
             batch
                 .make_items()
                 .map_err(|e| CommError::transport(me, &e))?;
+            clock.merge(batch.sent_at);
             for (gid, msg) in batch.items.drain(..) {
                 if let SyncMsg::Update { data, scatter } = msg {
                     let l = shard.local_of(gid.into()).expect("update to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
@@ -281,11 +283,12 @@ fn machine_loop<P: VertexProgram>(
                     term.leave_idle();
                     idle = false;
                 }
-                let bytes = batch.item_count() * update_bytes;
-                clock.merge(batch.sent_at + params.cost.async_batch_time(bytes as u64));
+                // Materialize exactly once, at receipt.
                 batch
                     .make_items()
                     .map_err(|e| CommError::transport(me, &e))?;
+                let bytes = batch.items.len() * update_bytes;
+                clock.merge(batch.sent_at + params.cost.async_batch_time(bytes as u64));
                 for (gid, msg) in batch.items.drain(..) {
                     let l = shard.local_of(gid.into()).expect("async to non-replica"); // lazylint: allow(no-panic) -- replica routing table guarantees locality; a miss is a partitioner bug
                     match msg {

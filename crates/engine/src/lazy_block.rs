@@ -618,6 +618,7 @@ fn machine_loop<P: VertexProgram>(
             ));
             checkpoint_at_barrier(
                 &ep, &bsp.coll, me, &stats, &recovery, 1, iterations, &clock, &state, lazy,
+                None,
             )?;
         }
     }
@@ -653,7 +654,7 @@ fn machine_loop<P: VertexProgram>(
 /// re-establishes (sender, part) order — bitwise identical to the
 /// serialized exchange (DESIGN.md §11).
 #[allow(clippy::too_many_arguments)]
-fn exchange_a2a<P: VertexProgram>(
+pub(crate) fn exchange_a2a<P: VertexProgram>(
     shard: &LocalShard,
     state: &mut MachineState<P>,
     program: &P,

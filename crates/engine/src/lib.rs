@@ -7,7 +7,10 @@
 //! engine) and [`lazy_vertex`] (Algorithm 2, the paper's future-work engine,
 //! built here as an extension) — together with the graph-aware
 //! optimisations: the adaptive interval model (§4.2.1) and dynamic
-//! all-to-all / mirrors-to-master switching (§4.2.2).
+//! all-to-all / mirrors-to-master switching (§4.2.2). The
+//! [`delta_engine`] extension pushes the `⊕`/`Inverse` algebra to
+//! Maiter-style delta-accumulative iteration with the epoch-bucketed
+//! deterministic [`scheduler`] (DESIGN.md §15).
 //!
 //! Entry point: [`run`] (or [`run_on`] to reuse a placement).
 
@@ -16,6 +19,7 @@ pub mod bsp;
 pub mod checkpoint;
 pub mod comm_mode;
 pub mod config;
+pub mod delta_engine;
 pub mod driver;
 pub mod exchange;
 pub mod hybrid_engine;
@@ -26,12 +30,19 @@ pub mod metrics;
 pub mod oracle;
 pub mod parallel;
 pub mod program;
+pub mod scheduler;
 pub mod state;
 pub mod sync_engine;
 
-pub use checkpoint::{CheckpointError, EngineSnapshot, LazyResume, RecoveryCfg, SnapshotStore};
+pub use checkpoint::{
+    CheckpointError, DeltaResume, EngineSnapshot, LazyResume, RecoveryCfg, SnapshotStore,
+};
 pub use comm_mode::{choose_mode, CommMode, VolumeEstimate};
-pub use config::{CommModePolicy, EngineConfig, EngineKind, IntervalPolicy, DEFAULT_BLOCK_SIZE};
+pub use config::{
+    CommModePolicy, EngineConfig, EngineKind, IntervalPolicy, DEFAULT_BLOCK_SIZE,
+    DEFAULT_DELTA_BUCKETS, DEFAULT_DELTA_TOLERANCE,
+};
+pub use scheduler::{EpochPlan, PriorityBuckets};
 pub use parallel::{ParallelConfig, ParallelCtx};
 pub use driver::{run, run_on, RunResult};
 pub use lazygraph_cluster::{CommError, TransportKind};

@@ -1,5 +1,8 @@
 //! Test-only reference oracle: the pre-fast-path serial exchange
-//! delivery loops, collapsed here out of the engines' hot files (PR 8).
+//! delivery loops, collapsed here out of the engines' hot files (PR 8),
+//! plus the dense single-machine delta-accumulative fixpoint
+//! ([`delta_dense_fixpoint`]) the scheduled delta engine is checked
+//! against.
 //!
 //! Every function is the naive `exchange_fast = false` inbound half of an
 //! exchange — a serial per-item `local_of` lookup + push into a staging
@@ -12,11 +15,11 @@
 //! raw batch ([`Batch::make_items`]) and recycles nothing.
 
 use lazygraph_cluster::{Batch, CommError};
-use lazygraph_partition::LocalShard;
+use lazygraph_partition::{partition_graph, LocalShard, PartitionStrategy, SplitterConfig};
 
-use crate::parallel::ParallelCtx;
+use crate::parallel::{ParallelConfig, ParallelCtx};
 use crate::program::VertexProgram;
-use crate::state::MachineState;
+use crate::state::{InitMessages, MachineState};
 use crate::sync_engine::SyncMsg;
 
 /// Naive inbound half of the Sync engine's gather phase: decode every
@@ -72,6 +75,79 @@ pub fn lazy_a2a_deliver<P: VertexProgram>(
     }
     state.deliver_all(program, pctx, inbound);
     Ok(())
+}
+
+/// Dense delta-accumulative reference: one machine, no replicas, no
+/// scheduling — every epoch applies ⊕ scatter for *every* pending vertex
+/// whose priority clears `tolerance`, until nothing schedulable remains.
+/// This is the fixpoint the bucket-scheduled
+/// [`delta_engine`](crate::delta_engine) must converge to within
+/// tolerance: the equivalence suite compares final values against it.
+/// Returns `(values, epochs, converged)`.
+pub fn delta_dense_fixpoint<P: VertexProgram>(
+    graph: &lazygraph_graph::Graph,
+    program: &P,
+    tolerance: f64,
+    max_epochs: u64,
+) -> (Vec<P::VData>, u64, bool) {
+    let dg = partition_graph(
+        graph,
+        1,
+        PartitionStrategy::Coordinated,
+        &SplitterConfig::disabled(),
+        false,
+    );
+    let shard = &dg.shards[0];
+    let num_vertices = dg.num_global_vertices;
+    let pctx = ParallelCtx::new(ParallelConfig {
+        threads: 1,
+        block_size: crate::config::DEFAULT_BLOCK_SIZE,
+    });
+    let mut state: MachineState<P> =
+        MachineState::init(shard, program, InitMessages::AllReplicas, num_vertices);
+    let mut epochs = 0u64;
+    let mut converged = false;
+    let mut worklist: Vec<u32> = Vec::new();
+    while epochs < max_epochs {
+        epochs += 1;
+        let mut queue = state.take_queue();
+        queue.sort_unstable();
+        worklist.clear();
+        for &l in &queue {
+            match &state.message[l as usize] {
+                Some(d)
+                    if program.priority(&state.vdata[l as usize], d) >= tolerance =>
+                {
+                    worklist.push(l);
+                }
+                // Sub-tolerance (or empty) inboxes park exactly as in the
+                // scheduled engine so both references share one error
+                // model.
+                _ => state.active[l as usize] = false,
+            }
+        }
+        if worklist.is_empty() {
+            converged = true;
+            break;
+        }
+        crate::lazy_block::blocked_apply_scatter(
+            shard,
+            &mut state,
+            program,
+            num_vertices,
+            &pctx,
+            &worklist,
+            false,
+        );
+    }
+    let mut values: Vec<P::VData> = Vec::with_capacity(num_vertices);
+    for gid in 0..num_vertices as u32 {
+        let l = shard
+            .local_of(gid.into())
+            .expect("single-machine shard holds every vertex"); // lazylint: allow(no-panic) -- a 1-machine partition is total by construction
+        values.push(state.vdata[l as usize].clone());
+    }
+    (values, epochs, converged)
 }
 
 /// Naive inbound half of the mirrors-to-master exchange's hop 2: each

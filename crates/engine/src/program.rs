@@ -146,6 +146,22 @@ pub trait VertexProgram: Send + Sync + 'static {
         false
     }
 
+    /// Scheduling priority of a pending accumulated delta: how much the
+    /// vertex value would move if `accum` were applied to `data` now. The
+    /// delta-accumulative engine's bucket scheduler processes the
+    /// largest-priority vertices first and treats priorities below its
+    /// tolerance as negligible (skippable within the program's error
+    /// model). Must be a pure function of its arguments.
+    ///
+    /// The default returns `f64::INFINITY` — every pending vertex is
+    /// always urgent — which degenerates the scheduler to
+    /// process-everything and keeps programs without a magnitude notion
+    /// (BFS, CC, k-core) exact under the delta engine.
+    #[inline]
+    fn priority(&self, _data: &Self::VData, _accum: &Self::Delta) -> f64 {
+        f64::INFINITY
+    }
+
     /// Wire size of one `(vertex id, delta)` message, for traffic
     /// accounting.
     fn delta_bytes(&self) -> usize {
@@ -220,6 +236,13 @@ mod tests {
         let combined = p.sum(5, 7);
         assert_eq!(p.inverse(combined, 5), 7);
         assert_eq!(p.inverse(combined, 7), 5);
+    }
+
+    #[test]
+    fn default_priority_is_always_urgent() {
+        let p = CountProgram;
+        assert_eq!(p.priority(&0, &5), f64::INFINITY);
+        assert_eq!(p.priority(&-3, &0), f64::INFINITY);
     }
 
     #[test]

@@ -1,0 +1,29 @@
+//! lazylint-fixture: path=crates/engine/src/fixture.rs
+//! L7 must fire on the delta-engine state extras: the `(value, delta)`
+//! pair must both survive checkpoint/restore. Here `message` (the
+//! ⊕-accumulated delta inbox) is captured but never restored, and the
+//! scheduler resume counters are in neither path.
+
+pub struct MachineState<P> {
+    pub vdata: Vec<P>,
+    pub message: Vec<Option<P>>, //~ snapshot-coverage
+    pub sched_counters: Vec<u64>, //~ snapshot-coverage snapshot-coverage
+}
+
+pub struct EngineSnapshot<P> {
+    pub vdata: Vec<P>,
+    pub message: Vec<Option<P>>,
+}
+
+impl<P: Clone> EngineSnapshot<P> {
+    pub fn capture(state: &MachineState<P>) -> Self {
+        EngineSnapshot {
+            vdata: state.vdata.clone(),
+            message: state.message.clone(),
+        }
+    }
+
+    pub fn restore_into(&self, state: &mut MachineState<P>) {
+        state.vdata = self.vdata.clone();
+    }
+}

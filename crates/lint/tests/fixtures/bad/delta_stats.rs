@@ -1,0 +1,25 @@
+//! lazylint-fixture: path=crates/cluster/src/fixture.rs
+//! L9 must fire on scheduler counters that do not survive aggregation:
+//! `bucket_high_water` is reported but dropped by `merge()` (a cluster
+//! merge would silently zero the high-water mark), and
+//! `delta_skipped_vertices` merges but never shows up in a report line.
+
+pub struct StatsSnapshot {
+    pub sched_epochs: u64,
+    pub bucket_high_water: u64, //~ stats-coverage
+    pub delta_skipped_vertices: u64, //~ stats-coverage
+}
+
+impl StatsSnapshot {
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        self.sched_epochs += other.sched_epochs;
+        self.delta_skipped_vertices += other.delta_skipped_vertices;
+    }
+
+    pub fn report_lines(&self) -> Vec<String> {
+        vec![
+            format!("sched_epochs={}", self.sched_epochs),
+            format!("bucket_high_water={}", self.bucket_high_water),
+        ]
+    }
+}

@@ -1,0 +1,22 @@
+//! lazylint-fixture: path=crates/engine/src/fixture.rs
+//! L1 must fire: a priority scheduler that drains its buckets in hash
+//! order — the epoch plan (and with it the commit sequence) would vary
+//! run to run, breaking the pure-function-of-state contract.
+
+fn drain_epoch(buckets: &FxHashMap<usize, Vec<u32>>) -> Vec<u32> {
+    let mut plan = Vec::new();
+    for (_bucket, verts) in buckets.iter() { //~ unordered-iter
+        for &v in verts {
+            plan.push(v);
+        }
+    }
+    plan
+}
+
+fn emit_selected(selected: &HashSet<u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for v in selected.iter() { //~ unordered-iter
+        out.push(*v);
+    }
+    out
+}

@@ -1,0 +1,32 @@
+//! lazylint-fixture: path=crates/engine/src/fixture.rs
+//! L7 must stay silent: the delta engine's `(value, delta)` state — the
+//! value vector AND the ⊕-accumulated inbox — plus the scheduler's resume
+//! counters all round-trip through capture/restore.
+
+pub struct MachineState<P> {
+    pub vdata: Vec<P>,
+    pub message: Vec<Option<P>>,
+    pub sched_counters: Vec<u64>,
+}
+
+pub struct EngineSnapshot<P> {
+    pub vdata: Vec<P>,
+    pub message: Vec<Option<P>>,
+    pub sched_counters: Vec<u64>,
+}
+
+impl<P: Clone> EngineSnapshot<P> {
+    pub fn capture(state: &MachineState<P>) -> Self {
+        EngineSnapshot {
+            vdata: state.vdata.clone(),
+            message: state.message.clone(),
+            sched_counters: state.sched_counters.clone(),
+        }
+    }
+
+    pub fn restore_into(&self, state: &mut MachineState<P>) {
+        state.vdata = self.vdata.clone();
+        state.message = self.message.clone();
+        state.sched_counters = self.sched_counters.clone();
+    }
+}

@@ -1,0 +1,25 @@
+//! lazylint-fixture: path=crates/cluster/src/fixture.rs
+//! L9 must stay silent on the delta scheduler counters: event counts sum
+//! across machines, the bucket high-water mark merges by max, and every
+//! scalar appears in a labelled report line.
+
+pub struct StatsSnapshot {
+    pub delta_skipped_vertices: u64,
+    pub sched_epochs: u64,
+    pub bucket_high_water: u64,
+}
+
+impl StatsSnapshot {
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        self.delta_skipped_vertices += other.delta_skipped_vertices;
+        self.sched_epochs += other.sched_epochs;
+        self.bucket_high_water = self.bucket_high_water.max(other.bucket_high_water);
+    }
+
+    pub fn report_lines(&self) -> Vec<String> {
+        vec![format!(
+            "delta_skipped_vertices={} sched_epochs={} bucket_high_water={}",
+            self.delta_skipped_vertices, self.sched_epochs, self.bucket_high_water
+        )]
+    }
+}

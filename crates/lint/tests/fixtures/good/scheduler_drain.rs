@@ -1,0 +1,30 @@
+//! lazylint-fixture: path=crates/engine/src/fixture.rs
+//! L1 must stay silent: the deterministic epoch plan. Bucket occupancy
+//! lives in a dense Vec indexed by bucket number, candidates arrive in
+//! ascending local-id order, and the highest non-empty bucket drains in
+//! that same order — no hash iteration order ever escapes.
+
+fn plan_epoch(candidates: &[(u32, usize)], num_buckets: usize) -> Vec<u32> {
+    let mut occupancy = vec![0u64; num_buckets];
+    for &(_, bucket) in candidates {
+        occupancy[bucket] += 1;
+    }
+    let mut selected = Vec::new();
+    if let Some(top) = occupancy.iter().rposition(|&c| c > 0) {
+        for &(v, bucket) in candidates {
+            if bucket == top {
+                selected.push(v);
+            }
+        }
+    }
+    selected
+}
+
+fn drain_sorted(buckets: &FxHashMap<usize, Vec<u32>>) -> Vec<(usize, u32)> {
+    let mut pairs: Vec<(usize, u32)> = buckets
+        .iter()
+        .flat_map(|(b, vs)| vs.iter().map(|&v| (*b, v)))
+        .collect();
+    pairs.sort_unstable();
+    pairs
+}

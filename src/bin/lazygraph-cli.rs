@@ -3,8 +3,9 @@
 //!
 //! ```text
 //! lazygraph-cli run  --input <file.el|file.mtx|dataset:NAME> --algorithm sssp
-//!                    [--engine lazy|sync|async|lazy-vertex] [--machines 8]
+//!                    [--engine lazy|sync|async|lazy-vertex|hybrid|delta] [--machines 8]
 //!                    [--partition coordinated|random|grid|hybrid]
+//!                    [--delta-buckets 16] [--delta-tolerance 1e-3]
 //!                    [--source 0] [--k 3] [--tolerance 1e-3] [--scale 0.1]
 //!                    [--threads N] [--block-size 1024]
 //!                    [--transport inproc|tcp] [--multiprocess] [--pipeline]
@@ -152,6 +153,8 @@ fn engine_config(opts: &Opts) -> EngineConfig {
         "sync" | "powergraph-sync" => EngineKind::PowerGraphSync,
         "async" | "powergraph-async" => EngineKind::PowerGraphAsync,
         "lazy-vertex" => EngineKind::LazyVertexAsync,
+        "hybrid" | "powerswitch" => EngineKind::PowerSwitchHybrid,
+        "delta" | "delta-accum" => EngineKind::DeltaAccum,
         other => {
             eprintln!("unknown engine {other}");
             usage();
@@ -183,6 +186,20 @@ fn engine_config(opts: &Opts) -> EngineConfig {
     }
     if opts.flags.contains("no-adaptive-parts") {
         cfg = cfg.with_adaptive_parts(false);
+    }
+    if let Some(b) = opts.get("delta-buckets") {
+        let buckets: usize = b.parse().unwrap_or_else(|_| {
+            eprintln!("--delta-buckets: cannot parse {b}");
+            exit(2);
+        });
+        cfg = cfg.with_delta_buckets(buckets);
+    }
+    if let Some(t) = opts.get("delta-tolerance") {
+        let tol: f64 = t.parse().unwrap_or_else(|_| {
+            eprintln!("--delta-tolerance: cannot parse {t}");
+            exit(2);
+        });
+        cfg = cfg.with_delta_tolerance(tol);
     }
     if let Some(t) = opts.get("transport") {
         let kind: TransportKind = t.parse().unwrap_or_else(|e: String| {

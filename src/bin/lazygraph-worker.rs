@@ -24,6 +24,7 @@ use lazygraph::multiproc::{AlgoSpec, WorkerJob};
 use lazygraph_algorithms::{Bfs, ConnectedComponents, KCore, PageRankDelta, Sssp, WidestPath};
 use lazygraph_cluster::{connect_tcp_endpoint, reconnect_tcp_endpoint, Collective, NetStats};
 use lazygraph_engine::checkpoint::{EngineSnapshot, RecoveryCfg, SnapshotStore};
+use lazygraph_engine::delta_engine::{run_delta_machine, DeltaParams};
 use lazygraph_engine::lazy_block::{self, LazyParams};
 use lazygraph_engine::sync_engine::{self, SyncMsg};
 use lazygraph_engine::{EngineKind, ParallelConfig, SimBreakdown, VertexProgram};
@@ -168,6 +169,7 @@ fn run_worker<P: VertexProgram>(job: &WorkerJob, args: Args, program: P) -> Resu
         let want = match job.engine {
             EngineKind::PowerGraphSync => 0u8,
             EngineKind::LazyBlockAsync => 1u8,
+            EngineKind::DeltaAccum => 2u8,
             _ => u8::MAX,
         };
         if s.engine != want {
@@ -275,6 +277,51 @@ fn run_worker<P: VertexProgram>(job: &WorkerJob, args: Args, program: P) -> Resu
             if std::env::var_os("LAZYGRAPH_MP_DEBUG").is_some() {
                 eprintln!(
                     "worker {me}: iters={} converged={} counters={:?}",
+                    out.iterations, out.converged, out.counters
+                );
+            }
+            out.encode(&mut result);
+        }
+        EngineKind::DeltaAccum => {
+            let params = DeltaParams {
+                cost: job.cost,
+                max_iterations: job.max_iterations,
+                num_buckets: job.delta_buckets,
+                tolerance: job.delta_tolerance,
+                delta_suppression: job.delta_suppression,
+                exchange_fast: job.exchange_fast,
+                pipeline: job.pipeline,
+                adaptive_parts: job.adaptive_parts,
+            };
+            let ep = if args.resume {
+                reconnect_tcp_endpoint::<(u32, P::Delta)>(
+                    me,
+                    &data_addrs,
+                    data_round,
+                    &stats,
+                    &opts,
+                )
+            } else {
+                connect_tcp_endpoint::<(u32, P::Delta)>(me, &data_addrs, &stats, &opts)
+            }
+            .map_err(|e| format!("data mesh: {e}"))?;
+            let out = run_delta_machine(
+                me,
+                shard,
+                ep,
+                coll,
+                &program,
+                dg.num_global_vertices,
+                params,
+                par,
+                stats.clone(),
+                breakdown.clone(),
+                recovery,
+            )
+            .map_err(|e| format!("delta machine {me}: {e}"))?;
+            if std::env::var_os("LAZYGRAPH_MP_DEBUG").is_some() {
+                eprintln!(
+                    "worker {me}: epochs={} converged={} counters={:?}",
                     out.iterations, out.converged, out.counters
                 );
             }

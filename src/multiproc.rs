@@ -17,8 +17,9 @@
 //! by the engine's message. Workers establish them in that fixed order.
 //!
 //! Only the engines whose machine loops communicate exclusively through
-//! `Endpoint` + `Collective` can run multiprocess: **PowerGraphSync** and
-//! **LazyBlockAsync**. The async-family engines coordinate termination
+//! `Endpoint` + `Collective` can run multiprocess: **PowerGraphSync**,
+//! **LazyBlockAsync**, and **DeltaAccum**. The async-family engines
+//! coordinate termination
 //! through shared memory and stay in-process (they still support the
 //! threaded TCP transport via `EngineConfig::with_transport`).
 //!
@@ -166,6 +167,11 @@ pub struct WorkerJob {
     /// Adaptive pipeline part sizing (DESIGN.md §14). Appended last on
     /// the wire (PR 8) so every pre-existing field keeps its offset.
     pub adaptive_parts: bool,
+    /// Priority-bucket count for the delta-accumulative scheduler
+    /// (DESIGN.md §15). Appended last, after the PR 8 fields.
+    pub delta_buckets: usize,
+    /// Scheduling/termination tolerance for the delta engine.
+    pub delta_tolerance: f64,
 }
 
 fn encode_engine_kind(k: EngineKind, out: &mut Vec<u8>) {
@@ -175,6 +181,7 @@ fn encode_engine_kind(k: EngineKind, out: &mut Vec<u8>) {
         EngineKind::LazyBlockAsync => 2,
         EngineKind::LazyVertexAsync => 3,
         EngineKind::PowerSwitchHybrid => 4,
+        EngineKind::DeltaAccum => 5,
     });
 }
 
@@ -185,6 +192,7 @@ fn decode_engine_kind(r: &mut WireReader<'_>) -> Result<EngineKind, NetError> {
         2 => EngineKind::LazyBlockAsync,
         3 => EngineKind::LazyVertexAsync,
         4 => EngineKind::PowerSwitchHybrid,
+        5 => EngineKind::DeltaAccum,
         tag => return Err(NetError::BadTag { tag, ty: "EngineKind" }),
     })
 }
@@ -257,6 +265,9 @@ impl Wire for WorkerJob {
         self.rejoin_window_ms.encode(out);
         // Adaptive part sizing (PR 8), appended last.
         self.adaptive_parts.encode(out);
+        // Delta-accumulative scheduler knobs (PR 9), appended last.
+        (self.delta_buckets as u64).encode(out);
+        self.delta_tolerance.encode(out);
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
@@ -348,6 +359,8 @@ impl Wire for WorkerJob {
             checkpoint_dir: String::decode(r)?,
             rejoin_window_ms: u64::decode(r)?,
             adaptive_parts: bool::decode(r)?,
+            delta_buckets: u64::decode(r)? as usize,
+            delta_tolerance: f64::decode(r)?,
         })
     }
 }
@@ -392,7 +405,7 @@ impl fmt::Display for MultiprocError {
                 write!(
                     f,
                     "engine {name} cannot run multiprocess (shared-memory termination); \
-                     use powergraph-sync or lazy-block-async"
+                     use powergraph-sync, lazy-block-async, or delta-accum"
                 )
             }
             MultiprocError::Io(detail) => write!(f, "multiprocess launcher I/O: {detail}"),
@@ -432,7 +445,7 @@ pub struct MultiprocOutcome<V> {
 pub fn multiproc_supported(engine: EngineKind) -> bool {
     matches!(
         engine,
-        EngineKind::PowerGraphSync | EngineKind::LazyBlockAsync
+        EngineKind::PowerGraphSync | EngineKind::LazyBlockAsync | EngineKind::DeltaAccum
     )
 }
 
@@ -539,6 +552,8 @@ pub fn run_multiprocess_with<P: VertexProgram>(
             opts.rejoin_window_ms
         },
         adaptive_parts: cfg.adaptive_parts,
+        delta_buckets: cfg.delta_buckets,
+        delta_tolerance: cfg.delta_tolerance,
     };
     let mut job = job;
 
@@ -768,7 +783,9 @@ fn assemble_outcome<P: VertexProgram>(
                 breakdown,
             })
         }
-        EngineKind::LazyBlockAsync => {
+        // The delta engine shares the lazy engine's per-machine output
+        // shape, so both assemble through the same decode path.
+        EngineKind::LazyBlockAsync | EngineKind::DeltaAccum => {
             let mut outs: Vec<lazy_block::MachineOut<P>> = Vec::new();
             let mut breakdown = SimBreakdown::default();
             for (me, bytes) in result_files.iter().enumerate() {
@@ -837,6 +854,8 @@ mod tests {
             checkpoint_dir: "/tmp/lz-ckpt".into(),
             rejoin_window_ms: 15_000,
             adaptive_parts: true,
+            delta_buckets: 16,
+            delta_tolerance: 1e-3,
         }
     }
 
@@ -857,6 +876,8 @@ mod tests {
         assert_eq!(back.checkpoint_dir, "/tmp/lz-ckpt");
         assert_eq!(back.rejoin_window_ms, 15_000);
         assert!(back.adaptive_parts);
+        assert_eq!(back.delta_buckets, 16);
+        assert_eq!(back.delta_tolerance.to_bits(), 1e-3f64.to_bits());
         assert_eq!(back.cost.bandwidth.to_bits(), j.cost.bandwidth.to_bits());
         assert_eq!(
             back.splitter.t_extra.to_bits(),
@@ -883,6 +904,7 @@ mod tests {
     fn unsupported_engines_are_rejected() {
         assert!(multiproc_supported(EngineKind::PowerGraphSync));
         assert!(multiproc_supported(EngineKind::LazyBlockAsync));
+        assert!(multiproc_supported(EngineKind::DeltaAccum));
         assert!(!multiproc_supported(EngineKind::PowerGraphAsync));
         assert!(!multiproc_supported(EngineKind::LazyVertexAsync));
         assert!(!multiproc_supported(EngineKind::PowerSwitchHybrid));

@@ -9,8 +9,8 @@ use proptest::prelude::*;
 
 use lazygraph_algorithms::Sssp;
 use lazygraph_engine::checkpoint::{
-    decode_container, encode_container, fnv1a64, CheckpointError, EngineSnapshot, LazyResume,
-    CKPT_CHUNK,
+    decode_container, encode_container, fnv1a64, CheckpointError, DeltaResume, EngineSnapshot,
+    LazyResume, CKPT_CHUNK,
 };
 use lazygraph_engine::lazy_block::LazyCounters;
 use lazygraph_net::Wire;
@@ -127,7 +127,7 @@ proptest! {
     /// resume block — round-trips bit-exactly.
     #[test]
     fn snapshot_round_trips(
-        engine in 0u8..2,
+        engine in 0u8..3,
         iterations in any::<u64>(),
         clock_bits in any::<u64>(),
         data_round in any::<u64>(),
@@ -144,6 +144,8 @@ proptest! {
         do_local in any::<bool>(),
         first_stage_bits in (any::<bool>(), any::<u64>()),
         next_mode_m2m in any::<bool>(),
+        with_delta in any::<bool>(),
+        delta_counters in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
     ) {
         let prev_active = prev_active.0.then_some(prev_active.1);
         let first_stage_bits = first_stage_bits.0.then_some(first_stage_bits.1);
@@ -161,6 +163,14 @@ proptest! {
             first_stage_bits,
             next_mode_m2m,
         });
+        let delta = with_delta.then_some(DeltaResume {
+            counters: LazyCounters {
+                coherency_points: delta_counters.0,
+                local_subrounds: delta_counters.1,
+                a2a_exchanges: delta_counters.2,
+                m2m_exchanges: delta_counters.3,
+            },
+        });
         let snap = EngineSnapshot::<Sssp> {
             engine,
             iterations,
@@ -175,6 +185,7 @@ proptest! {
             queue,
             part_items,
             lazy: lazy.clone(),
+            delta,
         };
         let bytes = snap.to_wire();
         prop_assert_eq!(&bytes, &snap.to_wire(), "encode must be deterministic");
@@ -182,6 +193,7 @@ proptest! {
         // Bitwise comparison: floats as bit patterns, so NaNs count.
         prop_assert_eq!(format!("{back:?}"), format!("{snap:?}"));
         prop_assert_eq!(back.lazy, lazy);
+        prop_assert_eq!(back.delta, delta);
 
         // And through the container, as `SnapshotStore::save` writes it.
         let file = encode_container(&bytes);
@@ -207,6 +219,7 @@ proptest! {
             queue: vec![2, 0],
             part_items: 1024,
             lazy: None,
+            delta: None,
         };
         let bytes = snap.to_wire();
         let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;

@@ -328,6 +328,111 @@ fn lazy_vertex_pipelined_reaches_same_fixpoint() {
 }
 
 #[test]
+fn delta_engine_converges_to_dense_oracle() {
+    // The bucket scheduler only reorders and defers work; parked
+    // sub-tolerance mass is the same error model the dense single-machine
+    // reference (`oracle::delta_dense_fixpoint`) applies, so the scheduled
+    // 4-machine run must land within a tolerance-derived band of it.
+    let g = test_graph();
+    let pr = PageRankDelta::default();
+    let (oracle_vals, _epochs, oracle_converged) =
+        lazygraph_engine::oracle::delta_dense_fixpoint(&g, &pr, pr.tolerance, 100_000);
+    assert!(oracle_converged, "dense delta oracle must converge");
+    let r = run(&g, 4, &cfg(EngineKind::DeltaAccum, 4, false), &pr).expect("cluster run");
+    assert!(r.metrics.converged, "scheduled delta engine must converge");
+    let band = 20.0 * pr.tolerance;
+    for (v, (got, want)) in r.values.iter().zip(&oracle_vals).enumerate() {
+        assert!(
+            (got.rank - want.rank).abs() <= band * want.rank.abs().max(1.0),
+            "pagerank vertex {v}: scheduled {} vs oracle {}",
+            got.rank,
+            want.rank
+        );
+    }
+
+    let sssp = Sssp::new(0u32);
+    let (oracle_vals, _epochs, oracle_converged) =
+        lazygraph_engine::oracle::delta_dense_fixpoint(&g, &sssp, 1e-3, 100_000);
+    assert!(oracle_converged);
+    let r = run(&g, 4, &cfg(EngineKind::DeltaAccum, 4, false), &sssp).expect("cluster run");
+    assert!(r.metrics.converged);
+    for (v, (got, want)) in r.values.iter().zip(&oracle_vals).enumerate() {
+        if got.is_infinite() && want.is_infinite() {
+            continue; // both unreachable
+        }
+        assert!(
+            (got - want).abs() <= 0.05,
+            "sssp vertex {v}: scheduled {got} vs oracle {want}"
+        );
+    }
+}
+
+#[test]
+fn delta_engine_bitwise_deterministic_across_transports_and_threads() {
+    // Within a machine count the epoch plan is a pure function of state,
+    // so values must be bitwise identical on every transport and thread
+    // count; the full counter fingerprint must also hold thread-invariant
+    // on the in-proc transport (TCP measures real frame bytes, which are
+    // part of the wire contract but not the thread contract).
+    let g = test_graph();
+    let program = PageRankDelta::default();
+    for machines in [1usize, 2, 4] {
+        let baseline = run_fingerprint(
+            &g,
+            machines,
+            &cfg(EngineKind::DeltaAccum, 1, false),
+            &program,
+        );
+        for transport in [TransportKind::InProc, TransportKind::Tcp] {
+            for threads in THREADS {
+                let c = cfg(EngineKind::DeltaAccum, threads, false).with_transport(transport);
+                let got = run_fingerprint(&g, machines, &c, &program);
+                assert_eq!(
+                    got.0, baseline.0,
+                    "delta values diverged on {transport:?}, threads={threads}, machines={machines}"
+                );
+                if transport == TransportKind::InProc {
+                    assert_eq!(
+                        got.1, baseline.1,
+                        "delta counters diverged at threads={threads}, machines={machines}"
+                    );
+                }
+            }
+        }
+        // Same config twice: no hidden global state in the scheduler.
+        let c = cfg(EngineKind::DeltaAccum, 8, false);
+        let a = run_fingerprint(&g, machines, &c, &program);
+        let b = run_fingerprint(&g, machines, &c, &program);
+        assert_eq!(a, b, "delta engine not reproducible at machines={machines}");
+    }
+}
+
+#[test]
+fn delta_engine_skips_work_the_lazy_engine_processes() {
+    // The point of the scheduler: sub-tolerance vertices park instead of
+    // burning applies. On the PageRank workload the delta engine must
+    // record skipped vertices and fewer applies than lazy-block.
+    let g = test_graph();
+    let program = PageRankDelta::default();
+    let delta = run(&g, 4, &cfg(EngineKind::DeltaAccum, 4, false), &program)
+        .expect("cluster run");
+    let lazy = run(&g, 4, &cfg(EngineKind::LazyBlockAsync, 4, false), &program)
+        .expect("cluster run");
+    assert!(
+        delta.metrics.stats.delta_skipped_vertices > 0,
+        "scheduler never parked a vertex"
+    );
+    assert!(delta.metrics.stats.sched_epochs > 0);
+    assert!(delta.metrics.stats.bucket_high_water > 0);
+    assert!(
+        delta.metrics.stats.applies < lazy.metrics.stats.applies,
+        "delta applies {} not below lazy applies {}",
+        delta.metrics.stats.applies,
+        lazy.metrics.stats.applies
+    );
+}
+
+#[test]
 fn repeated_runs_are_reproducible() {
     // Same config twice — catches hidden global state (hash seeds, pool
     // scheduling) leaking into results even when thread counts agree.

@@ -185,6 +185,20 @@ fn lazy_block_recovers_bitwise_4_workers() {
     run_matrix(EngineKind::LazyBlockAsync, 4);
 }
 
+#[test]
+fn delta_recovers_bitwise_2_workers() {
+    // Delta checkpoints carry `(value, delta)` state implicitly through
+    // the MachineState snapshot plus the DeltaResume counter extras; the
+    // scheduler itself is stateless across epochs, so resume re-plans
+    // from the restored state and must land on the oracle's bits.
+    run_matrix(EngineKind::DeltaAccum, 2);
+}
+
+#[test]
+fn delta_recovers_bitwise_4_workers() {
+    run_matrix(EngineKind::DeltaAccum, 4);
+}
+
 /// Kill the victim *mid pipelined exchange*: the `stream:<round>:<part>`
 /// fail point aborts just before the victim streams its first part of
 /// data round 1 (the apply broadcast of superstep 1) — peers are left
