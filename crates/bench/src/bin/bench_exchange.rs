@@ -19,6 +19,14 @@
 //! with the overlap counters. The full run asserts ≥10% wall-clock
 //! improvement on at least one PageRank cell with `overlap_ms > 0`.
 //!
+//! `--skew-compare` switches to the skew comparison (DESIGN.md §16):
+//! high-skew R-MAT (a=0.7) under the adversarial all-hubs-on-machine-0
+//! placement, static baseline vs hub fan-out vs live migration vs both,
+//! emitting `BENCH_skew.json` with load-ratio and migration counters. The
+//! full run asserts the combined variant reduces the mean max/mean
+//! traversed-edge load ratio by ≥25%, that migration alone moves vertices
+//! and improves the ratio, and that Migrate frames cross a real socket.
+//!
 //! `--engine delta` switches to the delta-accumulative comparison
 //! (DESIGN.md §15): DeltaAccum vs LazyVertexAsync on the same
 //! PageRank/SSSP × R-MAT × 4-machine matrix, emitting `BENCH_delta.json`
@@ -33,9 +41,12 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use lazygraph_algorithms::{PageRankDelta, Sssp};
-use lazygraph_engine::{run, EngineConfig, EngineKind, RunMetrics, TransportKind, VertexProgram};
+use lazygraph_engine::{
+    run, EngineConfig, EngineKind, RebalanceConfig, RunMetrics, TransportKind, VertexProgram,
+};
 use lazygraph_graph::generators::{rmat, RmatConfig};
 use lazygraph_graph::{Graph, GraphBuilder};
+use lazygraph_partition::{HubFanoutConfig, PartitionStrategy};
 
 /// One measured cell of the matrix.
 ///
@@ -721,9 +732,266 @@ fn run_pipeline_compare(quick: bool, pin: bool, out: &str) {
     eprintln!("wrote {out}");
 }
 
+/// One cell of the skew comparison (`--skew-compare` mode): the lazy
+/// engine on a high-skew R-MAT graph under the adversarial
+/// all-hubs-on-machine-0 placement, in one of four variants.
+struct SkewCell {
+    /// `static` (measure-only baseline), `fanout` (hub fan-out only),
+    /// `migration` (live migration only), or `combined`.
+    variant: &'static str,
+    algorithm: &'static str,
+    transport: &'static str,
+    rmat_scale: u32,
+    vertices: usize,
+    edges: usize,
+    wall_ms: f64,
+    sim_time: f64,
+    /// Rebalance decision points that recorded a load ratio.
+    rebalance_checks: u64,
+    /// Mean max/mean traversed-edge load ratio over all checks, permille.
+    mean_ratio_milli: u64,
+    /// Worst ratio any check saw, permille.
+    max_ratio_milli: u64,
+    migrated_vertices: u64,
+    /// `FrameKind::Migrate` frames measured on the wire (0 in-proc).
+    migrate_frames: u64,
+}
+
+/// The four skew variants: what the partitioner and the rebalancer each
+/// contribute, alone and together. Both knobs record load ratios at the
+/// same every-2-barriers cadence so the means are comparable.
+fn skew_variants() -> [(&'static str, HubFanoutConfig, RebalanceConfig); 4] {
+    let fanout = HubFanoutConfig::all_machines();
+    let migrate = RebalanceConfig::enabled(2, 1200, 64);
+    [
+        ("static", HubFanoutConfig::default(), RebalanceConfig::measure_only(2)),
+        ("fanout", fanout, RebalanceConfig::measure_only(2)),
+        ("migration", HubFanoutConfig::default(), migrate),
+        ("combined", fanout, migrate),
+    ]
+}
+
+fn skew_cell<P: VertexProgram>(
+    g: &Graph,
+    scale_exp: u32,
+    variant: &'static str,
+    hub_fanout: HubFanoutConfig,
+    rebalance: RebalanceConfig,
+    transport: TransportKind,
+    algorithm: &'static str,
+    program: &P,
+) -> SkewCell {
+    // The edge splitter would mark the hubs parallel (and parallel-split
+    // vertices are pinned — their partial state cannot migrate), which is
+    // exactly the population this comparison needs movable: off for every
+    // variant so the four cells differ only in the two skew knobs.
+    let c = EngineConfig::lazygraph()
+        .with_engine(EngineKind::LazyBlockAsync)
+        .with_partition(PartitionStrategy::AdversarialHubs)
+        .with_splitter(lazygraph_partition::SplitterConfig::disabled())
+        .with_hub_fanout(hub_fanout)
+        .with_rebalance(rebalance)
+        .with_transport(transport);
+    let started = Instant::now();
+    let r = run(g, MACHINES, &c, program).expect("cluster run");
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let m = &r.metrics;
+    let checks = m.stats.rebalance_checks;
+    let mean = m.stats.load_ratio_sum_milli / checks.max(1);
+    eprintln!(
+        "  {variant} / {} / {} / rmat{}: wall {:.1}ms, load ratio mean {} max {} milli \
+         over {} checks, {} migrated, {} migrate frames",
+        transport.name(),
+        algorithm,
+        scale_exp,
+        wall_ms,
+        mean,
+        m.stats.load_ratio_max_milli,
+        checks,
+        m.stats.migrated_vertices,
+        m.stats.migrate_frames,
+    );
+    SkewCell {
+        variant,
+        algorithm,
+        transport: transport.name(),
+        rmat_scale: scale_exp,
+        vertices: g.num_vertices(),
+        edges: g.num_edges(),
+        wall_ms,
+        sim_time: m.sim_time,
+        rebalance_checks: checks,
+        mean_ratio_milli: mean,
+        max_ratio_milli: m.stats.load_ratio_max_milli,
+        migrated_vertices: m.stats.migrated_vertices,
+        migrate_frames: m.stats.migrate_frames,
+    }
+}
+
+fn emit_skew_json(quick: bool, scales: &[u32], cells: &[SkewCell]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"skew\",");
+    let _ = writeln!(s, "  \"machines\": {MACHINES},");
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(s, "  \"host_parallelism\": {},", host_parallelism());
+    let _ = writeln!(s, "  \"git_rev\": \"{}\",", git_rev());
+    let _ = writeln!(
+        s,
+        "  \"rmat_scales\": [{}],",
+        scales.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ")
+    );
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"variant\": \"{}\", \"algorithm\": \"{}\", \"transport\": \"{}\", \
+             \"rmat_scale\": {}, \"vertices\": {}, \"edges\": {}, \
+             \"wall_ms\": {:.3}, \"sim_time\": {:.9}, \"rebalance_checks\": {}, \
+             \"mean_ratio_milli\": {}, \"max_ratio_milli\": {}, \
+             \"migrated_vertices\": {}, \"migrate_frames\": {}}}{}",
+            c.variant,
+            c.algorithm,
+            c.transport,
+            c.rmat_scale,
+            c.vertices,
+            c.edges,
+            c.wall_ms,
+            c.sim_time,
+            c.rebalance_checks,
+            c.mean_ratio_milli,
+            c.max_ratio_milli,
+            c.migrated_vertices,
+            c.migrate_frames,
+            if i + 1 == cells.len() { "" } else { "," }
+        );
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+/// The `--skew-compare` mode (DESIGN.md §16): hub fan-out and live
+/// migration against the static adversarial placement they exist to fix.
+fn run_skew_compare(quick: bool, out: &str) {
+    let scales: Vec<u32> = if quick { vec![8] } else { vec![10, 12] };
+    eprintln!(
+        "skew bench: {} machines, adversarial hub placement, rmat scales {:?}{}",
+        MACHINES,
+        scales,
+        if quick { " (quick)" } else { "" }
+    );
+    let mut cells = Vec::new();
+    for &scale_exp in &scales {
+        // High-skew preset (a = 0.7): the hubs own most of the edges, the
+        // adversarial partition puts all of them on machine 0.
+        let raw = rmat(RmatConfig::skewed(scale_exp, 8, 9));
+        let mut b = GraphBuilder::new(raw.num_vertices());
+        b.extend(raw.edges());
+        b.symmetrize();
+        b.randomize_weights(1.0, 9.0, 5);
+        let g = b.build();
+        for (variant, hub_fanout, rebalance) in skew_variants() {
+            let t = TransportKind::InProc;
+            cells.push(skew_cell(
+                &g, scale_exp, variant, hub_fanout, rebalance, t, "pagerank",
+                &PageRankDelta::default(),
+            ));
+            cells.push(skew_cell(
+                &g, scale_exp, variant, hub_fanout, rebalance, t, "sssp", &Sssp::new(0u32),
+            ));
+        }
+        // One framed-TCP migration cell per scale: proves the Migrate
+        // frames actually cross a socket under their own frame kind.
+        cells.push(skew_cell(
+            &g,
+            scale_exp,
+            "migration",
+            HubFanoutConfig::default(),
+            RebalanceConfig::enabled(2, 1200, 64),
+            TransportKind::Tcp,
+            "pagerank",
+            &PageRankDelta::default(),
+        ));
+    }
+    // Headline at the largest scale: PageRank keeps every vertex active,
+    // so its traversed-edge loads are the stable balance signal (SSSP's
+    // early frontiers are tiny and lumpy — documented, not gated).
+    let top = *scales.last().expect("non-empty scales");
+    let find = |variant: &str| {
+        cells
+            .iter()
+            .find(|c| {
+                c.variant == variant
+                    && c.algorithm == "pagerank"
+                    && c.transport == "inproc"
+                    && c.rmat_scale == top
+            })
+            .expect("matrix always contains the headline cells")
+    };
+    let stat = find("static");
+    let comb = find("combined");
+    let mig = find("migration");
+    let reduction = |v: &SkewCell| {
+        100.0 * (stat.mean_ratio_milli.saturating_sub(v.mean_ratio_milli)) as f64
+            / stat.mean_ratio_milli.max(1) as f64
+    };
+    eprintln!(
+        "headline: static mean ratio {} milli, fanout {} ({:.1}%), migration {} ({:.1}%), \
+         combined {} milli ({:.1}% reduction), {} vertices migrated",
+        stat.mean_ratio_milli,
+        find("fanout").mean_ratio_milli,
+        reduction(find("fanout")),
+        mig.mean_ratio_milli,
+        reduction(mig),
+        comb.mean_ratio_milli,
+        reduction(comb),
+        mig.migrated_vertices,
+    );
+    if !quick {
+        assert!(
+            stat.rebalance_checks > 0 && comb.rebalance_checks > 0,
+            "load ratios were never recorded — the comparison is vacuous"
+        );
+        assert!(
+            reduction(comb) >= 25.0,
+            "skew machinery reduced the mean load ratio only {:.1}% \
+             (static {} vs combined {} milli)",
+            reduction(comb),
+            stat.mean_ratio_milli,
+            comb.mean_ratio_milli
+        );
+        assert!(
+            mig.migrated_vertices > 0,
+            "live migration never moved a vertex under adversarial placement"
+        );
+        assert!(
+            mig.mean_ratio_milli < stat.mean_ratio_milli,
+            "migration alone did not improve the mean load ratio"
+        );
+        let tcp = cells
+            .iter()
+            .find(|c| c.transport == "tcp" && c.rmat_scale == top)
+            .expect("matrix always contains a tcp migration cell");
+        // The single-process driver folds collectives through shared
+        // memory even on the TCP data mesh, so Migrate frames only cross
+        // a wire in true multiprocess runs (the fault-tolerance suite
+        // asserts `migrate_frames > 0` there). Here the TCP cell gates
+        // value-neutrality of the transport instead.
+        assert_eq!(
+            tcp.migrated_vertices, mig.migrated_vertices,
+            "tcp migration run must plan the same moves as inproc"
+        );
+    }
+    let json = emit_skew_json(quick, &scales, &cells);
+    std::fs::write(out, &json).expect("write bench json");
+    eprintln!("wrote {out}");
+}
+
 fn main() {
     let mut quick = false;
     let mut pipeline_compare = false;
+    let mut skew_compare = false;
     let mut delta_compare = false;
     let mut pin = false;
     let mut out: Option<String> = None;
@@ -732,6 +1000,7 @@ fn main() {
         match a.as_str() {
             "--quick" => quick = true,
             "--pipeline-compare" => pipeline_compare = true,
+            "--skew-compare" => skew_compare = true,
             "--engine" => {
                 let e = it.next().expect("--engine needs a name");
                 match e.as_str() {
@@ -744,10 +1013,14 @@ fn main() {
             other => {
                 panic!(
                     "unknown argument {other}; known: --quick --pipeline-compare \
-                     --engine --pin --out"
+                     --skew-compare --engine --pin --out"
                 )
             }
         }
+    }
+    if skew_compare {
+        let out = out.unwrap_or_else(|| "BENCH_skew.json".to_string());
+        return run_skew_compare(quick, &out);
     }
     if delta_compare {
         let out = out.unwrap_or_else(|| "BENCH_delta.json".to_string());

@@ -8,7 +8,7 @@
 use std::collections::VecDeque;
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
-use lazygraph_net::{NetError, Wire, WireReader};
+use lazygraph_net::{FrameKind, NetError, Wire, WireReader};
 
 use crate::error::CommError;
 use crate::stats::{NetStats, Phase};
@@ -59,6 +59,13 @@ pub struct Batch<T> {
     /// by exactly one final (possibly empty) batch, so the round stays
     /// self-delimiting without a separate control frame.
     pub last: bool,
+    /// Frame kind this batch travels under on the TCP transport
+    /// ([`FrameKind::Data`] for everything except live-migration
+    /// exchanges, which ride [`FrameKind::Migrate`]). Routing, round
+    /// ordering, and replay treat both kinds identically; the tag exists
+    /// so migration traffic is countable at the wire. In-proc batches
+    /// carry the kind too, purely for symmetry.
+    pub kind: FrameKind,
     /// Payload. Empty when the batch arrived on the zero-copy wire path
     /// (`raw` is `Some`); call [`Batch::make_items`] to materialize.
     pub items: Vec<T>,
@@ -219,6 +226,9 @@ pub struct Endpoint<T> {
     /// Non-empty parts streamed so far in the current round — the index
     /// the `stream:<round>:<part>` fail point fires on.
     stream_parts: u64,
+    /// Frame kind stamped on outbound batches; [`FrameKind::Data`] except
+    /// for the one exchange following [`Self::set_next_exchange_kind`].
+    next_kind: FrameKind,
     /// Writer-proxy threads a transport backend attached to this endpoint
     /// (empty for the in-proc mesh). Joined on drop — see [`Drop`] below.
     flush_on_drop: Vec<std::thread::JoinHandle<()>>,
@@ -258,9 +268,18 @@ impl<T> Endpoint<T> {
             stream_finals: 0,
             stream_started: None,
             stream_parts: 0,
+            next_kind: FrameKind::Data,
             flush_on_drop,
             recovery: None,
         }
+    }
+
+    /// Tags every batch of the *next* exchange with `kind` instead of
+    /// [`FrameKind::Data`]; the exchange resets the tag afterwards. Used
+    /// by the live-migration allgather so its frames are countable on the
+    /// wire — the payload path is otherwise byte-identical to Data.
+    pub fn set_next_exchange_kind(&mut self, kind: FrameKind) {
+        self.next_kind = kind;
     }
 
     /// Attaches the transport's recovery state (set once, right after
@@ -529,6 +548,7 @@ impl<T: Send> Endpoint<T> {
             sent_at: sim_now,
             round,
             last,
+            kind: self.next_kind,
             items,
             raw: None,
         };
@@ -633,6 +653,8 @@ impl<T: Send> Endpoint<T> {
             let items = std::mem::replace(outboxes.slot(dst), replacement);
             self.send_tagged_part(dst, items, sim_now, round, true, phase, bytes_per_item, stats)?;
         }
+        // A non-Data kind applies to exactly one exchange round.
+        self.next_kind = FrameKind::Data;
         // Rotation pass over the ahead-of-round buffer, same as `exchange`.
         for _ in 0..self.pending.len() {
             match self.pending.pop_front() {
@@ -724,6 +746,8 @@ impl<T: Send> Endpoint<T> {
             let items = std::mem::replace(outboxes.slot(dst), replacement);
             self.send_tagged(dst, items, sim_now, round, phase, bytes_per_item, stats)?;
         }
+        // A non-Data kind applies to exactly one exchange.
+        self.next_kind = FrameKind::Data;
         let mut received = Vec::with_capacity(self.n - 1);
         // Single rotation pass over the ahead-of-round buffer: matching
         // batches move to `received`, the rest keep their FIFO order.
@@ -1205,6 +1229,7 @@ mod tests {
             sent_at: 0.0,
             round: 0,
             last: true,
+            kind: FrameKind::Data,
             items: Vec::new(),
             raw: Some(RawBatch { bytes, offset, count: 3 }),
         };
@@ -1216,8 +1241,8 @@ mod tests {
 
     #[test]
     #[cfg(debug_assertions)]
-    #[should_panic(expected = "materialized twice")]
-    fn double_materialize_is_caught_in_debug() {
+    #[should_panic(expected = "re-materialized")]
+    fn double_materialize_after_drain_is_caught_in_debug() {
         let mut bytes = Vec::new();
         for v in [5u32, 6] {
             v.encode(&mut bytes);
@@ -1227,11 +1252,17 @@ mod tests {
             sent_at: 0.0,
             round: 0,
             last: true,
+            kind: FrameKind::Data,
             items: Vec::new(),
             raw: Some(RawBatch { bytes, offset: 0, count: 2 }),
         };
         b.make_items().unwrap();
-        b.make_items().unwrap(); // second call: a consumer bug, not a no-op
+        // A re-call with the decoded items still in place is a benign
+        // no-op; the bug `make_items` guards against is a re-call after
+        // the consumer took the items — it would hand back an empty vec
+        // while encoded bytes still sit in the buffer.
+        let _ = std::mem::take(&mut b.items);
+        b.make_items().unwrap();
     }
 
     #[test]
@@ -1243,6 +1274,7 @@ mod tests {
             sent_at: 0.0,
             round: 0,
             last: true,
+            kind: FrameKind::Data,
             items: Vec::new(),
             raw: Some(RawBatch { bytes, offset: 0, count: 9 }),
         };

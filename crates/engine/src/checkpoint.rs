@@ -36,6 +36,7 @@ use lazygraph_net::{NetError, Wire, WireReader};
 use crate::comm_mode::CommMode;
 use crate::lazy_block::LazyCounters;
 use crate::program::VertexProgram;
+use crate::rebalance::StructMigration;
 use crate::state::MachineState;
 
 /// Magic prefix of every checkpoint file ("LZCK", little-endian).
@@ -46,8 +47,11 @@ pub const CKPT_MAGIC: u32 = 0x4b435a4c;
 /// the snapshot. v3 appended the DeltaAccum engine's resume extras
 /// (`delta`): the engine's cross-iteration counters; the scheduler's
 /// buckets themselves are a pure function of `MachineState` and carry no
-/// state of their own.
-pub const CKPT_VERSION: u32 = 3;
+/// state of their own. v4 appended the live-migration extras: the
+/// structural migration log (`migrations`, replayed onto the static shard
+/// before state restore so the resumed topology matches the snapshot's
+/// arrays) and the lazy engine's pending decision + load accumulator.
+pub const CKPT_VERSION: u32 = 4;
 /// Maximum payload bytes per checksummed chunk.
 pub const CKPT_CHUNK: usize = 1 << 20;
 
@@ -203,6 +207,13 @@ pub struct LazyResume {
     pub first_stage_bits: Option<u64>,
     /// The comm mode the next coherency point will use.
     pub next_mode_m2m: bool,
+    /// A rebalance decision taken at the last coherency point but not yet
+    /// executed (the migration runs one superstep later, after the forced
+    /// full-flush exchange). Appended in v4.
+    pub pending_migration: Option<(u32, u32, u64)>,
+    /// Traversed-edge count accumulated since the last rebalance check.
+    /// Appended in v4.
+    pub load_accum: u64,
 }
 
 impl Wire for LazyResume {
@@ -214,6 +225,8 @@ impl Wire for LazyResume {
         self.do_local.encode(out);
         self.first_stage_bits.encode(out);
         self.next_mode_m2m.encode(out);
+        self.pending_migration.encode(out);
+        self.load_accum.encode(out);
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
         Ok(LazyResume {
@@ -224,6 +237,8 @@ impl Wire for LazyResume {
             do_local: bool::decode(r)?,
             first_stage_bits: Option::<u64>::decode(r)?,
             next_mode_m2m: bool::decode(r)?,
+            pending_migration: Option::<(u32, u32, u64)>::decode(r)?,
+            load_accum: u64::decode(r)?,
         })
     }
 }
@@ -289,6 +304,11 @@ pub struct EngineSnapshot<P: VertexProgram> {
     /// DeltaAccum extras (None for every other engine). Appended last —
     /// wire evolution rule — hence the v3 version bump.
     pub delta: Option<DeltaResume>,
+    /// Structural migration log: every live migration executed so far, in
+    /// order. A resumed machine replays this onto its freshly-partitioned
+    /// shard *before* `restore_into`, so the topology the state arrays
+    /// index into matches the snapshot. Appended in v4.
+    pub migrations: Vec<StructMigration>,
 }
 
 impl<P: VertexProgram> PartialEq for EngineSnapshot<P> {
@@ -307,6 +327,7 @@ impl<P: VertexProgram> PartialEq for EngineSnapshot<P> {
             && self.part_items == other.part_items
             && self.lazy == other.lazy
             && self.delta == other.delta
+            && self.migrations == other.migrations
     }
 }
 
@@ -326,6 +347,7 @@ impl<P: VertexProgram> Wire for EngineSnapshot<P> {
         self.part_items.encode(out);
         self.lazy.encode(out);
         self.delta.encode(out);
+        self.migrations.encode(out);
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
         Ok(EngineSnapshot {
@@ -343,6 +365,7 @@ impl<P: VertexProgram> Wire for EngineSnapshot<P> {
             part_items: u32::decode(r)?,
             lazy: Option::<LazyResume>::decode(r)?,
             delta: Option::<DeltaResume>::decode(r)?,
+            migrations: Vec::<StructMigration>::decode(r)?,
         })
     }
 }
@@ -360,6 +383,7 @@ impl<P: VertexProgram> EngineSnapshot<P> {
         state: &MachineState<P>,
         lazy: Option<LazyResume>,
         delta: Option<DeltaResume>,
+        migrations: Vec<StructMigration>,
     ) -> Self {
         EngineSnapshot {
             engine,
@@ -376,6 +400,7 @@ impl<P: VertexProgram> EngineSnapshot<P> {
             part_items: state.part_items,
             lazy,
             delta,
+            migrations,
         }
     }
 
@@ -548,6 +573,7 @@ pub fn checkpoint_at_barrier<P: VertexProgram, T>(
     state: &MachineState<P>,
     lazy: Option<LazyResume>,
     delta: Option<DeltaResume>,
+    migrations: &[StructMigration],
 ) -> Result<(), CommError> {
     let Some(store) = cfg.store.as_ref() else {
         return Ok(());
@@ -563,6 +589,7 @@ pub fn checkpoint_at_barrier<P: VertexProgram, T>(
         state,
         lazy,
         delta,
+        migrations.to_vec(),
     );
     let bytes = store.save(&snap).map_err(|e| CommError::Transport {
         me,
@@ -593,6 +620,8 @@ pub fn lazy_resume(
     do_local: bool,
     first_stage_time: Option<f64>,
     next_mode: CommMode,
+    pending_migration: Option<(u32, u32, u64)>,
+    load_accum: u64,
 ) -> LazyResume {
     LazyResume {
         counters,
@@ -602,6 +631,8 @@ pub fn lazy_resume(
         do_local,
         first_stage_bits: first_stage_time.map(f64::to_bits),
         next_mode_m2m: next_mode == CommMode::MirrorsToMaster,
+        pending_migration,
+        load_accum,
     }
 }
 
@@ -673,8 +704,27 @@ mod tests {
                 do_local: true,
                 first_stage_bits: Some(0.001f64.to_bits()),
                 next_mode_m2m: true,
+                pending_migration: Some((2, 0, 4096)),
+                load_accum: 777,
             }),
             delta: None,
+            migrations: vec![StructMigration {
+                from: 1,
+                to: 0,
+                victims: vec![(
+                    crate::rebalance::StructVertex {
+                        gid: 9,
+                        master: 0,
+                        holders: vec![0, 1],
+                        global_out: 3,
+                        global_in: 1,
+                        global_deg: 4,
+                    },
+                    vec![(10, 1.0), (11, 0.5)],
+                )],
+                targets: vec![],
+                new_at_to: vec![9, 10, 11],
+            }],
         }
     }
 
@@ -718,13 +768,13 @@ mod tests {
     }
 
     #[test]
-    fn v2_snapshots_are_rejected_by_version_check() {
-        // A v3 container with the version field rewritten to 2 must fail
+    fn v3_snapshots_are_rejected_by_version_check() {
+        // A v4 container with the version field rewritten to 3 must fail
         // the strict equality check, not decode garbage: the appended
-        // `delta` field makes the payloads incompatible.
+        // `migrations` field makes the payloads incompatible.
         let framed = encode_container(&sample_snapshot().to_wire());
         let mut old = framed.clone();
-        old[4..8].copy_from_slice(&2u32.to_le_bytes());
+        old[4..8].copy_from_slice(&3u32.to_le_bytes());
         assert!(matches!(
             decode_container(&old),
             Err(CheckpointError::BadHeader { .. })

@@ -2,7 +2,9 @@
 //! graph-aware optimisations (§4.2).
 
 use lazygraph_cluster::{CostModel, TransportKind};
-use lazygraph_partition::{PartitionStrategy, SplitterConfig};
+use lazygraph_partition::{HubFanoutConfig, PartitionStrategy, SplitterConfig};
+
+use crate::rebalance::RebalanceConfig;
 
 /// The execution engines.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -154,6 +156,17 @@ pub struct EngineConfig {
     /// and ships it over loopback sockets. Results are bitwise-identical;
     /// `NetStats` additionally reports measured frame bytes on `Tcp`.
     pub transport: TransportKind,
+    /// Degree-aware hub fan-out at partition time (DESIGN.md §16): edges
+    /// of vertices above the degree threshold are split round-robin across
+    /// machines before replica derivation, so a hub behaves like an
+    /// ordinary multi-mirror vertex downstream. Disabled by default —
+    /// the paper's static placements stay the reference.
+    pub hub_fanout: HubFanoutConfig,
+    /// Online skew rebalancing (DESIGN.md §16): the lazy engine samples
+    /// per-machine traversed-edge loads at coherency barriers and, past
+    /// the configured imbalance threshold, deterministically migrates hot
+    /// master vertices to the lightest machine. Disabled by default.
+    pub rebalance: RebalanceConfig,
 }
 
 impl EngineConfig {
@@ -180,6 +193,8 @@ impl EngineConfig {
             delta_buckets: DEFAULT_DELTA_BUCKETS,
             delta_tolerance: DEFAULT_DELTA_TOLERANCE,
             transport: TransportKind::InProc,
+            hub_fanout: HubFanoutConfig::default(),
+            rebalance: RebalanceConfig::DISABLED,
         }
     }
 
@@ -317,6 +332,27 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style override of the partition-time edge splitter (see
+    /// [`Self::splitter`]).
+    pub fn with_splitter(mut self, splitter: SplitterConfig) -> Self {
+        self.splitter = splitter;
+        self
+    }
+
+    /// Builder-style override of partition-time hub fan-out (see
+    /// [`Self::hub_fanout`]).
+    pub fn with_hub_fanout(mut self, hub_fanout: HubFanoutConfig) -> Self {
+        self.hub_fanout = hub_fanout;
+        self
+    }
+
+    /// Builder-style override of online skew rebalancing (see
+    /// [`Self::rebalance`]).
+    pub fn with_rebalance(mut self, rebalance: RebalanceConfig) -> Self {
+        self.rebalance = rebalance;
+        self
+    }
+
     /// Resolves `threads_per_machine` for a run on `num_machines` simulated
     /// machines: explicit setting wins, then the `LAZYGRAPH_THREADS` /
     /// `RAYON_NUM_THREADS` environment knobs, then an even split of the
@@ -440,6 +476,19 @@ mod tests {
         assert_eq!(EngineConfig::lazygraph().transport, TransportKind::InProc);
         let tcp = EngineConfig::lazygraph().with_transport(TransportKind::Tcp);
         assert_eq!(tcp.transport, TransportKind::Tcp);
+    }
+
+    #[test]
+    fn skew_knobs_default_off_and_build() {
+        let cfg = EngineConfig::lazygraph();
+        assert!(cfg.hub_fanout.is_disabled());
+        assert!(cfg.rebalance.is_disabled());
+        let tuned = EngineConfig::lazygraph()
+            .with_hub_fanout(HubFanoutConfig::all_machines())
+            .with_rebalance(RebalanceConfig::enabled(2, 1500, 8));
+        assert!(!tuned.hub_fanout.is_disabled());
+        assert_eq!(tuned.rebalance.every, 2);
+        assert_eq!(tuned.rebalance.max_moves, 8);
     }
 
     #[test]

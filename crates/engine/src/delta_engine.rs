@@ -333,7 +333,7 @@ fn machine_loop<P: VertexProgram>(
             let delta = Some(DeltaResume { counters });
             checkpoint_at_barrier(
                 &ep, &bsp.coll, me, &stats, &recovery, 2, iterations, &clock, &state, None,
-                delta,
+                delta, &[],
             )?;
         }
     }

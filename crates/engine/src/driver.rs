@@ -6,7 +6,7 @@ use std::time::Instant;
 
 use lazygraph_cluster::{CommError, NetStats};
 use lazygraph_graph::Graph;
-use lazygraph_partition::{partition_graph, DistributedGraph};
+use lazygraph_partition::{partition_graph_with, DistributedGraph};
 use parking_lot::Mutex;
 
 use crate::async_engine::run_async_engine;
@@ -39,11 +39,12 @@ pub fn run<P: VertexProgram>(
     cfg: &EngineConfig,
     program: &P,
 ) -> Result<RunResult<P>, CommError> {
-    let dg = partition_graph(
+    let dg = partition_graph_with(
         graph,
         num_machines,
         cfg.partition,
         &cfg.splitter,
+        &cfg.hub_fanout,
         cfg.bidirectional,
     );
     run_on(&dg, cfg, program)
@@ -102,6 +103,7 @@ pub fn run_on<P: VertexProgram>(
                     exchange_fast: cfg.exchange_fast,
                     pipeline: cfg.pipeline,
                     adaptive_parts: cfg.adaptive_parts,
+                    rebalance: cfg.rebalance,
                 };
                 let (values, iters, converged, sim, c) = run_lazy_block_engine(
                     dg,

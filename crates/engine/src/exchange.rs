@@ -270,6 +270,7 @@ mod tests {
     use crate::program::{EdgeCtx, VertexCtx};
     use lazygraph_cluster::OutboxSet;
     use lazygraph_graph::VertexId;
+    use lazygraph_net::FrameKind;
 
     struct Sum;
     impl VertexProgram for Sum {
@@ -326,6 +327,7 @@ mod tests {
             sent_at: 0.0,
             round: 0,
             last: true,
+            kind: FrameKind::Data,
             items,
             raw: None,
         };
@@ -367,6 +369,7 @@ mod tests {
             sent_at: 0.0,
             round: 0,
             last: true,
+            kind: FrameKind::Data,
             items: vec![(0u32, 1u64), (99, 2), (3, 3)],
             raw: None,
         }];
@@ -395,6 +398,7 @@ mod tests {
             sent_at: 0.0,
             round: 0,
             last: true,
+            kind: FrameKind::Data,
             items: vec![(0u32, 1u64), (1, 2)],
             raw: None,
         }];
@@ -435,6 +439,7 @@ mod tests {
                 sent_at: 0.0,
                 round: 0,
                 last: true,
+                kind: FrameKind::Data,
                 items: items.clone(),
                 raw: None,
             }];
@@ -443,6 +448,7 @@ mod tests {
                 sent_at: 0.0,
                 round: 0,
                 last: true,
+                kind: FrameKind::Data,
                 items: Vec::new(),
                 raw: Some(RawBatch {
                     bytes: bytes.clone(),

@@ -25,8 +25,9 @@ use lazygraph_cluster::{
     build_endpoints, Collective, CommError, CostModel, Endpoint, NetStats, OutboxSet, Phase,
     PipelineTiming, SimClock, TransportKind,
 };
-use lazygraph_net::{NetError, Wire, WireReader};
-use lazygraph_partition::{DistributedGraph, EdgeMode, LocalShard, NO_LOCAL};
+use lazygraph_graph::MachineId;
+use lazygraph_net::{FrameKind, NetError, Wire, WireReader};
+use lazygraph_partition::{load_ratio_milli, DistributedGraph, EdgeMode, LocalShard, NO_LOCAL};
 use parking_lot::Mutex;
 
 use crate::bsp::{BspReduction, BspSync, CommCharge};
@@ -38,6 +39,10 @@ use crate::interval::IntervalModel;
 use crate::metrics::{IterationRecord, SimBreakdown};
 use crate::parallel::{ParallelConfig, ParallelCtx};
 use crate::program::{DeltaExchange, EdgeCtx, VertexProgram};
+use crate::rebalance::{
+    apply_structural, build_payload, install_states, membership_bitmap, plan_rebalance,
+    resolve_migration, select_victims, MigContribution, RebalanceConfig, StructMigration,
+};
 use crate::state::{vertex_ctx, InitMessages, MachineState};
 
 /// Aggregated lazy-engine counters (identical on every machine except
@@ -128,6 +133,12 @@ pub struct LazyParams {
     /// regeneration reproduces the logged wire stream. Requires
     /// `pipeline`; ignored without it.
     pub adaptive_parts: bool,
+    /// Online live-migration policy (DESIGN.md §16): per-machine
+    /// traversed-edge loads are allgathered every `rebalance.every`
+    /// coherency barriers, and a triggered plan migrates hot master
+    /// vertices one superstep later (after a forced full-flush exchange).
+    /// [`RebalanceConfig::DISABLED`] keeps the static placement.
+    pub rebalance: RebalanceConfig,
 }
 
 /// `(values, supersteps, converged, sim_time, counters)` or the first
@@ -335,7 +346,7 @@ pub(crate) fn blocked_apply_scatter<P: VertexProgram>(
 #[allow(clippy::too_many_arguments)]
 fn machine_loop<P: VertexProgram>(
     me: usize,
-    shard: &LocalShard,
+    shard_ref: &LocalShard,
     mut ep: Endpoint<(u32, P::Delta)>,
     program: &P,
     num_vertices: usize,
@@ -350,13 +361,18 @@ fn machine_loop<P: VertexProgram>(
 ) -> Result<MachineOut<P>, CommError> {
     let n = coll.num_machines();
     let pctx = ParallelCtx::new(par);
+    // Live migration patches the topology in place, so the loop works on
+    // an owned copy of the statically-partitioned shard. Every machine
+    // applies the identical structural patch stream, so all copies stay
+    // consistent views of one distributed graph.
+    let mut shard = shard_ref.clone();
     // BspSync owns the breakdown for the simulated components; this clone
     // is the sink for the pipelined exchange's wall-clock telemetry.
     let timing_sink = breakdown.clone();
     let mut bsp = BspSync::new(me, coll, stats.clone(), params.cost, breakdown);
     let mut clock = SimClock::new();
     let mut state: MachineState<P> =
-        MachineState::init(shard, program, InitMessages::AllReplicas, num_vertices);
+        MachineState::init(&shard, program, InitMessages::AllReplicas, num_vertices);
     let mut interval = IntervalModel::new(params.interval, ev_ratio);
     let delta_bytes = program.delta_bytes();
     let mut counters = LazyCounters::default();
@@ -382,9 +398,27 @@ fn machine_loop<P: VertexProgram>(
     // estimates (one-round lag keeps the coherency stage at exactly one
     // global synchronisation, as in the paper's Fig. 1(c)).
     let mut next_mode = CommMode::AllToAll;
+    // Live-migration state: traversed edges since the last rebalance
+    // check, the decision taken at the last check (executed one superstep
+    // later, after a forced full-flush exchange), and the structural log
+    // every checkpoint carries so a resumed machine can rebuild the
+    // migrated topology.
+    let mut my_load: u64 = 0;
+    let mut pending_migration: Option<(u32, u32, u64)> = None;
+    let mut migrations: Vec<StructMigration> = Vec::new();
 
     if let Some(snap) = recovery.resume.take() {
         debug_assert_eq!(snap.engine, 1, "resume snapshot is not a LazyBlock snapshot");
+        // Replay the structural migration log first: the snapshot's state
+        // arrays index into the *migrated* topology, not the static one.
+        for mig in &snap.migrations {
+            apply_structural(&mut shard, mig);
+        }
+        migrations = snap.migrations.clone();
+        own_scratch.resize(shard.num_local(), None);
+        totals_scratch.resize(shard.num_local(), None);
+        // `restore_into` replaces the per-local arrays wholesale, so the
+        // pre-migration sizes `init` produced don't matter here.
         snap.restore_into(&mut state);
         clock.set(f64::from_bits(snap.clock_bits));
         iterations = snap.iterations;
@@ -398,6 +432,8 @@ fn machine_loop<P: VertexProgram>(
             } else {
                 CommMode::AllToAll
             };
+            pending_migration = l.pending_migration;
+            my_load = l.load_accum;
         }
         // Re-execute the checkpoint barrier unconditionally: if the crash
         // landed before it, the peers are still blocked in it and this
@@ -426,7 +462,7 @@ fn machine_loop<P: VertexProgram>(
                 // Sorting makes the whole BSP engine bit-deterministic.
                 queue.sort_unstable();
                 let (edges, applies, folds) = blocked_apply_scatter(
-                    shard,
+                    &shard,
                     &mut state,
                     program,
                     num_vertices,
@@ -436,6 +472,7 @@ fn machine_loop<P: VertexProgram>(
                 );
                 stats.record_edges(edges);
                 stats.record_applies(applies);
+                my_load += edges;
                 if params.exchange_fast {
                     stats.record_combined(folds, folds * delta_bytes as u64);
                 }
@@ -455,6 +492,13 @@ fn machine_loop<P: VertexProgram>(
         // Local volume-estimate partials (§4.2.2 formulas), computed from
         // the deltas about to be exchanged; the summed estimates decide the
         // *next* coherency point's mode (one-round lag, one sync per point).
+        //
+        // A pending migration forces this exchange to flush *everything*:
+        // suppression off means both exchange paths clear every occupied
+        // `deltaMsg` slot (only `Defer` parks a delta, and `Defer` is
+        // gated on suppression), so the migration at the next barrier
+        // moves vertices with provably empty delta slots.
+        let suppress = params.delta_suppression && pending_migration.is_none();
         let mut est = VolumeEstimate::default();
         {
             // Only replicated vertices can ever hold a shippable delta, so
@@ -467,7 +511,7 @@ fn machine_loop<P: VertexProgram>(
                 for &l in chunk {
                     let l = l as usize;
                     if let Some(d) = &delta_view[l] {
-                        if params.delta_suppression
+                        if suppress
                             && program.exchange_policy(&coherent_view[l], d)
                                 != DeltaExchange::Send
                         {
@@ -490,7 +534,7 @@ fn machine_loop<P: VertexProgram>(
             CommMode::AllToAll => {
                 counters.a2a_exchanges += 1;
                 exchange_a2a(
-                    shard,
+                    &shard,
                     &mut state,
                     program,
                     &pctx,
@@ -498,7 +542,7 @@ fn machine_loop<P: VertexProgram>(
                     &mut outboxes,
                     &clock,
                     &stats,
-                    params.delta_suppression,
+                    suppress,
                     params.exchange_fast,
                     params.pipeline,
                 )?
@@ -506,7 +550,7 @@ fn machine_loop<P: VertexProgram>(
             CommMode::MirrorsToMaster => {
                 counters.m2m_exchanges += 1;
                 exchange_m2m(
-                    shard,
+                    &shard,
                     &mut state,
                     program,
                     &pctx,
@@ -516,7 +560,7 @@ fn machine_loop<P: VertexProgram>(
                     &mut totals_scratch,
                     &clock,
                     &stats,
-                    params.delta_suppression,
+                    suppress,
                     params.exchange_fast,
                     params.pipeline,
                 )?
@@ -565,6 +609,68 @@ fn machine_loop<P: VertexProgram>(
             do_local = true;
         }
 
+        // ---- Live migration (DESIGN.md §16). -----------------------------
+        // Executes the decision planned at the previous rebalance check.
+        // The exchange above ran with suppression forced off, so every
+        // `deltaMsg` slot is provably empty. One Migrate-tagged allgather
+        // ships the donor's plan + state and the receiver's membership
+        // bitmap to everyone; every machine then derives the identical
+        // structural patch and applies it to its own shard copy, keeping
+        // the distributed views consistent without further traffic.
+        if let Some((from, to, budget)) = pending_migration.take() {
+            let contribution = if me as u32 == from {
+                // The planner's budget is in traversed edges over the
+                // `every`-superstep window; stage 1 and apply each walk a
+                // master's local out-edges once per active superstep, so
+                // out-degree units are budget / (2 · every).
+                let budget_deg = budget / (2 * params.rebalance.every.max(1));
+                let victims =
+                    select_victims(&shard, params.rebalance.max_moves, budget_deg.max(1));
+                MigContribution::<P> {
+                    payload: Some(build_payload(
+                        &shard,
+                        &state,
+                        &victims,
+                        MachineId::from(to as usize),
+                    )),
+                    bitmap: Vec::new(),
+                }
+            } else if me as u32 == to {
+                MigContribution {
+                    payload: None,
+                    bitmap: membership_bitmap(&shard),
+                }
+            } else {
+                MigContribution::empty()
+            };
+            // Machine-order concat makes the fold an allgather:
+            // `gathered[i]` is machine `i`'s contribution on every machine.
+            let gathered = bsp.coll.allreduce_kind(
+                bsp.me,
+                vec![contribution],
+                &bsp.stats,
+                FrameKind::Migrate,
+                |mut a, b| {
+                    a.extend(b);
+                    a
+                },
+            )?;
+            if let Some((mig, payload)) = resolve_migration::<P>(&gathered, from, to) {
+                apply_structural(&mut shard, &mig);
+                if me as u32 == mig.to {
+                    install_states(&shard, &mut state, &mig, payload);
+                }
+                // The shard may have grown locals; the m2m scratch arrays
+                // are indexed by local id and must cover them.
+                own_scratch.resize(shard.num_local(), None);
+                totals_scratch.resize(shard.num_local(), None);
+                if me == 0 {
+                    stats.record_migrated_vertices(mig.victims.len() as u64);
+                }
+                migrations.push(mig);
+            }
+        }
+
         // ---- Data coherency point: apply merged views, then scatter. -----
         // Two phases: every apply must see only exchange-time messages, so
         // the `coherent` snapshot records a view every replica provably
@@ -578,7 +684,7 @@ fn machine_loop<P: VertexProgram>(
         // `delta_suppression`), so with suppression off the per-vertex
         // snapshot clone would be pure overhead — skip it.
         let (edges, applies, folds) = blocked_apply_scatter(
-            shard,
+            &shard,
             &mut state,
             program,
             num_vertices,
@@ -588,6 +694,7 @@ fn machine_loop<P: VertexProgram>(
         );
         stats.record_edges(edges);
         stats.record_applies(applies);
+        my_load += edges;
         if params.exchange_fast {
             stats.record_combined(folds, folds * delta_bytes as u64);
         }
@@ -608,6 +715,29 @@ fn machine_loop<P: VertexProgram>(
         if pipelined {
             stats.record_adaptive_part_items(state.part_items as u64);
         }
+
+        // ---- Rebalance check (DESIGN.md §16). ----------------------------
+        // Every `rebalance.every` barriers, allgather the per-machine
+        // traversed-edge loads and run the pure-integer decision. The
+        // planned move executes at the *next* barrier, after a forced
+        // full-flush exchange empties the delta slots.
+        if params.rebalance.every != 0 && iterations.is_multiple_of(params.rebalance.every) {
+            let loads = bsp.coll.allreduce(
+                bsp.me,
+                vec![my_load],
+                &bsp.stats,
+                |mut a, b| {
+                    a.extend(b);
+                    a
+                },
+            )?;
+            if me == 0 {
+                stats.record_rebalance_check(load_ratio_milli(&loads));
+            }
+            pending_migration = plan_rebalance(&loads, &params.rebalance);
+            my_load = 0;
+        }
+
         if recovery.due(iterations) {
             let lazy = Some(lazy_resume(
                 counters,
@@ -615,10 +745,12 @@ fn machine_loop<P: VertexProgram>(
                 do_local,
                 first_stage_time,
                 next_mode,
+                pending_migration,
+                my_load,
             ));
             checkpoint_at_barrier(
                 &ep, &bsp.coll, me, &stats, &recovery, 1, iterations, &clock, &state, lazy,
-                None,
+                None, &migrations,
             )?;
         }
     }

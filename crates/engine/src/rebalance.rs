@@ -1,0 +1,897 @@
+//! Deterministic live vertex migration (DESIGN.md §16).
+//!
+//! The lazy engines accumulate per-machine *traversed-edge* counts between
+//! coherency barriers; every `RebalanceConfig::every` barriers those counts
+//! are allgathered and fed to [`plan_rebalance`] — a pure integer function
+//! of the load vector, so every machine reaches the identical verdict with
+//! no extra coordination. A triggered plan names a `(from, to)` machine
+//! pair; at the *next* barrier (whose exchange runs with delta suppression
+//! forced off, flushing every `deltaMsg` slot so no accumulated delta can
+//! be double-applied) the pair executes one migration round:
+//!
+//! 1. `from` picks victims with [`select_victims`] — high-local-out-degree
+//!    masters whose stored out-edges are all one-edge-mode and whose
+//!    replica-growth set is untouched by any parallel-mode edge (growing a
+//!    parallel edge's replica set would silently violate the §4.1 dispatch
+//!    invariant).
+//! 2. One [`Collective::allreduce_kind`](lazygraph_cluster::Collective)
+//!    round with [`FrameKind::Migrate`](lazygraph_net::FrameKind) framing
+//!    concat-gathers every machine's [`MigContribution`]: `from` ships the
+//!    structural plan plus replica state, `to` ships its replica-membership
+//!    bitmap, everyone else ships an empty contribution.
+//! 3. Every machine derives the same [`StructMigration`] from the gathered
+//!    vector ([`resolve_migration`]) and patches its shard in place with
+//!    [`apply_structural`]; `to` additionally installs the shipped vertex
+//!    state with [`install_states`].
+//!
+//! The [`StructMigration`] record is type-free (no `P::VData`) and rides in
+//! the engine checkpoint: replay rebuilds the shard from the partition,
+//! re-applies the structural log in order (new locals append at the end of
+//! `globals`, so local ids reproduce exactly), and only then restores the
+//! snapshot's state arrays — which were captured post-migration at the
+//! larger size.
+
+use lazygraph_graph::{MachineId, VertexId};
+use lazygraph_net::{NetError, Wire, WireReader};
+use lazygraph_partition::{EdgeMode, LocalShard, NO_LOCAL};
+
+use crate::program::VertexProgram;
+use crate::state::MachineState;
+
+/// When and how aggressively the lazy engine migrates vertices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RebalanceConfig {
+    /// Check the traversed-edge balance every `every` coherency barriers;
+    /// `0` disables both the check and migration entirely.
+    pub every: u64,
+    /// Trigger threshold on the max/mean load ratio in permille
+    /// ([`lazygraph_partition::load_ratio_milli`]): a window whose ratio
+    /// exceeds this plans a migration. `1000` is perfect balance.
+    pub ratio_milli: u64,
+    /// Maximum vertices migrated per triggered plan. `0` makes the check
+    /// measurement-only (ratios are still recorded in
+    /// [`NetStats`](lazygraph_cluster::NetStats) — the bench baseline).
+    pub max_moves: usize,
+}
+
+impl RebalanceConfig {
+    /// No checks, no migration.
+    pub const DISABLED: RebalanceConfig = RebalanceConfig {
+        every: 0,
+        ratio_milli: u64::MAX,
+        max_moves: 0,
+    };
+
+    /// Check and migrate.
+    pub fn enabled(every: u64, ratio_milli: u64, max_moves: usize) -> Self {
+        RebalanceConfig {
+            every,
+            ratio_milli,
+            max_moves,
+        }
+    }
+
+    /// Record load ratios every `every` barriers but never migrate — the
+    /// static-placement baseline the skew bench compares against.
+    pub fn measure_only(every: u64) -> Self {
+        RebalanceConfig {
+            every,
+            ratio_milli: u64::MAX,
+            max_moves: 0,
+        }
+    }
+
+    /// Whether the engine skips rebalance checks entirely.
+    pub fn is_disabled(&self) -> bool {
+        self.every == 0
+    }
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig::DISABLED
+    }
+}
+
+/// The rebalance decision: a pure integer function of the allgathered
+/// per-machine load vector, so every machine computes the same verdict
+/// from the same inputs. Returns `Some((from, to, budget))` — the most-
+/// and least-loaded machines, ties broken toward the lowest index, plus a
+/// load budget of **half the from→to gap** — when the max/mean ratio
+/// exceeds `cfg.ratio_milli`, else `None`. Moving at most half the gap
+/// per step is the damping that makes repeated triggers converge on
+/// balance instead of oscillating the same hot vertices between the two
+/// machines (overshoot flips the imbalance and the next check undoes the
+/// move). All arithmetic is u128 (no floats, no overflow at any
+/// plausible load).
+pub fn plan_rebalance(loads: &[u64], cfg: &RebalanceConfig) -> Option<(u32, u32, u64)> {
+    if cfg.max_moves == 0 || loads.len() < 2 {
+        return None;
+    }
+    let sum: u128 = loads.iter().map(|&x| x as u128).sum();
+    if sum == 0 {
+        return None;
+    }
+    let mut from = 0usize;
+    let mut to = 0usize;
+    for (i, &x) in loads.iter().enumerate() {
+        if x > loads[from] {
+            from = i;
+        }
+        if x < loads[to] {
+            to = i;
+        }
+    }
+    if from == to {
+        return None;
+    }
+    let max = loads[from] as u128;
+    let n = loads.len() as u128;
+    let budget = (loads[from] - loads[to]) / 2;
+    if budget > 0 && max * 1000 * n > sum * cfg.ratio_milli as u128 {
+        Some((from as u32, to as u32, budget))
+    } else {
+        None
+    }
+}
+
+/// Replica-topology facts about one vertex touched by a migration, as
+/// known by the `from` machine. `holders` and `master` describe the
+/// **post-migration** placement, so applying a record never needs the
+/// pre-migration view.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StructVertex {
+    /// Global vertex id.
+    pub gid: u32,
+    /// Post-migration master machine.
+    pub master: u32,
+    /// Complete post-migration replica set (sorted machine ids, `to`
+    /// included).
+    pub holders: Vec<u32>,
+    /// User-view out-degree (for `migrate_add_local`).
+    pub global_out: u32,
+    /// User-view in-degree.
+    pub global_in: u32,
+    /// User-view total degree.
+    pub global_deg: u32,
+}
+
+impl Wire for StructVertex {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.gid.encode(out);
+        self.master.encode(out);
+        self.holders.encode(out);
+        self.global_out.encode(out);
+        self.global_in.encode(out);
+        self.global_deg.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        Ok(StructVertex {
+            gid: u32::decode(r)?,
+            master: u32::decode(r)?,
+            holders: Vec::<u32>::decode(r)?,
+            global_out: u32::decode(r)?,
+            global_in: u32::decode(r)?,
+            global_deg: u32::decode(r)?,
+        })
+    }
+}
+
+/// One applied migration round, type-free so it can ride in the engine
+/// checkpoint as a structural log: replaying the log against a freshly
+/// partitioned shard reproduces the patched topology bit-for-bit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StructMigration {
+    /// Donor machine.
+    pub from: u32,
+    /// Receiver machine.
+    pub to: u32,
+    /// Migrated vertices with their moved out-edges as
+    /// `(target gid, weight)` in stored-row order.
+    pub victims: Vec<(StructVertex, Vec<(u32, f32)>)>,
+    /// Out-edge targets of the victims (victims excluded, gid-sorted).
+    pub targets: Vec<StructVertex>,
+    /// Gids from `victims` ∪ `targets` that had no replica at `to` before
+    /// this round, in victims-then-targets order — exactly the locals
+    /// `to` appends, in exactly that order.
+    pub new_at_to: Vec<u32>,
+}
+
+impl Wire for StructMigration {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.from.encode(out);
+        self.to.encode(out);
+        self.victims.encode(out);
+        self.targets.encode(out);
+        self.new_at_to.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        Ok(StructMigration {
+            from: u32::decode(r)?,
+            to: u32::decode(r)?,
+            victims: Vec::<(StructVertex, Vec<(u32, f32)>)>::decode(r)?,
+            targets: Vec::<StructVertex>::decode(r)?,
+            new_at_to: Vec::<u32>::decode(r)?,
+        })
+    }
+}
+
+/// The runtime state of one vertex shipped alongside the structural plan,
+/// snapshotted from the donor's replica at the migration barrier (where
+/// every `deltaMsg` slot is already flushed).
+#[derive(Debug)]
+pub struct MigState<P: VertexProgram> {
+    /// Global vertex id.
+    pub gid: u32,
+    /// Donor replica's vertex value.
+    pub vdata: P::VData,
+    /// Value as of the just-completed coherency point.
+    pub coherent: P::VData,
+    /// Pending gathered message, if any.
+    pub message: Option<P::Delta>,
+    /// Worklist membership flag.
+    pub active: bool,
+}
+
+impl<P: VertexProgram> Clone for MigState<P> {
+    fn clone(&self) -> Self {
+        MigState {
+            gid: self.gid,
+            vdata: self.vdata.clone(),
+            coherent: self.coherent.clone(),
+            message: self.message,
+            active: self.active,
+        }
+    }
+}
+
+impl<P: VertexProgram> Wire for MigState<P> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.gid.encode(out);
+        self.vdata.encode(out);
+        self.coherent.encode(out);
+        self.message.encode(out);
+        self.active.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        Ok(MigState {
+            gid: u32::decode(r)?,
+            vdata: P::VData::decode(r)?,
+            coherent: P::VData::decode(r)?,
+            message: Option::<P::Delta>::decode(r)?,
+            active: bool::decode(r)?,
+        })
+    }
+}
+
+/// The donor's half of a migration round: the structural plan plus the
+/// replica state of every vertex the receiver might have to materialise.
+#[derive(Debug)]
+pub struct MigPayload<P: VertexProgram> {
+    /// Victims with their moved out-edges (see [`StructMigration`]).
+    pub victims: Vec<(StructVertex, Vec<(u32, f32)>)>,
+    /// Victim out-edge targets, victims excluded, gid-sorted.
+    pub targets: Vec<StructVertex>,
+    /// State for every victim and target, victims-then-targets order.
+    pub states: Vec<MigState<P>>,
+}
+
+impl<P: VertexProgram> Clone for MigPayload<P> {
+    fn clone(&self) -> Self {
+        MigPayload {
+            victims: self.victims.clone(),
+            targets: self.targets.clone(),
+            states: self.states.clone(),
+        }
+    }
+}
+
+impl<P: VertexProgram> Wire for MigPayload<P> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.victims.encode(out);
+        self.targets.encode(out);
+        self.states.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        Ok(MigPayload {
+            victims: Vec::<(StructVertex, Vec<(u32, f32)>)>::decode(r)?,
+            targets: Vec::<StructVertex>::decode(r)?,
+            states: Vec::<MigState<P>>::decode(r)?,
+        })
+    }
+}
+
+/// One machine's contribution to the migration allgather. Exactly one
+/// machine (`from`) sets `payload`; exactly one (`to`) sets `bitmap`;
+/// everyone else contributes both fields empty. The allgather is a
+/// machine-order concat, so `gathered[i]` is machine `i`'s contribution
+/// on every machine.
+#[derive(Debug)]
+pub struct MigContribution<P: VertexProgram> {
+    /// The donor's plan and state (donor only).
+    pub payload: Option<MigPayload<P>>,
+    /// The receiver's replica-membership bitmap, bit `g` set iff global
+    /// vertex `g` already has a replica there (receiver only).
+    pub bitmap: Vec<u8>,
+}
+
+impl<P: VertexProgram> Clone for MigContribution<P> {
+    fn clone(&self) -> Self {
+        MigContribution {
+            payload: self.payload.clone(),
+            bitmap: self.bitmap.clone(),
+        }
+    }
+}
+
+impl<P: VertexProgram> Wire for MigContribution<P> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.payload.encode(out);
+        self.bitmap.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
+        Ok(MigContribution {
+            payload: Option::<MigPayload<P>>::decode(r)?,
+            bitmap: Vec::<u8>::decode(r)?,
+        })
+    }
+}
+
+impl<P: VertexProgram> MigContribution<P> {
+    /// The bystander contribution (neither donor nor receiver).
+    pub fn empty() -> Self {
+        MigContribution {
+            payload: None,
+            bitmap: Vec::new(),
+        }
+    }
+}
+
+/// Picks the donor's migration victims: local masters with stored
+/// out-edges, all of them one-edge-mode, where neither the victim nor any
+/// of its edge targets is touched by a parallel-mode edge (their replica
+/// sets must not grow — the parallel dispatch sets were fixed at build
+/// time). Orders by descending local out-degree (move the heaviest work
+/// first) with gid as the deterministic tiebreak, then takes greedily
+/// while the cumulative out-degree stays within `budget_deg` (a vertex
+/// heavier than the remaining budget is skipped, not truncated to — the
+/// budget is the planner's half-the-gap damping, and one overweight hub
+/// would overshoot it), capped at `max_moves` vertices.
+pub fn select_victims(shard: &LocalShard, max_moves: usize, budget_deg: u64) -> Vec<u32> {
+    if max_moves == 0 || budget_deg == 0 {
+        return Vec::new();
+    }
+    let touched = shard.parallel_touched_locals();
+    let mut eligible: Vec<u32> = Vec::new();
+    'locals: for l in 0..shard.num_local() as u32 {
+        if !shard.is_master[l as usize]
+            || shard.local_out_degree(l) == 0
+            || touched[l as usize]
+        {
+            continue;
+        }
+        for (t, _, mode) in shard.out_edges(l) {
+            if mode == EdgeMode::Parallel || touched[t as usize] {
+                continue 'locals;
+            }
+        }
+        eligible.push(l);
+    }
+    eligible.sort_by(|&a, &b| {
+        shard
+            .local_out_degree(b)
+            .cmp(&shard.local_out_degree(a))
+            .then(shard.global_of(a).0.cmp(&shard.global_of(b).0))
+    });
+    let mut victims = Vec::new();
+    let mut spent = 0u64;
+    for l in eligible {
+        let deg = shard.local_out_degree(l) as u64;
+        if spent + deg > budget_deg {
+            continue;
+        }
+        spent += deg;
+        victims.push(l);
+        if victims.len() == max_moves {
+            break;
+        }
+    }
+    victims
+}
+
+/// Post-migration [`StructVertex`] for donor-local vertex `l`: the holder
+/// set is the donor's view (self + mirrors) grown by `to` — the donor
+/// keeps its replica, so replica sets only ever grow.
+fn struct_vertex(shard: &LocalShard, l: u32, master: MachineId, to: MachineId) -> StructVertex {
+    let mut holders: Vec<u32> = shard.mirrors[l as usize].iter().map(|m| m.0 as u32).collect();
+    holders.push(shard.machine.0 as u32);
+    if !holders.contains(&(to.0 as u32)) {
+        holders.push(to.0 as u32);
+    }
+    holders.sort_unstable();
+    StructVertex {
+        gid: shard.global_of(l).0,
+        master: master.0 as u32,
+        holders,
+        global_out: shard.global_out_degree[l as usize],
+        global_in: shard.global_in_degree[l as usize],
+        global_deg: shard.global_degree[l as usize],
+    }
+}
+
+/// Builds the donor's [`MigPayload`] for `victims` (donor-local ids).
+pub fn build_payload<P: VertexProgram>(
+    shard: &LocalShard,
+    state: &MachineState<P>,
+    victims: &[u32],
+    to: MachineId,
+) -> MigPayload<P> {
+    let mut vrecs = Vec::with_capacity(victims.len());
+    let mut target_locals: Vec<u32> = Vec::new();
+    for &l in victims {
+        let edges: Vec<(u32, f32)> = shard
+            .out_edges(l)
+            .map(|(t, w, _)| {
+                target_locals.push(t);
+                (shard.global_of(t).0, w)
+            })
+            .collect();
+        vrecs.push((struct_vertex(shard, l, to, to), edges));
+    }
+    target_locals.sort_unstable();
+    target_locals.dedup();
+    target_locals.retain(|t| !victims.contains(t));
+    let targets: Vec<StructVertex> = target_locals
+        .iter()
+        .map(|&t| struct_vertex(shard, t, shard.master_of[t as usize], to))
+        .collect();
+    let states: Vec<MigState<P>> = victims
+        .iter()
+        .chain(target_locals.iter())
+        .map(|&l| MigState {
+            gid: shard.global_of(l).0,
+            vdata: state.vdata[l as usize].clone(),
+            coherent: state.coherent[l as usize].clone(),
+            message: state.message[l as usize],
+            active: state.active[l as usize],
+        })
+        .collect();
+    MigPayload {
+        victims: vrecs,
+        targets,
+        states,
+    }
+}
+
+/// The receiver's replica-membership bitmap: bit `g` set iff global
+/// vertex `g` routes to a local replica.
+pub fn membership_bitmap(shard: &LocalShard) -> Vec<u8> {
+    let route = shard.route_table();
+    let mut bits = vec![0u8; route.len().div_ceil(8)];
+    for (g, &l) in route.iter().enumerate() {
+        if l != NO_LOCAL {
+            bits[g / 8] |= 1 << (g % 8);
+        }
+    }
+    bits
+}
+
+/// Derives the round's [`StructMigration`] from the gathered
+/// contributions — identical on every machine because the gather is
+/// machine-order deterministic. Returns `None` when the donor found no
+/// eligible victim (the round is a no-op everywhere).
+pub fn resolve_migration<P: VertexProgram>(
+    gathered: &[MigContribution<P>],
+    from: u32,
+    to: u32,
+) -> Option<(StructMigration, &MigPayload<P>)> {
+    let payload = gathered.get(from as usize)?.payload.as_ref()?;
+    if payload.victims.is_empty() {
+        return None;
+    }
+    let bitmap = &gathered.get(to as usize)?.bitmap;
+    let present =
+        |g: u32| -> bool { bitmap.get(g as usize / 8).is_some_and(|b| b >> (g % 8) & 1 == 1) };
+    let mut new_at_to = Vec::new();
+    for (sv, _) in &payload.victims {
+        if !present(sv.gid) {
+            new_at_to.push(sv.gid);
+        }
+    }
+    for sv in &payload.targets {
+        if !present(sv.gid) {
+            new_at_to.push(sv.gid);
+        }
+    }
+    Some((
+        StructMigration {
+            from,
+            to,
+            victims: payload.victims.clone(),
+            targets: payload.targets.clone(),
+            new_at_to,
+        },
+        payload,
+    ))
+}
+
+/// Finds the [`StructVertex`] for `gid` in a migration record.
+fn lookup(mig: &StructMigration, gid: u32) -> &StructVertex {
+    mig.victims
+        .iter()
+        .map(|(sv, _)| sv)
+        .chain(mig.targets.iter())
+        .find(|sv| sv.gid == gid)
+        // lazylint: allow(no-panic) -- resolve_migration built new_at_to from exactly these victim/target lists; a miss is a planner bug, not a runtime condition
+        .expect("migration record covers every new_at_to gid")
+}
+
+/// Applies one migration round's structural edits to this machine's
+/// shard. Every machine calls this with the identical record; each takes
+/// only the edits relevant to its role (receiver appends locals and
+/// installs edges, donor drops edges, every holder patches masters and
+/// mirror lists). The same function replays checkpoint logs, so live and
+/// recovered shards are bit-identical by construction.
+pub fn apply_structural(shard: &mut LocalShard, mig: &StructMigration) {
+    let me = shard.machine.0 as u32;
+    let to = MachineId(mig.to as u16);
+    if me == mig.to {
+        // New replicas append in record order — the order `install_states`
+        // and checkpoint replay both assume.
+        for &g in &mig.new_at_to {
+            let sv = lookup(mig, g);
+            let holders: Vec<MachineId> =
+                sv.holders.iter().map(|&m| MachineId(m as u16)).collect();
+            shard.migrate_add_local(
+                VertexId(sv.gid),
+                MachineId(sv.master as u16),
+                &holders,
+                sv.global_out,
+                sv.global_in,
+                sv.global_deg,
+            );
+        }
+    } else {
+        for &g in &mig.new_at_to {
+            if let Some(l) = shard.local_of(VertexId(g)) {
+                shard.migrate_add_mirror(l, to);
+            }
+        }
+    }
+    for (sv, _) in &mig.victims {
+        if let Some(l) = shard.local_of(VertexId(sv.gid)) {
+            shard.migrate_set_master(l, to);
+        }
+    }
+    if me == mig.from {
+        for (sv, _) in &mig.victims {
+            let l = shard
+                .local_of(VertexId(sv.gid))
+                // lazylint: allow(no-panic) -- the donor selected its victims from its own masters one superstep ago; a miss is a protocol bug;
+                .expect("victim is local at the donor");
+            let _ = shard.migrate_take_out_edges(l);
+        }
+    }
+    if me == mig.to {
+        for (sv, edges) in &mig.victims {
+            let l = shard
+                .local_of(VertexId(sv.gid))
+                // lazylint: allow(no-panic) -- apply_structural appended every new_at_to gid before this loop; a miss is a protocol bug;
+                .expect("victim replica exists at the receiver");
+            let local_edges: Vec<(u32, f32)> = edges
+                .iter()
+                .map(|&(g, w)| {
+                    (
+                        shard
+                            .local_of(VertexId(g))
+                            // lazylint: allow(no-panic) -- mig.targets covers every victim out-edge endpoint and apply_structural grew them first; a miss is a protocol bug,
+                            .expect("edge target replica exists at the receiver"),
+                        w,
+                    )
+                })
+                .collect();
+            shard.migrate_install_out_edges(l, &local_edges);
+        }
+    }
+}
+
+/// Receiver-only: appends the shipped state for every newly created local,
+/// in the same order `apply_structural` appended them. `delta_msg` starts
+/// empty (the donor's slots were flushed by the forced-unsuppressed
+/// exchange), and active vertices join the worklist.
+pub fn install_states<P: VertexProgram>(
+    shard: &LocalShard,
+    state: &mut MachineState<P>,
+    mig: &StructMigration,
+    payload: &MigPayload<P>,
+) {
+    debug_assert_eq!(shard.machine.0 as u32, mig.to);
+    for &g in &mig.new_at_to {
+        let ms = payload
+            .states
+            .iter()
+            .find(|s| s.gid == g)
+            // lazylint: allow(no-panic) -- the donor built payload.states from the same victim/target lists new_at_to derives from; a miss is a protocol bug;
+            .expect("state shipped for every grown vertex");
+        let l = shard
+            .local_of(VertexId(g))
+            // lazylint: allow(no-panic) -- install_states runs strictly after apply_structural on the same migration record; a miss is a protocol bug;
+            .expect("replica appended by apply_structural");
+        debug_assert_eq!(l as usize, state.vdata.len(), "append order mismatch");
+        state.vdata.push(ms.vdata.clone());
+        state.coherent.push(ms.coherent.clone());
+        state.message.push(ms.message);
+        state.delta_msg.push(None);
+        state.active.push(ms.active);
+        if ms.active {
+            state.queue.push(l);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{EdgeCtx, VertexCtx};
+    use crate::state::InitMessages;
+    use lazygraph_graph::generators::{rmat, RmatConfig};
+    use lazygraph_partition::{partition_graph, PartitionStrategy, SplitterConfig};
+
+    struct P0;
+    impl VertexProgram for P0 {
+        type VData = u32;
+        type Delta = u32;
+        fn name(&self) -> &'static str {
+            "p0"
+        }
+        fn init_data(&self, v: VertexId, _c: &VertexCtx) -> u32 {
+            v.0
+        }
+        fn init_message(&self, v: VertexId, _c: &VertexCtx) -> Option<u32> {
+            v.0.is_multiple_of(2).then_some(1)
+        }
+        fn sum(&self, a: u32, b: u32) -> u32 {
+            a + b
+        }
+        fn inverse(&self, accum: u32, a: u32) -> u32 {
+            accum - a
+        }
+        fn apply(&self, _v: VertexId, d: &mut u32, a: u32, _c: &VertexCtx) -> Option<u32> {
+            *d += a;
+            None
+        }
+        fn scatter(
+            &self,
+            _v: VertexId,
+            _d: &u32,
+            x: u32,
+            _c: &VertexCtx,
+            _e: &EdgeCtx,
+        ) -> Option<u32> {
+            Some(x)
+        }
+    }
+
+    #[test]
+    fn plan_rebalance_is_a_pure_threshold() {
+        let cfg = RebalanceConfig::enabled(1, 1500, 4);
+        assert_eq!(plan_rebalance(&[], &cfg), None);
+        assert_eq!(plan_rebalance(&[7], &cfg), None);
+        assert_eq!(plan_rebalance(&[0, 0, 0], &cfg), None);
+        assert_eq!(plan_rebalance(&[5, 5, 5, 5], &cfg), None, "balanced");
+        // ratio = 4000 > 1500: heaviest donates to lightest (min ties
+        // break toward the lowest index).
+        assert_eq!(plan_rebalance(&[100, 0, 0, 0], &cfg), Some((0, 1, 50)));
+        assert_eq!(plan_rebalance(&[0, 10, 100, 0], &cfg), Some((2, 0, 50)));
+        // Ties break toward the lowest machine index on both sides.
+        assert_eq!(plan_rebalance(&[9, 9, 1, 1], &cfg), Some((0, 2, 4)));
+        // Threshold boundary: ratio == cfg.ratio_milli does not trigger.
+        let exact = RebalanceConfig::enabled(1, 1800, 4);
+        assert_eq!(plan_rebalance(&[9, 1], &exact), None, "ratio exactly 1800");
+        assert_eq!(plan_rebalance(&[10, 0], &exact), Some((0, 1, 5)), "ratio 2000");
+        // Measurement-only and disabled configs never plan.
+        assert_eq!(plan_rebalance(&[100, 0], &RebalanceConfig::measure_only(1)), None);
+        assert_eq!(plan_rebalance(&[100, 0], &RebalanceConfig::DISABLED), None);
+    }
+
+    #[test]
+    fn victim_selection_orders_by_local_degree_then_gid() {
+        let g = rmat(RmatConfig::graph500(8, 6, 3));
+        let dg = partition_graph(
+            &g,
+            2,
+            PartitionStrategy::Coordinated,
+            &SplitterConfig::disabled(),
+            false,
+        );
+        let shard = &dg.shards[0];
+        let picked = select_victims(shard, 5, u64::MAX);
+        assert!(!picked.is_empty(), "fixture shard yields eligible victims");
+        assert!(picked.len() <= 5);
+        for w in picked.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let (da, db) = (shard.local_out_degree(a), shard.local_out_degree(b));
+            assert!(
+                da > db || (da == db && shard.global_of(a).0 < shard.global_of(b).0),
+                "ordering violated"
+            );
+        }
+        for &l in &picked {
+            assert!(shard.is_master[l as usize]);
+            assert!(shard.out_edges(l).all(|(.., m)| m == EdgeMode::OneEdge));
+        }
+        assert!(select_victims(shard, 0, u64::MAX).is_empty());
+        assert!(select_victims(shard, 5, 0).is_empty(), "zero budget moves nothing");
+    }
+
+    #[test]
+    fn victim_selection_respects_parallel_touch() {
+        let g = rmat(RmatConfig::graph500(9, 8, 4));
+        let dg = partition_graph(
+            &g,
+            4,
+            PartitionStrategy::Coordinated,
+            &SplitterConfig::default(),
+            false,
+        );
+        let shard = &dg.shards[0];
+        let touched = shard.parallel_touched_locals();
+        for &l in &select_victims(shard, usize::MAX, u64::MAX) {
+            assert!(!touched[l as usize], "victim touched by a parallel edge");
+            for (t, _, _) in shard.out_edges(l) {
+                assert!(!touched[t as usize], "victim target touched");
+            }
+        }
+    }
+
+    /// End-to-end structural round: donor plans, receiver's bitmap
+    /// resolves, every shard applies, and the patched topology satisfies
+    /// the same invariants `validate_distributed` checks on fresh builds.
+    #[test]
+    fn migration_round_patches_all_shards_consistently() {
+        let g = rmat(RmatConfig::graph500(8, 6, 6));
+        let dg = partition_graph(
+            &g,
+            3,
+            PartitionStrategy::Coordinated,
+            &SplitterConfig::disabled(),
+            false,
+        );
+        let mut shards: Vec<LocalShard> = dg.shards.clone();
+        let (from, to) = (0u32, 2u32);
+        let state0: MachineState<P0> = MachineState::init(
+            &shards[0],
+            &P0,
+            InitMessages::AllReplicas,
+            dg.num_global_vertices,
+        );
+        let victims = select_victims(&shards[0], 3, u64::MAX);
+        assert!(!victims.is_empty());
+        let payload = build_payload(&shards[0], &state0, &victims, MachineId(to as u16));
+        // The allgather in wire form: donor, bystander, receiver.
+        let contribs: Vec<MigContribution<P0>> = vec![
+            MigContribution {
+                payload: Some(payload),
+                bitmap: Vec::new(),
+            },
+            MigContribution::empty(),
+            MigContribution {
+                payload: None,
+                bitmap: membership_bitmap(&shards[2]),
+            },
+        ];
+        let mut bytes = Vec::new();
+        contribs.encode(&mut bytes);
+        let mut r = WireReader::new(&bytes);
+        let gathered = Vec::<MigContribution<P0>>::decode(&mut r).expect("wire round-trip");
+        let (mig, payload) = resolve_migration(&gathered, from, to).expect("victims planned");
+        assert!(!mig.new_at_to.is_empty(), "receiver grows some replica");
+
+        let mut state2: MachineState<P0> = MachineState::init(
+            &shards[2],
+            &P0,
+            InitMessages::AllReplicas,
+            dg.num_global_vertices,
+        );
+        let before_edges: Vec<usize> = shards.iter().map(|s| s.num_local_edges()).collect();
+        // A victim already replicated at the receiver may own local edges
+        // there; the moved row appends after them.
+        let prior_rows: Vec<Vec<(u32, f32)>> = mig
+            .victims
+            .iter()
+            .map(|(sv, _)| match shards[2].local_of(VertexId(sv.gid)) {
+                Some(l) => shards[2]
+                    .out_edges(l)
+                    .map(|(t, w, _)| (shards[2].global_of(t).0, w))
+                    .collect(),
+                None => Vec::new(),
+            })
+            .collect();
+        for s in shards.iter_mut() {
+            apply_structural(s, &mig);
+        }
+        install_states(&shards[2], &mut state2, &mig, payload);
+
+        // Edge conservation: donor lost exactly what the receiver gained.
+        let moved: usize = mig.victims.iter().map(|(_, e)| e.len()).sum();
+        assert!(moved > 0);
+        assert_eq!(shards[0].num_local_edges(), before_edges[0] - moved);
+        assert_eq!(shards[2].num_local_edges(), before_edges[2] + moved);
+        assert_eq!(shards[1].num_local_edges(), before_edges[1]);
+
+        // The receiver's rows reproduce the shipped global edges in order,
+        // after any edges its pre-existing replica already stored.
+        for (i, (sv, edges)) in mig.victims.iter().enumerate() {
+            let l = shards[2].local_of(VertexId(sv.gid)).unwrap();
+            let got: Vec<(u32, f32)> = shards[2]
+                .out_edges(l)
+                .map(|(t, w, m)| {
+                    assert_eq!(m, EdgeMode::OneEdge);
+                    (shards[2].global_of(t).0, w)
+                })
+                .collect();
+            let mut want = prior_rows[i].clone();
+            want.extend_from_slice(edges);
+            assert_eq!(got, want, "gid {} edge row", sv.gid);
+            // Donor's row is empty, master flipped everywhere.
+            let lf = shards[0].local_of(VertexId(sv.gid)).unwrap();
+            assert_eq!(shards[0].local_out_degree(lf), 0);
+            for s in &shards {
+                if let Some(x) = s.local_of(VertexId(sv.gid)) {
+                    assert_eq!(s.master_of[x as usize], MachineId(to as u16));
+                    assert_eq!(s.is_master[x as usize], s.machine == MachineId(to as u16));
+                }
+            }
+        }
+
+        // Replica-set consistency: every holder of a grown vertex lists
+        // the same holder set, and mirror lists stay sorted.
+        for &gid in &mig.new_at_to {
+            let sv = mig
+                .victims
+                .iter()
+                .map(|(sv, _)| sv)
+                .chain(mig.targets.iter())
+                .find(|sv| sv.gid == gid)
+                .unwrap();
+            for s in &shards {
+                if let Some(l) = s.local_of(VertexId(gid)) {
+                    let mut holders: Vec<u32> =
+                        s.mirrors[l as usize].iter().map(|m| m.0 as u32).collect();
+                    holders.push(s.machine.0 as u32);
+                    holders.sort_unstable();
+                    assert_eq!(holders, sv.holders, "gid {gid} holder view diverged");
+                    assert!(s.has_mirrors(l));
+                    assert!(s.replicated.binary_search(&l).is_ok());
+                }
+            }
+            assert!(shards[2].local_of(VertexId(gid)).is_some());
+        }
+
+        // State install aligns with the appended locals.
+        assert_eq!(state2.vdata.len(), shards[2].num_local());
+        assert_eq!(state2.message.len(), shards[2].num_local());
+        for &gid in &mig.new_at_to {
+            let l = shards[2].local_of(VertexId(gid)).unwrap() as usize;
+            assert_eq!(state2.vdata[l], gid, "P0 init_data is the gid");
+            assert_eq!(state2.delta_msg[l], None);
+            assert_eq!(state2.active[l], state2.message[l].is_some());
+            if state2.active[l] {
+                assert!(state2.queue.contains(&(l as u32)));
+            }
+        }
+
+        // Replaying the record against a fresh shard clone is bit-identical
+        // (the checkpoint-resume path).
+        let mut replay = dg.shards[0].clone();
+        apply_structural(&mut replay, &mig);
+        assert_eq!(replay.globals, shards[0].globals);
+        assert_eq!(replay.replicated, shards[0].replicated);
+        assert_eq!(replay.is_master, shards[0].is_master);
+    }
+}

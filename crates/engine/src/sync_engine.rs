@@ -670,7 +670,7 @@ fn machine_loop<P: VertexProgram>(
         if recovery.due(iterations) {
             checkpoint_at_barrier(
                 &w.ep, &bsp.coll, me, &stats, &recovery, 0, iterations, &clock, &state, None,
-                None,
+                None, &[],
             )?;
         }
     }

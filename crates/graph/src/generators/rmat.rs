@@ -69,6 +69,22 @@ impl RmatConfig {
             clean: true,
         }
     }
+
+    /// High-skew benchmark preset (a=0.7): a handful of hubs own a large
+    /// share of all edges, so machine load under a static vertex-cut is
+    /// dominated by wherever those hubs land. The stress input for
+    /// skew-aware fan-out and live migration.
+    pub fn skewed(scale: u32, edge_factor: usize, seed: u64) -> Self {
+        RmatConfig {
+            scale,
+            edge_factor,
+            a: 0.70,
+            b: 0.12,
+            c: 0.12,
+            seed,
+            clean: true,
+        }
+    }
 }
 
 /// Generates an R-MAT graph.

@@ -14,6 +14,7 @@
 pub mod builder;
 pub mod csr;
 pub mod datasets;
+pub mod fixtures;
 pub mod generators;
 pub mod graph;
 pub mod hash;

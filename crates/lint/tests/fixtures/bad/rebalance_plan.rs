@@ -1,0 +1,32 @@
+//! lazylint-fixture: path=crates/engine/src/fixture.rs
+//! Must fire: an impure rebalance planner. Every machine re-derives the
+//! migration decision from the same allgathered loads, so the decision
+//! must be a pure integer function of that vector — float scoring (L2),
+//! hash-order scans (L1), and wall-clock tie-breaks (L3) each let two
+//! replicas of the same superstep plan different migrations.
+
+fn mean_load(loads: &[u64]) -> f64 {
+    let mut mean = 0.0f64;
+    mean += loads.iter().map(|&l| l as f64).sum::<f64>() / loads.len() as f64; //~ float-commit
+    mean
+}
+
+fn pick_donor(loads: &FxHashMap<u32, u64>) -> u32 {
+    let mut donor = 0u32;
+    let mut heaviest = 0u64;
+    for (&machine, &load) in loads.iter() { //~ unordered-iter
+        if load > heaviest {
+            heaviest = load;
+            donor = machine;
+        }
+    }
+    donor
+}
+
+fn break_tie(a: u32, b: u32) -> u32 {
+    if Instant::now().elapsed().subsec_nanos() % 2 == 0 { //~ nondet-source
+        a
+    } else {
+        b
+    }
+}

@@ -1,0 +1,28 @@
+//! lazylint-fixture: path=crates/engine/src/fixture.rs
+//! Must stay silent: the pure-integer rebalance decision. Loads arrive
+//! as a dense machine-indexed slice from the allgather, the donor and
+//! receiver scans are indexed loops with lowest-index tie-breaks, and
+//! the trigger threshold is cross-multiplied in u128 — nothing depends
+//! on hash order, float rounding, or the wall clock, so every machine
+//! replays the identical plan.
+
+fn plan_rebalance(loads: &[u64], ratio_milli: u64) -> Option<(u32, u32)> {
+    let mut from = 0usize;
+    let mut to = 0usize;
+    for (machine, &load) in loads.iter().enumerate() {
+        if load > loads[from] {
+            from = machine;
+        }
+        if load < loads[to] {
+            to = machine;
+        }
+    }
+    let total: u128 = loads.iter().map(|&l| l as u128).sum();
+    let heaviest = loads[from] as u128;
+    let machines = loads.len() as u128;
+    if from != to && heaviest * 1000 * machines > total * ratio_milli as u128 {
+        Some((from as u32, to as u32))
+    } else {
+        None
+    }
+}

@@ -59,6 +59,12 @@ pub enum FrameKind {
     /// payload also carries the round the dialer will resume sending
     /// from, so the acceptor knows which logged rounds to replay.
     Rejoin,
+    /// A live-migration exchange: replica state and topology records for
+    /// vertices moving between machines at a coherency barrier. Routed
+    /// exactly like [`FrameKind::Data`] (same round ordering, same replay
+    /// log); the distinct tag exists so migration traffic is countable on
+    /// the wire.
+    Migrate,
 }
 
 impl FrameKind {
@@ -70,6 +76,7 @@ impl FrameKind {
             FrameKind::Hello => 1,
             FrameKind::Shutdown => 2,
             FrameKind::Rejoin => 3,
+            FrameKind::Migrate => 4,
         }
     }
 
@@ -81,6 +88,7 @@ impl FrameKind {
             1 => Ok(FrameKind::Hello),
             2 => Ok(FrameKind::Shutdown),
             3 => Ok(FrameKind::Rejoin),
+            4 => Ok(FrameKind::Migrate),
             tag => Err(NetError::BadTag { tag, ty: "FrameKind" }),
         }
     }

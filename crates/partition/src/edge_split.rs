@@ -13,7 +13,8 @@
 //!    `u` (bidirectional); dispatch may create replicas and therefore runs
 //!    to a fixpoint (handled in [`crate::distributed`]).
 
-use lazygraph_graph::Graph;
+use lazygraph_graph::hash::mix64;
+use lazygraph_graph::{Graph, MachineId};
 
 /// Splitter tuning parameters.
 #[derive(Clone, Copy, Debug)]
@@ -155,6 +156,98 @@ pub fn plan_split(graph: &Graph, num_machines: usize, cfg: &SplitterConfig) -> S
     plan
 }
 
+/// Degree-aware hub fan-out: a post-pass over a per-edge assignment that
+/// spreads every hub's edge list across `fanout` machines.
+///
+/// A vertex whose *higher-degree* endpoint role crosses the threshold
+/// gets its adjacent edges dealt round-robin over a deterministic window
+/// of machines (seeded by the hub id, so different hubs use different
+/// windows). The reassignment happens before replica derivation, so the
+/// hub simply ends up replicated on every window machine and its partial
+/// accumulations ⊕-merge through the ordinary mirror machinery at the
+/// coherency exchange — no special-case state anywhere downstream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HubFanoutConfig {
+    /// Degree at or above which a vertex counts as a hub. `None` derives
+    /// 8× the average degree (matching the adversarial fixture in
+    /// `lazygraph_graph::fixtures`).
+    pub degree_threshold: Option<usize>,
+    /// How many machines each hub's edges spread across; 0 disables the
+    /// pass entirely (the static-placement baseline).
+    pub fanout: usize,
+}
+
+impl Default for HubFanoutConfig {
+    fn default() -> Self {
+        HubFanoutConfig {
+            degree_threshold: None,
+            fanout: 0,
+        }
+    }
+}
+
+impl HubFanoutConfig {
+    /// Fan-out over all machines with the derived threshold.
+    pub fn all_machines() -> Self {
+        HubFanoutConfig {
+            degree_threshold: None,
+            fanout: usize::MAX,
+        }
+    }
+
+    /// True when the pass would reassign nothing.
+    pub fn is_disabled(&self) -> bool {
+        self.fanout == 0
+    }
+}
+
+/// Applies [`HubFanoutConfig`] to `assignment` in place; returns the
+/// number of edges reassigned. Each edge is attributed to its
+/// higher-degree endpoint (ties break to the smaller id), and if that
+/// endpoint is a hub the edge goes to
+/// `(mix64(hub) + k) % num_machines` for the hub's k-th adjacent edge in
+/// edge-index order — pure integer arithmetic, deterministic for a given
+/// graph.
+pub fn apply_hub_fanout(
+    graph: &Graph,
+    assignment: &mut [MachineId],
+    num_machines: usize,
+    cfg: &HubFanoutConfig,
+) -> usize {
+    if cfg.is_disabled() || num_machines < 2 {
+        return 0;
+    }
+    let fanout = cfg.fanout.min(num_machines);
+    let threshold = cfg
+        .degree_threshold
+        .unwrap_or_else(|| lazygraph_graph::fixtures::hub_degree_threshold(graph));
+    let n = graph.num_vertices();
+    let mut counter = vec![0u64; n];
+    let mut moved = 0usize;
+    for (idx, e) in graph.edges().enumerate() {
+        let (ds, dd) = (graph.degree(e.src), graph.degree(e.dst));
+        let hub = if ds > dd || (ds == dd && e.src.0 <= e.dst.0) {
+            e.src
+        } else {
+            e.dst
+        };
+        if graph.degree(hub) < threshold {
+            continue;
+        }
+        let k = counter[hub.index()];
+        counter[hub.index()] += 1;
+        // Window base is hub-seeded so different hubs spread over
+        // different machine windows; k walks the window round-robin.
+        let base = (mix64(hub.0 as u64) % num_machines as u64) as usize;
+        let target = MachineId::from((base + (k % fanout as u64) as usize) % num_machines);
+        if assignment[idx] != target {
+            assignment[idx] = target;
+            moved += 1;
+        }
+    }
+    moved
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,5 +330,59 @@ mod tests {
         let p1 = plan_split(&g, 16, &cfg);
         let p2 = plan_split(&g, 16, &cfg);
         assert_eq!(p1.is_parallel, p2.is_parallel);
+    }
+
+    #[test]
+    fn fanout_spreads_hub_edges() {
+        let g = rmat(RmatConfig::skewed(10, 8, 7));
+        let n = 4usize;
+        let mut assignment = lazygraph_graph::fixtures::adversarial_hub_assignment(&g, n);
+        let before = crate::vertex_cut::load_imbalance(&assignment, n);
+        let moved = apply_hub_fanout(&g, &mut assignment, n, &HubFanoutConfig::all_machines());
+        assert!(moved > 0, "no hub edges were reassigned");
+        let after = crate::vertex_cut::load_imbalance(&assignment, n);
+        assert!(
+            after < before,
+            "fan-out did not flatten the edge balance: {before:.3} -> {after:.3}"
+        );
+        // Every hub's edges now touch more than one machine.
+        let t = lazygraph_graph::fixtures::hub_degree_threshold(&g);
+        let mut touched: Vec<std::collections::BTreeSet<u16>> =
+            vec![Default::default(); g.num_vertices()];
+        for (e, m) in g.edges().zip(&assignment) {
+            touched[e.src.index()].insert(m.0);
+            touched[e.dst.index()].insert(m.0);
+        }
+        for v in g.vertices() {
+            if g.degree(v) >= t {
+                assert!(
+                    touched[v.index()].len() > 1,
+                    "hub {v:?} (degree {}) stayed on one machine",
+                    g.degree(v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_deterministic_and_gated() {
+        let g = rmat(RmatConfig::skewed(9, 8, 3));
+        let base = lazygraph_graph::fixtures::adversarial_hub_assignment(&g, 4);
+        let mut a = base.clone();
+        let mut b = base.clone();
+        let cfg = HubFanoutConfig {
+            degree_threshold: Some(64),
+            fanout: 3,
+        };
+        apply_hub_fanout(&g, &mut a, 4, &cfg);
+        apply_hub_fanout(&g, &mut b, 4, &cfg);
+        assert_eq!(a, b);
+        let mut c = base.clone();
+        assert_eq!(
+            apply_hub_fanout(&g, &mut c, 4, &HubFanoutConfig::default()),
+            0,
+            "fanout=0 must be a no-op"
+        );
+        assert_eq!(c, base);
     }
 }

@@ -225,10 +225,16 @@ pub enum PartitionStrategy {
     Grid,
     Coordinated,
     Hybrid,
+    /// Benchmark fixture, not a real partitioner: every hub edge piled
+    /// onto machine 0 (`lazygraph_graph::fixtures`), the worst placement
+    /// the skew-aware machinery has to recover from. Excluded from
+    /// [`PartitionStrategy::all`] sweeps.
+    AdversarialHubs,
 }
 
 impl PartitionStrategy {
-    /// All strategies, for sweep experiments.
+    /// All *real* strategies, for sweep experiments (the adversarial
+    /// fixture is a stress input, not a contender).
     pub fn all() -> [PartitionStrategy; 4] {
         [
             PartitionStrategy::Random,
@@ -245,6 +251,9 @@ impl PartitionStrategy {
             PartitionStrategy::Grid => GridCut.assign(graph, num_machines),
             PartitionStrategy::Coordinated => CoordinatedCut.assign(graph, num_machines),
             PartitionStrategy::Hybrid => HybridCut::default().assign(graph, num_machines),
+            PartitionStrategy::AdversarialHubs => {
+                lazygraph_graph::fixtures::adversarial_hub_assignment(graph, num_machines)
+            }
         }
     }
 
@@ -255,6 +264,7 @@ impl PartitionStrategy {
             PartitionStrategy::Grid => GridCut.name(),
             PartitionStrategy::Coordinated => CoordinatedCut.name(),
             PartitionStrategy::Hybrid => HybridCut::default().name(),
+            PartitionStrategy::AdversarialHubs => "adversarial-hubs",
         }
     }
 }

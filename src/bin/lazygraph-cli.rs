@@ -4,7 +4,9 @@
 //! ```text
 //! lazygraph-cli run  --input <file.el|file.mtx|dataset:NAME> --algorithm sssp
 //!                    [--engine lazy|sync|async|lazy-vertex|hybrid|delta] [--machines 8]
-//!                    [--partition coordinated|random|grid|hybrid]
+//!                    [--partition coordinated|random|grid|hybrid|adversarial-hubs]
+//!                    [--hub-fanout N] [--hub-degree-threshold D]
+//!                    [--rebalance-every K] [--rebalance-ratio MILLI] [--rebalance-max-moves N]
 //!                    [--delta-buckets 16] [--delta-tolerance 1e-3]
 //!                    [--source 0] [--k 3] [--tolerance 1e-3] [--scale 0.1]
 //!                    [--threads N] [--block-size 1024]
@@ -165,6 +167,7 @@ fn engine_config(opts: &Opts) -> EngineConfig {
         "random" => PartitionStrategy::Random,
         "grid" => PartitionStrategy::Grid,
         "hybrid" => PartitionStrategy::Hybrid,
+        "adversarial-hubs" => PartitionStrategy::AdversarialHubs,
         other => {
             eprintln!("unknown partition strategy {other}");
             usage();
@@ -208,7 +211,43 @@ fn engine_config(opts: &Opts) -> EngineConfig {
         });
         cfg = cfg.with_transport(kind);
     }
+    // Skew handling (DESIGN.md §16): degree-aware hub fan-out at partition
+    // time, and online live migration at coherency barriers.
+    let fanout: usize = opts.parse_num("hub-fanout", 0usize);
+    if fanout > 0 || opts.get("hub-degree-threshold").is_some() {
+        cfg = cfg.with_hub_fanout(lazygraph_partition::HubFanoutConfig {
+            degree_threshold: opts
+                .get("hub-degree-threshold")
+                .map(|_| opts.parse_num("hub-degree-threshold", 0usize)),
+            fanout: if fanout > 0 { fanout } else { usize::MAX },
+        });
+    }
+    let every: u64 = opts.parse_num("rebalance-every", 0u64);
+    if every > 0 {
+        cfg = cfg.with_rebalance(lazygraph_engine::RebalanceConfig::enabled(
+            every,
+            opts.parse_num("rebalance-ratio", 1500u64),
+            opts.parse_num("rebalance-max-moves", 16usize),
+        ));
+    }
     cfg
+}
+
+/// Prints the skew/migration summary for a finished run, when the run
+/// actually checked balance (`--rebalance-every` on).
+fn print_skew(stats: &lazygraph_cluster::StatsSnapshot) {
+    if stats.rebalance_checks == 0 {
+        return;
+    }
+    println!(
+        "load ratio (max/mean, milli): mean {} max {} over {} checks; \
+         {} vertices migrated, {} migrate frames",
+        stats.load_ratio_sum_milli / stats.rebalance_checks,
+        stats.load_ratio_max_milli,
+        stats.rebalance_checks,
+        stats.migrated_vertices,
+        stats.migrate_frames,
+    );
 }
 
 fn write_values<T: std::fmt::Display>(opts: &Opts, values: &[T]) {
@@ -272,6 +311,7 @@ fn mp_run<P: VertexProgram>(
             out.stats.snapshot_bytes, out.stats.reconnects, out.stats.replay_rounds,
         );
     }
+    print_skew(&out.stats);
     out.values
 }
 
@@ -371,24 +411,28 @@ fn cmd_run(opts: &Opts) {
             let source = VertexId(opts.parse_num("source", 0u32));
             let r = run(&graph, machines, &cfg, &Sssp::new(source)).expect("cluster run");
             println!("{}", r.metrics.summary());
+            print_skew(&r.metrics.stats);
             write_values(opts, &r.values);
         }
         "bfs" => {
             let source = VertexId(opts.parse_num("source", 0u32));
             let r = run(&graph, machines, &cfg, &Bfs::new(source)).expect("cluster run");
             println!("{}", r.metrics.summary());
+            print_skew(&r.metrics.stats);
             write_values(opts, &r.values);
         }
         "widest" => {
             let source = VertexId(opts.parse_num("source", 0u32));
             let r = run(&graph, machines, &cfg, &WidestPath::new(source)).expect("cluster run");
             println!("{}", r.metrics.summary());
+            print_skew(&r.metrics.stats);
             write_values(opts, &r.values);
         }
         "pagerank" => {
             let tolerance: f64 = opts.parse_num("tolerance", 1e-3);
             let r = run(&graph, machines, &cfg, &PageRankDelta { tolerance }).expect("cluster run");
             println!("{}", r.metrics.summary());
+            print_skew(&r.metrics.stats);
             let ranks: Vec<String> = r.values.iter().map(|d| format!("{:.6}", d.rank)).collect();
             write_values(opts, &ranks);
         }
@@ -396,6 +440,7 @@ fn cmd_run(opts: &Opts) {
             let cfg = cfg.with_bidirectional(true);
             let r = run(&graph, machines, &cfg, &ConnectedComponents).expect("cluster run");
             println!("{}", r.metrics.summary());
+            print_skew(&r.metrics.stats);
             let components: std::collections::HashSet<_> = r.values.iter().collect();
             println!("{} connected components", components.len());
             write_values(opts, &r.values);
@@ -405,6 +450,7 @@ fn cmd_run(opts: &Opts) {
             let cfg = cfg.with_bidirectional(true);
             let r = run(&graph, machines, &cfg, &KCore::new(k)).expect("cluster run");
             println!("{}", r.metrics.summary());
+            print_skew(&r.metrics.stats);
             let survivors = r.values.iter().filter(|&&c| c > 0).count();
             println!("{survivors} vertices in the {k}-core");
             write_values(opts, &r.values);

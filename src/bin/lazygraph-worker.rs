@@ -30,7 +30,7 @@ use lazygraph_engine::sync_engine::{self, SyncMsg};
 use lazygraph_engine::{EngineKind, ParallelConfig, SimBreakdown, VertexProgram};
 use lazygraph_graph::{Edge, GraphBuilder, VertexId};
 use lazygraph_net::{TcpOptions, Wire};
-use lazygraph_partition::partition_graph;
+use lazygraph_partition::partition_graph_with;
 
 fn main() -> ExitCode {
     match real_main() {
@@ -129,11 +129,12 @@ fn run_worker<P: VertexProgram>(job: &WorkerJob, args: Args, program: P) -> Resu
         weight: w,
     }));
     let graph = builder.build();
-    let dg = partition_graph(
+    let dg = partition_graph_with(
         &graph,
         job.num_machines,
         job.partition,
         &job.splitter,
+        &job.hub_fanout,
         job.bidirectional,
     );
     let shard = &dg.shards[me];
@@ -246,6 +247,7 @@ fn run_worker<P: VertexProgram>(job: &WorkerJob, args: Args, program: P) -> Resu
                 exchange_fast: job.exchange_fast,
                 pipeline: job.pipeline,
                 adaptive_parts: job.adaptive_parts,
+                rebalance: job.rebalance,
             };
             let ep = if args.resume {
                 reconnect_tcp_endpoint::<(u32, P::Delta)>(

@@ -41,7 +41,8 @@ use lazygraph_engine::{CommModePolicy, EngineConfig, EngineKind, IntervalPolicy,
     VertexProgram};
 use lazygraph_graph::Graph;
 use lazygraph_net::{NetError, Wire, WireReader};
-use lazygraph_partition::{PartitionStrategy, SplitterConfig};
+use lazygraph_engine::RebalanceConfig;
+use lazygraph_partition::{HubFanoutConfig, PartitionStrategy, SplitterConfig};
 
 /// Which vertex program a worker process should instantiate. The launcher
 /// and worker agree on this enum; the generic `P` of [`run_multiprocess`]
@@ -172,6 +173,11 @@ pub struct WorkerJob {
     pub delta_buckets: usize,
     /// Scheduling/termination tolerance for the delta engine.
     pub delta_tolerance: f64,
+    /// Degree-aware hub fan-out at partition time (DESIGN.md §16).
+    /// Appended last, after the PR 9 fields.
+    pub hub_fanout: HubFanoutConfig,
+    /// Online live-migration policy (DESIGN.md §16).
+    pub rebalance: RebalanceConfig,
 }
 
 fn encode_engine_kind(k: EngineKind, out: &mut Vec<u8>) {
@@ -211,6 +217,7 @@ impl Wire for WorkerJob {
             PartitionStrategy::Grid => 1,
             PartitionStrategy::Coordinated => 2,
             PartitionStrategy::Hybrid => 3,
+            PartitionStrategy::AdversarialHubs => 4,
         });
         self.splitter.teps.encode(out);
         self.splitter.t_extra.encode(out);
@@ -268,6 +275,15 @@ impl Wire for WorkerJob {
         // Delta-accumulative scheduler knobs (PR 9), appended last.
         (self.delta_buckets as u64).encode(out);
         self.delta_tolerance.encode(out);
+        // Skew knobs (PR 10), appended last.
+        self.hub_fanout
+            .degree_threshold
+            .map(|x| x as u64)
+            .encode(out);
+        (self.hub_fanout.fanout as u64).encode(out);
+        self.rebalance.every.encode(out);
+        self.rebalance.ratio_milli.encode(out);
+        (self.rebalance.max_moves as u64).encode(out);
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, NetError> {
@@ -283,6 +299,7 @@ impl Wire for WorkerJob {
             1 => PartitionStrategy::Grid,
             2 => PartitionStrategy::Coordinated,
             3 => PartitionStrategy::Hybrid,
+            4 => PartitionStrategy::AdversarialHubs,
             tag => {
                 return Err(NetError::BadTag {
                     tag,
@@ -361,6 +378,15 @@ impl Wire for WorkerJob {
             adaptive_parts: bool::decode(r)?,
             delta_buckets: u64::decode(r)? as usize,
             delta_tolerance: f64::decode(r)?,
+            hub_fanout: HubFanoutConfig {
+                degree_threshold: Option::<u64>::decode(r)?.map(|x| x as usize),
+                fanout: u64::decode(r)? as usize,
+            },
+            rebalance: RebalanceConfig {
+                every: u64::decode(r)?,
+                ratio_milli: u64::decode(r)?,
+                max_moves: u64::decode(r)? as usize,
+            },
         })
     }
 }
@@ -554,6 +580,8 @@ pub fn run_multiprocess_with<P: VertexProgram>(
         adaptive_parts: cfg.adaptive_parts,
         delta_buckets: cfg.delta_buckets,
         delta_tolerance: cfg.delta_tolerance,
+        hub_fanout: cfg.hub_fanout,
+        rebalance: cfg.rebalance,
     };
     let mut job = job;
 
@@ -856,6 +884,11 @@ mod tests {
             adaptive_parts: true,
             delta_buckets: 16,
             delta_tolerance: 1e-3,
+            hub_fanout: HubFanoutConfig {
+                degree_threshold: Some(32),
+                fanout: 4,
+            },
+            rebalance: RebalanceConfig::enabled(2, 1500, 8),
         }
     }
 
@@ -878,6 +911,9 @@ mod tests {
         assert!(back.adaptive_parts);
         assert_eq!(back.delta_buckets, 16);
         assert_eq!(back.delta_tolerance.to_bits(), 1e-3f64.to_bits());
+        assert_eq!(back.hub_fanout.degree_threshold, Some(32));
+        assert_eq!(back.hub_fanout.fanout, 4);
+        assert_eq!(back.rebalance, RebalanceConfig::enabled(2, 1500, 8));
         assert_eq!(back.cost.bandwidth.to_bits(), j.cost.bandwidth.to_bits());
         assert_eq!(
             back.splitter.t_extra.to_bits(),

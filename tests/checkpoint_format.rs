@@ -13,6 +13,7 @@ use lazygraph_engine::checkpoint::{
     LazyResume, CKPT_CHUNK,
 };
 use lazygraph_engine::lazy_block::LazyCounters;
+use lazygraph_engine::rebalance::{StructMigration, StructVertex};
 use lazygraph_net::Wire;
 
 // ---------------------------------------------------------------------------
@@ -144,8 +145,11 @@ proptest! {
         do_local in any::<bool>(),
         first_stage_bits in (any::<bool>(), any::<u64>()),
         next_mode_m2m in any::<bool>(),
+        pending_migration in (any::<bool>(), any::<u32>(), any::<u32>(), any::<u64>()),
+        load_accum in any::<u64>(),
         with_delta in any::<bool>(),
         delta_counters in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        with_migration in any::<bool>(),
     ) {
         let prev_active = prev_active.0.then_some(prev_active.1);
         let first_stage_bits = first_stage_bits.0.then_some(first_stage_bits.1);
@@ -162,6 +166,9 @@ proptest! {
             do_local,
             first_stage_bits,
             next_mode_m2m,
+            pending_migration: pending_migration.0
+                .then_some((pending_migration.1, pending_migration.2, pending_migration.3)),
+            load_accum,
         });
         let delta = with_delta.then_some(DeltaResume {
             counters: LazyCounters {
@@ -186,6 +193,27 @@ proptest! {
             part_items,
             lazy: lazy.clone(),
             delta,
+            migrations: if with_migration {
+                vec![StructMigration {
+                    from: 0,
+                    to: 1,
+                    victims: vec![(
+                        StructVertex {
+                            gid: 3,
+                            master: 1,
+                            holders: vec![0, 1],
+                            global_out: 2,
+                            global_in: 0,
+                            global_deg: 2,
+                        },
+                        vec![(4, 1.0), (5, 2.0)],
+                    )],
+                    targets: vec![],
+                    new_at_to: vec![3, 4, 5],
+                }]
+            } else {
+                vec![]
+            },
         };
         let bytes = snap.to_wire();
         prop_assert_eq!(&bytes, &snap.to_wire(), "encode must be deterministic");
@@ -220,6 +248,7 @@ proptest! {
             part_items: 1024,
             lazy: None,
             delta: None,
+            migrations: vec![],
         };
         let bytes = snap.to_wire();
         let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;

@@ -24,6 +24,7 @@ fn batch_from_bits(from: usize, round: u64, sent_at: f64, last: bool, bits: &[(u
         sent_at,
         round,
         last,
+        kind: FrameKind::Data,
         items: bits.iter().map(|&(g, b)| (g, f32::from_bits(b))).collect(),
         raw: None,
     }
